@@ -1,0 +1,323 @@
+//! `absort` — command-line driver for the adaptive sorting networks.
+//!
+//! ```text
+//! absort sort  --network mux-merger 0110100111000011
+//! absort route --network fish 3,1,0,2
+//! absort concentrate --m 4 a.b..c.d
+//! absort inspect --network prefix --n 256
+//! absort verify --network fish --n 16
+//! absort dot --network mux-merger --n 16
+//! ```
+
+use absort::circuit::dot;
+use absort::core::{lang, muxmerge, nonadaptive, prefix, SorterKind};
+use absort::networks::concentrator::Concentrator;
+use absort::networks::permuter::RadixPermuter;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: absort <command> [options]\n\
+         \n\
+         commands:\n\
+           sort        --network <prefix|mux-merger|fish|nonadaptive> <bits>\n\
+                       sort a binary sequence (power-of-two length)\n\
+           route       --network <...> <dest0,dest1,...>\n\
+                       route a permutation through the radix permuter\n\
+           concentrate --m <m> <pattern>   ('.' = idle, any other char = packet)\n\
+           inspect     --network <...> --n <size>\n\
+                       print cost/depth and the hardware profile\n\
+           verify      --network <...> --n <size>\n\
+                       exhaustively verify sorting over all 2^n inputs (n <= 20)\n\
+           dot         --network <...> --n <size>\n\
+                       emit the built circuit as Graphviz DOT\n\
+           save        --network <...> --n <size>\n\
+                       emit the built circuit as a text netlist\n\
+           eval        <netlist-file> <bits>\n\
+                       load a saved netlist and evaluate it"
+    );
+    exit(2);
+}
+
+fn parse_kind(s: &str) -> SorterKind {
+    match s {
+        "prefix" => SorterKind::Prefix,
+        "mux-merger" | "muxmerge" | "mux" => SorterKind::MuxMerger,
+        "fish" => SorterKind::Fish { k: None },
+        other => {
+            eprintln!("unknown network {other:?} (try prefix | mux-merger | fish)");
+            exit(2);
+        }
+    }
+}
+
+struct Args {
+    network: String,
+    n: Option<usize>,
+    m: Option<usize>,
+    positional: Vec<String>,
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut a = Args {
+        network: "mux-merger".to_string(),
+        n: None,
+        m: None,
+        positional: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--network" => a.network = it.next().unwrap_or_else(|| usage()).clone(),
+            "--n" => {
+                a.n = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--m" => {
+                a.m = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            other if other.starts_with("--") => usage(),
+            other => a.positional.push(other.to_string()),
+        }
+    }
+    a
+}
+
+fn require_pow2(n: usize) {
+    if !n.is_power_of_two() || n < 2 {
+        eprintln!("size {n} must be a power of two >= 2");
+        exit(1);
+    }
+}
+
+fn build_circuit(network: &str, n: usize) -> absort::circuit::Circuit {
+    require_pow2(n);
+    match network {
+        "prefix" => prefix::build(n),
+        "mux-merger" | "muxmerge" | "mux" => muxmerge::build(n),
+        "nonadaptive" => nonadaptive::build(n),
+        "fish" => {
+            eprintln!("the fish sorter is time-multiplexed (Model B); it has no single combinational circuit — use inspect/sort instead");
+            exit(2);
+        }
+        other => {
+            eprintln!("unknown network {other:?}");
+            exit(2);
+        }
+    }
+}
+
+fn cmd_sort(a: &Args) {
+    let bits_str = a.positional.first().unwrap_or_else(|| usage());
+    let bits = lang::bits(bits_str);
+    if !bits.len().is_power_of_two() {
+        eprintln!("input length {} is not a power of two", bits.len());
+        exit(1);
+    }
+    let out = if a.network == "nonadaptive" {
+        let c = nonadaptive::build(bits.len());
+        c.eval(&bits)
+    } else {
+        parse_kind(&a.network).sort(&bits)
+    };
+    println!("{}", lang::show(&out, 4));
+    if a.network != "nonadaptive" {
+        let kind = parse_kind(&a.network);
+        println!(
+            "network: {}   cost model: {} units   depth/time: {}",
+            kind.name(),
+            kind.cost(bits.len()),
+            kind.depth(bits.len())
+        );
+    }
+}
+
+fn cmd_route(a: &Args) {
+    let spec = a.positional.first().unwrap_or_else(|| usage());
+    let dests: Vec<usize> = spec
+        .split(',')
+        .map(|t| {
+            t.trim().parse().unwrap_or_else(|_| {
+                eprintln!("bad destination {t:?}");
+                exit(1)
+            })
+        })
+        .collect();
+    let n = dests.len();
+    if !n.is_power_of_two() {
+        eprintln!("permutation length {n} is not a power of two");
+        exit(1);
+    }
+    let rp = RadixPermuter::new(parse_kind(&a.network), n);
+    let packets: Vec<(usize, String)> = dests
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (d, format!("p{i}")))
+        .collect();
+    match rp.route(&packets) {
+        Ok(out) => {
+            for (slot, payload) in out.iter().enumerate() {
+                println!("output {slot} <- {payload}");
+            }
+            println!(
+                "bit-level cost {}   permutation time {}   {}-switched",
+                rp.cost(),
+                rp.time(),
+                if rp.is_packet_switched() { "packet" } else { "circuit" }
+            );
+        }
+        Err(e) => {
+            eprintln!("routing failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_concentrate(a: &Args) {
+    let pattern = a.positional.first().unwrap_or_else(|| usage());
+    let n = pattern.chars().count();
+    if !n.is_power_of_two() {
+        eprintln!("pattern length {n} is not a power of two");
+        exit(1);
+    }
+    let m = a.m.unwrap_or(n);
+    let conc = Concentrator::new(parse_kind(&a.network), n, m);
+    let requests: Vec<Option<char>> = pattern
+        .chars()
+        .map(|c| (c != '.').then_some(c))
+        .collect();
+    match conc.concentrate(&requests) {
+        Ok(out) => {
+            let rendered: String = out.iter().map(|o| o.unwrap_or('.')).collect();
+            println!("{rendered}");
+            println!("cost {}   time {}", conc.cost(), conc.time());
+        }
+        Err(e) => {
+            eprintln!("concentration failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_inspect(a: &Args) {
+    let n = a.n.unwrap_or_else(|| usage());
+    if a.network == "fish" {
+        let f = absort::core::FishSorter::with_default_k(n);
+        let r = f.report();
+        println!("fish sorter n={n} k={}", f.k);
+        println!("  cost (exact construction): {}", r.cost_exact);
+        println!("  cost (paper eq. 17 bound): {}", r.cost_paper_bound);
+        println!("  sorting time serial:       {}", r.time_unpipelined);
+        println!("  sorting time pipelined:    {}", r.time_pipelined);
+        return;
+    }
+    let c = build_circuit(&a.network, n);
+    println!("{} sorter, n = {n}", a.network);
+    println!("  {}", c.cost());
+    println!("  depth: {}", c.depth());
+    let stats = c.stats();
+    println!(
+        "  components: {}   wires: {}   mean fanout: {:.2}",
+        c.n_components(),
+        c.n_wires(),
+        stats.mean_fanout
+    );
+    println!("hardware profile:");
+    print!("{}", c.scope_report(3));
+}
+
+fn cmd_verify(a: &Args) {
+    let n = a.n.unwrap_or_else(|| usage());
+    require_pow2(n);
+    if n > 20 {
+        eprintln!("exhaustive verification limited to n <= 20");
+        exit(1);
+    }
+    let check = |sorted: &[bool], input_ones: u32, n: usize| -> bool {
+        sorted.iter().enumerate().all(|(i, &b)| b == (i >= n - input_ones as usize))
+    };
+    let mut failures = 0u64;
+    if a.network == "fish" {
+        let f = absort::core::FishSorter::with_default_k(n.max(4));
+        for v in 0..1u64 << n {
+            let bits: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
+            if !check(&f.sort(&bits), v.count_ones(), n) {
+                failures += 1;
+            }
+        }
+    } else {
+        let c = build_circuit(&a.network, n);
+        for v in 0..1u64 << n {
+            let bits: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
+            if !check(&c.eval(&bits), v.count_ones(), n) {
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!("verified: all {} inputs sort correctly", 1u64 << n);
+    } else {
+        println!("FAILED on {failures} inputs");
+        exit(1);
+    }
+}
+
+fn cmd_dot(a: &Args) {
+    let n = a.n.unwrap_or_else(|| usage());
+    let c = build_circuit(&a.network, n);
+    print!("{}", dot::to_dot(&c, &format!("{}-{n}", a.network)));
+}
+
+fn cmd_save(a: &Args) {
+    let n = a.n.unwrap_or_else(|| usage());
+    let c = build_circuit(&a.network, n);
+    print!("{}", absort::circuit::serdes::to_text(&c));
+}
+
+fn cmd_eval(a: &Args) {
+    let [path, bits_str] = a.positional.as_slice() else {
+        usage()
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    let circuit = absort::circuit::serdes::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    let bits = lang::bits(bits_str);
+    if bits.len() != circuit.n_inputs() {
+        eprintln!(
+            "netlist has {} inputs, got {} bits",
+            circuit.n_inputs(),
+            bits.len()
+        );
+        exit(1);
+    }
+    println!("{}", lang::show(&circuit.eval(&bits), 0));
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    let rest = parse_args(&argv[1..]);
+    match cmd.as_str() {
+        "sort" => cmd_sort(&rest),
+        "route" => cmd_route(&rest),
+        "concentrate" => cmd_concentrate(&rest),
+        "inspect" => cmd_inspect(&rest),
+        "verify" => cmd_verify(&rest),
+        "dot" => cmd_dot(&rest),
+        "save" => cmd_save(&rest),
+        "eval" => cmd_eval(&rest),
+        _ => usage(),
+    }
+}

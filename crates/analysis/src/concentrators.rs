@@ -1,0 +1,138 @@
+//! Section IV concentrator comparison (experiment E14).
+//!
+//! The paper tabulates (in prose) the concentrator landscape:
+//! expander-based constructions have `O(n)` cost but unknown
+//! concentration time; ranking-tree designs cost `O(n lg² n)`; the
+//! prefix/mux-merger sorters give `O(n lg n)` cost with `O(lg² n)` time;
+//! and the fish sorter gives a **time-multiplexed `O(n)`-cost,
+//! `O(lg² n)`-time concentrator**, matched only by the columnsort
+//! network.
+
+use crate::table::{group_digits, Table};
+use absort_core::sorter::SorterKind;
+use absort_networks::concentrator::Concentrator;
+
+/// One concentrator design's numbers at size `n`.
+#[derive(Debug, Clone)]
+pub struct ConcRow {
+    /// Design name.
+    pub name: &'static str,
+    /// Asymptotic cost as the paper quotes it.
+    pub cost_asymptotic: &'static str,
+    /// Concentration time as the paper quotes it.
+    pub time_asymptotic: &'static str,
+    /// Numeric cost at `n` (cited formulas use constant 1).
+    pub cost: u64,
+    /// Numeric time at `n`, `None` when unknown (expanders).
+    pub time: Option<u64>,
+    /// Whether the numbers are measured from a built construction.
+    pub measured: bool,
+}
+
+/// Generates the comparison rows at size `n`.
+pub fn rows(n: usize) -> Vec<ConcRow> {
+    assert!(n.is_power_of_two() && n >= 8);
+    let k = n.trailing_zeros() as u64;
+    let prefix = Concentrator::new(SorterKind::Prefix, n, n);
+    let mux = Concentrator::new(SorterKind::MuxMerger, n, n);
+    let fish = Concentrator::new(SorterKind::Fish { k: None }, n, n);
+    vec![
+        ConcRow {
+            name: "expander-based [2,10,16,21,22]",
+            cost_asymptotic: "O(n)",
+            time_asymptotic: "unknown",
+            cost: n as u64,
+            time: None,
+            measured: false,
+        },
+        ConcRow {
+            name: "ranking trees [11,13]",
+            cost_asymptotic: "O(n lg^2 n)",
+            time_asymptotic: "O(lg n)",
+            cost: n as u64 * k * k,
+            time: Some(k),
+            measured: false,
+        },
+        ConcRow {
+            name: "prefix sorter (this paper)",
+            cost_asymptotic: "O(n lg n)",
+            time_asymptotic: "O(lg^2 n)",
+            cost: prefix.cost(),
+            time: Some(prefix.time()),
+            measured: true,
+        },
+        ConcRow {
+            name: "mux-merger sorter (this paper)",
+            cost_asymptotic: "O(n lg n)",
+            time_asymptotic: "O(lg^2 n)",
+            cost: mux.cost(),
+            time: Some(mux.time()),
+            measured: true,
+        },
+        ConcRow {
+            name: "fish sorter, time-multiplexed (this paper)",
+            cost_asymptotic: "O(n)",
+            time_asymptotic: "O(lg^2 n)",
+            cost: fish.cost(),
+            time: Some(fish.time()),
+            measured: true,
+        },
+    ]
+}
+
+/// Renders the comparison at size `n`.
+pub fn render(n: usize) -> String {
+    let mut t = Table::new([
+        "construction".to_string(),
+        "cost".into(),
+        "time".into(),
+        format!("cost @ n={n}"),
+        format!("time @ n={n}"),
+        "numbers".into(),
+    ]);
+    for r in rows(n) {
+        t.row([
+            r.name.to_string(),
+            r.cost_asymptotic.into(),
+            r.time_asymptotic.into(),
+            group_digits(r.cost),
+            r.time.map_or("unknown".into(), group_digits),
+            if r.measured { "measured" } else { "cited formula" }.into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fish_concentrator_linear_and_fast() {
+        let n = 1usize << 16;
+        let rows = rows(n);
+        let fish = rows.iter().find(|r| r.name.contains("fish")).unwrap();
+        assert!(fish.cost < 18 * n as u64, "O(n) cost claim");
+        let t = fish.time.unwrap();
+        let lg2 = 16u64 * 16;
+        assert!(t < 10 * lg2, "O(lg² n) time claim, got {t}");
+    }
+
+    #[test]
+    fn sorter_concentrators_beat_ranking_trees_on_cost() {
+        let n = 1usize << 16;
+        let rows = rows(n);
+        let ranking = rows.iter().find(|r| r.name.contains("ranking")).unwrap().cost;
+        for name in ["prefix", "mux-merger", "fish"] {
+            let c = rows.iter().find(|r| r.name.contains(name)).unwrap().cost;
+            assert!(c < ranking, "{name}: {c} < {ranking}");
+        }
+    }
+
+    #[test]
+    fn render_shape() {
+        let s = render(1 << 10);
+        assert_eq!(s.lines().count(), 2 + 5);
+        assert!(s.contains("unknown"));
+    }
+}

@@ -1,0 +1,231 @@
+//! ASCII figure rendering for the sweep series.
+//!
+//! The paper communicates its results as complexity expressions; the
+//! reproduction's "figures" are cost/time-vs-n series. This module
+//! renders multi-series data as a log₂–log₂ ASCII scatter chart so
+//! `repro` can show the *shape* claims (parallel lines = same order,
+//! diverging lines = different order, crossings = crossovers) directly
+//! in a terminal, with no plotting dependencies.
+
+use std::fmt::Write as _;
+
+/// One data series: a label, a plotting glyph, and `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Single-character glyph used on the canvas.
+    pub glyph: char,
+    /// Data points (both axes plotted at log₂ scale; must be positive).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, glyph: char, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            glyph,
+            points,
+        }
+    }
+}
+
+/// Renders the series into a `width × height` ASCII chart with log₂
+/// axes. Points that collide keep the later series' glyph; axis labels
+/// show the log₂ ranges.
+pub fn render_loglog(series: &[Series], width: usize, height: usize, title: &str) -> String {
+    assert!(width >= 16 && height >= 6, "canvas too small");
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    assert!(!pts.is_empty(), "nothing to plot");
+    for &(x, y) in &pts {
+        assert!(x > 0.0 && y > 0.0, "log-log needs positive data");
+    }
+    let lx = |v: f64| v.log2();
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(lx(x));
+        x1 = x1.max(lx(x));
+        y0 = y0.min(lx(y));
+        y1 = y1.max(lx(y));
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut canvas = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let cx = ((lx(x) - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let cy = ((lx(y) - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            canvas[height - 1 - cy][cx] = s.glyph;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}   [log2-log2]");
+    for (r, row) in canvas.iter().enumerate() {
+        let y_here = y1 - (y1 - y0) * r as f64 / (height - 1) as f64;
+        let label = if r == 0 || r == height - 1 || r == height / 2 {
+            format!("2^{y_here:>5.1} |")
+        } else {
+            "        |".to_string()
+        };
+        let _ = writeln!(out, "{label}{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "        +{}", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "         2^{x0:.1}{:>pad$}",
+        format!("2^{x1:.1}"),
+        pad = width.saturating_sub(6)
+    );
+    for s in series {
+        let _ = writeln!(out, "  {} = {}", s.glyph, s.label);
+    }
+    out
+}
+
+/// The headline figure: bit-level cost of all sorters vs n, as an ASCII
+/// chart.
+pub fn sorter_cost_figure(exps: &[u32]) -> String {
+    use absort_baselines::batcher_bits;
+    use absort_core::{muxmerge, prefix, FishSorter};
+    let mk = |f: &dyn Fn(usize) -> u64| -> Vec<(f64, f64)> {
+        exps.iter()
+            .map(|&a| {
+                let n = 1usize << a;
+                (n as f64, f(n) as f64)
+            })
+            .collect()
+    };
+    let series = vec![
+        Series::new("Batcher binary (n lg^2 n)", 'B', mk(&batcher_bits::binary_cost)),
+        Series::new("mux-merger (4n lg n)", 'M', mk(&|n| {
+            muxmerge::formulas::sorter_cost_exact(n)
+        })),
+        Series::new("prefix (3n lg n)", 'P', mk(&prefix::paper_cost_dominant)),
+        Series::new("fish (O(n))", 'F', mk(&|n| {
+            let f = FishSorter::with_default_k(n);
+            absort_core::fish::formulas::total_cost_exact(n, f.k)
+        })),
+    ];
+    render_loglog(&series, 64, 18, "bit-level sorter cost vs n")
+}
+
+/// The sorting-time figure: fish serial vs pipelined vs columnsort.
+pub fn sorting_time_figure(exps: &[u32]) -> String {
+    use absort_baselines::columnsort::{ColumnsortModel, Geometry};
+    use absort_core::fish::schedule;
+    use absort_core::FishSorter;
+    let mut serial = Vec::new();
+    let mut piped = Vec::new();
+    let mut colsort = Vec::new();
+    for &a in exps {
+        let n = 1usize << a;
+        let f = FishSorter::with_default_k(n);
+        serial.push((n as f64, schedule::sorting_time(n, f.k, false) as f64));
+        piped.push((n as f64, schedule::sorting_time(n, f.k, true) as f64));
+        let cs = ColumnsortModel {
+            g: Geometry::paper_params(n),
+        };
+        colsort.push((n as f64, cs.time(false) as f64));
+    }
+    let series = vec![
+        Series::new("columnsort serial (lg^4 n)", 'C', colsort),
+        Series::new("fish serial (lg^3 n)", 'S', serial),
+        Series::new("fish pipelined (lg^2 n)", 'p', piped),
+    ];
+    render_loglog(&series, 64, 16, "Model B sorting time vs n")
+}
+
+/// The depth figure: bit-level depth of the combinational sorters vs
+/// Batcher (all `Θ(lg² n)` — parallel lines with different constants).
+pub fn sorter_depth_figure(exps: &[u32]) -> String {
+    use absort_baselines::batcher_bits;
+    use absort_core::muxmerge;
+    let mk = |f: &dyn Fn(usize) -> u64| -> Vec<(f64, f64)> {
+        exps.iter()
+            .map(|&a| {
+                let n = 1usize << a;
+                (n as f64, f(n) as f64)
+            })
+            .collect()
+    };
+    let series = vec![
+        Series::new(
+            "Batcher depth lg n(lg n+1)/2",
+            'B',
+            mk(&batcher_bits::binary_depth),
+        ),
+        Series::new("mux-merger depth (exact)", 'M', mk(&|n| {
+            muxmerge::formulas::sorter_depth_exact(n)
+        })),
+        Series::new("nonadaptive Fig. 4(b) depth", 'N', mk(&|n| {
+            let k = n.trailing_zeros() as u64;
+            k * (k + 1) / 2
+        })),
+    ];
+    render_loglog(&series, 64, 14, "bit-level sorter depth vs n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_figure_renders() {
+        let f = sorter_depth_figure(&[8, 12, 16, 20]);
+        for g in ['B', 'M', 'N'] {
+            assert!(f.contains(g), "missing {g}\n{f}");
+        }
+    }
+
+    #[test]
+    fn chart_renders_all_series() {
+        let s = vec![
+            Series::new("a", 'a', vec![(2.0, 4.0), (4.0, 16.0)]),
+            Series::new("b", 'b', vec![(2.0, 8.0), (4.0, 64.0)]),
+        ];
+        let out = render_loglog(&s, 32, 8, "test");
+        assert!(out.contains("test"));
+        assert!(out.contains('a'));
+        assert!(out.contains('b'));
+        assert!(out.contains("= a"));
+    }
+
+    #[test]
+    fn headline_figures_render() {
+        let f = sorter_cost_figure(&[10, 12, 14, 16, 18, 20]);
+        for g in ['B', 'M', 'P', 'F'] {
+            assert!(f.contains(g), "missing glyph {g}\n{f}");
+        }
+        let t = sorting_time_figure(&[12, 16, 20, 24]);
+        for g in ['C', 'S', 'p'] {
+            assert!(t.contains(g), "missing glyph {g}\n{t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn zero_data_rejected() {
+        let s = vec![Series::new("z", 'z', vec![(0.0, 1.0)])];
+        let _ = render_loglog(&s, 32, 8, "bad");
+    }
+
+    #[test]
+    fn fish_series_lies_below_batcher_at_large_n() {
+        // shape check straight from the figure data
+        use absort_baselines::batcher_bits;
+        use absort_core::FishSorter;
+        let n = 1usize << 20;
+        let f = FishSorter::with_default_k(n);
+        let fish = absort_core::fish::formulas::total_cost_exact(n, f.k);
+        assert!(fish < batcher_bits::binary_cost(n) / 4);
+    }
+}

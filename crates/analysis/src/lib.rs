@@ -1,0 +1,29 @@
+//! # absort-analysis — experiment drivers and paper-vs-measured analysis
+//!
+//! Produces every table and figure series of the reproduction:
+//!
+//! * [`table`] — plain-text/CSV table rendering used by all reports;
+//! * [`sweeps`] — cost/depth/time sweeps of the three adaptive sorters
+//!   against their closed forms and the Batcher baseline (figure series
+//!   for Figs. 4–7, experiments E4–E6, E8);
+//! * [`table2`] — regenerates Table II (permutation-network complexity
+//!   comparison, experiment E12);
+//! * [`concentrators`] — the Section IV concentrator comparison (E14);
+//! * [`crossover`] — the AKS constant-factor crossover analysis (E15);
+//! * [`traces`] — the worked examples of Figs. 8 and 9 (E9, E10);
+//! * [`ablations`] — design-choice ablations measured on the built
+//!   circuits: adder kind, adaptivity, time-multiplexed dispatch
+//!   (E16–E18).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod checklist;
+pub mod concentrators;
+pub mod figures;
+pub mod crossover;
+pub mod sweeps;
+pub mod table;
+pub mod table2;
+pub mod traces;

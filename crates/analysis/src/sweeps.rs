@@ -1,0 +1,357 @@
+//! Cost/depth/time sweeps: the figure-series data behind experiments
+//! E4–E6 and E8.
+//!
+//! For every network the paper constructs, sweep `n` and report the
+//! *measured* cost and depth of the circuit we actually build, next to
+//! the paper's closed form. Circuits are built up to a configurable size
+//! cap (they have `Θ(n lg n)` components); beyond the cap the exact
+//! recurrences — themselves validated against built circuits in the unit
+//! tests — extend the series.
+
+use crate::table::{group_digits, Table};
+use absort_baselines::batcher_bits;
+use absort_baselines::columnsort::{ColumnsortModel, Geometry};
+use absort_core::fish::{formulas as fishf, schedule};
+use absort_core::muxmerge;
+use absort_core::prefix;
+
+/// One sweep point for a combinational sorter.
+#[derive(Debug, Clone, Copy)]
+pub struct SorterPoint {
+    /// Input size.
+    pub n: usize,
+    /// Measured cost of the built circuit (`None` above the build cap).
+    pub measured_cost: Option<u64>,
+    /// Measured depth of the built circuit.
+    pub measured_depth: Option<u64>,
+    /// The paper's closed-form (or exact-recurrence) cost.
+    pub formula_cost: u64,
+    /// The paper's closed-form (or exact-recurrence) depth.
+    pub formula_depth: u64,
+}
+
+/// Sweeps the prefix binary sorter (E5 / Fig. 5): measured vs
+/// `3n lg n` dominant cost and the `3 lg² n + 2 lg n lg lg n` depth
+/// bound.
+pub fn prefix_sweep(max_exp: u32, build_cap_exp: u32) -> Vec<SorterPoint> {
+    (2..=max_exp)
+        .map(|a| {
+            let n = 1usize << a;
+            let (mc, md) = if a <= build_cap_exp {
+                let c = prefix::build(n);
+                (Some(c.cost().total), Some(c.depth() as u64))
+            } else {
+                (None, None)
+            };
+            SorterPoint {
+                n,
+                measured_cost: mc,
+                measured_depth: md,
+                formula_cost: prefix::paper_cost_dominant(n),
+                formula_depth: prefix::paper_depth_bound(n),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the mux-merger binary sorter (E6 / Fig. 6): measured vs the
+/// exact recurrence (`≈ 4n lg n` cost).
+pub fn muxmerge_sweep(max_exp: u32, build_cap_exp: u32) -> Vec<SorterPoint> {
+    (1..=max_exp)
+        .map(|a| {
+            let n = 1usize << a;
+            let (mc, md) = if a <= build_cap_exp {
+                let c = muxmerge::build(n);
+                (Some(c.cost().total), Some(c.depth() as u64))
+            } else {
+                (None, None)
+            };
+            SorterPoint {
+                n,
+                measured_cost: mc,
+                measured_depth: md,
+                formula_cost: muxmerge::formulas::sorter_cost_exact(n),
+                formula_depth: muxmerge::formulas::sorter_depth_exact(n),
+            }
+        })
+        .collect()
+}
+
+/// One sweep point for the fish sorter (E8 / Fig. 7).
+#[derive(Debug, Clone, Copy)]
+pub struct FishPoint {
+    /// Input size.
+    pub n: usize,
+    /// Group count.
+    pub k: usize,
+    /// Exact cost of the construction.
+    pub cost_exact: u64,
+    /// Paper closed-form bound (eq. 17).
+    pub cost_paper: u64,
+    /// Cost per input (the O(n) headline: should stay bounded).
+    pub cost_per_input: f64,
+    /// Sorting time, serial front end.
+    pub time_serial: u64,
+    /// Sorting time, pipelined front end.
+    pub time_pipelined: u64,
+}
+
+/// Sweeps the fish sorter at `k = lg n` (rounded to a power of two).
+pub fn fish_sweep(exps: &[u32]) -> Vec<FishPoint> {
+    exps.iter()
+        .map(|&a| {
+            let n = 1usize << a;
+            let f = absort_core::FishSorter::with_default_k(n);
+            FishPoint {
+                n,
+                k: f.k,
+                cost_exact: fishf::total_cost_exact(n, f.k),
+                cost_paper: fishf::total_cost_paper(n, f.k),
+                cost_per_input: fishf::total_cost_exact(n, f.k) as f64 / n as f64,
+                time_serial: schedule::sorting_time(n, f.k, false),
+                time_pipelined: schedule::sorting_time(n, f.k, true),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the fish sorter across `k` at fixed `n`, exposing the
+/// cost-minimising `k ≈ lg n` the paper derives (eqs. 19–21).
+pub fn fish_k_sweep(n: usize) -> Vec<FishPoint> {
+    let max_k_exp = n.trailing_zeros() / 2;
+    (1..=max_k_exp)
+        .map(|b| {
+            let k = 1usize << b;
+            FishPoint {
+                n,
+                k,
+                cost_exact: fishf::total_cost_exact(n, k),
+                cost_paper: fishf::total_cost_paper(n, k),
+                cost_per_input: fishf::total_cost_exact(n, k) as f64 / n as f64,
+                time_serial: schedule::sorting_time(n, k, false),
+                time_pipelined: schedule::sorting_time(n, k, true),
+            }
+        })
+        .collect()
+}
+
+/// Renders a combinational-sorter sweep for the report.
+pub fn render_sorter_sweep(points: &[SorterPoint], formula_name: &str) -> String {
+    let mut t = Table::new(["n", "cost(built)", formula_name, "depth(built)", "depth(formula)"]);
+    for p in points {
+        t.row([
+            p.n.to_string(),
+            p.measured_cost.map_or("-".into(), group_digits),
+            group_digits(p.formula_cost),
+            p.measured_depth.map_or("-".into(), |d| d.to_string()),
+            p.formula_depth.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders a fish sweep for the report.
+pub fn render_fish_sweep(points: &[FishPoint]) -> String {
+    let mut t = Table::new([
+        "n",
+        "k",
+        "cost(exact)",
+        "cost(eq.17)",
+        "cost/n",
+        "T serial",
+        "T pipelined",
+    ]);
+    for p in points {
+        t.row([
+            p.n.to_string(),
+            p.k.to_string(),
+            group_digits(p.cost_exact),
+            group_digits(p.cost_paper),
+            format!("{:.1}", p.cost_per_input),
+            group_digits(p.time_serial),
+            group_digits(p.time_pipelined),
+        ]);
+    }
+    t.render()
+}
+
+/// Sweeps the nonadaptive bit-level Fig. 4(b) sorter (the E17 ablation's
+/// baseline).
+pub fn nonadaptive_sweep(max_exp: u32, build_cap_exp: u32) -> Vec<SorterPoint> {
+    use absort_core::nonadaptive;
+    (1..=max_exp)
+        .map(|a| {
+            let n = 1usize << a;
+            let (mc, md) = if a <= build_cap_exp {
+                let c = nonadaptive::build(n);
+                (Some(c.cost().total), Some(c.depth() as u64))
+            } else {
+                (None, None)
+            };
+            SorterPoint {
+                n,
+                measured_cost: mc,
+                measured_depth: md,
+                formula_cost: nonadaptive::cost_exact(n),
+                formula_depth: (a * (a + 1) / 2) as u64,
+            }
+        })
+        .collect()
+}
+
+/// Builds the three combinational-sorter sweeps concurrently with scoped
+/// threads (each sweep constructs `Θ(n lg n)`-component circuits, so the
+/// parallelism is worth having in the `repro` driver).
+pub fn all_sorter_sweeps_parallel(
+    max_exp: u32,
+    build_cap_exp: u32,
+) -> (Vec<SorterPoint>, Vec<SorterPoint>, Vec<SorterPoint>) {
+    let mut prefix_pts = Vec::new();
+    let mut mux_pts = Vec::new();
+    let mut na_pts = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let h1 = s.spawn(|_| prefix_sweep(max_exp, build_cap_exp));
+        let h2 = s.spawn(|_| muxmerge_sweep(max_exp, build_cap_exp));
+        let h3 = s.spawn(|_| nonadaptive_sweep(max_exp, build_cap_exp));
+        prefix_pts = h1.join().expect("prefix sweep panicked");
+        mux_pts = h2.join().expect("muxmerge sweep panicked");
+        na_pts = h3.join().expect("nonadaptive sweep panicked");
+    })
+    .expect("sweep worker panicked");
+    (prefix_pts, mux_pts, na_pts)
+}
+
+/// The four-way sorter comparison series (the headline figure): bit-level
+/// cost of Batcher, prefix, mux-merger, fish, and columnsort at each `n`.
+pub fn cost_comparison(exps: &[u32]) -> Table {
+    let mut t = Table::new([
+        "n",
+        "Batcher (n lg²n)",
+        "prefix (3n lg n)",
+        "mux-merger (4n lg n)",
+        "fish (O(n))",
+        "columnsort TM (O(n))",
+    ]);
+    for &a in exps {
+        let n = 1usize << a;
+        let f = absort_core::FishSorter::with_default_k(n);
+        let cs = ColumnsortModel {
+            g: Geometry::paper_params(n),
+        };
+        t.row([
+            format!("2^{a}"),
+            group_digits(batcher_bits::binary_cost(n)),
+            group_digits(prefix::paper_cost_dominant(n)),
+            group_digits(muxmerge::formulas::sorter_cost_exact(n)),
+            group_digits(fishf::total_cost_exact(n, f.k)),
+            group_digits(cs.cost()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sweep_measured_matches_formula_shape() {
+        for p in prefix_sweep(10, 10) {
+            let mc = p.measured_cost.unwrap();
+            // within ±12n of 3n lg n (the audited adder-tree slack)
+            assert!(
+                mc + 12 * p.n as u64 >= p.formula_cost && mc <= p.formula_cost + 12 * p.n as u64,
+                "n={}: measured {mc} vs formula {}",
+                p.n,
+                p.formula_cost
+            );
+            assert!(p.measured_depth.unwrap() <= p.formula_depth);
+        }
+    }
+
+    #[test]
+    fn muxmerge_sweep_exact_match() {
+        for p in muxmerge_sweep(10, 10) {
+            assert_eq!(p.measured_cost.unwrap(), p.formula_cost, "n={}", p.n);
+            assert_eq!(p.measured_depth.unwrap(), p.formula_depth, "n={}", p.n);
+        }
+    }
+
+    #[test]
+    fn fish_cost_per_input_is_bounded() {
+        for p in fish_sweep(&[10, 12, 14, 16, 18, 20]) {
+            assert!(
+                p.cost_per_input < 18.0,
+                "n={}: {} per input",
+                p.n,
+                p.cost_per_input
+            );
+        }
+    }
+
+    #[test]
+    fn fish_k_sweep_k_lg_n_is_near_optimal() {
+        // The paper minimises its cost *bound* (eq. 17) at k = lg n; the
+        // exact construction cost keeps improving slightly toward larger
+        // k (the n/k-sorter shrinks faster than the merger's k-terms
+        // grow), so the claim to verify is near-optimality: the k = lg n
+        // point must be within 30% of the sweep minimum, and the minimum
+        // itself stays Θ(n).
+        let n = 1usize << 16;
+        let pts = fish_k_sweep(n);
+        let best = pts.iter().map(|p| p.cost_exact).min().unwrap();
+        let at_lgn = pts.iter().find(|p| p.k == 16).unwrap().cost_exact;
+        assert!(
+            at_lgn as f64 <= best as f64 * 1.3,
+            "k=lg n cost {at_lgn} vs best {best}"
+        );
+        assert!(best >= 11 * n as u64, "minimum below the 11n merger floor");
+    }
+
+    #[test]
+    fn crossovers_in_comparison_series() {
+        // Figure-shape check: fish < prefix < mux-merger < Batcher at 2^16.
+        let n = 1usize << 16;
+        let f = absort_core::FishSorter::with_default_k(n);
+        let fish = fishf::total_cost_exact(n, f.k);
+        let pre = prefix::paper_cost_dominant(n);
+        let mux = muxmerge::formulas::sorter_cost_exact(n);
+        let bat = batcher_bits::binary_cost(n);
+        assert!(fish < pre && pre < mux && mux < bat);
+    }
+
+    #[test]
+    fn parallel_sweeps_match_serial() {
+        let (p, m, na) = all_sorter_sweeps_parallel(8, 6);
+        let ps = prefix_sweep(8, 6);
+        let ms = muxmerge_sweep(8, 6);
+        let nas = nonadaptive_sweep(8, 6);
+        for (a, b) in p.iter().zip(&ps) {
+            assert_eq!(a.measured_cost, b.measured_cost);
+            assert_eq!(a.formula_cost, b.formula_cost);
+        }
+        for (a, b) in m.iter().zip(&ms) {
+            assert_eq!(a.measured_cost, b.measured_cost);
+        }
+        for (a, b) in na.iter().zip(&nas) {
+            assert_eq!(a.measured_cost, b.measured_cost);
+        }
+    }
+
+    #[test]
+    fn nonadaptive_sweep_measured_matches_closed_form() {
+        for p in nonadaptive_sweep(9, 9) {
+            assert_eq!(p.measured_cost.unwrap(), p.formula_cost, "n={}", p.n);
+            assert_eq!(p.measured_depth.unwrap(), p.formula_depth, "n={}", p.n);
+        }
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let pts = prefix_sweep(6, 4);
+        let s = render_sorter_sweep(&pts, "3n lg n");
+        assert_eq!(s.lines().count(), 2 + pts.len());
+        let t = cost_comparison(&[8, 12, 16]);
+        assert_eq!(t.len(), 3);
+    }
+}

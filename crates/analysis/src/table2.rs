@@ -1,0 +1,191 @@
+//! Table II: complexities of permutation-network designs at bit level
+//! (experiment E12).
+//!
+//! The paper's Table II compares five designs. Where we *build* the
+//! design (the radix permuter over our sorters, Beneš, Batcher) the
+//! numeric columns are measured/exact; for the two cited designs
+//! (Jan–Oruç [11] and Koppelman–Oruç [13] / Douglass–Oruç [7]) the paper
+//! itself only quotes asymptotic formulas, so we evaluate those formulas
+//! (constants 1) and mark them as cited.
+
+use crate::table::{group_digits, Table};
+use absort_baselines::batcher_bits;
+use absort_core::sorter::SorterKind;
+use absort_networks::{benes, permuter::RadixPermuter};
+
+/// Provenance of a Table II row's numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Computed from a construction built in this repository.
+    Measured,
+    /// Evaluated from the complexity formula the paper cites (constant 1).
+    CitedFormula,
+}
+
+/// One design's numbers at a concrete `n`.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Design name as in Table II.
+    pub name: &'static str,
+    /// Asymptotic cost as printed in the paper.
+    pub cost_asymptotic: &'static str,
+    /// Asymptotic depth.
+    pub depth_asymptotic: &'static str,
+    /// Asymptotic permutation time.
+    pub time_asymptotic: &'static str,
+    /// Numeric bit-level cost at `n`.
+    pub cost: u64,
+    /// Numeric bit-level permutation time at `n`.
+    pub time: u64,
+    /// Where the numbers come from.
+    pub provenance: Provenance,
+}
+
+/// Generates Table II rows at input size `n = 2^a`.
+pub fn rows(n: usize) -> Vec<Row> {
+    assert!(n.is_power_of_two() && n >= 8);
+    let k = n.trailing_zeros() as u64;
+    let lglg = (64 - (k - 1).leading_zeros()) as u64;
+    let fish_rp = RadixPermuter::new(SorterKind::Fish { k: None }, n);
+    let mux_rp = RadixPermuter::new(SorterKind::MuxMerger, n);
+    vec![
+        Row {
+            name: "Benes [4] + routing [18]",
+            cost_asymptotic: "O(n lg^2 n)",
+            depth_asymptotic: "O(lg n)",
+            time_asymptotic: "O(lg^4 n / lg lg n)",
+            cost: benes::table2_cost(n),
+            time: benes::table2_time(n),
+            provenance: Provenance::Measured,
+        },
+        Row {
+            name: "Batcher [3]",
+            cost_asymptotic: "O(n lg^3 n)",
+            depth_asymptotic: "O(lg^3 n)",
+            time_asymptotic: "O(lg^3 n)",
+            cost: batcher_bits::permutation_cost(n),
+            time: batcher_bits::permutation_time(n),
+            provenance: Provenance::Measured,
+        },
+        Row {
+            name: "Koppelman-Oruc [13]",
+            cost_asymptotic: "O(n lg^3 n)",
+            depth_asymptotic: "O(lg^3 n)",
+            time_asymptotic: "O(lg^3 n)",
+            cost: n as u64 * k * k * k,
+            time: k * k * k,
+            provenance: Provenance::CitedFormula,
+        },
+        Row {
+            name: "Jan-Oruc radix permuter [11]",
+            cost_asymptotic: "O(n lg^2 n)",
+            depth_asymptotic: "O(lg^2 n lg lg n)",
+            time_asymptotic: "O(lg^2 n lg lg n)",
+            cost: n as u64 * k * k,
+            time: k * k * lglg,
+            provenance: Provenance::CitedFormula,
+        },
+        Row {
+            name: "This paper (fish sorters)",
+            cost_asymptotic: "O(n lg n)",
+            depth_asymptotic: "O(lg^3 n)",
+            time_asymptotic: "O(lg^3 n)",
+            cost: fish_rp.cost(),
+            time: fish_rp.time(),
+            provenance: Provenance::Measured,
+        },
+        Row {
+            name: "This paper (mux-merger sorters)",
+            cost_asymptotic: "O(n lg^2 n)",
+            depth_asymptotic: "O(lg^3 n)",
+            time_asymptotic: "O(lg^3 n)",
+            cost: mux_rp.cost(),
+            time: mux_rp.time(),
+            provenance: Provenance::Measured,
+        },
+    ]
+}
+
+/// Renders Table II at size `n`.
+pub fn render(n: usize) -> String {
+    let mut t = Table::new([
+        "construction".to_string(),
+        "cost".into(),
+        "depth".into(),
+        "perm. time".into(),
+        format!("cost @ n={n}"),
+        format!("time @ n={n}"),
+        "numbers".into(),
+    ]);
+    for r in rows(n) {
+        t.row([
+            r.name.to_string(),
+            r.cost_asymptotic.to_string(),
+            r.depth_asymptotic.to_string(),
+            r.time_asymptotic.to_string(),
+            group_digits(r.cost),
+            group_digits(r.time),
+            match r.provenance {
+                Provenance::Measured => "measured".to_string(),
+                Provenance::CitedFormula => "cited formula".to_string(),
+            },
+        ]);
+    }
+    t.render()
+}
+
+/// The paper's takeaway claims about Table II, checked numerically:
+/// the fish-based permuter has the smallest cost growth; its time matches
+/// the Batcher/Koppelman rows and is slightly above Jan–Oruç.
+pub fn verify_claims(n: usize) -> Result<(), String> {
+    let rows = rows(n);
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.name.starts_with(name))
+            .unwrap_or_else(|| panic!("row {name}"))
+    };
+    let ours = get("This paper (fish");
+    // Smallest cost *order*: compare the growth ratio against n lg n.
+    let k = n.trailing_zeros() as f64;
+    let ours_norm = ours.cost as f64 / (n as f64 * k);
+    for other in ["Benes", "Batcher", "Koppelman", "Jan-Oruc"] {
+        let o = get(other);
+        let o_norm = o.cost as f64 / (n as f64 * k);
+        if o_norm <= ours_norm {
+            // allowed only if the other's *asymptotic* order is higher but
+            // constants favour it at this n — flag if it happens at large n
+            return Err(format!(
+                "at n={n}, {other} normalized cost {o_norm:.1} <= ours {ours_norm:.1}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fish_permuter_has_lowest_cost_at_2_16_and_up() {
+        for a in [16u32, 18, 20] {
+            verify_claims(1usize << a).expect("Table II claim");
+        }
+    }
+
+    #[test]
+    fn table_renders_all_six_rows() {
+        let s = render(1 << 10);
+        assert_eq!(s.lines().count(), 2 + 6, "{s}");
+        assert!(s.contains("This paper (fish sorters)"));
+    }
+
+    #[test]
+    fn jan_oruc_time_is_below_ours() {
+        // "slightly higher than the depth and permutation time of [11]".
+        let rows = rows(1 << 16);
+        let ours = rows.iter().find(|r| r.name.contains("fish")).unwrap().time;
+        let jan = rows.iter().find(|r| r.name.contains("Jan")).unwrap().time;
+        assert!(jan < ours);
+    }
+}

@@ -1,0 +1,135 @@
+//! Analytic model of the AKS sorting network [1] (and Paterson's
+//! improvement [20]).
+//!
+//! The AKS network achieves `O(lg n)` depth and `O(n lg n)` cost, but
+//! "the constants hidden in these complexities are so large" (paper,
+//! abstract) that the adaptive constructions win "until n becomes
+//! extremely large". A gate-faithful AKS construction is out of scope —
+//! the paper itself never builds one; it argues purely from the constants
+//! — so this module models AKS as
+//!
+//! * depth `= c_depth · lg n` comparator levels,
+//! * cost `= (n/2) · c_depth · lg n` comparators (each level holds at
+//!   most `n/2` disjoint comparators),
+//!
+//! with `c_depth` parameterized. The presets carry the constants used in
+//! the literature: Paterson's construction needs about 6,100 lg n levels,
+//! and estimates for the original AKS run to order 2^30·lg n (see
+//! Paterson, *Improved sorting networks with O(log N) depth*,
+//! Algorithmica 5, 1990). Experiment E15 reproduces the crossover claim
+//! with these constants, and DESIGN.md §6 records the substitution.
+
+/// An analytic comparator-network cost model: `depth = c·lg n`,
+/// `cost = (n/2)·c·lg n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AksModel {
+    /// Depth constant `c` in `depth = c · lg n`.
+    pub depth_constant: f64,
+    /// Human-readable provenance of the constant.
+    pub label: &'static str,
+}
+
+/// Paterson's improved construction: ~6,100 lg n depth.
+pub const PATERSON: AksModel = AksModel {
+    depth_constant: 6100.0,
+    label: "Paterson 1990 (~6100 lg n)",
+};
+
+/// The original AKS construction; constants estimated at order 2^30.
+pub const AKS_ORIGINAL: AksModel = AksModel {
+    depth_constant: 1.1e9,
+    label: "AKS 1983 (order 2^30 lg n)",
+};
+
+/// An (unrealistically generous) hypothetical with constant 100, to show
+/// the crossover is robust even to large improvements.
+pub const HYPOTHETICAL_100: AksModel = AksModel {
+    depth_constant: 100.0,
+    label: "hypothetical (100 lg n)",
+};
+
+impl AksModel {
+    /// Bit-level depth at input size `n = 2^a` (crossovers live far beyond
+    /// any machine word, so sizes are handled as exponents).
+    pub fn depth_at_exp(&self, a: u32) -> f64 {
+        self.depth_constant * a as f64
+    }
+
+    /// Bit-level cost *per input* at `n = 2^a`: `cost/n = (c·lg n)/2`
+    /// (each comparator level holds at most n/2 comparators). Comparing
+    /// per-input costs avoids overflowing 2^a while preserving every
+    /// crossover.
+    pub fn cost_per_input_at_exp(&self, a: u32) -> f64 {
+        self.depth_constant * a as f64 / 2.0
+    }
+
+    /// The smallest exponent `a` (with `n = 2^a`) at which this model's
+    /// **depth** beats `rival_depth(a)`, searching up to `max_exp`.
+    /// Returns `None` if the rival wins everywhere in range.
+    pub fn depth_crossover_exp(
+        &self,
+        rival_depth: impl Fn(u32) -> f64,
+        max_exp: u32,
+    ) -> Option<u32> {
+        (1..=max_exp).find(|&a| self.depth_at_exp(a) < rival_depth(a))
+    }
+
+    /// Like [`AksModel::depth_crossover_exp`] but comparing **cost per
+    /// input** (equivalently total cost, since both sides share the
+    /// factor `n`).
+    pub fn cost_crossover_exp(
+        &self,
+        rival_cost_per_input: impl Fn(u32) -> f64,
+        max_exp: u32,
+    ) -> Option<u32> {
+        (1..=max_exp).find(|&a| self.cost_per_input_at_exp(a) < rival_cost_per_input(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_crossover_vs_adaptive_lg2_is_astronomical() {
+        // Adaptive sorters: depth ≈ 2 lg² n. AKS wins on depth only when
+        // c·lg n < 2 lg² n, i.e. lg n > c/2.
+        let rival = |a: u32| 2.0 * (a as f64) * (a as f64);
+        let x = PATERSON.depth_crossover_exp(rival, 4000).unwrap();
+        assert!(
+            x > 3000,
+            "Paterson-AKS should need n > 2^3000 to win on depth, got 2^{x}"
+        );
+        assert!(
+            AKS_ORIGINAL.depth_crossover_exp(rival, 100_000).is_none(),
+            "original AKS must not win below 2^100000"
+        );
+    }
+
+    #[test]
+    fn cost_crossover_vs_fish_never_happens() {
+        // Fish sorter cost ≈ 17n, i.e. 17 per input; AKS cost per input is
+        // Ω(lg n) — AKS never wins on cost, at any size.
+        let rival = |_a: u32| 17.0;
+        assert!(PATERSON.cost_crossover_exp(rival, 100_000).is_none());
+    }
+
+    #[test]
+    fn cost_crossover_vs_batcher_exists_but_large() {
+        // Batcher binary cost per input ≈ lg² n / 4: AKS per-input cost
+        // (c/2) lg n beats it once lg n > 2c.
+        let rival = |a: u32| (a as f64) * (a as f64) / 4.0;
+        let x = HYPOTHETICAL_100.cost_crossover_exp(rival, 500).unwrap();
+        assert!(x > 150 && x <= 250, "crossover at 2^{x}");
+    }
+
+    #[test]
+    fn model_formulas() {
+        let m = AksModel {
+            depth_constant: 10.0,
+            label: "test",
+        };
+        assert_eq!(m.depth_at_exp(8), 80.0);
+        assert_eq!(m.cost_per_input_at_exp(8), 40.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Batcher's networks at bit level.
+//!
+//! On binary inputs a comparator is a single unit-cost cell (an AND/OR
+//! pair of constant-fanin gates, exactly the `BitCompare` primitive of
+//! `absort-circuit`), so Batcher's n-input binary sorter has bit-level
+//! cost equal to its comparator count `Θ(n lg² n)` and bit-level depth
+//! `lg n (lg n + 1)/2`. These are the numbers the paper's Section I
+//! compares its `O(n lg n)`- and `O(n)`-cost adaptive sorters against,
+//! and the sub-sorters of the columnsort network model.
+//!
+//! For *word-level* permutation switching (Table II), each comparator
+//! must compare `lg n`-bit addresses serially or in parallel, giving
+//! `O(n lg³ n)` bit-level cost — computed here as well.
+
+use absort_cmpnet::batcher::{batcher_depth, oem_sort_cost};
+use absort_cmpnet::{batcher, Network};
+use absort_core::packet::{self, Keyed};
+
+/// The two Batcher constructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatcherKind {
+    /// Odd-even merge sort.
+    OddEvenMerge,
+    /// Bitonic sort.
+    Bitonic,
+}
+
+/// An n-input Batcher network with bit-level accounting.
+#[derive(Debug, Clone)]
+pub struct BatcherBinary {
+    kind: BatcherKind,
+    net: Network,
+}
+
+impl BatcherBinary {
+    /// Builds the n-input network (`n = 2^k`).
+    pub fn new(kind: BatcherKind, n: usize) -> Self {
+        let net = match kind {
+            BatcherKind::OddEvenMerge => batcher::odd_even_merge_sort(n),
+            BatcherKind::Bitonic => batcher::bitonic_sort(n),
+        };
+        BatcherBinary { kind, net }
+    }
+
+    /// The construction variant.
+    pub fn kind(&self) -> BatcherKind {
+        self.kind
+    }
+
+    /// The underlying comparator network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Bit-level cost (unit-cost binary comparators).
+    pub fn cost(&self) -> u64 {
+        self.net.cost()
+    }
+
+    /// Bit-level depth.
+    pub fn depth(&self) -> u64 {
+        self.net.depth() as u64
+    }
+
+    /// Sorts keyed packets by walking the comparator stages (payloads
+    /// travel with keys; ties never move, as in hardware).
+    pub fn sort<P: Keyed>(&self, items: &[P]) -> Vec<P> {
+        use absort_cmpnet::Stage;
+        let mut data = items.to_vec();
+        for stage in self.net.stages() {
+            match stage {
+                Stage::Compare(pairs) => {
+                    for &(i, j) in pairs {
+                        let (i, j) = (i as usize, j as usize);
+                        let (lo, hi) =
+                            packet::compare_exchange(data[i].clone(), data[j].clone());
+                        data[i] = lo;
+                        data[j] = hi;
+                    }
+                }
+                Stage::Permute(perm) => {
+                    let old = data.clone();
+                    for (k, &p) in perm.iter().enumerate() {
+                        data[k] = old[p as usize].clone();
+                    }
+                }
+            }
+        }
+        data
+    }
+}
+
+/// Closed-form bit-level cost of Batcher's odd-even binary sorter.
+pub fn binary_cost(n: usize) -> u64 {
+    oem_sort_cost(n)
+}
+
+/// Closed-form bit-level depth of Batcher's networks.
+pub fn binary_depth(n: usize) -> u64 {
+    batcher_depth(n)
+}
+
+/// Bit-level cost of Batcher's network used as a *word-level* permutation
+/// switch on `lg n`-bit destination addresses: each comparator becomes a
+/// `Θ(lg n)`-gate address comparator, giving `Θ(n lg³ n)` (the Table II
+/// row for Batcher [3]).
+pub fn permutation_cost(n: usize) -> u64 {
+    oem_sort_cost(n) * n.trailing_zeros() as u64
+}
+
+/// Bit-level permutation time for the same use: depth × per-comparator
+/// `Θ(lg n)` bit delay, `Θ(lg³ n)`.
+pub fn permutation_time(n: usize) -> u64 {
+    batcher_depth(n) * n.trailing_zeros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absort_core::lang::{all_sequences, sorted_oracle};
+    use absort_core::packet::tag_indices;
+    use rand::prelude::*;
+
+    #[test]
+    fn both_kinds_sort_bits_exhaustively_n16() {
+        for kind in [BatcherKind::OddEvenMerge, BatcherKind::Bitonic] {
+            let b = BatcherBinary::new(kind, 16);
+            for s in all_sequences(16) {
+                assert_eq!(b.sort(&s), sorted_oracle(&s), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packets_travel() {
+        let b = BatcherBinary::new(BatcherKind::OddEvenMerge, 64);
+        let mut rng = StdRng::seed_from_u64(3);
+        let bits: Vec<bool> = (0..64).map(|_| rng.gen()).collect();
+        let out = b.sort(&tag_indices(&bits));
+        let mut ids: Vec<usize> = out.iter().map(|p| p.1).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..64).collect::<Vec<_>>());
+        for &(key, id) in &out {
+            assert_eq!(key, bits[id]);
+        }
+    }
+
+    #[test]
+    fn cost_formulas_consistent() {
+        for k in 1..=8u32 {
+            let n = 1usize << k;
+            let b = BatcherBinary::new(BatcherKind::OddEvenMerge, n);
+            assert_eq!(b.cost(), binary_cost(n));
+            assert_eq!(b.depth(), binary_depth(n));
+            assert_eq!(permutation_cost(n), binary_cost(n) * k as u64);
+        }
+    }
+
+    #[test]
+    fn adaptive_sorters_beat_batcher_binary_cost() {
+        // The paper's headline: O(n lg n) and O(n) vs Batcher's O(n lg² n).
+        use absort_core::sorter::SorterKind;
+        let n = 1usize << 20;
+        let batcher = binary_cost(n);
+        assert!(SorterKind::Prefix.cost(n) < batcher);
+        assert!(SorterKind::MuxMerger.cost(n) < batcher);
+        // fish is Θ(n) vs Θ(n lg² n): a widening factor, ~5× at n = 2^20
+        assert!(SorterKind::Fish { k: None }.cost(n) < batcher / 4);
+    }
+}

@@ -1,0 +1,300 @@
+//! Leighton's columnsort [14]: the full eight-step algorithm and the
+//! time-multiplexed network version the paper compares the fish sorter
+//! against (Section III.C).
+//!
+//! Columnsort arranges `n = r·s` items in an `r × s` matrix (column-major,
+//! `r` divisible by `s`, `r ≥ 2(s−1)²`) and sorts in eight steps: four
+//! column-sorting steps interleaved with transpose / untranspose /
+//! shift / unshift data rearrangements. The result is sorted in
+//! column-major order.
+//!
+//! The network version time-multiplexes the column sorts through
+//! `r`-input Batcher sorters. With `r = n/lg² n`, `s = lg² n` its
+//! bit-level cost is `O(n)` — matching the fish sorter — but its four
+//! sorting passes must each be pipelined *separately* (four pipelined
+//! sorters), whereas the fish sorter pipelines a single `n/lg n`-input
+//! sorter; and without pipelining its sorting time is `O(lg⁴ n)` against
+//! the fish sorter's `O(lg³ n)`.
+
+use crate::batcher_bits;
+
+/// A value extended with ±∞ sentinels for the shift steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Item<T: Ord> {
+    NegInf,
+    Val(T),
+    PosInf,
+}
+
+/// Columnsort matrix geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Rows per column.
+    pub r: usize,
+    /// Number of columns.
+    pub s: usize,
+}
+
+impl Geometry {
+    /// Validates Leighton's conditions: `r` divisible by `s` and
+    /// `r ≥ 2(s−1)²`.
+    pub fn new(r: usize, s: usize) -> Self {
+        assert!(r >= 1 && s >= 1);
+        assert!(r % s == 0, "columnsort needs s | r (r={r}, s={s})");
+        assert!(
+            r >= 2 * (s - 1) * (s - 1),
+            "columnsort needs r >= 2(s-1)^2 (r={r}, s={s})"
+        );
+        Geometry { r, s }
+    }
+
+    /// Total size `n = r·s`.
+    pub fn n(&self) -> usize {
+        self.r * self.s
+    }
+
+    /// The paper's network parameters: `r = n/lg² n`, `s = lg² n`
+    /// (rounded to powers of two).
+    ///
+    /// **Model-only at practical sizes:** Leighton's sortability condition
+    /// `r ≥ 2(s−1)²` holds for these parameters only once
+    /// `n ≳ 2 lg⁶ n` (n beyond ~2^36); below that the geometry is used
+    /// purely as the paper does — to account cost and time of the network
+    /// version. [`columnsort`] itself always validates via
+    /// [`Geometry::new`].
+    pub fn paper_params(n: usize) -> Self {
+        assert!(n.is_power_of_two());
+        let lg = n.trailing_zeros() as usize;
+        // Clamp s to √n so r ≥ s (at small n, lg² n would exceed √n and
+        // the geometry degenerates; asymptotically the clamp is inactive).
+        let s = (lg * lg).next_power_of_two().min(1usize << (lg / 2));
+        let r = n / s;
+        Geometry { r, s }
+    }
+}
+
+fn sort_columns<T: Ord>(data: &mut [T], r: usize) {
+    for col in data.chunks_mut(r) {
+        col.sort_unstable();
+    }
+}
+
+/// Step 2 — transpose: read the matrix in column-major order, write it
+/// back in row-major order (matrix stays `r × s`, column-major storage).
+fn transpose<T: Clone>(data: &[T], g: Geometry) -> Vec<T> {
+    let mut out = data.to_vec();
+    for (idx, v) in data.iter().enumerate() {
+        let row = idx / g.s;
+        let col = idx % g.s;
+        out[col * g.r + row] = v.clone();
+    }
+    out
+}
+
+/// Step 4 — untranspose: the inverse of [`transpose`].
+#[allow(clippy::needless_range_loop)] // idx is decomposed into (row, col)
+fn untranspose<T: Clone>(data: &[T], g: Geometry) -> Vec<T> {
+    let mut out = data.to_vec();
+    for idx in 0..data.len() {
+        let row = idx / g.s;
+        let col = idx % g.s;
+        out[idx] = data[col * g.r + row].clone();
+    }
+    out
+}
+
+/// Steps 6–8 — shift each column down by `⌊r/2⌋` into an `(s+1)`-column
+/// matrix padded with −∞ / +∞, sort the columns, and unshift.
+fn shift_sort_unshift<T: Ord + Clone>(data: &[T], g: Geometry) -> Vec<T> {
+    let (r, s) = (g.r, g.s);
+    let h = r / 2;
+    // The shifted matrix is r × (s+1): ⌊r/2⌋ −∞ sentinels, the data in
+    // column-major order shifted down by h, and r−h +∞ sentinels at the
+    // end (total r(s+1) entries).
+    let mut wide: Vec<Item<T>> = Vec::with_capacity(r * (s + 1));
+    wide.extend(std::iter::repeat_n(Item::NegInf, h));
+    wide.extend(data.iter().cloned().map(Item::Val));
+    wide.extend(std::iter::repeat_n(Item::PosInf, r - h));
+    debug_assert_eq!(wide.len(), r * (s + 1));
+
+    sort_columns(&mut wide, r);
+
+    // unshift: drop the sentinels, reading the same positions back
+    let mut out = Vec::with_capacity(r * s);
+    for v in wide.into_iter() {
+        if let Item::Val(x) = v {
+            out.push(x);
+        }
+    }
+    debug_assert_eq!(out.len(), r * s);
+    out
+}
+
+/// Sorts `data` (length `r·s`, column-major `r × s`) with the eight-step
+/// columnsort algorithm; the output is sorted in column-major order
+/// (equivalently: fully ascending, since column-major order is the final
+/// total order).
+///
+/// ```
+/// use absort_baselines::columnsort::{columnsort, Geometry};
+///
+/// let g = Geometry::new(4, 2); // r = 4 rows, s = 2 columns
+/// let sorted = columnsort(&[7, 3, 5, 1, 8, 2, 6, 4], g);
+/// assert_eq!(sorted, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+/// ```
+pub fn columnsort<T: Ord + Clone>(data: &[T], g: Geometry) -> Vec<T> {
+    assert_eq!(data.len(), g.n(), "data length != r·s");
+    let mut m = data.to_vec();
+    sort_columns(&mut m, g.r); // step 1
+    m = transpose(&m, g); // step 2
+    sort_columns(&mut m, g.r); // step 3
+    m = untranspose(&m, g); // step 4
+    sort_columns(&mut m, g.r); // step 5
+    shift_sort_unshift(&m, g) // steps 6–8
+}
+
+/// Cost/time model of the **time-multiplexed columnsort network**: the
+/// column sorts run through a single shared `r`-input Batcher binary
+/// sorter behind an `(n, r)`-multiplexer / `(r, n)`-demultiplexer pair
+/// (the paper notes this dispatch hardware is "comparable to the cost of
+/// the (n,k)-multiplexer and (k,n)-demultiplexer used in our fish binary
+/// sorter").
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnsortModel {
+    /// Geometry (use [`Geometry::paper_params`] for the paper's choice).
+    pub g: Geometry,
+}
+
+impl ColumnsortModel {
+    /// Bit-level cost: one `r`-input Batcher binary sorter + mux/demux
+    /// dispatch (`2(n − r)`).
+    pub fn cost(&self) -> u64 {
+        let n = self.g.n();
+        batcher_bits::binary_cost(self.g.r) + 2 * (n as u64 - self.g.r as u64)
+    }
+
+    /// Bit-level cost of the *unmultiplexed* binary columnsort network
+    /// (`s` separate Batcher sorters per pass): `Θ(n lg² n)` at the
+    /// paper's parameters — the Section III.C remark.
+    pub fn unmultiplexed_cost(&self) -> u64 {
+        4 * self.g.s as u64 * batcher_bits::binary_cost(self.g.r)
+    }
+
+    /// Sorting time in cycles. Four sorting passes, each pushing `s`
+    /// columns through the sorter; the three rearrangement steps are
+    /// wiring (one register cycle each). `pipelined` requires all four
+    /// passes' sorters to accept one column per cycle — the "separately
+    /// pipelined" burden the paper contrasts with the fish sorter.
+    pub fn time(&self, pipelined: bool) -> u64 {
+        let d = batcher_bits::binary_depth(self.g.r);
+        let s = self.g.s as u64;
+        let pass = if pipelined { d + s - 1 } else { s * d };
+        4 * pass + 3
+    }
+
+    /// Number of sorter datapaths that must be *separately pipelined* to
+    /// reach the pipelined time: four for columnsort, one for the fish
+    /// sorter (Section III.C).
+    pub fn pipelines_required(&self) -> u64 {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absort_core::lang::{all_sequences, sorted_oracle};
+    use rand::prelude::*;
+
+    #[test]
+    fn sorts_binary_exhaustively_8() {
+        // r=4, s=2: r % s == 0, r ≥ 2(s−1)² = 2.
+        let g = Geometry::new(4, 2);
+        for s in all_sequences(8) {
+            assert_eq!(columnsort(&s, g), sorted_oracle(&s));
+        }
+    }
+
+    #[test]
+    fn sorts_binary_exhaustively_16() {
+        let g = Geometry::new(8, 2);
+        for s in all_sequences(16) {
+            assert_eq!(columnsort(&s, g), sorted_oracle(&s));
+        }
+    }
+
+    #[test]
+    fn sorts_random_words_various_geometries() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for (r, s) in [(4usize, 2usize), (9, 3), (20, 4), (64, 4), (50, 5)] {
+            let g = Geometry::new(r, s);
+            for _ in 0..20 {
+                let data: Vec<i32> = (0..g.n()).map(|_| rng.gen_range(-100..100)).collect();
+                let mut expect = data.clone();
+                expect.sort_unstable();
+                assert_eq!(columnsort(&data, g), expect, "r={r} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_are_preserved() {
+        let g = Geometry::new(9, 3);
+        let data: Vec<u8> = (0..27).map(|i| (i % 4) as u8).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        assert_eq!(columnsort(&data, g), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "r >= 2(s-1)^2")]
+    fn leighton_condition_enforced() {
+        let _ = Geometry::new(6, 3); // 6 < 2·4
+    }
+
+    #[test]
+    fn paper_params_are_valid_and_linear_cost() {
+        for a in [16usize, 20] {
+            let n = 1usize << a;
+            let g = Geometry::paper_params(n);
+            assert_eq!(g.n(), n);
+            let model = ColumnsortModel { g };
+            // O(n) cost: within a small constant of n.
+            assert!(model.cost() < 3 * n as u64, "n=2^{a}: cost {}", model.cost());
+            // unmultiplexed version is Θ(n lg² n)-ish: much larger.
+            assert!(model.unmultiplexed_cost() > 10 * model.cost());
+        }
+    }
+
+    #[test]
+    fn fish_beats_columnsort_time_unpipelined() {
+        // O(lg³ n) vs O(lg⁴ n): the gap must grow with n.
+        use absort_core::fish::schedule;
+        let mut prev_ratio = 0.0f64;
+        for a in [16usize, 20, 24] {
+            let n = 1usize << a;
+            let cs = ColumnsortModel {
+                g: Geometry::paper_params(n),
+            }
+            .time(false) as f64;
+            let fish = schedule::sorting_time(n, (a).next_power_of_two(), false) as f64;
+            let ratio = cs / fish;
+            assert!(ratio > prev_ratio * 0.9, "a={a}: ratio {ratio}");
+            prev_ratio = ratio;
+        }
+        assert!(prev_ratio > 1.0, "columnsort should be slower unpipelined");
+    }
+
+    #[test]
+    fn pipelined_times_are_both_lg2_scale() {
+        for a in [16usize, 20] {
+            let n = 1usize << a;
+            let model = ColumnsortModel {
+                g: Geometry::paper_params(n),
+            };
+            let t = model.time(true) as f64;
+            let lg2 = (a * a) as f64;
+            assert!(t / lg2 < 40.0, "a={a}: pipelined time {t} not O(lg² n) scale");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # absort-baselines — the networks the paper measures against
+//!
+//! * [`batcher_bits`] — Batcher's odd-even merge / bitonic networks viewed
+//!   at bit level (binary comparators of unit cost), the classical
+//!   nonadaptive baseline whose `O(n lg² n)` binary cost the adaptive
+//!   sorters beat;
+//! * [`columnsort`] — Leighton's columnsort: the full eight-step algorithm
+//!   (functional, arbitrary `Ord` data) plus the time-multiplexed network
+//!   version's cost/time model, the only other known `O(n)`-cost binary
+//!   sorting scheme (Section III.C's comparison);
+//! * [`lower`] — lowering of word-level comparator networks onto the
+//!   bit-level substrate (shared accounting/tooling with the adaptive
+//!   sorters);
+//! * [`aks`] — an analytic cost/depth model of the AKS sorting network
+//!   with parameterized constants (a faithful construction is neither
+//!   feasible nor needed: the paper uses only its asymptotics and "large
+//!   constants" for the crossover argument, reproduced in experiment E15).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aks;
+pub mod lower;
+pub mod batcher_bits;
+pub mod columnsort;

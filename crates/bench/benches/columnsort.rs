@@ -1,0 +1,55 @@
+//! E13: the fish sorter vs Leighton's columnsort — wall-clock of the two
+//! O(n)-cost schemes' functional datapaths, plus the pure algorithm on
+//! word data.
+
+use absort_baselines::columnsort::{columnsort, Geometry};
+use absort_bench::{bench_bits, BENCH_SIZES};
+use absort_core::fish::FishSorter;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn valid_geometry(n: usize) -> Geometry {
+    // largest s with r = n/s, s | r and r >= 2(s-1)^2
+    let mut best = Geometry::new(n, 1);
+    let mut s = 1usize;
+    while s * s <= n {
+        if n % s == 0 {
+            let r = n / s;
+            if r % s == 0 && r >= 2 * (s - 1) * (s - 1) {
+                best = Geometry::new(r, s);
+            }
+        }
+        s *= 2;
+    }
+    best
+}
+
+fn bench_columnsort_vs_fish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("columnsort_vs_fish");
+    for &n in &BENCH_SIZES {
+        g.throughput(Throughput::Elements(n as u64));
+        let bits = bench_bits(n, 21);
+        let geom = valid_geometry(n);
+        g.bench_with_input(
+            BenchmarkId::new(format!("columnsort_r{}s{}", geom.r, geom.s), n),
+            &n,
+            |b, _| b.iter(|| columnsort(&bits, geom)),
+        );
+        let fish = FishSorter::with_default_k(n);
+        g.bench_with_input(BenchmarkId::new("fish_sort", n), &n, |b, _| {
+            b.iter(|| fish.sort(&bits))
+        });
+        // word data through columnsort (the algorithm is general)
+        let words: Vec<u64> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as u64) ^ (u64::from(b) << 40))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("columnsort_words", n), &n, |b, _| {
+            b.iter(|| columnsort(&words, geom))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_columnsort_vs_fish);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Substrate throughput: scalar vs 64-lane bit-parallel vs
+//! crossbeam-parallel batch evaluation of the constructed sorter
+//! circuits — the engines behind the exhaustive verifiers.
+
+use absort_bench::bench_bits;
+use absort_circuit::Evaluator;
+use absort_core::muxmerge;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_eval_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval_engines");
+    let n = 1024usize;
+    let circuit = muxmerge::build(n);
+    let vectors: Vec<Vec<bool>> = (0..256).map(|s| bench_bits(n, s as u64)).collect();
+
+    // scalar: one vector at a time (256 passes)
+    g.throughput(Throughput::Elements((vectors.len() * n) as u64));
+    g.bench_function(BenchmarkId::new("scalar_256_vectors", n), |b| {
+        b.iter(|| {
+            let mut ev: Evaluator<'_, bool> = Evaluator::new(&circuit);
+            let mut acc = 0usize;
+            for v in &vectors {
+                let mut out = vec![false; n];
+                ev.run_into(v, &mut out);
+                acc += out[0] as usize;
+            }
+            acc
+        })
+    });
+
+    // 64-lane packed (4 passes)
+    g.bench_function(BenchmarkId::new("lanes64_256_vectors", n), |b| {
+        b.iter(|| circuit.eval_batch_parallel(&vectors, 1))
+    });
+
+    // parallel batch across threads
+    for threads in [2usize, 4, 8] {
+        g.bench_function(
+            BenchmarkId::new(format!("parallel_{threads}t_256_vectors"), n),
+            |b| b.iter(|| circuit.eval_batch_parallel(&vectors, threads)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_pipelined_streaming(c: &mut Criterion) {
+    use absort_circuit::pipeline::Pipelined;
+    let mut g = c.benchmark_group("pipelined_streaming");
+    let n = 256usize;
+    let circuit = muxmerge::build(n);
+    let pipe = Pipelined::new(&circuit);
+    let groups: Vec<Vec<bool>> = (0..32).map(|s| bench_bits(n, 1000 + s as u64)).collect();
+    g.throughput(Throughput::Elements((groups.len() * n) as u64));
+    g.bench_function(BenchmarkId::new("gate_level_pipeline_32_groups", n), |b| {
+        b.iter(|| pipe.simulate(&groups))
+    });
+    g.bench_function(BenchmarkId::new("combinational_32_groups", n), |b| {
+        b.iter(|| {
+            let mut ev: Evaluator<'_, bool> = Evaluator::new(&circuit);
+            let mut out = vec![false; n];
+            for v in &groups {
+                ev.run_into(v, &mut out);
+            }
+            out[0]
+        })
+    });
+    g.finish();
+}
+
+fn bench_build_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("circuit_construction");
+    for k in [8u32, 10, 12] {
+        let n = 1usize << k;
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("muxmerge_build", n), &n, |b, &n| {
+            b.iter(|| muxmerge::build(n))
+        });
+        let circuit = muxmerge::build(n);
+        g.bench_with_input(BenchmarkId::new("depth_analysis", n), &n, |b, _| {
+            b.iter(|| circuit.depth())
+        });
+        g.bench_with_input(BenchmarkId::new("cost_analysis", n), &n, |b, _| {
+            b.iter(|| circuit.cost())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_eval_engines,
+    bench_pipelined_streaming,
+    bench_build_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Wall-clock benches for the Section IV networks (experiments E11, E12,
+//! E14): radix-permuter routing per sorter, Beneš looping, and
+//! concentration.
+
+use absort_bench::{bench_bits, bench_perm, BENCH_SIZES};
+use absort_core::sorter::SorterKind;
+use absort_networks::{benes, concentrator::Concentrator, permuter::RadixPermuter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Fig. 10 / E11 + Table II / E12: permutation routing throughput.
+fn bench_fig10_permuters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_permutation_routing");
+    for &n in &BENCH_SIZES {
+        g.throughput(Throughput::Elements(n as u64));
+        let perm = bench_perm(n, 7);
+        let packets: Vec<(usize, u32)> = perm
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i as u32))
+            .collect();
+        for kind in [
+            SorterKind::Fish { k: None },
+            SorterKind::MuxMerger,
+            SorterKind::Prefix,
+        ] {
+            let rp = RadixPermuter::new(kind, n);
+            g.bench_with_input(
+                BenchmarkId::new(format!("radix_{}", kind.name()), n),
+                &n,
+                |b, _| b.iter(|| rp.route(&packets).unwrap()),
+            );
+        }
+        let payload: Vec<u32> = (0..n as u32).collect();
+        g.bench_with_input(BenchmarkId::new("benes_route_apply", n), &n, |b, _| {
+            b.iter(|| benes::permute(&perm, &payload).unwrap())
+        });
+        let routing = benes::route(&perm).unwrap();
+        g.bench_with_input(BenchmarkId::new("benes_apply_only", n), &n, |b, _| {
+            b.iter(|| benes::apply(&routing, &payload))
+        });
+    }
+    g.finish();
+}
+
+/// E14: concentration throughput per sorter kind at half load.
+fn bench_concentrators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("concentrators");
+    for &n in &BENCH_SIZES {
+        g.throughput(Throughput::Elements(n as u64));
+        let mask = bench_bits(n, 9);
+        let requests: Vec<Option<u32>> = mask
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b.then_some(i as u32))
+            .collect();
+        for kind in [
+            SorterKind::Fish { k: None },
+            SorterKind::MuxMerger,
+            SorterKind::Prefix,
+        ] {
+            let conc = Concentrator::new(kind, n, n);
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &n,
+                |b, _| b.iter(|| conc.concentrate(&requests).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// E12 support: the cost of *computing* a Beneš routing (the set-up cost
+/// Table II charges the Beneš row for).
+fn bench_benes_setup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("benes_setup");
+    for &n in &BENCH_SIZES {
+        g.throughput(Throughput::Elements(n as u64));
+        let perm = bench_perm(n, 13);
+        g.bench_with_input(BenchmarkId::new("looping_route", n), &n, |b, _| {
+            b.iter(|| benes::route(&perm).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// EXT1: word sorting throughput (w stable binary passes + permuter).
+fn bench_word_sorter(c: &mut Criterion) {
+    use absort_networks::word_sorter::WordSorter;
+    let mut g = c.benchmark_group("word_sorter");
+    for &n in &BENCH_SIZES {
+        g.throughput(Throughput::Elements(n as u64));
+        let items: Vec<(u64, u32)> = bench_perm(n, 17)
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| ((v as u64) & 0xFFFF, i as u32))
+            .collect();
+        for (kind, label) in [
+            (SorterKind::Fish { k: None }, "fish"),
+            (SorterKind::MuxMerger, "muxmerge"),
+        ] {
+            let ws = WordSorter::new(kind, n, 16);
+            g.bench_with_input(BenchmarkId::new(format!("w16_{label}"), n), &n, |b, _| {
+                b.iter(|| ws.sort(&items).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Sparse routing (concentrate + permute) at half load.
+fn bench_sparse_router(c: &mut Criterion) {
+    use absort_networks::sparse_router::SparseRouter;
+    let mut g = c.benchmark_group("sparse_router");
+    for &n in &BENCH_SIZES {
+        g.throughput(Throughput::Elements(n as u64));
+        let mask = bench_bits(n, 23);
+        let dests = bench_perm(n, 29);
+        let inputs: Vec<Option<(usize, u64)>> = (0..n)
+            .map(|i| mask[i].then_some((dests[i], i as u64)))
+            .collect();
+        let router = SparseRouter::new(SorterKind::Fish { k: None }, n);
+        g.bench_with_input(BenchmarkId::new("fish_half_load", n), &n, |b, _| {
+            b.iter(|| router.route(&inputs).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig10_permuters,
+    bench_concentrators,
+    bench_benes_setup,
+    bench_word_sorter,
+    bench_sparse_router
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Wall-clock benches for the sorting networks (experiments E4–E8):
+//! construction, circuit evaluation, and functional sorting of each
+//! network vs the Batcher baseline.
+
+use absort_baselines::batcher_bits::{BatcherBinary, BatcherKind};
+use absort_bench::{bench_bits, BENCH_SIZES};
+use absort_core::{fish::FishSorter, muxmerge, prefix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Fig. 5 / E5: prefix sorter — circuit construction and evaluation.
+fn bench_fig5_prefix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_prefix_sorter");
+    for &n in &BENCH_SIZES {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
+            b.iter(|| prefix::build(n))
+        });
+        let circuit = prefix::build(n);
+        let input = bench_bits(n, 1);
+        g.bench_with_input(BenchmarkId::new("circuit_eval", n), &n, |b, _| {
+            b.iter(|| circuit.eval(&input))
+        });
+        g.bench_with_input(BenchmarkId::new("functional", n), &n, |b, _| {
+            b.iter(|| prefix::sort(&input))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 6 / E6: mux-merger sorter.
+fn bench_fig6_muxmerge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_muxmerge_sorter");
+    for &n in &BENCH_SIZES {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
+            b.iter(|| muxmerge::build(n))
+        });
+        let circuit = muxmerge::build(n);
+        let input = bench_bits(n, 2);
+        g.bench_with_input(BenchmarkId::new("circuit_eval", n), &n, |b, _| {
+            b.iter(|| circuit.eval(&input))
+        });
+        g.bench_with_input(BenchmarkId::new("functional", n), &n, |b, _| {
+            b.iter(|| muxmerge::sort(&input))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 7 / E8: fish sorter functional datapath across k.
+fn bench_fig7_fish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fish_sorter");
+    for &n in &BENCH_SIZES {
+        let input = bench_bits(n, 3);
+        g.throughput(Throughput::Elements(n as u64));
+        for kexp in [1u32, 2, 4] {
+            let k = 1usize << kexp;
+            if k * k > n {
+                continue;
+            }
+            let f = FishSorter::new(n, k);
+            g.bench_with_input(BenchmarkId::new(format!("sort_k{k}"), n), &n, |b, _| {
+                b.iter(|| f.sort(&input))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Fig. 4 / E4 baseline: Batcher networks applied to bits and packets.
+fn bench_fig4_batcher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_batcher_baseline");
+    for &n in &BENCH_SIZES {
+        g.throughput(Throughput::Elements(n as u64));
+        let oem = BatcherBinary::new(BatcherKind::OddEvenMerge, n);
+        let bit = BatcherBinary::new(BatcherKind::Bitonic, n);
+        let input = bench_bits(n, 4);
+        g.bench_with_input(BenchmarkId::new("oem_bits", n), &n, |b, _| {
+            b.iter(|| oem.sort(&input))
+        });
+        g.bench_with_input(BenchmarkId::new("bitonic_bits", n), &n, |b, _| {
+            b.iter(|| bit.sort(&input))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig5_prefix,
+    bench_fig6_muxmerge,
+    bench_fig7_fish,
+    bench_fig4_batcher
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! # absort-bench — benchmark harness and experiment reproduction binary
+//!
+//! * Criterion benches (`cargo bench`): wall-clock throughput of every
+//!   construction — `sorters` (Figs. 4–7 / E4–E8), `networks` (Fig. 10,
+//!   Table II, concentrators / E11–E14), `columnsort` (E13), and
+//!   `eval_engines` (the substrate's scalar / 64-lane / parallel
+//!   evaluators).
+//! * The `repro` binary regenerates every table and figure of the paper:
+//!   `cargo run -p absort-bench --bin repro -- all` (or a single
+//!   experiment id — see `repro --help`).
+
+#![forbid(unsafe_code)]
+
+/// Standard input sizes used across the wall-clock benches.
+pub const BENCH_SIZES: [usize; 3] = [256, 1024, 4096];
+
+/// Deterministic pseudo-random bit vector for benches (splitmix64).
+pub fn bench_bits(n: usize, seed: u64) -> Vec<bool> {
+    let mut state = seed;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        out.push((z ^ (z >> 31)) & 1 == 1);
+    }
+    out
+}
+
+/// Deterministic pseudo-random permutation for benches.
+pub fn bench_perm(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        let j = ((z ^ (z >> 31)) as usize) % (i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_bits_deterministic() {
+        assert_eq!(bench_bits(64, 1), bench_bits(64, 1));
+        assert_ne!(bench_bits(64, 1), bench_bits(64, 2));
+    }
+
+    #[test]
+    fn bench_perm_is_permutation() {
+        let p = bench_perm(100, 3);
+        let mut q = p.clone();
+        q.sort_unstable();
+        assert_eq!(q, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,260 @@
+//! Parallel-prefix (carry-lookahead) addition.
+//!
+//! The paper's Network 1 uses "a simple lg n-bit prefix adder" with cost
+//! `O(lg n)` and depth `O(lg lg n)` (it cites CLR for cost `3 lg n` and
+//! depth `2 lg lg n`). We build the Brent–Kung prefix adder, which has the
+//! same asymptotics — linear cost in the word width `m` and `O(lg m)`
+//! depth; the exact gate constants of *our* construction are measured and
+//! reported by the analysis crate rather than assumed.
+
+use absort_circuit::{Builder, Wire};
+
+/// A (generate, propagate) pair during the prefix scan.
+#[derive(Clone, Copy)]
+struct Gp {
+    g: Wire,
+    p: Wire,
+}
+
+/// Combines two adjacent (g,p) spans, `hi` covering the more significant
+/// span: `(G, P) = (g_hi OR (p_hi AND g_lo), p_hi AND p_lo)`. 3 gates.
+fn combine(b: &mut Builder, hi: Gp, lo: Gp) -> Gp {
+    let t = b.and(hi.p, lo.g);
+    let g = b.or(hi.g, t);
+    let p = b.and(hi.p, lo.p);
+    Gp { g, p }
+}
+
+/// Brent–Kung inclusive prefix scan over (g,p) pairs: `out[i]` covers the
+/// span `0..=i`. Uses ~2m combines and 2·lg m − 1 combine levels.
+fn brent_kung(b: &mut Builder, nodes: &[Gp]) -> Vec<Gp> {
+    let m = nodes.len();
+    if m == 1 {
+        return vec![nodes[0]];
+    }
+    // Pair adjacent nodes; an odd tail element rides along unpaired.
+    let mut paired = Vec::with_capacity(m / 2);
+    for i in 0..m / 2 {
+        paired.push(combine(b, nodes[2 * i + 1], nodes[2 * i]));
+    }
+    let rec = brent_kung(b, &paired);
+    let mut out = vec![nodes[0]; m];
+    out[0] = nodes[0];
+    for i in 0..m / 2 {
+        out[2 * i + 1] = rec[i];
+        if 2 * i + 2 < m {
+            out[2 * i + 2] = combine(b, nodes[2 * i + 2], rec[i]);
+        }
+    }
+    out
+}
+
+/// Which adder construction to use (the ablation of DESIGN.md: the
+/// paper's Network 1 specifies a *prefix* adder; a ripple-carry adder is
+/// the naive alternative whose linear carry chain shows up directly in
+/// the sorter's measured depth — experiment E16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdderKind {
+    /// Brent–Kung parallel-prefix adder: `Θ(m)` cost, `Θ(lg m)` depth.
+    Prefix,
+    /// Ripple-carry adder: `Θ(m)` cost, `Θ(m)` depth.
+    Ripple,
+}
+
+/// Adds two little-endian `m`-bit numbers with the selected construction,
+/// returning `m + 1` sum bits.
+pub fn add(b: &mut Builder, kind: AdderKind, a: &[Wire], c: &[Wire]) -> Vec<Wire> {
+    match kind {
+        AdderKind::Prefix => prefix_add(b, a, c),
+        AdderKind::Ripple => ripple_add(b, a, c),
+    }
+}
+
+/// Adds two little-endian `m`-bit numbers with a ripple-carry adder,
+/// returning `m + 1` little-endian sum bits. 5 gates per full-adder
+/// stage, depth `2m − 1`-ish: the carry chain is serial.
+pub fn ripple_add(b: &mut Builder, a: &[Wire], c: &[Wire]) -> Vec<Wire> {
+    assert_eq!(a.len(), c.len(), "ripple_add needs equal widths");
+    assert!(!a.is_empty(), "ripple_add on empty words");
+    b.scoped("ripple_add", |b| {
+        let mut sum = Vec::with_capacity(a.len() + 1);
+        // half adder for bit 0
+        let s0 = b.xor(a[0], c[0]);
+        let mut carry = b.and(a[0], c[0]);
+        sum.push(s0);
+        for (&x, &y) in a[1..].iter().zip(&c[1..]) {
+            let p = b.xor(x, y);
+            let s = b.xor(p, carry);
+            let g = b.and(x, y);
+            let t = b.and(p, carry);
+            carry = b.or(g, t);
+            sum.push(s);
+        }
+        sum.push(carry);
+        sum
+    })
+}
+
+/// Adds two little-endian `m`-bit numbers with a Brent–Kung prefix adder,
+/// returning `m + 1` little-endian sum bits (the last is the carry out).
+///
+/// Cost is `Θ(m)` gates with depth `Θ(lg m)` — the "prefix adder" of the
+/// paper's Network 1.
+pub fn prefix_add(b: &mut Builder, a: &[Wire], c: &[Wire]) -> Vec<Wire> {
+    assert_eq!(a.len(), c.len(), "prefix_add needs equal widths");
+    assert!(!a.is_empty(), "prefix_add on empty words");
+    let m = a.len();
+    b.scoped("prefix_add", |b| {
+        let gp: Vec<Gp> = a
+            .iter()
+            .zip(c)
+            .map(|(&x, &y)| Gp {
+                g: b.and(x, y),
+                p: b.xor(x, y),
+            })
+            .collect();
+        let pre = brent_kung(b, &gp);
+        let mut sum = Vec::with_capacity(m + 1);
+        sum.push(gp[0].p); // bit 0: p0 ^ carry-in(0) = p0
+        for i in 1..m {
+            let s = b.xor(gp[i].p, pre[i - 1].g);
+            sum.push(s);
+        }
+        sum.push(pre[m - 1].g); // carry out
+        sum
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absort_circuit::Builder;
+
+    fn build_adder(m: usize) -> absort_circuit::Circuit {
+        let mut b = Builder::new();
+        let a = b.input_bus(m);
+        let c = b.input_bus(m);
+        let s = prefix_add(&mut b, &a, &c);
+        b.outputs(&s);
+        b.finish()
+    }
+
+    fn to_bits(v: u64, m: usize) -> Vec<bool> {
+        (0..m).map(|i| v >> i & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn exhaustive_small_widths() {
+        for m in 1..=6usize {
+            let c = build_adder(m);
+            for x in 0..1u64 << m {
+                for y in 0..1u64 << m {
+                    let mut inp = to_bits(x, m);
+                    inp.extend(to_bits(y, m));
+                    let out = c.eval(&inp);
+                    assert_eq!(from_bits(&out), x + y, "m={m} {x}+{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_wide_adds() {
+        use rand::prelude::*;
+        let m = 32;
+        let c = build_adder(m);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let x: u64 = rng.gen::<u32>() as u64;
+            let y: u64 = rng.gen::<u32>() as u64;
+            let mut inp = to_bits(x, m);
+            inp.extend(to_bits(y, m));
+            assert_eq!(from_bits(&c.eval(&inp)), x + y);
+        }
+    }
+
+    #[test]
+    fn cost_is_linear_depth_is_logarithmic() {
+        // Brent–Kung: cost ≤ 9m (3 gp + ~2 combines of 3 gates + 1 sum
+        // per bit), depth ≤ 2 lg m + 2.
+        for k in 1..=7u32 {
+            let m = 1usize << k;
+            let c = build_adder(m);
+            let cost = c.cost().total;
+            assert!(cost <= 9 * m as u64, "m={m}: cost {cost} > 9m");
+            // The paper counts each (g,p) combine as one unit-depth node
+            // (depth 2 lg m); our combines are two gate levels each, so
+            // the gate-level depth is ≤ 4 lg m + 3 with the same Θ(lg m).
+            let depth = c.depth();
+            assert!(
+                depth <= 4 * k as usize + 3,
+                "m={m}: depth {depth} > 4 lg m + 3"
+            );
+        }
+    }
+
+    fn build_ripple(m: usize) -> absort_circuit::Circuit {
+        let mut b = Builder::new();
+        let a = b.input_bus(m);
+        let c = b.input_bus(m);
+        let s = ripple_add(&mut b, &a, &c);
+        b.outputs(&s);
+        b.finish()
+    }
+
+    #[test]
+    fn ripple_exhaustive_small_widths() {
+        for m in 1..=6usize {
+            let c = build_ripple(m);
+            for x in 0..1u64 << m {
+                for y in 0..1u64 << m {
+                    let mut inp = to_bits(x, m);
+                    inp.extend(to_bits(y, m));
+                    assert_eq!(from_bits(&c.eval(&inp)), x + y, "m={m} {x}+{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_depth_is_linear_prefix_is_logarithmic() {
+        // The E16 ablation's microscopic view: at m = 64 the ripple carry
+        // chain is an order of magnitude deeper than Brent–Kung.
+        let m = 64;
+        let ripple = build_ripple(m).depth();
+        let prefix = build_adder(m).depth();
+        assert!(ripple >= m, "ripple depth {ripple} must be ≥ m");
+        assert!(prefix <= 4 * 6 + 3, "prefix depth {prefix}");
+        assert!(ripple > 4 * prefix, "ripple {ripple} vs prefix {prefix}");
+    }
+
+    #[test]
+    fn kind_dispatch() {
+        let mut b = Builder::new();
+        let a = b.input_bus(4);
+        let c = b.input_bus(4);
+        let s = add(&mut b, AdderKind::Ripple, &a, &c);
+        b.outputs(&s);
+        let circ = b.finish();
+        let mut inp = to_bits(9, 4);
+        inp.extend(to_bits(5, 4));
+        assert_eq!(from_bits(&circ.eval(&inp)), 14);
+    }
+
+    #[test]
+    fn odd_widths_work() {
+        for m in [3usize, 5, 7, 11] {
+            let c = build_adder(m);
+            let top = (1u64 << m) - 1;
+            let mut inp = to_bits(top, m);
+            inp.extend(to_bits(1, m));
+            assert_eq!(from_bits(&c.eval(&inp)), top + 1, "m={m}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! (k,n)-demultiplexers (paper Section II.D, Fig. 3(b)).
+
+use absort_circuit::{assert_pow2, Builder, Wire};
+
+/// (1,m)-demultiplexer: routes its input to one of `m = 2^s` outputs
+/// selected by `s` select bits (`sel[0]` most significant); the other
+/// outputs carry 0. Built as a balanced binary tree of
+/// (1,2)-demultiplexers: cost `m − 1`, depth `lg m`.
+pub fn tree_demultiplexer(b: &mut Builder, sel: &[Wire], input: Wire) -> Vec<Wire> {
+    if sel.is_empty() {
+        return vec![input];
+    }
+    let (lo, hi) = b.demux2(sel[0], input);
+    let mut out = tree_demultiplexer(b, &sel[1..], lo);
+    out.extend(tree_demultiplexer(b, &sel[1..], hi));
+    out
+}
+
+/// (k,n)-demultiplexer: routes its `k` inputs to one of the `n/k` groups
+/// of `k` consecutive outputs, selected by the `lg(n/k)`-bit select input
+/// (`sel[0]` most significant); all other outputs carry 0.
+///
+/// Built by coupling `k` (1,n/k)-demultiplexers as in Fig. 3(b). Cost
+/// `n − k` (the paper rounds to `n`), depth `lg(n/k)`.
+pub fn group_demultiplexer(b: &mut Builder, sel: &[Wire], inputs: &[Wire], n: usize) -> Vec<Wire> {
+    let k = inputs.len();
+    assert_pow2(n, "(k,n)-demultiplexer");
+    assert_pow2(k, "(k,n)-demultiplexer input count");
+    assert!(k <= n, "input count k={k} exceeds n={n}");
+    let groups = n / k;
+    assert_eq!(
+        sel.len(),
+        groups.trailing_zeros() as usize,
+        "(k,n)-demultiplexer needs lg(n/k) select bits"
+    );
+    b.scoped("group_demultiplexer", |b| {
+        // legs[j][g] = input j's copy for group g
+        let legs: Vec<Vec<Wire>> = inputs
+            .iter()
+            .map(|&x| tree_demultiplexer(b, sel, x))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for g in 0..groups {
+            for leg in legs.iter() {
+                out.push(leg[g]);
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absort_circuit::Builder;
+
+    /// The (4,16)-demultiplexer of Fig. 3(b).
+    #[test]
+    fn fig3b_4_16_demultiplexer() {
+        let (k, n) = (4usize, 16usize);
+        let mut b = Builder::new();
+        let sel = b.input_bus(2);
+        let ins = b.input_bus(k);
+        let outs = group_demultiplexer(&mut b, &sel, &ins, n);
+        b.outputs(&outs);
+        let c = b.finish();
+        assert_eq!(c.cost().total as usize, n - k, "cost n − k (paper: ~n)");
+        assert_eq!(c.depth(), 2, "depth lg(n/k) = 2");
+
+        let data = [true, false, true, true];
+        for g in 0..4usize {
+            let mut inp = vec![g >> 1 & 1 == 1, g & 1 == 1];
+            inp.extend_from_slice(&data);
+            let got = c.eval(&inp);
+            for (pos, &bit) in got.iter().enumerate() {
+                let expect = pos / k == g && data[pos % k];
+                assert_eq!(bit, expect, "group {g}, output {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn demux_then_or_recovers_input() {
+        // Routing to any group and OR-ing the groups back together is the
+        // identity — the demultiplexer loses nothing.
+        let (k, n) = (2usize, 8usize);
+        let mut b = Builder::new();
+        let sel = b.input_bus(2);
+        let ins = b.input_bus(k);
+        let outs = group_demultiplexer(&mut b, &sel, &ins, n);
+        let mut recovered = Vec::new();
+        for j in 0..k {
+            let mut acc = outs[j];
+            for g in 1..n / k {
+                acc = b.or(acc, outs[g * k + j]);
+            }
+            recovered.push(acc);
+        }
+        b.outputs(&recovered);
+        let c = b.finish();
+        for g in 0..4usize {
+            for v in 0..4u32 {
+                let mut inp = vec![g >> 1 & 1 == 1, g & 1 == 1];
+                inp.extend((0..k).map(|i| v >> i & 1 == 1));
+                let got = c.eval(&inp);
+                let expect: Vec<bool> = (0..k).map(|i| v >> i & 1 == 1).collect();
+                assert_eq!(got, expect, "g={g} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_demux_is_wiring() {
+        let mut b = Builder::new();
+        let ins = b.input_bus(4);
+        let outs = group_demultiplexer(&mut b, &[], &ins, 4);
+        assert_eq!(outs, ins);
+    }
+}

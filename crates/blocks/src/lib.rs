@@ -1,0 +1,33 @@
+//! # absort-blocks — the paper's building blocks (Section II)
+//!
+//! Circuit-level generators for every building block of the adaptive
+//! sorting network models, with the paper's exact cost/depth accounting:
+//!
+//! | block | paper cost | paper depth | module |
+//! |---|---|---|---|
+//! | two-way swapper | n/2 | 1 | [`swap::two_way_swapper`] |
+//! | four-way swapper (IN-/OUT-SWAP) | n | 1 | [`swap::four_way_swapper`] |
+//! | (n,k)-multiplexer | n − k | lg(n/k) | [`mux::group_multiplexer`] |
+//! | (k,n)-demultiplexer | n − k | lg(n/k) | [`demux::group_demultiplexer`] |
+//! | population counter + prefix adders | O(n) | O(lg n) | [`popcount`] |
+//! | balanced-merge comparator stage | n/2 | 1 | [`stages::balanced_stage`] |
+//!
+//! (The paper rounds the multiplexer/demultiplexer cost `n − k` up to `n`;
+//! we construct and count the exact circuits.)
+//!
+//! Every generator takes a [`absort_circuit::Builder`] plus input wires
+//! and returns output wires, so the sorters in `absort-core` compose them
+//! exactly the way the paper's figures do.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod demux;
+pub mod mux;
+pub mod popcount;
+pub mod stages;
+pub mod swap;
+
+pub use popcount::{ge_half, popcount};
+pub use swap::{four_way_swapper, two_way_swapper};

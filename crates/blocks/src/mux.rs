@@ -1,0 +1,119 @@
+//! (n,k)-multiplexers (paper Section II.C, Fig. 3(a)).
+
+use absort_circuit::{assert_pow2, Builder, Wire};
+
+/// (m,1)-multiplexer: selects one of `m = 2^s` inputs by `s` select bits
+/// (`sel[0]` is the most significant, matching the paper's group-identifier
+/// bits). Built as a balanced binary tree of (2,1)-multiplexers: cost
+/// `m − 1`, depth `lg m`.
+pub fn tree_multiplexer(b: &mut Builder, sel: &[Wire], inputs: &[Wire]) -> Wire {
+    assert_eq!(
+        inputs.len(),
+        1usize << sel.len(),
+        "(m,1)-multiplexer needs 2^|sel| inputs"
+    );
+    if inputs.len() == 1 {
+        return inputs[0];
+    }
+    let half = inputs.len() / 2;
+    let lo = tree_multiplexer(b, &sel[1..], &inputs[..half]);
+    let hi = tree_multiplexer(b, &sel[1..], &inputs[half..]);
+    b.mux2(sel[0], lo, hi)
+}
+
+/// (n,k)-multiplexer: selects one of the `n/k` groups of `k` consecutive
+/// inputs and presents it on the `k` outputs, according to the
+/// `lg(n/k)`-bit select input (`sel[0]` most significant).
+///
+/// Built by coupling `k` (n/k,1)-multiplexers as in Fig. 3(a). Cost
+/// `n − k` (the paper rounds to `n`), depth `lg(n/k)`.
+pub fn group_multiplexer(b: &mut Builder, sel: &[Wire], inputs: &[Wire], k: usize) -> Vec<Wire> {
+    let n = inputs.len();
+    assert_pow2(n, "(n,k)-multiplexer");
+    assert_pow2(k, "(n,k)-multiplexer group size");
+    assert!(k <= n, "group size k={k} exceeds n={n}");
+    let groups = n / k;
+    assert_eq!(
+        sel.len(),
+        groups.trailing_zeros() as usize,
+        "(n,k)-multiplexer needs lg(n/k) select bits"
+    );
+    b.scoped("group_multiplexer", |b| {
+        (0..k)
+            .map(|j| {
+                let leg: Vec<Wire> = (0..groups).map(|g| inputs[g * k + j]).collect();
+                tree_multiplexer(b, sel, &leg)
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absort_circuit::Builder;
+
+    /// The (16,4)-multiplexer of Fig. 3(a): selects one of four groups of
+    /// four inputs by the two leftmost bits of the input codes.
+    #[test]
+    fn fig3a_16_4_multiplexer() {
+        let (n, k) = (16usize, 4usize);
+        let mut b = Builder::new();
+        let sel = b.input_bus(2);
+        let ins = b.input_bus(n);
+        let outs = group_multiplexer(&mut b, &sel, &ins, k);
+        b.outputs(&outs);
+        let c = b.finish();
+        assert_eq!(c.cost().total as usize, n - k, "cost n − k (paper: ~n)");
+        assert_eq!(c.depth(), 2, "depth lg(n/k) = 2");
+
+        // Put a distinct 4-bit pattern in each group and check each select.
+        let data: Vec<bool> = (0..n).map(|i| (i / k + i % k) % 2 == 0).collect();
+        for g in 0..4usize {
+            let mut inp = vec![g >> 1 & 1 == 1, g & 1 == 1];
+            inp.extend_from_slice(&data);
+            let got = c.eval(&inp);
+            assert_eq!(got, &data[g * k..(g + 1) * k], "group {g}");
+        }
+    }
+
+    #[test]
+    fn one_group_is_wiring() {
+        // (k,k)-multiplexer: no selection to do, zero cost.
+        let mut b = Builder::new();
+        let ins = b.input_bus(4);
+        let outs = group_multiplexer(&mut b, &[], &ins, 4);
+        assert_eq!(outs, ins);
+    }
+
+    #[test]
+    fn tree_multiplexer_full_decode() {
+        let m = 8;
+        let mut b = Builder::new();
+        let sel = b.input_bus(3);
+        let ins = b.input_bus(m);
+        let out = tree_multiplexer(&mut b, &sel, &ins);
+        b.outputs(&[out]);
+        let c = b.finish();
+        assert_eq!(c.cost().total as usize, m - 1);
+        assert_eq!(c.depth(), 3);
+        for pick in 0..m {
+            // one-hot data: only input `pick` is 1
+            for probe in 0..m {
+                let mut inp: Vec<bool> = (0..3).map(|i| pick >> (2 - i) & 1 == 1).collect();
+                inp.extend((0..m).map(|i| i == probe));
+                let got = c.eval(&inp);
+                assert_eq!(got[0], probe == pick, "pick={pick} probe={probe}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lg(n/k) select bits")]
+    fn wrong_select_width_panics() {
+        let mut b = Builder::new();
+        let sel = b.input_bus(1);
+        let ins = b.input_bus(16);
+        let _ = group_multiplexer(&mut b, &sel, &ins, 4);
+    }
+}

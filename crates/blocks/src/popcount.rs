@@ -1,0 +1,151 @@
+//! Population count by the paper's recursive prefix-adder scheme.
+//!
+//! Network 1 (the prefix binary sorter, Fig. 5) detects which half of the
+//! outputs is clean-sorted by counting the 1's in the input sequence,
+//! "recursively adding the numbers of 1's in the two half-size input
+//! sequences" with prefix adders. [`popcount`] is that circuit; the
+//! adaptive select signal is derived from the count by [`ge_half`].
+
+use crate::adder::{add, AdderKind};
+use absort_circuit::{assert_pow2, Builder, Wire};
+
+/// Counts the 1's among `inputs` (length `n = 2^k`), returning the count
+/// as `lg n + 1` little-endian bits.
+///
+/// Built exactly as the paper describes: the counts of the two halves are
+/// computed recursively and added with a prefix adder. Total cost is
+/// `Θ(n)` with `Θ(lg n · lg lg n)` depth (a tree of `lg n` adder levels,
+/// the level for width-`m` words having depth `Θ(lg m)`).
+///
+/// ```
+/// use absort_blocks::popcount::popcount;
+/// use absort_circuit::Builder;
+///
+/// let mut b = Builder::new();
+/// let ins = b.input_bus(8);
+/// let count = popcount(&mut b, &ins);
+/// b.outputs(&count);
+/// let c = b.finish();
+/// // count the ones of 1101_0010 (4 ones): little-endian 100
+/// let out = c.eval(&[true, true, false, true, false, false, true, false]);
+/// assert_eq!(out, vec![false, false, true, false]); // 4 in 4 bits
+/// ```
+pub fn popcount(b: &mut Builder, inputs: &[Wire]) -> Vec<Wire> {
+    popcount_with(b, AdderKind::Prefix, inputs)
+}
+
+/// [`popcount`] with an explicit adder construction — the E16 ablation
+/// point (ripple-carry adders push the tree's depth from
+/// `Θ(lg n lg lg n)` to `Θ(lg² n)`-with-a-larger-constant territory).
+pub fn popcount_with(b: &mut Builder, kind: AdderKind, inputs: &[Wire]) -> Vec<Wire> {
+    let n = inputs.len();
+    assert_pow2(n, "popcount");
+    if n == 1 {
+        return vec![inputs[0]];
+    }
+    let (lo, hi) = inputs.split_at(n / 2);
+    let cl = popcount_with(b, kind, lo);
+    let ch = popcount_with(b, kind, hi);
+    add(b, kind, &cl, &ch)
+}
+
+/// Given the `lg n + 1`-bit count of 1's among `n` inputs, returns the
+/// wire that is 1 iff the count is at least `n/2`.
+///
+/// Since the count lies in `[0, n]`, `count >= n/2` holds exactly when the
+/// bit of weight `n` or the bit of weight `n/2` is set — the "most
+/// significant bit" examination of the paper, done carefully at the
+/// boundary `count = n`.
+pub fn ge_half(b: &mut Builder, count: &[Wire], n: usize) -> Wire {
+    assert_pow2(n, "ge_half");
+    let k = n.trailing_zeros() as usize;
+    assert_eq!(count.len(), k + 1, "count must have lg n + 1 bits");
+    if n == 1 {
+        // count >= 1/2 rounds to count >= 0, which always holds.
+        return b.constant(true);
+    }
+    b.or(count[k], count[k - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absort_circuit::Builder;
+
+    fn build(n: usize) -> absort_circuit::Circuit {
+        let mut b = Builder::new();
+        let ins = b.input_bus(n);
+        let cnt = popcount(&mut b, &ins);
+        let ge = ge_half(&mut b, &cnt, n);
+        let mut outs = cnt;
+        outs.push(ge);
+        b.outputs(&outs);
+        b.finish()
+    }
+
+    #[test]
+    fn exhaustive_popcount_up_to_16() {
+        for k in 0..=4u32 {
+            let n = 1usize << k;
+            let c = build(n);
+            for v in 0..1u64 << n {
+                let inp: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
+                let out = c.eval(&inp);
+                let count = out[..=k as usize]
+                    .iter()
+                    .enumerate()
+                    .fold(0u32, |acc, (i, &b)| acc | (u32::from(b) << i));
+                assert_eq!(count, v.count_ones(), "n={n} v={v:b}");
+                assert_eq!(
+                    out[k as usize + 1],
+                    v.count_ones() as usize >= n / 2,
+                    "ge_half n={n} v={v:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_cost_is_linear() {
+        // The adder tree costs Θ(n); audit the constant stays below 9n
+        // (each level: n/2^{i+1} adders of width i+1, ~9 gates per bit).
+        for k in 2..=10u32 {
+            let n = 1usize << k;
+            let mut b = Builder::new();
+            let ins = b.input_bus(n);
+            let cnt = popcount(&mut b, &ins);
+            b.outputs(&cnt);
+            let c = b.finish();
+            let cost = c.cost().total;
+            assert!(cost <= 9 * n as u64, "n={n}: popcount cost {cost} > 9n");
+        }
+    }
+
+    #[test]
+    fn popcount_depth_grows_slowly() {
+        // Depth is Θ(lg n · lg lg n); check it stays well under the depth
+        // of the sorter bodies it instruments (3 lg² n).
+        for k in 2..=10usize {
+            let n = 1usize << k;
+            let mut b = Builder::new();
+            let ins = b.input_bus(n);
+            let cnt = popcount(&mut b, &ins);
+            b.outputs(&cnt);
+            let d = b.finish().depth();
+            assert!(d <= 3 * k * k, "n={n}: popcount depth {d}");
+        }
+    }
+
+    #[test]
+    fn ge_half_boundaries() {
+        let n = 8;
+        let c = build(n);
+        // count = 3 (below half), 4 (exactly half), 8 (all ones)
+        let cases = [(0b0000_0111u32, false), (0b0000_1111, true), (0xFF, true)];
+        for (v, expect) in cases {
+            let inp: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
+            let out = c.eval(&inp);
+            assert_eq!(out[4], expect, "v={v:08b}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Comparator stages used by the sorting-network constructions.
+
+use absort_circuit::{Builder, Wire};
+
+/// The first stage of the balanced merging block: compares line `i` with
+/// line `n−1−i` (min to the top). On an `A_n` sequence this leaves one
+/// half clean-sorted and the other in `A_{n/2}` (Theorem 2) — the heart
+/// of the prefix sorter's patch-up network. Cost `n/2`, depth 1.
+pub fn balanced_stage(b: &mut Builder, inputs: &[Wire]) -> Vec<Wire> {
+    let n = inputs.len();
+    assert!(n >= 2 && n % 2 == 0, "balanced stage needs an even width");
+    let mut out = vec![inputs[0]; n];
+    b.scoped("balanced_stage", |b| {
+        for i in 0..n / 2 {
+            let (lo, hi) = b.bit_compare(inputs[i], inputs[n - 1 - i]);
+            out[i] = lo;
+            out[n - 1 - i] = hi;
+        }
+    });
+    out
+}
+
+/// A stage of comparators on adjacent pairs `(2i, 2i+1)`, min to the even
+/// line — the two-input sorters that begin the Fig. 4(b) construction.
+/// Cost `n/2`, depth 1.
+pub fn adjacent_stage(b: &mut Builder, inputs: &[Wire]) -> Vec<Wire> {
+    let n = inputs.len();
+    assert!(n % 2 == 0, "adjacent stage needs an even width");
+    let mut out = Vec::with_capacity(n);
+    b.scoped("adjacent_stage", |b| {
+        for i in 0..n / 2 {
+            let (lo, hi) = b.bit_compare(inputs[2 * i], inputs[2 * i + 1]);
+            out.push(lo);
+            out.push(hi);
+        }
+    });
+    out
+}
+
+/// The perfect shuffle as free wiring: output `2i` ← input `i`,
+/// output `2i+1` ← input `n/2+i` (interleaves the halves).
+pub fn shuffle(inputs: &[Wire]) -> Vec<Wire> {
+    let n = inputs.len();
+    assert!(n % 2 == 0, "shuffle needs an even width");
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n / 2 {
+        out.push(inputs[i]);
+        out.push(inputs[n / 2 + i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absort_circuit::Builder;
+
+    #[test]
+    fn balanced_stage_example_2() {
+        // Paper Example 2: Z = 10101011 → Y_U = 1000, Y_L = 1111.
+        let mut b = Builder::new();
+        let ins = b.input_bus(8);
+        let outs = balanced_stage(&mut b, &ins);
+        b.outputs(&outs);
+        let c = b.finish();
+        assert_eq!(c.cost().total, 4);
+        assert_eq!(c.depth(), 1);
+        let z = [true, false, true, false, true, false, true, true];
+        let got = c.eval(&z);
+        let expect = [true, false, false, false, true, true, true, true];
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn adjacent_stage_sorts_pairs() {
+        let mut b = Builder::new();
+        let ins = b.input_bus(4);
+        let outs = adjacent_stage(&mut b, &ins);
+        b.outputs(&outs);
+        let c = b.finish();
+        let got = c.eval(&[true, false, false, true]);
+        assert_eq!(got, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn shuffle_is_free_wiring() {
+        let mut b = Builder::new();
+        let ins = b.input_bus(8);
+        let sh = shuffle(&ins);
+        b.outputs(&sh);
+        let c = b.finish();
+        assert_eq!(c.cost().total, 0);
+        assert_eq!(c.depth(), 0);
+        let data: Vec<bool> = vec![true, true, true, true, false, false, false, true];
+        let got = c.eval(&data);
+        // interleave halves: 1111 / 0001 -> 10101011 (paper Example 1)
+        let expect = vec![true, false, true, false, true, false, true, true];
+        assert_eq!(got, expect);
+    }
+}

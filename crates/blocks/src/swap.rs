@@ -1,0 +1,207 @@
+//! Two-way and four-way swapping networks (paper Section II.A–B, Fig. 2).
+
+use absort_circuit::{assert_pow2, Builder, Perm4, Wire};
+
+/// Two-way swapper: when `ctrl = 0` the inputs pass straight through;
+/// when `ctrl = 1` the two halves of the inputs are exchanged.
+///
+/// Built exactly as in Fig. 2(a): a two-way shuffle, one stage of `n/2`
+/// 2×2 switches sharing the control signal, and the reversed shuffle
+/// (wiring is free). Cost `n/2`, depth 1.
+///
+/// ```
+/// use absort_blocks::swap::two_way_swapper;
+/// use absort_circuit::Builder;
+///
+/// let mut b = Builder::new();
+/// let ctrl = b.input();
+/// let ins = b.input_bus(4);
+/// let outs = two_way_swapper(&mut b, ctrl, &ins);
+/// b.outputs(&outs);
+/// let c = b.finish();
+/// assert_eq!(c.cost().total, 2); // n/2 switches
+/// // ctrl = 1 exchanges the halves
+/// assert_eq!(
+///     c.eval(&[true, /* data: */ true, true, false, false]),
+///     vec![false, false, true, true]
+/// );
+/// ```
+pub fn two_way_swapper(b: &mut Builder, ctrl: Wire, inputs: &[Wire]) -> Vec<Wire> {
+    let n = inputs.len();
+    assert_pow2(n, "two-way swapper");
+    assert!(n >= 2, "two-way swapper needs at least 2 inputs");
+    let mut out = vec![inputs[0]; n];
+    b.scoped("two_way_swapper", |b| {
+        // The shuffle pairs line i with line i + n/2 on switch i; the
+        // reversed shuffle puts switch outputs back at positions i and
+        // i + n/2.
+        for i in 0..n / 2 {
+            let (oa, ob) = b.switch2(ctrl, inputs[i], inputs[i + n / 2]);
+            out[i] = oa;
+            out[i + n / 2] = ob;
+        }
+    });
+    out
+}
+
+/// A quarter-level permutation for a four-way swapper, as an
+/// output-from-input map over quarters: output quarter `q` carries input
+/// quarter `perm[q]`.
+pub type QuarterPerm = [u8; 4];
+
+/// Converts cycle notation over quarters 1–4 (as the paper writes it,
+/// e.g. `(1)(23)(4)` = swap quarters 2 and 3) into a [`QuarterPerm`].
+///
+/// `cycles` lists the cycles with 1-based quarter numbers; fixed points
+/// may be omitted. The paper's cycles act by *sending* quarter `c[i]`'s
+/// contents to quarter `c[i+1]`'s position.
+pub fn quarter_perm_from_cycles(cycles: &[&[u8]]) -> QuarterPerm {
+    // dest[src] = where src's contents go.
+    let mut dest: [u8; 4] = [0, 1, 2, 3];
+    let mut touched = [false; 4];
+    for cycle in cycles {
+        for (idx, &q) in cycle.iter().enumerate() {
+            assert!((1..=4).contains(&q), "quarter {q} out of range 1-4");
+            let q0 = (q - 1) as usize;
+            assert!(!touched[q0], "quarter {q} appears in two cycles");
+            touched[q0] = true;
+            let next = cycle[(idx + 1) % cycle.len()];
+            dest[q0] = next - 1;
+        }
+    }
+    // Convert "contents of src go to dest[src]" into output-from-input.
+    let mut perm: QuarterPerm = [0; 4];
+    for (src, &d) in dest.iter().enumerate() {
+        perm[d as usize] = src as u8;
+    }
+    perm
+}
+
+/// Four-way swapper: permutes the four quarters of its inputs by one of
+/// four quarter-permutations selected by `(s1, s0)`.
+///
+/// Built as in Fig. 2(b): a four-way shuffle, one stage of `n/4` 4×4
+/// switches sharing the two select signals, and the reversed shuffle.
+/// Cost `n` (n/4 switches × 4 units each), depth 1.
+///
+/// `perms[sel]` is the quarter permutation applied when the select value
+/// is `sel = 2·s1 + s0` (output quarter `q` ← input quarter
+/// `perms[sel][q]`).
+pub fn four_way_swapper(
+    b: &mut Builder,
+    s1: Wire,
+    s0: Wire,
+    inputs: &[Wire],
+    perms: [QuarterPerm; 4],
+) -> Vec<Wire> {
+    let n = inputs.len();
+    assert_pow2(n, "four-way swapper");
+    assert!(n >= 4, "four-way swapper needs at least 4 inputs");
+    let q = n / 4;
+    let mut out = vec![inputs[0]; n];
+    // Each 4×4 switch permutes the line bundle {i, i+q, i+2q, i+3q}; the
+    // quarter permutation is the same line permutation on every switch.
+    let line_perms: [Perm4; 4] = perms;
+    b.scoped("four_way_swapper", |b| {
+        for i in 0..q {
+            let ins = [inputs[i], inputs[i + q], inputs[i + 2 * q], inputs[i + 3 * q]];
+            let outs = b.switch4(s1, s0, ins, line_perms);
+            for (j, &o) in outs.iter().enumerate() {
+                out[i + j * q] = o;
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absort_circuit::Builder;
+
+    fn bits(v: u32, n: usize) -> Vec<bool> {
+        (0..n).map(|i| v >> i & 1 == 1).collect()
+    }
+
+    #[test]
+    fn two_way_swaps_halves() {
+        let n = 8;
+        let mut b = Builder::new();
+        let ctrl = b.input();
+        let ins = b.input_bus(n);
+        let outs = two_way_swapper(&mut b, ctrl, &ins);
+        b.outputs(&outs);
+        let c = b.finish();
+        assert_eq!(c.cost().total as usize, n / 2, "paper: cost n/2");
+        assert_eq!(c.depth(), 1, "paper: depth 1");
+
+        let data = bits(0b0000_1111, n); // upper half (low indices) = 1s
+        let mut inp = vec![false];
+        inp.extend_from_slice(&data);
+        assert_eq!(c.eval(&inp), data, "ctrl=0 is identity");
+
+        inp[0] = true;
+        let expect = bits(0b1111_0000, n);
+        assert_eq!(c.eval(&inp), expect, "ctrl=1 exchanges halves");
+    }
+
+    #[test]
+    fn cycle_notation_roundtrip() {
+        // identity
+        assert_eq!(quarter_perm_from_cycles(&[]), [0, 1, 2, 3]);
+        // (23): swap quarters 2 and 3
+        assert_eq!(quarter_perm_from_cycles(&[&[2, 3]]), [0, 2, 1, 3]);
+        // (13)(24): exchange halves
+        assert_eq!(quarter_perm_from_cycles(&[&[1, 3], &[2, 4]]), [2, 3, 0, 1]);
+        // (234): 2→3, 3→4, 4→2 — output q2 gets old q4's contents
+        assert_eq!(quarter_perm_from_cycles(&[&[2, 3, 4]]), [0, 3, 1, 2]);
+        // (134)(2): 1→3, 3→4, 4→1
+        assert_eq!(quarter_perm_from_cycles(&[&[1, 3, 4], &[2]]), [3, 1, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two cycles")]
+    fn overlapping_cycles_rejected() {
+        let _ = quarter_perm_from_cycles(&[&[1, 2], &[2, 3]]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn four_way_applies_selected_quarter_perm() {
+        let n = 16;
+        let perms = [
+            quarter_perm_from_cycles(&[]),
+            quarter_perm_from_cycles(&[&[2, 3]]),
+            quarter_perm_from_cycles(&[&[1, 3], &[2, 4]]),
+            quarter_perm_from_cycles(&[&[2, 3, 4]]),
+        ];
+        let mut b = Builder::new();
+        let s1 = b.input();
+        let s0 = b.input();
+        let ins = b.input_bus(n);
+        let outs = four_way_swapper(&mut b, s1, s0, &ins, perms);
+        b.outputs(&outs);
+        let c = b.finish();
+        assert_eq!(c.cost().total as usize, n, "paper: cost n");
+        assert_eq!(c.depth(), 1, "paper: depth 1");
+
+        // Distinct marker per quarter: quarter q holds bit pattern with a
+        // single 1 at position q within the quarter.
+        let data: Vec<bool> = (0..n).map(|i| i % 4 == i / 4).collect();
+        let quarter =
+            |v: &[bool], q: usize| -> Vec<bool> { v[q * n / 4..(q + 1) * n / 4].to_vec() };
+        for sel in 0..4usize {
+            let mut inp = vec![sel >> 1 & 1 == 1, sel & 1 == 1];
+            inp.extend_from_slice(&data);
+            let got = c.eval(&inp);
+            for qo in 0..4 {
+                let qi = perms[sel][qo] as usize;
+                assert_eq!(
+                    quarter(&got, qo),
+                    quarter(&data, qi),
+                    "sel={sel} output quarter {qo}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The finished netlist: cost, depth, and evaluation entry points.
+
+use crate::component::{Component, Placed};
+use crate::cost::{CostReport, KindCounts};
+use crate::eval::Evaluator;
+use crate::scope::ScopeTree;
+use crate::wire::Wire;
+
+/// An immutable combinational circuit produced by [`crate::Builder`].
+///
+/// Components are stored in topological order (guaranteed by the builder),
+/// so every analysis and evaluation is a single forward scan.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    comps: Vec<Placed>,
+    n_wires: usize,
+    inputs: Vec<Wire>,
+    outputs: Vec<Wire>,
+    consts: Vec<(Wire, bool)>,
+    scopes: ScopeTree,
+}
+
+impl Circuit {
+    pub(crate) fn from_parts(
+        comps: Vec<Placed>,
+        n_wires: usize,
+        inputs: Vec<Wire>,
+        outputs: Vec<Wire>,
+        consts: Vec<(Wire, bool)>,
+        scopes: ScopeTree,
+    ) -> Self {
+        Circuit {
+            comps,
+            n_wires,
+            inputs,
+            outputs,
+            consts,
+            scopes,
+        }
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn n_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of designated outputs.
+    #[inline]
+    pub fn n_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of wires (inputs + constants + component outputs).
+    #[inline]
+    pub fn n_wires(&self) -> usize {
+        self.n_wires
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn n_components(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// The components in topological order (read-only).
+    #[inline]
+    pub(crate) fn components(&self) -> &[Placed] {
+        &self.comps
+    }
+
+    /// Primary input wires in declaration order.
+    #[inline]
+    pub(crate) fn input_wires(&self) -> &[Wire] {
+        &self.inputs
+    }
+
+    /// Designated output wires in declaration order.
+    #[inline]
+    pub(crate) fn output_wires(&self) -> &[Wire] {
+        &self.outputs
+    }
+
+    /// Constant wires and their values.
+    #[inline]
+    pub(crate) fn const_wires(&self) -> &[(Wire, bool)] {
+        &self.consts
+    }
+
+    /// The scope tree for cost attribution.
+    #[inline]
+    pub fn scopes(&self) -> &ScopeTree {
+        &self.scopes
+    }
+
+    // ---- cost ----------------------------------------------------------
+
+    fn tally(&self, mut include: impl FnMut(&Placed) -> bool) -> CostReport {
+        let mut kinds = KindCounts::default();
+        for p in &self.comps {
+            if !include(p) {
+                continue;
+            }
+            match p.comp {
+                Component::Not { .. } => kinds.not += 1,
+                Component::Gate { .. } => kinds.gate += 1,
+                Component::Mux2 { .. } => kinds.mux2 += 1,
+                Component::Demux2 { .. } => kinds.demux2 += 1,
+                Component::Switch2 { .. } => kinds.switch2 += 1,
+                Component::BitCompare { .. } => kinds.bit_compare += 1,
+                Component::Switch4 { .. } => kinds.switch4 += 1,
+            }
+        }
+        CostReport::from_kinds(kinds)
+    }
+
+    /// Total cost in the paper's units, with a per-kind breakdown.
+    pub fn cost(&self) -> CostReport {
+        self.tally(|_| true)
+    }
+
+    /// Cost of the subtree rooted at the scope with the given path, e.g.
+    /// `cost_of_scope("patchup/adder")`. Returns `None` for unknown paths.
+    pub fn cost_of_scope(&self, path: &str) -> Option<CostReport> {
+        let root = self.scopes.lookup(path)?;
+        Some(self.tally(|p| self.scopes.is_within(p.scope, root)))
+    }
+
+    /// All scope paths that exist in this circuit (sorted), useful for
+    /// exploring a construction's block structure.
+    pub fn scope_paths(&self) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &self.comps {
+            seen.insert(self.scopes.path(p.scope));
+        }
+        seen.into_iter().collect()
+    }
+
+    // ---- depth ---------------------------------------------------------
+
+    /// Bit-level depth: the maximum number of unit-depth primitives on any
+    /// path from a primary input (or constant) to a designated output.
+    ///
+    /// This is exactly the paper's "bit-level depth". All primitives —
+    /// including the 4×4 switch — contribute depth 1.
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0u32; self.n_wires];
+        for p in &self.comps {
+            let mut m = 0u32;
+            p.comp.for_each_input(|w| m = m.max(d[w.index()]));
+            let nd = m + 1;
+            for k in 0..p.comp.n_outputs() {
+                d[p.out_base as usize + k] = nd;
+            }
+        }
+        self.outputs
+            .iter()
+            .map(|w| d[w.index()] as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-output depths (same convention as [`Circuit::depth`]).
+    pub fn output_depths(&self) -> Vec<usize> {
+        let mut d = vec![0u32; self.n_wires];
+        for p in &self.comps {
+            let mut m = 0u32;
+            p.comp.for_each_input(|w| m = m.max(d[w.index()]));
+            let nd = m + 1;
+            for k in 0..p.comp.n_outputs() {
+                d[p.out_base as usize + k] = nd;
+            }
+        }
+        self.outputs.iter().map(|w| d[w.index()] as usize).collect()
+    }
+
+    // ---- evaluation ------------------------------------------------------
+
+    /// Evaluates the circuit on one input vector (scalar path).
+    ///
+    /// `inputs[i]` is the value of the i-th declared primary input; the
+    /// result is the designated outputs in order. For repeated evaluation
+    /// prefer an [`Evaluator`], which reuses its wire buffer.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        Evaluator::new(self).run(inputs)
+    }
+
+    /// Evaluates 64 input vectors at once; bit `j` of `inputs[i]` is the
+    /// value of input `i` in test vector `j`, and likewise for outputs.
+    pub fn eval_lanes(&self, inputs: &[u64]) -> Vec<u64> {
+        Evaluator::new(self).run(inputs)
+    }
+
+    /// Evaluates many input vectors, sharding 64-lane packed passes across
+    /// `threads` OS threads with `crossbeam::scope`. Each thread owns a
+    /// private wire buffer — no shared mutable state.
+    ///
+    /// `vectors[v][i]` is input `i` of vector `v`; the result has the same
+    /// shape with outputs.
+    pub fn eval_batch_parallel(&self, vectors: &[Vec<bool>], threads: usize) -> Vec<Vec<bool>> {
+        crate::eval::eval_batch_parallel(self, vectors, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::Builder;
+
+    /// A 3-level chain to check depth accounting.
+    #[test]
+    fn depth_counts_longest_path() {
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let a = b.and(x, y); // depth 1
+        let o = b.or(a, y); // depth 2
+        let n = b.not(o); // depth 3
+        b.outputs(&[n, a]);
+        let c = b.finish();
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.output_depths(), vec![3, 1]);
+    }
+
+    #[test]
+    fn scope_cost_attribution() {
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let a = b.scoped("left", |b| b.and(x, y));
+        let o = b.scoped("right", |b| {
+            let t = b.or(x, y);
+            b.scoped("inner", |b| b.xor(t, a))
+        });
+        b.outputs(&[o]);
+        let c = b.finish();
+        assert_eq!(c.cost().total, 3);
+        assert_eq!(c.cost_of_scope("left").unwrap().total, 1);
+        assert_eq!(c.cost_of_scope("right").unwrap().total, 2);
+        assert_eq!(c.cost_of_scope("right/inner").unwrap().total, 1);
+        assert!(c.cost_of_scope("nope").is_none());
+        assert_eq!(
+            c.scope_paths(),
+            vec!["left".to_owned(), "right".into(), "right/inner".into()]
+        );
+    }
+
+    #[test]
+    fn lane_eval_matches_scalar() {
+        // xor-chain circuit, compare 64-lane vs scalar on all 16 inputs of
+        // 4 input bits (packed into lanes 0..16).
+        let mut b = Builder::new();
+        let ins = b.input_bus(4);
+        let mut acc = ins[0];
+        for &i in &ins[1..] {
+            acc = b.xor(acc, i);
+        }
+        b.outputs(&[acc]);
+        let c = b.finish();
+
+        let mut packed = vec![0u64; 4];
+        for v in 0..16u64 {
+            for (i, p) in packed.iter_mut().enumerate() {
+                if v >> i & 1 == 1 {
+                    *p |= 1 << v;
+                }
+            }
+        }
+        let lanes = c.eval_lanes(&packed);
+        for v in 0..16u64 {
+            let scalar = c.eval(&[v & 1 == 1, v >> 1 & 1 == 1, v >> 2 & 1 == 1, v >> 3 & 1 == 1]);
+            assert_eq!(lanes[0] >> v & 1 == 1, scalar[0], "vector {v}");
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Circuit primitives and their cost/semantics.
+//!
+//! These are exactly the primitives the paper's Model A admits (Section II):
+//! constant-fanin logic gates, 2×2 switches, 2×1 multiplexers, 1×2
+//! demultiplexers, bit comparators, and 4×4 switches (normalised to four
+//! 2×2 switches). Each primitive has **unit depth**; costs are given by
+//! [`Component::cost`] in the paper's units.
+
+use crate::scope::ScopeId;
+use crate::wire::Wire;
+
+/// A two-input logic-gate operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateOp {
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// Logical XOR.
+    Xor,
+    /// Logical NAND.
+    Nand,
+    /// Logical NOR.
+    Nor,
+    /// Logical XNOR (equivalence).
+    Xnor,
+}
+
+impl GateOp {
+    /// Applies the gate to two booleans (used by tests and the scalar path).
+    #[inline]
+    pub fn apply(self, a: bool, b: bool) -> bool {
+        match self {
+            GateOp::And => a & b,
+            GateOp::Or => a | b,
+            GateOp::Xor => a ^ b,
+            GateOp::Nand => !(a & b),
+            GateOp::Nor => !(a | b),
+            GateOp::Xnor => !(a ^ b),
+        }
+    }
+}
+
+/// One of the four line permutations a 4×4 switch can apply, written as an
+/// output-from-input map: output `j` is driven by input `perm[j]`.
+///
+/// The paper's IN-SWAP and OUT-SWAP four-way swappers each use a set of up
+/// to four such permutations, selected by two control bits (Section II.B,
+/// Fig. 2(b)).
+pub type Perm4 = [u8; 4];
+
+/// A netlist component. Input wires always refer to wires created earlier,
+/// so a `Vec<Component>` built by [`crate::Builder`] is in topological
+/// order by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Component {
+    /// Inverter: `out = !a`. Unit cost, unit depth.
+    Not {
+        /// Input.
+        a: Wire,
+    },
+    /// Two-input gate: `out = op(a, b)`. Unit cost, unit depth.
+    Gate {
+        /// Operation.
+        op: GateOp,
+        /// First input.
+        a: Wire,
+        /// Second input.
+        b: Wire,
+    },
+    /// 2×1 multiplexer: `out = sel ? a1 : a0`. Unit cost, unit depth
+    /// (paper Section II.C).
+    Mux2 {
+        /// Select line.
+        sel: Wire,
+        /// Output when `sel = 0`.
+        a0: Wire,
+        /// Output when `sel = 1`.
+        a1: Wire,
+    },
+    /// 1×2 demultiplexer: routes `x` to output 0 when `sel = 0`, to output
+    /// 1 when `sel = 1`; the unselected output is 0. Unit cost, unit depth
+    /// (paper Section II.D). Outputs: `(out0, out1)`.
+    Demux2 {
+        /// Select line.
+        sel: Wire,
+        /// Data input.
+        x: Wire,
+    },
+    /// 2×2 switch: passes straight when `ctrl = 0`, crosses when
+    /// `ctrl = 1`. Unit cost, unit depth (paper Section II). Outputs:
+    /// `(out_a, out_b)` where `out_a = ctrl ? b : a`.
+    Switch2 {
+        /// Control line (0 = pass, 1 = cross).
+        ctrl: Wire,
+        /// Upper input.
+        a: Wire,
+        /// Lower input.
+        b: Wire,
+    },
+    /// Bit comparator (ascending 2-sorter on bits): outputs
+    /// `(min, max) = (a AND b, a OR b)`. Unit cost, unit depth. This is the
+    /// binary specialisation of the comparator switch in Fig. 1.
+    BitCompare {
+        /// First input.
+        a: Wire,
+        /// Second input.
+        b: Wire,
+    },
+    /// 4×4 switch: applies one of four line permutations to its four
+    /// inputs, selected by two control bits `(s1, s0)` (index
+    /// `sel = 2*s1 + s0`). Cost 4 (paper: "the cost of each 4×4 switch is
+    /// roughly equivalent to the cost of four 2×2 switches"), unit depth.
+    /// Outputs: four wires, output `j` driven by input `perms[sel][j]`.
+    Switch4 {
+        /// High select bit.
+        s1: Wire,
+        /// Low select bit.
+        s0: Wire,
+        /// The four data inputs.
+        ins: [Wire; 4],
+        /// The permutation applied for each of the four select values.
+        perms: [Perm4; 4],
+    },
+}
+
+impl Component {
+    /// Number of output wires this component drives.
+    #[inline]
+    pub fn n_outputs(&self) -> usize {
+        match self {
+            Component::Not { .. } | Component::Gate { .. } | Component::Mux2 { .. } => 1,
+            Component::Demux2 { .. } | Component::Switch2 { .. } | Component::BitCompare { .. } => {
+                2
+            }
+            Component::Switch4 { .. } => 4,
+        }
+    }
+
+    /// Cost in the paper's accounting units: unit cost for every primitive
+    /// except the 4×4 switch, which counts as four 2×2 switches.
+    #[inline]
+    pub fn cost(&self) -> u64 {
+        match self {
+            Component::Switch4 { .. } => 4,
+            _ => 1,
+        }
+    }
+
+    /// Visits every input wire of the component.
+    pub fn for_each_input(&self, mut f: impl FnMut(Wire)) {
+        match *self {
+            Component::Not { a } => f(a),
+            Component::Gate { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            Component::Mux2 { sel, a0, a1 } => {
+                f(sel);
+                f(a0);
+                f(a1);
+            }
+            Component::Demux2 { sel, x } => {
+                f(sel);
+                f(x);
+            }
+            Component::Switch2 { ctrl, a, b } => {
+                f(ctrl);
+                f(a);
+                f(b);
+            }
+            Component::BitCompare { a, b } => {
+                f(a);
+                f(b);
+            }
+            Component::Switch4 { s1, s0, ins, .. } => {
+                f(s1);
+                f(s0);
+                for w in ins {
+                    f(w);
+                }
+            }
+        }
+    }
+}
+
+/// A component together with its placement metadata (output wire base and
+/// the scope it was created under).
+#[derive(Debug, Clone)]
+pub struct Placed {
+    /// The component itself.
+    pub comp: Component,
+    /// Index of the first output wire; outputs occupy
+    /// `out_base .. out_base + comp.n_outputs()`.
+    pub out_base: u32,
+    /// The hierarchical scope the component was created under.
+    pub scope: ScopeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_truth_tables() {
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(GateOp::And.apply(a, b), a && b);
+            assert_eq!(GateOp::Or.apply(a, b), a || b);
+            assert_eq!(GateOp::Xor.apply(a, b), a != b);
+            assert_eq!(GateOp::Nand.apply(a, b), !(a && b));
+            assert_eq!(GateOp::Nor.apply(a, b), !(a || b));
+            assert_eq!(GateOp::Xnor.apply(a, b), a == b);
+        }
+    }
+
+    #[test]
+    fn costs_match_paper_units() {
+        let w = Wire::from_index(0);
+        assert_eq!(Component::Not { a: w }.cost(), 1);
+        assert_eq!(Component::Switch2 { ctrl: w, a: w, b: w }.cost(), 1);
+        assert_eq!(Component::Mux2 { sel: w, a0: w, a1: w }.cost(), 1);
+        assert_eq!(Component::Demux2 { sel: w, x: w }.cost(), 1);
+        assert_eq!(Component::BitCompare { a: w, b: w }.cost(), 1);
+        assert_eq!(
+            Component::Switch4 {
+                s1: w,
+                s0: w,
+                ins: [w; 4],
+                perms: [[0, 1, 2, 3]; 4],
+            }
+            .cost(),
+            4
+        );
+    }
+
+    #[test]
+    fn output_arity() {
+        let w = Wire::from_index(0);
+        assert_eq!(Component::Mux2 { sel: w, a0: w, a1: w }.n_outputs(), 1);
+        assert_eq!(Component::Demux2 { sel: w, x: w }.n_outputs(), 2);
+        assert_eq!(Component::BitCompare { a: w, b: w }.n_outputs(), 2);
+        assert_eq!(
+            Component::Switch4 {
+                s1: w,
+                s0: w,
+                ins: [w; 4],
+                perms: [[0, 1, 2, 3]; 4],
+            }
+            .n_outputs(),
+            4
+        );
+    }
+
+    #[test]
+    fn for_each_input_visits_all() {
+        let mk = Wire::from_index;
+        let c = Component::Switch4 {
+            s1: mk(9),
+            s0: mk(8),
+            ins: [mk(0), mk(1), mk(2), mk(3)],
+            perms: [[0, 1, 2, 3]; 4],
+        };
+        let mut seen = vec![];
+        c.for_each_input(|w| seen.push(w.index()));
+        assert_eq!(seen, vec![9, 8, 0, 1, 2, 3]);
+    }
+}

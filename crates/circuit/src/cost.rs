@@ -1,0 +1,118 @@
+//! Cost accounting in the paper's units.
+//!
+//! Section II of the paper fixes the convention: "each of 2×2 switch, 2×1
+//! multiplexer, and 1×2 demultiplexer has unit cost and unit depth", logic
+//! gates are constant-fanin unit-cost gates, and a 4×4 switch is
+//! "normalized to the number of 2×2 switches" (i.e. cost 4). A
+//! [`CostReport`] gives the total in those units plus a per-kind breakdown
+//! and (via [`crate::Circuit::cost_of_scope`]) per-block attributions.
+
+use std::fmt;
+
+/// Per-primitive-kind component counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    /// Inverters.
+    pub not: u64,
+    /// Two-input logic gates.
+    pub gate: u64,
+    /// 2×1 multiplexers.
+    pub mux2: u64,
+    /// 1×2 demultiplexers.
+    pub demux2: u64,
+    /// 2×2 switches.
+    pub switch2: u64,
+    /// Bit comparators.
+    pub bit_compare: u64,
+    /// 4×4 switches (each costs 4 units).
+    pub switch4: u64,
+}
+
+impl KindCounts {
+    /// Total cost in paper units implied by these counts.
+    pub fn total(&self) -> u64 {
+        self.not
+            + self.gate
+            + self.mux2
+            + self.demux2
+            + self.switch2
+            + self.bit_compare
+            + 4 * self.switch4
+    }
+
+    /// Total number of components (a 4×4 switch counts once here).
+    pub fn components(&self) -> u64 {
+        self.not
+            + self.gate
+            + self.mux2
+            + self.demux2
+            + self.switch2
+            + self.bit_compare
+            + self.switch4
+    }
+}
+
+/// The cost of a circuit (or a scope subtree of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostReport {
+    /// Total cost in the paper's units (4×4 switches count 4).
+    pub total: u64,
+    /// Breakdown by primitive kind.
+    pub kinds: KindCounts,
+}
+
+impl CostReport {
+    /// Builds a report from kind counts.
+    pub fn from_kinds(kinds: KindCounts) -> Self {
+        CostReport {
+            total: kinds.total(),
+            kinds,
+        }
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cost {} (not {}, gate {}, mux {}, demux {}, sw2 {}, cmp {}, sw4 {})",
+            self.total,
+            self.kinds.not,
+            self.kinds.gate,
+            self.kinds.mux2,
+            self.kinds.demux2,
+            self.kinds.switch2,
+            self.kinds.bit_compare,
+            self.kinds.switch4,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch4_counts_four() {
+        let kinds = KindCounts {
+            switch4: 3,
+            switch2: 2,
+            ..Default::default()
+        };
+        assert_eq!(kinds.total(), 14);
+        assert_eq!(kinds.components(), 5);
+        let r = CostReport::from_kinds(kinds);
+        assert_eq!(r.total, 14);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let r = CostReport::from_kinds(KindCounts {
+            gate: 2,
+            ..Default::default()
+        });
+        let s = r.to_string();
+        assert!(s.contains("cost 2"));
+        assert!(s.contains("gate 2"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Graphviz DOT export for small circuits.
+//!
+//! The paper communicates its constructions as figures; for inspecting a
+//! built instance (e.g. the 16-input prefix sorter of Fig. 5), a DOT
+//! rendering of the netlist is the closest executable analogue. Intended
+//! for small `n` — a 16-input sorter has a few hundred nodes and renders
+//! fine; exporting a 2¹⁶-input sorter is refused.
+
+use crate::circuit::Circuit;
+use crate::component::Component;
+use std::fmt::Write as _;
+
+/// Maximum number of components for which DOT export is permitted.
+pub const DOT_COMPONENT_LIMIT: usize = 20_000;
+
+/// Renders the circuit as a Graphviz digraph. Inputs are plaintext
+/// sources, components are boxes labelled with their primitive kind (and
+/// grouped visually by depth via `rank=same`).
+///
+/// # Panics
+///
+/// Panics when the circuit exceeds [`DOT_COMPONENT_LIMIT`] components —
+/// a rendering that size is unreadable and the string would be huge.
+pub fn to_dot(circuit: &Circuit, title: &str) -> String {
+    assert!(
+        circuit.n_components() <= DOT_COMPONENT_LIMIT,
+        "refusing to render {} components as DOT (limit {DOT_COMPONENT_LIMIT})",
+        circuit.n_components()
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{title}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+
+    // wire -> producing node name
+    let mut producer: Vec<String> = vec![String::new(); circuit.n_wires()];
+    for (i, w) in circuit.input_wires().iter().enumerate() {
+        let name = format!("in{i}");
+        let _ = writeln!(out, "  {name} [shape=plaintext,label=\"x{i}\"];");
+        producer[w.index()] = name;
+    }
+    for (w, v) in circuit.const_wires() {
+        let name = format!("const{}", w.index());
+        let _ = writeln!(
+            out,
+            "  {name} [shape=plaintext,label=\"{}\"];",
+            u8::from(*v)
+        );
+        producer[w.index()] = name;
+    }
+
+    for (ci, p) in circuit.components().iter().enumerate() {
+        let name = format!("c{ci}");
+        let label = match &p.comp {
+            Component::Not { .. } => "NOT",
+            Component::Gate { op, .. } => match op {
+                crate::component::GateOp::And => "AND",
+                crate::component::GateOp::Or => "OR",
+                crate::component::GateOp::Xor => "XOR",
+                crate::component::GateOp::Nand => "NAND",
+                crate::component::GateOp::Nor => "NOR",
+                crate::component::GateOp::Xnor => "XNOR",
+            },
+            Component::Mux2 { .. } => "MUX",
+            Component::Demux2 { .. } => "DEMUX",
+            Component::Switch2 { .. } => "SW2",
+            Component::BitCompare { .. } => "CMP",
+            Component::Switch4 { .. } => "SW4",
+        };
+        let _ = writeln!(out, "  {name} [shape=box,label=\"{label}\"];");
+        p.comp.for_each_input(|w| {
+            let src = &producer[w.index()];
+            let _ = writeln!(out, "  {src} -> {name};");
+        });
+        for k in 0..p.comp.n_outputs() {
+            producer[p.out_base as usize + k] = name.clone();
+        }
+    }
+
+    for (i, w) in circuit.output_wires().iter().enumerate() {
+        let name = format!("out{i}");
+        let _ = writeln!(out, "  {name} [shape=plaintext,label=\"y{i}\"];");
+        let _ = writeln!(out, "  {} -> {name};", producer[w.index()]);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    fn half_adder() -> Circuit {
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let s = b.xor(x, y);
+        let c = b.and(x, y);
+        b.outputs(&[s, c]);
+        b.finish()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let c = half_adder();
+        let dot = to_dot(&c, "half-adder");
+        assert!(dot.contains("digraph \"half-adder\""));
+        assert!(dot.contains("XOR"));
+        assert!(dot.contains("AND"));
+        assert!(dot.contains("in0 -> c0"));
+        assert!(dot.contains("-> out0"));
+        assert!(dot.contains("-> out1"));
+        // 2 inputs + 2 gates + 2 outputs declared
+        assert_eq!(dot.matches("shape=plaintext").count(), 4);
+        assert_eq!(dot.matches("shape=box").count(), 2);
+    }
+
+    #[test]
+    fn dot_renders_constants() {
+        let mut b = Builder::new();
+        let x = b.input();
+        let one = b.constant(true);
+        let o = b.or(x, one);
+        b.outputs(&[o]);
+        let dot = to_dot(&b.finish(), "c");
+        assert!(dot.contains("label=\"1\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to render")]
+    fn size_limit_enforced() {
+        let mut b = Builder::new();
+        let x = b.input();
+        let mut acc = x;
+        for _ in 0..DOT_COMPONENT_LIMIT + 1 {
+            acc = b.not(acc);
+        }
+        b.outputs(&[acc]);
+        let _ = to_dot(&b.finish(), "big");
+    }
+}

@@ -1,0 +1,271 @@
+//! Evaluation engines: scalar, 64-lane bit-parallel, and multi-threaded
+//! batch evaluation.
+//!
+//! Evaluation is a single forward scan over the topologically ordered
+//! component list. The [`Evaluator`] owns a reusable wire buffer so hot
+//! loops (exhaustive verification, benchmarks) do one allocation total.
+//! The batch evaluator shards packed 64-lane passes across scoped
+//! crossbeam threads; each thread owns a private buffer, so there is no
+//! shared mutable state and no locking.
+
+use crate::circuit::Circuit;
+use crate::component::Component;
+use crate::lane::Lane;
+
+/// A reusable evaluation context for one circuit and one lane type.
+///
+/// ```
+/// use absort_circuit::{Builder, Evaluator};
+///
+/// let mut b = Builder::new();
+/// let x = b.input();
+/// let y = b.input();
+/// let o = b.and(x, y);
+/// b.outputs(&[o]);
+/// let c = b.finish();
+///
+/// let mut ev: Evaluator<'_, bool> = Evaluator::new(&c);
+/// assert_eq!(ev.run(&[true, true]), vec![true]);
+/// assert_eq!(ev.run(&[true, false]), vec![false]);
+/// ```
+pub struct Evaluator<'c, V: Lane> {
+    circuit: &'c Circuit,
+    wires: Vec<V>,
+}
+
+impl<'c, V: Lane> Evaluator<'c, V> {
+    /// Creates an evaluator with a zeroed wire buffer.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Evaluator {
+            circuit,
+            wires: vec![V::ZERO; circuit.n_wires()],
+        }
+    }
+
+    /// Evaluates on the given primary-input values and returns the outputs.
+    pub fn run(&mut self, inputs: &[V]) -> Vec<V> {
+        let mut out = vec![V::ZERO; self.circuit.n_outputs()];
+        self.run_into(inputs, &mut out);
+        out
+    }
+
+    /// Evaluates into a caller-provided output slice (no allocation).
+    pub fn run_into(&mut self, inputs: &[V], out: &mut [V]) {
+        let c = self.circuit;
+        assert_eq!(
+            inputs.len(),
+            c.n_inputs(),
+            "expected {} inputs, got {}",
+            c.n_inputs(),
+            inputs.len()
+        );
+        assert_eq!(out.len(), c.n_outputs(), "output slice has wrong length");
+
+        let w = &mut self.wires;
+        for (wire, &v) in c.input_wires().iter().zip(inputs) {
+            w[wire.index()] = v;
+        }
+        for &(wire, v) in c.const_wires() {
+            w[wire.index()] = V::splat(v);
+        }
+
+        for p in c.components() {
+            let base = p.out_base as usize;
+            match p.comp {
+                Component::Not { a } => {
+                    w[base] = w[a.index()].not();
+                }
+                Component::Gate { op, a, b } => {
+                    let (x, y) = (w[a.index()], w[b.index()]);
+                    use crate::component::GateOp::*;
+                    w[base] = match op {
+                        And => x.and(y),
+                        Or => x.or(y),
+                        Xor => x.xor(y),
+                        Nand => x.and(y).not(),
+                        Nor => x.or(y).not(),
+                        Xnor => x.xor(y).not(),
+                    };
+                }
+                Component::Mux2 { sel, a0, a1 } => {
+                    w[base] = V::select(w[sel.index()], w[a1.index()], w[a0.index()]);
+                }
+                Component::Demux2 { sel, x } => {
+                    let (s, xv) = (w[sel.index()], w[x.index()]);
+                    w[base] = s.not().and(xv);
+                    w[base + 1] = s.and(xv);
+                }
+                Component::Switch2 { ctrl, a, b } => {
+                    let (s, av, bv) = (w[ctrl.index()], w[a.index()], w[b.index()]);
+                    w[base] = V::select(s, bv, av);
+                    w[base + 1] = V::select(s, av, bv);
+                }
+                Component::BitCompare { a, b } => {
+                    let (av, bv) = (w[a.index()], w[b.index()]);
+                    w[base] = av.and(bv); // min
+                    w[base + 1] = av.or(bv); // max
+                }
+                Component::Switch4 { s1, s0, ins, perms } => {
+                    let (v1, v0) = (w[s1.index()], w[s0.index()]);
+                    let m = [
+                        v1.not().and(v0.not()),
+                        v1.not().and(v0),
+                        v1.and(v0.not()),
+                        v1.and(v0),
+                    ];
+                    let iv = [
+                        w[ins[0].index()],
+                        w[ins[1].index()],
+                        w[ins[2].index()],
+                        w[ins[3].index()],
+                    ];
+                    for j in 0..4 {
+                        let mut acc = V::ZERO;
+                        for (s, mask) in m.iter().enumerate() {
+                            acc = acc.or(mask.and(iv[perms[s][j] as usize]));
+                        }
+                        w[base + j] = acc;
+                    }
+                }
+            }
+        }
+
+        for (o, wire) in out.iter_mut().zip(c.output_wires()) {
+            *o = w[wire.index()];
+        }
+    }
+}
+
+/// Packs up to 64 boolean input vectors (all of length `n_inputs`) into
+/// 64-lane words: result `[i]` holds input `i` across vectors, vector `v`
+/// in bit `v`.
+pub fn pack_lanes(vectors: &[Vec<bool>], n_inputs: usize) -> Vec<u64> {
+    assert!(vectors.len() <= 64, "at most 64 vectors per packed pass");
+    let mut packed = vec![0u64; n_inputs];
+    for (v, vec) in vectors.iter().enumerate() {
+        assert_eq!(vec.len(), n_inputs, "vector {v} has wrong length");
+        for (i, &bit) in vec.iter().enumerate() {
+            if bit {
+                packed[i] |= 1 << v;
+            }
+        }
+    }
+    packed
+}
+
+/// Unpacks 64-lane output words back into `count` boolean vectors.
+pub fn unpack_lanes(packed: &[u64], count: usize) -> Vec<Vec<bool>> {
+    assert!(count <= 64);
+    (0..count)
+        .map(|v| packed.iter().map(|&word| word >> v & 1 == 1).collect())
+        .collect()
+}
+
+/// Multi-threaded batch evaluation: packs vectors into 64-lane groups and
+/// shards groups across `threads` scoped threads.
+pub(crate) fn eval_batch_parallel(
+    circuit: &Circuit,
+    vectors: &[Vec<bool>],
+    threads: usize,
+) -> Vec<Vec<bool>> {
+    let threads = threads.max(1);
+    let groups: Vec<&[Vec<bool>]> = vectors.chunks(64).collect();
+    let mut results: Vec<Vec<Vec<bool>>> = vec![Vec::new(); groups.len()];
+
+    if threads == 1 || groups.len() <= 1 {
+        let mut ev: Evaluator<'_, u64> = Evaluator::new(circuit);
+        for (g, slot) in groups.iter().zip(results.iter_mut()) {
+            let packed = pack_lanes(g, circuit.n_inputs());
+            let out = ev.run(&packed);
+            *slot = unpack_lanes(&out, g.len());
+        }
+    } else {
+        // Shard the group list across scoped threads; each thread gets a
+        // disjoint set of (group, result-slot) pairs via chunked split.
+        let per = groups.len().div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (gchunk, rchunk) in groups.chunks(per).zip(results.chunks_mut(per)) {
+                s.spawn(move |_| {
+                    let mut ev: Evaluator<'_, u64> = Evaluator::new(circuit);
+                    for (g, slot) in gchunk.iter().zip(rchunk.iter_mut()) {
+                        let packed = pack_lanes(g, circuit.n_inputs());
+                        let out = ev.run(&packed);
+                        *slot = unpack_lanes(&out, g.len());
+                    }
+                });
+            }
+        })
+        .expect("evaluation worker panicked");
+    }
+
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    fn majority_circuit() -> Circuit {
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let z = b.input();
+        let xy = b.and(x, y);
+        let yz = b.and(y, z);
+        let xz = b.and(x, z);
+        let t = b.or(xy, yz);
+        let o = b.or(t, xz);
+        b.outputs(&[o]);
+        b.finish()
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let vectors: Vec<Vec<bool>> = (0..8u8)
+            .map(|v| (0..3).map(|i| v >> i & 1 == 1).collect())
+            .collect();
+        let packed = pack_lanes(&vectors, 3);
+        let back = unpack_lanes(&packed, vectors.len());
+        assert_eq!(back, vectors);
+    }
+
+    #[test]
+    fn batch_parallel_matches_scalar() {
+        let c = majority_circuit();
+        let vectors: Vec<Vec<bool>> = (0..8u8)
+            .map(|v| (0..3).map(|i| v >> i & 1 == 1).collect())
+            .collect();
+        // Repeat to force multiple 64-lane groups.
+        let many: Vec<Vec<bool>> = vectors
+            .iter()
+            .cycle()
+            .take(300)
+            .cloned()
+            .collect();
+        for threads in [1, 2, 4] {
+            let got = c.eval_batch_parallel(&many, threads);
+            for (v, g) in many.iter().zip(&got) {
+                assert_eq!(g, &c.eval(v), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_into_avoids_length_bugs() {
+        let c = majority_circuit();
+        let mut ev: Evaluator<'_, bool> = Evaluator::new(&c);
+        let mut out = vec![false; 1];
+        ev.run_into(&[true, true, false], &mut out);
+        assert!(out[0]);
+        ev.run_into(&[false, false, true], &mut out);
+        assert!(!out[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 inputs")]
+    fn wrong_input_len_panics() {
+        let c = majority_circuit();
+        let _ = c.eval(&[true]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Lane abstraction for scalar and bit-parallel evaluation.
+//!
+//! Every wire carries one value of a [`Lane`] type during evaluation.
+//! `bool` gives scalar (one-test-vector) evaluation; `u64` evaluates 64
+//! independent test vectors in a single pass — the classic bit-parallel
+//! ("bit-sliced") circuit-simulation trick, which is what makes exhaustive
+//! verification of the 2^16 inputs of a 16-input sorter circuit cheap.
+
+/// A value type a wire can carry: a single bit or a packed vector of bits
+/// combined with bitwise operations.
+pub trait Lane: Copy + Send + Sync + 'static {
+    /// The all-zeros value.
+    const ZERO: Self;
+    /// The all-ones value (logical TRUE in every lane).
+    const ONES: Self;
+
+    /// Bitwise NOT.
+    fn not(self) -> Self;
+    /// Bitwise AND.
+    fn and(self, other: Self) -> Self;
+    /// Bitwise OR.
+    fn or(self, other: Self) -> Self;
+    /// Bitwise XOR.
+    fn xor(self, other: Self) -> Self;
+
+    /// Per-lane select: in each lane, yields `a1` where `sel` is 1 and
+    /// `a0` where `sel` is 0.
+    #[inline]
+    fn select(sel: Self, a1: Self, a0: Self) -> Self {
+        sel.and(a1).or(sel.not().and(a0))
+    }
+
+    /// Broadcast of a boolean constant into every lane.
+    #[inline]
+    fn splat(b: bool) -> Self {
+        if b {
+            Self::ONES
+        } else {
+            Self::ZERO
+        }
+    }
+}
+
+impl Lane for bool {
+    const ZERO: Self = false;
+    const ONES: Self = true;
+
+    #[inline]
+    fn not(self) -> Self {
+        !self
+    }
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+    #[inline]
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+}
+
+impl Lane for u64 {
+    const ZERO: Self = 0;
+    const ONES: Self = u64::MAX;
+
+    #[inline]
+    fn not(self) -> Self {
+        !self
+    }
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+    #[inline]
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+}
+
+impl Lane for u128 {
+    const ZERO: Self = 0;
+    const ONES: Self = u128::MAX;
+
+    #[inline]
+    fn not(self) -> Self {
+        !self
+    }
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+    #[inline]
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_select() {
+        assert!(bool::select(true, true, false));
+        assert!(!bool::select(false, true, false));
+        assert!(bool::select(false, false, true));
+    }
+
+    #[test]
+    fn u64_select_is_per_lane() {
+        let sel = 0b1010u64;
+        let a1 = 0b1100u64;
+        let a0 = 0b0011u64;
+        // lane 0: sel=0 -> a0 bit 1; lane 1: sel=1 -> a1 bit 0;
+        // lane 2: sel=0 -> a0 bit 0; lane 3: sel=1 -> a1 bit 1.
+        assert_eq!(u64::select(sel, a1, a0), 0b1001);
+    }
+
+    #[test]
+    fn splat() {
+        assert_eq!(u64::splat(true), u64::MAX);
+        assert_eq!(u64::splat(false), 0);
+        assert!(bool::splat(true));
+        assert_eq!(u128::splat(true), u128::MAX);
+    }
+
+    #[test]
+    fn u128_lanes_match_u64_lanes() {
+        // 128-lane evaluation halves the pass count of exhaustive sweeps;
+        // semantics must match the 64-lane path bit for bit.
+        let sel = 0b1010u128;
+        let a1 = 0b1100u128;
+        let a0 = 0b0011u128;
+        assert_eq!(u128::select(sel, a1, a0), 0b1001);
+        assert_eq!(
+            u64::select(0b1010, 0b1100, 0b0011) as u128,
+            u128::select(0b1010, 0b1100, 0b0011)
+        );
+    }
+}

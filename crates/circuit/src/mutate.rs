@@ -1,0 +1,237 @@
+//! Netlist fault injection.
+//!
+//! Generates single-fault mutants of a circuit — a flipped comparator, a
+//! stuck select, a swapped mux arm — so the workspace's verifiers can be
+//! *scored*: a checker that accepts faulty sorters proves nothing. Used
+//! by the gate-level mutation tests (`tests/mutation.rs` handles the
+//! word-level networks; this module covers the Model A netlists).
+
+use crate::circuit::Circuit;
+use crate::component::{Component, GateOp};
+use crate::wire::Wire;
+
+/// A single-fault mutation applied to one component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Swap a comparator's min/max outputs (or a switch's two outputs),
+    /// exchange a mux's arms, invert a gate.
+    InvertBehaviour,
+    /// Tie the component's select/control line to constant 0.
+    StuckSelectLow,
+}
+
+/// Enumerates the mutants of `circuit` under `fault`: one mutant per
+/// applicable component, as `(component index, mutated circuit)`.
+///
+/// Mutants preserve the interface (inputs/outputs/wire table), so they
+/// can be run through any checker built for the original.
+pub fn mutants(circuit: &Circuit, fault: Fault) -> Vec<(usize, Circuit)> {
+    // Stuck-select faults tie a line to 0; if the circuit has no false
+    // constant, the mutant gets a fresh tied-off wire appended to the
+    // wire table (defined before the component scan, so topological
+    // evaluation is unaffected).
+    let existing_const0 = circuit
+        .const_wires()
+        .iter()
+        .find(|&&(_, v)| !v)
+        .map(|&(w, _)| w);
+    let (const0, extra_wires, extra_consts) = match (fault, existing_const0) {
+        (Fault::StuckSelectLow, None) => {
+            let w = Wire::from_index(circuit.n_wires());
+            (Some(w), 1usize, vec![(w, false)])
+        }
+        (_, c) => (c, 0, Vec::new()),
+    };
+    let mut out = Vec::new();
+    for (ci, p) in circuit.components().iter().enumerate() {
+        if let Some(mutated) = mutate_component(&p.comp, fault, const0) {
+            let mut comps = circuit.components().to_vec();
+            comps[ci].comp = mutated;
+            let mut consts = circuit.const_wires().to_vec();
+            consts.extend(extra_consts.iter().copied());
+            let rebuilt = Circuit::from_parts(
+                comps,
+                circuit.n_wires() + extra_wires,
+                circuit.input_wires().to_vec(),
+                circuit.output_wires().to_vec(),
+                consts,
+                circuit.scopes().clone(),
+            );
+            out.push((ci, rebuilt));
+        }
+    }
+    out
+}
+
+fn mutate_component(c: &Component, fault: Fault, const0: Option<Wire>) -> Option<Component> {
+    match (fault, c) {
+        (Fault::InvertBehaviour, Component::BitCompare { a, b }) => {
+            // A comparator is exactly a 2×2 switch steered by its own
+            // upper input (ctrl = a ⇒ (min, max)); the classic wiring
+            // fault is steering by the *lower* input instead, which
+            // mis-routes exactly the (1,0) and (0,0)… cases where the
+            // pair straddles: with ctrl = b the cell emits (1,0) on input
+            // (1,0) — an unsorted pair a real comparator can never emit.
+            Some(Component::Switch2 {
+                ctrl: *b,
+                a: *a,
+                b: *b,
+            })
+        }
+        (Fault::InvertBehaviour, Component::Gate { op, a, b }) => {
+            let flipped = match op {
+                GateOp::And => GateOp::Nand,
+                GateOp::Or => GateOp::Nor,
+                GateOp::Xor => GateOp::Xnor,
+                GateOp::Nand => GateOp::And,
+                GateOp::Nor => GateOp::Or,
+                GateOp::Xnor => GateOp::Xor,
+            };
+            Some(Component::Gate {
+                op: flipped,
+                a: *a,
+                b: *b,
+            })
+        }
+        (Fault::InvertBehaviour, Component::Mux2 { sel, a0, a1 }) => Some(Component::Mux2 {
+            sel: *sel,
+            a0: *a1,
+            a1: *a0,
+        }),
+        (Fault::InvertBehaviour, Component::Switch2 { ctrl, a, b }) => {
+            // pass/cross polarity inverted == swap data operands
+            Some(Component::Switch2 {
+                ctrl: *ctrl,
+                a: *b,
+                b: *a,
+            })
+        }
+        (Fault::InvertBehaviour, Component::Switch4 { s1, s0, ins, perms }) => {
+            // select decode scrambled: the permutation table reversed
+            Some(Component::Switch4 {
+                s1: *s1,
+                s0: *s0,
+                ins: *ins,
+                perms: [perms[3], perms[2], perms[1], perms[0]],
+            })
+        }
+        (Fault::StuckSelectLow, Component::Mux2 { a0, a1, .. }) => Some(Component::Mux2 {
+            sel: const0?,
+            a0: *a0,
+            a1: *a1,
+        }),
+        (Fault::StuckSelectLow, Component::Switch2 { a, b, .. }) => Some(Component::Switch2 {
+            ctrl: const0?,
+            a: *a,
+            b: *b,
+        }),
+        (Fault::StuckSelectLow, Component::Demux2 { x, .. }) => Some(Component::Demux2 {
+            sel: const0?,
+            x: *x,
+        }),
+        (Fault::StuckSelectLow, Component::Switch4 { s1, ins, perms, .. }) => {
+            Some(Component::Switch4 {
+                s1: *s1,
+                s0: const0?,
+                ins: *ins,
+                perms: *perms,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Runs `kill` on every mutant and returns `(killed, total)`: the
+/// mutation score of whatever check `kill` encodes.
+pub fn mutation_score(
+    circuit: &Circuit,
+    fault: Fault,
+    mut kill: impl FnMut(&Circuit) -> bool,
+) -> (usize, usize) {
+    let ms = mutants(circuit, fault);
+    let total = ms.len();
+    let killed = ms.iter().filter(|(_, m)| kill(m)).count();
+    (killed, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    fn two_sorter() -> Circuit {
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let (lo, hi) = b.bit_compare(x, y);
+        b.outputs(&[lo, hi]);
+        b.finish()
+    }
+
+    #[test]
+    fn comparator_mutant_misbehaves() {
+        let c = two_sorter();
+        let ms = mutants(&c, Fault::InvertBehaviour);
+        assert_eq!(ms.len(), 1);
+        let (_, m) = &ms[0];
+        // original sorts (1,0) → (0,1); some input must now differ
+        let mut differs = false;
+        for v in 0..4u8 {
+            let input = vec![v & 1 == 1, v >> 1 & 1 == 1];
+            if m.eval(&input) != c.eval(&input) {
+                differs = true;
+            }
+        }
+        assert!(differs, "mutant must be behaviourally distinct");
+    }
+
+    #[test]
+    fn stuck_select_synthesizes_a_tie_off() {
+        // circuit without const0: the mutant gets a fresh tied-off wire
+        let mut b = Builder::new();
+        let s = b.input();
+        let x = b.input();
+        let y = b.input();
+        let o = b.mux2(s, x, y);
+        b.outputs(&[o]);
+        let c = b.finish();
+        let ms = mutants(&c, Fault::StuckSelectLow);
+        assert_eq!(ms.len(), 1);
+        let (_, m) = &ms[0];
+        // sel stuck low: output always x regardless of s
+        assert_eq!(m.eval(&[true, false, true]), vec![false]);
+        assert_eq!(m.eval(&[false, false, true]), vec![false]);
+        assert_eq!(c.eval(&[true, false, true]), vec![true]);
+    }
+
+    #[test]
+    fn stuck_select_reuses_existing_constant() {
+        let mut b = Builder::new();
+        let s = b.input();
+        let x = b.input();
+        let y = b.input();
+        let z = b.constant(false);
+        let t = b.or(y, z);
+        let o = b.mux2(s, x, t);
+        b.outputs(&[o]);
+        let c = b.finish();
+        let before = c.n_wires();
+        let ms = mutants(&c, Fault::StuckSelectLow);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].1.n_wires(), before, "no extra wire when const0 exists");
+        assert_eq!(ms[0].1.eval(&[true, false, true]), vec![false]);
+    }
+
+    #[test]
+    fn gate_inversion_roundtrips() {
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let o = b.and(x, y);
+        b.outputs(&[o]);
+        let c = b.finish();
+        let ms = mutants(&c, Fault::InvertBehaviour);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].1.eval(&[true, true]), vec![false], "AND → NAND");
+    }
+}

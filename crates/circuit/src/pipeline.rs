@@ -1,0 +1,345 @@
+//! Gate-level pipelining of combinational circuits.
+//!
+//! Model B's time bounds hinge on the sentence "the sorting network is
+//! viewed as a `lg²(n/k)`-segment pipeline, where each segment is a
+//! constant fanin, unit delay circuit" (Section III.C). This module makes
+//! that view executable: [`Pipelined`] retimes any combinational
+//! [`Circuit`] into `depth` register-separated stages (stage `s` holds
+//! every component whose ASAP level is `s + 1`) and simulates it cycle by
+//! cycle — one new input vector may enter per cycle, each in-flight
+//! vector advances one stage per cycle, and results emerge after exactly
+//! `depth` cycles. Latency and initiation interval therefore match the
+//! paper's model by construction, and the fish sorter's pipelined front
+//! end can be validated at the gate level
+//! (`absort-core::fish::hardware`).
+
+use crate::circuit::Circuit;
+use crate::component::Component;
+use crate::lane::Lane;
+
+/// A combinational circuit retimed into unit-depth pipeline stages.
+///
+/// ```
+/// use absort_circuit::{Builder, pipeline::Pipelined};
+///
+/// let mut b = Builder::new();
+/// let x = b.input();
+/// let y = b.input();
+/// let (lo, hi) = b.bit_compare(x, y);
+/// b.outputs(&[lo, hi]);
+/// let circuit = b.finish();
+///
+/// let pipe = Pipelined::new(&circuit);
+/// assert_eq!(pipe.stages(), 1);
+/// // three vectors streamed: latency 1, one result per cycle afterwards
+/// let (outs, cycles) = pipe.simulate(&[
+///     vec![true, false],
+///     vec![false, false],
+///     vec![true, true],
+/// ]);
+/// assert_eq!(cycles, 3); // stages + k − 1
+/// assert_eq!(outs[0], vec![false, true]);
+/// ```
+pub struct Pipelined<'c> {
+    circuit: &'c Circuit,
+    /// Component indices grouped by stage (stage `s` = ASAP level `s+1`).
+    stage_comps: Vec<Vec<u32>>,
+}
+
+impl<'c> Pipelined<'c> {
+    /// Retimes `circuit` by ASAP levels.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        let mut level = vec![0u32; circuit.n_wires()];
+        let mut stage_comps: Vec<Vec<u32>> = Vec::new();
+        for (ci, p) in circuit.components().iter().enumerate() {
+            let mut m = 0u32;
+            p.comp.for_each_input(|w| m = m.max(level[w.index()]));
+            let l = m + 1;
+            for k in 0..p.comp.n_outputs() {
+                level[p.out_base as usize + k] = l;
+            }
+            let s = (l - 1) as usize;
+            if stage_comps.len() <= s {
+                stage_comps.resize_with(s + 1, Vec::new);
+            }
+            stage_comps[s].push(ci as u32);
+        }
+        Pipelined {
+            circuit,
+            stage_comps,
+        }
+    }
+
+    /// Number of pipeline stages (= the circuit's depth).
+    pub fn stages(&self) -> usize {
+        self.stage_comps.len()
+    }
+
+    /// Register bits required between stages in a hardware realization:
+    /// for each stage boundary, every wire produced at or before the
+    /// boundary and consumed after it needs a flip-flop. (An upper bound
+    /// used by the cost discussions; the paper's cost accounting does not
+    /// price registers, and neither do we elsewhere.)
+    pub fn register_bound(&self) -> u64 {
+        // Conservative: every wire alive across any boundary counts once
+        // per boundary it crosses.
+        let c = self.circuit;
+        let mut level = vec![0u32; c.n_wires()];
+        let mut last_use = vec![0u32; c.n_wires()];
+        for p in c.components() {
+            let mut m = 0u32;
+            p.comp.for_each_input(|w| m = m.max(level[w.index()]));
+            let l = m + 1;
+            p.comp.for_each_input(|w| {
+                last_use[w.index()] = last_use[w.index()].max(l);
+            });
+            for k in 0..p.comp.n_outputs() {
+                level[p.out_base as usize + k] = l;
+            }
+        }
+        for w in c.output_wires() {
+            last_use[w.index()] = last_use[w.index()].max(self.stages() as u32 + 1);
+        }
+        (0..c.n_wires())
+            .map(|w| u64::from(last_use[w].saturating_sub(level[w] + 1)))
+            .sum()
+    }
+
+    /// Simulates the pipeline: `inputs[v]` enters at cycle `v` (one new
+    /// vector per cycle — initiation interval 1), and the function
+    /// returns `(outputs, total_cycles)` where `outputs[v]` is vector
+    /// `v`'s result and `total_cycles = stages + inputs.len() − 1` (the
+    /// cycle in which the last result emerges).
+    ///
+    /// The simulation is value-faithful *per stage*: each in-flight
+    /// vector's wires are evaluated stage by stage as it advances, so a
+    /// stage's values exist only from the cycle that vector reaches it —
+    /// exactly the registered dataflow of the hardware.
+    pub fn simulate<V: Lane>(&self, inputs: &[Vec<V>]) -> (Vec<Vec<V>>, u64) {
+        let c = self.circuit;
+        let n_stages = self.stages();
+        // In-flight contexts: wire buffers per vector, plus its stage.
+        struct InFlight<V> {
+            vector: usize,
+            next_stage: usize,
+            wires: Vec<V>,
+        }
+        let mut flying: Vec<InFlight<V>> = Vec::new();
+        let mut outputs: Vec<Option<Vec<V>>> = vec![None; inputs.len()];
+        let mut admitted = 0usize;
+        let mut done = 0usize;
+        let mut cycles = 0u64;
+        while done < inputs.len() {
+            cycles += 1;
+            // advance every in-flight vector one stage
+            for f in &mut flying {
+                for &ci in &self.stage_comps[f.next_stage] {
+                    eval_component(&c.components()[ci as usize], &mut f.wires);
+                }
+                f.next_stage += 1;
+            }
+            // retire completed vectors
+            flying.retain(|f| {
+                if f.next_stage == n_stages {
+                    outputs[f.vector] =
+                        Some(c.output_wires().iter().map(|w| f.wires[w.index()]).collect());
+                    done += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            // admit the next vector (one per cycle)
+            if admitted < inputs.len() {
+                let v = &inputs[admitted];
+                assert_eq!(v.len(), c.n_inputs(), "vector {admitted} arity");
+                let mut wires = vec![V::ZERO; c.n_wires()];
+                for (wire, &val) in c.input_wires().iter().zip(v) {
+                    wires[wire.index()] = val;
+                }
+                for &(wire, val) in c.const_wires() {
+                    wires[wire.index()] = V::splat(val);
+                }
+                let mut f = InFlight {
+                    vector: admitted,
+                    next_stage: 0,
+                    wires,
+                };
+                // stage 0 executes in the admission cycle
+                for &ci in &self.stage_comps[0] {
+                    eval_component(&c.components()[ci as usize], &mut f.wires);
+                }
+                f.next_stage = 1;
+                if f.next_stage == n_stages {
+                    outputs[f.vector] =
+                        Some(c.output_wires().iter().map(|w| f.wires[w.index()]).collect());
+                    done += 1;
+                } else {
+                    flying.push(f);
+                }
+                admitted += 1;
+            }
+        }
+        (
+            outputs.into_iter().map(|o| o.expect("retired")).collect(),
+            cycles,
+        )
+    }
+}
+
+fn eval_component<V: Lane>(
+    p: &crate::component::Placed,
+    w: &mut [V],
+) {
+    let base = p.out_base as usize;
+    match p.comp {
+        Component::Not { a } => w[base] = w[a.index()].not(),
+        Component::Gate { op, a, b } => {
+            use crate::component::GateOp::*;
+            let (x, y) = (w[a.index()], w[b.index()]);
+            w[base] = match op {
+                And => x.and(y),
+                Or => x.or(y),
+                Xor => x.xor(y),
+                Nand => x.and(y).not(),
+                Nor => x.or(y).not(),
+                Xnor => x.xor(y).not(),
+            };
+        }
+        Component::Mux2 { sel, a0, a1 } => {
+            w[base] = V::select(w[sel.index()], w[a1.index()], w[a0.index()]);
+        }
+        Component::Demux2 { sel, x } => {
+            let (s, xv) = (w[sel.index()], w[x.index()]);
+            w[base] = s.not().and(xv);
+            w[base + 1] = s.and(xv);
+        }
+        Component::Switch2 { ctrl, a, b } => {
+            let (s, av, bv) = (w[ctrl.index()], w[a.index()], w[b.index()]);
+            w[base] = V::select(s, bv, av);
+            w[base + 1] = V::select(s, av, bv);
+        }
+        Component::BitCompare { a, b } => {
+            let (av, bv) = (w[a.index()], w[b.index()]);
+            w[base] = av.and(bv);
+            w[base + 1] = av.or(bv);
+        }
+        Component::Switch4 { s1, s0, ins, perms } => {
+            let (v1, v0) = (w[s1.index()], w[s0.index()]);
+            let m = [
+                v1.not().and(v0.not()),
+                v1.not().and(v0),
+                v1.and(v0.not()),
+                v1.and(v0),
+            ];
+            let iv = [
+                w[ins[0].index()],
+                w[ins[1].index()],
+                w[ins[2].index()],
+                w[ins[3].index()],
+            ];
+            for j in 0..4 {
+                let mut acc = V::ZERO;
+                for (s, mask) in m.iter().enumerate() {
+                    acc = acc.or(mask.and(iv[perms[s][j] as usize]));
+                }
+                w[base + j] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    fn chain(n: usize) -> Circuit {
+        // depth-n NOT chain
+        let mut b = Builder::new();
+        let x = b.input();
+        let mut acc = x;
+        for _ in 0..n {
+            acc = b.not(acc);
+        }
+        b.outputs(&[acc]);
+        b.finish()
+    }
+
+    #[test]
+    fn latency_equals_depth_and_ii_is_one() {
+        let c = chain(5);
+        let p = Pipelined::new(&c);
+        assert_eq!(p.stages(), 5);
+        let inputs: Vec<Vec<bool>> = (0..8).map(|v| vec![v % 2 == 0]).collect();
+        let (outs, cycles) = p.simulate(&inputs);
+        assert_eq!(cycles, 5 + 8 - 1, "stages + k − 1");
+        for (v, o) in inputs.iter().zip(&outs) {
+            assert_eq!(o[0], !v[0], "odd chain inverts");
+        }
+    }
+
+    #[test]
+    fn pipelined_results_match_combinational() {
+        use rand::prelude::*;
+        // a non-trivial mixed circuit
+        let mut b = Builder::new();
+        let ins = b.input_bus(6);
+        let (lo, hi) = b.bit_compare(ins[0], ins[5]);
+        let m = b.mux2(ins[1], lo, hi);
+        let (s0, s1) = b.switch2(ins[2], m, ins[3]);
+        let x = b.xor(s0, s1);
+        let o = b.or(x, ins[4]);
+        b.outputs(&[o, x, m]);
+        let c = b.finish();
+        let p = Pipelined::new(&c);
+        let mut rng = StdRng::seed_from_u64(9);
+        let inputs: Vec<Vec<bool>> = (0..50)
+            .map(|_| (0..6).map(|_| rng.gen()).collect())
+            .collect();
+        let (outs, _) = p.simulate(&inputs);
+        for (v, o) in inputs.iter().zip(&outs) {
+            assert_eq!(o, &c.eval(v));
+        }
+    }
+
+    #[test]
+    fn single_vector_latency() {
+        let c = chain(7);
+        let p = Pipelined::new(&c);
+        let (_, cycles) = p.simulate::<bool>(&[vec![true]]);
+        assert_eq!(cycles, 7);
+    }
+
+    #[test]
+    fn register_bound_positive_for_deep_circuits() {
+        let c = chain(4);
+        let p = Pipelined::new(&c);
+        // a pure chain needs no cross-boundary registers beyond the chain
+        // itself; a fan-out circuit does.
+        let _ = p.register_bound(); // smoke: no panic, deterministic
+        let mut b = Builder::new();
+        let x = b.input();
+        let a = b.not(x);
+        let bb = b.not(a);
+        let cc = b.not(bb);
+        let o = b.and(x, cc); // x crosses 3 boundaries
+        b.outputs(&[o]);
+        let fanout = b.finish();
+        assert!(Pipelined::new(&fanout).register_bound() >= 3);
+    }
+
+    #[test]
+    fn lane_pipelining_matches_bool() {
+        let c = chain(3);
+        let p = Pipelined::new(&c);
+        let inputs_b: Vec<Vec<bool>> = vec![vec![true], vec![false], vec![true]];
+        let inputs_l: Vec<Vec<u64>> = vec![vec![u64::MAX], vec![0], vec![u64::MAX]];
+        let (ob, cb) = p.simulate(&inputs_b);
+        let (ol, cl) = p.simulate(&inputs_l);
+        assert_eq!(cb, cl);
+        for (x, y) in ob.iter().zip(&ol) {
+            assert_eq!(x[0], y[0] & 1 == 1);
+        }
+    }
+}

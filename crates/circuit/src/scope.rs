@@ -1,0 +1,175 @@
+//! Hierarchical scopes for cost attribution.
+//!
+//! The paper derives its cost bounds block by block ("the cost and depth of
+//! a lg n-bit prefix adder are 3 lg n and 2 lg lg n"). To *audit* those
+//! closed forms against the constructed circuits rather than trust a
+//! hand-count, the builder tags every component with the hierarchical
+//! scope it was created under (e.g. `prefix_sorter/level0/patchup/adder`).
+//! [`crate::CostReport`] can then aggregate cost per scope subtree.
+
+use std::collections::HashMap;
+
+/// Identifier of a node in a [`ScopeTree`]. Scope 0 is always the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScopeId(pub(crate) u32);
+
+impl ScopeId {
+    /// The root scope (components created outside any named scope).
+    pub const ROOT: ScopeId = ScopeId(0);
+
+    /// Raw index of this scope.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interned tree of scope names.
+///
+/// Children are interned per `(parent, name)` pair, so re-entering the same
+/// scope name under the same parent reuses the node — entering
+/// `"comparators"` once per recursion level still yields one node per
+/// distinct path.
+#[derive(Debug, Clone)]
+pub struct ScopeTree {
+    names: Vec<String>,
+    parents: Vec<ScopeId>,
+    children: HashMap<(ScopeId, String), ScopeId>,
+}
+
+impl Default for ScopeTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScopeTree {
+    /// Creates a tree containing only the root scope.
+    pub fn new() -> Self {
+        ScopeTree {
+            names: vec![String::new()],
+            parents: vec![ScopeId::ROOT],
+            children: HashMap::new(),
+        }
+    }
+
+    /// Interns `name` as a child of `parent`, returning the (possibly
+    /// pre-existing) child id.
+    pub fn child(&mut self, parent: ScopeId, name: &str) -> ScopeId {
+        if let Some(&id) = self.children.get(&(parent, name.to_owned())) {
+            return id;
+        }
+        let id = ScopeId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.parents.push(parent);
+        self.children.insert((parent, name.to_owned()), id);
+        id
+    }
+
+    /// The parent of `id` (the root is its own parent).
+    #[inline]
+    pub fn parent(&self, id: ScopeId) -> ScopeId {
+        self.parents[id.index()]
+    }
+
+    /// The full `/`-separated path of `id` from the root, e.g.
+    /// `"prefix_sorter/patchup/adder"`. The root's path is `""`.
+    pub fn path(&self, id: ScopeId) -> String {
+        if id == ScopeId::ROOT {
+            return String::new();
+        }
+        let mut parts = vec![self.names[id.index()].as_str()];
+        let mut cur = self.parent(id);
+        while cur != ScopeId::ROOT {
+            parts.push(self.names[cur.index()].as_str());
+            cur = self.parent(cur);
+        }
+        parts.reverse();
+        parts.join("/")
+    }
+
+    /// Whether `id` equals `ancestor` or lies in its subtree.
+    pub fn is_within(&self, id: ScopeId, ancestor: ScopeId) -> bool {
+        let mut cur = id;
+        loop {
+            if cur == ancestor {
+                return true;
+            }
+            if cur == ScopeId::ROOT {
+                return false;
+            }
+            cur = self.parent(cur);
+        }
+    }
+
+    /// Number of scopes (including the root).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when only the root exists.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Looks a scope up by its full path, if it exists.
+    pub fn lookup(&self, path: &str) -> Option<ScopeId> {
+        if path.is_empty() {
+            return Some(ScopeId::ROOT);
+        }
+        let mut cur = ScopeId::ROOT;
+        for part in path.split('/') {
+            cur = *self.children.get(&(cur, part.to_owned()))?;
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_and_interning() {
+        let mut t = ScopeTree::new();
+        let a = t.child(ScopeId::ROOT, "sorter");
+        let b = t.child(a, "patchup");
+        let b2 = t.child(a, "patchup");
+        assert_eq!(b, b2, "same (parent, name) must intern to one id");
+        assert_eq!(t.path(b), "sorter/patchup");
+        assert_eq!(t.path(ScopeId::ROOT), "");
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let mut t = ScopeTree::new();
+        let a = t.child(ScopeId::ROOT, "x");
+        let b = t.child(a, "y");
+        assert_eq!(t.lookup("x/y"), Some(b));
+        assert_eq!(t.lookup(""), Some(ScopeId::ROOT));
+        assert_eq!(t.lookup("x/z"), None);
+    }
+
+    #[test]
+    fn subtree_membership() {
+        let mut t = ScopeTree::new();
+        let a = t.child(ScopeId::ROOT, "a");
+        let b = t.child(a, "b");
+        let c = t.child(ScopeId::ROOT, "c");
+        assert!(t.is_within(b, a));
+        assert!(t.is_within(b, ScopeId::ROOT));
+        assert!(!t.is_within(c, a));
+        assert!(t.is_within(a, a));
+    }
+
+    #[test]
+    fn distinct_paths_distinct_ids() {
+        let mut t = ScopeTree::new();
+        let a = t.child(ScopeId::ROOT, "level");
+        let aa = t.child(a, "level");
+        assert_ne!(a, aa);
+        assert_eq!(t.path(aa), "level/level");
+    }
+}

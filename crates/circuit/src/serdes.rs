@@ -1,0 +1,335 @@
+//! Plain-text netlist serialization.
+//!
+//! A stable, line-oriented format so constructions can be saved, diffed,
+//! version-controlled, and reloaded (the CLI's `dot` export draws; this
+//! round-trips). One line per element:
+//!
+//! ```text
+//! absort-netlist v1
+//! inputs 4
+//! const 0
+//! const 1
+//! cmp w0 w1            # BitCompare: outputs are the next two wires
+//! sw2 w8 w2 w3         # Switch2 ctrl a b
+//! mux w4 w5 w6         # Mux2 sel a0 a1
+//! demux w4 w5          # Demux2 sel x
+//! gate and w0 w2       # two-input gate
+//! not w3
+//! sw4 w1 w0 w2 w3 w4 w5 p0123 p1032 p2301 p3210
+//! outputs w9 w10
+//! ```
+//!
+//! Wires are named `w<index>` in creation order (inputs first, then
+//! constants, then component outputs). The parser validates the
+//! topological discipline the builder enforces, so a hand-edited file
+//! cannot smuggle in a cycle.
+
+use crate::builder::Builder;
+use crate::circuit::Circuit;
+use crate::component::{Component, GateOp};
+use crate::wire::Wire;
+use std::fmt::Write as _;
+
+/// Serializes a circuit to the v1 text format.
+pub fn to_text(circuit: &Circuit) -> String {
+    let mut out = String::from("absort-netlist v1\n");
+    let _ = writeln!(out, "inputs {}", circuit.n_inputs());
+    for &(_, v) in circuit.const_wires() {
+        let _ = writeln!(out, "const {}", u8::from(v));
+    }
+    let w = |wire: Wire| format!("w{}", wire.index());
+    for p in circuit.components() {
+        match &p.comp {
+            Component::Not { a } => {
+                let _ = writeln!(out, "not {}", w(*a));
+            }
+            Component::Gate { op, a, b } => {
+                let name = match op {
+                    GateOp::And => "and",
+                    GateOp::Or => "or",
+                    GateOp::Xor => "xor",
+                    GateOp::Nand => "nand",
+                    GateOp::Nor => "nor",
+                    GateOp::Xnor => "xnor",
+                };
+                let _ = writeln!(out, "gate {name} {} {}", w(*a), w(*b));
+            }
+            Component::Mux2 { sel, a0, a1 } => {
+                let _ = writeln!(out, "mux {} {} {}", w(*sel), w(*a0), w(*a1));
+            }
+            Component::Demux2 { sel, x } => {
+                let _ = writeln!(out, "demux {} {}", w(*sel), w(*x));
+            }
+            Component::Switch2 { ctrl, a, b } => {
+                let _ = writeln!(out, "sw2 {} {} {}", w(*ctrl), w(*a), w(*b));
+            }
+            Component::BitCompare { a, b } => {
+                let _ = writeln!(out, "cmp {} {}", w(*a), w(*b));
+            }
+            Component::Switch4 { s1, s0, ins, perms } => {
+                let mut line = format!("sw4 {} {}", w(*s1), w(*s0));
+                for i in ins {
+                    let _ = write!(line, " {}", w(*i));
+                }
+                for p in perms {
+                    let _ = write!(line, " p{}{}{}{}", p[0], p[1], p[2], p[3]);
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+    let outs: Vec<String> = circuit.output_wires().iter().map(|&o| w(o)).collect();
+    let _ = writeln!(out, "outputs {}", outs.join(" "));
+    out
+}
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "netlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the v1 text format back into a circuit.
+pub fn from_text(text: &str) -> Result<Circuit, ParseError> {
+    let err = |line: usize, message: &str| ParseError {
+        line,
+        message: message.to_string(),
+    };
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+    let (ln, header) = lines.next().ok_or_else(|| err(1, "empty netlist"))?;
+    if header != "absort-netlist v1" {
+        return Err(err(ln, "bad header (expected `absort-netlist v1`)"));
+    }
+
+    let mut b = Builder::new();
+    let mut wires: Vec<Wire> = Vec::new();
+    let parse_wire = |tok: &str, wires: &[Wire], ln: usize| -> Result<Wire, ParseError> {
+        let idx: usize = tok
+            .strip_prefix('w')
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err(ln, &format!("bad wire token {tok:?}")))?;
+        wires
+            .get(idx)
+            .copied()
+            .ok_or_else(|| err(ln, &format!("wire w{idx} not defined yet")))
+    };
+
+    let mut saw_outputs = false;
+    for (ln, line) in lines {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks[0] {
+            "inputs" => {
+                let n: usize = toks
+                    .get(1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(ln, "inputs needs a count"))?;
+                for _ in 0..n {
+                    wires.push(b.input());
+                }
+            }
+            "const" => {
+                let v = match toks.get(1) {
+                    Some(&"0") => false,
+                    Some(&"1") => true,
+                    _ => return Err(err(ln, "const needs 0 or 1")),
+                };
+                wires.push(b.constant(v));
+            }
+            "not" => {
+                let a = parse_wire(toks.get(1).ok_or_else(|| err(ln, "not needs 1 arg"))?, &wires, ln)?;
+                wires.push(b.not(a));
+            }
+            "gate" => {
+                if toks.len() != 4 {
+                    return Err(err(ln, "gate needs op + 2 wires"));
+                }
+                let op = match toks[1] {
+                    "and" => GateOp::And,
+                    "or" => GateOp::Or,
+                    "xor" => GateOp::Xor,
+                    "nand" => GateOp::Nand,
+                    "nor" => GateOp::Nor,
+                    "xnor" => GateOp::Xnor,
+                    other => return Err(err(ln, &format!("unknown gate {other:?}"))),
+                };
+                let a = parse_wire(toks[2], &wires, ln)?;
+                let c = parse_wire(toks[3], &wires, ln)?;
+                wires.push(b.gate(op, a, c));
+            }
+            "mux" => {
+                if toks.len() != 4 {
+                    return Err(err(ln, "mux needs 3 wires"));
+                }
+                let s = parse_wire(toks[1], &wires, ln)?;
+                let a0 = parse_wire(toks[2], &wires, ln)?;
+                let a1 = parse_wire(toks[3], &wires, ln)?;
+                wires.push(b.mux2(s, a0, a1));
+            }
+            "demux" => {
+                if toks.len() != 3 {
+                    return Err(err(ln, "demux needs 2 wires"));
+                }
+                let s = parse_wire(toks[1], &wires, ln)?;
+                let x = parse_wire(toks[2], &wires, ln)?;
+                let (o0, o1) = b.demux2(s, x);
+                wires.push(o0);
+                wires.push(o1);
+            }
+            "sw2" => {
+                if toks.len() != 4 {
+                    return Err(err(ln, "sw2 needs 3 wires"));
+                }
+                let c = parse_wire(toks[1], &wires, ln)?;
+                let a = parse_wire(toks[2], &wires, ln)?;
+                let d = parse_wire(toks[3], &wires, ln)?;
+                let (oa, ob) = b.switch2(c, a, d);
+                wires.push(oa);
+                wires.push(ob);
+            }
+            "cmp" => {
+                if toks.len() != 3 {
+                    return Err(err(ln, "cmp needs 2 wires"));
+                }
+                let a = parse_wire(toks[1], &wires, ln)?;
+                let c = parse_wire(toks[2], &wires, ln)?;
+                let (lo, hi) = b.bit_compare(a, c);
+                wires.push(lo);
+                wires.push(hi);
+            }
+            "sw4" => {
+                if toks.len() != 11 {
+                    return Err(err(ln, "sw4 needs 2 selects, 4 wires, 4 perms"));
+                }
+                let s1 = parse_wire(toks[1], &wires, ln)?;
+                let s0 = parse_wire(toks[2], &wires, ln)?;
+                let mut ins = [s1; 4];
+                for (i, slot) in ins.iter_mut().enumerate() {
+                    *slot = parse_wire(toks[3 + i], &wires, ln)?;
+                }
+                let mut perms = [[0u8; 4]; 4];
+                for (pi, perm) in perms.iter_mut().enumerate() {
+                    let t = toks[7 + pi]
+                        .strip_prefix('p')
+                        .ok_or_else(|| err(ln, "perm must start with p"))?;
+                    if t.len() != 4 {
+                        return Err(err(ln, "perm needs 4 digits"));
+                    }
+                    for (d, ch) in perm.iter_mut().zip(t.chars()) {
+                        *d = ch
+                            .to_digit(4)
+                            .ok_or_else(|| err(ln, "perm digits must be 0-3"))?
+                            as u8;
+                    }
+                }
+                let outs = b.switch4(s1, s0, ins, perms);
+                wires.extend_from_slice(&outs);
+            }
+            "outputs" => {
+                let outs: Result<Vec<Wire>, ParseError> = toks[1..]
+                    .iter()
+                    .map(|t| parse_wire(t, &wires, ln))
+                    .collect();
+                b.outputs(&outs?);
+                saw_outputs = true;
+            }
+            other => return Err(err(ln, &format!("unknown directive {other:?}"))),
+        }
+    }
+    if !saw_outputs {
+        return Err(err(0, "netlist has no outputs line"));
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::{check_exhaustive, Equivalence};
+
+    #[test]
+    fn roundtrip_mixed_circuit() {
+        let mut b = Builder::new();
+        let ins = b.input_bus(4);
+        let z = b.constant(false);
+        let (lo, hi) = b.bit_compare(ins[0], ins[1]);
+        let m = b.mux2(ins[2], lo, z);
+        let (s0, s1) = b.switch2(ins[3], m, hi);
+        let g = b.gate(GateOp::Xnor, s0, s1);
+        let n = b.not(g);
+        let (d0, d1) = b.demux2(ins[0], n);
+        let outs = b.switch4(
+            ins[1],
+            ins[2],
+            [d0, d1, m, g],
+            [[0, 1, 2, 3], [1, 0, 3, 2], [3, 2, 1, 0], [2, 3, 0, 1]],
+        );
+        b.outputs(&outs);
+        let original = b.finish();
+
+        let text = to_text(&original);
+        let parsed = from_text(&text).expect("parse");
+        assert_eq!(parsed.cost(), original.cost());
+        assert_eq!(parsed.depth(), original.depth());
+        assert_eq!(
+            check_exhaustive(&original, &parsed),
+            Equivalence::EqualExhaustive
+        );
+        // idempotence of the textual form
+        assert_eq!(to_text(&parsed), text);
+    }
+
+    #[test]
+    fn parse_rejects_forward_references() {
+        let text = "absort-netlist v1\ninputs 1\nnot w5\noutputs w0\n";
+        let e = from_text(text).unwrap_err();
+        assert!(e.message.contains("not defined yet"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_text("hello").is_err());
+        assert!(from_text("absort-netlist v1\nfrobnicate w0\n").is_err());
+        assert!(from_text("absort-netlist v1\ninputs 1\n").is_err(), "no outputs");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "absort-netlist v1\n\n# a comment\ninputs 2  # two lines\ncmp w0 w1\noutputs w2 w3\n";
+        let c = from_text(text).expect("parse");
+        assert_eq!(c.eval(&[true, false]), vec![false, true]);
+    }
+
+    #[test]
+    fn roundtrip_a_real_sorter() {
+        // serialize/parse a generated 8-input sorter-ish circuit: the
+        // balanced first stage plus adjacent stage
+        let mut b = Builder::new();
+        let ins = b.input_bus(8);
+        let mut y = ins.clone();
+        for i in 0..4 {
+            let (lo, hi) = b.bit_compare(y[i], y[7 - i]);
+            y[i] = lo;
+            y[7 - i] = hi;
+        }
+        b.outputs(&y);
+        let c = b.finish();
+        let rt = from_text(&to_text(&c)).unwrap();
+        assert_eq!(check_exhaustive(&c, &rt), Equivalence::EqualExhaustive);
+    }
+}

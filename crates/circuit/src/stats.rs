@@ -1,0 +1,217 @@
+//! Structural statistics and hierarchical cost reports.
+//!
+//! Beyond the single cost/depth numbers, the experiment write-ups need to
+//! see *where* a construction spends its hardware — e.g. that the prefix
+//! sorter's patch-up levels cost `3m/2` each while the adder tree stays
+//! `Θ(n)` overall. [`Circuit::stats`] computes per-level component
+//! histograms, and [`Circuit::scope_report`] renders the scope tree with
+//! aggregated costs, indented like a profiler output.
+
+use crate::circuit::Circuit;
+use crate::cost::CostReport;
+use crate::scope::ScopeId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-circuit structural statistics.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Number of components at each depth level (level = the depth of the
+    /// component's outputs; index 0 unused since primitives have depth ≥ 1).
+    pub components_per_level: Vec<u32>,
+    /// The circuit's depth.
+    pub depth: usize,
+    /// Total cost report.
+    pub cost: CostReport,
+    /// Average fanout of wires that feed at least one component.
+    pub mean_fanout: f64,
+    /// Maximum fanout over all wires.
+    pub max_fanout: u32,
+}
+
+impl Circuit {
+    /// Computes structural statistics in one pass.
+    pub fn stats(&self) -> Stats {
+        let mut depth = vec![0u32; self.n_wires()];
+        let mut per_level: Vec<u32> = Vec::new();
+        let mut fanout = vec![0u32; self.n_wires()];
+        for p in self.components() {
+            let mut m = 0u32;
+            p.comp.for_each_input(|w| {
+                m = m.max(depth[w.index()]);
+                fanout[w.index()] += 1;
+            });
+            let level = (m + 1) as usize;
+            if per_level.len() <= level {
+                per_level.resize(level + 1, 0);
+            }
+            per_level[level] += 1;
+            for k in 0..p.comp.n_outputs() {
+                depth[p.out_base as usize + k] = level as u32;
+            }
+        }
+        let used: Vec<u32> = fanout.iter().copied().filter(|&f| f > 0).collect();
+        let mean_fanout = if used.is_empty() {
+            0.0
+        } else {
+            used.iter().map(|&f| f as f64).sum::<f64>() / used.len() as f64
+        };
+        Stats {
+            depth: self.depth(),
+            cost: self.cost(),
+            components_per_level: per_level,
+            mean_fanout,
+            max_fanout: fanout.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Renders the scope tree with aggregated cost per subtree, indented
+    /// by hierarchy — a hardware profiler view of the construction.
+    ///
+    /// `max_depth` limits the hierarchy depth shown (0 = only the root
+    /// line).
+    pub fn scope_report(&self, max_depth: usize) -> String {
+        // Aggregate direct cost per scope.
+        let mut direct: BTreeMap<ScopeId, u64> = BTreeMap::new();
+        for p in self.components() {
+            *direct.entry(p.scope).or_default() += p.comp.cost();
+        }
+        // Children lists by walking all scopes seen (plus ancestors).
+        let scopes = self.scopes();
+        let mut all: Vec<ScopeId> = direct.keys().copied().collect();
+        let mut i = 0;
+        while i < all.len() {
+            let parent = scopes.parent(all[i]);
+            if !all.contains(&parent) {
+                all.push(parent);
+            }
+            i += 1;
+        }
+        all.sort();
+        all.dedup();
+        // subtree cost = direct + descendants
+        let mut subtree: BTreeMap<ScopeId, u64> = BTreeMap::new();
+        for &s in &all {
+            let mut total = 0;
+            for (&t, &c) in &direct {
+                if scopes.is_within(t, s) {
+                    total += c;
+                }
+            }
+            subtree.insert(s, total);
+        }
+        let mut out = String::new();
+        let total = subtree.get(&ScopeId::ROOT).copied().unwrap_or(0);
+        let _ = writeln!(out, "total cost {total}");
+        let mut children: BTreeMap<ScopeId, Vec<ScopeId>> = BTreeMap::new();
+        for &s in &all {
+            if s != ScopeId::ROOT {
+                children.entry(scopes.parent(s)).or_default().push(s);
+            }
+        }
+        fn walk(
+            out: &mut String,
+            scopes: &crate::scope::ScopeTree,
+            children: &BTreeMap<ScopeId, Vec<ScopeId>>,
+            subtree: &BTreeMap<ScopeId, u64>,
+            node: ScopeId,
+            indent: usize,
+            remaining: usize,
+        ) {
+            if remaining == 0 {
+                return;
+            }
+            if let Some(kids) = children.get(&node) {
+                for &k in kids {
+                    let path = scopes.path(k);
+                    let name = path.rsplit('/').next().unwrap_or(&path);
+                    let _ = writeln!(
+                        out,
+                        "{:indent$}{name}: {}",
+                        "",
+                        subtree[&k],
+                        indent = indent * 2
+                    );
+                    walk(out, scopes, children, subtree, k, indent + 1, remaining - 1);
+                }
+            }
+        }
+        walk(&mut out, scopes, &children, &subtree, ScopeId::ROOT, 1, max_depth);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::Builder;
+
+    #[test]
+    fn level_histogram_counts_all_components() {
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let a = b.and(x, y); // level 1
+        let o = b.or(a, y); // level 2
+        let _ = b.xor(x, y); // level 1
+        b.outputs(&[o]);
+        let c = b.finish();
+        let s = c.stats();
+        assert_eq!(s.components_per_level[1], 2);
+        assert_eq!(s.components_per_level[2], 1);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.cost.total, 3);
+        // x feeds and+xor (2), y feeds and+or+xor (3), a feeds or (1)
+        assert_eq!(s.max_fanout, 3);
+        assert!((s.mean_fanout - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scope_report_aggregates_subtrees() {
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let o = b.scoped("outer", |b| {
+            let t = b.and(x, y);
+            b.scoped("inner", |b| b.or(t, y))
+        });
+        b.outputs(&[o]);
+        let c = b.finish();
+        let r = c.scope_report(3);
+        assert!(r.contains("total cost 2"), "{r}");
+        assert!(r.contains("outer: 2"), "{r}");
+        assert!(r.contains("inner: 1"), "{r}");
+        // depth limit hides inner
+        let r1 = c.scope_report(1);
+        assert!(r1.contains("outer: 2"));
+        assert!(!r1.contains("inner"));
+    }
+
+    #[test]
+    fn prefix_sorter_scope_profile_shape() {
+        // The real use: the prefix sorter's patch-up subtree must carry
+        // most of the hardware and the adder subtree Θ(n).
+        // (Uses a hand-rolled mini-version to keep absort-circuit
+        // dependency-free: scopes named the same way.)
+        let mut b = Builder::new();
+        let ins = b.input_bus(8);
+        let s = b.scoped("sorter", |b| {
+            let a = b.scoped("adder", |b| {
+                let t = b.xor(ins[0], ins[1]);
+                b.and(t, ins[2])
+            });
+            b.scoped("patchup", |b| {
+                let mut acc = a;
+                for &i in &ins[3..] {
+                    acc = b.or(acc, i);
+                }
+                acc
+            })
+        });
+        b.outputs(&[s]);
+        let c = b.finish();
+        let r = c.scope_report(2);
+        assert!(r.contains("sorter: 7"), "{r}");
+        assert!(r.contains("adder: 2"), "{r}");
+        assert!(r.contains("patchup: 5"), "{r}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Wire handles.
+//!
+//! A [`Wire`] is an index into a circuit's wire table. Wires are created
+//! only by [`crate::Builder`] methods (as primary inputs, constants, or
+//! component outputs), which is what guarantees the netlist stays a DAG in
+//! topological order: a component can only name wires that already exist.
+
+/// A handle to a single-bit wire in a circuit under construction.
+///
+/// `Wire`s are plain indices and are only meaningful for the builder (and
+/// later the circuit) that created them. They are deliberately `Copy` and
+/// cheap: the sorting-network builders pass around `Vec<Wire>` bundles the
+/// way the paper's figures pass around bundles of lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Wire(pub(crate) u32);
+
+impl Wire {
+    /// The raw index of this wire in the circuit's wire table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a wire from a raw index. Intended for the builder and for
+    /// tests; using an out-of-range index with a circuit panics at use.
+    #[inline]
+    pub(crate) fn from_index(i: usize) -> Self {
+        assert!(i <= u32::MAX as usize, "wire index overflow (> u32::MAX)");
+        Wire(i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let w = Wire::from_index(42);
+        assert_eq!(w.index(), 42);
+    }
+
+    #[test]
+    fn ordering_matches_creation_order() {
+        assert!(Wire::from_index(1) < Wire::from_index(2));
+    }
+}

@@ -1,0 +1,105 @@
+//! The balanced merging block (Dowd–Perl–Rudolph–Saks), paper refs
+//! [8], [9], [24].
+//!
+//! The n-input balanced merging block has `lg n` stages. Stage 1 compares
+//! line `i` with line `n−1−i` (min to the top), and the remaining stages
+//! recursively apply the same pattern to each half. It has `(n/2)·lg n`
+//! comparators and depth `lg n`.
+//!
+//! In Fig. 4(b) it merges the *shuffled concatenation* of two sorted
+//! sequences; on binary inputs that shuffled concatenation lies in the
+//! language `A_n` of Definition 1, and Theorem 2 shows the first balanced
+//! stage splits an `A_n` sequence into one clean-sorted half and one
+//! `A_{n/2}` half — the structural fact the paper's prefix sorter
+//! (Network 1) exploits to cut the block's cost from `O(n lg n)` to
+//! `O(n)`.
+
+use crate::network::Network;
+
+fn balanced_rec(net: &mut Network, lo: usize, m: usize) {
+    if m < 2 {
+        return;
+    }
+    let stage: Vec<(u32, u32)> = (0..m / 2)
+        .map(|i| ((lo + i) as u32, (lo + m - 1 - i) as u32))
+        .collect();
+    net.push_compare(stage);
+    balanced_rec(net, lo, m / 2);
+    balanced_rec(net, lo + m / 2, m / 2);
+}
+
+/// The `n`-input balanced merging block (`n = 2^k`).
+pub fn balanced_merging_block(n: usize) -> Network {
+    assert!(n.is_power_of_two(), "balanced merging block needs 2^k inputs");
+    let mut net = Network::new(n);
+    balanced_rec(&mut net, 0, n);
+    net
+}
+
+/// Comparator count of the balanced merging block: `(n/2)·lg n`.
+pub fn balanced_block_cost(n: usize) -> u64 {
+    assert!(n.is_power_of_two());
+    (n as u64 / 2) * n.trailing_zeros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::shuffle_perm;
+    use rand::prelude::*;
+
+    #[test]
+    fn cost_and_depth_formulas() {
+        for k in 1..=10 {
+            let n = 1 << k;
+            let b = balanced_merging_block(n);
+            assert_eq!(b.cost(), balanced_block_cost(n), "cost n={n}");
+            assert_eq!(b.depth(), k, "depth n={n}");
+        }
+    }
+
+    /// Theorem 1 + balanced block: shuffling two sorted halves and running
+    /// the block sorts, for arbitrary values (verified randomly here; the
+    /// binary/exhaustive version lives with the A_n machinery in
+    /// absort-core).
+    #[test]
+    fn merges_shuffled_sorted_halves() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 1..=6 {
+            let n = 1usize << k;
+            let block = balanced_merging_block(n);
+            let mut net = Network::new(n);
+            net.push_permute(shuffle_perm(n));
+            net.extend(&block);
+            for _ in 0..100 {
+                let mut v: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+                v[..n / 2].sort_unstable();
+                v[n / 2..].sort_unstable();
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                net.apply(&mut v);
+                assert_eq!(v, expect, "n={n}");
+            }
+        }
+    }
+
+    /// Example 2 of the paper: Z = 10101011 (A_8) through the first
+    /// balanced stage yields Y_U = 1000, Y_L = 1111.
+    #[test]
+    fn paper_example_2_first_stage() {
+        let mut net = Network::new(8);
+        net.push_compare((0..4).map(|i| (i as u32, (7 - i) as u32)).collect());
+        let mut z: Vec<u8> = vec![1, 0, 1, 0, 1, 0, 1, 1];
+        net.apply(&mut z);
+        assert_eq!(&z[..4], &[1, 0, 0, 0], "Y_U");
+        assert_eq!(&z[4..], &[1, 1, 1, 1], "Y_L");
+    }
+
+    #[test]
+    fn block_alone_does_not_sort_everything() {
+        // The balanced block is a merger, not a sorter: some binary input
+        // must defeat it for n >= 4.
+        let b = balanced_merging_block(8);
+        assert!(!crate::verify::is_sorting_network(&b));
+    }
+}

@@ -1,0 +1,230 @@
+//! Batcher's sorting networks (odd-even merge and bitonic).
+//!
+//! These are the classical nonadaptive baselines the paper measures
+//! against: Batcher's n-input networks have `lg n (lg n + 1)/2` depth and
+//! `O(n lg² n)` comparators, and their *binary* versions are exactly what
+//! the paper's adaptive constructions beat by a `lg` to `lg²` factor in
+//! cost while matching sorting time.
+
+use crate::network::Network;
+
+/// ASAP-levels a flat comparator list into maximal parallel stages and
+/// returns the resulting network. Comparators are placed at
+/// `1 + max(level(i), level(j))`, preserving the dependency order of the
+/// input list.
+pub fn from_pairs(n: usize, pairs: &[(u32, u32)]) -> Network {
+    let mut level = vec![0usize; n];
+    let mut stages: Vec<Vec<(u32, u32)>> = Vec::new();
+    for &(i, j) in pairs {
+        let l = level[i as usize].max(level[j as usize]);
+        if l == stages.len() {
+            stages.push(Vec::new());
+        }
+        stages[l].push((i, j));
+        level[i as usize] = l + 1;
+        level[j as usize] = l + 1;
+    }
+    let mut net = Network::new(n);
+    for st in stages {
+        net.push_compare(st);
+    }
+    net
+}
+
+fn oem_merge(pairs: &mut Vec<(u32, u32)>, lo: usize, n: usize, r: usize) {
+    let m = r * 2;
+    if m < n {
+        oem_merge(pairs, lo, n, m);
+        oem_merge(pairs, lo + r, n, m);
+        let mut i = lo + r;
+        while i + r < lo + n {
+            pairs.push((i as u32, (i + r) as u32));
+            i += m;
+        }
+    } else {
+        pairs.push((lo as u32, (lo + r) as u32));
+    }
+}
+
+fn oem_sort_rec(pairs: &mut Vec<(u32, u32)>, lo: usize, n: usize) {
+    if n > 1 {
+        let m = n / 2;
+        oem_sort_rec(pairs, lo, m);
+        oem_sort_rec(pairs, lo + m, m);
+        oem_merge(pairs, lo, n, 1);
+    }
+}
+
+/// Batcher's odd-even merge sorting network on `n = 2^k` inputs
+/// (Fig. 4(a) shows the 16-input instance).
+pub fn odd_even_merge_sort(n: usize) -> Network {
+    assert!(n.is_power_of_two(), "Batcher OEM needs a power-of-two size");
+    let mut pairs = Vec::new();
+    oem_sort_rec(&mut pairs, 0, n);
+    from_pairs(n, &pairs)
+}
+
+/// Batcher's odd-even *merging* network: merges the sorted halves
+/// `0..n/2` and `n/2..n` into one sorted sequence.
+pub fn odd_even_merge(n: usize) -> Network {
+    assert!(n.is_power_of_two() && n >= 2);
+    let mut pairs = Vec::new();
+    oem_merge(&mut pairs, 0, n, 1);
+    from_pairs(n, &pairs)
+}
+
+fn bitonic_merge(pairs: &mut Vec<(u32, u32)>, lo: usize, n: usize) {
+    if n > 1 {
+        let m = n / 2;
+        for i in lo..lo + m {
+            pairs.push((i as u32, (i + m) as u32));
+        }
+        bitonic_merge(pairs, lo, m);
+        bitonic_merge(pairs, lo + m, m);
+    }
+}
+
+fn bitonic_sort_rec(pairs: &mut Vec<(u32, u32)>, lo: usize, n: usize, asc: bool) {
+    if n > 1 {
+        let m = n / 2;
+        bitonic_sort_rec(pairs, lo, m, true);
+        bitonic_sort_rec(pairs, lo + m, m, false);
+        if asc {
+            bitonic_merge(pairs, lo, n);
+        } else {
+            // Descending merge: emit with swapped ends. We express the whole
+            // network with ascending comparators by flipping pair order.
+            let mut sub = Vec::new();
+            bitonic_merge(&mut sub, lo, n);
+            pairs.extend(sub.into_iter().map(|(i, j)| (j, i)));
+        }
+    }
+}
+
+/// Batcher's bitonic sorting network on `n = 2^k` inputs.
+///
+/// Note: descending sub-merges are expressed by reversed comparator pairs
+/// `(j, i)` (min still goes to the first line of the pair), so the network
+/// uses only standard min/max comparators.
+pub fn bitonic_sort(n: usize) -> Network {
+    assert!(n.is_power_of_two(), "bitonic sort needs a power-of-two size");
+    let mut pairs = Vec::new();
+    bitonic_sort_rec(&mut pairs, 0, n, true);
+    from_pairs(n, &pairs)
+}
+
+/// Exact comparator count of Batcher's odd-even merge sort on `n = 2^k`
+/// inputs: `(lg²n − lg n + 4)·n/4 − 1` (Knuth, Vol. 3, §5.3.4).
+pub fn oem_sort_cost(n: usize) -> u64 {
+    assert!(n.is_power_of_two());
+    if n == 1 {
+        return 0;
+    }
+    let p = n.trailing_zeros() as u64;
+    (p * p - p + 4) * (n as u64) / 4 - 1
+}
+
+/// Depth of Batcher's networks on `n = 2^k` inputs:
+/// `lg n (lg n + 1)/2`.
+pub fn batcher_depth(n: usize) -> u64 {
+    assert!(n.is_power_of_two());
+    let p = n.trailing_zeros() as u64;
+    p * (p + 1) / 2
+}
+
+/// Exact comparator count of the bitonic sorting network on `n = 2^k`
+/// inputs: `n lg n (lg n + 1)/4`.
+pub fn bitonic_sort_cost(n: usize) -> u64 {
+    assert!(n.is_power_of_two());
+    let p = n.trailing_zeros() as u64;
+    (n as u64) * p * (p + 1) / 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_sorting_network;
+    use rand::prelude::*;
+
+    #[test]
+    fn oem_sorts_exhaustively_up_to_16() {
+        for k in 1..=4 {
+            let n = 1 << k;
+            let net = odd_even_merge_sort(n);
+            assert!(is_sorting_network(&net), "OEM n={n} failed 0-1 check");
+        }
+    }
+
+    #[test]
+    fn bitonic_sorts_exhaustively_up_to_16() {
+        for k in 1..=4 {
+            let n = 1 << k;
+            let net = bitonic_sort(n);
+            assert!(is_sorting_network(&net), "bitonic n={n} failed 0-1 check");
+        }
+    }
+
+    #[test]
+    fn oem_cost_matches_knuth_formula() {
+        for k in 1..=10 {
+            let n = 1 << k;
+            let net = odd_even_merge_sort(n);
+            assert_eq!(net.cost(), oem_sort_cost(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn oem_depth_matches_formula() {
+        for k in 1..=10 {
+            let n = 1 << k;
+            let net = odd_even_merge_sort(n);
+            assert_eq!(net.depth() as u64, batcher_depth(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn bitonic_cost_and_depth_match_formulas() {
+        for k in 1..=10 {
+            let n = 1 << k;
+            let net = bitonic_sort(n);
+            assert_eq!(net.cost(), bitonic_sort_cost(n), "cost n={n}");
+            assert_eq!(net.depth() as u64, batcher_depth(n), "depth n={n}");
+        }
+    }
+
+    #[test]
+    fn oem_merge_merges_sorted_halves() {
+        let net = odd_even_merge(16);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let mut v: Vec<i32> = (0..16).map(|_| rng.gen_range(0..100)).collect();
+            v[..8].sort_unstable();
+            v[8..].sort_unstable();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            net.apply(&mut v);
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn oem_sorts_random_words() {
+        let net = odd_even_merge_sort(64);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let mut v: Vec<u64> = (0..64).map(|_| rng.gen()).collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            net.apply(&mut v);
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn from_pairs_levels_greedily() {
+        // (0,1) and (2,3) can share a stage; (1,2) must follow.
+        let net = from_pairs(4, &[(0, 1), (2, 3), (1, 2)]);
+        assert_eq!(net.n_compare_stages(), 2);
+        assert_eq!(net.depth(), 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! Small catalogued networks from the paper and classical references.
+
+use crate::network::Network;
+
+/// The four-input sorting network of Fig. 1: cost 5, depth 3.
+pub fn fig1() -> Network {
+    let mut net = Network::new(4);
+    net.push_compare(vec![(0, 1), (2, 3)]);
+    net.push_compare(vec![(0, 2), (1, 3)]);
+    net.push_compare(vec![(1, 2)]);
+    net
+}
+
+/// The odd-even transposition ("brick wall") sorting network on `n`
+/// inputs: `n` stages alternating odd/even adjacent comparators. Cost
+/// `n(n−1)/2`, depth `n`. A useful worst-case baseline in tests.
+pub fn odd_even_transposition(n: usize) -> Network {
+    let mut net = Network::new(n);
+    for s in 0..n {
+        let start = s % 2;
+        let stage: Vec<(u32, u32)> = (start..n.saturating_sub(1))
+            .step_by(2)
+            .map(|i| (i as u32, (i + 1) as u32))
+            .collect();
+        if !stage.is_empty() {
+            net.push_compare(stage);
+        }
+    }
+    net
+}
+
+/// The straight insertion sorting network on `n` inputs (Knuth §5.3.4):
+/// cost `n(n−1)/2`.
+pub fn insertion(n: usize) -> Network {
+    let mut pairs = Vec::new();
+    for i in 1..n {
+        for j in (1..=i).rev() {
+            pairs.push(((j - 1) as u32, j as u32));
+        }
+    }
+    crate::batcher::from_pairs(n, &pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_sorting_network;
+
+    #[test]
+    fn fig1_cost_depth_match_paper() {
+        let net = fig1();
+        assert_eq!(net.cost(), 5, "paper: cost of Fig. 1 network is 5");
+        assert_eq!(net.depth(), 3, "paper: depth of Fig. 1 network is 3");
+        assert!(is_sorting_network(&net));
+    }
+
+    #[test]
+    fn odd_even_transposition_sorts() {
+        for n in [1, 2, 3, 5, 8, 9, 16] {
+            assert!(is_sorting_network(&odd_even_transposition(n)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn oet_cost_formula() {
+        for n in [2usize, 5, 8, 13] {
+            assert_eq!(
+                odd_even_transposition(n).cost() as usize,
+                n * (n - 1) / 2,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn insertion_sorts_and_costs_quadratically() {
+        for n in [2usize, 4, 7, 10] {
+            let net = insertion(n);
+            assert!(is_sorting_network(&net), "n={n}");
+            assert_eq!(net.cost() as usize, n * (n - 1) / 2, "n={n}");
+        }
+    }
+}

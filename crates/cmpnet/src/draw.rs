@@ -1,0 +1,151 @@
+//! Knuth-style ASCII diagrams of comparator networks.
+//!
+//! The paper's Figs. 1 and 4 are drawn in the classic style: one
+//! horizontal line per input, vertical connectors for comparators. This
+//! module regenerates those drawings from the executable networks, so
+//! `repro fig1` can show the actual figure next to its verified numbers.
+//!
+//! ```text
+//! x0 ─●──●─────
+//!     │  │
+//! x1 ─●──┼──●──
+//!        │  │
+//! x2 ─●──●──●──
+//!     │
+//! x3 ─●────────
+//! ```
+//! (Comparators in the same stage that don't overlap share a column.)
+
+use crate::network::{Network, Stage};
+
+/// Renders the network as an ASCII wiring diagram. Permute stages are
+/// shown as labelled crossing columns. Intended for small networks
+/// (width ≤ 32, a few hundred comparators).
+#[allow(clippy::needless_range_loop, clippy::type_complexity)] // canvas painting indexes rows/cols directly
+pub fn draw(net: &Network) -> String {
+    let n = net.n();
+    assert!(n <= 32, "ASCII drawing limited to 32 lines, got {n}");
+    // Each line of the picture is 2 rows: the wire row and the gap row.
+    // Build columns: each comparator stage may need several columns if
+    // comparators overlap vertically.
+    #[derive(Clone, Copy)]
+    enum Col {
+        Compare(u32, u32),
+        Permute,
+    }
+    let mut columns: Vec<Vec<Col>> = Vec::new();
+    for stage in net.stages() {
+        match stage {
+            Stage::Compare(pairs) => {
+                // greedy column packing: comparators whose (min..max)
+                // ranges overlap go to different columns
+                let mut cols: Vec<(Vec<Col>, Vec<(u32, u32)>)> = Vec::new();
+                for &(i, j) in pairs {
+                    let (lo, hi) = (i.min(j), i.max(j));
+                    let slot = cols.iter_mut().find(|(_, ranges)| {
+                        ranges.iter().all(|&(a, b)| hi < a || lo > b)
+                    });
+                    match slot {
+                        Some((col, ranges)) => {
+                            col.push(Col::Compare(i, j));
+                            ranges.push((lo, hi));
+                        }
+                        None => cols.push((vec![Col::Compare(i, j)], vec![(lo, hi)])),
+                    }
+                }
+                for (col, _) in cols {
+                    columns.push(col);
+                }
+            }
+            Stage::Permute(_) => columns.push(vec![Col::Permute]),
+        }
+    }
+
+    let rows = 2 * n - 1;
+    let width = 4 + 3 * columns.len() + 1;
+    let mut canvas = vec![vec![' '; width]; rows];
+    // wires
+    for line in 0..n {
+        let r = 2 * line;
+        let label = format!("x{line:<2}");
+        for (c, ch) in label.chars().enumerate() {
+            canvas[r][c] = ch;
+        }
+        for c in 4..width {
+            canvas[r][c] = '─';
+        }
+    }
+    for (ci, col) in columns.iter().enumerate() {
+        let x = 5 + 3 * ci;
+        for item in col {
+            match *item {
+                Col::Compare(i, j) => {
+                    let (lo, hi) = (i.min(j) as usize, i.max(j) as usize);
+                    canvas[2 * lo][x] = '●';
+                    canvas[2 * hi][x] = '●';
+                    for r in 2 * lo + 1..2 * hi {
+                        canvas[r][x] = if canvas[r][x] == '─' { '┼' } else { '│' };
+                    }
+                }
+                Col::Permute => {
+                    for line in 0..n {
+                        canvas[2 * line][x] = '»';
+                    }
+                }
+            }
+        }
+    }
+    let mut out = String::with_capacity(rows * (width + 1));
+    for row in canvas {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::fig1;
+
+    #[test]
+    fn fig1_drawing_shape() {
+        let pic = draw(&fig1());
+        // 4 wires → 7 rows
+        assert_eq!(pic.lines().count(), 7);
+        assert!(pic.contains("x0"));
+        assert!(pic.contains("x3"));
+        // 5 comparators → 10 endpoints
+        assert_eq!(pic.matches('●').count(), 10, "{pic}");
+    }
+
+    #[test]
+    fn nonoverlapping_comparators_share_a_column() {
+        let mut net = Network::new(4);
+        net.push_compare(vec![(0, 1), (2, 3)]);
+        let pic = draw(&net);
+        // both comparators fit one column: the picture is narrow
+        let max_width = pic.lines().map(|l| l.chars().count()).max().unwrap();
+        assert!(max_width <= 10, "{pic}");
+    }
+
+    #[test]
+    fn overlapping_comparators_split_columns() {
+        let mut net = Network::new(4);
+        net.push_compare(vec![(0, 2), (1, 3)]);
+        let pic = draw(&net);
+        let max_width = pic.lines().map(|l| l.chars().count()).max().unwrap();
+        assert!(max_width > 8, "overlap needs two columns\n{pic}");
+        // the crossing wire is marked
+        assert!(pic.contains('┼'), "{pic}");
+    }
+
+    #[test]
+    fn permute_stage_marked() {
+        let mut net = Network::new(2);
+        net.push_permute(vec![1, 0]);
+        let pic = draw(&net);
+        assert_eq!(pic.matches('»').count(), 2);
+    }
+}

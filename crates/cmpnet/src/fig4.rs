@@ -1,0 +1,143 @@
+//! The alternative odd-even merge sorting network of Fig. 4(b).
+//!
+//! Batcher's odd-even merge sorter (Fig. 4(a)) sorts two halves and merges
+//! them with even/odd mergers. The paper's variant replaces the two
+//! half-size sorters with `n/2` two-input sorters, the even and odd
+//! mergers with `n/2`-way mergers (which, merging single elements, are
+//! just `n/2`-input sorters), and performs the final combination with a
+//! *balanced merging block* fed by the shuffled concatenation of the two
+//! sorted halves (Theorem 1).
+//!
+//! As the figure caption notes, the leading comparator stage and shuffle
+//! connection in Fig. 4(b) are redundant (they are subsumed by the
+//! `n/2`-way mergers being full sorters); [`fig4b_sort`] builds the
+//! essential structure, and [`fig4b_sort_literal`] the literal figure
+//! including the redundant stage, so both can be verified.
+
+use crate::balanced::balanced_merging_block;
+use crate::network::{shuffle_perm, unshuffle_perm, Network};
+
+/// The essential Fig. 4(b) network: recursively sort the two halves, then
+/// shuffle and run the balanced merging block.
+///
+/// Cost recurrence `C(n) = 2·C(n/2) + (n/2)·lg n` gives `O(n lg² n)`
+/// comparators — matching the paper's remark that recursively replacing
+/// the n/2-way mergers with half-size odd-even merge sorters yields an
+/// `O(n lg² n)`-cost, `O(lg² n)`-depth binary sorting network.
+pub fn fig4b_sort(n: usize) -> Network {
+    assert!(n.is_power_of_two(), "Fig. 4(b) sorter needs 2^k inputs");
+    let mut net = Network::new(n);
+    if n == 1 {
+        return net;
+    }
+    if n == 2 {
+        net.push_compare(vec![(0, 1)]);
+        return net;
+    }
+    let half = fig4b_sort(n / 2);
+    net.extend_embedded(&half, 0);
+    net.extend_embedded(&half, n / 2);
+    net.push_permute(shuffle_perm(n));
+    net.extend(&balanced_merging_block(n));
+    net
+}
+
+/// The literal Fig. 4(b) drawing: a leading stage of `n/2` comparators on
+/// adjacent pairs and a shuffle connection (both redundant), then the
+/// unshuffle into two `n/2`-way mergers (realised as half-size sorters),
+/// the re-shuffle, and the balanced merging block.
+pub fn fig4b_sort_literal(n: usize) -> Network {
+    assert!(n.is_power_of_two() && n >= 4, "literal Fig. 4(b) needs n >= 4");
+    let mut net = Network::new(n);
+    // Redundant pair-sorter stage on (2i, 2i+1).
+    net.push_compare((0..n as u32 / 2).map(|i| (2 * i, 2 * i + 1)).collect());
+    // Redundant shuffle, then the unshuffle that routes evens to the upper
+    // merger and odds to the lower one. (The figure draws the shuffle to
+    // exhibit the relation to Batcher's construction.)
+    net.push_permute(shuffle_perm(n));
+    net.push_permute(unshuffle_perm(n));
+    net.push_permute(unshuffle_perm(n));
+    // Two n/2-way mergers == two n/2-input sorters.
+    let half = fig4b_sort(n / 2);
+    net.extend_embedded(&half, 0);
+    net.extend_embedded(&half, n / 2);
+    // Shuffled concatenation into the balanced merging block (Theorem 1).
+    net.push_permute(shuffle_perm(n));
+    net.extend(&balanced_merging_block(n));
+    net
+}
+
+/// Closed-form comparator count of [`fig4b_sort`]:
+/// `C(n) = 2 C(n/2) + (n/2) lg n`, `C(2) = 1`.
+pub fn fig4b_cost(n: usize) -> u64 {
+    assert!(n.is_power_of_two());
+    match n {
+        1 => 0,
+        2 => 1,
+        _ => 2 * fig4b_cost(n / 2) + (n as u64 / 2) * n.trailing_zeros() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_sorting_network;
+
+    #[test]
+    fn fig4b_sorts_exhaustively() {
+        for k in 1..=4 {
+            let n = 1 << k;
+            assert!(is_sorting_network(&fig4b_sort(n)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fig4b_16_input_instance_sorts() {
+        // The exact instance drawn in the paper.
+        assert!(is_sorting_network(&fig4b_sort(16)));
+    }
+
+    #[test]
+    fn literal_figure_also_sorts() {
+        for n in [4, 8, 16] {
+            assert!(is_sorting_network(&fig4b_sort_literal(n)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn cost_matches_closed_form() {
+        for k in 1..=10 {
+            let n = 1 << k;
+            assert_eq!(fig4b_sort(n).cost(), fig4b_cost(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn cost_closed_form_is_n_lgn_lgn_plus_1_over_4() {
+        // Solving C(n) = 2 C(n/2) + (n/2) lg n with C(2) = 1 gives exactly
+        // n·lg n·(lg n + 1)/4 — the same count as Batcher's bitonic sorter.
+        for k in 1..=14u64 {
+            let n = 1usize << k;
+            assert_eq!(fig4b_cost(n), (n as u64) * k * (k + 1) / 4, "n={n}");
+        }
+    }
+
+    #[test]
+    fn depth_is_theta_lg2n() {
+        for k in 2..=8 {
+            let n = 1usize << k;
+            let d = fig4b_sort(n).depth();
+            // depth = sum_{i=1..k} i = k(k+1)/2
+            assert_eq!(d, k * (k + 1) / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn literal_costs_n_half_more() {
+        let n = 16;
+        assert_eq!(
+            fig4b_sort_literal(n).cost(),
+            fig4b_cost(n) + n as u64 / 2
+        );
+    }
+}

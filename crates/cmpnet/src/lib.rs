@@ -1,0 +1,34 @@
+//! # absort-cmpnet — word-level comparator networks
+//!
+//! The classical *nonadaptive* sorting-network substrate the paper builds
+//! on and compares against: networks of two-input comparators (Fig. 1)
+//! with fixed interconnection wiring. A [`Network`] is a sequence of
+//! stages, each either a set of disjoint comparators or a free rewiring
+//! permutation (the paper treats shuffle connections as cost-free wiring).
+//!
+//! Provides:
+//!
+//! * application to arbitrary `Ord` data ([`Network::apply`]) and a
+//!   64-lane bit-parallel binary evaluator ([`Network::apply_binary_lanes`])
+//!   used for exhaustive zero-one-principle verification;
+//! * generators for the networks the paper uses or cites:
+//!   Batcher's odd-even merge sort and bitonic sort ([`batcher`]),
+//!   the balanced merging block of Dowd–Perl–Rudolph–Saks ([`balanced`]),
+//!   the alternative odd-even merge network of Fig. 4(b) ([`fig4`]),
+//!   and the 4-input example of Fig. 1 ([`catalog`]);
+//! * the zero-one-principle verifier ([`verify`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balanced;
+pub mod batcher;
+pub mod catalog;
+pub mod draw;
+pub mod fig4;
+pub mod network;
+pub mod periodic;
+pub mod verify;
+
+pub use network::{Network, Stage};
+pub use verify::{first_unsorted_input, is_sorting_network};

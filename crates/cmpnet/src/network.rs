@@ -1,0 +1,326 @@
+//! The comparator-network representation.
+
+/// One stage of a comparator network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stage {
+    /// A set of comparators applied in parallel. Each pair `(i, j)` with
+    /// `i != j` places `min` on line `i` and `max` on line `j`. Lines
+    /// within one stage must be disjoint.
+    Compare(Vec<(u32, u32)>),
+    /// A free rewiring: output line `k` is driven by input line `perm[k]`.
+    /// Wiring has no cost and no depth (the paper's shuffle connections).
+    Permute(Vec<u32>),
+}
+
+/// A comparator network over `n` lines: a sequence of comparator stages
+/// and wiring permutations.
+///
+/// Cost is the total number of comparators; depth is the longest chain of
+/// comparators through any line (computed on the dataflow, so wiring never
+/// contributes and sparse stages don't over-count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    n: usize,
+    stages: Vec<Stage>,
+}
+
+impl Network {
+    /// Creates an empty network over `n` lines.
+    pub fn new(n: usize) -> Self {
+        Network {
+            n,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Number of lines.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The stages, in application order.
+    #[inline]
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Appends a comparator stage, validating that the lines are in range
+    /// and pairwise disjoint.
+    pub fn push_compare(&mut self, pairs: Vec<(u32, u32)>) {
+        let mut used = vec![false; self.n];
+        for &(i, j) in &pairs {
+            assert!(i != j, "comparator ({i},{i}) compares a line with itself");
+            for k in [i, j] {
+                let k = k as usize;
+                assert!(k < self.n, "comparator line {k} out of range (n={})", self.n);
+                assert!(!used[k], "line {k} used twice in one stage");
+                used[k] = true;
+            }
+        }
+        self.stages.push(Stage::Compare(pairs));
+    }
+
+    /// Appends a wiring permutation, validating it is a permutation of
+    /// `0..n`.
+    pub fn push_permute(&mut self, perm: Vec<u32>) {
+        assert_eq!(perm.len(), self.n, "permutation length != n");
+        let mut seen = vec![false; self.n];
+        for &p in &perm {
+            let p = p as usize;
+            assert!(p < self.n, "permutation value {p} out of range");
+            assert!(!seen[p], "permutation repeats value {p}");
+            seen[p] = true;
+        }
+        self.stages.push(Stage::Permute(perm));
+    }
+
+    /// Appends all stages of `other` (which must have the same width).
+    pub fn extend(&mut self, other: &Network) {
+        assert_eq!(self.n, other.n, "cannot concatenate networks of different widths");
+        self.stages.extend(other.stages.iter().cloned());
+    }
+
+    /// Appends `other` (of width `m <= n`) acting on the contiguous line
+    /// block starting at `offset`.
+    pub fn extend_embedded(&mut self, other: &Network, offset: usize) {
+        assert!(offset + other.n <= self.n, "embedded network out of range");
+        for st in &other.stages {
+            match st {
+                Stage::Compare(pairs) => {
+                    let shifted = pairs
+                        .iter()
+                        .map(|&(i, j)| (i + offset as u32, j + offset as u32))
+                        .collect();
+                    self.push_compare(shifted);
+                }
+                Stage::Permute(perm) => {
+                    let mut full: Vec<u32> = (0..self.n as u32).collect();
+                    for (k, &p) in perm.iter().enumerate() {
+                        full[offset + k] = p + offset as u32;
+                    }
+                    self.push_permute(full);
+                }
+            }
+        }
+    }
+
+    /// Total number of comparators (the network's *cost* in the paper's
+    /// word-level accounting).
+    pub fn cost(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                Stage::Compare(p) => p.len() as u64,
+                Stage::Permute(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Depth: the longest chain of comparators on any input-to-output path.
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0u32; self.n];
+        for s in &self.stages {
+            match s {
+                Stage::Compare(pairs) => {
+                    for &(i, j) in pairs {
+                        let nd = d[i as usize].max(d[j as usize]) + 1;
+                        d[i as usize] = nd;
+                        d[j as usize] = nd;
+                    }
+                }
+                Stage::Permute(perm) => {
+                    let old = d.clone();
+                    for (k, &p) in perm.iter().enumerate() {
+                        d[k] = old[p as usize];
+                    }
+                }
+            }
+        }
+        d.into_iter().max().unwrap_or(0) as usize
+    }
+
+    /// Number of comparator stages (the "step count" some papers quote
+    /// instead of true depth).
+    pub fn n_compare_stages(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| matches!(s, Stage::Compare(p) if !p.is_empty()))
+            .count()
+    }
+
+    /// Applies the network to `data` in place (`data.len() == n`).
+    pub fn apply<T: Ord + Clone>(&self, data: &mut [T]) {
+        assert_eq!(data.len(), self.n, "data length != network width");
+        let mut scratch: Vec<T> = data.to_vec();
+        for s in &self.stages {
+            match s {
+                Stage::Compare(pairs) => {
+                    for &(i, j) in pairs {
+                        let (i, j) = (i as usize, j as usize);
+                        if data[i] > data[j] {
+                            data.swap(i, j);
+                        }
+                    }
+                }
+                Stage::Permute(perm) => {
+                    scratch.clone_from_slice(data);
+                    for (k, &p) in perm.iter().enumerate() {
+                        data[k] = scratch[p as usize].clone();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the network to 64 binary vectors at once: `lanes[i]` holds
+    /// line `i` across 64 test vectors (vector `v` in bit `v`). A binary
+    /// comparator is `(min, max) = (AND, OR)`.
+    pub fn apply_binary_lanes(&self, lanes: &mut [u64]) {
+        assert_eq!(lanes.len(), self.n, "lane count != network width");
+        let mut scratch = lanes.to_vec();
+        for s in &self.stages {
+            match s {
+                Stage::Compare(pairs) => {
+                    for &(i, j) in pairs {
+                        let (i, j) = (i as usize, j as usize);
+                        let (a, b) = (lanes[i], lanes[j]);
+                        lanes[i] = a & b;
+                        lanes[j] = a | b;
+                    }
+                }
+                Stage::Permute(perm) => {
+                    scratch.copy_from_slice(lanes);
+                    for (k, &p) in perm.iter().enumerate() {
+                        lanes[k] = scratch[p as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The perfect (two-way) shuffle permutation on `n` lines as an
+/// output-from-input map: output `2i` ← input `i`, output `2i+1` ← input
+/// `n/2 + i`. This interleaves the two halves, as in Fig. 4(b).
+pub fn shuffle_perm(n: usize) -> Vec<u32> {
+    assert!(n % 2 == 0, "shuffle needs an even number of lines");
+    let mut perm = vec![0u32; n];
+    for i in 0..n / 2 {
+        perm[2 * i] = i as u32;
+        perm[2 * i + 1] = (n / 2 + i) as u32;
+    }
+    perm
+}
+
+/// The inverse of [`shuffle_perm`] (the unshuffle): output `i` ← input
+/// `2i` for the first half, output `n/2 + i` ← input `2i+1` for the second.
+pub fn unshuffle_perm(n: usize) -> Vec<u32> {
+    assert!(n % 2 == 0, "unshuffle needs an even number of lines");
+    let mut perm = vec![0u32; n];
+    for i in 0..n / 2 {
+        perm[i] = (2 * i) as u32;
+        perm[n / 2 + i] = (2 * i + 1) as u32;
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_and_depth_of_fig1_shape() {
+        // Fig. 1: stages {(0,1),(2,3)}, {(0,2),(1,3)}, {(1,2)}.
+        let mut net = Network::new(4);
+        net.push_compare(vec![(0, 1), (2, 3)]);
+        net.push_compare(vec![(0, 2), (1, 3)]);
+        net.push_compare(vec![(1, 2)]);
+        assert_eq!(net.cost(), 5);
+        assert_eq!(net.depth(), 3);
+        let mut v = vec![3, 1, 4, 2];
+        net.apply(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn permute_stage_moves_lines_for_free() {
+        let mut net = Network::new(4);
+        net.push_permute(vec![3, 2, 1, 0]);
+        assert_eq!(net.cost(), 0);
+        assert_eq!(net.depth(), 0);
+        let mut v = vec![10, 20, 30, 40];
+        net.apply(&mut v);
+        assert_eq!(v, vec![40, 30, 20, 10]);
+    }
+
+    #[test]
+    fn shuffle_interleaves_halves() {
+        let perm = shuffle_perm(8);
+        let mut net = Network::new(8);
+        net.push_permute(perm);
+        let mut v = vec![0, 1, 2, 3, 4, 5, 6, 7];
+        net.apply(&mut v);
+        assert_eq!(v, vec![0, 4, 1, 5, 2, 6, 3, 7]);
+    }
+
+    #[test]
+    fn unshuffle_inverts_shuffle() {
+        let mut net = Network::new(8);
+        net.push_permute(shuffle_perm(8));
+        net.push_permute(unshuffle_perm(8));
+        let mut v: Vec<u32> = (0..8).rev().collect();
+        let orig = v.clone();
+        net.apply(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn lanes_match_scalar_on_binary() {
+        let mut net = Network::new(4);
+        net.push_compare(vec![(0, 1), (2, 3)]);
+        net.push_compare(vec![(0, 2), (1, 3)]);
+        net.push_compare(vec![(1, 2)]);
+        // all 16 binary inputs in one 64-lane pass
+        let mut lanes = vec![0u64; 4];
+        for v in 0..16u64 {
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                if v >> i & 1 == 1 {
+                    *lane |= 1 << v;
+                }
+            }
+        }
+        net.apply_binary_lanes(&mut lanes);
+        for v in 0..16u64 {
+            let mut scalar: Vec<u8> = (0..4).map(|i| (v >> i & 1) as u8).collect();
+            net.apply(&mut scalar);
+            let got: Vec<u8> = (0..4).map(|i| (lanes[i] >> v & 1) as u8).collect();
+            assert_eq!(got, scalar, "input {v:04b}");
+        }
+    }
+
+    #[test]
+    fn embedded_network_offsets_lines() {
+        let mut inner = Network::new(2);
+        inner.push_compare(vec![(0, 1)]);
+        let mut outer = Network::new(4);
+        outer.extend_embedded(&inner, 2);
+        let mut v = vec![9, 8, 7, 6];
+        outer.apply(&mut v);
+        assert_eq!(v, vec![9, 8, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn overlapping_stage_rejected() {
+        let mut net = Network::new(4);
+        net.push_compare(vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats value")]
+    fn bad_permutation_rejected() {
+        let mut net = Network::new(3);
+        net.push_permute(vec![0, 0, 1]);
+    }
+}

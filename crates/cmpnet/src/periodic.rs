@@ -1,0 +1,106 @@
+//! The periodic balanced sorting network (Dowd–Perl–Rudolph–Saks, paper
+//! refs [8], [9]).
+//!
+//! Cascading `lg n` *identical* copies of the balanced merging block
+//! sorts any input — the "periodic" property that makes the block
+//! attractive for VLSI (one block, recirculated `lg n` times). This is
+//! the construction the paper's balanced merging block comes from, so it
+//! belongs in the baseline suite: cost `(n/2)·lg² n`, depth `lg² n`.
+//!
+//! The periodic property also yields a time-multiplexed variant: one
+//! block of cost `(n/2)·lg n` reused `lg n` times — an `O(n lg n)`-cost
+//! nonadaptive binary sorter to set against the paper's `O(n)` fish
+//! sorter.
+
+use crate::balanced::balanced_merging_block;
+use crate::network::Network;
+
+/// The full periodic balanced sorting network: `lg n` cascaded balanced
+/// merging blocks. Cost `(n/2)·lg² n`, depth `lg² n`.
+pub fn periodic_balanced_sort(n: usize) -> Network {
+    assert!(n.is_power_of_two(), "periodic balanced sort needs 2^k inputs");
+    let block = balanced_merging_block(n);
+    let mut net = Network::new(n);
+    for _ in 0..n.trailing_zeros() {
+        net.extend(&block);
+    }
+    net
+}
+
+/// Cost of the full cascade: `(n/2)·lg² n`.
+pub fn periodic_cost(n: usize) -> u64 {
+    assert!(n.is_power_of_two());
+    let k = n.trailing_zeros() as u64;
+    (n as u64 / 2) * k * k
+}
+
+/// Cost of the recirculating (time-multiplexed) variant: one block,
+/// `(n/2)·lg n`, reused `lg n` rounds.
+pub fn recirculating_cost(n: usize) -> u64 {
+    assert!(n.is_power_of_two());
+    (n as u64 / 2) * n.trailing_zeros() as u64
+}
+
+/// Sorting time of the recirculating variant in unit-depth stages:
+/// `lg n` rounds × `lg n` stages.
+pub fn recirculating_time(n: usize) -> u64 {
+    let k = n.trailing_zeros() as u64;
+    k * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_sorting_network;
+    use rand::prelude::*;
+
+    #[test]
+    fn sorts_exhaustively_to_16() {
+        for k in 1..=4 {
+            let n = 1usize << k;
+            assert!(
+                is_sorting_network(&periodic_balanced_sort(n)),
+                "periodic n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sorts_random_words_at_64() {
+        let net = periodic_balanced_sort(64);
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..50 {
+            let mut v: Vec<i32> = (0..64).map(|_| rng.gen_range(-99..99)).collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            net.apply(&mut v);
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn one_block_fewer_fails() {
+        // lg n blocks are necessary: lg n − 1 cascades must miss inputs.
+        let n = 16usize;
+        let block = balanced_merging_block(n);
+        let mut net = Network::new(n);
+        for _ in 0..n.trailing_zeros() - 1 {
+            net.extend(&block);
+        }
+        assert!(!is_sorting_network(&net), "lg n − 1 blocks must not sort");
+    }
+
+    #[test]
+    fn cost_and_depth_formulas() {
+        for k in 1..=8u32 {
+            let n = 1usize << k;
+            let net = periodic_balanced_sort(n);
+            assert_eq!(net.cost(), periodic_cost(n), "n={n}");
+            assert_eq!(net.depth() as u64, (k * k) as u64, "n={n}");
+            assert_eq!(recirculating_cost(n) * k as u64, periodic_cost(n));
+        }
+    }
+
+    // (the comparison against the fish sorter's O(n) cost lives in the
+    // cross-crate integration suite: tests/cross_validation.rs)
+}

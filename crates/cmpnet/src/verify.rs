@@ -1,0 +1,136 @@
+//! Zero-one-principle verification.
+//!
+//! Knuth's zero-one principle: a nonadaptive comparator network sorts all
+//! inputs iff it sorts all 2^n binary inputs. The checker runs the
+//! network's 64-lane binary evaluator over all 2^n vectors in packed
+//! groups, so exhaustively verifying a 16-input network costs 1024 lane
+//! passes.
+
+use crate::network::Network;
+
+/// Checks whether each lane of `lanes` (64 output vectors packed across
+/// `n` lines) is ascending-sorted; returns the index of the first
+/// unsorted vector among `count`, if any.
+fn first_unsorted_lane(lanes: &[u64], count: u32) -> Option<u64> {
+    // A binary vector is ascending-sorted iff no 1 is followed by a 0,
+    // i.e. for every adjacent pair (i, i+1): NOT(line_i AND NOT line_{i+1}).
+    let mut bad = 0u64;
+    for w in lanes.windows(2) {
+        bad |= w[0] & !w[1];
+    }
+    if count < 64 {
+        bad &= (1u64 << count) - 1;
+    }
+    if bad == 0 {
+        None
+    } else {
+        Some(bad.trailing_zeros() as u64)
+    }
+}
+
+/// Exhaustively verifies `net` over all `2^n` binary inputs and returns
+/// the first input (as an n-bit little-endian integer: bit `i` = line `i`)
+/// that the network fails to sort, or `None` if the network sorts
+/// everything — which by the zero-one principle proves it sorts arbitrary
+/// totally ordered data.
+///
+/// Practical up to n ≈ 26 (2^26 vectors ≈ one million lane passes).
+pub fn first_unsorted_input(net: &Network) -> Option<u64> {
+    let n = net.n();
+    assert!(n <= 26, "exhaustive 0-1 check limited to n <= 26, got {n}");
+    let total: u64 = 1u64 << n;
+    let mut lanes = vec![0u64; n];
+    let mut base = 0u64;
+    while base < total {
+        let count = (total - base).min(64) as u32;
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = 0;
+            for v in 0..count as u64 {
+                if (base + v) >> i & 1 == 1 {
+                    *lane |= 1 << v;
+                }
+            }
+        }
+        net.apply_binary_lanes(&mut lanes);
+        if let Some(v) = first_unsorted_lane(&lanes, count) {
+            return Some(base + v);
+        }
+        base += count as u64;
+    }
+    None
+}
+
+/// True iff `net` sorts every binary input (hence, by the zero-one
+/// principle, every input).
+///
+/// ```
+/// use absort_cmpnet::{batcher, verify};
+///
+/// assert!(verify::is_sorting_network(&batcher::odd_even_merge_sort(16)));
+/// assert!(!verify::is_sorting_network(&batcher::odd_even_merge(16))); // a merger alone
+/// ```
+pub fn is_sorting_network(net: &Network) -> bool {
+    first_unsorted_input(net).is_none()
+}
+
+/// Verifies that the network sorts a particular binary input, returning
+/// the output. Helper for diagnosing failures found by
+/// [`first_unsorted_input`].
+pub fn sorts_binary_input(net: &Network, input: u64) -> (bool, Vec<u8>) {
+    let n = net.n();
+    let mut data: Vec<u8> = (0..n).map(|i| (input >> i & 1) as u8).collect();
+    net.apply(&mut data);
+    let sorted = data.windows(2).all(|w| w[0] <= w[1]);
+    (sorted, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    fn fig1() -> Network {
+        let mut net = Network::new(4);
+        net.push_compare(vec![(0, 1), (2, 3)]);
+        net.push_compare(vec![(0, 2), (1, 3)]);
+        net.push_compare(vec![(1, 2)]);
+        net
+    }
+
+    #[test]
+    fn fig1_is_a_sorting_network() {
+        assert!(is_sorting_network(&fig1()));
+    }
+
+    #[test]
+    fn missing_comparator_is_caught() {
+        let mut net = Network::new(4);
+        net.push_compare(vec![(0, 1), (2, 3)]);
+        net.push_compare(vec![(0, 2), (1, 3)]);
+        // final (1,2) comparator omitted: 0110-style inputs stay unsorted
+        let bad = first_unsorted_input(&net);
+        assert!(bad.is_some());
+        let (sorted, _) = sorts_binary_input(&net, bad.unwrap());
+        assert!(!sorted);
+    }
+
+    #[test]
+    fn empty_network_on_one_line_sorts() {
+        let net = Network::new(1);
+        assert!(is_sorting_network(&net));
+    }
+
+    #[test]
+    fn identity_on_two_lines_fails() {
+        let net = Network::new(2);
+        assert_eq!(first_unsorted_input(&net), Some(0b01)); // line0=1, line1=0
+    }
+
+    #[test]
+    fn unsorted_lane_detector() {
+        // lines: 2 lines, vector 0 = (0,1) sorted; vector 1 = (1,0) unsorted
+        let lanes = vec![0b10u64, 0b01u64];
+        assert_eq!(first_unsorted_lane(&lanes, 2), Some(1));
+        assert_eq!(first_unsorted_lane(&lanes, 1), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the comparator-network substrate: random
+//! networks, random data, differential checks between the word-level and
+//! bit-parallel evaluators, and structural invariants.
+
+use absort_cmpnet::{batcher, verify, Network, Stage};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::Rng as _;
+use rand::SeedableRng as _;
+
+/// Builds a random comparator network over `n` lines.
+fn random_network(seed: u64, n: usize, n_stages: usize) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new(n);
+    for _ in 0..n_stages {
+        if rng.gen_bool(0.2) {
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                perm.swap(i, rng.gen_range(0..=i));
+            }
+            net.push_permute(perm);
+        } else {
+            let mut lines: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                lines.swap(i, rng.gen_range(0..=i));
+            }
+            let pairs: Vec<(u32, u32)> = lines
+                .chunks(2)
+                .filter(|c| c.len() == 2)
+                .filter(|_| rng.gen_bool(0.7))
+                .map(|c| (c[0].min(c[1]), c[0].max(c[1])))
+                .collect();
+            if !pairs.is_empty() {
+                net.push_compare(pairs);
+            }
+        }
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Word-level application on 0/1 data agrees with the 64-lane binary
+    /// evaluator on random networks.
+    #[test]
+    fn binary_lanes_match_word_apply(seed in any::<u64>(), n in 2usize..24, stages in 1usize..20) {
+        let net = random_network(seed, n, stages);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let vectors: Vec<Vec<u8>> = (0..64)
+            .map(|_| (0..n).map(|_| u8::from(rng.gen::<bool>())).collect())
+            .collect();
+        // pack into lanes
+        let mut lanes = vec![0u64; n];
+        for (v, vec) in vectors.iter().enumerate() {
+            for (i, &bit) in vec.iter().enumerate() {
+                if bit == 1 {
+                    lanes[i] |= 1 << v;
+                }
+            }
+        }
+        net.apply_binary_lanes(&mut lanes);
+        for (v, vec) in vectors.iter().enumerate() {
+            let mut scalar = vec.clone();
+            net.apply(&mut scalar);
+            let got: Vec<u8> = (0..n).map(|i| (lanes[i] >> v & 1) as u8).collect();
+            prop_assert_eq!(&got, &scalar, "vector {}", v);
+        }
+    }
+
+    /// Comparator networks never change the multiset of values.
+    #[test]
+    fn networks_permute_their_input(seed in any::<u64>(), n in 2usize..16, stages in 1usize..16) {
+        let net = random_network(seed, n, stages);
+        let mut rng = StdRng::seed_from_u64(seed ^ 2);
+        let data: Vec<i32> = (0..n).map(|_| rng.gen_range(-20..20)).collect();
+        let mut out = data.clone();
+        net.apply(&mut out);
+        let mut a = data;
+        let mut b = out;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Comparator networks are monotone: applying to pointwise-≤ inputs
+    /// yields pointwise-≤ outputs. (The classical lemma behind the
+    /// zero-one principle.)
+    #[test]
+    fn networks_are_monotone(seed in any::<u64>(), n in 2usize..12, stages in 1usize..12) {
+        let net = random_network(seed, n, stages);
+        let mut rng = StdRng::seed_from_u64(seed ^ 3);
+        let x: Vec<i32> = (0..n).map(|_| rng.gen_range(0..50)).collect();
+        let y: Vec<i32> = x.iter().map(|&v| v + rng.gen_range(0..10)).collect();
+        let mut ox = x;
+        let mut oy = y;
+        net.apply(&mut ox);
+        net.apply(&mut oy);
+        for (a, b) in ox.iter().zip(&oy) {
+            prop_assert!(a <= b, "monotonicity violated");
+        }
+    }
+
+    /// Cost is additive over concatenation and depth is subadditive.
+    #[test]
+    fn cost_additive_depth_subadditive(s1 in any::<u64>(), s2 in any::<u64>(), n in 2usize..12) {
+        let a = random_network(s1, n, 6);
+        let b = random_network(s2, n, 6);
+        let mut cat = Network::new(n);
+        cat.extend(&a);
+        cat.extend(&b);
+        prop_assert_eq!(cat.cost(), a.cost() + b.cost());
+        prop_assert!(cat.depth() <= a.depth() + b.depth());
+    }
+
+    /// Sorting a sorted input through Batcher is the identity
+    /// (idempotence at the network level).
+    #[test]
+    fn batcher_idempotent(k in 1u32..=6, ones in any::<u64>()) {
+        let n = 1usize << k;
+        let net = batcher::odd_even_merge_sort(n);
+        let ones = (ones as usize) % (n + 1);
+        let mut v: Vec<u8> = vec![0; n - ones];
+        v.extend(std::iter::repeat_n(1, ones));
+        let orig = v.clone();
+        net.apply(&mut v);
+        prop_assert_eq!(v, orig);
+    }
+}
+
+#[test]
+fn zero_one_principle_forward_direction() {
+    // A network that sorts all binary inputs sorts arbitrary words: spot
+    // check the implication on Batcher-8 with random word data.
+    let net = batcher::odd_even_merge_sort(8);
+    assert!(verify::is_sorting_network(&net));
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..500 {
+        let mut v: Vec<i64> = (0..8).map(|_| rng.gen_range(-1000..1000)).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        net.apply(&mut v);
+        assert_eq!(v, expect);
+    }
+}
+
+#[test]
+fn stage_structure_is_preserved() {
+    let net = batcher::odd_even_merge_sort(16);
+    let mut comparators = 0u64;
+    for s in net.stages() {
+        if let Stage::Compare(p) = s {
+            comparators += p.len() as u64;
+            // disjointness within each stage
+            let mut seen = [false; 16];
+            for &(i, j) in p {
+                assert!(!seen[i as usize] && !seen[j as usize]);
+                seen[i as usize] = true;
+                seen[j as usize] = true;
+            }
+        }
+    }
+    assert_eq!(comparators, net.cost());
+}

@@ -1,0 +1,169 @@
+//! Data-level simulation of the fish sorter's time-multiplexed front end.
+//!
+//! [`schedule`](crate::fish::schedule) computes Model B *latencies*; this
+//! module actually clocks the datapath: a register-chain model of the
+//! `(n, n/k)`-multiplexer → shared `n/k`-input sorter → `(n/k, n)`-
+//! demultiplexer pipeline, moving one group's worth of bits per stage per
+//! cycle, with structural-hazard checking (a stage may hold at most one
+//! group). Serial mode admits the next group only after the previous one
+//! has fully drained; pipelined mode admits one group per cycle — the
+//! paper's eq. 25 regime.
+//!
+//! The cycle counts measured here are cross-checked against the closed
+//! forms of `schedule::front_time` in the tests, so the two Model B
+//! views (latency algebra vs clocked registers) cannot drift apart.
+
+use crate::muxmerge::{self, formulas::sorter_depth_exact};
+use crate::packet::{keys, Keyed};
+
+/// Result of clocking the front end on a concrete input.
+#[derive(Debug, Clone)]
+pub struct FrontEndRun<P> {
+    /// The k-sorted output (group `g` sorted, in place).
+    pub output: Vec<P>,
+    /// Cycle at which the last group landed in the merger input register.
+    pub cycles: u64,
+    /// Peak number of groups simultaneously in flight (1 in serial mode,
+    /// up to the pipeline depth when pipelined).
+    pub peak_in_flight: usize,
+}
+
+/// Clock-accurate front-end simulation.
+///
+/// `pipelined = false` reproduces eq. 22's serial behaviour,
+/// `pipelined = true` eq. 25's.
+pub fn run<P: Keyed>(items: &[P], k: usize, pipelined: bool) -> FrontEndRun<P> {
+    let n = items.len();
+    assert!(k >= 2 && k.is_power_of_two() && n % k == 0);
+    let group_size = n / k;
+    let lgk = k.trailing_zeros() as u64;
+    let depth = sorter_depth_exact(group_size);
+    // Pipeline stages: lg k mux levels + sorter depth + lg k demux levels.
+    let n_stages = (lgk + depth + lgk) as usize;
+
+    // Each stage register holds at most one group id.
+    let mut stages: Vec<Option<usize>> = vec![None; n_stages];
+    let mut output: Vec<Option<Vec<P>>> = vec![None; k];
+    let mut next_group = 0usize;
+    let mut cycles = 0u64;
+    let mut peak = 0usize;
+    let mut done = 0usize;
+
+    // Cycle semantics: a group admitted during cycle `c` occupies stage 0
+    // at the end of `c`, advances one stage per cycle, and is *delivered*
+    // at the end of the cycle in which it occupies the last stage — so a
+    // group's latency is exactly `n_stages` cycles, matching
+    // `schedule::front_time`.
+    while done < k {
+        cycles += 1;
+        // 1. advance the pipeline (back to front), checking structural
+        //    hazards: a stage must be empty to receive.
+        for s in (1..n_stages).rev() {
+            if stages[s].is_none() {
+                stages[s] = stages[s - 1].take();
+            } else {
+                assert!(
+                    stages[s - 1].is_none(),
+                    "structural hazard: two groups colliding at stage {s}"
+                );
+            }
+        }
+        // 2. admit a new group: pipelined mode admits one per cycle;
+        //    serial mode only into a completely empty datapath.
+        let may_admit = next_group < k
+            && stages[0].is_none()
+            && (pipelined || stages.iter().all(Option::is_none));
+        if may_admit {
+            stages[0] = Some(next_group);
+            next_group += 1;
+        }
+        peak = peak.max(stages.iter().filter(|s| s.is_some()).count());
+        // 3. deliver from the last stage at end of cycle.
+        if let Some(g) = stages[n_stages - 1].take() {
+            let group = &items[g * group_size..(g + 1) * group_size];
+            output[g] = Some(muxmerge::sort(group));
+            done += 1;
+        }
+    }
+
+    FrontEndRun {
+        output: output.into_iter().flat_map(|g| g.expect("group sorted")).collect(),
+        cycles,
+        peak_in_flight: peak,
+    }
+}
+
+/// Convenience: run on bits and return only the k-sorted key sequence.
+pub fn run_bits(bits: &[bool], k: usize, pipelined: bool) -> (Vec<bool>, u64) {
+    let r = run(bits, k, pipelined);
+    (keys(&r.output), r.cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fish::schedule;
+    use crate::lang;
+    use rand::prelude::*;
+
+    #[test]
+    fn output_is_k_sorted_and_matches_functional() {
+        let mut rng = StdRng::seed_from_u64(50);
+        for (n, k) in [(64usize, 4usize), (256, 8), (1024, 16)] {
+            let bits: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            for pipelined in [false, true] {
+                let (out, _) = run_bits(&bits, k, pipelined);
+                assert!(lang::is_k_sorted(&out, k), "n={n} k={k}");
+                // group-by-group it is exactly the functional sorter's output
+                let expect: Vec<bool> = bits
+                    .chunks(n / k)
+                    .flat_map(muxmerge::sort)
+                    .collect();
+                assert_eq!(out, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_counts_match_schedule_closed_forms() {
+        for (n, k) in [(64usize, 4usize), (256, 4), (1024, 8), (4096, 16)] {
+            for pipelined in [false, true] {
+                let bits = vec![false; n];
+                let (_, cycles) = run_bits(&bits, k, pipelined);
+                let expected = schedule::front_time(n, k, pipelined);
+                assert_eq!(
+                    cycles, expected,
+                    "n={n} k={k} pipelined={pipelined}: clocked {cycles} vs closed form {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_mode_has_one_group_in_flight() {
+        let bits = vec![true; 256];
+        let r = run(&bits, 8, false);
+        assert_eq!(r.peak_in_flight, 1);
+    }
+
+    #[test]
+    fn pipelined_mode_fills_the_pipe() {
+        let bits = vec![true; 1024];
+        let k = 16;
+        let r = run(&bits, k, true);
+        // with k=16 groups and a deep sorter, many groups are in flight
+        assert!(r.peak_in_flight >= 8, "peak {}", r.peak_in_flight);
+    }
+
+    #[test]
+    fn payloads_survive_the_front_end() {
+        use crate::packet::tag_indices;
+        let mut rng = StdRng::seed_from_u64(51);
+        let n = 256;
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let r = run(&tag_indices(&bits), 4, true);
+        let mut ids: Vec<usize> = r.output.iter().map(|p| p.1).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..n).collect::<Vec<_>>());
+    }
+}

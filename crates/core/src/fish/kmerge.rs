@@ -1,0 +1,285 @@
+//! The n-input k-way mux-merger (paper Figs. 7–9) — functional dataflow
+//! with trace capture for regenerating the paper's worked examples.
+
+use crate::lang;
+use crate::muxmerge;
+use crate::packet::{self, Keyed};
+
+/// One level of k-way merging, recorded for Fig. 8-style traces.
+#[derive(Debug, Clone)]
+pub struct LevelTrace {
+    /// Size of the sequence entering this level.
+    pub m: usize,
+    /// The k-sorted input to this level.
+    pub input: Vec<bool>,
+    /// Upper half after the k-SWAP: clean k-sorted.
+    pub upper_clean: Vec<bool>,
+    /// Lower half after the k-SWAP: k-sorted.
+    pub lower_rest: Vec<bool>,
+    /// The clean sorter's output (sorted upper half).
+    pub clean_sorted: Vec<bool>,
+    /// This level's final merged output.
+    pub merged: Vec<bool>,
+}
+
+/// A full k-way merge trace: the per-level records plus the base-case
+/// sort.
+#[derive(Debug, Clone, Default)]
+pub struct KMergeTrace {
+    /// Levels from size `m = n` down to `2k`.
+    pub levels: Vec<LevelTrace>,
+    /// The base-case input (size `k`) handed to the k-input sorter.
+    pub base_input: Vec<bool>,
+    /// The base-case sorted output.
+    pub base_output: Vec<bool>,
+}
+
+/// The k-SWAP operation (one stage of `k` two-way swappers): splits a
+/// k-sorted sequence into `(clean k-sorted upper half, k-sorted lower
+/// half)` per Theorem 4.
+///
+/// Each subsequence's middle bit drives its swapper: middle bit 0 means
+/// the upper half of the subsequence is clean (all 0s) and already on
+/// top; middle bit 1 means the lower half is clean (all 1s) and gets
+/// swapped up.
+pub fn k_swap<P: Keyed>(s: &[P], k: usize) -> (Vec<P>, Vec<P>) {
+    assert!(
+        lang::is_k_sorted(&packet::keys(s), k),
+        "k-SWAP input must be k-sorted"
+    );
+    let block = s.len() / k;
+    assert!(block >= 2, "k-SWAP blocks must have at least 2 elements");
+    let mut clean = Vec::with_capacity(s.len() / 2);
+    let mut rest = Vec::with_capacity(s.len() / 2);
+    for chunk in s.chunks(block) {
+        let mid = chunk[block / 2].key();
+        let (upper, lower) = chunk.split_at(block / 2);
+        if mid {
+            clean.extend_from_slice(lower);
+            rest.extend_from_slice(upper);
+        } else {
+            clean.extend_from_slice(upper);
+            rest.extend_from_slice(lower);
+        }
+    }
+    debug_assert!(
+        lang::is_clean_k_sorted(&packet::keys(&clean), k),
+        "Theorem 4 violated (clean)"
+    );
+    debug_assert!(
+        lang::is_k_sorted(&packet::keys(&rest), k),
+        "Theorem 4 violated (rest)"
+    );
+    (clean, rest)
+}
+
+/// Trace of the k-way clean sorter (Fig. 9): the blocks' leading bits,
+/// their sorted order, and the dispatch destinations.
+#[derive(Debug, Clone)]
+pub struct CleanSortTrace {
+    /// Leading bit of each clean block, in input order.
+    pub leading_bits: Vec<bool>,
+    /// The k leading bits after the k-input sorter.
+    pub sorted_bits: Vec<bool>,
+    /// `dispatch[i]` = output block position that input block `i` is sent
+    /// to through the (n/2k, n/2)-demultiplexer.
+    pub dispatch: Vec<usize>,
+    /// The sorted output.
+    pub output: Vec<bool>,
+}
+
+/// The k-way clean sorter: sorts a *clean k-sorted* sequence (k constant
+/// blocks) by sorting the blocks' leading bits with a k-input binary
+/// sorter and dispatching each block to its sorted position through the
+/// time-multiplexed (m, m/k)-multiplexer / (m/k, m)-demultiplexer pair.
+pub fn clean_sort<P: Keyed>(s: &[P], k: usize) -> (Vec<P>, CleanSortTrace) {
+    assert!(
+        lang::is_clean_k_sorted(&packet::keys(s), k),
+        "clean sorter input must be clean k-sorted"
+    );
+    let block = s.len() / k;
+    let leading_bits: Vec<bool> = s.chunks(block).map(|c| c[0].key()).collect();
+    // The k-input binary sorter (Network 2 functional form).
+    let sorted_bits = muxmerge::sort(&leading_bits);
+    // Dispatch: a 0-block goes to the slot equal to its rank among
+    // 0-blocks; a 1-block to (number of zero blocks) + its rank among
+    // 1-blocks. This is exactly "sending each subsequence to its
+    // corresponding sorted position"; in hardware each block flows through
+    // the shared mux/demux pair on its own clock step.
+    let zeros = leading_bits.iter().filter(|&&b| !b).count();
+    let mut z_seen = 0;
+    let mut o_seen = 0;
+    let mut dispatch = Vec::with_capacity(k);
+    let mut output: Vec<P> = s.to_vec();
+    for (i, &bit) in leading_bits.iter().enumerate() {
+        let dest = if bit {
+            let d = zeros + o_seen;
+            o_seen += 1;
+            d
+        } else {
+            let d = z_seen;
+            z_seen += 1;
+            d
+        };
+        dispatch.push(dest);
+        output[dest * block..(dest + 1) * block]
+            .clone_from_slice(&s[i * block..(i + 1) * block]);
+    }
+    debug_assert!(lang::is_sorted(&packet::keys(&output)));
+    let trace = CleanSortTrace {
+        leading_bits,
+        sorted_bits,
+        dispatch,
+        output: packet::keys(&output),
+    };
+    (output, trace)
+}
+
+/// The n-input k-way mux-merger: merges a k-sorted sequence into sorted
+/// order. Recursion: k-SWAP, clean-sort the upper half, k-way merge the
+/// lower half, and combine the two sorted halves with the two-way
+/// mux-merger (Network 2's merger).
+pub fn kmerge<P: Keyed>(s: &[P], k: usize) -> Vec<P> {
+    kmerge_traced(s, k, None)
+}
+
+/// [`kmerge`] with optional trace capture (used for the Fig. 8
+/// reproduction). Traces record key bits.
+pub fn kmerge_traced<P: Keyed>(
+    s: &[P],
+    k: usize,
+    mut trace: Option<&mut KMergeTrace>,
+) -> Vec<P> {
+    assert!(k.is_power_of_two() && k >= 2, "k must be a power of two ≥ 2");
+    assert!(
+        s.len().is_power_of_two() && s.len() >= k,
+        "sequence length must be a power of two ≥ k"
+    );
+    assert!(
+        lang::is_k_sorted(&packet::keys(s), k),
+        "k-way merge input must be k-sorted"
+    );
+    let m = s.len();
+    if m == k {
+        // Base case: k sorted subsequences of one element each — i.e. an
+        // arbitrary k-bit sequence — sorted by the k-input mux-merger
+        // binary sorter.
+        let out = muxmerge::sort(s);
+        if let Some(t) = trace.as_deref_mut() {
+            t.base_input = packet::keys(s);
+            t.base_output = packet::keys(&out);
+        }
+        return out;
+    }
+    let (upper_clean, lower_rest) = k_swap(s, k);
+    let (clean_sorted, _cs_trace) = clean_sort(&upper_clean, k);
+    let lower_sorted = kmerge_traced(&lower_rest, k, trace.as_deref_mut());
+    let mut bis = clean_sorted.clone();
+    bis.extend_from_slice(&lower_sorted);
+    debug_assert!(lang::is_bisorted(&packet::keys(&bis)));
+    let merged = muxmerge::merge(&bis);
+    if let Some(t) = trace {
+        t.levels.push(LevelTrace {
+            m,
+            input: packet::keys(s),
+            upper_clean: packet::keys(&upper_clean),
+            lower_rest: packet::keys(&lower_rest),
+            clean_sorted: packet::keys(&clean_sorted),
+            merged: packet::keys(&merged),
+        });
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{all_k_sorted, bits, show, sorted_oracle};
+    use rand::prelude::*;
+
+    #[test]
+    fn k_swap_on_paper_example_4() {
+        // 1111/0001/0011/0111 (4-sorted): middle bits 1,0,1,1 → clean
+        // halves 11, 00, 11, 11 up; rest 11, 01, 00, 01 down.
+        let s = bits("1111000100110111");
+        let (clean, rest) = k_swap(&s, 4);
+        assert_eq!(show(&clean, 2), "11/00/11/11");
+        assert_eq!(show(&rest, 2), "11/01/00/01");
+    }
+
+    #[test]
+    fn kmerge_exhaustive_all_k_sorted() {
+        for (n, k) in [(8usize, 2usize), (8, 4)] {
+            for s in all_k_sorted(n, k) {
+                assert_eq!(kmerge(&s, k), sorted_oracle(&s), "n={n} k={k}");
+            }
+        }
+        // larger: every 4-sorted 16-bit sequence (5^4 = 625 cases)
+        for s in all_k_sorted(16, 4) {
+            assert_eq!(kmerge(&s, 4), sorted_oracle(&s));
+        }
+    }
+
+    #[test]
+    fn kmerge_random_large() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for (n, k) in [(1024usize, 8usize), (4096, 16), (1 << 14, 16)] {
+            let block = n / k;
+            for _ in 0..5 {
+                let mut s = Vec::with_capacity(n);
+                for _ in 0..k {
+                    let ones = rng.gen_range(0..=block);
+                    s.extend(std::iter::repeat_n(false, block - ones));
+                    s.extend(std::iter::repeat_n(true, ones));
+                }
+                assert_eq!(kmerge(&s, k), sorted_oracle(&s), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_sort_dispatch_is_a_permutation() {
+        for s in all_k_sorted(16, 4) {
+            let (clean, _) = k_swap(&s, 4);
+            let (_, trace) = clean_sort(&clean, 4);
+            let mut seen = [false; 4];
+            for &d in &trace.dispatch {
+                assert!(!seen[d], "dispatch reuses slot {d}");
+                seen[d] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn clean_sort_output_blocks_match_sorted_bits() {
+        let s = bits("1111000000001111"); // clean 4-sorted, blocks 1,0,0,1
+        let (out, trace) = clean_sort(&s, 4);
+        assert_eq!(show(&out, 4), "0000/0000/1111/1111");
+        assert_eq!(trace.sorted_bits, bits("0011"));
+        // each output block is the broadcast of the corresponding sorted bit
+        for (j, chunk) in out.chunks(4).enumerate() {
+            assert!(chunk.iter().all(|&b| b == trace.sorted_bits[j]));
+        }
+    }
+
+    #[test]
+    fn trace_captures_every_level() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (n, k) = (64usize, 4usize);
+        let block = n / k;
+        let mut s = Vec::new();
+        for _ in 0..k {
+            let ones = rng.gen_range(0..=block);
+            s.extend(std::iter::repeat_n(false, block - ones));
+            s.extend(std::iter::repeat_n(true, ones));
+        }
+        let mut t = KMergeTrace::default();
+        let out = kmerge_traced(&s, k, Some(&mut t));
+        assert_eq!(out, sorted_oracle(&s));
+        // levels m = 64, 32, 16, 8 → recorded smallest-first
+        let ms: Vec<usize> = t.levels.iter().map(|l| l.m).collect();
+        assert_eq!(ms, vec![8, 16, 32, 64]);
+        assert_eq!(t.base_input.len(), k);
+        assert_eq!(t.levels.last().unwrap().merged, out);
+    }
+}

@@ -1,0 +1,213 @@
+//! Network 3: the fish binary sorter (paper Section III.C, Figs. 7–9).
+//!
+//! A **Model B** (time-multiplexed) adaptive sorter. The `n` inputs are
+//! divided into `k` groups of `n/k`; the groups are run sequentially
+//! through an `(n, n/k)`-multiplexer into a *single* `n/k`-input binary
+//! sorter (we use the mux-merger sorter of Network 2), demultiplexed into
+//! position, and the resulting k-sorted sequence is merged by an
+//! `n`-input k-way mux-merger:
+//!
+//! * a **k-SWAP** (k two-way swappers selected by each subsequence's
+//!   middle bit) splits the sequence into a clean k-sorted upper half and
+//!   a k-sorted lower half (Theorem 4);
+//! * a **k-way clean sorter** (k-input sorter on the blocks' leading bits
+//!   plus a time-multiplexed mux/demux dispatch) sorts the clean half;
+//! * the lower half is merged recursively; and
+//! * a final **two-way mux-merger** combines the two sorted halves.
+//!
+//! With `k = lg n`: cost `≤ 17n + o(n)` (eq. 19), depth `O(lg² n)`
+//! (eq. 21), sorting time `O(lg³ n)` unpipelined (eq. 24) or `O(lg² n)`
+//! with the input groups pipelined through the single sorter (eq. 26).
+//!
+//! [`kmerge`] holds the functional dataflow (with Fig. 8/Fig. 9 traces),
+//! [`formulas`] the paper's closed forms (eqs. 7–26), [`schedule`] the
+//! Model B latency algebra, [`frontend`] a clocked register-chain model
+//! of the time-multiplexed front end, [`hardware`] the same front end at
+//! gate level (the built sorter circuit retimed into pipeline stages),
+//! and [`circuits`] the k-SWAP/combinational-merger circuits used by the
+//! E18 ablation.
+
+pub mod circuits;
+pub mod formulas;
+pub mod frontend;
+pub mod hardware;
+pub mod kmerge;
+pub mod modelb;
+pub mod schedule;
+
+use crate::lang;
+use crate::muxmerge;
+use absort_circuit::assert_pow2;
+
+/// Configuration of a fish sorter instance.
+///
+/// ```
+/// use absort_core::{lang, FishSorter};
+///
+/// let fish = FishSorter::with_default_k(1024); // k ≈ lg n
+/// let input: Vec<bool> = (0..1024).map(|i| i % 3 == 0).collect();
+/// assert_eq!(fish.sort(&input), lang::sorted_oracle(&input));
+///
+/// let report = fish.report();
+/// assert!(report.cost_exact <= 17 * 1024); // the O(n) headline, constant ≤ 17
+/// assert!(report.time_pipelined < report.time_unpipelined);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FishSorter {
+    /// Total input size (`2^a`).
+    pub n: usize,
+    /// Number of time-multiplexed groups (`2^b`, `k ≤ n`, and `n/k ≥ k`
+    /// so the k-way merger's base case is reachable).
+    pub k: usize,
+}
+
+impl FishSorter {
+    /// Creates a fish sorter; panics on invalid `(n, k)`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert_pow2(n, "fish sorter n");
+        assert_pow2(k, "fish sorter k");
+        assert!(k >= 2, "fish sorter needs k >= 2, got k={k}");
+        assert!(
+            k <= n / k,
+            "fish sorter needs k <= n/k (k-sorted recursion bottoms out at size k); got n={n}, k={k}"
+        );
+        FishSorter { n, k }
+    }
+
+    /// The paper's cost-minimising choice `k = lg n` rounded to a power of
+    /// two (and clamped to the validity range).
+    pub fn with_default_k(n: usize) -> Self {
+        assert_pow2(n, "fish sorter n");
+        let lg = n.trailing_zeros() as usize;
+        let k = lg.next_power_of_two().max(2);
+        let k = k.min(1 << (n.trailing_zeros() / 2)).max(2);
+        FishSorter::new(n, k)
+    }
+
+    /// Sorts through the full fish dataflow: group-wise sorting via the
+    /// (shared) `n/k`-input sorter, then the k-way mux-merger. Generic
+    /// over [`crate::packet::Keyed`] line values, so payloads are carried.
+    pub fn sort<P: crate::packet::Keyed>(&self, items: &[P]) -> Vec<P> {
+        assert_eq!(items.len(), self.n, "input length != n");
+        // Phase 1 (time-multiplexed in hardware): each group through the
+        // single n/k-input binary sorter.
+        let mut ksorted = Vec::with_capacity(self.n);
+        for group in items.chunks(self.n / self.k) {
+            ksorted.extend(muxmerge::sort(group));
+        }
+        debug_assert!(lang::is_k_sorted(&crate::packet::keys(&ksorted), self.k));
+        // Phase 2: the n-input k-way mux-merger.
+        kmerge::kmerge(&ksorted, self.k)
+    }
+
+    /// Full report: exact constructed cost, paper-formula cost, depth, and
+    /// sorting times with and without pipelining.
+    pub fn report(&self) -> FishReport {
+        let (n, k) = (self.n, self.k);
+        FishReport {
+            n,
+            k,
+            cost_exact: formulas::total_cost_exact(n, k),
+            cost_paper_bound: formulas::total_cost_paper(n, k),
+            merger_depth_paper_bound: formulas::merger_depth_paper(n, k),
+            time_unpipelined: schedule::sorting_time(n, k, false),
+            time_pipelined: schedule::sorting_time(n, k, true),
+        }
+    }
+}
+
+/// Cost/depth/time summary for one `(n, k)` fish instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FishReport {
+    /// Input size.
+    pub n: usize,
+    /// Group count.
+    pub k: usize,
+    /// Exact cost of our construction (unit components, paper accounting).
+    pub cost_exact: u64,
+    /// The paper's closed-form cost bound (eq. 17).
+    pub cost_paper_bound: u64,
+    /// The paper's merger depth bound (eq. 18).
+    pub merger_depth_paper_bound: u64,
+    /// Sorting time in clock cycles without pipelining (eq. 22 model).
+    pub time_unpipelined: u64,
+    /// Sorting time in clock cycles with the input groups pipelined
+    /// (eq. 25 model).
+    pub time_pipelined: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{all_sequences, sorted_oracle};
+    use rand::prelude::*;
+
+    #[test]
+    fn sorts_exhaustively_n16_k2_k4() {
+        for k in [2usize, 4] {
+            let f = FishSorter::new(16, k);
+            for s in all_sequences(16) {
+                assert_eq!(f.sort(&s), sorted_oracle(&s), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_random_large_many_k() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for (n, ks) in [(256usize, vec![2usize, 4, 8, 16]), (4096, vec![4, 16, 64])] {
+            for &k in &ks {
+                let f = FishSorter::new(n, k);
+                for _ in 0..10 {
+                    let s: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+                    assert_eq!(f.sort(&s), sorted_oracle(&s), "n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_k_is_near_lg_n() {
+        let f = FishSorter::with_default_k(1 << 16);
+        assert_eq!(f.n, 1 << 16);
+        assert_eq!(f.k, 16); // lg(2^16) = 16, already a power of two
+        let f2 = FishSorter::with_default_k(1 << 10);
+        assert_eq!(f2.k, 16); // lg = 10 → 16, and 16 ≤ 2^(10/2) = 32
+    }
+
+    #[test]
+    #[should_panic(expected = "k <= n/k")]
+    fn oversized_k_rejected() {
+        let _ = FishSorter::new(16, 8);
+    }
+
+    #[test]
+    fn pipelining_strictly_helps() {
+        for (n, k) in [(1usize << 10, 8usize), (1 << 14, 16), (1 << 16, 16)] {
+            let r = FishSorter::new(n, k).report();
+            assert!(
+                r.time_pipelined < r.time_unpipelined,
+                "n={n} k={k}: {} !< {}",
+                r.time_pipelined,
+                r.time_unpipelined
+            );
+        }
+    }
+
+    #[test]
+    fn cost_is_linear_at_default_k() {
+        // Headline claim: O(n) cost at k = lg n; the paper's constant is
+        // ≤ 17 plus o(n) terms.
+        for a in [10usize, 12, 14, 16, 18] {
+            let n = 1 << a;
+            let f = FishSorter::with_default_k(n);
+            let r = f.report();
+            assert!(
+                r.cost_exact <= 18 * n as u64,
+                "n={n} k={}: cost {} > 18n",
+                f.k,
+                r.cost_exact
+            );
+        }
+    }
+}

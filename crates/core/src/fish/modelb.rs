@@ -1,0 +1,141 @@
+//! The complete fish sorter as one Model B run: data movement and clock
+//! cycles in the same simulation.
+//!
+//! [`frontend`](super::frontend) clocks the front end with data;
+//! [`schedule`](super::schedule) computes whole-sorter latencies without
+//! data. This module closes the loop: a single simulation that carries
+//! the bits through every stage — front end, per-level k-SWAP, clean
+//! sorter (with its k-step dispatch), recursive merger, final two-way
+//! mergers — while accounting cycles with the same rules as the
+//! schedule. The invariants tested: the output equals the oracle, and
+//! the cycle totals equal `schedule::sorting_time` exactly, in both
+//! serial and pipelined modes.
+
+use super::{frontend, kmerge, schedule};
+use crate::lang;
+use crate::muxmerge;
+
+/// The result of a full Model B run.
+#[derive(Debug, Clone)]
+pub struct ModelBRun {
+    /// The sorted output.
+    pub output: Vec<bool>,
+    /// Cycles spent in the time-multiplexed front end.
+    pub front_cycles: u64,
+    /// Cycles spent in the k-way merger (critical path through its
+    /// recursion, including the clean sorters' dispatch steps).
+    pub merger_cycles: u64,
+    /// Total sorting time in cycles.
+    pub total_cycles: u64,
+}
+
+/// Runs the complete fish sorter on `bits` with `k` groups.
+pub fn run(bits: &[bool], k: usize, pipelined: bool) -> ModelBRun {
+    let n = bits.len();
+    assert!(n.is_power_of_two() && k.is_power_of_two() && k >= 2 && k <= n / k);
+
+    // Phase 1: the clocked front end (data + cycles).
+    let (ksorted, front_cycles) = frontend::run_bits(bits, k, pipelined);
+    debug_assert!(lang::is_k_sorted(&ksorted, k));
+
+    // Phase 2: the k-way merger, walked with data while accumulating the
+    // critical-path cycles exactly as `schedule::merger_time` does.
+    let (output, merger_cycles) = merge_with_cycles(&ksorted, k);
+    debug_assert!(lang::is_sorted(&output));
+
+    ModelBRun {
+        output,
+        front_cycles,
+        merger_cycles,
+        total_cycles: front_cycles + merger_cycles,
+    }
+}
+
+/// Merges a k-sorted sequence, returning the merged data and the
+/// critical-path cycle count of the level (k-SWAP: 1 cycle; clean path
+/// and recursive path run concurrently on disjoint hardware — the level
+/// waits for the slower; the two-way merger then takes its measured
+/// depth).
+fn merge_with_cycles(s: &[bool], k: usize) -> (Vec<bool>, u64) {
+    let m = s.len();
+    if m == k {
+        return (
+            muxmerge::sort(s),
+            muxmerge::formulas::sorter_depth_exact(k),
+        );
+    }
+    let (clean, rest) = kmerge::k_swap(s, k);
+    // Clean path: the k-input sorter ranks the leading bits, then the k
+    // blocks stream through the dispatch (depth 3 lg k, one block/cycle).
+    let (clean_sorted, _) = kmerge::clean_sort(&clean, k);
+    let clean_cycles = schedule::clean_sorter_time(k);
+    // Recursive path, concurrent with the clean path.
+    let (lower_sorted, rec_cycles) = merge_with_cycles(&rest, k);
+    // Join: bisorted → the two-way mux-merger.
+    let mut bis = clean_sorted;
+    bis.extend_from_slice(&lower_sorted);
+    let merged = muxmerge::merge(&bis);
+    let cycles = 1 + clean_cycles.max(rec_cycles) + muxmerge::formulas::merger_depth_exact(m);
+    (merged, cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::sorted_oracle;
+    use rand::prelude::*;
+
+    #[test]
+    fn data_and_cycles_match_the_independent_models() {
+        let mut rng = StdRng::seed_from_u64(90);
+        for (n, k) in [(64usize, 4usize), (256, 4), (256, 8), (1024, 16)] {
+            for pipelined in [false, true] {
+                let bits: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+                let run = run(&bits, k, pipelined);
+                assert_eq!(run.output, sorted_oracle(&bits), "n={n} k={k}");
+                assert_eq!(
+                    run.total_cycles,
+                    schedule::sorting_time(n, k, pipelined),
+                    "n={n} k={k} pipelined={pipelined}: unified sim vs latency algebra"
+                );
+                assert_eq!(
+                    run.front_cycles,
+                    schedule::front_time(n, k, pipelined),
+                    "front end n={n} k={k}"
+                );
+                assert_eq!(run.merger_cycles, schedule::merger_time(n, k));
+            }
+        }
+    }
+
+    #[test]
+    fn merger_cycles_dominated_by_two_way_merges_at_large_n() {
+        // per level: 1 + max(clean, rec) + (2 lg m − 1); the Σ 2 lg m term
+        // should dominate as n grows at fixed k.
+        let k = 4;
+        let bits = vec![true; 1 << 12];
+        let run = run(&bits, k, true);
+        let n = 1usize << 12;
+        let sum_merges: u64 = (3..=12u32)
+            .map(|a| muxmerge::formulas::merger_depth_exact(1usize << a))
+            .sum();
+        assert!(
+            run.merger_cycles >= sum_merges,
+            "{} >= {} (n={n})",
+            run.merger_cycles,
+            sum_merges
+        );
+    }
+
+    #[test]
+    fn all_equal_inputs_still_cost_full_cycles() {
+        // Model B is data-independent in time: constants sort in the same
+        // cycle count as adversarial inputs.
+        let (n, k) = (256usize, 8usize);
+        let zeros = run(&vec![false; n], k, true);
+        let mut rng = StdRng::seed_from_u64(91);
+        let random: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let rnd = run(&random, k, true);
+        assert_eq!(zeros.total_cycles, rnd.total_cycles);
+    }
+}

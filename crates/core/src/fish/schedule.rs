@@ -1,0 +1,141 @@
+//! Cycle-accurate Model B timing for the fish sorter.
+//!
+//! Model B posits a global clock; every unit-depth primitive layer takes
+//! one cycle. The front end runs the `k` groups through the single
+//! `n/k`-input sorter either **serially** (each group occupies the whole
+//! datapath for its full latency) or **pipelined** (the sorter is a
+//! `depth`-segment pipeline accepting one group per cycle — the paper's
+//! eq. 25 regime, and the contrast it draws with columnsort, which must
+//! pipeline four separate sorters).
+//!
+//! The merger's clean sorters are themselves time-multiplexed: each level
+//! dispatches its `k` clean blocks through one mux/demux pair, one block
+//! per cycle, after the `k`-input sorter has produced the leading-bit
+//! ranks. Clean path and recursive path run on disjoint hardware, so a
+//! level's latency is `1 (k-SWAP) + max(clean path, recursive path) +
+//! two-way merger depth`.
+
+use crate::muxmerge::formulas::{merger_depth_exact, sorter_depth_exact};
+
+fn lg(n: usize) -> u64 {
+    assert!(n.is_power_of_two() && n > 0);
+    n.trailing_zeros() as u64
+}
+
+/// Simulates the front end cycle by cycle and returns the cycle at which
+/// the last group lands in the merger's input register.
+///
+/// Latency per group: `lg k` (multiplexer) + sorter depth + `lg k`
+/// (demultiplexer). Serially the groups queue; pipelined, a new group
+/// enters each cycle.
+pub fn front_time(n: usize, k: usize, pipelined: bool) -> u64 {
+    let group_latency = lg(k) + sorter_depth_exact(n / k) + lg(k);
+    let mut busy_until = 0u64; // when the (non-pipelined) datapath frees
+    let mut last_done = 0u64;
+    for g in 0..k as u64 {
+        let enter = if pipelined {
+            g // one group per cycle
+        } else {
+            busy_until
+        };
+        let done = enter + group_latency;
+        busy_until = done;
+        last_done = done;
+    }
+    last_done
+}
+
+/// Latency in cycles of the k-way clean sorter at a merger level: the
+/// k-input sorter ranks the leading bits, then the `k` blocks stream
+/// through the shared mux/dispatch/demux path (depth `3 lg k`), one block
+/// per cycle.
+pub fn clean_sorter_time(k: usize) -> u64 {
+    sorter_depth_exact(k) + 3 * lg(k) + (k as u64 - 1)
+}
+
+/// Latency in cycles of the `m`-input k-way mux-merger.
+pub fn merger_time(m: usize, k: usize) -> u64 {
+    assert!(m >= k);
+    if m == k {
+        return sorter_depth_exact(k);
+    }
+    let clean = clean_sorter_time(k);
+    let rec = merger_time(m / 2, k);
+    1 + clean.max(rec) + merger_depth_exact(m)
+}
+
+/// Total sorting time of the fish sorter in cycles.
+pub fn sorting_time(n: usize, k: usize, pipelined: bool) -> u64 {
+    front_time(n, k, pipelined) + merger_time(n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_matches_closed_forms() {
+        for (n, k) in [(256usize, 4usize), (1 << 12, 16), (1 << 16, 16)] {
+            let lat = lg(k) + sorter_depth_exact(n / k) + lg(k);
+            assert_eq!(front_time(n, k, false), k as u64 * lat, "serial n={n} k={k}");
+            assert_eq!(
+                front_time(n, k, true),
+                lat + k as u64 - 1,
+                "pipelined n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn unpipelined_time_is_theta_lg3_at_k_lg_n() {
+        // T(n, lg n) = Θ(lg³ n) (eq. 24): check the ratio to lg³ n is
+        // bounded above and below across three octaves.
+        for a in [16usize, 32] {
+            // choose n = 2^a with a a power of two so k = lg n is valid
+            let n = 1usize << a;
+            let t = sorting_time(n, a, false) as f64;
+            let l = a as f64;
+            let ratio = t / (l * l * l);
+            assert!(
+                (0.5..=6.0).contains(&ratio),
+                "n=2^{a}: T={t}, T/lg³n = {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_time_is_theta_lg2_at_k_lg_n() {
+        // T_pip(n, lg n) = Θ(lg² n) (eq. 26).
+        for a in [16usize, 32] {
+            let n = 1usize << a;
+            let t = sorting_time(n, a, true) as f64;
+            let l = a as f64;
+            let ratio = t / (l * l);
+            assert!(
+                (0.5..=8.0).contains(&ratio),
+                "n=2^{a}: T_pip={t}, T/lg²n = {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn merger_time_monotone_in_m() {
+        let k = 8;
+        let mut prev = 0;
+        for m in [8usize, 16, 32, 64, 128, 256] {
+            let t = merger_time(m, k);
+            assert!(t >= prev, "m={m}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn pipelining_gain_approaches_k() {
+        // For large n/k, serial front ≈ k × pipelined front.
+        let (n, k) = (1usize << 20, 16usize);
+        let serial = front_time(n, k, false) as f64;
+        let piped = front_time(n, k, true) as f64;
+        let gain = serial / piped;
+        assert!(gain > k as f64 * 0.7, "gain {gain} vs k={k}");
+    }
+}

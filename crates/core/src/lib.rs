@@ -1,0 +1,39 @@
+//! # absort-core — adaptive binary sorting networks
+//!
+//! The primary contribution of Chien & Oruç, *Adaptive Binary Sorting
+//! Schemes and Associated Interconnection Networks* (ICPP 1992 / IEEE
+//! TPDS 5(6), 1994): three adaptive networks that sort arbitrary binary
+//! sequences, each in two validated-against-each-other forms — a real
+//! bit-level circuit on the `absort-circuit` substrate (exact cost/depth
+//! in the paper's units) and a functional dataflow mirror (fast, generic
+//! over payload-carrying packets).
+//!
+//! | network | module | cost | depth / time |
+//! |---|---|---|---|
+//! | 1 — prefix binary sorter | [`prefix`] | `3 n lg n + O(n)` | `O(lg² n)` |
+//! | 2 — mux-merger binary sorter | [`muxmerge`] | `4 n lg n` | `O(lg² n)` |
+//! | 3 — fish binary sorter (Model B) | [`fish`] | `O(n)` (≤ 17n at `k = lg n`) | `O(lg³ n)` / `O(lg² n)` pipelined |
+//!
+//! Supporting theory — the binary-sequence language `A_n` and
+//! Theorems 1–4 — lives in [`lang`]; Table I machinery in [`table1`];
+//! the payload abstraction in [`packet`]; and a uniform handle over the
+//! three sorters (used by `absort-networks` for concentrators and
+//! permuters) in [`sorter`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bulk;
+pub mod busmerge;
+pub mod fish;
+pub mod lang;
+pub mod nonadaptive;
+pub mod muxmerge;
+pub mod packet;
+pub mod prefix;
+pub mod sorter;
+pub mod table1;
+
+pub use fish::FishSorter;
+pub use packet::Keyed;
+pub use sorter::SorterKind;

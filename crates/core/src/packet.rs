@@ -1,0 +1,83 @@
+//! Packets: values the networks *carry*.
+//!
+//! The paper stresses that its networks "can carry, or move the inputs
+//! through" — unlike the O(n)-cost Boolean sorting *circuits* of
+//! Muller–Preparata/Wegener, which only generate sorted bits at their
+//! outputs. To honour that distinction, the functional mirrors of all
+//! three sorters are generic over a [`Keyed`] line value: sorting `bool`s
+//! exercises the bit behaviour, while sorting `(bool, payload)` pairs
+//! proves the same data movement transports arbitrary cargo — which is
+//! what the Section IV concentrators and permutation networks rely on.
+
+/// A value carried on a network line, exposing the single key bit the
+/// comparators and swappers steer by.
+pub trait Keyed: Clone {
+    /// The binary sort key (0 routes up, 1 routes down).
+    fn key(&self) -> bool;
+}
+
+impl Keyed for bool {
+    #[inline]
+    fn key(&self) -> bool {
+        *self
+    }
+}
+
+impl<T: Clone> Keyed for (bool, T) {
+    #[inline]
+    fn key(&self) -> bool {
+        self.0
+    }
+}
+
+/// A comparator exchange on two keyed lines: packets swap iff the upper
+/// key is 1 and the lower is 0 (for bits this is exactly
+/// `(min, max) = (AND, OR)`).
+#[inline]
+pub fn compare_exchange<P: Keyed>(a: P, b: P) -> (P, P) {
+    if a.key() && !b.key() {
+        (b, a)
+    } else {
+        (a, b)
+    }
+}
+
+/// Extracts the key bits of a packet slice.
+pub fn keys<P: Keyed>(items: &[P]) -> Vec<bool> {
+    items.iter().map(Keyed::key).collect()
+}
+
+/// Attaches each element's original index as payload: `(key, index)`.
+pub fn tag_indices(bits: &[bool]) -> Vec<(bool, usize)> {
+    bits.iter().copied().zip(0..).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_exchange_matches_and_or_on_bits() {
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let (lo, hi) = compare_exchange(a, b);
+            assert_eq!(lo, a & b);
+            assert_eq!(hi, a | b);
+        }
+    }
+
+    #[test]
+    fn payloads_travel_with_keys() {
+        let (lo, hi) = compare_exchange((true, "x"), (false, "y"));
+        assert_eq!(lo, (false, "y"));
+        assert_eq!(hi, (true, "x"));
+        let (lo, hi) = compare_exchange((true, 1), (true, 2));
+        assert_eq!((lo.1, hi.1), (1, 2), "equal keys must not move");
+    }
+
+    #[test]
+    fn tagging() {
+        let t = tag_indices(&[true, false]);
+        assert_eq!(t, vec![(true, 0), (false, 1)]);
+        assert_eq!(keys(&t), vec![true, false]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Table I: behaviour of the mux-merger (experiment E7).
+//!
+//! Table I of the paper lists, for each value of the two select inputs
+//! (the topmost bits of quarters 2 and 4 of a bisorted input), the input
+//! pattern guaranteed by Theorem 3 and the IN-SWAP / OUT-SWAP quarter
+//! permutations the merger applies. This module regenerates the table
+//! from our implementation and verifies it **exhaustively**: every
+//! bisorted sequence of a given size is classified, checked against the
+//! claimed pattern, and merged.
+
+use crate::lang;
+use crate::muxmerge::{apply_quarters, merge, IN_SWAP, OUT_SWAP};
+use absort_blocks::swap::QuarterPerm;
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// The select value `(s1, s2)` packed as `2·s1 + s2`.
+    pub sel: u8,
+    /// The guaranteed input pattern (paper wording).
+    pub pattern: &'static str,
+    /// IN-SWAP quarter permutation (output quarter ← input quarter).
+    pub in_swap: QuarterPerm,
+    /// OUT-SWAP quarter permutation.
+    pub out_swap: QuarterPerm,
+}
+
+/// The four rows of Table I as implemented (see the derivation note in
+/// [`crate::muxmerge`]).
+pub fn rows() -> Vec<Table1Row> {
+    let pattern = [
+        "Xq1 and Xq3 are all 0's, Xq2·Xq4 is bisorted",
+        "Xq1 is all 0's, Xq4 is all 1's, and Xq2·Xq3 is bisorted",
+        "Xq1·Xq4 is bisorted, Xq2 is all 1's, and Xq3 is all 0's",
+        "Xq1·Xq3 is bisorted, Xq2 and Xq4 are all 1's",
+    ];
+    (0..4)
+        .map(|sel| Table1Row {
+            sel: sel as u8,
+            pattern: pattern[sel],
+            in_swap: IN_SWAP[sel],
+            out_swap: OUT_SWAP[sel],
+        })
+        .collect()
+}
+
+/// A Table I verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Violation {
+    /// The offending bisorted input.
+    pub input: Vec<bool>,
+    /// What went wrong.
+    pub reason: String,
+}
+
+/// Exhaustively verifies Table I at size `n`: for **every** bisorted
+/// sequence, checks (a) the select value implies exactly the row's input
+/// pattern, (b) the IN-SWAP leaves clean outer quarters and a bisorted
+/// middle, and (c) the full merger sorts. Returns all violations (empty =
+/// table verified).
+pub fn verify(n: usize) -> Vec<Table1Violation> {
+    assert!(n >= 4 && n % 4 == 0);
+    let q = n / 4;
+    let mut violations = Vec::new();
+    for x in lang::all_bisorted(n) {
+        let quarters: Vec<&[bool]> = x.chunks(q).collect();
+        let sel = (usize::from(x[q]) << 1) | usize::from(x[3 * q]);
+        let mut fail = |reason: String| {
+            violations.push(Table1Violation {
+                input: x.clone(),
+                reason,
+            });
+        };
+        // (a) pattern per row
+        let pattern_ok = match sel {
+            0b00 => {
+                quarters[0].iter().all(|&b| !b)
+                    && quarters[2].iter().all(|&b| !b)
+                    && lang::is_bisorted(&[quarters[1], quarters[3]].concat())
+            }
+            0b01 => {
+                quarters[0].iter().all(|&b| !b)
+                    && quarters[3].iter().all(|&b| b)
+                    && lang::is_bisorted(&[quarters[1], quarters[2]].concat())
+            }
+            0b10 => {
+                lang::is_bisorted(&[quarters[0], quarters[3]].concat())
+                    && quarters[1].iter().all(|&b| b)
+                    && quarters[2].iter().all(|&b| !b)
+            }
+            0b11 => {
+                lang::is_bisorted(&[quarters[0], quarters[2]].concat())
+                    && quarters[1].iter().all(|&b| b)
+                    && quarters[3].iter().all(|&b| b)
+            }
+            _ => unreachable!(),
+        };
+        if !pattern_ok {
+            fail(format!("sel={sel:02b}: input pattern mismatch"));
+            continue;
+        }
+        // (b) IN-SWAP invariant
+        let inward = apply_quarters(&x, IN_SWAP[sel]);
+        if !(lang::is_clean(&inward[..q])
+            && lang::is_clean(&inward[3 * q..])
+            && lang::is_bisorted(&inward[q..3 * q]))
+        {
+            fail(format!("sel={sel:02b}: IN-SWAP invariant broken"));
+            continue;
+        }
+        // (c) end-to-end merge
+        if merge(&x) != lang::sorted_oracle(&x) {
+            fail(format!("sel={sel:02b}: merger failed to sort"));
+        }
+    }
+    violations
+}
+
+/// Renders Table I as aligned ASCII (for the `repro table1` report).
+pub fn render() -> String {
+    fn perm(p: QuarterPerm) -> String {
+        format!("[{} {} {} {}]", p[0] + 1, p[1] + 1, p[2] + 1, p[3] + 1)
+    }
+    let mut out = String::from(
+        "sel | input pattern (Theorem 3)                               | IN-SWAP   | OUT-SWAP\n",
+    );
+    out.push_str(
+        "----+---------------------------------------------------------+-----------+----------\n",
+    );
+    for r in rows() {
+        out.push_str(&format!(
+            " {}{} | {:<55} | {:<9} | {}\n",
+            r.sel >> 1,
+            r.sel & 1,
+            r.pattern,
+            perm(r.in_swap),
+            perm(r.out_swap),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_verified_exhaustively_n8_to_n32() {
+        for n in [8usize, 16, 32] {
+            let v = verify(n);
+            assert!(v.is_empty(), "n={n}: {:?}", &v[..v.len().min(3)]);
+        }
+    }
+
+    #[test]
+    fn all_four_select_values_occur() {
+        let mut seen = [false; 4];
+        for x in lang::all_bisorted(16) {
+            let sel = (usize::from(x[4]) << 1) | usize::from(x[12]);
+            seen[sel] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = render();
+        for sel in ["00", "01", "10", "11"] {
+            assert!(s.contains(&format!(" {sel} |")), "missing row {sel}\n{s}");
+        }
+    }
+}

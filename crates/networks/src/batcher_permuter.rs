@@ -1,0 +1,159 @@
+//! Permutation switching with Batcher's network (the Table II "[3]" row,
+//! live).
+//!
+//! "Batcher's sorting networks [3] … can also be used for permutation
+//! switching, but they require `O(n lg³ n)` cost and `O(lg³ n)`
+//! permutation time in bit-level" (Section IV). The mechanism: each
+//! packet carries its `lg n`-bit destination address; one pass of a
+//! word-level sorting network on the addresses delivers every packet to
+//! its destination in a single sweep — self-routing, no set-up phase —
+//! but every comparator must compare `lg n`-bit addresses, which is the
+//! extra `lg n` bit-level factor against the paper's sorter-based
+//! permuters.
+
+use absort_baselines::batcher_bits;
+use absort_cmpnet::{batcher, Network, Stage};
+
+/// An n-input Batcher permutation switch.
+#[derive(Debug, Clone)]
+pub struct BatcherPermuter {
+    net: Network,
+    n: usize,
+}
+
+impl BatcherPermuter {
+    /// Builds the n-input switch (`n = 2^k`) over Batcher's odd-even
+    /// merge network.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "Batcher permuter needs n = 2^k");
+        BatcherPermuter {
+            net: batcher::odd_even_merge_sort(n),
+            n,
+        }
+    }
+
+    /// Input width.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Routes `packets[i] = (dest_i, payload_i)`; destinations must form
+    /// a permutation. One pass of word-level sorting by destination.
+    pub fn route<T: Clone>(
+        &self,
+        packets: &[(usize, T)],
+    ) -> Result<Vec<T>, crate::permuter::PermuteError> {
+        use crate::permuter::PermuteError;
+        if packets.len() != self.n {
+            return Err(PermuteError::WrongWidth {
+                got: packets.len(),
+                expected: self.n,
+            });
+        }
+        let mut seen = vec![false; self.n];
+        for &(d, _) in packets {
+            if d >= self.n || seen[d] {
+                return Err(PermuteError::NotAPermutation { dest: d });
+            }
+            seen[d] = true;
+        }
+        let mut lines: Vec<(usize, T)> = packets.to_vec();
+        for stage in self.net.stages() {
+            match stage {
+                Stage::Compare(pairs) => {
+                    for &(i, j) in pairs {
+                        let (i, j) = (i as usize, j as usize);
+                        if lines[i].0 > lines[j].0 {
+                            lines.swap(i, j);
+                        }
+                    }
+                }
+                Stage::Permute(perm) => {
+                    let old = lines.clone();
+                    for (t, &p) in perm.iter().enumerate() {
+                        lines[t] = old[p as usize].clone();
+                    }
+                }
+            }
+        }
+        Ok(lines.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// Bit-level cost: comparators × `lg n`-bit address comparators —
+    /// the Table II `O(n lg³ n)` entry.
+    pub fn cost(&self) -> u64 {
+        batcher_bits::permutation_cost(self.n)
+    }
+
+    /// Bit-level permutation time: network depth × per-comparator
+    /// `lg n` bit delay — `O(lg³ n)`. Self-routing: no set-up phase.
+    pub fn time(&self) -> u64 {
+        batcher_bits::permutation_time(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permuter::RadixPermuter;
+    use absort_core::sorter::SorterKind;
+    use rand::prelude::*;
+
+    #[test]
+    fn routes_random_permutations() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for n in [8usize, 64, 256] {
+            let bp = BatcherPermuter::new(n);
+            for _ in 0..10 {
+                let mut perm: Vec<usize> = (0..n).collect();
+                perm.shuffle(&mut rng);
+                let packets: Vec<(usize, usize)> =
+                    perm.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+                let out = bp.route(&packets).unwrap();
+                for (slot, &src) in out.iter().enumerate() {
+                    assert_eq!(perm[src], slot, "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_radix_permuter() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let n = 128;
+        let bp = BatcherPermuter::new(n);
+        let rp = RadixPermuter::new(SorterKind::MuxMerger, n);
+        for _ in 0..10 {
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            let packets: Vec<(usize, u16)> = perm
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (d, i as u16))
+                .collect();
+            assert_eq!(bp.route(&packets).unwrap(), rp.route(&packets).unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_destinations() {
+        let bp = BatcherPermuter::new(8);
+        let dup: Vec<(usize, ())> = (0..8).map(|i| (i / 2, ())).collect();
+        assert!(bp.route(&dup).is_err());
+    }
+
+    #[test]
+    fn table2_cost_ordering_vs_sorter_permuters() {
+        // O(n lg³ n) must exceed both radix-permuter variants at scale.
+        let n = 1usize << 14;
+        let bp = BatcherPermuter::new(n);
+        let fish = RadixPermuter::new(SorterKind::Fish { k: None }, n);
+        let mux = RadixPermuter::new(SorterKind::MuxMerger, n);
+        assert!(bp.cost() > mux.cost());
+        assert!(bp.cost() > fish.cost());
+        // but self-routing time is competitive (the paper's Table II
+        // shows O(lg³ n) for both [3] and this paper)
+        let t_ratio = bp.time() as f64 / fish.time() as f64;
+        assert!(t_ratio < 10.0 && t_ratio > 0.1);
+    }
+}

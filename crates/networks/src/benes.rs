@@ -1,0 +1,393 @@
+//! The Beneš rearrangeable permutation network with the classical looping
+//! routing algorithm — the baseline row of Table II.
+//!
+//! An n-input Beneš network is built recursively: a stage of `n/2` 2×2
+//! switches, two `n/2`-input Beneš subnetworks, and a closing stage of
+//! `n/2` switches — `2 lg n − 1` stages and `n lg n − n/2` switches in
+//! all. It realizes *every* permutation, but finding the switch settings
+//! requires the (inherently sequential-looking) looping algorithm; the
+//! paper cites Nassimi–Sahni [18] for an `O(lg⁴ n / lg lg n)`-time
+//! parallel set-up on an `n lg n`-processor machine, which is what makes
+//! its Table II permutation-time entry lose to sorter-based permuters
+//! despite the optimal `O(lg n)` network depth.
+
+/// Switch settings for one Beneš network instance (recursive).
+#[derive(Debug, Clone)]
+pub enum Routing {
+    /// A single 2×2 switch: `cross = true` exchanges the two lines.
+    Leaf {
+        /// Whether the switch exchanges its inputs.
+        cross: bool,
+    },
+    /// An internal node: entry/exit switch settings plus the two
+    /// half-size routings.
+    Node {
+        /// `in_cross[t]`: entry switch `t` (lines `2t`, `2t+1`) crossed.
+        in_cross: Vec<bool>,
+        /// `out_cross[t]`: exit switch `t` crossed.
+        out_cross: Vec<bool>,
+        /// Routing of the upper subnetwork.
+        upper: Box<Routing>,
+        /// Routing of the lower subnetwork.
+        lower: Box<Routing>,
+    },
+}
+
+/// Errors from Beneš routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenesError {
+    /// Destination list is not a permutation of `0..n`.
+    NotAPermutation,
+    /// `n` is not a power of two ≥ 2.
+    BadWidth(usize),
+}
+
+impl std::fmt::Display for BenesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenesError::NotAPermutation => write!(f, "destinations are not a permutation"),
+            BenesError::BadWidth(n) => write!(f, "Beneš width must be a power of two >= 2, got {n}"),
+        }
+    }
+}
+
+impl std::error::Error for BenesError {}
+
+/// Computes switch settings realizing `perm` (`perm[i]` = output of input
+/// `i`) with the looping algorithm.
+pub fn route(perm: &[usize]) -> Result<Routing, BenesError> {
+    let n = perm.len();
+    if !n.is_power_of_two() || n < 2 {
+        return Err(BenesError::BadWidth(n));
+    }
+    let mut seen = vec![false; n];
+    for &d in perm {
+        if d >= n || seen[d] {
+            return Err(BenesError::NotAPermutation);
+        }
+        seen[d] = true;
+    }
+    Ok(route_rec(perm))
+}
+
+fn route_rec(perm: &[usize]) -> Routing {
+    let n = perm.len();
+    if n == 2 {
+        return Routing::Leaf {
+            cross: perm[0] == 1,
+        };
+    }
+    let (in_cross, out_cross, perm_u, perm_l) = split_once(perm);
+    Routing::Node {
+        in_cross,
+        out_cross,
+        upper: Box::new(route_rec(&perm_u)),
+        lower: Box::new(route_rec(&perm_l)),
+    }
+}
+
+/// One level of the looping algorithm: switch settings plus the two
+/// half-size sub-permutations.
+#[allow(clippy::needless_range_loop)] // parallel in/out arrays are indexed together
+fn split_once(perm: &[usize]) -> (Vec<bool>, Vec<bool>, Vec<usize>, Vec<usize>) {
+    let n = perm.len();
+    let half = n / 2;
+    // inverse permutation
+    let mut inv = vec![0usize; n];
+    for (i, &d) in perm.iter().enumerate() {
+        inv[d] = i;
+    }
+    // up[i] = Some(true) if input i goes through the upper subnetwork.
+    let mut up: Vec<Option<bool>> = vec![None; n];
+    for start in 0..n {
+        if up[start].is_some() {
+            continue;
+        }
+        // Route `start` up, then follow the alternating constraint loop:
+        // the output partner of wherever we land must use the other
+        // subnetwork, and *its* input partner must use the other again.
+        let mut i = start;
+        let mut side = true; // true = upper
+        loop {
+            up[i] = Some(side);
+            let d = perm[i];
+            // output switch d/2: partner output must come from the other side
+            let partner_out = d ^ 1;
+            let j = inv[partner_out];
+            if up[j].is_some() {
+                break; // loop closed
+            }
+            up[j] = Some(!side);
+            // j's input-switch partner must take the side opposite to j
+            let next = j ^ 1;
+            if up[next].is_some() {
+                break;
+            }
+            i = next;
+            side = !up[j].unwrap();
+        }
+    }
+    // Build switch settings and the two sub-permutations.
+    let mut in_cross = vec![false; half];
+    let mut out_cross = vec![false; half];
+    let mut perm_u = vec![0usize; half];
+    let mut perm_l = vec![0usize; half];
+    for t in 0..half {
+        let a = 2 * t;
+        let au = up[a].expect("assigned");
+        let bu = up[a + 1].expect("assigned");
+        debug_assert_ne!(au, bu, "input pair must split across subnetworks");
+        // bar: line 2t → upper; cross: line 2t → lower
+        in_cross[t] = !au;
+        for line in [a, a + 1] {
+            let d = perm[line];
+            if up[line].unwrap() {
+                perm_u[line / 2] = d / 2;
+            } else {
+                perm_l[line / 2] = d / 2;
+            }
+        }
+    }
+    for t in 0..half {
+        let d = 2 * t;
+        // output 2t comes from the upper subnetwork iff its source input
+        // was routed up; bar = (upper feeds line 2t).
+        let src_up = up[inv[d]].unwrap();
+        let src_up_partner = up[inv[d + 1]].unwrap();
+        debug_assert_ne!(src_up, src_up_partner, "output pair must split");
+        out_cross[t] = !src_up;
+    }
+    (in_cross, out_cross, perm_u, perm_l)
+}
+
+/// Like [`route`], but descends the two independent half-size
+/// subproblems on separate scoped threads while they stay above
+/// `parallel_below` lines. The looping pass at each node is inherently
+/// sequential (the paper cites [18] for why parallel set-up is the hard
+/// part), but the recursion tree is embarrassingly parallel — a
+/// practical speed-up for simulation at large `n`.
+pub fn route_parallel(perm: &[usize], parallel_below: usize) -> Result<Routing, BenesError> {
+    let n = perm.len();
+    if !n.is_power_of_two() || n < 2 {
+        return Err(BenesError::BadWidth(n));
+    }
+    let mut seen = vec![false; n];
+    for &d in perm {
+        if d >= n || seen[d] {
+            return Err(BenesError::NotAPermutation);
+        }
+        seen[d] = true;
+    }
+    Ok(route_rec_parallel(perm, parallel_below))
+}
+
+fn route_rec_parallel(perm: &[usize], parallel_below: usize) -> Routing {
+    let n = perm.len();
+    if n <= parallel_below.max(2) {
+        return route_rec(perm);
+    }
+    let (in_cross, out_cross, perm_u, perm_l) = split_once(perm);
+    let (upper, lower) = crossbeam::thread::scope(|s| {
+        let hu = s.spawn(|_| route_rec_parallel(&perm_u, parallel_below));
+        let hl = s.spawn(|_| route_rec_parallel(&perm_l, parallel_below));
+        (hu.join().expect("upper"), hl.join().expect("lower"))
+    })
+    .expect("routing worker panicked");
+    Routing::Node {
+        in_cross,
+        out_cross,
+        upper: Box::new(upper),
+        lower: Box::new(lower),
+    }
+}
+
+/// Applies a routing to concrete line values, simulating the network
+/// stage by stage. `items.len()` must match the routing's width.
+pub fn apply<T: Clone>(routing: &Routing, items: &[T]) -> Vec<T> {
+    match routing {
+        Routing::Leaf { cross } => {
+            assert_eq!(items.len(), 2);
+            if *cross {
+                vec![items[1].clone(), items[0].clone()]
+            } else {
+                items.to_vec()
+            }
+        }
+        Routing::Node {
+            in_cross,
+            out_cross,
+            upper,
+            lower,
+        } => {
+            let half = in_cross.len();
+            let n = 2 * half;
+            assert_eq!(items.len(), n);
+            let mut up_in = Vec::with_capacity(half);
+            let mut lo_in = Vec::with_capacity(half);
+            for t in 0..half {
+                let (a, b) = (items[2 * t].clone(), items[2 * t + 1].clone());
+                if in_cross[t] {
+                    up_in.push(b);
+                    lo_in.push(a);
+                } else {
+                    up_in.push(a);
+                    lo_in.push(b);
+                }
+            }
+            let up_out = apply(upper, &up_in);
+            let lo_out = apply(lower, &lo_in);
+            let mut out = Vec::with_capacity(n);
+            for t in 0..half {
+                let (u, l) = (up_out[t].clone(), lo_out[t].clone());
+                if out_cross[t] {
+                    out.push(l);
+                    out.push(u);
+                } else {
+                    out.push(u);
+                    out.push(l);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Routes and applies in one step: returns the permuted payloads, with
+/// `result[perm[i]] = items[i]`.
+///
+/// ```
+/// use absort_networks::benes;
+///
+/// let out = benes::permute(&[2, 0, 3, 1], &["a", "b", "c", "d"]).unwrap();
+/// assert_eq!(out, vec!["b", "d", "a", "c"]);
+/// ```
+pub fn permute<T: Clone>(perm: &[usize], items: &[T]) -> Result<Vec<T>, BenesError> {
+    let routing = route(perm)?;
+    Ok(apply(&routing, items))
+}
+
+/// Number of 2×2 switches in the n-input Beneš network:
+/// `n lg n − n/2`.
+pub fn switch_count(n: usize) -> u64 {
+    assert!(n.is_power_of_two());
+    let k = n.trailing_zeros() as u64;
+    n as u64 * k - n as u64 / 2
+}
+
+/// Network depth in switch stages: `2 lg n − 1`.
+pub fn stage_depth(n: usize) -> u64 {
+    assert!(n.is_power_of_two());
+    2 * n.trailing_zeros() as u64 - 1
+}
+
+/// Table II bit-level cost: the network's switches plus the `n lg n`
+/// routing processors at `Θ(lg n)` bit-level cost each (the paper's
+/// accounting, citing [18]): `Θ(n lg² n)`.
+pub fn table2_cost(n: usize) -> u64 {
+    let k = n.trailing_zeros() as u64;
+    switch_count(n) + n as u64 * k * k
+}
+
+/// Table II permutation time: `Θ(lg⁴ n / lg lg n)` for the parallel
+/// set-up [18] (dominates the `2 lg n − 1` propagation).
+pub fn table2_time(n: usize) -> u64 {
+    let k = n.trailing_zeros() as u64;
+    let lglg = if k <= 1 { 1 } else { (64 - (k - 1).leading_zeros()) as u64 };
+    k * k * k * k / lglg.max(1) + stage_depth(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn all_permutations_n8() {
+        let mut d: Vec<usize> = (0..8).collect();
+        fn rec(d: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+            if k == d.len() {
+                f(d);
+                return;
+            }
+            for i in k..d.len() {
+                d.swap(k, i);
+                rec(d, k + 1, f);
+                d.swap(k, i);
+            }
+        }
+        rec(&mut d, 0, &mut |perm| {
+            let items: Vec<usize> = (0..8).collect();
+            let out = permute(perm, &items).unwrap();
+            for (i, &dst) in perm.iter().enumerate() {
+                assert_eq!(out[dst], items[i], "perm {perm:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn random_permutations_up_to_1024() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for k in [4usize, 6, 8, 10] {
+            let n = 1 << k;
+            for _ in 0..20 {
+                let mut perm: Vec<usize> = (0..n).collect();
+                perm.shuffle(&mut rng);
+                let items: Vec<u32> = (0..n as u32).collect();
+                let out = permute(&perm, &items).unwrap();
+                for (i, &dst) in perm.iter().enumerate() {
+                    assert_eq!(out[dst], items[i], "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_routing_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for k in [5usize, 8, 10] {
+            let n = 1 << k;
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            let serial = route(&perm).unwrap();
+            let parallel = route_parallel(&perm, 64).unwrap();
+            // same realized mapping (settings may only differ if the
+            // looping had freedom — compare behaviourally)
+            let items: Vec<u32> = (0..n as u32).collect();
+            assert_eq!(apply(&serial, &items), apply(&parallel, &items), "n={n}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(route(&[0, 0]), Err(BenesError::NotAPermutation)));
+        assert!(matches!(route(&[0, 1, 2]), Err(BenesError::BadWidth(3))));
+    }
+
+    #[test]
+    fn switch_count_matches_construction() {
+        fn count(r: &Routing) -> u64 {
+            match r {
+                Routing::Leaf { .. } => 1,
+                Routing::Node {
+                    in_cross,
+                    out_cross,
+                    upper,
+                    lower,
+                } => in_cross.len() as u64 + out_cross.len() as u64 + count(upper) + count(lower),
+            }
+        }
+        for k in 1..=8u32 {
+            let n = 1usize << k;
+            let perm: Vec<usize> = (0..n).collect();
+            let r = route(&perm).unwrap();
+            assert_eq!(count(&r), switch_count(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn depth_formula() {
+        assert_eq!(stage_depth(2), 1);
+        assert_eq!(stage_depth(8), 5);
+        assert_eq!(stage_depth(1024), 19);
+    }
+}

@@ -1,0 +1,258 @@
+//! `(n, m)`-concentrators from binary sorters.
+//!
+//! "An (n,m)-concentrator is a network with n inputs and m outputs,
+//! m ≤ n, that can map any r ≤ m of its inputs to some r distinct
+//! outputs. … a binary sorter does form an (n,n)-concentrator. All that
+//! is needed is to tag the inputs to be concentrated with 0's and tag the
+//! remaining inputs with 1's." (Section IV.)
+//!
+//! Tagging active packets 0 sorts them to the *first* outputs; an
+//! `(n,m)`-concentrator simply keeps the first `m` output lines. The
+//! paper's cost/time table for concentrators (experiment E14):
+//!
+//! | construction | cost | concentration time |
+//! |---|---|---|
+//! | expander-based [2,10,16,21,22] | O(n) | unknown |
+//! | ranking trees [11,13] | O(n lg² n) | O(lg n)-ish |
+//! | prefix / mux-merger sorter | O(n lg n) | O(lg² n) |
+//! | fish sorter (time-multiplexed) | O(n) | O(lg² n) |
+
+use absort_core::packet::Keyed;
+use absort_core::sorter::SorterKind;
+
+/// A packet presented to the concentrator: `Some(payload)` wants through,
+/// `None` is idle.
+pub type Request<T> = Option<T>;
+
+/// An `(n, m)`-concentrator built from an adaptive binary sorter.
+///
+/// ```
+/// use absort_core::SorterKind;
+/// use absort_networks::concentrator::Concentrator;
+///
+/// let conc = Concentrator::new(SorterKind::Fish { k: None }, 8, 4);
+/// let requests = [None, Some("a"), None, None, Some("b"), None, Some("c"), None];
+/// let out = conc.concentrate(&requests).unwrap();
+/// // the three packets land on the first three of the four trunk lines
+/// assert_eq!(out.iter().filter(|o| o.is_some()).count(), 3);
+/// assert!(out[3].is_none());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Concentrator {
+    sorter: SorterKind,
+    n: usize,
+    m: usize,
+}
+
+/// Errors from concentration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConcentrateError {
+    /// More than `m` active requests were presented.
+    Overloaded {
+        /// Number of active requests.
+        active: usize,
+        /// Capacity `m`.
+        capacity: usize,
+    },
+    /// Wrong number of input lines.
+    WrongWidth {
+        /// Lines presented.
+        got: usize,
+        /// Lines expected (`n`).
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for ConcentrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConcentrateError::Overloaded { active, capacity } => {
+                write!(f, "{active} active requests exceed concentrator capacity {capacity}")
+            }
+            ConcentrateError::WrongWidth { got, expected } => {
+                write!(f, "expected {expected} input lines, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConcentrateError {}
+
+/// A keyed wrapper so idle lines (key 1) sort below active ones (key 0).
+#[derive(Clone)]
+struct Line<T: Clone>(Option<T>);
+
+impl<T: Clone> Keyed for Line<T> {
+    fn key(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+impl Concentrator {
+    /// Creates an `(n, m)`-concentrator over the given sorter kind.
+    pub fn new(sorter: SorterKind, n: usize, m: usize) -> Self {
+        assert!(n.is_power_of_two(), "concentrator needs n = 2^k");
+        assert!(m <= n && m > 0, "need 0 < m <= n");
+        Concentrator { sorter, n, m }
+    }
+
+    /// Input width.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Output width.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Routes the active requests to the first outputs. On success the
+    /// returned vector has length `m`, its first `r` entries are the `r`
+    /// active payloads (in some order), and the rest are `None`.
+    pub fn concentrate<T: Clone>(
+        &self,
+        requests: &[Request<T>],
+    ) -> Result<Vec<Request<T>>, ConcentrateError> {
+        if requests.len() != self.n {
+            return Err(ConcentrateError::WrongWidth {
+                got: requests.len(),
+                expected: self.n,
+            });
+        }
+        let active = requests.iter().filter(|r| r.is_some()).count();
+        if active > self.m {
+            return Err(ConcentrateError::Overloaded {
+                active,
+                capacity: self.m,
+            });
+        }
+        let lines: Vec<Line<T>> = requests.iter().cloned().map(Line).collect();
+        let sorted = self.sorter.sort(&lines);
+        Ok(sorted.into_iter().take(self.m).map(|l| l.0).collect())
+    }
+
+    /// Bit-level cost of this concentrator (its sorter).
+    pub fn cost(&self) -> u64 {
+        self.sorter.cost(self.n)
+    }
+
+    /// Concentration time: the sorter's depth (combinational kinds) or
+    /// pipelined sorting time (fish).
+    pub fn time(&self) -> u64 {
+        self.sorter.depth(self.n)
+    }
+}
+
+/// The equivalence the paper cites from Cormen [6]: concentration and
+/// binary sorting are the same problem. The forward direction is this
+/// module's construction (sorter ⇒ concentrator); this function is the
+/// converse — **any** `(n,n)`-concentrator sorts binary sequences: tag
+/// the 0-positions as requests, concentrate, and read occupied outputs
+/// as 0s.
+pub fn sort_binary_with_concentrator(
+    conc: &Concentrator,
+    bits: &[bool],
+) -> Result<Vec<bool>, ConcentrateError> {
+    assert_eq!(conc.m(), conc.n(), "needs a full (n,n)-concentrator");
+    let requests: Vec<Request<()>> = bits.iter().map(|&b| (!b).then_some(())).collect();
+    let out = conc.concentrate(&requests)?;
+    Ok(out.into_iter().map(|slot| slot.is_none()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absort_core::sorter::ALL_KINDS;
+    use rand::prelude::*;
+
+    fn check_concentration<T: Clone + Eq + std::fmt::Debug + Ord>(
+        input: &[Request<T>],
+        output: &[Request<T>],
+        m: usize,
+    ) {
+        assert_eq!(output.len(), m);
+        let mut want: Vec<&T> = input.iter().flatten().collect();
+        let r = want.len();
+        let mut got: Vec<&T> = output[..r].iter().map(|o| o.as_ref().unwrap()).collect();
+        assert!(output[r..].iter().all(|o| o.is_none()), "idle tail expected");
+        want.sort();
+        got.sort();
+        assert_eq!(got, want, "active payloads must be exactly preserved");
+    }
+
+    #[test]
+    fn concentrates_all_loads_all_sorters() {
+        let n = 64;
+        let mut rng = StdRng::seed_from_u64(8);
+        for kind in ALL_KINDS {
+            let c = Concentrator::new(kind, n, n);
+            for load in [0usize, 1, 7, 32, 63, 64] {
+                let mut req: Vec<Request<u32>> = (0..n).map(|i| Some(i as u32)).collect();
+                // deactivate all but `load` random positions
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.shuffle(&mut rng);
+                for &i in &idx[load..] {
+                    req[i] = None;
+                }
+                let out = c.concentrate(&req).expect("within capacity");
+                check_concentration(&req, &out, n);
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_output_rejects_overload() {
+        let c = Concentrator::new(SorterKind::MuxMerger, 16, 4);
+        let req: Vec<Request<u8>> = (0..16).map(|i| (i < 5).then_some(i as u8)).collect();
+        assert_eq!(
+            c.concentrate(&req),
+            Err(ConcentrateError::Overloaded {
+                active: 5,
+                capacity: 4
+            })
+        );
+        let ok: Vec<Request<u8>> = (0..16).map(|i| (i % 4 == 0).then_some(i as u8)).collect();
+        let out = c.concentrate(&ok).unwrap();
+        check_concentration(&ok, &out, 4);
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let c = Concentrator::new(SorterKind::Prefix, 16, 16);
+        let req: Vec<Request<u8>> = vec![None; 8];
+        assert!(matches!(
+            c.concentrate(&req),
+            Err(ConcentrateError::WrongWidth { got: 8, expected: 16 })
+        ));
+    }
+
+    #[test]
+    fn concentration_is_equivalent_to_binary_sorting() {
+        // Cormen [6] / paper Section IV: the converse direction — a
+        // concentrator used as a binary sorter — exhaustively at n = 16.
+        use absort_core::lang::{all_sequences, sorted_oracle};
+        for kind in ALL_KINDS {
+            let conc = Concentrator::new(kind, 16, 16);
+            for s in all_sequences(16).step_by(7) {
+                assert_eq!(
+                    sort_binary_with_concentrator(&conc, &s).unwrap(),
+                    sorted_oracle(&s),
+                    "{}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fish_concentrator_is_linear_cost() {
+        let n = 1 << 16;
+        let fish = Concentrator::new(SorterKind::Fish { k: None }, n, n);
+        let mux = Concentrator::new(SorterKind::MuxMerger, n, n);
+        assert!(fish.cost() < 18 * n as u64);
+        assert!(mux.cost() > 3 * n as u64 * 16);
+        // both concentrate in O(lg² n) time
+        assert!(fish.time() < 10 * 16 * 16);
+        assert!(mux.time() < 4 * 16 * 16);
+    }
+}

@@ -1,0 +1,30 @@
+//! # absort-networks — concentrators and permutation networks (Section IV)
+//!
+//! The paper's application layer: binary sorters *are* concentrators, and
+//! stacked binary sorters form permutation networks.
+//!
+//! * [`concentrator`] — `(n, m)`-concentrators built from any of the three
+//!   adaptive binary sorters (tag the packets to concentrate with 0 and
+//!   sort); the asymptotically least-cost *practical* concentrators the
+//!   paper claims;
+//! * [`permuter`] — the radix permuter of Fig. 10: a binary sorter on each
+//!   destination-address bit distributes packets to recursively smaller
+//!   permuters; `O(n lg n)` bit-level cost and `O(lg³ n)` routing time
+//!   with the fish sorter (packet-switched), `O(n lg² n)` cost with the
+//!   mux-merger sorter (circuit-switched);
+//! * [`benes`] — the Beneš rearrangeable network with the classical
+//!   looping routing algorithm, the Table II baseline;
+//! * [`word_sorter`] — a stable w-bit word sorter assembled from stable
+//!   binary split passes and the radix permuter (the "sequence of binary
+//!   sorting steps" decomposition of Section I, carried to completion).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher_permuter;
+pub mod benes;
+pub mod concentrator;
+pub mod permuter;
+pub mod permuter_circuit;
+pub mod sparse_router;
+pub mod word_sorter;

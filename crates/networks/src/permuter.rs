@@ -1,0 +1,304 @@
+//! The radix permuter built from adaptive binary sorters (Fig. 10).
+//!
+//! Jan and Oruç's radix permuter is recursively constructed from a
+//! distributor, two concentrators, and two half-size radix permuters; the
+//! paper's observation is that **one binary sorter replaces the
+//! distributor and both concentrators**: sorting the packets by the
+//! leading bit of their destination address sends the packets addressed
+//! to the upper half (bit 0) to the upper half-size permuter and the rest
+//! down, all in one pass. Recursing on the remaining address bits places
+//! every packet exactly.
+//!
+//! Cost/time (eqs. 26–27), with `S(n)`/`D(n)` the sorter's cost/time:
+//! `C_rp(n) = S(n) + 2·C_rp(n/2)` and `D_rp(n) = D(n) + D_rp(n/2)`, giving
+//! `O(n lg n)` cost and `O(lg³ n)` permutation time with the fish sorter
+//! (a packet-switched permuter), or `O(n lg² n)` cost with the
+//! combinational mux-merger/prefix sorters (circuit-switched).
+
+use absort_core::packet::Keyed;
+use absort_core::sorter::SorterKind;
+
+/// A packet inside the permuter: destination address plus payload; the
+/// sort key at each level is one address bit.
+#[derive(Debug, Clone)]
+struct Routed<T: Clone> {
+    dest: usize,
+    bit: usize, // current address bit, MSB first: key = dest >> bit & 1
+    payload: T,
+}
+
+impl<T: Clone> Keyed for Routed<T> {
+    fn key(&self) -> bool {
+        self.dest >> self.bit & 1 == 1
+    }
+}
+
+/// Errors from permutation routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermuteError {
+    /// The destination list is not a permutation of `0..n`.
+    NotAPermutation {
+        /// First offending destination value.
+        dest: usize,
+    },
+    /// Wrong number of packets.
+    WrongWidth {
+        /// Packets presented.
+        got: usize,
+        /// Expected (`n`).
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for PermuteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PermuteError::NotAPermutation { dest } => {
+                write!(f, "destination list is not a permutation (around value {dest})")
+            }
+            PermuteError::WrongWidth { got, expected } => {
+                write!(f, "expected {expected} packets, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PermuteError {}
+
+/// An n-input radix permuter over a chosen binary sorter.
+///
+/// ```
+/// use absort_core::SorterKind;
+/// use absort_networks::permuter::RadixPermuter;
+///
+/// let permuter = RadixPermuter::new(SorterKind::Fish { k: None }, 4);
+/// // packet i addressed to output dest_i
+/// let packets = [(2, "a"), (0, "b"), (3, "c"), (1, "d")];
+/// assert_eq!(permuter.route(&packets).unwrap(), vec!["b", "d", "a", "c"]);
+/// assert!(permuter.is_packet_switched()); // fish sorter ⇒ packet switching
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RadixPermuter {
+    sorter: SorterKind,
+    n: usize,
+}
+
+impl RadixPermuter {
+    /// Creates an n-input radix permuter (`n = 2^k`).
+    pub fn new(sorter: SorterKind, n: usize) -> Self {
+        assert!(n.is_power_of_two(), "radix permuter needs n = 2^k");
+        RadixPermuter { sorter, n }
+    }
+
+    /// Input/output width.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Routes `packets[i] = (dest_i, payload_i)` so that output `dest_i`
+    /// holds `payload_i`. The `dest` values must form a permutation of
+    /// `0..n`.
+    pub fn route<T: Clone>(&self, packets: &[(usize, T)]) -> Result<Vec<T>, PermuteError> {
+        if packets.len() != self.n {
+            return Err(PermuteError::WrongWidth {
+                got: packets.len(),
+                expected: self.n,
+            });
+        }
+        let mut seen = vec![false; self.n];
+        for &(d, _) in packets {
+            if d >= self.n || seen[d] {
+                return Err(PermuteError::NotAPermutation { dest: d });
+            }
+            seen[d] = true;
+        }
+        let bits = self.n.trailing_zeros() as usize;
+        let mut lines: Vec<Routed<T>> = packets
+            .iter()
+            .map(|(d, p)| Routed {
+                dest: *d,
+                bit: bits.saturating_sub(1),
+                payload: p.clone(),
+            })
+            .collect();
+        self.route_level(&mut lines, bits);
+        Ok(lines.into_iter().map(|r| r.payload).collect())
+    }
+
+    /// One recursion level: sort the segment by the current address bit,
+    /// then recurse on the halves with the next bit.
+    fn route_level<T: Clone>(&self, seg: &mut [Routed<T>], bits_left: usize) {
+        let m = seg.len();
+        if m <= 1 || bits_left == 0 {
+            return;
+        }
+        let bit = bits_left - 1;
+        for r in seg.iter_mut() {
+            r.bit = bit;
+        }
+        if m == 2 {
+            // Base case: a single 2×2 switch steered by the last address bit.
+            if seg[0].key() {
+                seg.swap(0, 1);
+            }
+            return;
+        }
+        let sorted = self.sorter.sort(seg);
+        seg.clone_from_slice(&sorted);
+        // All bit-0 packets are now in the upper half, bit-1 in the lower.
+        debug_assert!(seg[..m / 2].iter().all(|r| !r.key()));
+        debug_assert!(seg[m / 2..].iter().all(|r| r.key()));
+        let (up, down) = seg.split_at_mut(m / 2);
+        self.route_level(up, bit);
+        self.route_level(down, bit);
+    }
+
+    /// Bit-level cost per eq. (26): `C(n) = S(n) + 2 C(n/2)` with `S` the
+    /// sorter cost.
+    pub fn cost(&self) -> u64 {
+        fn rec(kind: SorterKind, m: usize) -> u64 {
+            if m <= 2 {
+                // a single 2×2 switch routes the last bit
+                return if m == 2 { 1 } else { 0 };
+            }
+            kind.cost(m) + 2 * rec(kind, m / 2)
+        }
+        rec(self.sorter, self.n)
+    }
+
+    /// Bit-level permutation time per eq. (27): `D(n) = T(n) + D(n/2)`
+    /// with `T` the sorter's sorting time.
+    pub fn time(&self) -> u64 {
+        fn rec(kind: SorterKind, m: usize) -> u64 {
+            if m <= 2 {
+                return 1;
+            }
+            kind.depth(m) + rec(kind, m / 2)
+        }
+        rec(self.sorter, self.n)
+    }
+
+    /// Packet-switched (fish-based) or circuit-switched (combinational
+    /// sorters) — the Section IV distinction.
+    pub fn is_packet_switched(&self) -> bool {
+        self.sorter.is_time_multiplexed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absort_core::sorter::ALL_KINDS;
+    use rand::prelude::*;
+
+    #[test]
+    fn routes_identity_and_reversal() {
+        for kind in ALL_KINDS {
+            let p = RadixPermuter::new(kind, 16);
+            let ident: Vec<(usize, usize)> = (0..16).map(|i| (i, 100 + i)).collect();
+            assert_eq!(
+                p.route(&ident).unwrap(),
+                (0..16).map(|i| 100 + i).collect::<Vec<_>>()
+            );
+            let rev: Vec<(usize, usize)> = (0..16).map(|i| (15 - i, i)).collect();
+            let out = p.route(&rev).unwrap();
+            for (d, v) in out.iter().enumerate() {
+                assert_eq!(*v, 15 - d, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn routes_random_permutations_all_sorters() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for kind in ALL_KINDS {
+            for n in [8usize, 64, 256] {
+                let p = RadixPermuter::new(kind, n);
+                for _ in 0..10 {
+                    let mut dests: Vec<usize> = (0..n).collect();
+                    dests.shuffle(&mut rng);
+                    let packets: Vec<(usize, String)> = dests
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &d)| (d, format!("p{i}")))
+                        .collect();
+                    let out = p.route(&packets).unwrap();
+                    for (slot, got) in out.iter().enumerate() {
+                        let src = dests.iter().position(|&d| d == slot).unwrap();
+                        assert_eq!(got, &format!("p{src}"), "{} n={n}", kind.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_permutations_n8_muxmerger() {
+        // Rearrangeability check: every one of the 8! = 40320 permutations.
+        let p = RadixPermuter::new(SorterKind::MuxMerger, 8);
+        let mut dests = [0usize, 1, 2, 3, 4, 5, 6, 7];
+        permute_all(&mut dests, 0, &mut |d| {
+            let packets: Vec<(usize, usize)> = d.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+            let out = p.route(&packets).unwrap();
+            for (slot, &src) in out.iter().enumerate() {
+                assert_eq!(d[src], slot);
+            }
+        });
+    }
+
+    fn permute_all(d: &mut [usize; 8], k: usize, f: &mut impl FnMut(&[usize; 8])) {
+        if k == d.len() {
+            f(d);
+            return;
+        }
+        for i in k..d.len() {
+            d.swap(k, i);
+            permute_all(d, k + 1, f);
+            d.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn rejects_non_permutations() {
+        let p = RadixPermuter::new(SorterKind::Prefix, 8);
+        let dup: Vec<(usize, u8)> = (0..8).map(|i| (i / 2, i as u8)).collect();
+        assert!(matches!(
+            p.route(&dup),
+            Err(PermuteError::NotAPermutation { .. })
+        ));
+        let short: Vec<(usize, u8)> = (0..4).map(|i| (i, 0)).collect();
+        assert!(matches!(p.route(&short), Err(PermuteError::WrongWidth { .. })));
+    }
+
+    #[test]
+    fn fish_permuter_cost_is_n_lg_n_scale() {
+        // eq. (26): O(n lg n) with the fish sorter.
+        let n = 1usize << 16;
+        let c = RadixPermuter::new(SorterKind::Fish { k: None }, n).cost() as f64;
+        let nlgn = (n as f64) * 16.0;
+        assert!(c / nlgn < 25.0, "cost {c} not O(n lg n) scale");
+        assert!(c / nlgn > 5.0, "cost {c} suspiciously low");
+        assert!(RadixPermuter::new(SorterKind::Fish { k: None }, n).is_packet_switched());
+    }
+
+    #[test]
+    fn fish_permuter_time_is_lg3_scale() {
+        // eq. (27): O(lg³ n).
+        for a in [12usize, 16] {
+            let n = 1usize << a;
+            let t = RadixPermuter::new(SorterKind::Fish { k: None }, n).time() as f64;
+            let lg3 = (a * a * a) as f64;
+            assert!(t / lg3 < 10.0, "n=2^{a}: time {t} not O(lg³ n) scale");
+        }
+    }
+
+    #[test]
+    fn muxmerger_permuter_is_circuit_switched_n_lg2n() {
+        let n = 1usize << 14;
+        let p = RadixPermuter::new(SorterKind::MuxMerger, n);
+        assert!(!p.is_packet_switched());
+        let c = p.cost() as f64;
+        let nlg2n = (n as f64) * 14.0 * 14.0;
+        assert!(c / nlg2n < 5.0 && c / nlg2n > 1.0, "cost {c} vs n lg²n {nlg2n}");
+    }
+}

@@ -1,0 +1,198 @@
+//! The radix permuter as a **gate-level circuit** (Fig. 10, literally).
+//!
+//! [`crate::permuter::RadixPermuter`] simulates the construction at
+//! packet level; this module *builds* it: every input is a bundle of
+//! `lg n` address wires plus `payload_bits` data wires, each recursion
+//! level is a bus-carrying mux-merger sorter steered by that level's
+//! address bit, and the output wires physically deliver every payload to
+//! its addressed position. This is the circuit-switched permutation
+//! network of Table II, measurable like any other netlist.
+//!
+//! Bit-level cost is the packet permuter's switch count times the bundle
+//! width `w = lg n + payload_bits` (plus two gates per compare-exchange),
+//! i.e. `Θ(n lg² n · w)` with the mux-merger sorter — the honest price of
+//! carrying addresses in-band, which the paper's bit-level Table II
+//! accounting abstracts as per-line cost.
+
+use absort_circuit::{assert_pow2, Builder, Circuit, Wire};
+use absort_core::busmerge::{bus_sorter, Bus};
+
+/// A built radix-permuter circuit.
+pub struct PermuterCircuit {
+    circuit: Circuit,
+    n: usize,
+    payload_bits: usize,
+}
+
+impl PermuterCircuit {
+    /// Builds the n-input permuter carrying `payload_bits` of data per
+    /// packet. Input wire layout, per packet `i` (packets concatenated):
+    /// `lg n` address bits (little-endian) then `payload_bits` data bits.
+    /// Output layout identical; output slot `d` holds the packet
+    /// addressed to `d`.
+    pub fn build(n: usize, payload_bits: usize) -> Self {
+        assert_pow2(n, "permuter circuit");
+        assert!(n >= 2);
+        let abits = n.trailing_zeros() as usize;
+        let w = abits + payload_bits;
+        let mut b = Builder::new();
+        let mut buses: Vec<Bus> = (0..n).map(|_| Bus::new(b.input_bus(w))).collect();
+        // Route by address bits, most significant first: sorting by the
+        // bit splits the packets into the correct halves; recurse.
+        route(&mut b, &mut buses, abits);
+        let outs: Vec<Wire> = buses.iter().flat_map(|bus| bus.wires.clone()).collect();
+        b.outputs(&outs);
+        PermuterCircuit {
+            circuit: b.finish(),
+            n,
+            payload_bits,
+        }
+    }
+
+    /// The underlying netlist.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Bit-level cost of the built network.
+    pub fn cost(&self) -> u64 {
+        self.circuit.cost().total
+    }
+
+    /// Bit-level depth (= permutation time for this circuit-switched
+    /// network).
+    pub fn depth(&self) -> usize {
+        self.circuit.depth()
+    }
+
+    /// Routes concrete packets: `packets[i] = (dest, payload)`; returns
+    /// the payload delivered at each output slot.
+    pub fn route(&self, packets: &[(usize, u64)]) -> Vec<u64> {
+        assert_eq!(packets.len(), self.n);
+        let abits = self.n.trailing_zeros() as usize;
+        let mut input = Vec::with_capacity(self.circuit.n_inputs());
+        for &(d, p) in packets {
+            assert!(d < self.n, "destination out of range");
+            for t in 0..abits {
+                input.push(d >> t & 1 == 1);
+            }
+            for t in 0..self.payload_bits {
+                input.push(p >> t & 1 == 1);
+            }
+        }
+        let out = self.circuit.eval(&input);
+        out.chunks(abits + self.payload_bits)
+            .map(|ch| {
+                ch[abits..]
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (t, &bit)| acc | (u64::from(bit) << t))
+            })
+            .collect()
+    }
+}
+
+fn route(b: &mut Builder, buses: &mut [Bus], bits_left: usize) {
+    let m = buses.len();
+    if m <= 1 || bits_left == 0 {
+        return;
+    }
+    let key = bits_left - 1; // current address bit (MSB first)
+    let sorted = bus_sorter(b, key, buses);
+    buses.clone_from_slice(&sorted);
+    let (up, down) = buses.split_at_mut(m / 2);
+    route(b, up, key);
+    route(b, down, key);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn routes_every_permutation_of_4() {
+        let pc = PermuterCircuit::build(4, 3);
+        let mut dests = [0usize, 1, 2, 3];
+        permute_all(&mut dests, 0, &mut |d: &[usize; 4]| {
+            let packets: Vec<(usize, u64)> =
+                d.iter().enumerate().map(|(i, &x)| (x, i as u64)).collect();
+            let out = pc.route(&packets);
+            for (i, &dst) in d.iter().enumerate() {
+                assert_eq!(out[dst], i as u64, "perm {d:?}");
+            }
+        });
+    }
+
+    fn permute_all(d: &mut [usize; 4], k: usize, f: &mut impl FnMut(&[usize; 4])) {
+        if k == d.len() {
+            f(d);
+            return;
+        }
+        for i in k..d.len() {
+            d.swap(k, i);
+            permute_all(d, k + 1, f);
+            d.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn routes_random_permutations_at_16_and_32() {
+        let mut rng = StdRng::seed_from_u64(73);
+        for n in [16usize, 32] {
+            let pc = PermuterCircuit::build(n, 8);
+            for _ in 0..20 {
+                let mut perm: Vec<usize> = (0..n).collect();
+                perm.shuffle(&mut rng);
+                let packets: Vec<(usize, u64)> = perm
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| (d, 0x40 + i as u64))
+                    .collect();
+                let out = pc.route(&packets);
+                for (i, &d) in perm.iter().enumerate() {
+                    assert_eq!(out[d], 0x40 + i as u64, "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_packet_level_permuter() {
+        use crate::permuter::RadixPermuter;
+        use absort_core::sorter::SorterKind;
+        let n = 16;
+        let pc = PermuterCircuit::build(n, 6);
+        let rp = RadixPermuter::new(SorterKind::MuxMerger, n);
+        let mut rng = StdRng::seed_from_u64(74);
+        for _ in 0..10 {
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            let packets: Vec<(usize, u64)> = perm
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (d, i as u64))
+                .collect();
+            let via_circuit = pc.route(&packets);
+            let via_packets = rp.route(&packets).unwrap();
+            assert_eq!(via_circuit, via_packets);
+        }
+    }
+
+    #[test]
+    fn cost_scales_with_bundle_width() {
+        let narrow = PermuterCircuit::build(16, 1);
+        let wide = PermuterCircuit::build(16, 9);
+        // datapath dominates: doubling w should roughly scale the switch
+        // count; (lg n + 1) = 5 vs (lg n + 9) = 13 → ~2.6×
+        let ratio = wide.cost() as f64 / narrow.cost() as f64;
+        assert!(
+            (1.8..=3.2).contains(&ratio),
+            "cost ratio {ratio} (narrow {}, wide {})",
+            narrow.cost(),
+            wide.cost()
+        );
+        // circuit-switched permutation time = depth, Θ(lg³ n)-ish
+        assert!(narrow.depth() >= 16, "depth {}", narrow.depth());
+    }
+}

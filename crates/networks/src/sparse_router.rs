@@ -1,0 +1,220 @@
+//! Sparse (partial-permutation) routing: concentrate, then permute.
+//!
+//! Real switch traffic rarely presents a full permutation — most cycles
+//! only some inputs carry packets, each addressed to a distinct output.
+//! Section IV's two primitives compose into exactly this router: an
+//! `(n,n)`-concentrator compacts the active packets, and the radix
+//! permuter places them (idle slots are routed to the unused outputs to
+//! complete the permutation). Both stages are binary-sorter hardware, so
+//! the whole router inherits the `O(n lg n)` bit-level cost of the
+//! fish-based permuter.
+
+use crate::concentrator::{ConcentrateError, Concentrator};
+use crate::permuter::{PermuteError, RadixPermuter};
+use absort_core::sorter::SorterKind;
+
+/// A packet with a destination and a payload.
+pub type SparsePacket<T> = Option<(usize, T)>;
+
+/// Errors from sparse routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Two active packets share a destination.
+    DestinationClash {
+        /// The contested output.
+        dest: usize,
+    },
+    /// A destination is out of range.
+    BadDestination {
+        /// The offending value.
+        dest: usize,
+    },
+    /// Wrong number of input lines.
+    WrongWidth {
+        /// Lines presented.
+        got: usize,
+        /// Lines expected.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for SparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseError::DestinationClash { dest } => {
+                write!(f, "two packets addressed to output {dest}")
+            }
+            SparseError::BadDestination { dest } => write!(f, "destination {dest} out of range"),
+            SparseError::WrongWidth { got, expected } => {
+                write!(f, "expected {expected} lines, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// An n-input sparse router over a chosen binary sorter.
+///
+/// ```
+/// use absort_core::SorterKind;
+/// use absort_networks::sparse_router::SparseRouter;
+///
+/// let router = SparseRouter::new(SorterKind::Fish { k: None }, 8);
+/// let mut inputs: Vec<Option<(usize, &str)>> = vec![None; 8];
+/// inputs[1] = Some((6, "a"));
+/// inputs[4] = Some((0, "b"));
+/// let out = router.route(&inputs).unwrap();
+/// assert_eq!(out[6], Some("a"));
+/// assert_eq!(out[0], Some("b"));
+/// assert_eq!(out.iter().filter(|o| o.is_some()).count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SparseRouter {
+    concentrator: Concentrator,
+    permuter: RadixPermuter,
+    n: usize,
+}
+
+impl SparseRouter {
+    /// Creates an n-input sparse router (`n = 2^k`).
+    pub fn new(sorter: SorterKind, n: usize) -> Self {
+        SparseRouter {
+            concentrator: Concentrator::new(sorter, n, n),
+            permuter: RadixPermuter::new(sorter, n),
+            n,
+        }
+    }
+
+    /// Routes every active packet to its destination; idle inputs yield
+    /// idle outputs. Destinations must be distinct and in range.
+    pub fn route<T: Clone>(
+        &self,
+        inputs: &[SparsePacket<T>],
+    ) -> Result<Vec<Option<T>>, SparseError> {
+        if inputs.len() != self.n {
+            return Err(SparseError::WrongWidth {
+                got: inputs.len(),
+                expected: self.n,
+            });
+        }
+        let mut used = vec![false; self.n];
+        for p in inputs.iter().flatten() {
+            if p.0 >= self.n {
+                return Err(SparseError::BadDestination { dest: p.0 });
+            }
+            if used[p.0] {
+                return Err(SparseError::DestinationClash { dest: p.0 });
+            }
+            used[p.0] = true;
+        }
+        // Stage 1: concentrate the active packets to the first lines.
+        let concentrated = self
+            .concentrator
+            .concentrate(inputs)
+            .map_err(|e| match e {
+                // (n,n)-concentrators cannot overload; width already checked
+                ConcentrateError::Overloaded { .. } | ConcentrateError::WrongWidth { .. } => {
+                    unreachable!("(n,n)-concentration cannot fail here: {e}")
+                }
+            })?;
+        // Stage 2: complete to a full permutation by assigning the unused
+        // destinations to the idle lines, then permute.
+        let mut unused: Vec<usize> = (0..self.n).filter(|&d| !used[d]).collect();
+        let packets: Vec<(usize, Option<T>)> = concentrated
+            .into_iter()
+            .map(|slot| match slot {
+                Some((d, payload)) => (d, Some(payload)),
+                None => (unused.pop().expect("enough spare destinations"), None),
+            })
+            .collect();
+        match self.permuter.route(&packets) {
+            Ok(out) => Ok(out),
+            Err(e @ (PermuteError::NotAPermutation { .. } | PermuteError::WrongWidth { .. })) => {
+                unreachable!("permutation completed by construction: {e}")
+            }
+        }
+    }
+
+    /// Combined bit-level cost of the two stages.
+    pub fn cost(&self) -> u64 {
+        self.concentrator.cost() + self.permuter.cost()
+    }
+
+    /// Combined routing time.
+    pub fn time(&self) -> u64 {
+        self.concentrator.time() + self.permuter.time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn random_sparse(
+        rng: &mut StdRng,
+        n: usize,
+        active: usize,
+    ) -> Vec<SparsePacket<u64>> {
+        let mut slots: Vec<usize> = (0..n).collect();
+        slots.shuffle(rng);
+        let mut dests: Vec<usize> = (0..n).collect();
+        dests.shuffle(rng);
+        let mut inputs: Vec<SparsePacket<u64>> = vec![None; n];
+        for i in 0..active {
+            inputs[slots[i]] = Some((dests[i], rng.gen()));
+        }
+        inputs
+    }
+
+    #[test]
+    fn routes_all_loads() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for kind in [SorterKind::Fish { k: None }, SorterKind::MuxMerger] {
+            let n = 64;
+            let router = SparseRouter::new(kind, n);
+            for active in [0usize, 1, 13, 32, 63, 64] {
+                let inputs = random_sparse(&mut rng, n, active);
+                let out = router.route(&inputs).unwrap();
+                for p in inputs.iter().flatten() {
+                    assert_eq!(out[p.0], Some(p.1), "{} load {active}", kind.name());
+                }
+                let delivered = out.iter().filter(|o| o.is_some()).count();
+                assert_eq!(delivered, active, "no spurious packets");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_clashes_and_bad_destinations() {
+        let router = SparseRouter::new(SorterKind::MuxMerger, 8);
+        let mut inputs: Vec<SparsePacket<u8>> = vec![None; 8];
+        inputs[0] = Some((3, 1));
+        inputs[5] = Some((3, 2));
+        assert_eq!(
+            router.route(&inputs),
+            Err(SparseError::DestinationClash { dest: 3 })
+        );
+        inputs[5] = Some((9, 2));
+        assert_eq!(
+            router.route(&inputs),
+            Err(SparseError::BadDestination { dest: 9 })
+        );
+        let short: Vec<SparsePacket<u8>> = vec![None; 4];
+        assert!(matches!(
+            router.route(&short),
+            Err(SparseError::WrongWidth { got: 4, expected: 8 })
+        ));
+    }
+
+    #[test]
+    fn cost_is_two_sorter_stages() {
+        let n = 1 << 10;
+        let router = SparseRouter::new(SorterKind::Fish { k: None }, n);
+        let conc = Concentrator::new(SorterKind::Fish { k: None }, n, n);
+        let perm = RadixPermuter::new(SorterKind::Fish { k: None }, n);
+        assert_eq!(router.cost(), conc.cost() + perm.cost());
+        assert_eq!(router.time(), conc.time() + perm.time());
+    }
+}

@@ -1,0 +1,214 @@
+//! A full word sorter assembled from the paper's parts.
+//!
+//! Section I observes that "the permutation and sorting problems can be
+//! broken into a sequence of sorting steps on binary sequences". This
+//! module carries that through: an LSD radix sorter for `w`-bit keys
+//! built from `w` **stable binary split** passes, each realized with the
+//! paper's hardware vocabulary —
+//!
+//! * the destination of every packet under a stable split by bit `b` is a
+//!   prefix popcount (`zeros before me`, or `total zeros + ones before
+//!   me`): exactly the rank logic of the fish sorter's clean-sorter
+//!   dispatch, scaled from blocks to lines (a `Θ(n lg n)`-gate,
+//!   `Θ(lg n lg lg n)`-depth parallel prefix-sum circuit);
+//! * the computed destinations form a permutation, routed by the paper's
+//!   radix permuter (Fig. 10).
+//!
+//! Stability of each split makes the LSD induction go through, so `w`
+//! passes sort `w`-bit keys — duplicates and payloads included — at
+//! `Θ(w · n lg n)` bit-level cost with the fish-based permuter. This is
+//! the "sorting arbitrary numbers with binary sorters" endpoint the paper
+//! gestures at but does not spell out.
+
+use crate::permuter::{PermuteError, RadixPermuter};
+use absort_core::sorter::SorterKind;
+
+/// An n-input, w-bit-key word sorter.
+///
+/// ```
+/// use absort_core::SorterKind;
+/// use absort_networks::word_sorter::WordSorter;
+///
+/// let ws = WordSorter::new(SorterKind::MuxMerger, 4, 8);
+/// let out = ws.sort(&[(9, "x"), (3, "y"), (9, "z"), (1, "w")]).unwrap();
+/// // stable: equal keys keep input order
+/// assert_eq!(out, vec![(1, "w"), (3, "y"), (9, "x"), (9, "z")]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WordSorter {
+    permuter: RadixPermuter,
+    n: usize,
+    key_bits: u32,
+}
+
+impl WordSorter {
+    /// Creates a word sorter for `n = 2^k` items with `key_bits`-bit keys,
+    /// routing each pass through a radix permuter over the given binary
+    /// sorter.
+    pub fn new(sorter: SorterKind, n: usize, key_bits: u32) -> Self {
+        assert!(n.is_power_of_two(), "word sorter needs n = 2^k");
+        assert!((1..=64).contains(&key_bits), "key width 1..=64");
+        WordSorter {
+            permuter: RadixPermuter::new(sorter, n),
+            n,
+            key_bits,
+        }
+    }
+
+    /// Input width.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Key width in bits.
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
+    /// The stable-split destinations for one bit: zeros keep their order
+    /// at the front, ones keep theirs behind all zeros. (The prefix
+    /// popcount that a hardware pass computes with a parallel prefix-sum
+    /// tree.)
+    fn split_destinations(bits: &[bool]) -> Vec<usize> {
+        let zeros = bits.iter().filter(|&&b| !b).count();
+        let mut z_seen = 0usize;
+        let mut o_seen = 0usize;
+        bits.iter()
+            .map(|&b| {
+                if b {
+                    let d = zeros + o_seen;
+                    o_seen += 1;
+                    d
+                } else {
+                    let d = z_seen;
+                    z_seen += 1;
+                    d
+                }
+            })
+            .collect()
+    }
+
+    /// Sorts `(key, payload)` pairs stably by key. `O(w)` passes, each a
+    /// permutation routed through the underlying radix permuter.
+    pub fn sort<T: Clone>(&self, items: &[(u64, T)]) -> Result<Vec<(u64, T)>, PermuteError> {
+        if items.len() != self.n {
+            return Err(PermuteError::WrongWidth {
+                got: items.len(),
+                expected: self.n,
+            });
+        }
+        let mut cur: Vec<(u64, T)> = items.to_vec();
+        for bit in 0..self.key_bits {
+            let bits: Vec<bool> = cur.iter().map(|(k, _)| k >> bit & 1 == 1).collect();
+            let dests = Self::split_destinations(&bits);
+            let packets: Vec<(usize, (u64, T))> = dests
+                .iter()
+                .zip(cur.iter())
+                .map(|(&d, item)| (d, item.clone()))
+                .collect();
+            cur = self.permuter.route(&packets)?;
+        }
+        Ok(cur)
+    }
+
+    /// Bit-level cost model: `w` passes × (prefix-sum rank logic +
+    /// permuter). The rank logic is a Brent–Kung prefix sum over `n`
+    /// one-bit inputs producing `lg n`-bit counts: ≈ `2n` combine adders
+    /// of `lg n` bits at ≈3 gates per bit.
+    pub fn cost(&self) -> u64 {
+        let lgn = self.n.trailing_zeros() as u64;
+        let rank_logic = 6 * self.n as u64 * lgn;
+        self.key_bits as u64 * (rank_logic + self.permuter.cost())
+    }
+
+    /// Bit-level sorting time model: `w` sequential passes, each the rank
+    /// logic's depth plus the permuter's routing time.
+    pub fn time(&self) -> u64 {
+        let lgn = self.n.trailing_zeros() as u64;
+        let lglg = if lgn <= 1 { 1 } else { 64 - (lgn - 1).leading_zeros() as u64 };
+        self.key_bits as u64 * (2 * lgn * lglg + self.permuter.time())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn sorts_random_keys_all_sorters() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for kind in [
+            SorterKind::MuxMerger,
+            SorterKind::Prefix,
+            SorterKind::Fish { k: None },
+        ] {
+            let n = 64;
+            let ws = WordSorter::new(kind, n, 16);
+            for _ in 0..5 {
+                let items: Vec<(u64, usize)> = (0..n)
+                    .map(|i| (rng.gen_range(0..u16::MAX as u64), i))
+                    .collect();
+                let out = ws.sort(&items).unwrap();
+                let mut expect = items.clone();
+                expect.sort_by_key(|&(k, _)| k);
+                let got_keys: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
+                let want_keys: Vec<u64> = expect.iter().map(|&(k, _)| k).collect();
+                assert_eq!(got_keys, want_keys, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_is_stable() {
+        // many duplicate keys: payload order within a key must be input
+        // order (LSD radix with stable splits is stable end-to-end).
+        let mut rng = StdRng::seed_from_u64(72);
+        let n = 128;
+        let ws = WordSorter::new(SorterKind::MuxMerger, n, 4);
+        let items: Vec<(u64, usize)> = (0..n).map(|i| (rng.gen_range(0..8), i)).collect();
+        let out = ws.sort(&items).unwrap();
+        let mut expect = items.clone();
+        expect.sort_by_key(|&(k, _)| k); // std stable sort
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn full_width_keys() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let n = 32;
+        let ws = WordSorter::new(SorterKind::Fish { k: None }, n, 64);
+        let items: Vec<(u64, ())> = (0..n).map(|_| (rng.gen(), ())).collect();
+        let out = ws.sort(&items).unwrap();
+        let keys: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn split_destinations_are_stable_permutation() {
+        let bits = vec![true, false, true, false, false, true];
+        let d = WordSorter::split_destinations(&bits);
+        assert_eq!(d, vec![3, 0, 4, 1, 2, 5]);
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let ws = WordSorter::new(SorterKind::Prefix, 16, 8);
+        let items: Vec<(u64, ())> = vec![(0, ()); 8];
+        assert!(matches!(
+            ws.sort(&items),
+            Err(PermuteError::WrongWidth { got: 8, expected: 16 })
+        ));
+    }
+
+    #[test]
+    fn cost_scales_with_key_width_and_n_lg_n() {
+        let n = 1usize << 12;
+        let w16 = WordSorter::new(SorterKind::Fish { k: None }, n, 16).cost();
+        let w32 = WordSorter::new(SorterKind::Fish { k: None }, n, 32).cost();
+        assert_eq!(w32, 2 * w16, "cost linear in key width");
+        let per_pass = w16 as f64 / 16.0;
+        let nlgn = (n as f64) * 12.0;
+        assert!(per_pass / nlgn < 30.0, "per-pass cost must be O(n lg n)");
+    }
+}

@@ -1,0 +1,115 @@
+//! The boundary the paper lives on: *nonadaptive* comparator networks
+//! obey the zero-one principle (sorting all binary inputs ⇒ sorting all
+//! inputs), which is why a cheap nonadaptive **binary** sorter would have
+//! "strong implications for sorting in general … but this seems highly
+//! unlikely" (Section I). Adaptive networks escape the principle: they
+//! sort every binary sequence at `O(n lg n)` or even `O(n)` cost, yet do
+//! **not** sort arbitrary numbers.
+//!
+//! This example demonstrates both sides concretely:
+//!   1. Batcher's nonadaptive network sorts binary AND arbitrary words.
+//!   2. The adaptive mux-merger sorter sorts every binary sequence
+//!      (exhaustively at n = 16), but we exhibit a 4-element integer
+//!      input it fails to sort — the zero-one principle does not apply.
+//!   3. The price of nonadaptivity, measured: the E17 ablation table.
+//!
+//! Run with: `cargo run --release --example adaptive_vs_nonadaptive`
+
+use absort::analysis::ablations;
+use absort::baselines::batcher_bits::{BatcherBinary, BatcherKind};
+use absort::core::{lang, muxmerge, nonadaptive};
+
+/// Sort 4 integers "through" the mux-merger's data movement by running
+/// its comparator/swapper steering on word packets: each line carries an
+/// integer; comparators exchange on `>`; the four-way swappers move
+/// quarters by the *select* convention (top bit of quarters 2 and 4
+/// interpreted as "is the value in the upper half of the range") — the
+/// straightforward word-level reading of the adaptive network.
+fn muxmerge_words(values: [u32; 4]) -> [u32; 4] {
+    // two-input sorters on the halves
+    let mut v = values;
+    if v[0] > v[1] {
+        v.swap(0, 1);
+    }
+    if v[2] > v[3] {
+        v.swap(2, 3);
+    }
+    // the adaptive merger's select bits come from *binary* middle bits;
+    // with words there is no single bit to read — emulate the published
+    // steering with the comparison the quarters' "middle bit" reduces to
+    // on binary data: the sign of v[1] and v[3] relative to the median.
+    // For binary inputs this is exactly the network; for words it is the
+    // natural lift — and it fails, which is the point.
+    let median = (v.iter().copied().max().unwrap() + v.iter().copied().min().unwrap()) / 2;
+    let s1 = v[1] > median;
+    let s2 = v[3] > median;
+    let sel = (usize::from(s1) << 1) | usize::from(s2);
+    let q = [v[0], v[1], v[2], v[3]];
+    let pick = |p: [u8; 4]| [q[p[0] as usize], q[p[1] as usize], q[p[2] as usize], q[p[3] as usize]];
+    let inw = pick(muxmerge::IN_SWAP[sel]);
+    // merge the middle pair
+    let (a, b) = if inw[1] > inw[2] { (inw[2], inw[1]) } else { (inw[1], inw[2]) };
+    let joined = [inw[0], a, b, inw[3]];
+    let j = joined;
+    let out = muxmerge::OUT_SWAP[sel];
+    [j[out[0] as usize], j[out[1] as usize], j[out[2] as usize], j[out[3] as usize]]
+}
+
+fn main() {
+    println!("1) Nonadaptive Batcher network (zero-one principle applies)");
+    let batcher = BatcherBinary::new(BatcherKind::OddEvenMerge, 16);
+    let mut all_binary_ok = true;
+    for v in 0..1u32 << 16 {
+        let bits: Vec<bool> = (0..16).map(|i| v >> i & 1 == 1).collect();
+        all_binary_ok &= batcher.sort(&bits) == lang::sorted_oracle(&bits);
+    }
+    println!("   sorts all 65,536 binary inputs: {all_binary_ok}");
+    println!("   ⇒ by the zero-one principle it sorts arbitrary words too.\n");
+
+    println!("2) Adaptive mux-merger sorter (escapes the principle)");
+    let c = muxmerge::build(16);
+    let mut adaptive_binary_ok = true;
+    for v in 0..1u32 << 16 {
+        let bits: Vec<bool> = (0..16).map(|i| v >> i & 1 == 1).collect();
+        adaptive_binary_ok &= c.eval(&bits) == lang::sorted_oracle(&bits);
+    }
+    println!("   sorts all 65,536 binary inputs: {adaptive_binary_ok}");
+
+    // find a word input the adaptive steering mis-sorts
+    let mut counterexample = None;
+    'outer: for a in 0..6u32 {
+        for b in 0..6u32 {
+            for c2 in 0..6u32 {
+                for d in 0..6u32 {
+                    let input = [a, b, c2, d];
+                    let out = muxmerge_words(input);
+                    let mut expect = input;
+                    expect.sort_unstable();
+                    if out != expect {
+                        counterexample = Some((input, out, expect));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    match counterexample {
+        Some((input, out, expect)) => {
+            println!("   word counterexample: input {input:?}");
+            println!("     adaptive steering yields {out:?}, sorted order is {expect:?}");
+            println!("   ⇒ sorting all 0-1 inputs does NOT imply word sorting here:");
+            println!("     adaptive networks are outside the zero-one principle's scope,");
+            println!("     which is exactly why their binary cost can drop to O(n).\n");
+        }
+        None => println!("   (no counterexample found in the searched range)\n"),
+    }
+
+    println!("3) What nonadaptivity costs (E17 ablation, measured):\n");
+    println!("{}", ablations::adaptivity_ablation(&[6, 10, 14, 18, 22]).render());
+    let n = 1 << 18;
+    println!(
+        "at n = 2^18 the nonadaptive bit-level Fig. 4(b) sorter needs {:.2}x the hardware\n\
+         of the adaptive mux-merger for the same binary sorting function.",
+        nonadaptive::adaptivity_saving(n)
+    );
+}

@@ -1,0 +1,88 @@
+//! Model B in action: the fish sorter's time-multiplexed datapath with
+//! and without pipelining, against the time-multiplexed columnsort
+//! network (Section III.C's comparison).
+//!
+//! Prints the sorting-time series — the O(lg³ n) vs O(lg⁴ n) unpipelined
+//! shapes and the O(lg² n) pipelined convergence — plus the pipelining
+//! burden: columnsort needs four separately pipelined sorters, the fish
+//! sorter exactly one.
+//!
+//! Run with: `cargo run --release --example pipeline_throughput`
+
+use absort::baselines::columnsort::{ColumnsortModel, Geometry};
+use absort::core::fish::{formulas, schedule, FishSorter};
+use absort::core::lang;
+use rand::prelude::*;
+
+fn main() {
+    // First: the datapath actually moves data. Sort something.
+    let n0 = 1 << 12;
+    let mut rng = StdRng::seed_from_u64(7);
+    let input: Vec<bool> = (0..n0).map(|_| rng.gen()).collect();
+    let f = FishSorter::with_default_k(n0);
+    let out = f.sort(&input);
+    assert_eq!(out, lang::sorted_oracle(&input));
+    println!(
+        "fish sorter n={n0}, k={}: sorted a random sequence ({} ones) correctly\n",
+        f.k,
+        input.iter().filter(|&&b| b).count()
+    );
+
+    println!(
+        "{:>6} {:>5} | {:>12} {:>8} | {:>11} {:>11} {:>7} | {:>11} {:>11}",
+        "n",
+        "k",
+        "fish cost",
+        "cost/n",
+        "T serial",
+        "T pipelined",
+        "gain",
+        "colsort T",
+        "colsort Tp"
+    );
+    for a in [10u32, 12, 14, 16, 18, 20, 22] {
+        let n = 1usize << a;
+        let f = FishSorter::with_default_k(n);
+        let cost = formulas::total_cost_exact(n, f.k);
+        let ts = schedule::sorting_time(n, f.k, false);
+        let tp = schedule::sorting_time(n, f.k, true);
+        let cs = ColumnsortModel {
+            g: Geometry::paper_params(n),
+        };
+        println!(
+            "{:>6} {:>5} | {:>12} {:>8.1} | {:>11} {:>11} {:>6.1}x | {:>11} {:>11}",
+            format!("2^{a}"),
+            f.k,
+            cost,
+            cost as f64 / n as f64,
+            ts,
+            tp,
+            ts as f64 / tp as f64,
+            cs.time(false),
+            cs.time(true),
+        );
+    }
+
+    println!("\npipelining burden (sorter datapaths that must accept one group/cycle):");
+    println!("  fish sorter:        1  (a single n/k-input sorter, paper Section III.C)");
+    println!(
+        "  columnsort network: {}  (one per sorting pass)",
+        ColumnsortModel {
+            g: Geometry::paper_params(1 << 16)
+        }
+        .pipelines_required()
+    );
+
+    // Shape check narrated for the reader: T_serial/lg^3 and T_pip/lg^2
+    // should both flatten as n grows.
+    println!("\nnormalised times (constants should flatten as n grows):");
+    println!("{:>6} {:>14} {:>14}", "n", "Tserial/lg^3 n", "Tpip/lg^2 n");
+    for a in [12u32, 16, 20, 24] {
+        let n = 1usize << a;
+        let f = FishSorter::with_default_k(n);
+        let ts = schedule::sorting_time(n, f.k, false) as f64;
+        let tp = schedule::sorting_time(n, f.k, true) as f64;
+        let l = a as f64;
+        println!("{:>6} {:>14.2} {:>14.2}", format!("2^{a}"), ts / (l * l * l), tp / (l * l));
+    }
+}

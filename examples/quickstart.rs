@@ -1,0 +1,70 @@
+//! Quickstart: sort binary sequences on all three adaptive networks,
+//! both functionally and as real bit-level circuits, and print the
+//! cost/depth ledger the paper derives.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use absort::core::{fish, lang, muxmerge, prefix, SorterKind};
+
+fn main() {
+    let input = lang::bits("0110_1001_1100_0011");
+    let n = input.len();
+    println!("input  (n = {n}): {}", lang::show(&input, 4));
+    println!("sorted oracle   : {}\n", lang::show(&lang::sorted_oracle(&input), 4));
+
+    // --- functional forms -------------------------------------------------
+    for kind in [
+        SorterKind::Prefix,
+        SorterKind::MuxMerger,
+        SorterKind::Fish { k: Some(4) },
+    ] {
+        let out = kind.sort(&input);
+        println!(
+            "{:<11} -> {}   (cost model: {} units)",
+            kind.name(),
+            lang::show(&out, 4),
+            kind.cost(n)
+        );
+        assert_eq!(out, lang::sorted_oracle(&input));
+    }
+
+    // --- the same networks as real circuits -------------------------------
+    println!("\nconstructed circuits (paper cost units, bit-level depth):");
+    let pre = prefix::build(n);
+    let mux = muxmerge::build(n);
+    println!(
+        "  prefix sorter    : cost {:>5}  depth {:>3}   (paper: 3n lg n = {})",
+        pre.cost().total,
+        pre.depth(),
+        prefix::paper_cost_dominant(n)
+    );
+    println!(
+        "  mux-merger sorter: cost {:>5}  depth {:>3}   (paper: 4n lg n = {})",
+        mux.cost().total,
+        mux.depth(),
+        muxmerge::formulas::paper_cost_dominant(n)
+    );
+    assert_eq!(pre.eval(&input), lang::sorted_oracle(&input));
+    assert_eq!(mux.eval(&input), lang::sorted_oracle(&input));
+
+    // --- the time-multiplexed fish sorter ---------------------------------
+    let f = fish::FishSorter::new(n, 4);
+    let r = f.report();
+    println!(
+        "  fish sorter (k=4): cost {:>5}  T = {} cycles ({} pipelined)",
+        r.cost_exact, r.time_unpipelined, r.time_pipelined
+    );
+    assert_eq!(f.sort(&input), lang::sorted_oracle(&input));
+
+    // --- payloads travel with their keys -----------------------------------
+    let tagged: Vec<(bool, char)> = input
+        .iter()
+        .zip('a'..)
+        .map(|(&b, c)| (b, c))
+        .collect();
+    let routed = SorterKind::MuxMerger.sort(&tagged);
+    let payloads: String = routed.iter().map(|p| p.1).collect();
+    println!("\npayloads after sorting: {payloads}");
+    println!("(zeros' cargo first, ones' cargo last — the sorter *carries* data,");
+    println!(" which is what makes it a concentrator; see the other examples.)");
+}

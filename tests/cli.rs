@@ -1,0 +1,113 @@
+//! End-to-end tests of the `absort` CLI binary (spawned as a real
+//! process, exercising argument parsing, exit codes, and output format).
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_absort"))
+        .args(args)
+        .output()
+        .expect("spawn absort CLI")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn sort_command_sorts() {
+    for network in ["prefix", "mux-merger", "fish", "nonadaptive"] {
+        let out = run(&["sort", "--network", network, "0110_1001_1100_0011"]);
+        assert!(out.status.success(), "{network}");
+        assert!(
+            stdout(&out).contains("0000/0000/1111/1111"),
+            "{network}: {}",
+            stdout(&out)
+        );
+    }
+}
+
+#[test]
+fn route_command_places_payloads() {
+    let out = run(&["route", "--network", "mux-merger", "3,1,0,2"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("output 0 <- p2"), "{s}");
+    assert!(s.contains("output 3 <- p0"), "{s}");
+    assert!(s.contains("circuit-switched"), "{s}");
+}
+
+#[test]
+fn route_rejects_non_permutation() {
+    let out = run(&["route", "--network", "fish", "0,0,1,2"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn concentrate_compacts() {
+    let out = run(&["concentrate", "--m", "4", "a.b..c.d"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    let line = s.lines().next().unwrap();
+    assert_eq!(line.len(), 4);
+    assert!(!line.contains('.'), "all four trunks busy: {line}");
+    let mut chars: Vec<char> = line.chars().collect();
+    chars.sort_unstable();
+    assert_eq!(chars, vec!['a', 'b', 'c', 'd']);
+}
+
+#[test]
+fn verify_commands() {
+    let ok = run(&["verify", "--network", "mux-merger", "--n", "8"]);
+    assert!(ok.status.success());
+    assert!(stdout(&ok).contains("verified: all 256 inputs"));
+
+    let bad_n = run(&["verify", "--network", "prefix", "--n", "12"]);
+    assert!(!bad_n.status.success());
+}
+
+#[test]
+fn inspect_prints_profile() {
+    let out = run(&["inspect", "--network", "prefix", "--n", "64"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("depth:"), "{s}");
+    assert!(s.contains("prefix_sorter"), "hardware profile expected: {s}");
+
+    let fish = run(&["inspect", "--network", "fish", "--n", "1024"]);
+    assert!(fish.status.success());
+    assert!(stdout(&fish).contains("pipelined"));
+}
+
+#[test]
+fn save_and_eval_roundtrip() {
+    let saved = run(&["save", "--network", "mux-merger", "--n", "8"]);
+    assert!(saved.status.success());
+    let dir = std::env::temp_dir().join("absort_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("net8.txt");
+    std::fs::write(&path, &saved.stdout).unwrap();
+
+    let evald = run(&["eval", path.to_str().unwrap(), "01101001"]);
+    assert!(evald.status.success());
+    assert!(stdout(&evald).contains("00001111"), "{}", stdout(&evald));
+
+    let wrong_len = run(&["eval", path.to_str().unwrap(), "0110"]);
+    assert!(!wrong_len.status.success());
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let out = run(&["dot", "--network", "mux-merger", "--n", "8"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.starts_with("digraph"));
+    assert!(s.contains("CMP"));
+}
+
+#[test]
+fn usage_on_nonsense() {
+    assert!(!run(&[]).status.success());
+    assert!(!run(&["frobnicate"]).status.success());
+    assert!(!run(&["sort", "--network", "quantum", "0101"]).status.success());
+}

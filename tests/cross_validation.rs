@@ -1,0 +1,175 @@
+//! Cross-crate validation: every implementation of every sorter (circuit,
+//! functional, lane-parallel) must agree with each other and with the
+//! counting oracle.
+
+use absort::circuit::Evaluator;
+use absort::core::{lang, muxmerge, prefix, FishSorter};
+use rand::prelude::*;
+
+/// Exhaustive: both combinational sorter circuits sort all 2^16 inputs at
+/// n = 16, checked with the 64-lane evaluator (1024 packed passes each).
+#[test]
+fn circuits_sort_all_inputs_n16_lane_parallel() {
+    let n = 16usize;
+    for (name, circuit) in [("prefix", prefix::build(n)), ("mux-merger", muxmerge::build(n))] {
+        let mut ev: Evaluator<'_, u64> = Evaluator::new(&circuit);
+        let total = 1u64 << n;
+        let mut base = 0u64;
+        while base < total {
+            let count = (total - base).min(64);
+            let mut packed = vec![0u64; n];
+            for v in 0..count {
+                for (i, p) in packed.iter_mut().enumerate() {
+                    if (base + v) >> i & 1 == 1 {
+                        *p |= 1 << v;
+                    }
+                }
+            }
+            let out = ev.run(&packed);
+            for v in 0..count {
+                let input = base + v;
+                let ones = input.count_ones() as usize;
+                for (i, word) in out.iter().enumerate() {
+                    let bit = word >> v & 1 == 1;
+                    let expect = i >= n - ones;
+                    assert!(
+                        bit == expect,
+                        "{name}: input {input:016b}, output line {i}"
+                    );
+                }
+            }
+            base += count;
+        }
+    }
+}
+
+#[test]
+fn parallel_batch_evaluator_agrees_with_scalar() {
+    let n = 32;
+    let c = muxmerge::build(n);
+    let mut rng = StdRng::seed_from_u64(40);
+    let vectors: Vec<Vec<bool>> = (0..500)
+        .map(|_| (0..n).map(|_| rng.gen()).collect())
+        .collect();
+    let batch = c.eval_batch_parallel(&vectors, 4);
+    for (v, out) in vectors.iter().zip(&batch) {
+        assert_eq!(out, &c.eval(v));
+    }
+}
+
+#[test]
+fn functional_and_circuit_agree_across_sizes() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for k in 1..=8usize {
+        let n = 1 << k;
+        let pre = prefix::build(n);
+        let mux = muxmerge::build(n);
+        for _ in 0..30 {
+            let s: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let oracle = lang::sorted_oracle(&s);
+            assert_eq!(prefix::sort(&s), oracle, "prefix functional n={n}");
+            assert_eq!(muxmerge::sort(&s), oracle, "mux functional n={n}");
+            assert_eq!(pre.eval(&s), oracle, "prefix circuit n={n}");
+            assert_eq!(mux.eval(&s), oracle, "mux circuit n={n}");
+        }
+    }
+}
+
+#[test]
+fn all_three_sorters_agree_on_structured_inputs() {
+    // Adversarial structure: long runs, alternations, single flips.
+    let n = 1024usize;
+    let mut cases: Vec<Vec<bool>> = vec![
+        vec![false; n],
+        vec![true; n],
+        (0..n).map(|i| i % 2 == 0).collect(),
+        (0..n).map(|i| i < n / 2).collect(),
+        (0..n).map(|i| i >= n / 2).collect(),
+        (0..n).map(|i| (i / 64) % 2 == 0).collect(),
+    ];
+    for flip in [0usize, 1, n / 2, n - 1] {
+        let mut v = vec![false; n];
+        v[flip] = true;
+        cases.push(v.clone());
+        let mut w = vec![true; n];
+        w[flip] = false;
+        cases.push(w);
+    }
+    let fish = FishSorter::with_default_k(n);
+    for s in cases {
+        let oracle = lang::sorted_oracle(&s);
+        assert_eq!(prefix::sort(&s), oracle);
+        assert_eq!(muxmerge::sort(&s), oracle);
+        assert_eq!(fish.sort(&s), oracle);
+    }
+}
+
+#[test]
+fn fish_sorter_all_valid_k_values_agree() {
+    let n = 4096usize;
+    let mut rng = StdRng::seed_from_u64(42);
+    let s: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+    let oracle = lang::sorted_oracle(&s);
+    for kexp in 1..=6u32 {
+        let k = 1usize << kexp;
+        let f = FishSorter::new(n, k);
+        assert_eq!(f.sort(&s), oracle, "k={k}");
+    }
+}
+
+#[test]
+fn all_sorter_circuits_formally_equivalent_at_16() {
+    // Exhaustive equivalence (all 2^16 inputs, 64-lane packed): the three
+    // circuit constructions compute the identical function.
+    use absort::circuit::equiv::{check_exhaustive, Equivalence};
+    use absort::core::nonadaptive;
+    let pre = prefix::build(16);
+    let mux = muxmerge::build(16);
+    let na = nonadaptive::build(16);
+    assert_eq!(check_exhaustive(&pre, &mux), Equivalence::EqualExhaustive);
+    assert_eq!(check_exhaustive(&mux, &na), Equivalence::EqualExhaustive);
+}
+
+#[test]
+fn adder_ablation_is_formally_equivalent() {
+    use absort::blocks::adder::AdderKind;
+    use absort::circuit::equiv::{check_exhaustive, Equivalence};
+    let a = prefix::build_with_adder(16, AdderKind::Prefix);
+    let b = prefix::build_with_adder(16, AdderKind::Ripple);
+    assert_eq!(check_exhaustive(&a, &b), Equivalence::EqualExhaustive);
+}
+
+#[test]
+fn fish_overtakes_recirculating_periodic_balanced() {
+    // The recirculating periodic balanced block is a nonadaptive
+    // time-multiplexed sorter at (n/2)·lg n cost — only a factor lg n/2
+    // over the fish sorter's ≈15n, so the constant matters: the fish
+    // sorter overtakes it near lg n ≈ 30 and wins thereafter. Verify the
+    // crossover location and the asymptotic ordering.
+    use absort::cmpnet::periodic;
+    let fish_cost = |a: u32| {
+        let n = 1usize << a;
+        let f = FishSorter::with_default_k(n);
+        absort::core::fish::formulas::total_cost_exact(n, f.k)
+    };
+    let crossover = (16u32..=40)
+        .find(|&a| fish_cost(a) < periodic::recirculating_cost(1usize << a))
+        .expect("fish must eventually win");
+    assert!(
+        (28..=36).contains(&crossover),
+        "crossover at 2^{crossover}, expected near 2^30"
+    );
+    // and it keeps winning beyond
+    assert!(fish_cost(40) < periodic::recirculating_cost(1usize << 40));
+}
+
+#[test]
+fn large_functional_sorts_2_to_the_18() {
+    let n = 1 << 18;
+    let mut rng = StdRng::seed_from_u64(43);
+    let s: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+    let oracle = lang::sorted_oracle(&s);
+    assert_eq!(prefix::sort(&s), oracle);
+    assert_eq!(muxmerge::sort(&s), oracle);
+    assert_eq!(FishSorter::with_default_k(n).sort(&s), oracle);
+}

@@ -1,0 +1,121 @@
+//! End-to-end interconnection-network scenarios spanning the whole
+//! workspace: concentrators, radix permuters, and Beneš agree with each
+//! other and survive adversarial traffic.
+
+use absort::core::sorter::{SorterKind, ALL_KINDS};
+use absort::networks::{benes, concentrator::Concentrator, permuter::RadixPermuter};
+use rand::prelude::*;
+
+#[test]
+fn radix_permuter_agrees_with_benes_on_random_permutations() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for n in [16usize, 64, 256] {
+        for _ in 0..10 {
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            let payloads: Vec<u32> = (0..n as u32).collect();
+            let via_benes = benes::permute(&perm, &payloads).unwrap();
+            for kind in ALL_KINDS {
+                let rp = RadixPermuter::new(kind, n);
+                let packets: Vec<(usize, u32)> = perm
+                    .iter()
+                    .zip(&payloads)
+                    .map(|(&d, &p)| (d, p))
+                    .collect();
+                let via_rp = rp.route(&packets).unwrap();
+                assert_eq!(via_rp, via_benes, "{} n={n}", kind.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn permuter_handles_fixed_points_and_involutions() {
+    let n = 128usize;
+    let rp = RadixPermuter::new(SorterKind::MuxMerger, n);
+    // involution: swap adjacent pairs
+    let perm: Vec<usize> = (0..n).map(|i| i ^ 1).collect();
+    let packets: Vec<(usize, usize)> = perm.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+    let out = rp.route(&packets).unwrap();
+    for (pos, &src) in out.iter().enumerate() {
+        assert_eq!(src ^ 1, pos);
+    }
+}
+
+#[test]
+fn concentrator_then_permuter_pipeline() {
+    // A realistic two-stage fabric: concentrate sparse requests, then
+    // permute the compacted packets to their final destinations.
+    let n = 64usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let conc = Concentrator::new(SorterKind::Fish { k: None }, n, n);
+    let perm_net = RadixPermuter::new(SorterKind::Fish { k: None }, n);
+
+    for _ in 0..20 {
+        let active = rng.gen_range(1..=n);
+        let mut slots: Vec<usize> = (0..n).collect();
+        slots.shuffle(&mut rng);
+        let mut requests: Vec<Option<(usize, u64)>> = vec![None; n];
+        // each active packet gets a distinct final destination
+        let mut dests: Vec<usize> = (0..n).collect();
+        dests.shuffle(&mut rng);
+        for (i, &slot) in slots[..active].iter().enumerate() {
+            requests[slot] = Some((dests[i], rng.gen::<u64>()));
+        }
+        let concentrated = conc.concentrate(&requests).unwrap();
+
+        // pad the idle tail with the unused destinations to form a full
+        // permutation for the second stage
+        let used: Vec<usize> = concentrated
+            .iter()
+            .flatten()
+            .map(|&(d, _)| d)
+            .collect();
+        let mut unused: Vec<usize> = (0..n).filter(|d| !used.contains(d)).collect();
+        let packets: Vec<(usize, Option<u64>)> = concentrated
+            .iter()
+            .map(|c| match c {
+                Some((d, v)) => (*d, Some(*v)),
+                None => (unused.pop().unwrap(), None),
+            })
+            .collect();
+        let routed = perm_net.route(&packets).unwrap();
+
+        // every real packet must sit at its destination
+        for (slot, &dst) in slots[..active].iter().zip(dests.iter()) {
+            let expected = requests[*slot].unwrap().1;
+            assert_eq!(routed[dst], Some(expected));
+        }
+    }
+}
+
+#[test]
+fn concentrator_is_stable_under_full_and_empty_load() {
+    for kind in ALL_KINDS {
+        let n = 32;
+        let c = Concentrator::new(kind, n, n);
+        let empty: Vec<Option<u8>> = vec![None; n];
+        let out = c.concentrate(&empty).unwrap();
+        assert!(out.iter().all(Option::is_none));
+        let full: Vec<Option<u8>> = (0..n).map(|i| Some(i as u8)).collect();
+        let out = c.concentrate(&full).unwrap();
+        let mut got: Vec<u8> = out.into_iter().flatten().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..n as u8).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn benes_and_permuter_cost_ordering_matches_table2() {
+    // fish permuter grows as n lg n; Beneš (with routing hardware) and
+    // the mux-merger permuter as n lg² n; Batcher as n lg³ n.
+    use absort::baselines::batcher_bits;
+    let n = 1usize << 14;
+    let fish = RadixPermuter::new(SorterKind::Fish { k: None }, n).cost();
+    let mux = RadixPermuter::new(SorterKind::MuxMerger, n).cost();
+    let benes_cost = benes::table2_cost(n);
+    let batcher = batcher_bits::permutation_cost(n);
+    assert!(fish < mux);
+    assert!(fish < benes_cost);
+    assert!(mux < batcher);
+}

@@ -1,0 +1,97 @@
+//! Smoke tests of every experiment driver: each table/figure regenerates
+//! and carries the paper's qualitative shape (who wins, by what order,
+//! where crossovers fall).
+
+use absort::analysis::{concentrators, crossover, sweeps, table2, traces};
+
+#[test]
+fn e5_prefix_sweep_regenerates() {
+    let pts = sweeps::prefix_sweep(12, 10);
+    assert_eq!(pts.len(), 11);
+    let rendered = sweeps::render_sorter_sweep(&pts, "3n lg n");
+    assert!(rendered.contains("4096"));
+    // cost ratio to n lg n converges to ~3 from above/below within ±1
+    let last = pts.iter().rev().find(|p| p.measured_cost.is_some()).unwrap();
+    let ratio =
+        last.measured_cost.unwrap() as f64 / (last.n as f64 * (last.n.trailing_zeros() as f64));
+    assert!((2.0..4.5).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn e6_muxmerge_sweep_regenerates() {
+    let pts = sweeps::muxmerge_sweep(12, 10);
+    for p in &pts {
+        if let Some(mc) = p.measured_cost {
+            assert_eq!(mc, p.formula_cost, "n={}", p.n);
+        }
+    }
+    let last = pts.last().unwrap();
+    let ratio = last.formula_cost as f64 / (last.n as f64 * 12.0);
+    assert!((3.0..=4.0).contains(&ratio), "→ 4n lg n, got ratio {ratio}");
+}
+
+#[test]
+fn e8_fish_sweep_regenerates() {
+    let pts = sweeps::fish_sweep(&[10, 12, 14, 16, 18, 20]);
+    // O(n) cost: per-input cost bounded and non-increasing trend overall
+    for p in &pts {
+        assert!(p.cost_per_input < 18.0, "n={}", p.n);
+        assert!(p.cost_exact <= p.cost_paper, "exact must be within eq. 17");
+        assert!(p.time_pipelined < p.time_serial);
+    }
+    let s = sweeps::render_fish_sweep(&pts);
+    assert!(s.lines().count() >= 8);
+}
+
+#[test]
+fn headline_cost_comparison_figure() {
+    let t = sweeps::cost_comparison(&[10, 12, 14, 16, 18, 20]);
+    let csv = t.to_csv();
+    assert!(csv.lines().count() == 7);
+    assert!(csv.contains("2^20"));
+}
+
+#[test]
+fn e12_table2_regenerates_with_claims() {
+    for a in [12u32, 16, 20] {
+        table2::verify_claims(1usize << a).unwrap();
+    }
+}
+
+#[test]
+fn e14_concentrator_comparison_regenerates() {
+    let s = concentrators::render(1 << 14);
+    assert!(s.contains("expander"));
+    assert!(s.contains("fish"));
+    let rows = concentrators::rows(1 << 14);
+    let fish = rows.iter().find(|r| r.name.contains("fish")).unwrap();
+    let prefix = rows.iter().find(|r| r.name.contains("prefix")).unwrap();
+    assert!(fish.cost < prefix.cost, "O(n) beats O(n lg n)");
+}
+
+#[test]
+fn e15_crossover_regenerates() {
+    let m = crossover::matrix(10_000);
+    assert_eq!(m.len(), 12);
+    // the headline: for every AKS model, the fish sorter is never beaten
+    // on cost
+    for c in m.iter().filter(|c| c.rival.contains("fish")) {
+        assert!(c.aks_wins_at_exp.is_none(), "{}", c.model_label);
+    }
+    let s = crossover::render(10_000);
+    assert!(s.contains("never"));
+    for (name, value) in crossover::constants_audit() {
+        assert!(value <= 17.5, "{name}: {value}");
+    }
+}
+
+#[test]
+fn e9_e10_traces_regenerate() {
+    let f8 = traces::fig8_trace();
+    let f9 = traces::fig9_trace();
+    assert!(f8.contains("Fig. 8"));
+    assert!(f9.contains("Fig. 9"));
+    // figure 9's input is figure 8's first-level clean half
+    assert!(f8.contains("11/00/11/11"));
+    assert!(f9.contains("input (clean 4-sorted): 11/00/11/11"));
+}

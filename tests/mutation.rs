@@ -1,0 +1,254 @@
+//! Failure injection: every verifier in the workspace must catch
+//! deliberately broken constructions. A test suite that only ever sees
+//! correct networks proves little about its own sensitivity; these
+//! mutations prove the exhaustive checks, theorem oracles, and routing
+//! validators actually discriminate.
+
+use absort::cmpnet::{batcher, catalog, Network, Stage};
+use absort::core::muxmerge::{apply_quarters, IN_SWAP};
+use absort::core::{lang, muxmerge};
+use absort::networks::benes;
+
+/// Rebuilds a network with comparator `idx` dropped.
+fn drop_comparator(net: &Network, idx: usize) -> Network {
+    let mut out = Network::new(net.n());
+    let mut seen = 0usize;
+    for stage in net.stages() {
+        match stage {
+            Stage::Compare(pairs) => {
+                let mut kept = Vec::new();
+                for &p in pairs {
+                    if seen != idx {
+                        kept.push(p);
+                    }
+                    seen += 1;
+                }
+                if !kept.is_empty() {
+                    out.push_compare(kept);
+                }
+            }
+            Stage::Permute(perm) => out.push_permute(perm.clone()),
+        }
+    }
+    out
+}
+
+/// Rebuilds a network with comparator `idx` reversed (max to the top).
+fn flip_comparator(net: &Network, idx: usize) -> Network {
+    let mut out = Network::new(net.n());
+    let mut seen = 0usize;
+    for stage in net.stages() {
+        match stage {
+            Stage::Compare(pairs) => {
+                let mutated: Vec<(u32, u32)> = pairs
+                    .iter()
+                    .map(|&(i, j)| {
+                        let p = if seen == idx { (j, i) } else { (i, j) };
+                        seen += 1;
+                        p
+                    })
+                    .collect();
+                out.push_compare(mutated);
+            }
+            Stage::Permute(perm) => out.push_permute(perm.clone()),
+        }
+    }
+    out
+}
+
+#[test]
+fn fig1_has_no_redundant_comparator() {
+    let net = catalog::fig1();
+    let total = net.cost() as usize;
+    for idx in 0..total {
+        let mutant = drop_comparator(&net, idx);
+        assert!(
+            absort::cmpnet::verify::first_unsorted_input(&mutant).is_some(),
+            "dropping comparator {idx} must break Fig. 1"
+        );
+    }
+}
+
+#[test]
+fn batcher_oem8_every_dropped_comparator_is_caught() {
+    let net = batcher::odd_even_merge_sort(8);
+    let total = net.cost() as usize;
+    for idx in 0..total {
+        let mutant = drop_comparator(&net, idx);
+        assert!(
+            !absort::cmpnet::verify::is_sorting_network(&mutant),
+            "Batcher OEM-8 comparator {idx} must be essential"
+        );
+    }
+}
+
+#[test]
+fn flipped_comparators_are_caught() {
+    let net = batcher::odd_even_merge_sort(8);
+    let total = net.cost() as usize;
+    let mut caught = 0;
+    for idx in 0..total {
+        let mutant = flip_comparator(&net, idx);
+        if !absort::cmpnet::verify::is_sorting_network(&mutant) {
+            caught += 1;
+        }
+    }
+    // every flipped comparator must be detected (a reversed min/max can
+    // never be harmless in a non-redundant network)
+    assert_eq!(caught, total, "all {total} flips must be caught");
+}
+
+#[test]
+fn wrong_in_swap_select_violates_theorem3_typing() {
+    // Steering the IN-SWAP by the wrong select (sel XOR 3) must, for some
+    // bisorted input, put a non-clean quarter on the outside.
+    let mut violated = false;
+    for x in lang::all_bisorted(16) {
+        let sel = (usize::from(x[4]) << 1) | usize::from(x[12]);
+        let wrong = sel ^ 0b11;
+        let inw = apply_quarters(&x, IN_SWAP[wrong]);
+        if !(lang::is_clean(&inw[..4])
+            && lang::is_clean(&inw[12..])
+            && lang::is_bisorted(&inw[4..12]))
+        {
+            violated = true;
+            break;
+        }
+    }
+    assert!(violated, "the wrong select must break the invariant somewhere");
+}
+
+#[test]
+fn inverted_patchup_select_fails_to_sort() {
+    // The prefix sorter's patch-up keys on ones >= m/2; inverting the
+    // comparison must mis-sort some A_m sequence.
+    fn bad_patchup(z: &[bool], ones: usize) -> Vec<bool> {
+        let m = z.len();
+        if m == 1 {
+            return z.to_vec();
+        }
+        if m == 2 {
+            return vec![z[0] & z[1], z[0] | z[1]];
+        }
+        let mut y = lang::balanced_stage(z);
+        let sel = ones < m / 2; // WRONG: inverted
+        if sel {
+            y.rotate_left(m / 2);
+        }
+        let sub_ones = if sel { ones.saturating_sub(m / 2) } else { ones };
+        let lower = bad_patchup(&y[m / 2..], sub_ones.min(y[m / 2..].iter().filter(|&&b| b).count()));
+        let mut out = y[..m / 2].to_vec();
+        out.extend_from_slice(&lower);
+        if sel {
+            out.rotate_left(m / 2);
+        }
+        out
+    }
+    let mut failed = false;
+    for z in lang::all_a_n(8) {
+        let ones = z.iter().filter(|&&b| b).count();
+        if bad_patchup(&z, ones) != lang::sorted_oracle(&z) {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "inverted select must fail on some A_8 input");
+}
+
+#[test]
+fn corrupted_benes_routing_is_detectable() {
+    // Flip one entry switch in a valid routing: the realized mapping must
+    // differ from the requested permutation.
+    let perm: Vec<usize> = vec![3, 1, 0, 2, 7, 5, 6, 4];
+    let routing = benes::route(&perm).unwrap();
+    let corrupted = match routing {
+        benes::Routing::Node {
+            mut in_cross,
+            out_cross,
+            upper,
+            lower,
+        } => {
+            in_cross[0] = !in_cross[0];
+            benes::Routing::Node {
+                in_cross,
+                out_cross,
+                upper,
+                lower,
+            }
+        }
+        leaf => leaf,
+    };
+    let items: Vec<usize> = (0..8).collect();
+    let out = benes::apply(&corrupted, &items);
+    let realized_ok = perm.iter().enumerate().all(|(i, &d)| out[d] == items[i]);
+    assert!(!realized_ok, "a flipped switch must change the permutation");
+}
+
+#[test]
+fn merger_rejects_non_bisorted_input() {
+    // The functional merger asserts its precondition; feeding a
+    // non-bisorted sequence must panic (contract enforcement, not UB).
+    let bad = lang::bits("10010110");
+    assert!(!lang::is_bisorted(&bad));
+    let r = std::panic::catch_unwind(|| muxmerge::merge(&bad));
+    assert!(r.is_err(), "non-bisorted input must be rejected loudly");
+}
+
+#[test]
+fn gate_level_mutation_score_of_the_exhaustive_checker() {
+    // Inject single faults into the built 16-input mux-merger sorter and
+    // score the exhaustive 0-1 checker (64-lane sweep over all 2^16
+    // inputs). Inverted-behaviour faults must *all* be caught: every
+    // comparator, switch polarity, and mux arm in this construction is
+    // load-bearing for some input.
+    use absort::circuit::equiv::{check_exhaustive, Equivalence};
+    use absort::circuit::mutate::{mutation_score, Fault};
+    let sorter = muxmerge::build(16);
+    let reference = sorter.clone();
+    let (killed, total) = mutation_score(&sorter, Fault::InvertBehaviour, |mutant| {
+        !matches!(
+            check_exhaustive(mutant, &reference),
+            Equivalence::EqualExhaustive
+        )
+    });
+    assert!(total >= 45, "expected many mutants, got {total}");
+    assert_eq!(killed, total, "all inverted-behaviour mutants must be caught");
+}
+
+#[test]
+fn stuck_select_faults_in_the_prefix_sorter_are_caught() {
+    use absort::circuit::equiv::{check_exhaustive, Equivalence};
+    use absort::circuit::mutate::{mutation_score, Fault};
+    use absort::core::prefix;
+    let sorter = prefix::build(8);
+    let reference = sorter.clone();
+    let (killed, total) = mutation_score(&sorter, Fault::StuckSelectLow, |mutant| {
+        !matches!(
+            check_exhaustive(mutant, &reference),
+            Equivalence::EqualExhaustive
+        )
+    });
+    assert!(total > 0, "the prefix sorter has steerable components");
+    // Not every stuck select is observable (a swapper whose control is 0
+    // on every reachable input survives), but most must die.
+    assert!(
+        killed * 10 >= total * 5,
+        "mutation score too low: {killed}/{total}"
+    );
+}
+
+#[test]
+fn zero_one_verifier_finds_minimal_witness() {
+    // The witness returned is the *first* failing input, so it must fail
+    // and every smaller input must sort.
+    let mut net = Network::new(4);
+    net.push_compare(vec![(0, 1), (2, 3)]);
+    net.push_compare(vec![(0, 2)]); // (1,3) missing
+    let w = absort::cmpnet::verify::first_unsorted_input(&net).expect("broken net");
+    let (sorted, _) = absort::cmpnet::verify::sorts_binary_input(&net, w);
+    assert!(!sorted);
+    for v in 0..w {
+        let (ok, _) = absort::cmpnet::verify::sorts_binary_input(&net, v);
+        assert!(ok, "witness must be minimal; {v} already fails");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the interconnection-network layer: random
+//! sparse loads, random word batches, random permutations — across all
+//! sorter backends.
+
+use absort::core::sorter::SorterKind;
+use absort::networks::{
+    benes, concentrator::Concentrator, permuter::RadixPermuter, sparse_router::SparseRouter,
+    word_sorter::WordSorter,
+};
+use proptest::prelude::*;
+
+fn kinds() -> [SorterKind; 3] {
+    [
+        SorterKind::Prefix,
+        SorterKind::MuxMerger,
+        SorterKind::Fish { k: None },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Concentration conserves packets at every load for every backend.
+    #[test]
+    fn concentration_conserves_packets(
+        a in 3u32..=7,
+        mask in any::<u64>(),
+        kind_ix in 0usize..3,
+    ) {
+        let n = 1usize << a;
+        let kind = kinds()[kind_ix];
+        let conc = Concentrator::new(kind, n, n);
+        let requests: Vec<Option<u32>> = (0..n)
+            .map(|i| (mask >> (i % 64) & 1 == 1).then_some(i as u32))
+            .collect();
+        let active = requests.iter().filter(|r| r.is_some()).count();
+        let out = conc.concentrate(&requests).unwrap();
+        let mut got: Vec<u32> = out.iter().take(active).map(|o| o.unwrap()).collect();
+        prop_assert!(out[active..].iter().all(Option::is_none));
+        got.sort_unstable();
+        let mut want: Vec<u32> = requests.iter().flatten().copied().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The radix permuter and Beneš agree on random permutations.
+    #[test]
+    fn permuter_agrees_with_benes(a in 2u32..=7, seed in any::<u64>(), kind_ix in 0usize..3) {
+        use rand::prelude::*;
+        let n = 1usize << a;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let payload: Vec<u32> = (0..n as u32).collect();
+        let via_benes = benes::permute(&perm, &payload).unwrap();
+        let rp = RadixPermuter::new(kinds()[kind_ix], n);
+        let packets: Vec<(usize, u32)> = perm.iter().zip(&payload).map(|(&d, &p)| (d, p)).collect();
+        prop_assert_eq!(rp.route(&packets).unwrap(), via_benes);
+    }
+
+    /// Word sorting matches std's stable sort for arbitrary key multisets.
+    #[test]
+    fn word_sorter_matches_std(a in 2u32..=6, w in 1u32..=12, seed in any::<u64>()) {
+        use rand::prelude::*;
+        let n = 1usize << a;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items: Vec<(u64, usize)> = (0..n)
+            .map(|i| (rng.gen::<u64>() & ((1 << w) - 1), i))
+            .collect();
+        let ws = WordSorter::new(SorterKind::MuxMerger, n, w);
+        let out = ws.sort(&items).unwrap();
+        let mut expect = items.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        prop_assert_eq!(out, expect);
+    }
+
+    /// Sparse routing delivers exactly the offered packets at their
+    /// destinations, for random loads and destination assignments.
+    #[test]
+    fn sparse_routing_is_exact(a in 3u32..=7, seed in any::<u64>(), kind_ix in 0usize..3) {
+        use rand::prelude::*;
+        let n = 1usize << a;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let active = rng.gen_range(0..=n);
+        let mut slots: Vec<usize> = (0..n).collect();
+        slots.shuffle(&mut rng);
+        let mut dests: Vec<usize> = (0..n).collect();
+        dests.shuffle(&mut rng);
+        let mut inputs: Vec<Option<(usize, u64)>> = vec![None; n];
+        for i in 0..active {
+            inputs[slots[i]] = Some((dests[i], rng.gen()));
+        }
+        let router = SparseRouter::new(kinds()[kind_ix], n);
+        let out = router.route(&inputs).unwrap();
+        for p in inputs.iter().flatten() {
+            prop_assert_eq!(out[p.0], Some(p.1));
+        }
+        prop_assert_eq!(out.iter().filter(|o| o.is_some()).count(), active);
+    }
+
+    /// Beneš realizes the inverse permutation when routed with it.
+    #[test]
+    fn benes_inverse_roundtrip(a in 1u32..=8, seed in any::<u64>()) {
+        use rand::prelude::*;
+        let n = 1usize << a;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let mut inv = vec![0usize; n];
+        for (i, &d) in perm.iter().enumerate() {
+            inv[d] = i;
+        }
+        let payload: Vec<u32> = (0..n as u32).collect();
+        let there = benes::permute(&perm, &payload).unwrap();
+        let back = benes::permute(&inv, &there).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+}

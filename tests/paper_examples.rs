@@ -1,0 +1,174 @@
+//! Every worked example and concrete number stated in the paper's text,
+//! as executable assertions.
+
+use absort::analysis::{table2, traces};
+use absort::cmpnet::{catalog, verify};
+use absort::core::{lang, table1};
+
+/// Fig. 1: "The cost and depth of the network in Fig. 1 are 5 and 3."
+#[test]
+fn fig1_cost_5_depth_3_and_sorts() {
+    let net = catalog::fig1();
+    assert_eq!(net.cost(), 5);
+    assert_eq!(net.depth(), 3);
+    assert!(verify::is_sorting_network(&net));
+}
+
+/// Definition 1's examples: "0000/1010, 00/1010/11, 101010/11,
+/// 00/0101/11, 11111111 are all elements of A_8."
+#[test]
+fn definition1_examples() {
+    for ex in [
+        "0000/1010",
+        "00/1010/11",
+        "101010/11",
+        "00/0101/11",
+        "11111111",
+    ] {
+        assert!(lang::in_a_n(&lang::bits(ex)), "{ex}");
+    }
+}
+
+/// Example 1: "let X_U = 1111 and X_L = 0001. Then shuffling the
+/// concatenation of X_U and X_L gives 10101011, which belongs to A_8."
+#[test]
+fn example1() {
+    let mut cat = lang::bits("1111");
+    cat.extend(lang::bits("0001"));
+    let shuffled = lang::shuffle(&cat);
+    assert_eq!(lang::show(&shuffled, 0), "10101011");
+    assert!(lang::in_a_n(&shuffled));
+}
+
+/// Example 2: "consider the sequence obtained in Example 1, i.e.
+/// 101010/11 … we obtain Y_U = 1000 and Y_L = 1111."
+#[test]
+fn example2() {
+    let z = lang::bits("10101011");
+    let y = lang::balanced_stage(&z);
+    assert_eq!(lang::show(&y[..4], 0), "1000");
+    assert_eq!(lang::show(&y[4..], 0), "1111");
+    // "one of Y_U and Y_L is clean-sorted, and the other belongs to A_4"
+    assert!(lang::is_clean(&y[4..]));
+    assert!(lang::in_a_n(&y[..4]));
+}
+
+/// Example 3: "consider the bisorted sequence 0001/0001. Cutting it into
+/// four equal-size subsequences 00, 01, 00, 01 reveals that two … are
+/// clean-sorted, and the other two, when concatenated, give 0101, which
+/// is a bisorted sequence."
+#[test]
+fn example3() {
+    let x = lang::bits("00010001");
+    assert!(lang::is_bisorted(&x));
+    let quarters: Vec<&[bool]> = x.chunks(2).collect();
+    assert!(lang::is_clean(quarters[0]));
+    assert!(lang::is_clean(quarters[2]));
+    let cat = [quarters[1], quarters[3]].concat();
+    assert_eq!(lang::show(&cat, 0), "0101");
+    assert!(lang::is_bisorted(&cat));
+    assert!(lang::theorem3_holds(&x));
+}
+
+/// Definition 4's example: "for k = 4, 1111/0001/0011/0111 is a 4-sorted
+/// sequence", and Definition 5's: "1111/0000/0000/1111 is a clean
+/// 4-sorted sequence."
+#[test]
+fn definitions_4_5_examples() {
+    assert!(lang::is_k_sorted(&lang::bits("1111000100110111"), 4));
+    assert!(lang::is_clean_k_sorted(&lang::bits("1111000000001111"), 4));
+}
+
+/// Example 4: "consider the 4-sorted sequence 1111/0001/0011/0111.
+/// Cutting each subsequence in half gives 11,11,00,01,00,11,01,11. Of the
+/// eight subsequences, six (more than half) are clean-sorted. Putting
+/// 11, 00, 11, 11 together, we get a clean 4-sorted sequence, and the
+/// other four form a sequence 11/01/00/01 that is 4-sorted."
+#[test]
+fn example4() {
+    use absort::core::fish::kmerge::k_swap;
+    let s = lang::bits("1111000100110111");
+    let halves: Vec<&[bool]> = s.chunks(2).collect();
+    let clean_count = halves.iter().filter(|h| lang::is_clean(h)).count();
+    assert_eq!(clean_count, 6, "six of eight halves are clean");
+    let (clean, rest) = k_swap(&s, 4);
+    assert_eq!(lang::show(&clean, 2), "11/00/11/11");
+    assert_eq!(lang::show(&rest, 2), "11/01/00/01");
+    assert!(lang::is_clean_k_sorted(&clean, 4));
+    assert!(lang::is_k_sorted(&rest, 4));
+}
+
+/// Table I verified exhaustively at the figure's size (n = 16).
+#[test]
+fn table1_at_figure_size() {
+    assert!(table1::verify(16).is_empty());
+    let rendered = table1::render();
+    assert!(rendered.contains("bisorted"));
+}
+
+/// Figs. 8 and 9: the traces regenerate and are internally consistent.
+#[test]
+fn figs_8_and_9_traces() {
+    let f8 = traces::fig8_trace();
+    assert!(f8.contains("level m = 16"));
+    assert!(f8.contains("level m = 8"));
+    let f9 = traces::fig9_trace();
+    assert!(f9.contains("step 0"));
+    assert!(f9.contains("step 3"));
+}
+
+/// Table II regenerates with the paper's dominance claims intact.
+#[test]
+fn table2_claims() {
+    table2::verify_claims(1 << 16).unwrap();
+    let s = table2::render(1 << 12);
+    assert!(s.contains("Benes"));
+    assert!(s.contains("This paper (fish sorters)"));
+}
+
+/// Section II cost/depth statements for the building blocks, as built.
+#[test]
+fn section2_block_costs() {
+    use absort::blocks::{demux::group_demultiplexer, mux::group_multiplexer, swap};
+    use absort::circuit::Builder;
+
+    // two-way swapper: cost n/2, depth 1
+    let mut b = Builder::new();
+    let ctrl = b.input();
+    let ins = b.input_bus(64);
+    let outs = swap::two_way_swapper(&mut b, ctrl, &ins);
+    b.outputs(&outs);
+    let c = b.finish();
+    assert_eq!(c.cost().total, 32);
+    assert_eq!(c.depth(), 1);
+
+    // four-way swapper: cost n (in 2×2-switch units), depth 1
+    let mut b = Builder::new();
+    let s1 = b.input();
+    let s0 = b.input();
+    let ins = b.input_bus(64);
+    let outs = swap::four_way_swapper(&mut b, s1, s0, &ins, [[0, 1, 2, 3]; 4]);
+    b.outputs(&outs);
+    let c = b.finish();
+    assert_eq!(c.cost().total, 64);
+    assert_eq!(c.depth(), 1);
+
+    // (16,4)-multiplexer / (4,16)-demultiplexer: ~n cost, lg(n/k) depth
+    let mut b = Builder::new();
+    let sel = b.input_bus(2);
+    let ins = b.input_bus(16);
+    let outs = group_multiplexer(&mut b, &sel, &ins, 4);
+    b.outputs(&outs);
+    let c = b.finish();
+    assert_eq!(c.cost().total, 12); // n − k (paper rounds to n)
+    assert_eq!(c.depth(), 2);
+
+    let mut b = Builder::new();
+    let sel = b.input_bus(2);
+    let ins = b.input_bus(4);
+    let outs = group_demultiplexer(&mut b, &sel, &ins, 16);
+    b.outputs(&outs);
+    let c = b.finish();
+    assert_eq!(c.cost().total, 12);
+    assert_eq!(c.depth(), 2);
+}

@@ -1,0 +1,97 @@
+//! Moderate-scale end-to-end runs: every layer at sizes well past the
+//! exhaustive regimes, using the shared generators of
+//! `absort::core::lang::gen`. (Kept debug-build friendly; the truly big
+//! sweeps live in the release-mode benches and the `repro` binary.)
+
+use absort::core::lang::{self, gen};
+use absort::core::sorter::SorterKind;
+use absort::core::{muxmerge, prefix, FishSorter};
+use absort::networks::permuter::RadixPermuter;
+use absort::networks::word_sorter::WordSorter;
+
+#[test]
+fn functional_sorters_at_2_to_the_16() {
+    let n = 1 << 16;
+    for seed in [1u64, 2, 3] {
+        // structured inputs stress different paths than uniform ones
+        let inputs = [
+            gen::bisorted(seed, n),
+            gen::k_sorted(seed, n, 16),
+            gen::a_n(seed, n),
+        ];
+        for s in inputs {
+            let oracle = lang::sorted_oracle(&s);
+            assert_eq!(prefix::sort(&s), oracle);
+            assert_eq!(muxmerge::sort(&s), oracle);
+            assert_eq!(FishSorter::with_default_k(n).sort(&s), oracle);
+        }
+    }
+}
+
+#[test]
+fn merger_on_structured_inputs_at_scale() {
+    let n = 1 << 14;
+    for seed in 0..5u64 {
+        let x = gen::bisorted(seed, n);
+        assert_eq!(muxmerge::merge(&x), lang::sorted_oracle(&x));
+        let z = gen::a_n(seed, n);
+        // A_n members sort via the prefix sorter's patch-up machinery
+        assert_eq!(prefix::sort(&z), lang::sorted_oracle(&z));
+    }
+}
+
+#[test]
+fn model_b_full_run_at_2_to_the_12() {
+    use absort::core::fish::modelb;
+    let n = 1 << 12;
+    let bits = gen::k_sorted(7, n, 2); // arbitrary content; k of the RUN is 8
+    let run = modelb::run(&bits, 8, true);
+    assert_eq!(run.output, lang::sorted_oracle(&bits));
+    assert_eq!(
+        run.total_cycles,
+        absort::core::fish::schedule::sorting_time(n, 8, true)
+    );
+}
+
+#[test]
+fn permuter_at_1024_with_fish() {
+    let n = 1024;
+    let rp = RadixPermuter::new(SorterKind::Fish { k: None }, n);
+    // a worst-case-ish pattern: bit reversal
+    let bits = n.trailing_zeros();
+    let perm: Vec<usize> = (0..n)
+        .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
+        .collect();
+    let packets: Vec<(usize, u32)> = perm.iter().enumerate().map(|(i, &d)| (d, i as u32)).collect();
+    let out = rp.route(&packets).unwrap();
+    for (i, &d) in perm.iter().enumerate() {
+        assert_eq!(out[d], i as u32);
+    }
+}
+
+#[test]
+fn word_sorter_at_512_by_24_bits() {
+    let n = 512;
+    let ws = WordSorter::new(SorterKind::Fish { k: None }, n, 24);
+    let items: Vec<(u64, usize)> = (0..n)
+        .map(|i| {
+            let z = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+            (z, i)
+        })
+        .collect();
+    let out = ws.sort(&items).unwrap();
+    let mut expect = items.clone();
+    expect.sort_by_key(|&(k, _)| k);
+    assert_eq!(out, expect);
+}
+
+#[test]
+fn built_circuits_at_2_to_the_13() {
+    // construction + analysis at a size with ~10^6 components
+    let n = 1 << 13;
+    let c = muxmerge::build(n);
+    assert_eq!(c.cost().total, muxmerge::formulas::sorter_cost_exact(n));
+    assert_eq!(c.depth() as u64, muxmerge::formulas::sorter_depth_exact(n));
+    let s = gen::a_n(11, n);
+    assert_eq!(c.eval(&s), lang::sorted_oracle(&s));
+}

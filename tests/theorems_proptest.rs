@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) of the paper's theorems and of the
+//! sorting/routing invariants, at sizes beyond exhaustive reach.
+
+use absort::core::fish::kmerge;
+use absort::core::{lang, muxmerge, prefix, FishSorter};
+use proptest::prelude::*;
+
+/// A random power-of-two-length bit vector, 2^1..=2^maxexp.
+fn pow2_bits(max_exp: u32) -> impl Strategy<Value = Vec<bool>> {
+    (1..=max_exp)
+        .prop_flat_map(|a| proptest::collection::vec(any::<bool>(), 1usize << a))
+}
+
+/// A random sorted bit vector of the given length.
+fn sorted_bits(len: usize) -> impl Strategy<Value = Vec<bool>> {
+    (0..=len).prop_map(move |ones| {
+        let mut v = vec![false; len - ones];
+        v.extend(std::iter::repeat_n(true, ones));
+        v
+    })
+}
+
+proptest! {
+    /// Theorem 1 at random sizes: shuffle of sorted halves ∈ A_n.
+    #[test]
+    fn theorem1(a in 1u32..=9, seed in any::<u64>()) {
+        use rand::prelude::*;
+        let half = 1usize << a;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mk = |rng: &mut StdRng| {
+            let ones = rng.gen_range(0..=half);
+            let mut v = vec![false; half - ones];
+            v.extend(std::iter::repeat_n(true, ones));
+            v
+        };
+        let (u, l) = (mk(&mut rng), mk(&mut rng));
+        prop_assert!(lang::theorem1_holds(&u, &l));
+    }
+
+    /// Theorem 2 on synthesized A_n members: the three-run structure is
+    /// generated directly, not filtered.
+    #[test]
+    fn theorem2(
+        runs in (0usize..40, 0usize..40, 0usize..40),
+        pats in (any::<bool>(), any::<bool>(), any::<bool>())
+    ) {
+        let (r1, r2, mut r3) = runs;
+        let (p1, p2, p3) = pats;
+        // Theorem 2 splits the sequence into halves that must themselves
+        // be pair-structured (A_{n/2}), so keep the total pair count even
+        // (n ≡ 0 mod 4); the paper's power-of-two sizes always satisfy it.
+        if (r1 + r2 + r3) % 2 == 1 {
+            r3 += 1;
+        }
+        let mut z = Vec::new();
+        for _ in 0..r1 { z.push(p1); z.push(p1); }
+        for _ in 0..r2 { z.push(p2); z.push(!p2); }
+        for _ in 0..r3 { z.push(p3); z.push(p3); }
+        if z.len() >= 4 {
+            prop_assert!(lang::in_a_n(&z));
+            prop_assert!(lang::theorem2_holds(&z));
+        }
+    }
+
+    /// Theorem 3 on random bisorted sequences up to 2^10.
+    #[test]
+    fn theorem3(a in 2u32..=10, ones_u in any::<u64>(), ones_l in any::<u64>()) {
+        let half = 1usize << (a - 1);
+        let (ou, ol) = ((ones_u as usize) % (half + 1), (ones_l as usize) % (half + 1));
+        let mut x = vec![false; half - ou];
+        x.extend(std::iter::repeat_n(true, ou));
+        x.extend(std::iter::repeat_n(false, half - ol));
+        x.extend(std::iter::repeat_n(true, ol));
+        prop_assert!(lang::is_bisorted(&x));
+        prop_assert!(lang::theorem3_holds(&x));
+    }
+
+    /// Theorem 4 on random k-sorted sequences.
+    #[test]
+    fn theorem4(kexp in 1u32..=4, bexp in 1u32..=6, seed in any::<u64>()) {
+        use rand::prelude::*;
+        let k = 1usize << kexp;
+        let block = 1usize << bexp;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = Vec::with_capacity(k * block);
+        for _ in 0..k {
+            let ones = rng.gen_range(0..=block);
+            s.extend(std::iter::repeat_n(false, block - ones));
+            s.extend(std::iter::repeat_n(true, ones));
+        }
+        prop_assert!(lang::theorem4_holds(&s, k));
+    }
+
+    /// The three sorters agree with the oracle on random inputs.
+    #[test]
+    fn sorters_match_oracle(s in pow2_bits(12)) {
+        let oracle = lang::sorted_oracle(&s);
+        prop_assert_eq!(prefix::sort(&s), oracle.clone());
+        prop_assert_eq!(muxmerge::sort(&s), oracle.clone());
+        if s.len() >= 4 {
+            prop_assert_eq!(FishSorter::with_default_k(s.len()).sort(&s), oracle);
+        }
+    }
+
+    /// Sorting is idempotent: sorting a sorted sequence is the identity.
+    #[test]
+    fn sorting_sorted_is_identity(a in 1u32..=10, s in (0usize..=1024)) {
+        let n = 1usize << a;
+        let ones = s % (n + 1);
+        let mut v = vec![false; n - ones];
+        v.extend(std::iter::repeat_n(true, ones));
+        prop_assert_eq!(prefix::sort(&v), v.clone());
+        prop_assert_eq!(muxmerge::sort(&v), v.clone());
+    }
+
+    /// The mux-merger *merger* sorts any bisorted input (not only ones
+    /// arising from recursive sorting).
+    #[test]
+    fn merger_on_random_bisorted(a in 2u32..=10, ou in any::<u64>(), ol in any::<u64>()) {
+        let half = 1usize << (a - 1);
+        let (ou, ol) = ((ou as usize) % (half + 1), (ol as usize) % (half + 1));
+        let mut x = vec![false; half - ou];
+        x.extend(std::iter::repeat_n(true, ou));
+        x.extend(std::iter::repeat_n(false, half - ol));
+        x.extend(std::iter::repeat_n(true, ol));
+        prop_assert_eq!(muxmerge::merge(&x), lang::sorted_oracle(&x));
+    }
+
+    /// k-SWAP output halves always satisfy Theorem 4's typing, and the
+    /// k-way merger sorts.
+    #[test]
+    fn kmerge_properties(kexp in 1u32..=4, bexp in 1u32..=5, seed in any::<u64>()) {
+        use rand::prelude::*;
+        let k = 1usize << kexp;
+        let block = 1usize << bexp;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = Vec::with_capacity(k * block);
+        for _ in 0..k {
+            let ones = rng.gen_range(0..=block);
+            s.extend(std::iter::repeat_n(false, block - ones));
+            s.extend(std::iter::repeat_n(true, ones));
+        }
+        let (clean, rest) = kmerge::k_swap(&s, k);
+        prop_assert!(lang::is_clean_k_sorted(&clean, k));
+        prop_assert!(lang::is_k_sorted(&rest, k));
+        prop_assert_eq!(kmerge::kmerge(&s, k), lang::sorted_oracle(&s));
+    }
+
+    /// Payload permutation property: sorting tagged packets never loses,
+    /// duplicates, or mislabels cargo.
+    #[test]
+    fn payload_conservation(a in 1u32..=10, seed in any::<u64>()) {
+        use rand::prelude::*;
+        use absort::core::packet::tag_indices;
+        let n = 1usize << a;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        for out in [
+            prefix::sort(&tag_indices(&bits)),
+            muxmerge::sort(&tag_indices(&bits)),
+        ] {
+            let mut ids: Vec<usize> = out.iter().map(|p| p.1).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(ids, (0..n).collect::<Vec<_>>());
+            for (key, id) in out {
+                prop_assert_eq!(key, bits[id]);
+            }
+        }
+    }
+
+    /// A_n is closed under the balanced stage in the Theorem 2 sense for
+    /// *sorted* inputs: sorted stays sorted.
+    #[test]
+    fn balanced_stage_preserves_sortedness(v in (1usize..=128).prop_flat_map(sorted_bits)) {
+        if v.len() % 2 == 0 {
+            let y = lang::balanced_stage(&v);
+            prop_assert!(lang::is_sorted(&y));
+        }
+    }
+}
