@@ -34,9 +34,25 @@ fn usage() -> ! {
            save        --network <...> --n <size>\n\
                        emit the built circuit as a text netlist\n\
            eval        <netlist-file> <bits>\n\
-                       load a saved netlist and evaluate it"
+                       load a saved netlist and evaluate it\n\
+         \n\
+         options:\n\
+           --metrics             record spans/counters; print a telemetry\n\
+                                 report to stderr and write a JSON run\n\
+                                 manifest under results/metrics/\n\
+           --metrics-out <path>  like --metrics, with an explicit manifest path"
     );
     exit(2);
+}
+
+/// Reports which flag was malformed before the usage text, so a typo in
+/// one flag does not read as "you got the whole invocation wrong".
+fn flag_error(flag: &str, got: Option<&String>) -> ! {
+    match got {
+        Some(v) => eprintln!("error: invalid value {v:?} for {flag}\n"),
+        None => eprintln!("error: {flag} requires a value\n"),
+    }
+    usage();
 }
 
 fn parse_kind(s: &str) -> SorterKind {
@@ -55,6 +71,8 @@ struct Args {
     network: String,
     n: Option<usize>,
     m: Option<usize>,
+    metrics: bool,
+    metrics_out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -63,27 +81,39 @@ fn parse_args(argv: &[String]) -> Args {
         network: "mux-merger".to_string(),
         n: None,
         m: None,
+        metrics: false,
+        metrics_out: None,
         positional: Vec::new(),
     };
     let mut it = argv.iter();
+    let parse_usize = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> usize {
+        let v = it.next();
+        v.and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| flag_error(flag, v))
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--network" => a.network = it.next().unwrap_or_else(|| usage()).clone(),
-            "--n" => {
-                a.n = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                )
+            "--network" => {
+                a.network = it
+                    .next()
+                    .unwrap_or_else(|| flag_error("--network", None))
+                    .clone()
             }
-            "--m" => {
-                a.m = Some(
+            "--n" => a.n = Some(parse_usize("--n", &mut it)),
+            "--m" => a.m = Some(parse_usize("--m", &mut it)),
+            "--metrics" => a.metrics = true,
+            "--metrics-out" => {
+                a.metrics = true;
+                a.metrics_out = Some(
                     it.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                )
+                        .unwrap_or_else(|| flag_error("--metrics-out", None))
+                        .clone(),
+                );
             }
-            other if other.starts_with("--") => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other}\n");
+                usage()
+            }
             other => a.positional.push(other.to_string()),
         }
     }
@@ -170,7 +200,11 @@ fn cmd_route(a: &Args) {
                 "bit-level cost {}   permutation time {}   {}-switched",
                 rp.cost(),
                 rp.time(),
-                if rp.is_packet_switched() { "packet" } else { "circuit" }
+                if rp.is_packet_switched() {
+                    "packet"
+                } else {
+                    "circuit"
+                }
             );
         }
         Err(e) => {
@@ -189,10 +223,7 @@ fn cmd_concentrate(a: &Args) {
     }
     let m = a.m.unwrap_or(n);
     let conc = Concentrator::new(parse_kind(&a.network), n, m);
-    let requests: Vec<Option<char>> = pattern
-        .chars()
-        .map(|c| (c != '.').then_some(c))
-        .collect();
+    let requests: Vec<Option<char>> = pattern.chars().map(|c| (c != '.').then_some(c)).collect();
     match conc.concentrate(&requests) {
         Ok(out) => {
             let rendered: String = out.iter().map(|o| o.unwrap_or('.')).collect();
@@ -223,6 +254,8 @@ fn cmd_inspect(a: &Args) {
     println!("  {}", c.cost());
     println!("  depth: {}", c.depth());
     let stats = c.stats();
+    #[cfg(feature = "telemetry")]
+    record_circuit_section(&a.network, n, &stats);
     println!(
         "  components: {}   wires: {}   mean fanout: {:.2}",
         c.n_components(),
@@ -241,7 +274,10 @@ fn cmd_verify(a: &Args) {
         exit(1);
     }
     let check = |sorted: &[bool], input_ones: u32, n: usize| -> bool {
-        sorted.iter().enumerate().all(|(i, &b)| b == (i >= n - input_ones as usize))
+        sorted
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == (i >= n - input_ones as usize))
     };
     let mut failures = 0u64;
     if a.network == "fish" {
@@ -305,19 +341,88 @@ fn cmd_eval(a: &Args) {
     println!("{}", lang::show(&circuit.eval(&bits), 0));
 }
 
+/// Stashes the inspected circuit's structural numbers as a manifest
+/// section, so a `--metrics` run records *what* was measured alongside
+/// where the time went.
+#[cfg(feature = "telemetry")]
+fn record_circuit_section(network: &str, n: usize, stats: &absort::circuit::Stats) {
+    use absort_telemetry::json::Value;
+    absort_telemetry::add_section(
+        "circuit",
+        Value::obj([
+            ("network", Value::Str(network.to_string())),
+            ("n", Value::Int(n as i64)),
+            ("cost", Value::Int(stats.cost.total as i64)),
+            ("depth", Value::Int(stats.depth as i64)),
+            (
+                "n_components",
+                Value::Int(
+                    stats
+                        .components_per_level
+                        .iter()
+                        .map(|&c| i64::from(c))
+                        .sum(),
+                ),
+            ),
+            ("mean_fanout", Value::Float(stats.mean_fanout)),
+            ("max_fanout", Value::Int(i64::from(stats.max_fanout))),
+        ]),
+    );
+}
+
+fn run_command(cmd: &str, rest: &Args) {
+    match cmd {
+        "sort" => cmd_sort(rest),
+        "route" => cmd_route(rest),
+        "concentrate" => cmd_concentrate(rest),
+        "inspect" => cmd_inspect(rest),
+        "verify" => cmd_verify(rest),
+        "dot" => cmd_dot(rest),
+        "save" => cmd_save(rest),
+        "eval" => cmd_eval(rest),
+        _ => usage(),
+    }
+}
+
+#[cfg(feature = "telemetry")]
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { usage() };
     let rest = parse_args(&argv[1..]);
-    match cmd.as_str() {
-        "sort" => cmd_sort(&rest),
-        "route" => cmd_route(&rest),
-        "concentrate" => cmd_concentrate(&rest),
-        "inspect" => cmd_inspect(&rest),
-        "verify" => cmd_verify(&rest),
-        "dot" => cmd_dot(&rest),
-        "save" => cmd_save(&rest),
-        "eval" => cmd_eval(&rest),
-        _ => usage(),
+    absort_telemetry::init_from_env();
+    if rest.metrics {
+        absort_telemetry::set_enabled(true);
     }
+    {
+        let _span = absort_telemetry::span(cmd);
+        run_command(cmd, &rest);
+    }
+    if absort_telemetry::enabled() {
+        eprint!("{}", absort_telemetry::render_report());
+        let path = rest
+            .metrics_out
+            .as_ref()
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| absort_telemetry::default_manifest_path(cmd));
+        match absort_telemetry::write_manifest(&path) {
+            Ok(()) => eprintln!("telemetry manifest: {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write manifest {}: {e}", path.display());
+                exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    let rest = parse_args(&argv[1..]);
+    if rest.metrics {
+        eprintln!(
+            "note: this binary was built without the `telemetry` feature; --metrics is ignored"
+        );
+    }
+    run_command(cmd, &rest);
 }

@@ -93,7 +93,11 @@ pub fn run() -> Vec<Claim> {
         "§III.A",
         "prefix sorter depth within the paper's 3 lg²n + 2 lg n lg lg n bound",
         (c1.depth() as u64) <= prefix::paper_depth_bound(n),
-        format!("built {} vs bound {}", c1.depth(), prefix::paper_depth_bound(n)),
+        format!(
+            "built {} vs bound {}",
+            c1.depth(),
+            prefix::paper_depth_bound(n)
+        ),
     ));
 
     // Network 2
@@ -128,7 +132,10 @@ pub fn run() -> Vec<Claim> {
         "§III.C eq. 19",
         "fish sorter cost ≤ 17n at k = lg n",
         fish_cost <= 17 * big as u64,
-        format!("{fish_cost} = {:.1}n at n=2^16", fish_cost as f64 / big as f64),
+        format!(
+            "{fish_cost} = {:.1}n at n=2^16",
+            fish_cost as f64 / big as f64
+        ),
     ));
     let ts = fish::schedule::sorting_time(big, fk.k, false) as f64;
     let tp = fish::schedule::sorting_time(big, fk.k, true) as f64;
@@ -157,20 +164,23 @@ pub fn run() -> Vec<Claim> {
         "§III.A motivation",
         "nonadaptive Fig. 4(b) costs a Θ(lg n) factor more at scale",
         nonadaptive::adaptivity_saving(1 << 22) > 1.5,
-        format!("saving {:.2}x at n=2^22", nonadaptive::adaptivity_saving(1 << 22)),
+        format!(
+            "saving {:.2}x at n=2^22",
+            nonadaptive::adaptivity_saving(1 << 22)
+        ),
     ));
 
     // Table II headline
     out.push(claim(
         "§IV Table II",
         "fish-based permuter has the smallest cost order",
-        crate::table2::verify_claims(1 << 16).is_ok() && crate::table2::verify_claims(1 << 20).is_ok(),
+        crate::table2::verify_claims(1 << 16).is_ok()
+            && crate::table2::verify_claims(1 << 20).is_ok(),
         "verified at n = 2^16 and 2^20".into(),
     ));
 
     // AKS crossover
-    let depth_cross = aks::PATERSON
-        .depth_crossover_exp(|a| 2.0 * (a as f64) * (a as f64), 10_000);
+    let depth_cross = aks::PATERSON.depth_crossover_exp(|a| 2.0 * (a as f64) * (a as f64), 10_000);
     let cost_cross = aks::PATERSON.cost_crossover_exp(|_| 17.0, 10_000);
     out.push(claim(
         "abstract / §V",

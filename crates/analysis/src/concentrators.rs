@@ -97,7 +97,12 @@ pub fn render(n: usize) -> String {
             r.time_asymptotic.into(),
             group_digits(r.cost),
             r.time.map_or("unknown".into(), group_digits),
-            if r.measured { "measured" } else { "cited formula" }.into(),
+            if r.measured {
+                "measured"
+            } else {
+                "cited formula"
+            }
+            .into(),
         ]);
     }
     t.render()
@@ -122,7 +127,11 @@ mod tests {
     fn sorter_concentrators_beat_ranking_trees_on_cost() {
         let n = 1usize << 16;
         let rows = rows(n);
-        let ranking = rows.iter().find(|r| r.name.contains("ranking")).unwrap().cost;
+        let ranking = rows
+            .iter()
+            .find(|r| r.name.contains("ranking"))
+            .unwrap()
+            .cost;
         for name in ["prefix", "mux-merger", "fish"] {
             let c = rows.iter().find(|r| r.name.contains(name)).unwrap().cost;
             assert!(c < ranking, "{name}: {c} < {ranking}");

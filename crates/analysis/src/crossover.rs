@@ -52,7 +52,10 @@ pub fn matrix(max_exp: u32) -> Vec<Crossover> {
             searched_to_exp: max_exp,
         });
         for (rival, f) in [
-            ("fish sorter (17n cost)", fish_cost_per_input as fn(u32) -> f64),
+            (
+                "fish sorter (17n cost)",
+                fish_cost_per_input as fn(u32) -> f64,
+            ),
             ("prefix sorter (3n lg n cost)", prefix_cost_per_input),
             ("mux-merger sorter (4n lg n cost)", muxmerge_cost_per_input),
         ] {
@@ -144,7 +147,9 @@ mod tests {
             .iter()
             .find(|c| c.model_label.contains("Paterson") && c.metric == "depth")
             .unwrap();
-        let x = d.aks_wins_at_exp.expect("AKS O(lg n) depth eventually wins");
+        let x = d
+            .aks_wins_at_exp
+            .expect("AKS O(lg n) depth eventually wins");
         assert!(x > 3000, "depth crossover at 2^{x} should be astronomical");
     }
 

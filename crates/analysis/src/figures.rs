@@ -105,15 +105,25 @@ pub fn sorter_cost_figure(exps: &[u32]) -> String {
             .collect()
     };
     let series = vec![
-        Series::new("Batcher binary (n lg^2 n)", 'B', mk(&batcher_bits::binary_cost)),
-        Series::new("mux-merger (4n lg n)", 'M', mk(&|n| {
-            muxmerge::formulas::sorter_cost_exact(n)
-        })),
+        Series::new(
+            "Batcher binary (n lg^2 n)",
+            'B',
+            mk(&batcher_bits::binary_cost),
+        ),
+        Series::new(
+            "mux-merger (4n lg n)",
+            'M',
+            mk(&|n| muxmerge::formulas::sorter_cost_exact(n)),
+        ),
         Series::new("prefix (3n lg n)", 'P', mk(&prefix::paper_cost_dominant)),
-        Series::new("fish (O(n))", 'F', mk(&|n| {
-            let f = FishSorter::with_default_k(n);
-            absort_core::fish::formulas::total_cost_exact(n, f.k)
-        })),
+        Series::new(
+            "fish (O(n))",
+            'F',
+            mk(&|n| {
+                let f = FishSorter::with_default_k(n);
+                absort_core::fish::formulas::total_cost_exact(n, f.k)
+            }),
+        ),
     ];
     render_loglog(&series, 64, 18, "bit-level sorter cost vs n")
 }
@@ -163,13 +173,19 @@ pub fn sorter_depth_figure(exps: &[u32]) -> String {
             'B',
             mk(&batcher_bits::binary_depth),
         ),
-        Series::new("mux-merger depth (exact)", 'M', mk(&|n| {
-            muxmerge::formulas::sorter_depth_exact(n)
-        })),
-        Series::new("nonadaptive Fig. 4(b) depth", 'N', mk(&|n| {
-            let k = n.trailing_zeros() as u64;
-            k * (k + 1) / 2
-        })),
+        Series::new(
+            "mux-merger depth (exact)",
+            'M',
+            mk(&|n| muxmerge::formulas::sorter_depth_exact(n)),
+        ),
+        Series::new(
+            "nonadaptive Fig. 4(b) depth",
+            'N',
+            mk(&|n| {
+                let k = n.trailing_zeros() as u64;
+                k * (k + 1) / 2
+            }),
+        ),
     ];
     render_loglog(&series, 64, 14, "bit-level sorter depth vs n")
 }

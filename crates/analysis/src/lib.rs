@@ -21,8 +21,8 @@
 pub mod ablations;
 pub mod checklist;
 pub mod concentrators;
-pub mod figures;
 pub mod crossover;
+pub mod figures;
 pub mod sweeps;
 pub mod table;
 pub mod table2;

@@ -137,7 +137,13 @@ pub fn fish_k_sweep(n: usize) -> Vec<FishPoint> {
 
 /// Renders a combinational-sorter sweep for the report.
 pub fn render_sorter_sweep(points: &[SorterPoint], formula_name: &str) -> String {
-    let mut t = Table::new(["n", "cost(built)", formula_name, "depth(built)", "depth(formula)"]);
+    let mut t = Table::new([
+        "n",
+        "cost(built)",
+        formula_name,
+        "depth(built)",
+        "depth(formula)",
+    ]);
     for p in points {
         t.row([
             p.n.to_string(),

@@ -31,7 +31,10 @@ pub fn fig8_trace() -> String {
     for lvl in t.levels.iter().rev() {
         let bg = lvl.m / k;
         s.push_str(&format!("level m = {}\n", lvl.m));
-        s.push_str(&format!("  input:               {}\n", show(&lvl.input, bg)));
+        s.push_str(&format!(
+            "  input:               {}\n",
+            show(&lvl.input, bg)
+        ));
         s.push_str(&format!(
             "  k-SWAP clean half:   {}\n",
             show(&lvl.upper_clean, bg / 2)
@@ -44,7 +47,10 @@ pub fn fig8_trace() -> String {
             "  clean sorter out:    {}\n",
             show(&lvl.clean_sorted, bg / 2)
         ));
-        s.push_str(&format!("  merged:              {}\n\n", show(&lvl.merged, bg)));
+        s.push_str(&format!(
+            "  merged:              {}\n\n",
+            show(&lvl.merged, bg)
+        ));
     }
     s.push_str(&format!(
         "base case (k-input sorter): {} -> {}\n",
@@ -104,8 +110,14 @@ pub fn fig5_trace() -> String {
         "Fig. 5 — 16-input prefix binary sorter (top-level merge)\ninput:            {}\n",
         show(&input, 4)
     ));
-    s.push_str(&format!("upper half sorted: {}\n", show(&t.upper_sorted, 0)));
-    s.push_str(&format!("lower half sorted: {}\n", show(&t.lower_sorted, 0)));
+    s.push_str(&format!(
+        "upper half sorted: {}\n",
+        show(&t.upper_sorted, 0)
+    ));
+    s.push_str(&format!(
+        "lower half sorted: {}\n",
+        show(&t.lower_sorted, 0)
+    ));
     s.push_str(&format!(
         "shuffled (A_16):   {}   ones = {} (prefix adder)\n\n",
         show(&t.shuffled, 4),
@@ -134,7 +146,10 @@ mod tests {
     #[test]
     fn fig8_trace_ends_sorted() {
         let s = fig8_trace();
-        assert!(s.contains("output (sorted):       0000/0011/1111/1111"), "{s}");
+        assert!(
+            s.contains("output (sorted):       0000/0011/1111/1111"),
+            "{s}"
+        );
         // the example matches the paper's Example 4 k-SWAP values
         assert!(s.contains("11/00/11/11"), "clean half of Example 4\n{s}");
         assert!(s.contains("11/01/00/01"), "rest half of Example 4\n{s}");
@@ -156,22 +171,32 @@ mod tests {
         assert!(s.contains("patch-up m =  4"));
         // the trace ends sorted
         let input = bits("1011000000010010");
-        let expect = format!(
-            "output (sorted):   {}",
-            show(&sorted_oracle(&input), 4)
-        );
+        let expect = format!("output (sorted):   {}", show(&sorted_oracle(&input), 4));
         assert!(s.contains(&expect), "{s}");
         // the example is non-trivial: at least two distinct select values
         // appear across the patch-up levels
         let selects: std::collections::HashSet<&str> = s
             .lines()
             .filter(|l| l.starts_with("patch-up"))
-            .map(|l| l.split("select ").nth(1).unwrap().split_whitespace().next().unwrap())
+            .map(|l| {
+                l.split("select ")
+                    .nth(1)
+                    .unwrap()
+                    .split_whitespace()
+                    .next()
+                    .unwrap()
+            })
             .collect();
         assert!(selects.len() >= 2, "selects should vary\n{s}");
         // every patch-up input is in A_m (Theorems 1–2 visible in the trace)
         for line in s.lines().filter(|l| l.starts_with("patch-up")) {
-            let seq = line.split("in ").nth(1).unwrap().split_whitespace().next().unwrap();
+            let seq = line
+                .split("in ")
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap();
             assert!(in_a_n(&bits(seq)), "{line}");
         }
     }
@@ -182,6 +207,7 @@ mod tests {
         assert_eq!(show(&i, 4), "1111/0001/0011/0111");
         assert_eq!(sorted_oracle(&i).iter().filter(|&&b| b).count(), 10);
         assert!(!is_sorted(&i));
-        assert!(!in_a_n(&i) || true); // A_n membership not required here
+        // A_n membership is not required of Fig. 8's example input; the
+        // merger gets a *bisorted* sequence, checked in the trace itself.
     }
 }

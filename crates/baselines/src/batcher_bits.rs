@@ -72,8 +72,7 @@ impl BatcherBinary {
                 Stage::Compare(pairs) => {
                     for &(i, j) in pairs {
                         let (i, j) = (i as usize, j as usize);
-                        let (lo, hi) =
-                            packet::compare_exchange(data[i].clone(), data[j].clone());
+                        let (lo, hi) = packet::compare_exchange(data[i].clone(), data[j].clone());
                         data[i] = lo;
                         data[j] = hi;
                     }

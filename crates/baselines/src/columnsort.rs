@@ -260,7 +260,11 @@ mod tests {
             assert_eq!(g.n(), n);
             let model = ColumnsortModel { g };
             // O(n) cost: within a small constant of n.
-            assert!(model.cost() < 3 * n as u64, "n=2^{a}: cost {}", model.cost());
+            assert!(
+                model.cost() < 3 * n as u64,
+                "n=2^{a}: cost {}",
+                model.cost()
+            );
             // unmultiplexed version is Θ(n lg² n)-ish: much larger.
             assert!(model.unmultiplexed_cost() > 10 * model.cost());
         }
@@ -294,7 +298,10 @@ mod tests {
             };
             let t = model.time(true) as f64;
             let lg2 = (a * a) as f64;
-            assert!(t / lg2 < 40.0, "a={a}: pipelined time {t} not O(lg² n) scale");
+            assert!(
+                t / lg2 < 40.0,
+                "a={a}: pipelined time {t} not O(lg² n) scale"
+            );
         }
     }
 }

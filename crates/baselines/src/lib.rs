@@ -20,6 +20,6 @@
 #![warn(missing_docs)]
 
 pub mod aks;
-pub mod lower;
 pub mod batcher_bits;
 pub mod columnsort;
+pub mod lower;

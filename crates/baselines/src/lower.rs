@@ -67,7 +67,10 @@ mod tests {
         // exhaustive equivalence against the adaptive mux-merger circuit
         use absort_circuit::equiv::{check_exhaustive, Equivalence};
         let adaptive = absort_core::muxmerge::build(16);
-        assert_eq!(check_exhaustive(&c, &adaptive), Equivalence::EqualExhaustive);
+        assert_eq!(
+            check_exhaustive(&c, &adaptive),
+            Equivalence::EqualExhaustive
+        );
     }
 
     #[test]

@@ -59,11 +59,9 @@ fn bench_concentrators(c: &mut Criterion) {
             SorterKind::Prefix,
         ] {
             let conc = Concentrator::new(kind, n, n);
-            g.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &n,
-                |b, _| b.iter(|| conc.concentrate(&requests).unwrap()),
-            );
+            g.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| conc.concentrate(&requests).unwrap())
+            });
         }
     }
     g.finish();

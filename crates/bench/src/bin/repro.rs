@@ -5,6 +5,11 @@
 //!
 //! Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              table1 table2 columnsort concentrators crossover
+//!
+//! With `--metrics` (or `--metrics-out <path>`), every phase runs inside
+//! a telemetry span; a profiler-style report goes to stderr and a JSON
+//! run manifest is written under `results/metrics/` (or to the given
+//! path). See README "Observability".
 
 use absort_analysis::{ablations, concentrators, crossover, sweeps, table, table2, traces};
 use absort_baselines::columnsort::{ColumnsortModel, Geometry};
@@ -97,7 +102,10 @@ fn fig4() {
     heading("E4 / Fig. 4 — Batcher OEM vs alternative OEM (balanced merge)");
     use absort_cmpnet::{batcher, fig4, verify};
     println!("Fig. 4(a): Batcher odd-even merge sort, n = 8:");
-    println!("{}", absort_cmpnet::draw::draw(&batcher::odd_even_merge_sort(8)));
+    println!(
+        "{}",
+        absort_cmpnet::draw::draw(&batcher::odd_even_merge_sort(8))
+    );
     println!("Fig. 4(b): the alternative (balanced merge) construction, n = 8:");
     println!("{}", absort_cmpnet::draw::draw(&fig4::fig4b_sort(8)));
     let mut t = table::Table::new([
@@ -114,7 +122,11 @@ fn fig4() {
         let b = fig4::fig4b_sort(n);
         let verified = if n <= 16 {
             let ok = verify::is_sorting_network(&a) && verify::is_sorting_network(&b);
-            if ok { "yes (exhaustive)" } else { "NO" }
+            if ok {
+                "yes (exhaustive)"
+            } else {
+                "NO"
+            }
         } else {
             "(n>16: see tests)"
         };
@@ -132,7 +144,10 @@ fn fig4() {
 
 fn fig5() {
     heading("E5 / Fig. 5 — prefix binary sorter (Network 1)");
-    println!("{}", sweeps::render_sorter_sweep(&sweeps::prefix_sweep(16, 12), "3n lg n"));
+    println!(
+        "{}",
+        sweeps::render_sorter_sweep(&sweeps::prefix_sweep(16, 12), "3n lg n")
+    );
     println!("(formula column is the paper's dominant term 3n lg n; the built");
     println!(" circuit adds a Θ(n) adder-tree term and stays within ±12n of it.)\n");
     println!("{}", traces::fig5_trace());
@@ -151,9 +166,18 @@ fn fig6() {
 
 fn charts() {
     heading("ASCII figures — cost, depth, and sorting-time shapes");
-    println!("{}", absort_analysis::figures::sorter_cost_figure(&[10, 12, 14, 16, 18, 20, 22]));
-    println!("{}", absort_analysis::figures::sorter_depth_figure(&[8, 10, 12, 14, 16, 18, 20]));
-    println!("{}", absort_analysis::figures::sorting_time_figure(&[12, 14, 16, 18, 20, 22, 24]));
+    println!(
+        "{}",
+        absort_analysis::figures::sorter_cost_figure(&[10, 12, 14, 16, 18, 20, 22])
+    );
+    println!(
+        "{}",
+        absort_analysis::figures::sorter_depth_figure(&[8, 10, 12, 14, 16, 18, 20])
+    );
+    println!(
+        "{}",
+        absort_analysis::figures::sorting_time_figure(&[12, 14, 16, 18, 20, 22, 24])
+    );
 }
 
 fn fig7() {
@@ -164,9 +188,15 @@ fn fig7() {
         sweeps::render_fish_sweep(&sweeps::fish_sweep(&[10, 12, 14, 16, 18, 20, 22]))
     );
     println!("sweep over k at n = 2^16 (paper's minimisation, eqs. 19-21):");
-    println!("{}", sweeps::render_fish_sweep(&sweeps::fish_k_sweep(1 << 16)));
+    println!(
+        "{}",
+        sweeps::render_fish_sweep(&sweeps::fish_k_sweep(1 << 16))
+    );
     println!("headline comparison (bit-level cost):");
-    println!("{}", sweeps::cost_comparison(&[10, 12, 14, 16, 18, 20]).render());
+    println!(
+        "{}",
+        sweeps::cost_comparison(&[10, 12, 14, 16, 18, 20]).render()
+    );
 }
 
 fn fig8() {
@@ -181,25 +211,38 @@ fn fig9() {
 
 fn fig10() {
     heading("E11 / Fig. 10 — radix permuter from binary sorters");
-    let mut t = table::Table::new(["n", "sorter", "bit cost", "perm time", "switched", "verified"]);
+    let mut t = table::Table::new([
+        "n",
+        "sorter",
+        "bit cost",
+        "perm time",
+        "switched",
+        "verified",
+    ]);
     for a in [8u32, 10, 12, 14] {
         let n = 1usize << a;
-        for kind in [SorterKind::Fish { k: None }, SorterKind::MuxMerger, SorterKind::Prefix] {
+        for kind in [
+            SorterKind::Fish { k: None },
+            SorterKind::MuxMerger,
+            SorterKind::Prefix,
+        ] {
             let rp = RadixPermuter::new(kind, n);
             let perm = absort_bench::bench_perm(n, 11);
             let packets: Vec<(usize, usize)> =
                 perm.iter().enumerate().map(|(i, &d)| (d, i)).collect();
             let out = rp.route(&packets).expect("route");
-            let ok = out
-                .iter()
-                .enumerate()
-                .all(|(slot, &src)| perm[src] == slot);
+            let ok = out.iter().enumerate().all(|(slot, &src)| perm[src] == slot);
             t.row([
                 format!("2^{a}"),
                 kind.name().to_string(),
                 rp.cost().to_string(),
                 rp.time().to_string(),
-                if rp.is_packet_switched() { "packet" } else { "circuit" }.to_string(),
+                if rp.is_packet_switched() {
+                    "packet"
+                } else {
+                    "circuit"
+                }
+                .to_string(),
                 if ok { "yes".into() } else { "NO".to_string() },
             ]);
         }
@@ -211,8 +254,11 @@ fn fig10() {
     for (n, p) in [(16usize, 8usize), (32, 8), (64, 8)] {
         let pc = PermuterCircuit::build(n, p);
         let perm = absort_bench::bench_perm(n, 31);
-        let packets: Vec<(usize, u64)> =
-            perm.iter().enumerate().map(|(i, &d)| (d, i as u64)).collect();
+        let packets: Vec<(usize, u64)> = perm
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i as u64))
+            .collect();
         let out = pc.route(&packets);
         let ok = perm.iter().enumerate().all(|(i, &d)| out[d] == i as u64);
         t.row([
@@ -234,7 +280,11 @@ fn table1_report() {
         println!(
             "exhaustive verification over all {} bisorted sequences at n={n}: {}",
             (n / 2 + 1) * (n / 2 + 1),
-            if v.is_empty() { "all rows hold" } else { "VIOLATIONS" }
+            if v.is_empty() {
+                "all rows hold"
+            } else {
+                "VIOLATIONS"
+            }
         );
     }
 }
@@ -244,7 +294,9 @@ fn table2_report() {
     for a in [12u32, 16, 20] {
         println!("{}", table2::render(1usize << a));
         match table2::verify_claims(1usize << a) {
-            Ok(()) => println!("paper claim holds at n=2^{a}: fish-based permuter has the smallest cost\n"),
+            Ok(()) => println!(
+                "paper claim holds at n=2^{a}: fish-based permuter has the smallest cost\n"
+            ),
             Err(e) => println!("CLAIM VIOLATION at n=2^{a}: {e}\n"),
         }
     }
@@ -381,7 +433,13 @@ fn write_csvs(dir: &str) -> std::io::Result<()> {
     };
 
     let sweep_table = |pts: &[sweeps::SorterPoint]| {
-        let mut t = table::Table::new(["n", "measured_cost", "formula_cost", "measured_depth", "formula_depth"]);
+        let mut t = table::Table::new([
+            "n",
+            "measured_cost",
+            "formula_cost",
+            "measured_depth",
+            "formula_depth",
+        ]);
         for p in pts {
             t.row([
                 p.n.to_string(),
@@ -398,7 +456,15 @@ fn write_csvs(dir: &str) -> std::io::Result<()> {
     write("e6_muxmerge_sweep.csv", sweep_table(&mux))?;
     write("e17_nonadaptive_sweep.csv", sweep_table(&na))?;
 
-    let mut fish = table::Table::new(["n", "k", "cost_exact", "cost_paper", "cost_per_input", "t_serial", "t_pipelined"]);
+    let mut fish = table::Table::new([
+        "n",
+        "k",
+        "cost_exact",
+        "cost_paper",
+        "cost_per_input",
+        "t_serial",
+        "t_pipelined",
+    ]);
     for p in sweeps::fish_sweep(&[10, 12, 14, 16, 18, 20, 22]) {
         fish.row([
             p.n.to_string(),
@@ -440,7 +506,10 @@ fn write_csvs(dir: &str) -> std::io::Result<()> {
     }
     write("e14_concentrators_n2e16.csv", conc.to_csv())?;
 
-    write("e16_adder_ablation.csv", ablations::adder_ablation(&[6, 8, 10, 12]).to_csv())?;
+    write(
+        "e16_adder_ablation.csv",
+        ablations::adder_ablation(&[6, 8, 10, 12]).to_csv(),
+    )?;
     write(
         "e17_adaptivity_ablation.csv",
         ablations::adaptivity_ablation(&[6, 10, 14, 18, 22]).to_csv(),
@@ -465,12 +534,63 @@ fn sanity() {
     for (i, &d) in perm.iter().enumerate() {
         assert_eq!(out[d], payload[i]);
     }
+    // Circuit-level cross-check: exercises every evaluation engine once
+    // (scalar, packed, batch), so a metrics run always carries build and
+    // eval counters regardless of which experiment is selected.
+    let c = muxmerge::build(16);
+    let vectors: Vec<Vec<bool>> = (0..200u32)
+        .map(|s| absort_bench::bench_bits(16, u64::from(s)))
+        .collect();
+    let batch = c.eval_batch_parallel(&vectors, 2);
+    for (v, got) in vectors.iter().zip(&batch) {
+        assert_eq!(got, &c.eval(v));
+        assert_eq!(got, &absort_core::lang::sorted_oracle(v));
+    }
+}
+
+/// Runs one experiment phase inside a telemetry span named after it.
+fn run_phase(name: &str, f: fn()) {
+    #[cfg(feature = "telemetry")]
+    let _span = absort_telemetry::span(name);
+    f();
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics = false;
+    let mut metrics_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics" => {
+                metrics = true;
+                args.remove(i);
+            }
+            "--metrics-out" => {
+                metrics = true;
+                args.remove(i);
+                if i >= args.len() {
+                    eprintln!("error: --metrics-out requires a path");
+                    std::process::exit(2);
+                }
+                metrics_out = Some(args.remove(i));
+            }
+            _ => i += 1,
+        }
+    }
+    #[cfg(feature = "telemetry")]
+    {
+        absort_telemetry::init_from_env();
+        if metrics {
+            absort_telemetry::set_enabled(true);
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    if metrics {
+        eprintln!("note: repro was built without the `telemetry` feature; --metrics is ignored");
+    }
     let what = args.first().map(String::as_str).unwrap_or("all");
-    sanity();
+    run_phase("sanity", sanity);
     let all: Vec<(&str, fn())> = vec![
         ("fig1", fig1),
         ("fig2", fig2),
@@ -498,26 +618,50 @@ fn main() {
             // everything except the (verbose) DOT dump
             for (name, f) in &all {
                 if *name != "dot" {
-                    f();
+                    run_phase(name, *f);
                 }
             }
         }
         "--help" | "-h" | "help" => {
             println!(
-                "usage: repro [all | csv <dir> | {}]",
+                "usage: repro [--metrics] [--metrics-out <path>] [all | csv <dir> | {}]",
                 all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" | ")
             );
         }
         "csv" => {
-            let dir = args.get(1).map(String::as_str).unwrap_or("results");
-            write_csvs(dir).expect("writing CSVs");
+            let dir = args
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or("results")
+                .to_string();
+            #[cfg(feature = "telemetry")]
+            let _span = absort_telemetry::span("csv");
+            write_csvs(&dir).expect("writing CSVs");
         }
         other => match all.iter().find(|(n, _)| *n == other) {
-            Some((_, f)) => f(),
+            Some((name, f)) => run_phase(name, *f),
             None => {
                 eprintln!("unknown experiment {other:?}; try --help");
                 std::process::exit(2);
             }
         },
     }
+    #[cfg(feature = "telemetry")]
+    if absort_telemetry::enabled() {
+        eprint!("{}", absort_telemetry::render_report());
+        let path = metrics_out
+            .as_ref()
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| absort_telemetry::default_manifest_path(&format!("repro-{what}")));
+        match absort_telemetry::write_manifest(&path) {
+            Ok(()) => eprintln!("telemetry manifest: {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write manifest {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    // Silence the unused-variable lint when telemetry is compiled out.
+    #[cfg(not(feature = "telemetry"))]
+    let _ = metrics_out;
 }

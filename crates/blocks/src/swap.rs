@@ -104,7 +104,12 @@ pub fn four_way_swapper(
     let line_perms: [Perm4; 4] = perms;
     b.scoped("four_way_swapper", |b| {
         for i in 0..q {
-            let ins = [inputs[i], inputs[i + q], inputs[i + 2 * q], inputs[i + 3 * q]];
+            let ins = [
+                inputs[i],
+                inputs[i + q],
+                inputs[i + 2 * q],
+                inputs[i + 3 * q],
+            ];
             let outs = b.switch4(s1, s0, ins, line_perms);
             for (j, &o) in outs.iter().enumerate() {
                 out[i + j * q] = o;

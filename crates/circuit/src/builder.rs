@@ -42,6 +42,12 @@ pub struct Builder {
     scope_stack: Vec<ScopeId>,
     const0: Option<Wire>,
     const1: Option<Wire>,
+    /// Telemetry spans mirroring `scope_stack`, so wall-clock time spent
+    /// constructing each scope shows up in the profiler tree. Beyond the
+    /// telemetry span-depth cap these are no-op guards, which keeps
+    /// deeply recursive sorter constructions cheap to profile.
+    #[cfg(feature = "telemetry")]
+    tel_spans: Vec<absort_telemetry::Span>,
 }
 
 impl Default for Builder {
@@ -63,6 +69,8 @@ impl Builder {
             scope_stack: vec![ScopeId::ROOT],
             const0: None,
             const1: None,
+            #[cfg(feature = "telemetry")]
+            tel_spans: Vec::new(),
         }
     }
 
@@ -115,6 +123,8 @@ impl Builder {
         let parent = self.cur_scope();
         let id = self.scopes.child(parent, name);
         self.scope_stack.push(id);
+        #[cfg(feature = "telemetry")]
+        self.tel_spans.push(absort_telemetry::span(name));
     }
 
     /// Leaves the innermost scope. Panics if called at the root.
@@ -124,6 +134,8 @@ impl Builder {
             "pop_scope called with no scope open"
         );
         self.scope_stack.pop();
+        #[cfg(feature = "telemetry")]
+        self.tel_spans.pop();
     }
 
     /// Runs `f` inside the named scope (push/pop handled for you).
@@ -260,6 +272,12 @@ impl Builder {
             "circuit finished with {} scope(s) still open",
             self.scope_stack.len() - 1
         );
+        #[cfg(feature = "telemetry")]
+        absort_telemetry::counter_add_many(&[
+            ("build.circuits", 1),
+            ("build.components", self.comps.len() as u64),
+            ("build.wires", u64::from(self.n_wires)),
+        ]);
         Circuit::from_parts(
             self.comps,
             self.n_wires as usize,

@@ -267,7 +267,12 @@ mod tests {
         }
         let lanes = c.eval_lanes(&packed);
         for v in 0..16u64 {
-            let scalar = c.eval(&[v & 1 == 1, v >> 1 & 1 == 1, v >> 2 & 1 == 1, v >> 3 & 1 == 1]);
+            let scalar = c.eval(&[
+                v & 1 == 1,
+                v >> 1 & 1 == 1,
+                v >> 2 & 1 == 1,
+                v >> 3 & 1 == 1,
+            ]);
             assert_eq!(lanes[0] >> v & 1 == 1, scalar[0], "vector {v}");
         }
     }

@@ -157,7 +157,7 @@ pub fn counter(bits: usize) -> ClockedCircuit {
     use crate::builder::Builder;
     let mut b = Builder::new();
     let state = b.input_bus(bits); // state comes in as inputs
-    // increment: next = state + 1 (ripple increment)
+                                   // increment: next = state + 1 (ripple increment)
     let mut carry = b.constant(true);
     let mut next = Vec::with_capacity(bits);
     let mut outs = Vec::with_capacity(bits);
@@ -218,7 +218,11 @@ mod tests {
         // Moore: output shows the count *before* this cycle's add
         let counts: Vec<usize> = outs
             .iter()
-            .map(|o| o.iter().enumerate().fold(0, |a, (i, &b)| a | (usize::from(b) << i)))
+            .map(|o| {
+                o.iter()
+                    .enumerate()
+                    .fold(0, |a, (i, &b)| a | (usize::from(b) << i))
+            })
             .collect();
         assert_eq!(counts, vec![0, 1, 2, 2, 3, 4]);
     }

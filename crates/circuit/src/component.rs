@@ -217,8 +217,24 @@ mod tests {
     fn costs_match_paper_units() {
         let w = Wire::from_index(0);
         assert_eq!(Component::Not { a: w }.cost(), 1);
-        assert_eq!(Component::Switch2 { ctrl: w, a: w, b: w }.cost(), 1);
-        assert_eq!(Component::Mux2 { sel: w, a0: w, a1: w }.cost(), 1);
+        assert_eq!(
+            Component::Switch2 {
+                ctrl: w,
+                a: w,
+                b: w
+            }
+            .cost(),
+            1
+        );
+        assert_eq!(
+            Component::Mux2 {
+                sel: w,
+                a0: w,
+                a1: w
+            }
+            .cost(),
+            1
+        );
         assert_eq!(Component::Demux2 { sel: w, x: w }.cost(), 1);
         assert_eq!(Component::BitCompare { a: w, b: w }.cost(), 1);
         assert_eq!(
@@ -236,7 +252,15 @@ mod tests {
     #[test]
     fn output_arity() {
         let w = Wire::from_index(0);
-        assert_eq!(Component::Mux2 { sel: w, a0: w, a1: w }.n_outputs(), 1);
+        assert_eq!(
+            Component::Mux2 {
+                sel: w,
+                a0: w,
+                a1: w
+            }
+            .n_outputs(),
+            1
+        );
         assert_eq!(Component::Demux2 { sel: w, x: w }.n_outputs(), 2);
         assert_eq!(Component::BitCompare { a: w, b: w }.n_outputs(), 2);
         assert_eq!(

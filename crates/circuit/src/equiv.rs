@@ -55,7 +55,10 @@ fn interfaces_match(a: &Circuit, b: &Circuit) {
 pub fn check_exhaustive(a: &Circuit, b: &Circuit) -> Equivalence {
     interfaces_match(a, b);
     let i = a.n_inputs();
-    assert!(i <= 26, "exhaustive equivalence limited to 26 inputs, got {i}");
+    assert!(
+        i <= 26,
+        "exhaustive equivalence limited to 26 inputs, got {i}"
+    );
     let total = 1u64 << i;
     let mut eva: Evaluator<'_, u64> = Evaluator::new(a);
     let mut evb: Evaluator<'_, u64> = Evaluator::new(b);
@@ -198,6 +201,9 @@ mod tests {
             b.finish()
         };
         // NAND == NOT(AND): equal everywhere
-        assert_eq!(check_exhaustive(&mk(true), &mk(false)), Equivalence::EqualExhaustive);
+        assert_eq!(
+            check_exhaustive(&mk(true), &mk(false)),
+            Equivalence::EqualExhaustive
+        );
     }
 }

@@ -31,6 +31,32 @@ use crate::lane::Lane;
 pub struct Evaluator<'c, V: Lane> {
     circuit: &'c Circuit,
     wires: Vec<V>,
+    /// Per-evaluator counter batch, merged into the global registry once
+    /// when the evaluator drops, so worker threads of the batch engine
+    /// never contend on a lock mid-sweep. Inert unless telemetry was
+    /// enabled when the evaluator was created.
+    #[cfg(feature = "telemetry")]
+    tel: absort_telemetry::LocalRecorder,
+    /// Pass count for this evaluator's lifetime. A plain increment per
+    /// `run_into` keeps the hot loop free of calls; component and lane
+    /// totals are derived from it on drop (the circuit is fixed per
+    /// evaluator, so per-pass counts are constants).
+    #[cfg(feature = "telemetry")]
+    tel_passes: u64,
+}
+
+#[cfg(feature = "telemetry")]
+impl<V: Lane> Drop for Evaluator<'_, V> {
+    fn drop(&mut self) {
+        if self.tel_passes != 0 {
+            let comps = self.circuit.components().len() as u64;
+            self.tel.add("eval.passes", self.tel_passes);
+            self.tel.add("eval.components", self.tel_passes * comps);
+            self.tel
+                .add("eval.lanes", self.tel_passes * u64::from(V::LANES));
+        }
+        // `self.tel`'s own Drop then flushes the batch to the registry.
+    }
 }
 
 impl<'c, V: Lane> Evaluator<'c, V> {
@@ -39,6 +65,10 @@ impl<'c, V: Lane> Evaluator<'c, V> {
         Evaluator {
             circuit,
             wires: vec![V::ZERO; circuit.n_wires()],
+            #[cfg(feature = "telemetry")]
+            tel: absort_telemetry::LocalRecorder::new(),
+            #[cfg(feature = "telemetry")]
+            tel_passes: 0,
         }
     }
 
@@ -133,6 +163,13 @@ impl<'c, V: Lane> Evaluator<'c, V> {
         for (o, wire) in out.iter_mut().zip(c.output_wires()) {
             *o = w[wire.index()];
         }
+
+        // One register add per pass; totals are folded into the recorder
+        // when the evaluator drops.
+        #[cfg(feature = "telemetry")]
+        {
+            self.tel_passes += 1;
+        }
     }
 }
 
@@ -168,6 +205,8 @@ pub(crate) fn eval_batch_parallel(
     vectors: &[Vec<bool>],
     threads: usize,
 ) -> Vec<Vec<bool>> {
+    #[cfg(feature = "telemetry")]
+    let _span = absort_telemetry::span("eval/batch");
     let threads = threads.max(1);
     let groups: Vec<&[Vec<bool>]> = vectors.chunks(64).collect();
     let mut results: Vec<Vec<Vec<bool>>> = vec![Vec::new(); groups.len()];
@@ -237,12 +276,7 @@ mod tests {
             .map(|v| (0..3).map(|i| v >> i & 1 == 1).collect())
             .collect();
         // Repeat to force multiple 64-lane groups.
-        let many: Vec<Vec<bool>> = vectors
-            .iter()
-            .cycle()
-            .take(300)
-            .cloned()
-            .collect();
+        let many: Vec<Vec<bool>> = vectors.iter().cycle().take(300).cloned().collect();
         for threads in [1, 2, 4] {
             let got = c.eval_batch_parallel(&many, threads);
             for (v, g) in many.iter().zip(&got) {

@@ -13,6 +13,9 @@ pub trait Lane: Copy + Send + Sync + 'static {
     const ZERO: Self;
     /// The all-ones value (logical TRUE in every lane).
     const ONES: Self;
+    /// How many independent test vectors one value of this type carries
+    /// (1 for `bool`); telemetry uses this to report lanes processed.
+    const LANES: u32;
 
     /// Bitwise NOT.
     fn not(self) -> Self;
@@ -44,6 +47,7 @@ pub trait Lane: Copy + Send + Sync + 'static {
 impl Lane for bool {
     const ZERO: Self = false;
     const ONES: Self = true;
+    const LANES: u32 = 1;
 
     #[inline]
     fn not(self) -> Self {
@@ -66,6 +70,7 @@ impl Lane for bool {
 impl Lane for u64 {
     const ZERO: Self = 0;
     const ONES: Self = u64::MAX;
+    const LANES: u32 = 64;
 
     #[inline]
     fn not(self) -> Self {
@@ -88,6 +93,7 @@ impl Lane for u64 {
 impl Lane for u128 {
     const ZERO: Self = 0;
     const ONES: Self = u128::MAX;
+    const LANES: u32 = 128;
 
     #[inline]
     fn not(self) -> Self {

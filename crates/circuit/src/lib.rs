@@ -56,6 +56,7 @@ pub use cost::{CostReport, KindCounts};
 pub use eval::Evaluator;
 pub use lane::Lane;
 pub use scope::{ScopeId, ScopeTree};
+pub use stats::Stats;
 pub use wire::Wire;
 
 /// Convenience: number of bits needed to address `n` items; `lg(n)` for

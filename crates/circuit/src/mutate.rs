@@ -218,7 +218,11 @@ mod tests {
         let before = c.n_wires();
         let ms = mutants(&c, Fault::StuckSelectLow);
         assert_eq!(ms.len(), 1);
-        assert_eq!(ms[0].1.n_wires(), before, "no extra wire when const0 exists");
+        assert_eq!(
+            ms[0].1.n_wires(),
+            before,
+            "no extra wire when const0 exists"
+        );
         assert_eq!(ms[0].1.eval(&[true, false, true]), vec![false]);
     }
 

@@ -141,8 +141,12 @@ impl<'c> Pipelined<'c> {
             // retire completed vectors
             flying.retain(|f| {
                 if f.next_stage == n_stages {
-                    outputs[f.vector] =
-                        Some(c.output_wires().iter().map(|w| f.wires[w.index()]).collect());
+                    outputs[f.vector] = Some(
+                        c.output_wires()
+                            .iter()
+                            .map(|w| f.wires[w.index()])
+                            .collect(),
+                    );
                     done += 1;
                     false
                 } else {
@@ -171,8 +175,12 @@ impl<'c> Pipelined<'c> {
                 }
                 f.next_stage = 1;
                 if f.next_stage == n_stages {
-                    outputs[f.vector] =
-                        Some(c.output_wires().iter().map(|w| f.wires[w.index()]).collect());
+                    outputs[f.vector] = Some(
+                        c.output_wires()
+                            .iter()
+                            .map(|w| f.wires[w.index()])
+                            .collect(),
+                    );
                     done += 1;
                 } else {
                     flying.push(f);
@@ -187,10 +195,7 @@ impl<'c> Pipelined<'c> {
     }
 }
 
-fn eval_component<V: Lane>(
-    p: &crate::component::Placed,
-    w: &mut [V],
-) {
+fn eval_component<V: Lane>(p: &crate::component::Placed, w: &mut [V]) {
     let base = p.out_base as usize;
     match p.comp {
         Component::Not { a } => w[base] = w[a.index()].not(),

@@ -151,7 +151,11 @@ pub fn from_text(text: &str) -> Result<Circuit, ParseError> {
                 wires.push(b.constant(v));
             }
             "not" => {
-                let a = parse_wire(toks.get(1).ok_or_else(|| err(ln, "not needs 1 arg"))?, &wires, ln)?;
+                let a = parse_wire(
+                    toks.get(1).ok_or_else(|| err(ln, "not needs 1 arg"))?,
+                    &wires,
+                    ln,
+                )?;
                 wires.push(b.not(a));
             }
             "gate" => {
@@ -305,12 +309,16 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(from_text("hello").is_err());
         assert!(from_text("absort-netlist v1\nfrobnicate w0\n").is_err());
-        assert!(from_text("absort-netlist v1\ninputs 1\n").is_err(), "no outputs");
+        assert!(
+            from_text("absort-netlist v1\ninputs 1\n").is_err(),
+            "no outputs"
+        );
     }
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let text = "absort-netlist v1\n\n# a comment\ninputs 2  # two lines\ncmp w0 w1\noutputs w2 w3\n";
+        let text =
+            "absort-netlist v1\n\n# a comment\ninputs 2  # two lines\ncmp w0 w1\noutputs w2 w3\n";
         let c = from_text(text).expect("parse");
         assert_eq!(c.eval(&[true, false]), vec![false, true]);
     }

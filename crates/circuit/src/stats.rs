@@ -136,7 +136,15 @@ impl Circuit {
                 }
             }
         }
-        walk(&mut out, scopes, &children, &subtree, ScopeId::ROOT, 1, max_depth);
+        walk(
+            &mut out,
+            scopes,
+            &children,
+            &subtree,
+            ScopeId::ROOT,
+            1,
+            max_depth,
+        );
         out
     }
 }
@@ -163,6 +171,68 @@ mod tests {
         // x feeds and+xor (2), y feeds and+or+xor (3), a feeds or (1)
         assert_eq!(s.max_fanout, 3);
         assert!((s.mean_fanout - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_on_wire_only_circuit() {
+        // A circuit can legally contain zero components (inputs routed
+        // straight to outputs); every statistic must degrade to zero
+        // instead of dividing by the empty fanout set.
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        b.outputs(&[y, x]);
+        let c = b.finish();
+        let s = c.stats();
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.cost.total, 0);
+        assert!(s.components_per_level.iter().all(|&n| n == 0));
+        assert_eq!(s.mean_fanout, 0.0);
+        assert_eq!(s.max_fanout, 0);
+    }
+
+    #[test]
+    fn level_histogram_spans_full_depth() {
+        // A 4-deep NOT chain plus one parallel gate: the histogram must
+        // have exactly one component on each level 1..=4, sum to the
+        // component count, and agree with `depth`.
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let mut t = x;
+        for _ in 0..4 {
+            t = b.not(t);
+        }
+        let side = b.and(x, y); // level 1
+        b.outputs(&[t, side]);
+        let c = b.finish();
+        let s = c.stats();
+        assert_eq!(s.depth, 4);
+        assert_eq!(s.components_per_level[1], 2);
+        assert_eq!(&s.components_per_level[2..=4], &[1, 1, 1]);
+        let total: u32 = s.components_per_level.iter().sum();
+        assert_eq!(total as usize, c.n_components());
+    }
+
+    #[test]
+    fn multi_output_components_count_once_per_level() {
+        // Demux2 has two outputs at the same level; the histogram counts
+        // the component (not its wires), and both outputs carry depth 1
+        // for consumers.
+        let mut b = Builder::new();
+        let sel = b.input();
+        let x = b.input();
+        let (o0, o1) = b.demux2(sel, x);
+        let j = b.or(o0, o1); // level 2
+        b.outputs(&[j]);
+        let c = b.finish();
+        let s = c.stats();
+        assert_eq!(s.components_per_level[1], 1);
+        assert_eq!(s.components_per_level[2], 1);
+        assert_eq!(s.depth, 2);
+        // sel and x feed the demux (1 each), o0/o1 feed the OR (1 each).
+        assert_eq!(s.max_fanout, 1);
+        assert!((s.mean_fanout - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -6,9 +6,6 @@
 use absort_circuit::{Builder, Circuit, GateOp, Wire};
 use proptest::prelude::*;
 use rand::prelude::*;
-// proptest's prelude re-exports its own (older) Rng trait, which shadows
-// the one StdRng implements; pull the right trait back into scope.
-use rand::Rng as _;
 
 /// Generates a random DAG circuit from a seed: `n_inputs` inputs,
 /// `n_comps` components drawn uniformly from all primitive kinds, inputs

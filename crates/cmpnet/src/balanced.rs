@@ -30,7 +30,10 @@ fn balanced_rec(net: &mut Network, lo: usize, m: usize) {
 
 /// The `n`-input balanced merging block (`n = 2^k`).
 pub fn balanced_merging_block(n: usize) -> Network {
-    assert!(n.is_power_of_two(), "balanced merging block needs 2^k inputs");
+    assert!(
+        n.is_power_of_two(),
+        "balanced merging block needs 2^k inputs"
+    );
     let mut net = Network::new(n);
     balanced_rec(&mut net, 0, n);
     net

@@ -107,7 +107,10 @@ fn bitonic_sort_rec(pairs: &mut Vec<(u32, u32)>, lo: usize, n: usize, asc: bool)
 /// `(j, i)` (min still goes to the first line of the pair), so the network
 /// uses only standard min/max comparators.
 pub fn bitonic_sort(n: usize) -> Network {
-    assert!(n.is_power_of_two(), "bitonic sort needs a power-of-two size");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic sort needs a power-of-two size"
+    );
     let mut pairs = Vec::new();
     bitonic_sort_rec(&mut pairs, 0, n, true);
     from_pairs(n, &pairs)

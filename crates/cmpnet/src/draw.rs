@@ -42,9 +42,9 @@ pub fn draw(net: &Network) -> String {
                 let mut cols: Vec<(Vec<Col>, Vec<(u32, u32)>)> = Vec::new();
                 for &(i, j) in pairs {
                     let (lo, hi) = (i.min(j), i.max(j));
-                    let slot = cols.iter_mut().find(|(_, ranges)| {
-                        ranges.iter().all(|&(a, b)| hi < a || lo > b)
-                    });
+                    let slot = cols
+                        .iter_mut()
+                        .find(|(_, ranges)| ranges.iter().all(|&(a, b)| hi < a || lo > b));
                     match slot {
                         Some((col, ranges)) => {
                             col.push(Col::Compare(i, j));

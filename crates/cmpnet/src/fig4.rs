@@ -47,7 +47,10 @@ pub fn fig4b_sort(n: usize) -> Network {
 /// unshuffle into two `n/2`-way mergers (realised as half-size sorters),
 /// the re-shuffle, and the balanced merging block.
 pub fn fig4b_sort_literal(n: usize) -> Network {
-    assert!(n.is_power_of_two() && n >= 4, "literal Fig. 4(b) needs n >= 4");
+    assert!(
+        n.is_power_of_two() && n >= 4,
+        "literal Fig. 4(b) needs n >= 4"
+    );
     let mut net = Network::new(n);
     // Redundant pair-sorter stage on (2i, 2i+1).
     net.push_compare((0..n as u32 / 2).map(|i| (2 * i, 2 * i + 1)).collect());
@@ -135,9 +138,6 @@ mod tests {
     #[test]
     fn literal_costs_n_half_more() {
         let n = 16;
-        assert_eq!(
-            fig4b_sort_literal(n).cost(),
-            fig4b_cost(n) + n as u64 / 2
-        );
+        assert_eq!(fig4b_sort_literal(n).cost(), fig4b_cost(n) + n as u64 / 2);
     }
 }

@@ -53,7 +53,11 @@ impl Network {
             assert!(i != j, "comparator ({i},{i}) compares a line with itself");
             for k in [i, j] {
                 let k = k as usize;
-                assert!(k < self.n, "comparator line {k} out of range (n={})", self.n);
+                assert!(
+                    k < self.n,
+                    "comparator line {k} out of range (n={})",
+                    self.n
+                );
                 assert!(!used[k], "line {k} used twice in one stage");
                 used[k] = true;
             }
@@ -77,7 +81,10 @@ impl Network {
 
     /// Appends all stages of `other` (which must have the same width).
     pub fn extend(&mut self, other: &Network) {
-        assert_eq!(self.n, other.n, "cannot concatenate networks of different widths");
+        assert_eq!(
+            self.n, other.n,
+            "cannot concatenate networks of different widths"
+        );
         self.stages.extend(other.stages.iter().cloned());
     }
 

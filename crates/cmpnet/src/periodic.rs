@@ -18,7 +18,10 @@ use crate::network::Network;
 /// The full periodic balanced sorting network: `lg n` cascaded balanced
 /// merging blocks. Cost `(n/2)·lg² n`, depth `lg² n`.
 pub fn periodic_balanced_sort(n: usize) -> Network {
-    assert!(n.is_power_of_two(), "periodic balanced sort needs 2^k inputs");
+    assert!(
+        n.is_power_of_two(),
+        "periodic balanced sort needs 2^k inputs"
+    );
     let block = balanced_merging_block(n);
     let mut net = Network::new(n);
     for _ in 0..n.trailing_zeros() {

@@ -5,8 +5,6 @@
 use absort_cmpnet::{batcher, verify, Network, Stage};
 use proptest::prelude::*;
 use rand::prelude::*;
-use rand::Rng as _;
-use rand::SeedableRng as _;
 
 /// Builds a random comparator network over `n` lines.
 fn random_network(seed: u64, n: usize, n_stages: usize) -> Network {

@@ -22,6 +22,8 @@ use absort_circuit::{assert_pow2, Builder, Circuit, Wire};
 /// subsequence's own middle bit. The upper `m/2` outputs collect the
 /// clean halves, the lower `m/2` the rest (Theorem 4).
 pub fn build_kswap(m: usize, k: usize) -> Circuit {
+    #[cfg(feature = "telemetry")]
+    let _tel = absort_telemetry::span("build");
     let mut b = Builder::new();
     let ins = b.input_bus(m);
     let outs = kswap_wires(&mut b, &ins, k);
@@ -62,6 +64,8 @@ pub fn build_combinational_kmerger(m: usize, k: usize) -> Circuit {
     assert_pow2(m, "k-way merger width");
     assert_pow2(k, "k-way merger group count");
     assert!(k >= 2 && k <= m / k, "need 2 <= k <= m/k");
+    #[cfg(feature = "telemetry")]
+    let _tel = absort_telemetry::span("build");
     let mut b = Builder::new();
     let ins = b.input_bus(m);
     let outs = kmerger_wires(&mut b, &ins, k);
@@ -75,7 +79,9 @@ fn kmerger_wires(b: &mut Builder, ins: &[Wire], k: usize) -> Vec<Wire> {
         return muxmerge::sorter_wires(b, ins);
     }
     let swapped = kswap_wires(b, ins, k);
-    let clean_sorted = b.scoped("clean_sorter", |b| clean_sorter_wires(b, &swapped[..m / 2], k));
+    let clean_sorted = b.scoped("clean_sorter", |b| {
+        clean_sorter_wires(b, &swapped[..m / 2], k)
+    });
     let lower_sorted = b.scoped("level", |b| kmerger_wires(b, &swapped[m / 2..], k));
     let mut joined = clean_sorted;
     joined.extend(lower_sorted);

@@ -78,7 +78,11 @@ pub fn total_depth_paper(n: usize, k: usize) -> u64 {
 /// (Requires `lg n` to be a power of two so the construction exists.)
 pub fn total_cost_paper_at_default_k(n: usize) -> u64 {
     let l = lg(n);
-    let ll = if l <= 1 { 0 } else { 64 - (l - 1).leading_zeros() as u64 };
+    let ll = if l <= 1 {
+        0
+    } else {
+        64 - (l - 1).leading_zeros() as u64
+    };
     17 * n as u64 + 5 * l * l * ll + 4 * l * ll
 }
 
@@ -88,7 +92,13 @@ mod tests {
 
     #[test]
     fn exact_merger_cost_below_paper_closed_form() {
-        for (n, k) in [(64usize, 4usize), (256, 4), (256, 16), (1 << 12, 16), (1 << 16, 16)] {
+        for (n, k) in [
+            (64usize, 4usize),
+            (256, 4),
+            (256, 16),
+            (1 << 12, 16),
+            (1 << 16, 16),
+        ] {
             let exact = kmerger_cost_exact(n, k);
             let paper = kmerger_cost_paper(n, k);
             assert!(
@@ -103,7 +113,10 @@ mod tests {
     #[test]
     fn exact_total_below_paper_total() {
         for (n, k) in [(256usize, 4usize), (1 << 12, 8), (1 << 16, 16)] {
-            assert!(total_cost_exact(n, k) <= total_cost_paper(n, k), "n={n} k={k}");
+            assert!(
+                total_cost_exact(n, k) <= total_cost_paper(n, k),
+                "n={n} k={k}"
+            );
         }
     }
 

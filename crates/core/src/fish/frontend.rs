@@ -87,7 +87,10 @@ pub fn run<P: Keyed>(items: &[P], k: usize, pipelined: bool) -> FrontEndRun<P> {
     }
 
     FrontEndRun {
-        output: output.into_iter().flat_map(|g| g.expect("group sorted")).collect(),
+        output: output
+            .into_iter()
+            .flat_map(|g| g.expect("group sorted"))
+            .collect(),
         cycles,
         peak_in_flight: peak,
     }
@@ -115,10 +118,7 @@ mod tests {
                 let (out, _) = run_bits(&bits, k, pipelined);
                 assert!(lang::is_k_sorted(&out, k), "n={n} k={k}");
                 // group-by-group it is exactly the functional sorter's output
-                let expect: Vec<bool> = bits
-                    .chunks(n / k)
-                    .flat_map(muxmerge::sort)
-                    .collect();
+                let expect: Vec<bool> = bits.chunks(n / k).flat_map(muxmerge::sort).collect();
                 assert_eq!(out, expect);
             }
         }

@@ -73,8 +73,8 @@ pub fn build_group_streamer(n: usize, k: usize) -> absort_circuit::clocked::Cloc
     let mut b = Builder::new();
     let lines = b.input_bus(n);
     let state = b.input_bus(kbits); // counter register (little-endian)
-    // The multiplexer's select is MSB-first; the counter state is
-    // little-endian — reverse the wires (free).
+                                    // The multiplexer's select is MSB-first; the counter state is
+                                    // little-endian — reverse the wires (free).
     let sel_msb_first: Vec<_> = state.iter().rev().copied().collect();
     let group = group_multiplexer(&mut b, &sel_msb_first, &lines, n / k);
     // counter increment (ripple)
@@ -104,10 +104,7 @@ mod tests {
             let bits: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
             let hw = run_pipelined(&bits, k);
             assert!(lang::is_k_sorted(&hw.output, k));
-            let expect: Vec<bool> = bits
-                .chunks(n / k)
-                .flat_map(muxmerge::sort)
-                .collect();
+            let expect: Vec<bool> = bits.chunks(n / k).flat_map(muxmerge::sort).collect();
             assert_eq!(hw.output, expect, "n={n} k={k}");
         }
     }
@@ -118,9 +115,16 @@ mod tests {
         for (n, k) in [(64usize, 4usize), (256, 8), (1024, 16)] {
             let bits = vec![false; n];
             let hw = run_pipelined(&bits, k);
-            assert_eq!(hw.cycles, expected_cycles(n, k), "vs closed form n={n} k={k}");
+            assert_eq!(
+                hw.cycles,
+                expected_cycles(n, k),
+                "vs closed form n={n} k={k}"
+            );
             let (_, model_cycles) = frontend::run_bits(&bits, k, true);
-            assert_eq!(hw.cycles, model_cycles, "vs register-chain model n={n} k={k}");
+            assert_eq!(
+                hw.cycles, model_cycles,
+                "vs register-chain model n={n} k={k}"
+            );
         }
     }
 

@@ -122,8 +122,7 @@ pub fn clean_sort<P: Keyed>(s: &[P], k: usize) -> (Vec<P>, CleanSortTrace) {
             d
         };
         dispatch.push(dest);
-        output[dest * block..(dest + 1) * block]
-            .clone_from_slice(&s[i * block..(i + 1) * block]);
+        output[dest * block..(dest + 1) * block].clone_from_slice(&s[i * block..(i + 1) * block]);
     }
     debug_assert!(lang::is_sorted(&packet::keys(&output)));
     let trace = CleanSortTrace {
@@ -145,12 +144,11 @@ pub fn kmerge<P: Keyed>(s: &[P], k: usize) -> Vec<P> {
 
 /// [`kmerge`] with optional trace capture (used for the Fig. 8
 /// reproduction). Traces record key bits.
-pub fn kmerge_traced<P: Keyed>(
-    s: &[P],
-    k: usize,
-    mut trace: Option<&mut KMergeTrace>,
-) -> Vec<P> {
-    assert!(k.is_power_of_two() && k >= 2, "k must be a power of two ≥ 2");
+pub fn kmerge_traced<P: Keyed>(s: &[P], k: usize, mut trace: Option<&mut KMergeTrace>) -> Vec<P> {
+    assert!(
+        k.is_power_of_two() && k >= 2,
+        "k must be a power of two ≥ 2"
+    );
     assert!(
         s.len().is_power_of_two() && s.len() >= k,
         "sequence length must be a power of two ≥ k"

@@ -59,10 +59,7 @@ pub fn run(bits: &[bool], k: usize, pipelined: bool) -> ModelBRun {
 fn merge_with_cycles(s: &[bool], k: usize) -> (Vec<bool>, u64) {
     let m = s.len();
     if m == k {
-        return (
-            muxmerge::sort(s),
-            muxmerge::formulas::sorter_depth_exact(k),
-        );
+        return (muxmerge::sort(s), muxmerge::formulas::sorter_depth_exact(k));
     }
     let (clean, rest) = kmerge::k_swap(s, k);
     // Clean path: the k-input sorter ranks the leading bits, then the k

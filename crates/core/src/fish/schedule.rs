@@ -77,7 +77,11 @@ mod tests {
     fn front_matches_closed_forms() {
         for (n, k) in [(256usize, 4usize), (1 << 12, 16), (1 << 16, 16)] {
             let lat = lg(k) + sorter_depth_exact(n / k) + lg(k);
-            assert_eq!(front_time(n, k, false), k as u64 * lat, "serial n={n} k={k}");
+            assert_eq!(
+                front_time(n, k, false),
+                k as u64 * lat,
+                "serial n={n} k={k}"
+            );
             assert_eq!(
                 front_time(n, k, true),
                 lat + k as u64 - 1,

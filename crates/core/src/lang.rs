@@ -321,7 +321,10 @@ pub mod gen {
 /// sorted half-sequences lies in `A_n`.
 pub fn theorem1_holds(upper: &[bool], lower: &[bool]) -> bool {
     assert_eq!(upper.len(), lower.len());
-    assert!(is_sorted(upper) && is_sorted(lower), "halves must be sorted");
+    assert!(
+        is_sorted(upper) && is_sorted(lower),
+        "halves must be sorted"
+    );
     let mut cat = upper.to_vec();
     cat.extend_from_slice(lower);
     in_a_n(&shuffle(&cat))
@@ -443,8 +446,7 @@ mod tests {
                 return false;
             }
             let run_eq = |t: &[bool]| t.chunks(2).all(|p| p[0] == p[1]) && is_clean_pairs(t);
-            let run_mix =
-                |t: &[bool]| t.chunks(2).all(|p| p[0] != p[1]) && same_first_bits(t);
+            let run_mix = |t: &[bool]| t.chunks(2).all(|p| p[0] != p[1]) && same_first_bits(t);
             fn is_clean_pairs(t: &[bool]) -> bool {
                 // all pairs identical to each other (multiple of 00 OR of 11)
                 t.is_empty() || t.iter().all(|&b| b == t[0])

@@ -27,8 +27,8 @@ pub mod bulk;
 pub mod busmerge;
 pub mod fish;
 pub mod lang;
-pub mod nonadaptive;
 pub mod muxmerge;
+pub mod nonadaptive;
 pub mod packet;
 pub mod prefix;
 pub mod sorter;

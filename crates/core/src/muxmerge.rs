@@ -58,6 +58,8 @@ pub const OUT_SWAP: [QuarterPerm; 4] = [
 /// `4n`, depth `2 lg n − 1` ≈ paper's `2 lg n`.
 pub fn build_merger(n: usize) -> Circuit {
     assert_pow2(n, "mux-merger");
+    #[cfg(feature = "telemetry")]
+    let _tel = absort_telemetry::span("build");
     let mut b = Builder::new();
     let ins = b.input_bus(n);
     let outs = b.scoped("mux_merger", |b| merger(b, &ins));
@@ -78,6 +80,8 @@ pub fn build_merger(n: usize) -> Circuit {
 /// ```
 pub fn build(n: usize) -> Circuit {
     assert_pow2(n, "mux-merger sorter");
+    #[cfg(feature = "telemetry")]
+    let _tel = absort_telemetry::span("build");
     let mut b = Builder::new();
     let ins = b.input_bus(n);
     let outs = b.scoped("muxmerge_sorter", |b| sorter(b, &ins));

@@ -58,6 +58,8 @@ pub fn build(n: usize) -> Circuit {
 /// measuring the built circuits.
 pub fn build_with_adder(n: usize, adder: AdderKind) -> Circuit {
     assert_pow2(n, "prefix sorter");
+    #[cfg(feature = "telemetry")]
+    let _tel = absort_telemetry::span("build");
     let mut b = Builder::new();
     let ins = b.input_bus(n);
     let (outs, _count) = b.scoped("prefix_sorter", |b| sorter(b, adder, &ins));
@@ -97,8 +99,8 @@ fn patchup(b: &mut Builder, z: &[Wire], count: &[Wire]) -> Vec<Wire> {
     }
     let k = m.trailing_zeros() as usize; // lg m
     let y = balanced_stage(b, z); // Theorem 2
-    // s >= m/2 ⇒ the lower half is clean (all 1s) and the upper half is
-    // the unsorted one; swap so the unsorted half sits in the lower slot.
+                                  // s >= m/2 ⇒ the lower half is clean (all 1s) and the upper half is
+                                  // the unsorted one; swap so the unsorted half sits in the lower slot.
     let sel = ge_half(b, count, m);
     let sw = two_way_swapper(b, sel, &y);
     // Count of 1's in the unsorted half: [s_0..s_{k-2}, s_k] (see module
@@ -157,7 +159,10 @@ fn patchup_fn<P: Keyed>(z: &[P], ones: usize) -> Vec<P> {
         let (lo, hi) = packet::compare_exchange(z[0].clone(), z[1].clone());
         return vec![lo, hi];
     }
-    debug_assert!(lang::in_a_n(&packet::keys(z)), "patch-up input must be in A_m");
+    debug_assert!(
+        lang::in_a_n(&packet::keys(z)),
+        "patch-up input must be in A_m"
+    );
     let mut y = z.to_vec();
     for i in 0..m / 2 {
         let (lo, hi) = packet::compare_exchange(y[i].clone(), y[m - 1 - i].clone());
@@ -166,7 +171,10 @@ fn patchup_fn<P: Keyed>(z: &[P], ones: usize) -> Vec<P> {
     }
     let sel = ones >= m / 2;
     if sel {
-        debug_assert!(y[m / 2..].iter().all(|p| p.key()), "lower half must be clean 1s");
+        debug_assert!(
+            y[m / 2..].iter().all(|p| p.key()),
+            "lower half must be clean 1s"
+        );
         y.rotate_left(m / 2); // two-way swap: exchange halves
     } else {
         debug_assert!(
@@ -174,7 +182,10 @@ fn patchup_fn<P: Keyed>(z: &[P], ones: usize) -> Vec<P> {
             "upper half must be clean 0s"
         );
     }
-    debug_assert!(lang::in_a_n(&packet::keys(&y[m / 2..])), "Theorem 2 violated");
+    debug_assert!(
+        lang::in_a_n(&packet::keys(&y[m / 2..])),
+        "Theorem 2 violated"
+    );
     let sub_ones = if sel { ones - m / 2 } else { ones };
     let lower = patchup_fn(&y[m / 2..], sub_ones);
     let mut out = y[..m / 2].to_vec();
@@ -285,7 +296,11 @@ pub fn paper_cost_dominant(n: usize) -> u64 {
 pub fn paper_depth_bound(n: usize) -> u64 {
     assert!(n.is_power_of_two());
     let k = n.trailing_zeros() as u64;
-    let lglg = if k <= 1 { 0 } else { (64 - (k - 1).leading_zeros()) as u64 };
+    let lglg = if k <= 1 {
+        0
+    } else {
+        (64 - (k - 1).leading_zeros()) as u64
+    };
     3 * k * k + 2 * k * lglg
 }
 
@@ -427,6 +442,9 @@ mod tests {
             cost <= 3 * n as u64 + 8,
             "patch-up cost {cost} exceeds 3n + lg n"
         );
-        assert!(cost >= 3 * n as u64 / 2, "patch-up cost {cost} implausibly low");
+        assert!(
+            cost >= 3 * n as u64 / 2,
+            "patch-up cost {cost} implausibly low"
+        );
     }
 }

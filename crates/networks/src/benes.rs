@@ -46,7 +46,9 @@ impl std::fmt::Display for BenesError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BenesError::NotAPermutation => write!(f, "destinations are not a permutation"),
-            BenesError::BadWidth(n) => write!(f, "Beneš width must be a power of two >= 2, got {n}"),
+            BenesError::BadWidth(n) => {
+                write!(f, "Beneš width must be a power of two >= 2, got {n}")
+            }
         }
     }
 }
@@ -292,7 +294,11 @@ pub fn table2_cost(n: usize) -> u64 {
 /// set-up [18] (dominates the `2 lg n − 1` propagation).
 pub fn table2_time(n: usize) -> u64 {
     let k = n.trailing_zeros() as u64;
-    let lglg = if k <= 1 { 1 } else { (64 - (k - 1).leading_zeros()) as u64 };
+    let lglg = if k <= 1 {
+        1
+    } else {
+        (64 - (k - 1).leading_zeros()) as u64
+    };
     k * k * k * k / lglg.max(1) + stage_depth(n)
 }
 

@@ -67,7 +67,10 @@ impl std::fmt::Display for ConcentrateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConcentrateError::Overloaded { active, capacity } => {
-                write!(f, "{active} active requests exceed concentrator capacity {capacity}")
+                write!(
+                    f,
+                    "{active} active requests exceed concentrator capacity {capacity}"
+                )
             }
             ConcentrateError::WrongWidth { got, expected } => {
                 write!(f, "expected {expected} input lines, got {got}")
@@ -174,7 +177,10 @@ mod tests {
         let mut want: Vec<&T> = input.iter().flatten().collect();
         let r = want.len();
         let mut got: Vec<&T> = output[..r].iter().map(|o| o.as_ref().unwrap()).collect();
-        assert!(output[r..].iter().all(|o| o.is_none()), "idle tail expected");
+        assert!(
+            output[r..].iter().all(|o| o.is_none()),
+            "idle tail expected"
+        );
         want.sort();
         got.sort();
         assert_eq!(got, want, "active payloads must be exactly preserved");
@@ -222,7 +228,10 @@ mod tests {
         let req: Vec<Request<u8>> = vec![None; 8];
         assert!(matches!(
             c.concentrate(&req),
-            Err(ConcentrateError::WrongWidth { got: 8, expected: 16 })
+            Err(ConcentrateError::WrongWidth {
+                got: 8,
+                expected: 16
+            })
         ));
     }
 

@@ -54,7 +54,10 @@ impl std::fmt::Display for PermuteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PermuteError::NotAPermutation { dest } => {
-                write!(f, "destination list is not a permutation (around value {dest})")
+                write!(
+                    f,
+                    "destination list is not a permutation (around value {dest})"
+                )
             }
             PermuteError::WrongWidth { got, expected } => {
                 write!(f, "expected {expected} packets, got {got}")
@@ -267,7 +270,10 @@ mod tests {
             Err(PermuteError::NotAPermutation { .. })
         ));
         let short: Vec<(usize, u8)> = (0..4).map(|i| (i, 0)).collect();
-        assert!(matches!(p.route(&short), Err(PermuteError::WrongWidth { .. })));
+        assert!(matches!(
+            p.route(&short),
+            Err(PermuteError::WrongWidth { .. })
+        ));
     }
 
     #[test]
@@ -299,6 +305,9 @@ mod tests {
         assert!(!p.is_packet_switched());
         let c = p.cost() as f64;
         let nlg2n = (n as f64) * 14.0 * 14.0;
-        assert!(c / nlg2n < 5.0 && c / nlg2n > 1.0, "cost {c} vs n lg²n {nlg2n}");
+        assert!(
+            c / nlg2n < 5.0 && c / nlg2n > 1.0,
+            "cost {c} vs n lg²n {nlg2n}"
+        );
     }
 }

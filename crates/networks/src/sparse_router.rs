@@ -109,15 +109,12 @@ impl SparseRouter {
             used[p.0] = true;
         }
         // Stage 1: concentrate the active packets to the first lines.
-        let concentrated = self
-            .concentrator
-            .concentrate(inputs)
-            .map_err(|e| match e {
-                // (n,n)-concentrators cannot overload; width already checked
-                ConcentrateError::Overloaded { .. } | ConcentrateError::WrongWidth { .. } => {
-                    unreachable!("(n,n)-concentration cannot fail here: {e}")
-                }
-            })?;
+        let concentrated = self.concentrator.concentrate(inputs).map_err(|e| match e {
+            // (n,n)-concentrators cannot overload; width already checked
+            ConcentrateError::Overloaded { .. } | ConcentrateError::WrongWidth { .. } => {
+                unreachable!("(n,n)-concentration cannot fail here: {e}")
+            }
+        })?;
         // Stage 2: complete to a full permutation by assigning the unused
         // destinations to the idle lines, then permute.
         let mut unused: Vec<usize> = (0..self.n).filter(|&d| !used[d]).collect();
@@ -152,11 +149,7 @@ mod tests {
     use super::*;
     use rand::prelude::*;
 
-    fn random_sparse(
-        rng: &mut StdRng,
-        n: usize,
-        active: usize,
-    ) -> Vec<SparsePacket<u64>> {
+    fn random_sparse(rng: &mut StdRng, n: usize, active: usize) -> Vec<SparsePacket<u64>> {
         let mut slots: Vec<usize> = (0..n).collect();
         slots.shuffle(rng);
         let mut dests: Vec<usize> = (0..n).collect();
@@ -204,7 +197,10 @@ mod tests {
         let short: Vec<SparsePacket<u8>> = vec![None; 4];
         assert!(matches!(
             router.route(&short),
-            Err(SparseError::WrongWidth { got: 4, expected: 8 })
+            Err(SparseError::WrongWidth {
+                got: 4,
+                expected: 8
+            })
         ));
     }
 

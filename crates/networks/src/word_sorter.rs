@@ -125,7 +125,11 @@ impl WordSorter {
     /// logic's depth plus the permuter's routing time.
     pub fn time(&self) -> u64 {
         let lgn = self.n.trailing_zeros() as u64;
-        let lglg = if lgn <= 1 { 1 } else { 64 - (lgn - 1).leading_zeros() as u64 };
+        let lglg = if lgn <= 1 {
+            1
+        } else {
+            64 - (lgn - 1).leading_zeros() as u64
+        };
         self.key_bits as u64 * (2 * lgn * lglg + self.permuter.time())
     }
 }
@@ -197,7 +201,10 @@ mod tests {
         let items: Vec<(u64, ())> = vec![(0, ()); 8];
         assert!(matches!(
             ws.sort(&items),
-            Err(PermuteError::WrongWidth { got: 8, expected: 16 })
+            Err(PermuteError::WrongWidth {
+                got: 8,
+                expected: 16
+            })
         ));
     }
 

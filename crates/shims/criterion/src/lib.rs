@@ -1,0 +1,328 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, bench_function, bench_with_input,
+//! finish}`, `Bencher::iter`, `BenchmarkId::new`, `Throughput::Elements`,
+//! and `black_box` — over a simple median-of-samples wall-clock harness.
+//!
+//! Differences from real criterion: no statistical outlier analysis, no
+//! HTML reports, no saved baselines. Each benchmark is warmed up briefly
+//! and then timed for a fixed budget; the median per-iteration time (and
+//! derived throughput) is printed as one line:
+//!
+//! ```text
+//! eval_engines/scalar_256_vectors/1024  time: 1.234 ms/iter  thrpt: 212.4 Melem/s
+//! ```
+//!
+//! A substring filter may be passed on the command line (as with real
+//! criterion): `cargo bench --bench eval_engines -- scalar`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration declaration, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id with no parameter component.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs one benchmark routine; handed to the closure given to
+/// [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    /// Median seconds per iteration, filled in by [`Bencher::iter`].
+    median_spi: f64,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses (at least once),
+        // and estimate the per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        loop {
+            black_box(f());
+            iters_done += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let est_spi = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+
+        // Measurement: split the budget into samples of batched
+        // iterations and take the median sample.
+        const SAMPLES: usize = 11;
+        let budget = self.measure.as_secs_f64();
+        let batch = ((budget / SAMPLES as f64 / est_spi.max(1e-9)).ceil() as u64).max(1);
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        self.median_spi = samples[SAMPLES / 2];
+    }
+}
+
+fn fmt_time(spi: f64) -> String {
+    if spi >= 1.0 {
+        format!("{spi:.3} s/iter")
+    } else if spi >= 1e-3 {
+        format!("{:.3} ms/iter", spi * 1e3)
+    } else if spi >= 1e-6 {
+        format!("{:.3} µs/iter", spi * 1e6)
+    } else {
+        format!("{:.1} ns/iter", spi * 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2} {unit}/s")
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is budget-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            median_spi: f64::NAN,
+            warm_up: self.criterion.warm_up,
+            measure: self.criterion.measure,
+        };
+        f(&mut b);
+        let spi = b.median_spi;
+        let mut line = format!("{full:<56} time: {}", fmt_time(spi));
+        if spi.is_finite() && spi > 0.0 {
+            match self.throughput {
+                Some(Throughput::Elements(n)) => {
+                    line.push_str(&format!("  thrpt: {}", fmt_rate(n as f64 / spi, "elem")));
+                }
+                Some(Throughput::Bytes(n)) => {
+                    line.push_str(&format!("  thrpt: {}", fmt_rate(n as f64 / spi, "B")));
+                }
+                None => {}
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; all reporting is line-at-a-time).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; anything after `--` that is not a
+        // flag is a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let ms = |var: &str, default_ms: u64| {
+            Duration::from_millis(
+                std::env::var(var)
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(default_ms),
+            )
+        };
+        Criterion {
+            filter,
+            warm_up: ms("CRITERION_WARMUP_MS", 60),
+            measure: ms("CRITERION_MEASURE_MS", 350),
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.id.clone())
+            .bench_function(BenchmarkId::from_parameter(""), f);
+        self
+    }
+}
+
+/// Declares a group-runner function from a list of `fn(&mut Criterion)`
+/// targets, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            filter: None,
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+        };
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        let mut acc = 0u64;
+        g.bench_function(BenchmarkId::new("spin", 100), |b| {
+            b.iter(|| {
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn` +
+//! `ScopedJoinHandle::join`, so this shim maps that surface onto
+//! `std::thread::scope` (stable since 1.63). Differences from real
+//! crossbeam that are acceptable here:
+//!
+//! * `scope` never returns `Err`: `std::thread::scope` propagates panics
+//!   from un-joined child threads by resuming the panic in the parent, so
+//!   every call site's `.expect(...)` simply never fires.
+//! * `ScopedJoinHandle` exposes only `join`.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope for spawning borrowing threads; mirrors
+    /// `crossbeam::thread::Scope`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; mirrors
+    /// `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the enclosing
+    /// stack frame; all threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let mut left = 0;
+        let mut right = 0;
+        super::thread::scope(|s| {
+            let hl = s.spawn(|_| data[..2].iter().sum::<u64>());
+            let hr = s.spawn(|_| data[2..].iter().sum::<u64>());
+            left = hl.join().expect("left");
+            right = hr.join().expect("right");
+        })
+        .expect("scope");
+        assert_eq!(left + right, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = super::thread::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21u32);
+                inner.join().expect("inner") * 2
+            });
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,396 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), range / tuple /
+//! `any::<T>()` strategies, `prop_map` / `prop_flat_map`,
+//! `proptest::collection::vec`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Semantic differences from real proptest, acceptable for these tests:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs via
+//!   the regular assert message; it is not minimised.
+//! * **Deterministic seeding.** Case `i` of test `t` derives its RNG seed
+//!   from `hash(module_path, t, i)`, so failures reproduce across runs.
+//! * `PROPTEST_CASES` (env) overrides the per-test case count.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Runner configuration, as in `proptest::test_runner`.
+
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Derives a deterministic per-case RNG.
+    pub fn case_rng(test_path: &str, case: u32) -> rand::StdRng {
+        use rand::SeedableRng;
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        test_path.hash(&mut h);
+        case.hash(&mut h);
+        rand::StdRng::seed_from_u64(h.finish())
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies, as in `proptest::strategy`.
+
+    use rand::{Rng, StdRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree: `generate` directly
+    /// yields a value (no shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns
+        /// for it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: rand::SampleUniform + rand::SubOne + Copy> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform + Copy> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_strategy_for_tuples {
+        ($(($($S:ident $idx:tt),+);)*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_for_tuples! {
+        (S0 0);
+        (S0 0, S1 1);
+        (S0 0, S1 1, S2 2);
+        (S0 0, S1 1, S2 2, S3 3);
+        (S0 0, S1 1, S2 2, S3 3, S4 4);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support, as in `proptest::arbitrary`.
+
+    use rand::{Rng, StdRng};
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> crate::strategy::Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, as in `proptest::collection`.
+
+    use crate::strategy::Strategy;
+    use rand::{Rng, StdRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification: exact or ranged.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange { lo, hi }
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..=self.size.hi)
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `elem` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*` surface.
+    pub use crate::arbitrary::any;
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+// Re-export at crate root as `proptest::prop::...` is spelled
+// `proptest::collection::...` in this workspace; nothing more needed.
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __strats = ($($strat,)+);
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::case_rng(__path, __case);
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pow2_vec(max_exp: u32) -> impl Strategy<Value = Vec<bool>> {
+        (1..=max_exp).prop_flat_map(|a| collection::vec(any::<bool>(), 1usize << a))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in bounds and tuples destructure.
+        #[test]
+        fn ranges_and_tuples(a in 1u32..=9, (x, y) in (0usize..40, any::<u64>())) {
+            prop_assert!((1..=9).contains(&a));
+            prop_assert!(x < 40);
+            let _ = y;
+        }
+
+        /// prop_flat_map-dependent sizes hold.
+        #[test]
+        fn flat_map_sizes(v in pow2_vec(6)) {
+            prop_assert!(v.len().is_power_of_two());
+            prop_assert!(v.len() <= 64);
+        }
+
+        /// prop_map transforms values.
+        #[test]
+        fn map_applies(n in (0usize..=10).prop_map(|k| 2 * k)) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert!(n <= 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_cases() {
+        use crate::strategy::Strategy;
+        let s = (0u64..=u64::MAX,);
+        let a = s.generate(&mut crate::test_runner::case_rng("t", 3));
+        let b = s.generate(&mut crate::test_runner::case_rng("t", 3));
+        let c = s.generate(&mut crate::test_runner::case_rng("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

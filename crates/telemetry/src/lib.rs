@@ -1,0 +1,723 @@
+//! # absort-telemetry — spans, counters, and run manifests
+//!
+//! The paper's result tables are *exact* structural numbers (cost, depth,
+//! sorting time) measured from constructed circuits; this crate adds the
+//! complementary *wall-clock* and *volume* view: where does time go when
+//! a 2^20-input sorter is built, how many components and lanes does an
+//! evaluation sweep actually touch. It is deliberately std-only (atomics
+//! plus a `Mutex`'d registry — the build environment is offline, so the
+//! planned `parking_lot` dependency is replaced by `std::sync::Mutex`).
+//!
+//! ## Model
+//!
+//! * A process-global [`Registry`] aggregates **counters** (named `u64`
+//!   totals) and **timings** (count / total / min / max nanoseconds per
+//!   named span path).
+//! * [`span`] returns an RAII guard; nested spans build `/`-separated
+//!   paths via a thread-local stack (`build/prefix_sorter/patchup`), so
+//!   the rendered report mirrors `Circuit::scope_report`'s profiler look.
+//! * [`LocalRecorder`] batches counter increments in plain (non-atomic)
+//!   thread-local storage and merges into the registry once on drop —
+//!   this is what the multi-threaded batch evaluator uses so workers
+//!   never contend on a lock inside the pass loop.
+//! * [`write_manifest`] exports everything as a machine-readable JSON
+//!   *run manifest* (see [`json`]), conventionally under
+//!   `results/metrics/<run>.json`.
+//!
+//! ## Cost when disabled
+//!
+//! Telemetry is **off by default**: every entry point first reads one
+//! relaxed atomic and returns a no-op guard / does nothing. Hot loops in
+//! the workspace additionally keep their instrumentation at per-pass (not
+//! per-component) granularity, so the disabled overhead is far below
+//! measurement noise (see the `eval_engines` bench).
+//!
+//! ## Example
+//!
+//! ```
+//! absort_telemetry::set_enabled(true);
+//! {
+//!     let _outer = absort_telemetry::span("build");
+//!     let _inner = absort_telemetry::span("prefix_sorter");
+//!     absort_telemetry::counter_add("build.circuits", 1);
+//! }
+//! let report = absort_telemetry::render_report();
+//! assert!(report.contains("build"));
+//! assert!(report.contains("prefix_sorter"));
+//! absort_telemetry::set_enabled(false);
+//! absort_telemetry::reset();
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use json::Value;
+
+// ---------------------------------------------------------------------------
+// Global enable switch
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SPAN_DEPTH_CAP: AtomicUsize = AtomicUsize::new(8);
+
+/// Whether recording is active. One relaxed load — safe to call anywhere.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off globally.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enables recording if the `ABSORT_METRICS` environment variable is set
+/// to anything but `0`/empty; honours `ABSORT_METRICS_SPAN_DEPTH` for the
+/// span nesting cap. Returns the resulting enabled state.
+pub fn init_from_env() -> bool {
+    if let Ok(v) = std::env::var("ABSORT_METRICS_SPAN_DEPTH") {
+        if let Ok(cap) = v.parse::<usize>() {
+            SPAN_DEPTH_CAP.store(cap, Ordering::Relaxed);
+        }
+    }
+    let on = std::env::var("ABSORT_METRICS").is_ok_and(|v| !v.is_empty() && v != "0");
+    if on {
+        set_enabled(true);
+    }
+    enabled()
+}
+
+/// Caps how deeply nested spans are recorded (deeper spans become no-ops;
+/// their time still accrues to the enclosing span). Protects builds with
+/// thousands of recursive construction scopes from profiling overhead.
+pub fn set_span_depth_cap(cap: usize) {
+    SPAN_DEPTH_CAP.store(cap, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Aggregated timings for one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingStat {
+    /// Number of completed span instances.
+    pub count: u64,
+    /// Total nanoseconds across instances.
+    pub total_ns: u64,
+    /// Fastest instance.
+    pub min_ns: u64,
+    /// Slowest instance.
+    pub max_ns: u64,
+}
+
+impl TimingStat {
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Mean nanoseconds per instance.
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    timings: BTreeMap<String, TimingStat>,
+    sections: Vec<(String, Value)>,
+}
+
+/// The process-global store of counters, span timings, and extra manifest
+/// sections.
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+/// An owned snapshot of the registry, ordered by name/path.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Span timing aggregates, keyed by `/`-separated path.
+    pub timings: Vec<(String, TimingStat)>,
+    /// Extra manifest sections registered by callers.
+    pub sections: Vec<(String, Value)>,
+}
+
+impl Registry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned registry only means a panic happened mid-record;
+        // the aggregates are still well-formed integers.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn add_counter(&self, name: &str, delta: u64) {
+        let mut g = self.lock();
+        if let Some(v) = g.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            g.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    fn record_timing(&self, path: &str, ns: u64) {
+        let mut g = self.lock();
+        if let Some(t) = g.timings.get_mut(path) {
+            t.record(ns);
+        } else {
+            let mut t = TimingStat {
+                count: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            };
+            t.record(ns);
+            g.timings.insert(path.to_owned(), t);
+        }
+    }
+
+    /// Takes an ordered snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.lock();
+        Snapshot {
+            counters: g.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            timings: g.timings.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            sections: g.sections.clone(),
+        }
+    }
+
+    /// Clears all recorded data (counters, timings, sections).
+    pub fn clear(&self) {
+        let mut g = self.lock();
+        g.counters.clear();
+        g.timings.clear();
+        g.sections.clear();
+    }
+}
+
+/// The global registry.
+pub fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        inner: Mutex::new(Inner::default()),
+    })
+}
+
+/// Adds `delta` to the named counter (no-op when disabled).
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if enabled() {
+        global().add_counter(name, delta);
+    }
+}
+
+/// Adds several counters under one registry lock (no-op when disabled).
+pub fn counter_add_many(pairs: &[(&str, u64)]) {
+    if !enabled() {
+        return;
+    }
+    let reg = global();
+    let mut g = reg.lock();
+    for &(name, delta) in pairs {
+        if let Some(v) = g.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            g.counters.insert(name.to_owned(), delta);
+        }
+    }
+}
+
+/// Registers an extra named section to be embedded in the next manifest
+/// (e.g. circuit stats from the CLI). Later sections with the same name
+/// replace earlier ones.
+pub fn add_section(name: &str, value: Value) {
+    let mut g = global().lock();
+    if let Some(slot) = g.sections.iter_mut().find(|(k, _)| k == name) {
+        slot.1 = value;
+    } else {
+        g.sections.push((name.to_owned(), value));
+    }
+}
+
+/// Clears all recorded data in the global registry (tests, or separating
+/// phases of a long process).
+pub fn reset() {
+    global().clear();
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The `/`-joined path of currently open spans on this thread, plus
+    /// the open-span count (which may exceed the recorded depth cap).
+    static SPAN_PATH: RefCell<(String, usize)> = const { RefCell::new((String::new(), 0)) };
+}
+
+/// RAII guard for one timed span. Created by [`span`]; records on drop.
+#[must_use = "a span records its duration when dropped; binding it to _ drops immediately"]
+pub struct Span {
+    /// `Some((start, previous path length))` when actively recording.
+    active: Option<(Instant, usize)>,
+}
+
+impl Span {
+    /// A guard that records nothing.
+    pub fn disabled() -> Span {
+        Span { active: None }
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("active", &self.active.is_some())
+            .finish()
+    }
+}
+
+/// Opens a named span. When telemetry is disabled (or the nesting cap is
+/// reached) this returns a no-op guard after a single atomic load.
+///
+/// `name` should be a single path segment (`"prefix_sorter"`); nesting
+/// builds the full path. Segments containing `/` are allowed and simply
+/// deepen the rendered tree (`span("build/prefix_sorter")`).
+pub fn span(name: &str) -> Span {
+    if !enabled() {
+        return Span::disabled();
+    }
+    SPAN_PATH.with(|tl| {
+        let (path, depth) = &mut *tl.borrow_mut();
+        *depth += 1;
+        if *depth > SPAN_DEPTH_CAP.load(Ordering::Relaxed) {
+            // Too deep: count the nesting level but record nothing.
+            *depth -= 1;
+            return Span::disabled();
+        }
+        let prev_len = path.len();
+        if !path.is_empty() {
+            path.push('/');
+        }
+        path.push_str(name);
+        Span {
+            active: Some((Instant::now(), prev_len)),
+        }
+    })
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((start, prev_len)) = self.active.take() else {
+            return;
+        };
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        SPAN_PATH.with(|tl| {
+            let (path, depth) = &mut *tl.borrow_mut();
+            global().record_timing(path, ns);
+            path.truncate(prev_len);
+            *depth = depth.saturating_sub(1);
+        });
+    }
+}
+
+/// Depth of the current thread's open-span stack.
+pub fn span_depth() -> usize {
+    SPAN_PATH.with(|tl| tl.borrow().1)
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread recorder
+// ---------------------------------------------------------------------------
+
+/// Batches counter increments without touching the global registry until
+/// drop. Increment cost is a plain `u64` add on a tiny linear map — no
+/// atomics, no locks — so evaluator worker threads can count per pass.
+///
+/// When telemetry is disabled at construction time the recorder is inert
+/// (increments are skipped via one bool test, nothing is flushed).
+#[derive(Debug)]
+pub struct LocalRecorder {
+    active: bool,
+    counts: Vec<(&'static str, u64)>,
+}
+
+impl LocalRecorder {
+    /// A recorder bound to the current global enabled state.
+    pub fn new() -> LocalRecorder {
+        LocalRecorder {
+            active: enabled(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Whether this recorder will record anything.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Adds `delta` to the named counter.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        if !self.active {
+            return;
+        }
+        for slot in &mut self.counts {
+            if slot.0 == name {
+                slot.1 += delta;
+                return;
+            }
+        }
+        self.counts.push((name, delta));
+    }
+
+    /// Merges into the global registry now (otherwise happens on drop).
+    pub fn flush(mut self) {
+        self.flush_inner();
+    }
+
+    fn flush_inner(&mut self) {
+        if !self.active || self.counts.is_empty() {
+            return;
+        }
+        let pairs: Vec<(&str, u64)> = self.counts.drain(..).collect();
+        counter_add_many(&pairs);
+    }
+}
+
+impl Default for LocalRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for LocalRecorder {
+    fn drop(&mut self) {
+        self.flush_inner();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Renders the span tree (indented by path depth, mirroring
+/// `scope_report`) followed by the counter table.
+pub fn render_report() -> String {
+    let snap = global().snapshot();
+    let mut out = String::new();
+    let _ = writeln!(out, "-- telemetry: spans --");
+    if snap.timings.is_empty() {
+        let _ = writeln!(out, "(none recorded)");
+    }
+    // BTreeMap ordering means a parent path sorts before its children, so
+    // plain iteration with depth-derived indentation prints a tree.
+    for (path, t) in &snap.timings {
+        let depth = path.matches('/').count();
+        let name = path.rsplit('/').next().unwrap_or(path);
+        let _ = writeln!(
+            out,
+            "{:indent$}{name}: {} (n={}, mean {}, max {})",
+            "",
+            fmt_ns(t.total_ns),
+            t.count,
+            fmt_ns(t.mean_ns()),
+            fmt_ns(t.max_ns),
+            indent = depth * 2,
+        );
+    }
+    let _ = writeln!(out, "-- telemetry: counters --");
+    if snap.counters.is_empty() {
+        let _ = writeln!(out, "(none recorded)");
+    }
+    for (name, v) in &snap.counters {
+        let _ = writeln!(out, "{name}: {v}");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Manifests
+// ---------------------------------------------------------------------------
+
+/// Milliseconds since the Unix epoch.
+fn unix_ms() -> i64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| i64::try_from(d.as_millis()).unwrap_or(i64::MAX))
+        .unwrap_or(0)
+}
+
+/// Builds the manifest JSON document from the current registry state.
+///
+/// Schema (`absort-telemetry/v1`):
+///
+/// ```json
+/// {
+///   "schema": "absort-telemetry/v1",
+///   "created_unix_ms": 1700000000000,
+///   "meta": { "crate_version": "...", "os": "...", "arch": "...", "argv": [".."] },
+///   "spans": { "<path>": { "count": 1, "total_ns": 1, "min_ns": 1, "max_ns": 1, "mean_ns": 1 } },
+///   "counters": { "<name>": 1 },
+///   "<extra sections from add_section>": { }
+/// }
+/// ```
+pub fn manifest() -> Value {
+    let snap = global().snapshot();
+    let argv: Vec<Value> = std::env::args().map(Value::Str).collect();
+    let meta = Value::obj([
+        (
+            "crate_version",
+            Value::Str(env!("CARGO_PKG_VERSION").into()),
+        ),
+        ("os", Value::Str(std::env::consts::OS.into())),
+        ("arch", Value::Str(std::env::consts::ARCH.into())),
+        ("argv", Value::Arr(argv)),
+    ]);
+    let spans = Value::Obj(
+        snap.timings
+            .iter()
+            .map(|(path, t)| {
+                (
+                    path.clone(),
+                    Value::obj([
+                        ("count", Value::Int(t.count as i64)),
+                        ("total_ns", Value::Int(t.total_ns as i64)),
+                        ("min_ns", Value::Int(t.min_ns as i64)),
+                        ("max_ns", Value::Int(t.max_ns as i64)),
+                        ("mean_ns", Value::Int(t.mean_ns() as i64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let counters = Value::Obj(
+        snap.counters
+            .iter()
+            .map(|(name, v)| (name.clone(), Value::Int(*v as i64)))
+            .collect(),
+    );
+    let mut fields = vec![
+        (
+            "schema".to_owned(),
+            Value::Str("absort-telemetry/v1".into()),
+        ),
+        ("created_unix_ms".to_owned(), Value::Int(unix_ms())),
+        ("meta".to_owned(), meta),
+        ("spans".to_owned(), spans),
+        ("counters".to_owned(), counters),
+    ];
+    fields.extend(snap.sections);
+    Value::Obj(fields)
+}
+
+/// Writes the manifest to `path` (creating parent directories).
+pub fn write_manifest(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, manifest().to_pretty())
+}
+
+/// The conventional manifest location for a run named `run`:
+/// `results/metrics/<run>-<unix_ms>.json` under the current directory.
+pub fn default_manifest_path(run: &str) -> PathBuf {
+    let safe: String = run
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    PathBuf::from("results")
+        .join("metrics")
+        .join(format!("{safe}-{}.json", unix_ms()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Telemetry state is process-global, so every test runs under one
+    /// lock and restores a clean slate.
+    fn with_clean_telemetry(f: impl FnOnce()) {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(true);
+        f();
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        with_clean_telemetry(|| {
+            set_enabled(false);
+            {
+                let _s = span("ghost");
+                counter_add("ghost.count", 5);
+                let mut r = LocalRecorder::new();
+                r.add("ghost.local", 2);
+            }
+            let snap = global().snapshot();
+            assert!(snap.counters.is_empty());
+            assert!(snap.timings.is_empty());
+        });
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        with_clean_telemetry(|| {
+            {
+                let _a = span("build");
+                {
+                    let _b = span("prefix");
+                    let _c = span("patchup");
+                }
+                {
+                    let _b2 = span("prefix");
+                }
+            }
+            let snap = global().snapshot();
+            let paths: Vec<&str> = snap.timings.iter().map(|(p, _)| p.as_str()).collect();
+            assert_eq!(paths, ["build", "build/prefix", "build/prefix/patchup"]);
+            let prefix = &snap.timings[1].1;
+            assert_eq!(prefix.count, 2);
+            assert!(prefix.total_ns >= prefix.min_ns);
+            assert!(prefix.max_ns >= prefix.min_ns);
+        });
+    }
+
+    #[test]
+    fn depth_cap_suppresses_deep_spans() {
+        with_clean_telemetry(|| {
+            set_span_depth_cap(2);
+            {
+                let _a = span("l1");
+                let _b = span("l2");
+                let _c = span("l3");
+                assert_eq!(span_depth(), 2, "capped span must not deepen the stack");
+            }
+            set_span_depth_cap(8);
+            let snap = global().snapshot();
+            let paths: Vec<&str> = snap.timings.iter().map(|(p, _)| p.as_str()).collect();
+            assert_eq!(paths, ["l1", "l1/l2"]);
+        });
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge_from_threads() {
+        with_clean_telemetry(|| {
+            counter_add("eval.passes", 2);
+            counter_add("eval.passes", 3);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        let mut r = LocalRecorder::new();
+                        for _ in 0..100 {
+                            r.add("eval.components", 7);
+                        }
+                    });
+                }
+            });
+            let snap = global().snapshot();
+            assert_eq!(
+                snap.counters,
+                vec![
+                    ("eval.components".to_owned(), 2800),
+                    ("eval.passes".to_owned(), 5)
+                ]
+            );
+        });
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_parser() {
+        with_clean_telemetry(|| {
+            {
+                let _s = span("build");
+                counter_add("build.circuits", 1);
+            }
+            add_section("circuit", Value::obj([("cost", Value::Int(42))]));
+            let m = manifest();
+            let text = m.to_pretty();
+            let back = json::parse(&text).expect("manifest parses");
+            assert_eq!(
+                back.get("schema").unwrap().as_str(),
+                Some("absort-telemetry/v1")
+            );
+            let spans = back.get("spans").unwrap();
+            let build = spans.get("build").expect("build span present");
+            assert_eq!(build.get("count").unwrap().as_i64(), Some(1));
+            assert!(build.get("total_ns").unwrap().as_i64().unwrap() >= 0);
+            assert_eq!(
+                back.get("counters")
+                    .unwrap()
+                    .get("build.circuits")
+                    .unwrap()
+                    .as_i64(),
+                Some(1)
+            );
+            assert_eq!(
+                back.get("circuit").unwrap().get("cost").unwrap().as_i64(),
+                Some(42)
+            );
+        });
+    }
+
+    #[test]
+    fn report_renders_tree() {
+        with_clean_telemetry(|| {
+            {
+                let _a = span("build");
+                let _b = span("adder");
+            }
+            counter_add("build.components", 9);
+            let r = render_report();
+            assert!(r.contains("build:"), "{r}");
+            assert!(r.contains("  adder:"), "{r}");
+            assert!(r.contains("build.components: 9"), "{r}");
+        });
+    }
+
+    #[test]
+    fn default_path_is_sanitised() {
+        let p = default_manifest_path("repro fig5/all");
+        let s = p.to_string_lossy();
+        assert!(s.starts_with("results/metrics/repro_fig5_all-"), "{s}");
+        assert!(s.ends_with(".json"));
+    }
+}

@@ -45,14 +45,30 @@ fn muxmerge_words(values: [u32; 4]) -> [u32; 4] {
     let s2 = v[3] > median;
     let sel = (usize::from(s1) << 1) | usize::from(s2);
     let q = [v[0], v[1], v[2], v[3]];
-    let pick = |p: [u8; 4]| [q[p[0] as usize], q[p[1] as usize], q[p[2] as usize], q[p[3] as usize]];
+    let pick = |p: [u8; 4]| {
+        [
+            q[p[0] as usize],
+            q[p[1] as usize],
+            q[p[2] as usize],
+            q[p[3] as usize],
+        ]
+    };
     let inw = pick(muxmerge::IN_SWAP[sel]);
     // merge the middle pair
-    let (a, b) = if inw[1] > inw[2] { (inw[2], inw[1]) } else { (inw[1], inw[2]) };
+    let (a, b) = if inw[1] > inw[2] {
+        (inw[2], inw[1])
+    } else {
+        (inw[1], inw[2])
+    };
     let joined = [inw[0], a, b, inw[3]];
     let j = joined;
     let out = muxmerge::OUT_SWAP[sel];
-    [j[out[0] as usize], j[out[1] as usize], j[out[2] as usize], j[out[3] as usize]]
+    [
+        j[out[0] as usize],
+        j[out[1] as usize],
+        j[out[2] as usize],
+        j[out[3] as usize],
+    ]
 }
 
 fn main() {
@@ -105,7 +121,10 @@ fn main() {
     }
 
     println!("3) What nonadaptivity costs (E17 ablation, measured):\n");
-    println!("{}", ablations::adaptivity_ablation(&[6, 10, 14, 18, 22]).render());
+    println!(
+        "{}",
+        ablations::adaptivity_ablation(&[6, 10, 14, 18, 22]).render()
+    );
     let n = 1 << 18;
     println!(
         "at n = 2^18 the nonadaptive bit-level Fig. 4(b) sorter needs {:.2}x the hardware\n\

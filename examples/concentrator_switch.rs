@@ -72,8 +72,11 @@ fn main() {
                     Ok(out) => {
                         // verify: exactly the offered flits, on the first
                         // `active` trunks, none lost or duplicated
-                        let got: Vec<&Flit> =
-                            out.iter().take(active).map(|o| o.as_ref().unwrap()).collect();
+                        let got: Vec<&Flit> = out
+                            .iter()
+                            .take(active)
+                            .map(|o| o.as_ref().unwrap())
+                            .collect();
                         let mut srcs: Vec<usize> = got.iter().map(|f| f.src_port).collect();
                         srcs.sort_unstable();
                         let mut want: Vec<usize> = req
@@ -101,12 +104,14 @@ fn main() {
             rejected_cycles,
             if verified { "ok" } else { "FAILED" }
         );
-        assert!(verified, "concentration property violated for {}", kind.name());
+        assert!(
+            verified,
+            "concentration property violated for {}",
+            kind.name()
+        );
     }
 
-    println!(
-        "\nThe fish-sorter concentrator is the O(n)-cost, O(lg^2 n)-time design the"
-    );
+    println!("\nThe fish-sorter concentrator is the O(n)-cost, O(lg^2 n)-time design the");
     println!("paper claims as the least-cost practical concentrator (Section IV).");
     let fish = Concentrator::new(SorterKind::Fish { k: None }, PORTS, TRUNKS);
     let mux = Concentrator::new(SorterKind::MuxMerger, PORTS, TRUNKS);

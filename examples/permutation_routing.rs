@@ -40,7 +40,10 @@ fn patterns() -> Vec<(&'static str, Vec<usize>)> {
     }
     vec![
         ("identity", (0..N).collect()),
-        ("bit-reversal", (0..N).map(|i| bit_reverse(i, bits)).collect()),
+        (
+            "bit-reversal",
+            (0..N).map(|i| bit_reverse(i, bits)).collect(),
+        ),
         ("perfect shuffle", (0..N).map(shuffle).collect()),
         ("matrix transpose", (0..N).map(transpose).collect()),
         ("random", random),
@@ -48,7 +51,10 @@ fn patterns() -> Vec<(&'static str, Vec<usize>)> {
 }
 
 fn main() {
-    println!("routing {} permutation patterns at n = {N}\n", patterns().len());
+    println!(
+        "routing {} permutation patterns at n = {N}\n",
+        patterns().len()
+    );
 
     let designs: Vec<(&str, Option<RadixPermuter>)> = vec![
         (
@@ -75,7 +81,11 @@ fn main() {
             Some(p) => (
                 p.cost(),
                 p.time(),
-                if p.is_packet_switched() { "packet" } else { "circuit" },
+                if p.is_packet_switched() {
+                    "packet"
+                } else {
+                    "circuit"
+                },
             ),
             None => (benes::table2_cost(N), benes::table2_time(N), "circuit"),
         };

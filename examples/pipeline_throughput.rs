@@ -83,6 +83,11 @@ fn main() {
         let ts = schedule::sorting_time(n, f.k, false) as f64;
         let tp = schedule::sorting_time(n, f.k, true) as f64;
         let l = a as f64;
-        println!("{:>6} {:>14.2} {:>14.2}", format!("2^{a}"), ts / (l * l * l), tp / (l * l));
+        println!(
+            "{:>6} {:>14.2} {:>14.2}",
+            format!("2^{a}"),
+            ts / (l * l * l),
+            tp / (l * l)
+        );
     }
 }

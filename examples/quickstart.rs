@@ -10,7 +10,10 @@ fn main() {
     let input = lang::bits("0110_1001_1100_0011");
     let n = input.len();
     println!("input  (n = {n}): {}", lang::show(&input, 4));
-    println!("sorted oracle   : {}\n", lang::show(&lang::sorted_oracle(&input), 4));
+    println!(
+        "sorted oracle   : {}\n",
+        lang::show(&lang::sorted_oracle(&input), 4)
+    );
 
     // --- functional forms -------------------------------------------------
     for kind in [
@@ -57,11 +60,7 @@ fn main() {
     assert_eq!(f.sort(&input), lang::sorted_oracle(&input));
 
     // --- payloads travel with their keys -----------------------------------
-    let tagged: Vec<(bool, char)> = input
-        .iter()
-        .zip('a'..)
-        .map(|(&b, c)| (b, c))
-        .collect();
+    let tagged: Vec<(bool, char)> = input.iter().zip('a'..).map(|(&b, c)| (b, c)).collect();
     let routed = SorterKind::MuxMerger.sort(&tagged);
     let payloads: String = routed.iter().map(|p| p.1).collect();
     println!("\npayloads after sorting: {payloads}");

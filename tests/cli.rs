@@ -72,7 +72,10 @@ fn inspect_prints_profile() {
     assert!(out.status.success());
     let s = stdout(&out);
     assert!(s.contains("depth:"), "{s}");
-    assert!(s.contains("prefix_sorter"), "hardware profile expected: {s}");
+    assert!(
+        s.contains("prefix_sorter"),
+        "hardware profile expected: {s}"
+    );
 
     let fish = run(&["inspect", "--network", "fish", "--n", "1024"]);
     assert!(fish.status.success());
@@ -109,5 +112,7 @@ fn dot_emits_graphviz() {
 fn usage_on_nonsense() {
     assert!(!run(&[]).status.success());
     assert!(!run(&["frobnicate"]).status.success());
-    assert!(!run(&["sort", "--network", "quantum", "0101"]).status.success());
+    assert!(!run(&["sort", "--network", "quantum", "0101"])
+        .status
+        .success());
 }

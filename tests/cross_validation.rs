@@ -11,7 +11,10 @@ use rand::prelude::*;
 #[test]
 fn circuits_sort_all_inputs_n16_lane_parallel() {
     let n = 16usize;
-    for (name, circuit) in [("prefix", prefix::build(n)), ("mux-merger", muxmerge::build(n))] {
+    for (name, circuit) in [
+        ("prefix", prefix::build(n)),
+        ("mux-merger", muxmerge::build(n)),
+    ] {
         let mut ev: Evaluator<'_, u64> = Evaluator::new(&circuit);
         let total = 1u64 << n;
         let mut base = 0u64;
@@ -32,10 +35,7 @@ fn circuits_sort_all_inputs_n16_lane_parallel() {
                 for (i, word) in out.iter().enumerate() {
                     let bit = word >> v & 1 == 1;
                     let expect = i >= n - ones;
-                    assert!(
-                        bit == expect,
-                        "{name}: input {input:016b}, output line {i}"
-                    );
+                    assert!(bit == expect, "{name}: input {input:016b}, output line {i}");
                 }
             }
             base += count;

@@ -17,11 +17,8 @@ fn radix_permuter_agrees_with_benes_on_random_permutations() {
             let via_benes = benes::permute(&perm, &payloads).unwrap();
             for kind in ALL_KINDS {
                 let rp = RadixPermuter::new(kind, n);
-                let packets: Vec<(usize, u32)> = perm
-                    .iter()
-                    .zip(&payloads)
-                    .map(|(&d, &p)| (d, p))
-                    .collect();
+                let packets: Vec<(usize, u32)> =
+                    perm.iter().zip(&payloads).map(|(&d, &p)| (d, p)).collect();
                 let via_rp = rp.route(&packets).unwrap();
                 assert_eq!(via_rp, via_benes, "{} n={n}", kind.name());
             }
@@ -66,11 +63,7 @@ fn concentrator_then_permuter_pipeline() {
 
         // pad the idle tail with the unused destinations to form a full
         // permutation for the second stage
-        let used: Vec<usize> = concentrated
-            .iter()
-            .flatten()
-            .map(|&(d, _)| d)
-            .collect();
+        let used: Vec<usize> = concentrated.iter().flatten().map(|&(d, _)| d).collect();
         let mut unused: Vec<usize> = (0..n).filter(|d| !used.contains(d)).collect();
         let packets: Vec<(usize, Option<u64>)> = concentrated
             .iter()

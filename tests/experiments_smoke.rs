@@ -11,7 +11,11 @@ fn e5_prefix_sweep_regenerates() {
     let rendered = sweeps::render_sorter_sweep(&pts, "3n lg n");
     assert!(rendered.contains("4096"));
     // cost ratio to n lg n converges to ~3 from above/below within ±1
-    let last = pts.iter().rev().find(|p| p.measured_cost.is_some()).unwrap();
+    let last = pts
+        .iter()
+        .rev()
+        .find(|p| p.measured_cost.is_some())
+        .unwrap();
     let ratio =
         last.measured_cost.unwrap() as f64 / (last.n as f64 * (last.n.trailing_zeros() as f64));
     assert!((2.0..4.5).contains(&ratio), "ratio {ratio}");

@@ -1,0 +1,175 @@
+//! End-to-end test of the telemetry pipeline: run the real `absort`
+//! binary with `--metrics`, then parse the JSON run manifest it writes
+//! and check the spans and counters a build must produce.
+
+use absort_telemetry::json;
+use std::process::{Command, Output};
+
+fn run(args: &[&str], dir: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_absort"))
+        .args(args)
+        .current_dir(dir)
+        .env_remove("ABSORT_METRICS")
+        .output()
+        .expect("spawn absort CLI")
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("absort_metrics_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn inspect_writes_valid_manifest() {
+    let dir = temp_dir("inspect");
+    let manifest_path = dir.join("inspect.json");
+    let out = run(
+        &[
+            "inspect",
+            "--network",
+            "prefix",
+            "--n",
+            "64",
+            "--metrics-out",
+            manifest_path.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The stderr report is the human half of the exporter pair.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("telemetry: spans"), "{err}");
+    assert!(err.contains("build.components"), "{err}");
+
+    let text = std::fs::read_to_string(&manifest_path).expect("manifest written");
+    let m = json::parse(&text).expect("manifest is valid JSON");
+    assert_eq!(
+        m.get("schema").and_then(json::Value::as_str),
+        Some("absort-telemetry/v1")
+    );
+
+    // Build spans must exist with nonzero wall-clock time.
+    let spans = m
+        .get("spans")
+        .and_then(json::Value::as_obj)
+        .expect("spans object");
+    assert!(spans.len() >= 5, "expected >= 5 spans, got {}", spans.len());
+    let build_total = m
+        .get("spans")
+        .and_then(|s| s.get("inspect/build"))
+        .and_then(|s| s.get("total_ns"))
+        .and_then(json::Value::as_i64)
+        .expect("inspect/build span recorded");
+    assert!(build_total > 0, "build span must have nonzero time");
+    assert!(
+        spans.iter().any(|(path, _)| path.contains("prefix_sorter")),
+        "builder scope spans expected in {:?}",
+        spans.iter().map(|(p, _)| p).collect::<Vec<_>>()
+    );
+
+    // Component counters from Builder::finish.
+    let counters = m.get("counters").expect("counters object");
+    let counter = |name: &str| {
+        counters
+            .get(name)
+            .and_then(json::Value::as_i64)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    assert_eq!(counter("build.circuits"), 1);
+    assert!(counter("build.components") > 0);
+    assert!(counter("build.wires") > counter("build.components"));
+
+    // The inspect command also records what it measured.
+    let circuit = m.get("circuit").expect("circuit section");
+    assert_eq!(
+        circuit.get("network").and_then(json::Value::as_str),
+        Some("prefix")
+    );
+    assert_eq!(circuit.get("n").and_then(json::Value::as_i64), Some(64));
+    assert!(circuit.get("cost").and_then(json::Value::as_i64).unwrap() > 0);
+    assert!(
+        circuit
+            .get("mean_fanout")
+            .and_then(json::Value::as_f64)
+            .unwrap()
+            > 0.0
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_flag_defaults_to_results_dir() {
+    let dir = temp_dir("default_path");
+    let out = run(
+        &[
+            "inspect",
+            "--network",
+            "mux-merger",
+            "--n",
+            "32",
+            "--metrics",
+        ],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let metrics_dir = dir.join("results").join("metrics");
+    let entries: Vec<_> = std::fs::read_dir(&metrics_dir)
+        .expect("results/metrics created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(entries.len(), 1, "exactly one manifest: {entries:?}");
+    let m = json::parse(&std::fs::read_to_string(&entries[0]).unwrap()).expect("valid JSON");
+    assert!(m
+        .get("counters")
+        .and_then(|c| c.get("build.circuits"))
+        .is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_metrics_means_no_manifest_and_clean_stderr() {
+    let dir = temp_dir("off");
+    let out = run(&["inspect", "--network", "prefix", "--n", "32"], &dir);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !err.contains("telemetry"),
+        "telemetry must be silent when off: {err}"
+    );
+    assert!(
+        !dir.join("results").exists(),
+        "no manifest directory when off"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flag_errors_name_the_flag() {
+    let dir = temp_dir("flags");
+    let bad = run(&["inspect", "--network", "prefix", "--n", "banana"], &dir);
+    assert!(!bad.status.success());
+    let err = String::from_utf8_lossy(&bad.stderr);
+    assert!(err.contains("--n") && err.contains("banana"), "{err}");
+
+    let missing = run(&["inspect", "--network"], &dir);
+    assert!(!missing.status.success());
+    let err = String::from_utf8_lossy(&missing.stderr);
+    assert!(err.contains("--network requires a value"), "{err}");
+
+    let unknown = run(&["inspect", "--frobnicate"], &dir);
+    assert!(!unknown.status.success());
+    let err = String::from_utf8_lossy(&unknown.stderr);
+    assert!(err.contains("unknown flag --frobnicate"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -115,7 +115,10 @@ fn wrong_in_swap_select_violates_theorem3_typing() {
             break;
         }
     }
-    assert!(violated, "the wrong select must break the invariant somewhere");
+    assert!(
+        violated,
+        "the wrong select must break the invariant somewhere"
+    );
 }
 
 #[test]
@@ -135,8 +138,15 @@ fn inverted_patchup_select_fails_to_sort() {
         if sel {
             y.rotate_left(m / 2);
         }
-        let sub_ones = if sel { ones.saturating_sub(m / 2) } else { ones };
-        let lower = bad_patchup(&y[m / 2..], sub_ones.min(y[m / 2..].iter().filter(|&&b| b).count()));
+        let sub_ones = if sel {
+            ones.saturating_sub(m / 2)
+        } else {
+            ones
+        };
+        let lower = bad_patchup(
+            &y[m / 2..],
+            sub_ones.min(y[m / 2..].iter().filter(|&&b| b).count()),
+        );
         let mut out = y[..m / 2].to_vec();
         out.extend_from_slice(&lower);
         if sel {
@@ -212,7 +222,10 @@ fn gate_level_mutation_score_of_the_exhaustive_checker() {
         )
     });
     assert!(total >= 45, "expected many mutants, got {total}");
-    assert_eq!(killed, total, "all inverted-behaviour mutants must be caught");
+    assert_eq!(
+        killed, total,
+        "all inverted-behaviour mutants must be caught"
+    );
 }
 
 #[test]

@@ -62,7 +62,11 @@ fn permuter_at_1024_with_fish() {
     let perm: Vec<usize> = (0..n)
         .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
         .collect();
-    let packets: Vec<(usize, u32)> = perm.iter().enumerate().map(|(i, &d)| (d, i as u32)).collect();
+    let packets: Vec<(usize, u32)> = perm
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (d, i as u32))
+        .collect();
     let out = rp.route(&packets).unwrap();
     for (i, &d) in perm.iter().enumerate() {
         assert_eq!(out[d], i as u32);

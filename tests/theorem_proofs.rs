@@ -5,9 +5,7 @@
 //! — i.e. not just "the conclusion holds" but "the conclusion holds for
 //! the reason the paper gives, in the case the paper assigns it to".
 
-use absort::core::lang::{
-    self, balanced_stage, in_a_n, is_clean, show,
-};
+use absort::core::lang::{self, balanced_stage, in_a_n, is_clean, show};
 
 /// Decomposes an `A_n` member into the (k_a, k_b, k_c) part sizes of
 /// Definition 1: a leading 00/11 run, a middle 01/10 run, a trailing
@@ -168,7 +166,10 @@ fn theorem2_literal_subcase_reading_is_falsified() {
     let (yu, yl) = y.split_at(6);
     assert!(is_clean(yu), "upper half IS clean (all 0s)");
     assert!(!yl.iter().all(|&b| b), "lower half is NOT all 1s");
-    assert!(in_a_n(yl), "…but it is in A_6, so Theorem 2's conclusion holds");
+    assert!(
+        in_a_n(yl),
+        "…but it is in A_6, so Theorem 2's conclusion holds"
+    );
 }
 
 /// Theorem 3's proof hinges on "if there are more 0's than 1's in X_U,
@@ -183,7 +184,11 @@ fn theorem3_proof_middle_bit_reading() {
         let zeros_u = xu.iter().filter(|&&b| !b).count();
         let s1 = x[q];
         if zeros_u > n / 4 {
-            assert!(!s1, "more 0s than quarter ⇒ top of Xq2 is 0: {}", show(&x, 4));
+            assert!(
+                !s1,
+                "more 0s than quarter ⇒ top of Xq2 is 0: {}",
+                show(&x, 4)
+            );
             assert!(x[..q].iter().all(|&b| !b), "Xq1 all 0s");
             assert!(lang::is_sorted(&x[q..2 * q]), "Xq2 sorted");
         }

@@ -7,8 +7,7 @@ use proptest::prelude::*;
 
 /// A random power-of-two-length bit vector, 2^1..=2^maxexp.
 fn pow2_bits(max_exp: u32) -> impl Strategy<Value = Vec<bool>> {
-    (1..=max_exp)
-        .prop_flat_map(|a| proptest::collection::vec(any::<bool>(), 1usize << a))
+    (1..=max_exp).prop_flat_map(|a| proptest::collection::vec(any::<bool>(), 1usize << a))
 }
 
 /// A random sorted bit vector of the given length.
