@@ -7,6 +7,7 @@
 //! absort inspect --network prefix --n 256
 //! absort verify --network fish --n 16
 //! absort dot --network mux-merger --n 16
+//! absort --network prefix --faults --faults-out report.json
 //! ```
 
 use absort::circuit::dot;
@@ -36,11 +37,19 @@ fn usage() -> ! {
            eval        <netlist-file> <bits>\n\
                        load a saved netlist and evaluate it\n\
          \n\
+         fault campaigns (no subcommand):\n\
+           absort --network <prefix|mux-merger|fish|batcher|all> --faults\n\
+                  [--n <size>] [--faults-out <path>]\n\
+                  sweep fault sites x fault kinds, score detection and\n\
+                  degradation, write a JSON report under results/faults/\n\
+         \n\
          options:\n\
            --metrics             record spans/counters; print a telemetry\n\
                                  report to stderr and write a JSON run\n\
                                  manifest under results/metrics/\n\
-           --metrics-out <path>  like --metrics, with an explicit manifest path"
+           --metrics-out <path>  like --metrics, with an explicit manifest path\n\
+           --faults              run a fault-injection campaign\n\
+           --faults-out <path>   report path (requires --faults)"
     );
     exit(2);
 }
@@ -73,6 +82,8 @@ struct Args {
     m: Option<usize>,
     metrics: bool,
     metrics_out: Option<String>,
+    faults: bool,
+    faults_out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -83,6 +94,8 @@ fn parse_args(argv: &[String]) -> Args {
         m: None,
         metrics: false,
         metrics_out: None,
+        faults: false,
+        faults_out: None,
         positional: Vec::new(),
     };
     let mut it = argv.iter();
@@ -110,12 +123,28 @@ fn parse_args(argv: &[String]) -> Args {
                         .clone(),
                 );
             }
+            "--faults" => a.faults = true,
+            "--faults-out" => {
+                a.faults_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| flag_error("--faults-out", None))
+                        .clone(),
+                );
+            }
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other}\n");
                 usage()
             }
             other => a.positional.push(other.to_string()),
         }
+    }
+    // Flag dependency: a report path without the campaign flag is a
+    // mistake worth naming precisely, not silently accepting.
+    if a.faults_out.is_some() && !a.faults {
+        eprintln!(
+            "error: --faults-out requires --faults (it names the fault-campaign report path)\n"
+        );
+        usage();
     }
     a
 }
@@ -370,7 +399,106 @@ fn record_circuit_section(network: &str, n: usize, stats: &absort::circuit::Stat
     );
 }
 
+fn unix_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+/// Runs the fault-injection campaign (`absort --network <x> --faults`):
+/// builds the selected networks, sweeps every fault kind over their
+/// fault sites, prints a detection/degradation summary, and writes the
+/// JSON report (default `results/faults/campaign-<unix-ms>.json`).
+fn cmd_faults(a: &Args) {
+    use absort::analysis::faults::{self as fc, NetworkSel};
+    let n = a.n.unwrap_or(8);
+    require_pow2(n);
+    let networks: Vec<NetworkSel> = if a.network == "all" {
+        NetworkSel::ALL.to_vec()
+    } else {
+        match NetworkSel::parse(&a.network) {
+            Some(sel) => vec![sel],
+            None => {
+                eprintln!(
+                    "unknown network {:?} (try prefix | mux-merger | fish | batcher | all)",
+                    a.network
+                );
+                exit(2);
+            }
+        }
+    };
+    let cfg = fc::CampaignConfig {
+        n,
+        ..Default::default()
+    };
+    let report = fc::run_campaign(&networks, &cfg);
+
+    for net in &report.networks {
+        println!(
+            "{} n={}  [{} tier: {} vectors/site, {} components]",
+            net.network, net.n, net.tier, net.vectors, net.components
+        );
+        for k in &net.kinds {
+            println!(
+                "  {:<18} injected {:>4}  detected {:>4}  masked {:>4}  rate {:.3}  \
+                 worst inversions {:>3}  worst displacement {:>3}",
+                k.kind.map_or("?", |k| k.name()),
+                k.injected,
+                k.detected,
+                k.masked,
+                k.detection_rate(),
+                k.degradation.max_inversions,
+                k.degradation.max_displacement,
+            );
+        }
+        println!(
+            "  permanent-fault detection rate: {:.3}",
+            net.permanent_detection_rate()
+        );
+    }
+
+    let path = a
+        .faults_out
+        .clone()
+        .unwrap_or_else(|| format!("results/faults/campaign-{}.json", unix_ms()));
+    let write_result = {
+        #[cfg(feature = "telemetry")]
+        {
+            // The report rides in the run manifest (spans and counters of
+            // the campaign included) via the telemetry manifest writer.
+            absort_telemetry::add_section("faults", report.to_json());
+            absort_telemetry::write_manifest(std::path::Path::new(&path))
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let p = std::path::Path::new(&path);
+            if let Some(parent) = p.parent() {
+                if !parent.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+            }
+            std::fs::write(p, report.to_json().to_pretty())
+        }
+    };
+    match write_result {
+        Ok(()) => println!("fault report: {path}"),
+        Err(e) => {
+            eprintln!("error: cannot write fault report {path}: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn run_command(cmd: &str, rest: &Args) {
+    // The campaign flags belong to the standalone flag-only mode; accepting
+    // them here and doing nothing would silently drop the user's ask.
+    if rest.faults || rest.faults_out.is_some() {
+        eprintln!(
+            "error: --faults/--faults-out run standalone: absort --network <x> --faults [--faults-out <path>]\n"
+        );
+        usage();
+    }
     match cmd {
         "sort" => cmd_sort(rest),
         "route" => cmd_route(rest),
@@ -388,6 +516,17 @@ fn run_command(cmd: &str, rest: &Args) {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { usage() };
+    if cmd.starts_with("--") {
+        // Flag-only invocation: the fault-campaign mode.
+        let a = parse_args(&argv);
+        if !a.faults {
+            usage();
+        }
+        absort_telemetry::init_from_env();
+        absort_telemetry::set_enabled(true);
+        cmd_faults(&a);
+        return;
+    }
     let rest = parse_args(&argv[1..]);
     absort_telemetry::init_from_env();
     if rest.metrics {
@@ -418,6 +557,15 @@ fn main() {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { usage() };
+    if cmd.starts_with("--") {
+        // Flag-only invocation: the fault-campaign mode.
+        let a = parse_args(&argv);
+        if !a.faults {
+            usage();
+        }
+        cmd_faults(&a);
+        return;
+    }
     let rest = parse_args(&argv[1..]);
     if rest.metrics {
         eprintln!(

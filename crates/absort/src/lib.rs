@@ -19,7 +19,9 @@
 //! * [`networks`] — concentrators and radix permuters built from the
 //!   sorters, and the Beneš baseline (Section IV);
 //! * [`analysis`] — experiment drivers regenerating every table and
-//!   figure (see EXPERIMENTS.md).
+//!   figure (see EXPERIMENTS.md);
+//! * [`faults`] — the fault taxonomy, degradation metrics, and campaign
+//!   report types behind `absort --faults` (resilience analysis).
 //!
 //! ## Quickstart
 //!
@@ -45,4 +47,5 @@ pub use absort_blocks as blocks;
 pub use absort_circuit as circuit;
 pub use absort_cmpnet as cmpnet;
 pub use absort_core as core;
+pub use absort_faults as faults;
 pub use absort_networks as networks;

@@ -1,0 +1,396 @@
+//! Fault-injection campaigns over the paper's networks (resilience
+//! analysis).
+//!
+//! Sweeps every fault kind of the `absort-faults` taxonomy over fault
+//! sites of the prefix sorter, the mux-based merge sorter, the fish
+//! k-way merger, and the nonadaptive (Batcher-equal) sorter, and scores
+//! two things per (network, fault kind):
+//!
+//! * **detection** — did some valid input produce an output differing
+//!   from the sorted oracle? A fault the exhaustive checker cannot see
+//!   escapes verification; the acceptance bar is 100% detection of
+//!   permanent single faults at small `n` (fault-site enumeration already
+//!   excludes provably vacuous sites — see
+//!   `absort_circuit::faulty::permanent_fault_sites`);
+//! * **graceful degradation** — across all faulty outputs, the worst
+//!   Kendall-tau inversion count, the worst element displacement, and how
+//!   often the fault destroyed/created tokens outright
+//!   ([`absort_faults::Degradation`]).
+//!
+//! Component-granularity faults (behaviour inversion, stuck selects) are
+//! injected by netlist rewriting (`absort_circuit::mutate`); wire
+//! stuck-ats, bridges, and transient upsets are injected at evaluation
+//! time (`absort_circuit::faulty`). Valid inputs are the network's
+//! contract: all `2^n` vectors for the sorters, the k-sorted sequences
+//! (Definition 4) for the merger. Beyond `max_exhaustive` vectors the
+//! checker drops to a seeded random sample and the report's `tier` says
+//! so.
+
+use absort_circuit::eval::{pack_lanes, unpack_lanes};
+use absort_circuit::faulty::{observable_wires, permanent_fault_sites, FaultyEvaluator};
+use absort_circuit::mutate::{self, Fault};
+use absort_circuit::{Circuit, Evaluator, WireFault};
+use absort_core::{fish, lang, muxmerge, nonadaptive, prefix};
+use absort_faults::{CampaignReport, Degradation, FaultKind, KindReport, NetworkReport};
+use rand::prelude::*;
+
+/// A network the campaign can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkSel {
+    /// Prefix-sum adaptive sorter (`absort_core::prefix`).
+    Prefix,
+    /// Mux-based merge sorter (`absort_core::muxmerge`).
+    MuxMerger,
+    /// Fish k-way merger, combinational form (`absort_core::fish`).
+    Fish,
+    /// Nonadaptive sorter — Batcher-equal cost (`absort_core::nonadaptive`).
+    Batcher,
+}
+
+impl NetworkSel {
+    /// All four targets, in report order.
+    pub const ALL: [NetworkSel; 4] = [
+        NetworkSel::Prefix,
+        NetworkSel::MuxMerger,
+        NetworkSel::Fish,
+        NetworkSel::Batcher,
+    ];
+
+    /// Stable name used in reports and telemetry paths.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkSel::Prefix => "prefix",
+            NetworkSel::MuxMerger => "mux-merger",
+            NetworkSel::Fish => "fish",
+            NetworkSel::Batcher => "batcher",
+        }
+    }
+
+    /// Parses a CLI `--network` value (`"all"` is handled by the caller).
+    pub fn parse(s: &str) -> Option<NetworkSel> {
+        match s {
+            "prefix" => Some(NetworkSel::Prefix),
+            "muxmerge" | "mux-merger" | "muxmerger" => Some(NetworkSel::MuxMerger),
+            "fish" => Some(NetworkSel::Fish),
+            "batcher" | "nonadaptive" => Some(NetworkSel::Batcher),
+            _ => None,
+        }
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Input width each network is built at (power of two).
+    pub n: usize,
+    /// Seed for sampled tiers and transient-fault placement.
+    pub seed: u64,
+    /// Valid-input count above which the checker samples instead of
+    /// enumerating (the report's `tier` records which happened).
+    pub max_exhaustive: usize,
+    /// Transient (wire, vector) upsets injected per network.
+    pub transient_samples: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            n: 8,
+            seed: 0x0ab5_0127,
+            max_exhaustive: 1 << 12,
+            transient_samples: 64,
+        }
+    }
+}
+
+/// Builds the circuit for one target at width `n`.
+pub fn build_network(sel: NetworkSel, n: usize) -> Circuit {
+    match sel {
+        NetworkSel::Prefix => prefix::build(n),
+        NetworkSel::MuxMerger => muxmerge::build(n),
+        NetworkSel::Fish => fish::circuits::build_combinational_kmerger(n, fish_k(n)),
+        NetworkSel::Batcher => nonadaptive::build(n),
+    }
+}
+
+/// Group count for the fish merger at width `n`: the largest power of two
+/// `k` with `k ≤ n/k` (the builder's own bound), and at least 2.
+pub fn fish_k(n: usize) -> usize {
+    let mut k = 2;
+    while 2 * k <= n / (2 * k) {
+        k *= 2;
+    }
+    k
+}
+
+/// The network's valid-input space at width `n`: every vector the
+/// network's contract covers. Sorters accept anything; the fish merger
+/// requires its `k` blocks individually sorted (Definition 4).
+fn valid_inputs(sel: NetworkSel, n: usize) -> Vec<Vec<bool>> {
+    match sel {
+        NetworkSel::Fish => lang::all_k_sorted(n, fish_k(n)),
+        _ => lang::all_sequences(n).collect(),
+    }
+}
+
+/// Oracle outputs plus per-vector popcounts for a workload.
+struct Workload {
+    vectors: Vec<Vec<bool>>,
+    oracle: Vec<Vec<bool>>,
+    ones: Vec<usize>,
+    tier: &'static str,
+}
+
+fn workload(sel: NetworkSel, cfg: &CampaignConfig) -> Workload {
+    let mut vectors = valid_inputs(sel, cfg.n);
+    let tier = if vectors.len() <= cfg.max_exhaustive {
+        "exhaustive"
+    } else {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut sampled = Vec::with_capacity(cfg.max_exhaustive);
+        for _ in 0..cfg.max_exhaustive {
+            sampled.push(vectors[rng.gen_range(0..vectors.len())].clone());
+        }
+        vectors = sampled;
+        "sampled"
+    };
+    let oracle: Vec<Vec<bool>> = vectors.iter().map(|v| lang::sorted_oracle(v)).collect();
+    let ones = vectors
+        .iter()
+        .map(|v| v.iter().filter(|&&b| b).count())
+        .collect();
+    Workload {
+        vectors,
+        oracle,
+        ones,
+        tier,
+    }
+}
+
+/// Outcome of sweeping one faulty variant over the whole workload.
+struct Verdict {
+    /// The zero-one checker fired: some output was unsorted or did not
+    /// conserve its input's popcount.
+    detected: bool,
+    /// Some output differed from the fault-free reference at all. A site
+    /// with `!differed` is *masked* (the network tolerates it); a site
+    /// with `differed && !detected` escaped the checker.
+    differed: bool,
+}
+
+/// Scores one faulty variant: runs every workload vector through
+/// `eval_pass` in packed 64-lane chunks, applies the zero-one checker to
+/// each output, and folds violating outputs into `degradation`.
+fn score_variant(
+    w: &Workload,
+    n_inputs: usize,
+    mut eval_pass: impl FnMut(&[u64]) -> Vec<u64>,
+    degradation: &mut Degradation,
+) -> Verdict {
+    let mut v = Verdict {
+        detected: false,
+        differed: false,
+    };
+    let mut base = 0usize;
+    for chunk in w.vectors.chunks(64) {
+        let packed = pack_lanes(chunk, n_inputs);
+        let outs = unpack_lanes(&eval_pass(&packed), chunk.len());
+        for (i, out) in outs.iter().enumerate() {
+            if out != &w.oracle[base + i] {
+                v.differed = true;
+            }
+            // The deployable checker: no oracle needed, just the
+            // zero-one sort property plus token conservation.
+            let ones = out.iter().filter(|&&b| b).count();
+            if !lang::is_sorted(out) || ones != w.ones[base + i] {
+                v.detected = true;
+                degradation.observe(out, w.ones[base + i]);
+            }
+        }
+        base += chunk.len();
+    }
+    v
+}
+
+/// Folds one variant's verdict into a report cell.
+fn tally(cell: &mut KindReport, v: Verdict) {
+    cell.injected += 1;
+    if v.detected {
+        cell.detected += 1;
+    } else if !v.differed {
+        cell.masked += 1;
+    }
+}
+
+/// Runs the full sweep for one network and returns its report.
+pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
+    #[cfg(feature = "telemetry")]
+    let _span = absort_telemetry::span(&format!("faults/{}", sel.name()));
+    let circuit = build_network(sel, cfg.n);
+    circuit
+        .validate()
+        .unwrap_or_else(|e| panic!("{} netlist failed validation: {e}", sel.name()));
+    let w = workload(sel, cfg);
+
+    let mut kinds: Vec<KindReport> = Vec::new();
+
+    // --- component-granularity faults via netlist rewriting -------------
+    for fault in Fault::ALL {
+        let kind = match fault {
+            Fault::InvertBehaviour => FaultKind::InvertBehaviour,
+            Fault::StuckSelectLow => FaultKind::StuckSelectLow,
+            Fault::StuckSelectHigh => FaultKind::StuckSelectHigh,
+        };
+        let mut cell = KindReport {
+            kind: Some(kind),
+            ..Default::default()
+        };
+        for (_, mutant) in mutate::mutants(&circuit, fault) {
+            // Rewritten mutants must stay structurally sound before they
+            // are trusted with an evaluation sweep.
+            mutant
+                .validate()
+                .unwrap_or_else(|e| panic!("mutant failed validation: {e}"));
+            let mut ev: Evaluator<'_, u64> = Evaluator::new(&mutant);
+            let v = score_variant(&w, cfg.n, |p| ev.run(p), &mut cell.degradation);
+            tally(&mut cell, v);
+        }
+        kinds.push(cell);
+    }
+
+    // --- wire-granularity permanent faults via the faulty evaluator -----
+    let sites = permanent_fault_sites(&circuit, &w.vectors);
+    for kind in [
+        FaultKind::StuckAt0,
+        FaultKind::StuckAt1,
+        FaultKind::BridgeOr,
+    ] {
+        let mut cell = KindReport {
+            kind: Some(kind),
+            ..Default::default()
+        };
+        for &site in sites.iter().filter(|s| match kind {
+            FaultKind::StuckAt0 => matches!(s, WireFault::StuckAt { value: false, .. }),
+            FaultKind::StuckAt1 => matches!(s, WireFault::StuckAt { value: true, .. }),
+            _ => matches!(s, WireFault::BridgeOr { .. }),
+        }) {
+            let mut ev: FaultyEvaluator<'_, u64> = FaultyEvaluator::new(&circuit, &[site]);
+            let v = score_variant(&w, cfg.n, |p| ev.run(p), &mut cell.degradation);
+            tally(&mut cell, v);
+        }
+        kinds.push(cell);
+    }
+
+    // --- transient upsets: sampled (wire, vector) pairs -----------------
+    let mut cell = KindReport {
+        kind: Some(FaultKind::TransientFlip),
+        ..Default::default()
+    };
+    let cone = observable_wires(&circuit);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7f1b);
+    for _ in 0..cfg.transient_samples {
+        let wire = cone[rng.gen_range(0..cone.len())];
+        let vector = rng.gen_range(0..w.vectors.len()) as u64;
+        let fault = WireFault::TransientFlip { wire, vector };
+        let mut ev: FaultyEvaluator<'_, u64> = FaultyEvaluator::new(&circuit, &[fault]);
+        let v = score_variant(&w, cfg.n, |p| ev.run(p), &mut cell.degradation);
+        tally(&mut cell, v);
+    }
+    kinds.push(cell);
+
+    #[cfg(feature = "telemetry")]
+    {
+        let injected: u64 = kinds.iter().map(|k| k.injected).sum();
+        let detected: u64 = kinds.iter().map(|k| k.detected).sum();
+        absort_telemetry::counter_add_many(&[
+            ("faults.sites", injected),
+            ("faults.detected", detected),
+            (
+                "faults.vectors_evaluated",
+                injected * w.vectors.len() as u64,
+            ),
+        ]);
+    }
+
+    NetworkReport {
+        network: sel.name().to_owned(),
+        n: cfg.n,
+        components: circuit.n_components() as u64,
+        tier: w.tier.to_owned(),
+        vectors: w.vectors.len() as u64,
+        kinds,
+    }
+}
+
+/// Runs the campaign over the given targets.
+pub fn run_campaign(networks: &[NetworkSel], cfg: &CampaignConfig) -> CampaignReport {
+    #[cfg(feature = "telemetry")]
+    let _span = absort_telemetry::span("faults");
+    CampaignReport {
+        seed: cfg.seed,
+        networks: networks.iter().map(|&s| run_network(s, cfg)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fish_k_respects_builder_bound() {
+        assert_eq!(fish_k(8), 2);
+        assert_eq!(fish_k(16), 4);
+        assert_eq!(fish_k(32), 4);
+        for n in [4, 8, 16, 32, 64] {
+            let k = fish_k(n);
+            assert!(k >= 2 && k <= n / k, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn network_parse_roundtrips() {
+        for sel in NetworkSel::ALL {
+            assert_eq!(NetworkSel::parse(sel.name()), Some(sel));
+        }
+        assert_eq!(NetworkSel::parse("mux-merger"), Some(NetworkSel::MuxMerger));
+        assert_eq!(NetworkSel::parse("nope"), None);
+    }
+
+    #[test]
+    fn all_permanent_faults_detected_at_n4() {
+        // The full acceptance-criteria run at n=8 lives in tests/faults.rs;
+        // this in-crate smoke keeps the invariant cheap to check.
+        let cfg = CampaignConfig {
+            n: 4,
+            ..Default::default()
+        };
+        for sel in NetworkSel::ALL {
+            let report = run_network(sel, &cfg);
+            assert_eq!(report.tier, "exhaustive");
+            assert_eq!(
+                report.permanent_detection_rate(),
+                1.0,
+                "network {} leaked a permanent fault",
+                report.network
+            );
+            let injected: u64 = report.kinds.iter().map(|k| k.injected).sum();
+            assert!(injected > 0, "network {} swept no sites", report.network);
+        }
+    }
+
+    #[test]
+    fn degradation_is_nonzero_for_detected_faults() {
+        let cfg = CampaignConfig {
+            n: 4,
+            ..Default::default()
+        };
+        let report = run_network(NetworkSel::Prefix, &cfg);
+        let worst = report
+            .kinds
+            .iter()
+            .map(|k| k.degradation.max_inversions)
+            .max()
+            .unwrap();
+        assert!(worst > 0, "some fault must disorder some output");
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`traces`] — the worked examples of Figs. 8 and 9 (E9, E10);
 //! * [`ablations`] — design-choice ablations measured on the built
 //!   circuits: adder kind, adaptivity, time-multiplexed dispatch
-//!   (E16–E18).
+//!   (E16–E18);
+//! * [`faults`] — fault-injection campaigns: detection and graceful
+//!   degradation of the four networks under the `absort-faults`
+//!   taxonomy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@ pub mod ablations;
 pub mod checklist;
 pub mod concentrators;
 pub mod crossover;
+pub mod faults;
 pub mod figures;
 pub mod sweeps;
 pub mod table;

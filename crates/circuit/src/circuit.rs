@@ -2,8 +2,9 @@
 
 use crate::component::{Component, Placed};
 use crate::cost::{CostReport, KindCounts};
-use crate::eval::Evaluator;
+use crate::eval::{EvalError, Evaluator};
 use crate::scope::ScopeTree;
+use crate::validate::ValidateError;
 use crate::wire::Wire;
 
 /// An immutable combinational circuit produced by [`crate::Builder`].
@@ -87,10 +88,38 @@ impl Circuit {
         &self.consts
     }
 
+    /// The `i`-th primary input wire (declaration order). Panics if out
+    /// of range. Used to name fault sites and probe points from outside
+    /// the crate, where `Wire`s cannot be constructed directly.
+    #[inline]
+    pub fn input_wire(&self, i: usize) -> Wire {
+        self.inputs[i]
+    }
+
+    /// The `i`-th designated output wire (declaration order). Panics if
+    /// out of range.
+    #[inline]
+    pub fn output_wire(&self, i: usize) -> Wire {
+        self.outputs[i]
+    }
+
     /// The scope tree for cost attribution.
     #[inline]
     pub fn scopes(&self) -> &ScopeTree {
         &self.scopes
+    }
+
+    // ---- validation ------------------------------------------------------
+
+    /// Checks the structural invariants every evaluation engine relies on
+    /// (single drivers, topological order, in-range wire references,
+    /// consistent constants, genuine 4×4 permutations, at least one
+    /// output) and reports the first violation as a typed
+    /// [`ValidateError`]. Builder-produced circuits always pass; use this
+    /// on netlists from [`crate::serdes`] or hand-assembled mutants before
+    /// handing them to a sweep.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        crate::validate::validate(self)
     }
 
     // ---- cost ----------------------------------------------------------
@@ -199,6 +228,29 @@ impl Circuit {
     /// shape with outputs.
     pub fn eval_batch_parallel(&self, vectors: &[Vec<bool>], threads: usize) -> Vec<Vec<bool>> {
         crate::eval::eval_batch_parallel(self, vectors, threads)
+    }
+
+    /// Checked [`Circuit::eval`]: rejects a wrong-arity input slice with a
+    /// typed [`EvalError`] instead of panicking.
+    pub fn try_eval(&self, inputs: &[bool]) -> Result<Vec<bool>, EvalError> {
+        Evaluator::new(self).try_run(inputs)
+    }
+
+    /// Checked [`Circuit::eval_lanes`].
+    pub fn try_eval_lanes(&self, inputs: &[u64]) -> Result<Vec<u64>, EvalError> {
+        Evaluator::new(self).try_run(inputs)
+    }
+
+    /// Checked [`Circuit::eval_batch_parallel`]: validates vector widths
+    /// up front and isolates worker panics — a chunk whose worker panics
+    /// is retried once on a fresh worker, and a second panic surfaces as
+    /// [`EvalError::WorkerPanicked`] instead of unwinding the caller.
+    pub fn try_eval_batch_parallel(
+        &self,
+        vectors: &[Vec<bool>],
+        threads: usize,
+    ) -> Result<Vec<Vec<bool>>, EvalError> {
+        crate::eval::try_eval_batch_parallel(self, vectors, threads)
     }
 }
 

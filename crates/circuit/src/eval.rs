@@ -9,8 +9,85 @@
 //! shared mutable state and no locking.
 
 use crate::circuit::Circuit;
-use crate::component::Component;
+use crate::component::{Component, Placed};
 use crate::lane::Lane;
+
+/// A checked-evaluation failure. The unchecked entry points
+/// ([`Evaluator::run`], [`Circuit::eval`]) keep their `assert!`s for the
+/// hot paths; the `try_*` variants return this instead so sweep drivers
+/// (fault campaigns, netlist loaders) can reject bad calls without
+/// panicking a worker thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The input slice does not match the circuit's input arity.
+    InputLen {
+        /// `Circuit::n_inputs()`.
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// The caller-provided output slice does not match the output arity.
+    OutputLen {
+        /// `Circuit::n_outputs()`.
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// One vector of a batch has the wrong width.
+    VectorLen {
+        /// Index of the offending vector in the batch.
+        vector: usize,
+        /// `Circuit::n_inputs()`.
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// More vectors than lanes were passed to a single packed pass.
+    TooManyVectors {
+        /// Maximum vectors per pass (64 for `u64` lanes).
+        max: usize,
+        /// Number supplied.
+        got: usize,
+    },
+    /// A batch-evaluation worker panicked on its chunk, and the one retry
+    /// on a fresh worker panicked again (a malformed netlist, typically —
+    /// run [`Circuit::validate`] to find out what is wrong with it).
+    WorkerPanicked {
+        /// Index of the poisoned 64-vector-group chunk.
+        chunk: usize,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::InputLen { expected, got } => {
+                write!(f, "expected {expected} inputs, got {got}")
+            }
+            EvalError::OutputLen { expected, got } => {
+                write!(f, "output slice has wrong length: expected {expected}, got {got}")
+            }
+            EvalError::VectorLen {
+                vector,
+                expected,
+                got,
+            } => write!(
+                f,
+                "vector {vector} has wrong width: expected {expected}, got {got}"
+            ),
+            EvalError::TooManyVectors { max, got } => {
+                write!(f, "at most {max} vectors per packed pass, got {got}")
+            }
+            EvalError::WorkerPanicked { chunk } => write!(
+                f,
+                "evaluation worker panicked on chunk {chunk} (retry on a fresh worker also panicked); \
+                 run Circuit::validate() on the netlist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
 
 /// A reusable evaluation context for one circuit and one lane type.
 ///
@@ -77,6 +154,33 @@ impl<'c, V: Lane> Evaluator<'c, V> {
         let mut out = vec![V::ZERO; self.circuit.n_outputs()];
         self.run_into(inputs, &mut out);
         out
+    }
+
+    /// Checked [`Evaluator::run`]: rejects a wrong-arity input slice with
+    /// a typed error instead of panicking.
+    pub fn try_run(&mut self, inputs: &[V]) -> Result<Vec<V>, EvalError> {
+        let mut out = vec![V::ZERO; self.circuit.n_outputs()];
+        self.try_run_into(inputs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Checked [`Evaluator::run_into`]: validates both slice lengths up
+    /// front, then takes the same unchecked fast path.
+    pub fn try_run_into(&mut self, inputs: &[V], out: &mut [V]) -> Result<(), EvalError> {
+        if inputs.len() != self.circuit.n_inputs() {
+            return Err(EvalError::InputLen {
+                expected: self.circuit.n_inputs(),
+                got: inputs.len(),
+            });
+        }
+        if out.len() != self.circuit.n_outputs() {
+            return Err(EvalError::OutputLen {
+                expected: self.circuit.n_outputs(),
+                got: out.len(),
+            });
+        }
+        self.run_into(inputs, out);
+        Ok(())
     }
 
     /// Evaluates into a caller-provided output slice (no allocation).
@@ -173,6 +277,68 @@ impl<'c, V: Lane> Evaluator<'c, V> {
     }
 }
 
+/// Evaluates one placed component against a full wire buffer. Shared by
+/// the pipelined simulator and the fault-injecting evaluator; the batch
+/// hot loop in [`Evaluator::run_into`] keeps its own inlined copy.
+pub(crate) fn eval_component<V: Lane>(p: &Placed, w: &mut [V]) {
+    let base = p.out_base as usize;
+    match p.comp {
+        Component::Not { a } => w[base] = w[a.index()].not(),
+        Component::Gate { op, a, b } => {
+            use crate::component::GateOp::*;
+            let (x, y) = (w[a.index()], w[b.index()]);
+            w[base] = match op {
+                And => x.and(y),
+                Or => x.or(y),
+                Xor => x.xor(y),
+                Nand => x.and(y).not(),
+                Nor => x.or(y).not(),
+                Xnor => x.xor(y).not(),
+            };
+        }
+        Component::Mux2 { sel, a0, a1 } => {
+            w[base] = V::select(w[sel.index()], w[a1.index()], w[a0.index()]);
+        }
+        Component::Demux2 { sel, x } => {
+            let (s, xv) = (w[sel.index()], w[x.index()]);
+            w[base] = s.not().and(xv);
+            w[base + 1] = s.and(xv);
+        }
+        Component::Switch2 { ctrl, a, b } => {
+            let (s, av, bv) = (w[ctrl.index()], w[a.index()], w[b.index()]);
+            w[base] = V::select(s, bv, av);
+            w[base + 1] = V::select(s, av, bv);
+        }
+        Component::BitCompare { a, b } => {
+            let (av, bv) = (w[a.index()], w[b.index()]);
+            w[base] = av.and(bv);
+            w[base + 1] = av.or(bv);
+        }
+        Component::Switch4 { s1, s0, ins, perms } => {
+            let (v1, v0) = (w[s1.index()], w[s0.index()]);
+            let m = [
+                v1.not().and(v0.not()),
+                v1.not().and(v0),
+                v1.and(v0.not()),
+                v1.and(v0),
+            ];
+            let iv = [
+                w[ins[0].index()],
+                w[ins[1].index()],
+                w[ins[2].index()],
+                w[ins[3].index()],
+            ];
+            for j in 0..4 {
+                let mut acc = V::ZERO;
+                for (s, mask) in m.iter().enumerate() {
+                    acc = acc.or(mask.and(iv[perms[s][j] as usize]));
+                }
+                w[base + j] = acc;
+            }
+        }
+    }
+}
+
 /// Packs up to 64 boolean input vectors (all of length `n_inputs`) into
 /// 64-lane words: result `[i]` holds input `i` across vectors, vector `v`
 /// in bit `v`.
@@ -190,6 +356,27 @@ pub fn pack_lanes(vectors: &[Vec<bool>], n_inputs: usize) -> Vec<u64> {
     packed
 }
 
+/// Checked [`pack_lanes`]: rejects over-long batches and ragged vectors
+/// with a typed error.
+pub fn try_pack_lanes(vectors: &[Vec<bool>], n_inputs: usize) -> Result<Vec<u64>, EvalError> {
+    if vectors.len() > 64 {
+        return Err(EvalError::TooManyVectors {
+            max: 64,
+            got: vectors.len(),
+        });
+    }
+    for (v, vec) in vectors.iter().enumerate() {
+        if vec.len() != n_inputs {
+            return Err(EvalError::VectorLen {
+                vector: v,
+                expected: n_inputs,
+                got: vec.len(),
+            });
+        }
+    }
+    Ok(pack_lanes(vectors, n_inputs))
+}
+
 /// Unpacks 64-lane output words back into `count` boolean vectors.
 pub fn unpack_lanes(packed: &[u64], count: usize) -> Vec<Vec<bool>> {
     assert!(count <= 64);
@@ -198,46 +385,109 @@ pub fn unpack_lanes(packed: &[u64], count: usize) -> Vec<Vec<bool>> {
         .collect()
 }
 
+/// One worker's share of a batch: evaluate each 64-vector group into its
+/// result slot.
+fn eval_chunk(circuit: &Circuit, gchunk: &[&[Vec<bool>]], rchunk: &mut [Vec<Vec<bool>>]) {
+    let mut ev: Evaluator<'_, u64> = Evaluator::new(circuit);
+    for (g, slot) in gchunk.iter().zip(rchunk.iter_mut()) {
+        let packed = pack_lanes(g, circuit.n_inputs());
+        let out = ev.run(&packed);
+        *slot = unpack_lanes(&out, g.len());
+    }
+}
+
 /// Multi-threaded batch evaluation: packs vectors into 64-lane groups and
-/// shards groups across `threads` scoped threads.
+/// shards groups across `threads` scoped threads. Panics only if a chunk
+/// fails twice (see [`try_eval_batch_parallel`]).
 pub(crate) fn eval_batch_parallel(
     circuit: &Circuit,
     vectors: &[Vec<bool>],
     threads: usize,
 ) -> Vec<Vec<bool>> {
+    match try_eval_batch_parallel(circuit, vectors, threads) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Multi-threaded batch evaluation with worker-panic isolation: a panic
+/// inside one worker (a malformed netlist hitting an index, typically)
+/// poisons only that worker's chunk. The chunk is retried once on a fresh
+/// worker; if it panics again, the *whole call* returns
+/// [`EvalError::WorkerPanicked`] for that chunk instead of propagating
+/// the panic into the caller's sweep. Vector widths are validated up
+/// front.
+pub(crate) fn try_eval_batch_parallel(
+    circuit: &Circuit,
+    vectors: &[Vec<bool>],
+    threads: usize,
+) -> Result<Vec<Vec<bool>>, EvalError> {
     #[cfg(feature = "telemetry")]
     let _span = absort_telemetry::span("eval/batch");
+    for (v, vec) in vectors.iter().enumerate() {
+        if vec.len() != circuit.n_inputs() {
+            return Err(EvalError::VectorLen {
+                vector: v,
+                expected: circuit.n_inputs(),
+                got: vec.len(),
+            });
+        }
+    }
     let threads = threads.max(1);
     let groups: Vec<&[Vec<bool>]> = vectors.chunks(64).collect();
     let mut results: Vec<Vec<Vec<bool>>> = vec![Vec::new(); groups.len()];
 
     if threads == 1 || groups.len() <= 1 {
-        let mut ev: Evaluator<'_, u64> = Evaluator::new(circuit);
-        for (g, slot) in groups.iter().zip(results.iter_mut()) {
-            let packed = pack_lanes(g, circuit.n_inputs());
-            let out = ev.run(&packed);
-            *slot = unpack_lanes(&out, g.len());
-        }
+        // Single-threaded path: runs on the caller's own thread, nothing
+        // to isolate.
+        let (gchunk, rchunk) = (groups.as_slice(), results.as_mut_slice());
+        eval_chunk(circuit, gchunk, rchunk);
     } else {
         // Shard the group list across scoped threads; each thread gets a
         // disjoint set of (group, result-slot) pairs via chunked split.
+        // Every handle is joined explicitly, so a worker panic surfaces
+        // as that handle's Err — not as a scope-wide abort.
         let per = groups.len().div_ceil(threads);
+        let mut poisoned: Vec<usize> = Vec::new();
         crossbeam::thread::scope(|s| {
-            for (gchunk, rchunk) in groups.chunks(per).zip(results.chunks_mut(per)) {
-                s.spawn(move |_| {
-                    let mut ev: Evaluator<'_, u64> = Evaluator::new(circuit);
-                    for (g, slot) in gchunk.iter().zip(rchunk.iter_mut()) {
-                        let packed = pack_lanes(g, circuit.n_inputs());
-                        let out = ev.run(&packed);
-                        *slot = unpack_lanes(&out, g.len());
-                    }
-                });
+            let handles: Vec<_> = groups
+                .chunks(per)
+                .zip(results.chunks_mut(per))
+                .map(|(gchunk, rchunk)| s.spawn(move |_| eval_chunk(circuit, gchunk, rchunk)))
+                .collect();
+            for (ci, h) in handles.into_iter().enumerate() {
+                if h.join().is_err() {
+                    poisoned.push(ci);
+                }
             }
         })
-        .expect("evaluation worker panicked");
+        // All handles are joined above, so the scope itself cannot
+        // observe an unjoined panic; this expect is unreachable.
+        .expect("all evaluation workers joined");
+
+        // Retry each poisoned chunk once, on a fresh worker of its own so
+        // a second panic is also contained.
+        #[cfg(feature = "telemetry")]
+        if !poisoned.is_empty() {
+            absort_telemetry::counter_add("eval.chunk_retries", poisoned.len() as u64);
+        }
+        for ci in poisoned {
+            let gchunk = groups.chunks(per).nth(ci).expect("chunk index in range");
+            let rchunk = results
+                .chunks_mut(per)
+                .nth(ci)
+                .expect("chunk index in range");
+            let retried = crossbeam::thread::scope(|s| {
+                s.spawn(move |_| eval_chunk(circuit, gchunk, rchunk)).join()
+            })
+            .expect("retry worker joined");
+            if retried.is_err() {
+                return Err(EvalError::WorkerPanicked { chunk: ci });
+            }
+        }
     }
 
-    results.into_iter().flatten().collect()
+    Ok(results.into_iter().flatten().collect())
 }
 
 #[cfg(test)]

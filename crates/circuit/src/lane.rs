@@ -42,6 +42,11 @@ pub trait Lane: Copy + Send + Sync + 'static {
             Self::ZERO
         }
     }
+
+    /// A value that is TRUE in lane `lane` and FALSE everywhere else.
+    /// Used by the fault-injecting evaluator to flip a single test
+    /// vector's bit inside a packed pass. `lane` must be `< LANES`.
+    fn lane_mask(lane: u32) -> Self;
 }
 
 impl Lane for bool {
@@ -64,6 +69,11 @@ impl Lane for bool {
     #[inline]
     fn xor(self, other: Self) -> Self {
         self ^ other
+    }
+    #[inline]
+    fn lane_mask(lane: u32) -> Self {
+        debug_assert!(lane == 0, "bool carries a single lane");
+        true
     }
 }
 
@@ -88,6 +98,10 @@ impl Lane for u64 {
     fn xor(self, other: Self) -> Self {
         self ^ other
     }
+    #[inline]
+    fn lane_mask(lane: u32) -> Self {
+        1u64 << lane
+    }
 }
 
 impl Lane for u128 {
@@ -110,6 +124,10 @@ impl Lane for u128 {
     #[inline]
     fn xor(self, other: Self) -> Self {
         self ^ other
+    }
+    #[inline]
+    fn lane_mask(lane: u32) -> Self {
+        1u128 << lane
     }
 }
 

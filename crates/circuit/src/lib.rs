@@ -41,22 +41,26 @@ pub mod cost;
 pub mod dot;
 pub mod equiv;
 pub mod eval;
+pub mod faulty;
 pub mod lane;
 pub mod mutate;
 pub mod pipeline;
 pub mod scope;
 pub mod serdes;
 pub mod stats;
+pub mod validate;
 pub mod wire;
 
 pub use builder::Builder;
 pub use circuit::Circuit;
 pub use component::{Component, GateOp, Perm4};
 pub use cost::{CostReport, KindCounts};
-pub use eval::Evaluator;
+pub use eval::{EvalError, Evaluator};
+pub use faulty::{FaultyEvaluator, WireFault};
 pub use lane::Lane;
 pub use scope::{ScopeId, ScopeTree};
 pub use stats::Stats;
+pub use validate::ValidateError;
 pub use wire::Wire;
 
 /// Convenience: number of bits needed to address `n` items; `lg(n)` for

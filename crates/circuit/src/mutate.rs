@@ -18,6 +18,27 @@ pub enum Fault {
     InvertBehaviour,
     /// Tie the component's select/control line to constant 0.
     StuckSelectLow,
+    /// Tie the component's select/control line to constant 1 — the dual
+    /// short; a fabric line stuck at power instead of ground.
+    StuckSelectHigh,
+}
+
+impl Fault {
+    /// All netlist-rewriting fault kinds, in campaign-sweep order.
+    pub const ALL: [Fault; 3] = [
+        Fault::InvertBehaviour,
+        Fault::StuckSelectLow,
+        Fault::StuckSelectHigh,
+    ];
+
+    /// Stable short name, used in report keys and telemetry paths.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::InvertBehaviour => "invert",
+            Fault::StuckSelectLow => "stuck_select_low",
+            Fault::StuckSelectHigh => "stuck_select_high",
+        }
+    }
 }
 
 /// Enumerates the mutants of `circuit` under `fault`: one mutant per
@@ -26,25 +47,35 @@ pub enum Fault {
 /// Mutants preserve the interface (inputs/outputs/wire table), so they
 /// can be run through any checker built for the original.
 pub fn mutants(circuit: &Circuit, fault: Fault) -> Vec<(usize, Circuit)> {
-    // Stuck-select faults tie a line to 0; if the circuit has no false
-    // constant, the mutant gets a fresh tied-off wire appended to the
-    // wire table (defined before the component scan, so topological
-    // evaluation is unaffected).
-    let existing_const0 = circuit
-        .const_wires()
-        .iter()
-        .find(|&&(_, v)| !v)
-        .map(|&(w, _)| w);
-    let (const0, extra_wires, extra_consts) = match (fault, existing_const0) {
-        (Fault::StuckSelectLow, None) => {
-            let w = Wire::from_index(circuit.n_wires());
-            (Some(w), 1usize, vec![(w, false)])
+    // Stuck-select faults tie a line to a constant; if the circuit has no
+    // constant of the needed polarity, the mutant gets a fresh tied-off
+    // wire appended to the wire table (defined before the component scan,
+    // so topological evaluation is unaffected).
+    let needed = match fault {
+        Fault::StuckSelectLow => Some(false),
+        Fault::StuckSelectHigh => Some(true),
+        Fault::InvertBehaviour => None,
+    };
+    let (tie, extra_wires, extra_consts) = match needed {
+        Some(polarity) => {
+            let existing = circuit
+                .const_wires()
+                .iter()
+                .find(|&&(_, v)| v == polarity)
+                .map(|&(w, _)| w);
+            match existing {
+                Some(w) => (Some(w), 0usize, Vec::new()),
+                None => {
+                    let w = Wire::from_index(circuit.n_wires());
+                    (Some(w), 1, vec![(w, polarity)])
+                }
+            }
         }
-        (_, c) => (c, 0, Vec::new()),
+        None => (None, 0, Vec::new()),
     };
     let mut out = Vec::new();
     for (ci, p) in circuit.components().iter().enumerate() {
-        if let Some(mutated) = mutate_component(&p.comp, fault, const0) {
+        if let Some(mutated) = mutate_component(&p.comp, fault, tie) {
             let mut comps = circuit.components().to_vec();
             comps[ci].comp = mutated;
             let mut consts = circuit.const_wires().to_vec();
@@ -63,7 +94,7 @@ pub fn mutants(circuit: &Circuit, fault: Fault) -> Vec<(usize, Circuit)> {
     out
 }
 
-fn mutate_component(c: &Component, fault: Fault, const0: Option<Wire>) -> Option<Component> {
+fn mutate_component(c: &Component, fault: Fault, tie: Option<Wire>) -> Option<Component> {
     match (fault, c) {
         (Fault::InvertBehaviour, Component::BitCompare { a, b }) => {
             // A comparator is exactly a 2×2 switch steered by its own
@@ -115,28 +146,32 @@ fn mutate_component(c: &Component, fault: Fault, const0: Option<Wire>) -> Option
                 perms: [perms[3], perms[2], perms[1], perms[0]],
             })
         }
-        (Fault::StuckSelectLow, Component::Mux2 { a0, a1, .. }) => Some(Component::Mux2 {
-            sel: const0?,
-            a0: *a0,
-            a1: *a1,
-        }),
-        (Fault::StuckSelectLow, Component::Switch2 { a, b, .. }) => Some(Component::Switch2 {
-            ctrl: const0?,
-            a: *a,
-            b: *b,
-        }),
-        (Fault::StuckSelectLow, Component::Demux2 { x, .. }) => Some(Component::Demux2 {
-            sel: const0?,
-            x: *x,
-        }),
-        (Fault::StuckSelectLow, Component::Switch4 { s1, ins, perms, .. }) => {
-            Some(Component::Switch4 {
-                s1: *s1,
-                s0: const0?,
-                ins: *ins,
-                perms: *perms,
+        (Fault::StuckSelectLow | Fault::StuckSelectHigh, Component::Mux2 { a0, a1, .. }) => {
+            Some(Component::Mux2 {
+                sel: tie?,
+                a0: *a0,
+                a1: *a1,
             })
         }
+        (Fault::StuckSelectLow | Fault::StuckSelectHigh, Component::Switch2 { a, b, .. }) => {
+            Some(Component::Switch2 {
+                ctrl: tie?,
+                a: *a,
+                b: *b,
+            })
+        }
+        (Fault::StuckSelectLow | Fault::StuckSelectHigh, Component::Demux2 { x, .. }) => {
+            Some(Component::Demux2 { sel: tie?, x: *x })
+        }
+        (
+            Fault::StuckSelectLow | Fault::StuckSelectHigh,
+            Component::Switch4 { s1, ins, perms, .. },
+        ) => Some(Component::Switch4 {
+            s1: *s1,
+            s0: tie?,
+            ins: *ins,
+            perms: *perms,
+        }),
         _ => None,
     }
 }
@@ -224,6 +259,32 @@ mod tests {
             "no extra wire when const0 exists"
         );
         assert_eq!(ms[0].1.eval(&[true, false, true]), vec![false]);
+    }
+
+    #[test]
+    fn stuck_select_high_is_the_dual() {
+        let mut b = Builder::new();
+        let s = b.input();
+        let x = b.input();
+        let y = b.input();
+        let o = b.mux2(s, x, y);
+        b.outputs(&[o]);
+        let c = b.finish();
+        let ms = mutants(&c, Fault::StuckSelectHigh);
+        assert_eq!(ms.len(), 1);
+        let (_, m) = &ms[0];
+        // sel stuck high: output always y regardless of s
+        assert_eq!(m.eval(&[false, false, true]), vec![true]);
+        assert_eq!(m.eval(&[true, false, true]), vec![true]);
+        // synthesized tie-off keeps the netlist structurally sound
+        assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn fault_names_are_stable() {
+        assert_eq!(Fault::ALL.len(), 3);
+        assert_eq!(Fault::InvertBehaviour.name(), "invert");
+        assert_eq!(Fault::StuckSelectHigh.name(), "stuck_select_high");
     }
 
     #[test]

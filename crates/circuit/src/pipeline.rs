@@ -14,8 +14,9 @@
 //! (`absort-core::fish::hardware`).
 
 use crate::circuit::Circuit;
-use crate::component::Component;
+use crate::eval::{eval_component, EvalError};
 use crate::lane::Lane;
+use crate::validate::ValidateError;
 
 /// A combinational circuit retimed into unit-depth pipeline stages.
 ///
@@ -70,6 +71,16 @@ impl<'c> Pipelined<'c> {
         }
     }
 
+    /// Checked [`Pipelined::new`]: validates the circuit's structural
+    /// invariants first (the retiming scan and the per-stage evaluation
+    /// both index wires by the component list's own claims) and reports a
+    /// malformed netlist as a typed [`ValidateError`] instead of an index
+    /// panic mid-simulation.
+    pub fn try_new(circuit: &'c Circuit) -> Result<Self, ValidateError> {
+        circuit.validate()?;
+        Ok(Pipelined::new(circuit))
+    }
+
     /// Number of pipeline stages (= the circuit's depth).
     pub fn stages(&self) -> usize {
         self.stage_comps.len()
@@ -118,6 +129,13 @@ impl<'c> Pipelined<'c> {
     pub fn simulate<V: Lane>(&self, inputs: &[Vec<V>]) -> (Vec<Vec<V>>, u64) {
         let c = self.circuit;
         let n_stages = self.stages();
+        #[cfg(feature = "telemetry")]
+        let _span = absort_telemetry::span("pipeline/simulate");
+        // Occupancy integral: Σ over cycles of vectors in flight at the
+        // end of the cycle; divided by `pipeline.cycles` this gives the
+        // mean pipeline occupancy of the run.
+        #[cfg(feature = "telemetry")]
+        let mut occupancy = 0u64;
         // In-flight contexts: wire buffers per vector, plus its stage.
         struct InFlight<V> {
             vector: usize,
@@ -187,70 +205,42 @@ impl<'c> Pipelined<'c> {
                 }
                 admitted += 1;
             }
+            #[cfg(feature = "telemetry")]
+            {
+                occupancy += flying.len() as u64;
+            }
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            absort_telemetry::counter_add("pipeline.cycles", cycles);
+            absort_telemetry::counter_add("pipeline.vectors", inputs.len() as u64);
+            absort_telemetry::counter_add("pipeline.in_flight_vector_cycles", occupancy);
         }
         (
             outputs.into_iter().map(|o| o.expect("retired")).collect(),
             cycles,
         )
     }
-}
 
-fn eval_component<V: Lane>(p: &crate::component::Placed, w: &mut [V]) {
-    let base = p.out_base as usize;
-    match p.comp {
-        Component::Not { a } => w[base] = w[a.index()].not(),
-        Component::Gate { op, a, b } => {
-            use crate::component::GateOp::*;
-            let (x, y) = (w[a.index()], w[b.index()]);
-            w[base] = match op {
-                And => x.and(y),
-                Or => x.or(y),
-                Xor => x.xor(y),
-                Nand => x.and(y).not(),
-                Nor => x.or(y).not(),
-                Xnor => x.xor(y).not(),
-            };
-        }
-        Component::Mux2 { sel, a0, a1 } => {
-            w[base] = V::select(w[sel.index()], w[a1.index()], w[a0.index()]);
-        }
-        Component::Demux2 { sel, x } => {
-            let (s, xv) = (w[sel.index()], w[x.index()]);
-            w[base] = s.not().and(xv);
-            w[base + 1] = s.and(xv);
-        }
-        Component::Switch2 { ctrl, a, b } => {
-            let (s, av, bv) = (w[ctrl.index()], w[a.index()], w[b.index()]);
-            w[base] = V::select(s, bv, av);
-            w[base + 1] = V::select(s, av, bv);
-        }
-        Component::BitCompare { a, b } => {
-            let (av, bv) = (w[a.index()], w[b.index()]);
-            w[base] = av.and(bv);
-            w[base + 1] = av.or(bv);
-        }
-        Component::Switch4 { s1, s0, ins, perms } => {
-            let (v1, v0) = (w[s1.index()], w[s0.index()]);
-            let m = [
-                v1.not().and(v0.not()),
-                v1.not().and(v0),
-                v1.and(v0.not()),
-                v1.and(v0),
-            ];
-            let iv = [
-                w[ins[0].index()],
-                w[ins[1].index()],
-                w[ins[2].index()],
-                w[ins[3].index()],
-            ];
-            for j in 0..4 {
-                let mut acc = V::ZERO;
-                for (s, mask) in m.iter().enumerate() {
-                    acc = acc.or(mask.and(iv[perms[s][j] as usize]));
-                }
-                w[base + j] = acc;
+    /// Checked [`Pipelined::simulate`]: rejects input vectors of the
+    /// wrong width with a typed [`EvalError::VectorLen`] up front instead
+    /// of asserting mid-stream (by which point earlier vectors have
+    /// already been admitted).
+    pub fn try_simulate<V: Lane>(
+        &self,
+        inputs: &[Vec<V>],
+    ) -> Result<(Vec<Vec<V>>, u64), EvalError> {
+        let expected = self.circuit.n_inputs();
+        for (v, vec) in inputs.iter().enumerate() {
+            if vec.len() != expected {
+                return Err(EvalError::VectorLen {
+                    vector: v,
+                    expected,
+                    got: vec.len(),
+                });
             }
         }
+        Ok(self.simulate(inputs))
     }
 }
 
@@ -332,6 +322,60 @@ mod tests {
         b.outputs(&[o]);
         let fanout = b.finish();
         assert!(Pipelined::new(&fanout).register_bound() >= 3);
+    }
+
+    #[test]
+    fn try_simulate_rejects_ragged_vectors() {
+        let c = chain(2);
+        let p = Pipelined::new(&c);
+        let err = p
+            .try_simulate::<bool>(&[vec![true], vec![true, false]])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::VectorLen {
+                vector: 1,
+                expected: 1,
+                got: 2,
+            }
+        );
+        let (outs, cycles) = p.try_simulate(&[vec![true]]).unwrap();
+        assert_eq!(cycles, 2);
+        assert_eq!(outs[0], vec![true]);
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_netlists() {
+        use crate::component::{Component, GateOp, Placed};
+        use crate::scope::{ScopeId, ScopeTree};
+        use crate::wire::Wire;
+        // a gate reading a wire its own output drives (self-loop)
+        let comp = Placed {
+            comp: Component::Gate {
+                op: GateOp::And,
+                a: Wire::from_index(0),
+                b: Wire::from_index(1),
+            },
+            out_base: 1,
+            scope: ScopeId::ROOT,
+        };
+        let c = Circuit::from_parts(
+            vec![comp],
+            2,
+            vec![Wire::from_index(0)],
+            vec![Wire::from_index(1)],
+            vec![],
+            ScopeTree::new(),
+        );
+        assert_eq!(
+            Pipelined::try_new(&c).err(),
+            Some(ValidateError::UseBeforeDef {
+                wire: 1,
+                component: 0,
+            })
+        );
+        let good = chain(1);
+        assert!(Pipelined::try_new(&good).is_ok());
     }
 
     #[test]

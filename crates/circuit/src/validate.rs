@@ -1,0 +1,434 @@
+//! Structural netlist validation.
+//!
+//! [`crate::Builder`] makes most malformed netlists unrepresentable, but
+//! circuits also arrive from other sources — [`crate::serdes::from_text`]
+//! parses external netlists, and the fault-injection machinery in
+//! [`crate::mutate`] rewrites component lists wholesale. A structural bug
+//! in any of those shows up, until now, as an index panic deep inside an
+//! evaluation sweep. [`crate::Circuit::validate`] checks the invariants
+//! up front and reports the first violation as a typed
+//! [`ValidateError`], so campaign runners and loaders can reject a bad
+//! netlist with a message instead of poisoning a worker thread.
+//!
+//! Checked invariants:
+//!
+//! * every wire reference (component inputs and outputs, primary inputs,
+//!   constants, designated outputs) is inside the wire table;
+//! * every wire has **exactly one** driver (a primary input, a constant,
+//!   or one component output) — no dangling reads, no contention;
+//! * components are in topological order: a component reads only wires
+//!   driven before it (the evaluation engines rely on this for their
+//!   single forward scan);
+//! * constants are consistent: a wire is tied to at most one value and is
+//!   not simultaneously a primary input or a component output;
+//! * every 4×4 switch's permutation tables are genuine permutations of
+//!   its four inputs — a non-permutation row would give some output a
+//!   fanin of two (or zero), breaching Model A's constant-fanin bound;
+//! * at least one output is designated.
+
+use crate::circuit::Circuit;
+use crate::component::Component;
+
+/// A structural defect found by [`Circuit::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A wire reference points past the end of the wire table.
+    WireOutOfRange {
+        /// The offending wire index.
+        wire: usize,
+        /// Size of the wire table.
+        n_wires: usize,
+        /// Where the reference appeared (e.g. `"component 3 input"`).
+        context: &'static str,
+    },
+    /// A wire is driven by more than one source (two component outputs,
+    /// or a component output colliding with a primary input).
+    MultipleDrivers {
+        /// The contested wire index.
+        wire: usize,
+    },
+    /// A wire is read (by a component or a designated output) but has no
+    /// driver at all.
+    Dangling {
+        /// The undriven wire index.
+        wire: usize,
+    },
+    /// A component reads a wire that is only driven by a *later*
+    /// component — the list is not in topological order.
+    UseBeforeDef {
+        /// The wire read too early.
+        wire: usize,
+        /// Index of the offending (reading) component.
+        component: usize,
+    },
+    /// A constant wire is tied inconsistently: listed twice, or also a
+    /// primary input / component output.
+    ConstConflict {
+        /// The conflicted wire index.
+        wire: usize,
+    },
+    /// A 4×4 switch's permutation table row is not a permutation of
+    /// `0..4`, so some output would have fanin ≠ 1.
+    BadPerm {
+        /// Index of the offending component.
+        component: usize,
+    },
+    /// The circuit designates no outputs.
+    NoOutputs,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::WireOutOfRange {
+                wire,
+                n_wires,
+                context,
+            } => write!(
+                f,
+                "wire {wire} ({context}) is out of range: wire table has {n_wires} entries"
+            ),
+            ValidateError::MultipleDrivers { wire } => {
+                write!(f, "wire {wire} has multiple drivers")
+            }
+            ValidateError::Dangling { wire } => {
+                write!(f, "wire {wire} is read but never driven")
+            }
+            ValidateError::UseBeforeDef { wire, component } => write!(
+                f,
+                "component {component} reads wire {wire} before it is driven (topological order violated)"
+            ),
+            ValidateError::ConstConflict { wire } => {
+                write!(f, "constant wire {wire} is tied inconsistently")
+            }
+            ValidateError::BadPerm { component } => write!(
+                f,
+                "component {component}: 4×4 switch permutation row is not a permutation of 0..4"
+            ),
+            ValidateError::NoOutputs => write!(f, "circuit designates no outputs"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Driver bookkeeping: who defines each wire, and at which topological
+/// position (`0` = primary input / constant, `i + 1` = component `i`).
+#[derive(Clone, Copy, PartialEq)]
+enum Driver {
+    None,
+    Input,
+    Const,
+    Component(usize),
+}
+
+pub(crate) fn validate(c: &Circuit) -> Result<(), ValidateError> {
+    let n_wires = c.n_wires();
+    let oob = |wire: usize, context: &'static str| ValidateError::WireOutOfRange {
+        wire,
+        n_wires,
+        context,
+    };
+
+    if c.output_wires().is_empty() {
+        return Err(ValidateError::NoOutputs);
+    }
+
+    let mut driver = vec![Driver::None; n_wires];
+    for w in c.input_wires() {
+        if w.index() >= n_wires {
+            return Err(oob(w.index(), "primary input"));
+        }
+        if driver[w.index()] != Driver::None {
+            return Err(ValidateError::MultipleDrivers { wire: w.index() });
+        }
+        driver[w.index()] = Driver::Input;
+    }
+    for &(w, _) in c.const_wires() {
+        if w.index() >= n_wires {
+            return Err(oob(w.index(), "constant"));
+        }
+        // A constant colliding with anything — an input, a component
+        // output (checked below), or another constant — is a tie-off
+        // conflict rather than plain driver contention.
+        if driver[w.index()] != Driver::None {
+            return Err(ValidateError::ConstConflict { wire: w.index() });
+        }
+        driver[w.index()] = Driver::Const;
+    }
+
+    // First pass: claim every component's output range.
+    for (ci, p) in c.components().iter().enumerate() {
+        let base = p.out_base as usize;
+        for k in 0..p.comp.n_outputs() {
+            let w = base + k;
+            if w >= n_wires {
+                return Err(oob(w, "component output"));
+            }
+            match driver[w] {
+                Driver::None => driver[w] = Driver::Component(ci),
+                Driver::Const => return Err(ValidateError::ConstConflict { wire: w }),
+                _ => return Err(ValidateError::MultipleDrivers { wire: w }),
+            }
+        }
+        if let Component::Switch4 { perms, .. } = &p.comp {
+            for row in perms {
+                let mut seen = [false; 4];
+                for &i in row {
+                    if i as usize >= 4 || seen[i as usize] {
+                        return Err(ValidateError::BadPerm { component: ci });
+                    }
+                    seen[i as usize] = true;
+                }
+            }
+        }
+    }
+
+    // Second pass: every read must hit an earlier driver.
+    for (ci, p) in c.components().iter().enumerate() {
+        let mut err = None;
+        p.comp.for_each_input(|w| {
+            if err.is_some() {
+                return;
+            }
+            if w.index() >= n_wires {
+                err = Some(oob(w.index(), "component input"));
+                return;
+            }
+            match driver[w.index()] {
+                Driver::None => err = Some(ValidateError::Dangling { wire: w.index() }),
+                Driver::Component(di) if di >= ci => {
+                    err = Some(ValidateError::UseBeforeDef {
+                        wire: w.index(),
+                        component: ci,
+                    })
+                }
+                _ => {}
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+
+    for w in c.output_wires() {
+        if w.index() >= n_wires {
+            return Err(oob(w.index(), "designated output"));
+        }
+        if driver[w.index()] == Driver::None {
+            return Err(ValidateError::Dangling { wire: w.index() });
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::component::{Component, Placed};
+    use crate::scope::{ScopeId, ScopeTree};
+    use crate::wire::Wire;
+
+    fn placed(comp: Component, out_base: u32) -> Placed {
+        Placed {
+            comp,
+            out_base,
+            scope: ScopeId::ROOT,
+        }
+    }
+
+    /// `from_parts` with default scope tree, mirroring what a buggy loader
+    /// or mutation pass could hand the evaluator.
+    fn raw(
+        comps: Vec<Placed>,
+        n_wires: usize,
+        inputs: Vec<usize>,
+        outputs: Vec<usize>,
+        consts: Vec<(usize, bool)>,
+    ) -> Circuit {
+        Circuit::from_parts(
+            comps,
+            n_wires,
+            inputs.into_iter().map(Wire::from_index).collect(),
+            outputs.into_iter().map(Wire::from_index).collect(),
+            consts
+                .into_iter()
+                .map(|(w, v)| (Wire::from_index(w), v))
+                .collect(),
+            ScopeTree::new(),
+        )
+    }
+
+    fn gate(a: usize, b: usize) -> Component {
+        Component::Gate {
+            op: crate::component::GateOp::And,
+            a: Wire::from_index(a),
+            b: Wire::from_index(b),
+        }
+    }
+
+    #[test]
+    fn builder_output_validates() {
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let (lo, hi) = b.bit_compare(x, y);
+        b.outputs(&[lo, hi]);
+        assert_eq!(b.finish().validate(), Ok(()));
+    }
+
+    #[test]
+    fn wire_out_of_range_component_input() {
+        let c = raw(vec![placed(gate(0, 9), 2)], 3, vec![0, 1], vec![2], vec![]);
+        assert_eq!(
+            c.validate(),
+            Err(ValidateError::WireOutOfRange {
+                wire: 9,
+                n_wires: 3,
+                context: "component input",
+            })
+        );
+    }
+
+    #[test]
+    fn wire_out_of_range_output_range() {
+        // component output range runs past the wire table
+        let c = raw(vec![placed(gate(0, 1), 2)], 2, vec![0, 1], vec![1], vec![]);
+        assert_eq!(
+            c.validate(),
+            Err(ValidateError::WireOutOfRange {
+                wire: 2,
+                n_wires: 2,
+                context: "component output",
+            })
+        );
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        // two gates both claim wire 2
+        let c = raw(
+            vec![placed(gate(0, 1), 2), placed(gate(0, 1), 2)],
+            3,
+            vec![0, 1],
+            vec![2],
+            vec![],
+        );
+        assert_eq!(
+            c.validate(),
+            Err(ValidateError::MultipleDrivers { wire: 2 })
+        );
+    }
+
+    #[test]
+    fn component_driving_an_input_is_contention() {
+        let c = raw(vec![placed(gate(0, 1), 1)], 2, vec![0, 1], vec![1], vec![]);
+        assert_eq!(
+            c.validate(),
+            Err(ValidateError::MultipleDrivers { wire: 1 })
+        );
+    }
+
+    #[test]
+    fn dangling_read_detected() {
+        // wire 2 exists in the table but nothing drives it
+        let c = raw(vec![placed(gate(0, 2), 3)], 4, vec![0, 1], vec![3], vec![]);
+        assert_eq!(c.validate(), Err(ValidateError::Dangling { wire: 2 }));
+    }
+
+    #[test]
+    fn dangling_designated_output_detected() {
+        let c = raw(vec![], 2, vec![0], vec![1], vec![]);
+        assert_eq!(c.validate(), Err(ValidateError::Dangling { wire: 1 }));
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        // first gate reads wire 3, which the *second* gate drives
+        let c = raw(
+            vec![placed(gate(0, 3), 2), placed(gate(0, 1), 3)],
+            4,
+            vec![0, 1],
+            vec![2],
+            vec![],
+        );
+        assert_eq!(
+            c.validate(),
+            Err(ValidateError::UseBeforeDef {
+                wire: 3,
+                component: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn self_loop_is_use_before_def() {
+        let c = raw(vec![placed(gate(0, 1), 1)], 2, vec![0], vec![1], vec![]);
+        assert_eq!(
+            c.validate(),
+            Err(ValidateError::UseBeforeDef {
+                wire: 1,
+                component: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn const_conflicts_detected() {
+        // doubly tied constant
+        let c = raw(vec![], 2, vec![0], vec![0], vec![(1, false), (1, true)]);
+        assert_eq!(c.validate(), Err(ValidateError::ConstConflict { wire: 1 }));
+        // constant colliding with a primary input
+        let c = raw(vec![], 1, vec![0], vec![0], vec![(0, false)]);
+        assert_eq!(c.validate(), Err(ValidateError::ConstConflict { wire: 0 }));
+        // constant colliding with a component output
+        let c = raw(
+            vec![placed(gate(0, 1), 2)],
+            3,
+            vec![0, 1],
+            vec![2],
+            vec![(2, true)],
+        );
+        assert_eq!(c.validate(), Err(ValidateError::ConstConflict { wire: 2 }));
+    }
+
+    #[test]
+    fn bad_perm_detected() {
+        let w = Wire::from_index(0);
+        let c = raw(
+            vec![placed(
+                Component::Switch4 {
+                    s1: w,
+                    s0: w,
+                    ins: [w; 4],
+                    perms: [[0, 0, 1, 2]; 4],
+                },
+                1,
+            )],
+            5,
+            vec![0],
+            vec![1],
+            vec![],
+        );
+        assert_eq!(c.validate(), Err(ValidateError::BadPerm { component: 0 }));
+    }
+
+    #[test]
+    fn no_outputs_detected() {
+        let c = raw(vec![], 1, vec![0], vec![], vec![]);
+        assert_eq!(c.validate(), Err(ValidateError::NoOutputs));
+    }
+
+    #[test]
+    fn errors_render_messages() {
+        let e = ValidateError::UseBeforeDef {
+            wire: 7,
+            component: 3,
+        };
+        assert!(e.to_string().contains("component 3"));
+        assert!(e.to_string().contains("wire 7"));
+        assert!(ValidateError::NoOutputs.to_string().contains("no outputs"));
+    }
+}

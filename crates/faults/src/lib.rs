@@ -1,0 +1,444 @@
+//! # absort-faults — fault taxonomy, degradation metrics, report types
+//!
+//! The paper's cost/depth/time claims (Chien & Oruç, Table I) assume
+//! every 2×2 switch and comparator behaves. This crate holds the shared
+//! vocabulary for asking what happens when one doesn't: a [`FaultKind`]
+//! taxonomy covering both netlist-rewriting faults and evaluation-time
+//! wire faults, *graceful degradation* metrics on faulty 0/1 outputs
+//! ([`inversions`], [`max_displacement`], [`Degradation`]), and the
+//! campaign report structures ([`KindReport`], [`NetworkReport`],
+//! [`CampaignReport`]) that `absort-analysis` fills in and the `absort`
+//! CLI writes to `results/faults/` as JSON.
+//!
+//! The crate deliberately knows nothing about circuits — it depends only
+//! on `absort-telemetry` for JSON — so both the circuit layer and the
+//! analysis layer can use it without a dependency cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use absort_telemetry::json::Value;
+
+/// The fault taxonomy a campaign sweeps, spanning both injection
+/// mechanisms: netlist rewrites (component granularity, from
+/// `absort-circuit::mutate`) and evaluation-time wire faults (from
+/// `absort-circuit::faulty`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Component behaviour inverted (comparator steered by the wrong
+    /// line, gate complemented, mux arms exchanged).
+    InvertBehaviour,
+    /// Component select/control line tied to constant 0.
+    StuckSelectLow,
+    /// Component select/control line tied to constant 1.
+    StuckSelectHigh,
+    /// A wire shorted to ground: reads as 0 no matter what drives it.
+    StuckAt0,
+    /// A wire shorted to power: reads as 1 no matter what drives it.
+    StuckAt1,
+    /// Two sibling outputs shorted into a wired-OR.
+    BridgeOr,
+    /// A single-event upset: one wire inverted on one evaluation only.
+    TransientFlip,
+}
+
+impl FaultKind {
+    /// Every kind, in campaign-sweep order. The first six are permanent;
+    /// [`FaultKind::TransientFlip`] is the only transient kind.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::InvertBehaviour,
+        FaultKind::StuckSelectLow,
+        FaultKind::StuckSelectHigh,
+        FaultKind::StuckAt0,
+        FaultKind::StuckAt1,
+        FaultKind::BridgeOr,
+        FaultKind::TransientFlip,
+    ];
+
+    /// Stable snake_case name used in report keys and telemetry paths.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::InvertBehaviour => "invert",
+            FaultKind::StuckSelectLow => "stuck_select_low",
+            FaultKind::StuckSelectHigh => "stuck_select_high",
+            FaultKind::StuckAt0 => "stuck_at_0",
+            FaultKind::StuckAt1 => "stuck_at_1",
+            FaultKind::BridgeOr => "bridge_or",
+            FaultKind::TransientFlip => "transient_flip",
+        }
+    }
+
+    /// True for faults that persist across evaluations (everything except
+    /// the transient upset). The 100%-detection acceptance bar applies to
+    /// these: a permanent fault that no exhaustive check can see is a
+    /// vacuous fault site, and the enumerators exclude those up front.
+    pub fn is_permanent(self) -> bool {
+        !matches!(self, FaultKind::TransientFlip)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Degradation metrics
+// ---------------------------------------------------------------------------
+
+/// Kendall-tau distance of a 0/1 sequence from sorted order: the number
+/// of inverted pairs, i.e. (one, zero) pairs where the one precedes the
+/// zero. Zero iff the sequence is ascending-sorted.
+pub fn inversions(out: &[bool]) -> u64 {
+    let mut ones_seen = 0u64;
+    let mut inv = 0u64;
+    for &b in out {
+        if b {
+            ones_seen += 1;
+        } else {
+            inv += ones_seen;
+        }
+    }
+    inv
+}
+
+/// Maximum displacement of any element from its position in the sorted
+/// rearrangement, under the canonical matching (k-th zero of the output
+/// to the k-th zero slot, k-th one to the k-th one slot — the matching
+/// that minimises the maximum). Zero iff the sequence is sorted.
+pub fn max_displacement(out: &[bool]) -> u64 {
+    let n = out.len();
+    let zeros = out.iter().filter(|&&b| !b).count();
+    let mut zi = 0usize; // next sorted slot for a zero: 0..zeros
+    let mut oi = zeros; // next sorted slot for a one: zeros..n
+    let mut worst = 0u64;
+    for (pos, &b) in out.iter().enumerate() {
+        let target = if b {
+            let t = oi;
+            oi += 1;
+            t
+        } else {
+            let t = zi;
+            zi += 1;
+            t
+        };
+        worst = worst.max(pos.abs_diff(target) as u64);
+    }
+    debug_assert_eq!(zi, zeros);
+    debug_assert_eq!(oi, n);
+    worst
+}
+
+/// Worst-case degradation observed across a set of faulty outputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Worst Kendall-tau inversion count of any faulty output.
+    pub max_inversions: u64,
+    /// Worst element displacement of any faulty output.
+    pub max_displacement: u64,
+    /// Number of outputs whose popcount differed from the input's — the
+    /// fault destroyed or created tokens rather than mis-routing them.
+    pub conservation_violations: u64,
+}
+
+impl Degradation {
+    /// Folds one faulty output into the running worst case. `input_ones`
+    /// is the popcount of the vector that produced `out`.
+    pub fn observe(&mut self, out: &[bool], input_ones: usize) {
+        self.max_inversions = self.max_inversions.max(inversions(out));
+        self.max_displacement = self.max_displacement.max(max_displacement(out));
+        if out.iter().filter(|&&b| b).count() != input_ones {
+            self.conservation_violations += 1;
+        }
+    }
+
+    /// Merges another worst case into this one.
+    pub fn merge(&mut self, other: &Degradation) {
+        self.max_inversions = self.max_inversions.max(other.max_inversions);
+        self.max_displacement = self.max_displacement.max(other.max_displacement);
+        self.conservation_violations += other.conservation_violations;
+    }
+
+    /// Serializes this record as a JSON object.
+    pub fn to_json(self) -> Value {
+        Value::obj([
+            ("max_inversions", Value::Int(self.max_inversions as i64)),
+            ("max_displacement", Value::Int(self.max_displacement as i64)),
+            (
+                "conservation_violations",
+                Value::Int(self.conservation_violations as i64),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// Detection and degradation totals for one (network, fault kind) cell.
+///
+/// A site is **masked** when its injection never changed any output over
+/// the whole workload — the network *tolerates* the fault (the
+/// mutation-testing literature calls these equivalent mutants). Masked
+/// sites are excluded from the detection denominator: the detection rate
+/// asks whether the checker catches every fault that actually changes
+/// behaviour, and the masked count is itself a resilience statistic.
+#[derive(Debug, Clone, Default)]
+pub struct KindReport {
+    /// The fault kind swept.
+    pub kind: Option<FaultKind>,
+    /// Fault sites injected.
+    pub injected: u64,
+    /// Sites whose misbehaviour the zero-one checker observed (some valid
+    /// input produced an unsorted or non-conserving output).
+    pub detected: u64,
+    /// Sites whose injection changed no output on any workload vector.
+    pub masked: u64,
+    /// Worst-case degradation across every faulty (site, vector) pair.
+    pub degradation: Degradation,
+}
+
+impl KindReport {
+    /// `detected / (injected − masked)`, or 1.0 for a cell with no
+    /// behaviour-changing site (nothing escaped).
+    pub fn detection_rate(&self) -> f64 {
+        let effective = self.injected - self.masked;
+        if effective == 0 {
+            1.0
+        } else {
+            self.detected as f64 / effective as f64
+        }
+    }
+
+    /// Serializes this record as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            (
+                "kind",
+                Value::Str(self.kind.map_or("?", FaultKind::name).to_owned()),
+            ),
+            ("injected", Value::Int(self.injected as i64)),
+            ("detected", Value::Int(self.detected as i64)),
+            ("masked", Value::Int(self.masked as i64)),
+            ("detection_rate", Value::Float(self.detection_rate())),
+            ("degradation", self.degradation.to_json()),
+        ])
+    }
+}
+
+/// One network's campaign results across all fault kinds.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Network name (`"prefix"`, `"muxmerge"`, `"fish"`, `"batcher"`).
+    pub network: String,
+    /// Input width the campaign built the network at.
+    pub n: usize,
+    /// Component count of the fault-free circuit.
+    pub components: u64,
+    /// `"exhaustive"` or `"sampled"` — whether the checker enumerated
+    /// every valid input or a random subset.
+    pub tier: String,
+    /// Valid input vectors the checker evaluated per fault site.
+    pub vectors: u64,
+    /// Per-fault-kind cells.
+    pub kinds: Vec<KindReport>,
+}
+
+impl NetworkReport {
+    /// Permanent-fault detection rate across all permanent kinds pooled
+    /// (masked sites excluded from the denominator, as in
+    /// [`KindReport::detection_rate`]).
+    pub fn permanent_detection_rate(&self) -> f64 {
+        let (mut det, mut eff) = (0u64, 0u64);
+        for k in &self.kinds {
+            if k.kind.is_none_or(FaultKind::is_permanent) {
+                det += k.detected;
+                eff += k.injected - k.masked;
+            }
+        }
+        if eff == 0 {
+            1.0
+        } else {
+            det as f64 / eff as f64
+        }
+    }
+
+    /// Serializes this record as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("network", Value::Str(self.network.clone())),
+            ("n", Value::Int(self.n as i64)),
+            ("components", Value::Int(self.components as i64)),
+            ("tier", Value::Str(self.tier.clone())),
+            ("vectors", Value::Int(self.vectors as i64)),
+            (
+                "permanent_detection_rate",
+                Value::Float(self.permanent_detection_rate()),
+            ),
+            (
+                "kinds",
+                Value::Arr(self.kinds.iter().map(KindReport::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// A whole campaign: every swept network plus the sweep parameters.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// RNG seed used for sampled tiers and transient-fault placement.
+    pub seed: u64,
+    /// Per-network results.
+    pub networks: Vec<NetworkReport>,
+}
+
+impl CampaignReport {
+    /// Renders the report as a JSON value, suitable both for a telemetry
+    /// manifest section and for a standalone report file.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("schema", Value::Str("absort-faults/v1".to_owned())),
+            ("seed", Value::Int(self.seed as i64)),
+            (
+                "networks",
+                Value::Arr(self.networks.iter().map(NetworkReport::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inversions_counts_kendall_tau() {
+        assert_eq!(inversions(&[false, false, true, true]), 0);
+        assert_eq!(inversions(&[true, false]), 1);
+        assert_eq!(inversions(&[true, true, false, false]), 4);
+        assert_eq!(inversions(&[true, false, true, false]), 3);
+        assert_eq!(inversions(&[]), 0);
+    }
+
+    #[test]
+    fn displacement_of_sorted_is_zero() {
+        assert_eq!(max_displacement(&[false, false, true, true]), 0);
+        assert_eq!(max_displacement(&[]), 0);
+        assert_eq!(max_displacement(&[true]), 0);
+    }
+
+    #[test]
+    fn displacement_of_reversed() {
+        // 1100 -> sorted 0011: the leading one must travel to slot 2.
+        assert_eq!(max_displacement(&[true, true, false, false]), 2);
+        // 10 -> 01: both elements move one slot.
+        assert_eq!(max_displacement(&[true, false]), 1);
+    }
+
+    #[test]
+    fn displacement_single_straggler() {
+        // one 1 at the front of seven 0s: it belongs at the end.
+        let mut v = vec![false; 8];
+        v[0] = true;
+        assert_eq!(max_displacement(&v), 7);
+        assert_eq!(inversions(&v), 7);
+    }
+
+    #[test]
+    fn degradation_observes_worst_case() {
+        let mut d = Degradation::default();
+        d.observe(&[false, true], 1); // sorted, conserving
+        assert_eq!(d, Degradation::default());
+        d.observe(&[true, false], 1); // inverted pair
+        assert_eq!(d.max_inversions, 1);
+        assert_eq!(d.max_displacement, 1);
+        assert_eq!(d.conservation_violations, 0);
+        d.observe(&[true, true], 1); // created a token
+        assert_eq!(d.conservation_violations, 1);
+    }
+
+    #[test]
+    fn detection_rate_edges() {
+        let r = KindReport::default();
+        assert_eq!(r.detection_rate(), 1.0);
+        let r = KindReport {
+            injected: 4,
+            detected: 3,
+            ..Default::default()
+        };
+        assert!((r.detection_rate() - 0.75).abs() < 1e-12);
+        // masked sites leave the denominator: 3 detected of 4−1 effective
+        let r = KindReport {
+            injected: 4,
+            detected: 3,
+            masked: 1,
+            ..Default::default()
+        };
+        assert_eq!(r.detection_rate(), 1.0);
+        // all-masked cell: nothing escaped
+        let r = KindReport {
+            injected: 5,
+            masked: 5,
+            ..Default::default()
+        };
+        assert_eq!(r.detection_rate(), 1.0);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = CampaignReport {
+            seed: 7,
+            networks: vec![NetworkReport {
+                network: "prefix".into(),
+                n: 8,
+                components: 100,
+                tier: "exhaustive".into(),
+                vectors: 256,
+                kinds: vec![KindReport {
+                    kind: Some(FaultKind::StuckAt0),
+                    injected: 12,
+                    detected: 10,
+                    masked: 2,
+                    degradation: Degradation {
+                        max_inversions: 3,
+                        max_displacement: 2,
+                        conservation_violations: 5,
+                    },
+                }],
+            }],
+        };
+        let text = report.to_json().to_pretty();
+        let back = absort_telemetry::json::parse(&text).expect("parses");
+        assert_eq!(
+            back.get("schema").and_then(Value::as_str),
+            Some("absort-faults/v1")
+        );
+        let nets = back.get("networks").and_then(Value::as_arr).unwrap();
+        assert_eq!(nets.len(), 1);
+        assert_eq!(
+            nets[0]
+                .get("permanent_detection_rate")
+                .and_then(Value::as_f64),
+            Some(1.0)
+        );
+        let kinds = nets[0].get("kinds").and_then(Value::as_arr).unwrap();
+        assert_eq!(
+            kinds[0].get("kind").and_then(Value::as_str),
+            Some("stuck_at_0")
+        );
+        assert_eq!(kinds[0].get("masked").and_then(Value::as_i64), Some(2));
+        assert_eq!(
+            kinds[0]
+                .get("degradation")
+                .and_then(|d| d.get("max_inversions"))
+                .and_then(Value::as_i64),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn kind_names_stable_and_permanence_flagged() {
+        assert_eq!(FaultKind::ALL.len(), 7);
+        assert!(FaultKind::StuckAt1.is_permanent());
+        assert!(!FaultKind::TransientFlip.is_permanent());
+        let mut names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 7, "names are distinct");
+    }
+}

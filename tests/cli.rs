@@ -116,3 +116,62 @@ fn usage_on_nonsense() {
         .status
         .success());
 }
+
+#[test]
+fn faults_campaign_writes_report() {
+    let dir = std::env::temp_dir().join("absort_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("faults-{}.json", std::process::id()));
+    let out = run(&[
+        "--network",
+        "prefix",
+        "--faults",
+        "--n",
+        "4",
+        "--faults-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = stdout(&out);
+    assert!(s.contains("permanent-fault detection rate: 1.000"), "{s}");
+    assert!(s.contains("exhaustive tier"), "{s}");
+
+    let text = std::fs::read_to_string(&path).expect("report file written");
+    let doc = absort_telemetry::json::parse(&text).expect("report is valid JSON");
+    // Telemetry builds nest the report as a manifest section; plain
+    // builds write it at top level. Accept either shape.
+    let report = doc.get("faults").unwrap_or(&doc);
+    assert_eq!(
+        report
+            .get("schema")
+            .and_then(absort_telemetry::json::Value::as_str),
+        Some("absort-faults/v1")
+    );
+    let networks = report
+        .get("networks")
+        .and_then(absort_telemetry::json::Value::as_arr)
+        .expect("networks array");
+    assert!(!networks.is_empty());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn faults_out_without_faults_is_an_error() {
+    let out = run(&["--network", "prefix", "--faults-out", "somewhere.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--faults-out"), "{err}");
+    assert!(err.contains("requires --faults"), "{err}");
+}
+
+#[test]
+fn faults_flags_are_rejected_inside_subcommands() {
+    let out = run(&["inspect", "--network", "prefix", "--n", "8", "--faults"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("standalone"), "{err}");
+}
