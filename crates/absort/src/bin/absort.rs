@@ -10,7 +10,7 @@
 //! absort --network prefix --faults --faults-out report.json
 //! ```
 
-use absort::circuit::dot;
+use absort::circuit::{dot, CompiledEvaluator, Engine, Evaluator};
 use absort::core::{lang, muxmerge, nonadaptive, prefix, SorterKind};
 use absort::networks::concentrator::Concentrator;
 use absort::networks::permuter::RadixPermuter;
@@ -44,6 +44,11 @@ fn usage() -> ! {
                   degradation, write a JSON report under results/faults/\n\
          \n\
          options:\n\
+           --engine <interp|compiled>\n\
+                                 evaluation engine for the verify/faults\n\
+                                 sweep drivers (default: compiled — the\n\
+                                 netlist is lowered once to a register-\n\
+                                 allocated micro-op tape)\n\
            --metrics             record spans/counters; print a telemetry\n\
                                  report to stderr and write a JSON run\n\
                                  manifest under results/metrics/\n\
@@ -80,6 +85,7 @@ struct Args {
     network: String,
     n: Option<usize>,
     m: Option<usize>,
+    engine: Engine,
     metrics: bool,
     metrics_out: Option<String>,
     faults: bool,
@@ -92,6 +98,7 @@ fn parse_args(argv: &[String]) -> Args {
         network: "mux-merger".to_string(),
         n: None,
         m: None,
+        engine: Engine::default(),
         metrics: false,
         metrics_out: None,
         faults: false,
@@ -114,6 +121,12 @@ fn parse_args(argv: &[String]) -> Args {
             }
             "--n" => a.n = Some(parse_usize("--n", &mut it)),
             "--m" => a.m = Some(parse_usize("--m", &mut it)),
+            "--engine" => {
+                let v = it.next();
+                a.engine = v
+                    .and_then(|v| Engine::parse(v))
+                    .unwrap_or_else(|| flag_error("--engine", v));
+            }
             "--metrics" => a.metrics = true,
             "--metrics-out" => {
                 a.metrics = true;
@@ -295,6 +308,41 @@ fn cmd_inspect(a: &Args) {
     print!("{}", c.scope_report(3));
 }
 
+/// Sweeps all `2^n` inputs through `pass` in packed 64-lane groups
+/// (integers `v, v+1, …` packed straight into lanes, no per-bool
+/// vectors) and checks every lane against the sorted zero-one pattern
+/// (`bit i == (i >= n − popcount)`). Returns the failure count.
+fn verify_sweep(n: usize, mut pass: impl FnMut(&[u64], &mut [u64])) -> u64 {
+    let total = 1u64 << n;
+    let mut packed = vec![0u64; n];
+    let mut out = vec![0u64; n];
+    let mut failures = 0u64;
+    let mut v = 0u64;
+    while v < total {
+        let lanes = (total - v).min(64) as usize;
+        packed.fill(0);
+        for lane in 0..lanes {
+            let x = v + lane as u64;
+            for (i, p) in packed.iter_mut().enumerate() {
+                *p |= (x >> i & 1) << lane;
+            }
+        }
+        pass(&packed, &mut out);
+        for lane in 0..lanes {
+            let ones = (v + lane as u64).count_ones() as usize;
+            let ok = out
+                .iter()
+                .enumerate()
+                .all(|(i, word)| (word >> lane & 1 == 1) == (i >= n - ones));
+            if !ok {
+                failures += 1;
+            }
+        }
+        v += lanes as u64;
+    }
+    failures
+}
+
 fn cmd_verify(a: &Args) {
     let n = a.n.unwrap_or_else(|| usage());
     require_pow2(n);
@@ -302,32 +350,43 @@ fn cmd_verify(a: &Args) {
         eprintln!("exhaustive verification limited to n <= 20");
         exit(1);
     }
-    let check = |sorted: &[bool], input_ones: u32, n: usize| -> bool {
-        sorted
-            .iter()
-            .enumerate()
-            .all(|(i, &b)| b == (i >= n - input_ones as usize))
-    };
-    let mut failures = 0u64;
-    if a.network == "fish" {
+    let failures = if a.network == "fish" {
+        // The fish sorter is the time-multiplexed functional model — no
+        // single combinational circuit, so no packed engine applies.
         let f = absort::core::FishSorter::with_default_k(n.max(4));
+        let mut failures = 0u64;
         for v in 0..1u64 << n {
             let bits: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
-            if !check(&f.sort(&bits), v.count_ones(), n) {
+            let ones = v.count_ones() as usize;
+            let sorted = f.sort(&bits);
+            if !sorted
+                .iter()
+                .enumerate()
+                .all(|(i, &b)| b == (i >= n - ones))
+            {
                 failures += 1;
             }
         }
+        failures
     } else {
         let c = build_circuit(&a.network, n);
-        for v in 0..1u64 << n {
-            let bits: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
-            if !check(&c.eval(&bits), v.count_ones(), n) {
-                failures += 1;
+        match a.engine {
+            Engine::Compiled => {
+                let cc = c.compile();
+                let mut ev: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(&cc);
+                verify_sweep(n, |p, o| ev.run_into(p, o))
+            }
+            Engine::Interp => {
+                let mut ev: Evaluator<'_, u64> = Evaluator::new(&c);
+                verify_sweep(n, |p, o| ev.run_into(p, o))
             }
         }
-    }
+    };
     if failures == 0 {
         println!("verified: all {} inputs sort correctly", 1u64 << n);
+        if a.network != "fish" {
+            println!("engine: {}", a.engine);
+        }
     } else {
         println!("FAILED on {failures} inputs");
         exit(1);
@@ -430,14 +489,15 @@ fn cmd_faults(a: &Args) {
     };
     let cfg = fc::CampaignConfig {
         n,
+        engine: a.engine,
         ..Default::default()
     };
     let report = fc::run_campaign(&networks, &cfg);
 
     for net in &report.networks {
         println!(
-            "{} n={}  [{} tier: {} vectors/site, {} components]",
-            net.network, net.n, net.tier, net.vectors, net.components
+            "{} n={}  [{} tier: {} vectors/site, {} components, {} engine]",
+            net.network, net.n, net.tier, net.vectors, net.components, a.engine
         );
         for k in &net.kinds {
             println!(

@@ -26,10 +26,10 @@
 //! checker drops to a seeded random sample and the report's `tier` says
 //! so.
 
-use absort_circuit::eval::{pack_lanes, unpack_lanes};
+use absort_circuit::eval::{pack_lanes, pack_lanes_wide};
 use absort_circuit::faulty::{observable_wires, permanent_fault_sites, FaultyEvaluator};
 use absort_circuit::mutate::{self, Fault};
-use absort_circuit::{Circuit, Evaluator, WireFault};
+use absort_circuit::{Circuit, CompiledEvaluator, Engine, Evaluator, MutantTape, WireFault};
 use absort_core::{fish, lang, muxmerge, nonadaptive, prefix};
 use absort_faults::{CampaignReport, Degradation, FaultKind, KindReport, NetworkReport};
 use rand::prelude::*;
@@ -90,6 +90,13 @@ pub struct CampaignConfig {
     pub max_exhaustive: usize,
     /// Transient (wire, vector) upsets injected per network.
     pub transient_samples: usize,
+    /// Evaluation engine for the netlist-rewrite (mutant) sweeps. Each
+    /// mutant is evaluated over the whole workload, so the one-time
+    /// lowering pass amortizes immediately; the compiled tape is the
+    /// default. Wire-granularity faults (stuck-ats, bridges, transients)
+    /// always run on the interpreting [`FaultyEvaluator`] — the compiled
+    /// tape reuses slots and has no per-wire identity to inject into.
+    pub engine: Engine,
 }
 
 impl Default for CampaignConfig {
@@ -99,6 +106,7 @@ impl Default for CampaignConfig {
             seed: 0x0ab5_0127,
             max_exhaustive: 1 << 12,
             transient_samples: 64,
+            engine: Engine::Compiled,
         }
     }
 }
@@ -133,12 +141,25 @@ fn valid_inputs(sel: NetworkSel, n: usize) -> Vec<Vec<bool>> {
     }
 }
 
-/// Oracle outputs plus per-vector popcounts for a workload.
+/// One workload, pre-packed for the sweep hot loop: 64-lane input
+/// chunks, the packed sorted oracle per chunk, and the valid-lane masks.
+/// Packing once here instead of once per faulty variant removes the
+/// dominant allocation churn of the campaign (every variant used to
+/// re-pack every chunk and allocate a fresh output vector per pass).
 struct Workload {
     vectors: Vec<Vec<bool>>,
-    oracle: Vec<Vec<bool>>,
     ones: Vec<usize>,
     tier: &'static str,
+    /// Packed 64-lane input chunks, in workload order.
+    packed: Vec<Vec<u64>>,
+    /// The same inputs packed as `[u64; 4]` wide chunks (256 vectors per
+    /// chunk; word `k` of wide chunk `wi` is 64-lane chunk `4·wi + k`).
+    /// The compiled engine sweeps these, quartering its pass count.
+    packed_wide: Vec<Vec<[u64; 4]>>,
+    /// Packed oracle outputs, one entry per input chunk.
+    packed_oracle: Vec<Vec<u64>>,
+    /// Low-bits mask of the lanes each chunk actually occupies.
+    masks: Vec<u64>,
 }
 
 fn workload(sel: NetworkSel, cfg: &CampaignConfig) -> Workload {
@@ -159,11 +180,30 @@ fn workload(sel: NetworkSel, cfg: &CampaignConfig) -> Workload {
         .iter()
         .map(|v| v.iter().filter(|&&b| b).count())
         .collect();
+    let packed = vectors.chunks(64).map(|c| pack_lanes(c, cfg.n)).collect();
+    let packed_wide = vectors
+        .chunks(256)
+        .map(|c| pack_lanes_wide::<4>(c, cfg.n))
+        .collect();
+    let packed_oracle = oracle.chunks(64).map(|c| pack_lanes(c, cfg.n)).collect();
+    let masks = vectors
+        .chunks(64)
+        .map(|c| {
+            if c.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << c.len()) - 1
+            }
+        })
+        .collect();
     Workload {
         vectors,
-        oracle,
         ones,
         tier,
+        packed,
+        packed_wide,
+        packed_oracle,
+        masks,
     }
 }
 
@@ -178,38 +218,113 @@ struct Verdict {
     differed: bool,
 }
 
-/// Scores one faulty variant: runs every workload vector through
-/// `eval_pass` in packed 64-lane chunks, applies the zero-one checker to
-/// each output, and folds violating outputs into `degradation`.
+/// Scores one faulty variant: runs every pre-packed 64-lane chunk through
+/// `eval_pass` into a reused output buffer, diffs the packed outputs
+/// against the packed oracle, and applies the zero-one checker only to
+/// lanes that differ.
+///
+/// Skipping non-differing lanes loses nothing: a lane equal to the
+/// oracle *is* a sorted vector with the conserved popcount, so the
+/// checker (sortedness + token conservation, exactly the oracle's two
+/// defining properties) cannot fire on it. Differing lanes are unpacked
+/// and checked in ascending order, so detection results and the
+/// degradation-observation sequence are identical to the old
+/// vector-at-a-time sweep.
 fn score_variant(
     w: &Workload,
-    n_inputs: usize,
-    mut eval_pass: impl FnMut(&[u64]) -> Vec<u64>,
+    n_outputs: usize,
+    mut eval_pass: impl FnMut(&[u64], &mut [u64]),
     degradation: &mut Degradation,
 ) -> Verdict {
     let mut v = Verdict {
         detected: false,
         differed: false,
     };
+    let mut out = vec![0u64; n_outputs];
+    let mut lane_buf: Vec<bool> = Vec::with_capacity(n_outputs);
     let mut base = 0usize;
-    for chunk in w.vectors.chunks(64) {
-        let packed = pack_lanes(chunk, n_inputs);
-        let outs = unpack_lanes(&eval_pass(&packed), chunk.len());
-        for (i, out) in outs.iter().enumerate() {
-            if out != &w.oracle[base + i] {
-                v.differed = true;
-            }
-            // The deployable checker: no oracle needed, just the
-            // zero-one sort property plus token conservation.
-            let ones = out.iter().filter(|&&b| b).count();
-            if !lang::is_sorted(out) || ones != w.ones[base + i] {
-                v.detected = true;
-                degradation.observe(out, w.ones[base + i]);
-            }
-        }
-        base += chunk.len();
+    for (ci, packed) in w.packed.iter().enumerate() {
+        eval_pass(packed, &mut out);
+        check_chunk(w, ci, base, |o| out[o], &mut lane_buf, degradation, &mut v);
+        base += w.masks[ci].count_ones() as usize;
     }
     v
+}
+
+/// Scores one faulty variant with `[u64; 4]` wide passes: each pass
+/// covers four 64-lane chunks, quartering per-variant evaluation count.
+/// This is what makes per-mutant lowering pay for itself in the compiled
+/// campaign path — the tape is walked once per 256 vectors instead of
+/// four times. Chunk checks run in the same ascending order as
+/// [`score_variant`], so verdicts and degradation sequences match the
+/// 64-lane sweep exactly.
+fn score_variant_wide(
+    w: &Workload,
+    n_outputs: usize,
+    mut eval_pass: impl FnMut(&[[u64; 4]], &mut [[u64; 4]]),
+    degradation: &mut Degradation,
+) -> Verdict {
+    let mut v = Verdict {
+        detected: false,
+        differed: false,
+    };
+    let mut out = vec![[0u64; 4]; n_outputs];
+    let mut lane_buf: Vec<bool> = Vec::with_capacity(n_outputs);
+    let mut base = 0usize;
+    for (wi, packed) in w.packed_wide.iter().enumerate() {
+        eval_pass(packed, &mut out);
+        for (ci, mask) in w.masks.iter().enumerate().skip(wi * 4).take(4) {
+            let k = ci - wi * 4;
+            check_chunk(
+                w,
+                ci,
+                base,
+                |o| out[o][k],
+                &mut lane_buf,
+                degradation,
+                &mut v,
+            );
+            base += mask.count_ones() as usize;
+        }
+    }
+    v
+}
+
+/// Diffs one 64-lane output chunk (read through `out_word`, which maps an
+/// output index to its packed word) against the packed oracle and applies
+/// the zero-one checker to differing lanes, folding results into `v`.
+fn check_chunk(
+    w: &Workload,
+    ci: usize,
+    base: usize,
+    out_word: impl Fn(usize) -> u64,
+    lane_buf: &mut Vec<bool>,
+    degradation: &mut Degradation,
+    v: &mut Verdict,
+) {
+    let mask = w.masks[ci];
+    let n_outputs = w.packed_oracle[ci].len();
+    let mut differed = 0u64;
+    for (o, &oracle) in w.packed_oracle[ci].iter().enumerate() {
+        differed |= (out_word(o) ^ oracle) & mask;
+    }
+    if differed != 0 {
+        v.differed = true;
+        let mut rest = differed;
+        while rest != 0 {
+            let lane = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            lane_buf.clear();
+            lane_buf.extend((0..n_outputs).map(|o| out_word(o) >> lane & 1 == 1));
+            // The deployable checker: no oracle needed, just the
+            // zero-one sort property plus token conservation.
+            let ones = lane_buf.iter().filter(|&&b| b).count();
+            if !lang::is_sorted(lane_buf) || ones != w.ones[base + lane] {
+                v.detected = true;
+                degradation.observe(lane_buf, w.ones[base + lane]);
+            }
+        }
+    }
 }
 
 /// Folds one variant's verdict into a report cell.
@@ -234,6 +349,14 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
 
     let mut kinds: Vec<KindReport> = Vec::new();
 
+    // Compiled once per network; each mutant below is expressed as an
+    // in-place tape patch instead of a full per-mutant lowering (the
+    // dominant cost of compiled campaigns at small `n`).
+    let mut base_cc = match cfg.engine {
+        Engine::Compiled => Some(circuit.compile()),
+        Engine::Interp => None,
+    };
+
     // --- component-granularity faults via netlist rewriting -------------
     for fault in Fault::ALL {
         let kind = match fault {
@@ -245,14 +368,48 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
             kind: Some(kind),
             ..Default::default()
         };
-        for (_, mutant) in mutate::mutants(&circuit, fault) {
+        for (ci, mutant) in mutate::mutants(&circuit, fault) {
             // Rewritten mutants must stay structurally sound before they
             // are trusted with an evaluation sweep.
             mutant
                 .validate()
                 .unwrap_or_else(|e| panic!("mutant failed validation: {e}"));
-            let mut ev: Evaluator<'_, u64> = Evaluator::new(&mutant);
-            let v = score_variant(&w, cfg.n, |p| ev.run(p), &mut cell.degradation);
+            let v = match &mut base_cc {
+                Some(cc) => match cc.mutant_tape(ci, fault) {
+                    // Wide walks amortize per-mutant setup further: one
+                    // tape pass covers 256 vectors.
+                    MutantTape::Patched(patched) => {
+                        let mut ev: CompiledEvaluator<'_, [u64; 4]> =
+                            CompiledEvaluator::new(&patched);
+                        score_variant_wide(
+                            &w,
+                            cfg.n,
+                            |p, o| ev.run_into(p, o),
+                            &mut cell.degradation,
+                        )
+                    }
+                    // Dead site: the mutant cannot differ from the base
+                    // circuit, which matches the oracle on valid inputs.
+                    MutantTape::Dead => Verdict {
+                        detected: false,
+                        differed: false,
+                    },
+                    MutantTape::Unsupported => {
+                        let cc = mutant.compile();
+                        let mut ev: CompiledEvaluator<'_, [u64; 4]> = CompiledEvaluator::new(&cc);
+                        score_variant_wide(
+                            &w,
+                            cfg.n,
+                            |p, o| ev.run_into(p, o),
+                            &mut cell.degradation,
+                        )
+                    }
+                },
+                None => {
+                    let mut ev: Evaluator<'_, u64> = Evaluator::new(&mutant);
+                    score_variant(&w, cfg.n, |p, o| ev.run_into(p, o), &mut cell.degradation)
+                }
+            };
             tally(&mut cell, v);
         }
         kinds.push(cell);
@@ -274,8 +431,8 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
             FaultKind::StuckAt1 => matches!(s, WireFault::StuckAt { value: true, .. }),
             _ => matches!(s, WireFault::BridgeOr { .. }),
         }) {
-            let mut ev: FaultyEvaluator<'_, u64> = FaultyEvaluator::new(&circuit, &[site]);
-            let v = score_variant(&w, cfg.n, |p| ev.run(p), &mut cell.degradation);
+            let mut ev: FaultyEvaluator<'_, [u64; 4]> = FaultyEvaluator::new(&circuit, &[site]);
+            let v = score_variant_wide(&w, cfg.n, |p, o| ev.run_into(p, o), &mut cell.degradation);
             tally(&mut cell, v);
         }
         kinds.push(cell);
@@ -292,8 +449,11 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
         let wire = cone[rng.gen_range(0..cone.len())];
         let vector = rng.gen_range(0..w.vectors.len()) as u64;
         let fault = WireFault::TransientFlip { wire, vector };
-        let mut ev: FaultyEvaluator<'_, u64> = FaultyEvaluator::new(&circuit, &[fault]);
-        let v = score_variant(&w, cfg.n, |p| ev.run(p), &mut cell.degradation);
+        // The faulty evaluator counts `V::LANES` vectors per pass, so the
+        // wide walk keeps transient lane targeting exact as long as the
+        // wide chunks are fed in workload order.
+        let mut ev: FaultyEvaluator<'_, [u64; 4]> = FaultyEvaluator::new(&circuit, &[fault]);
+        let v = score_variant_wide(&w, cfg.n, |p, o| ev.run_into(p, o), &mut cell.degradation);
         tally(&mut cell, v);
     }
     kinds.push(cell);
@@ -375,6 +535,42 @@ mod tests {
             );
             let injected: u64 = report.kinds.iter().map(|k| k.injected).sum();
             assert!(injected > 0, "network {} swept no sites", report.network);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_campaign_tallies() {
+        // The engine selector must not change a single report cell: same
+        // injected/detected/masked counts and the same degradation
+        // extremes under both engines.
+        for sel in [NetworkSel::Prefix, NetworkSel::Fish] {
+            let mut reports = Engine::ALL.iter().map(|&engine| {
+                let cfg = CampaignConfig {
+                    n: 4,
+                    engine,
+                    ..Default::default()
+                };
+                run_network(sel, &cfg)
+            });
+            let interp = reports.next().unwrap();
+            let compiled = reports.next().unwrap();
+            assert_eq!(interp.kinds.len(), compiled.kinds.len());
+            for (a, b) in interp.kinds.iter().zip(&compiled.kinds) {
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(a.injected, b.injected, "{:?}", a.kind);
+                assert_eq!(a.detected, b.detected, "{:?}", a.kind);
+                assert_eq!(a.masked, b.masked, "{:?}", a.kind);
+                assert_eq!(
+                    a.degradation.max_inversions, b.degradation.max_inversions,
+                    "{:?}",
+                    a.kind
+                );
+                assert_eq!(
+                    a.degradation.max_displacement, b.degradation.max_displacement,
+                    "{:?}",
+                    a.kind
+                );
+            }
         }
     }
 

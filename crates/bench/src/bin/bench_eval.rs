@@ -1,0 +1,256 @@
+//! `bench_eval` — engine-comparison numbers for the evaluation backends.
+//!
+//! Times the enum-dispatch interpreter against the compiled micro-op
+//! tape on the mux-based merge sorter (scalar, 64-lane, and 4-thread
+//! batch paths over a fixed 256-vector workload), the one-time lowering
+//! pass, and the full `--network all` fault campaign, and writes the
+//! results as JSON (min-of-3 wall clock per measurement).
+//!
+//! Usage:
+//!   cargo run --release -p absort-bench --bin bench_eval -- \
+//!       [--quick] [--out BENCH_eval.json]
+//!
+//! `--quick` restricts to n = 64 and a n = 4 fault campaign (CI smoke);
+//! the default sweep is n ∈ {64, 256, 1024} with a n = 8 campaign.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use absort_analysis::faults::{run_campaign, CampaignConfig, NetworkSel};
+use absort_bench::bench_bits;
+use absort_circuit::eval::{pack_lanes, pack_lanes_wide};
+use absort_circuit::{CompiledEvaluator, Engine, Evaluator};
+use absort_core::muxmerge;
+
+const REPS: usize = 3;
+const WORKLOAD: usize = 256;
+
+/// Minimum wall-clock seconds per call over [`REPS`] samples, each
+/// timing `iters` back-to-back calls of `f` (batched so that
+/// microsecond-scale routines still get a clean reading).
+fn min_of<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() / f64::from(iters));
+    }
+    best
+}
+
+fn ms(secs: f64) -> String {
+    format!("{:.3}", secs * 1e3)
+}
+
+fn ratio(slow: f64, fast: f64) -> String {
+    format!("{:.2}", slow / fast)
+}
+
+fn size_row(n: usize) -> String {
+    let circuit = muxmerge::build(n);
+    let vectors: Vec<Vec<bool>> = (0..WORKLOAD).map(|s| bench_bits(n, s as u64)).collect();
+    // Pre-packed 64-lane groups: the raw engine measurement, without the
+    // bool<->lane conversion the batch API performs.
+    let groups: Vec<Vec<u64>> = vectors.chunks(64).map(|ch| pack_lanes(ch, n)).collect();
+
+    let compile_s = min_of(20, || circuit.compile());
+    let compiled = circuit.compile();
+
+    let interp_scalar_s = min_of(1, || {
+        let mut ev: Evaluator<'_, bool> = Evaluator::new(&circuit);
+        let mut out = vec![false; n];
+        let mut acc = 0usize;
+        for v in &vectors {
+            ev.run_into(v, &mut out);
+            acc += out[0] as usize;
+        }
+        acc
+    });
+    let compiled_scalar_s = min_of(1, || {
+        let mut ev: CompiledEvaluator<'_, bool> = CompiledEvaluator::new(&compiled);
+        let mut out = vec![false; n];
+        let mut acc = 0usize;
+        for v in &vectors {
+            ev.run_into(v, &mut out);
+            acc += out[0] as usize;
+        }
+        acc
+    });
+
+    let mut interp_u64: Evaluator<'_, u64> = Evaluator::new(&circuit);
+    let mut compiled_u64: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(&compiled);
+    let mut out = vec![0u64; n];
+    let interp_lanes_s = min_of(100, || {
+        let mut acc = 0u64;
+        for gp in &groups {
+            interp_u64.run_into(gp, &mut out);
+            acc ^= out[0];
+        }
+        acc
+    });
+    let compiled_lanes_s = min_of(100, || {
+        let mut acc = 0u64;
+        for gp in &groups {
+            compiled_u64.run_into(gp, &mut out);
+            acc ^= out[0];
+        }
+        acc
+    });
+
+    // The compiled engine's preferred batch configuration: one [u64; 4]
+    // wide walk covers the whole 256-vector workload, which the
+    // register-allocated slot buffer keeps cache-resident.
+    let wide = pack_lanes_wide::<4>(&vectors, n);
+    let mut compiled_w4: CompiledEvaluator<'_, [u64; 4]> = CompiledEvaluator::new(&compiled);
+    let mut wout = vec![[0u64; 4]; n];
+    let compiled_wide_s = min_of(100, || {
+        compiled_w4.run_into(&wide, &mut wout);
+        wout[0][0]
+    });
+
+    let interp_par4_s = min_of(1, || circuit.eval_batch_parallel(&vectors, 4));
+    let compiled_par4_s = min_of(1, || compiled.eval_batch_parallel(&vectors, 4));
+
+    eprintln!(
+        "n={n}: lanes64 interp {} ms -> compiled wide {} ms ({}x; u64-for-u64 {}x); \
+         scalar {}x; compile {} ms, {} slots for {} wires",
+        ms(interp_lanes_s),
+        ms(compiled_wide_s),
+        ratio(interp_lanes_s, compiled_wide_s),
+        ratio(interp_lanes_s, compiled_lanes_s),
+        ratio(interp_scalar_s, compiled_scalar_s),
+        ms(compile_s),
+        compiled.n_slots(),
+        circuit.n_wires(),
+    );
+
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"n\": {n},\n",
+            "      \"compile_ms\": {compile},\n",
+            "      \"tape_len\": {tape_len},\n",
+            "      \"levels\": {levels},\n",
+            "      \"n_slots\": {n_slots},\n",
+            "      \"n_wires\": {n_wires},\n",
+            "      \"slots_saved\": {slots_saved},\n",
+            "      \"interp_scalar_ms\": {is},\n",
+            "      \"compiled_scalar_ms\": {cs},\n",
+            "      \"scalar_speedup\": {ss},\n",
+            "      \"interp_lanes_ms\": {il},\n",
+            "      \"compiled_lanes_ms\": {cl},\n",
+            "      \"compiled_wide_ms\": {cw},\n",
+            "      \"lanes_speedup\": {ls},\n",
+            "      \"interp_par4_ms\": {ip},\n",
+            "      \"compiled_par4_ms\": {cp}\n",
+            "    }}"
+        ),
+        n = n,
+        compile = ms(compile_s),
+        tape_len = compiled.tape_len(),
+        levels = compiled.n_levels(),
+        n_slots = compiled.n_slots(),
+        n_wires = circuit.n_wires(),
+        slots_saved = compiled.slots_saved(),
+        is = ms(interp_scalar_s),
+        cs = ms(compiled_scalar_s),
+        ss = ratio(interp_scalar_s, compiled_scalar_s),
+        il = ms(interp_lanes_s),
+        cl = ms(compiled_lanes_s),
+        cw = ms(compiled_wide_s),
+        ls = ratio(interp_lanes_s, compiled_wide_s),
+        ip = ms(interp_par4_s),
+        cp = ms(compiled_par4_s),
+    )
+}
+
+fn campaign_section(n: usize) -> String {
+    let time_engine = |engine: Engine| {
+        let cfg = CampaignConfig {
+            n,
+            engine,
+            ..CampaignConfig::default()
+        };
+        min_of(1, || run_campaign(&NetworkSel::ALL, &cfg))
+    };
+    let interp_s = time_engine(Engine::Interp);
+    let compiled_s = time_engine(Engine::Compiled);
+    eprintln!(
+        "fault campaign n={n} --network all: interp {} ms -> compiled {} ms ({}x)",
+        ms(interp_s),
+        ms(compiled_s),
+        ratio(interp_s, compiled_s),
+    );
+    format!(
+        concat!(
+            "  \"fault_campaign\": {{\n",
+            "    \"n\": {n},\n",
+            "    \"networks\": \"all\",\n",
+            "    \"interp_ms\": {i},\n",
+            "    \"compiled_ms\": {c},\n",
+            "    \"speedup\": {s}\n",
+            "  }}"
+        ),
+        n = n,
+        i = ms(interp_s),
+        c = ms(compiled_s),
+        s = ratio(interp_s, compiled_s),
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_eval.json");
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: bench_eval [--quick] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (sizes, campaign_n): (&[usize], usize) = if quick {
+        (&[64], 4)
+    } else {
+        (&[64, 256, 1024], 8)
+    };
+
+    let rows: Vec<String> = sizes.iter().map(|&n| size_row(n)).collect();
+    let campaign = campaign_section(campaign_n);
+
+    let doc = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"absort-bench-eval/v1\",\n",
+            "  \"network\": \"mux-merger\",\n",
+            "  \"reps\": {reps},\n",
+            "  \"workload_vectors\": {workload},\n",
+            "  \"sizes\": [\n{rows}\n  ],\n",
+            "{campaign}\n",
+            "}}\n"
+        ),
+        reps = REPS,
+        workload = WORKLOAD,
+        rows = rows.join(",\n"),
+        campaign = campaign,
+    );
+
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

@@ -203,6 +203,16 @@ impl Circuit {
         self.outputs.iter().map(|w| d[w.index()] as usize).collect()
     }
 
+    // ---- compilation -----------------------------------------------------
+
+    /// Lowers the netlist to a register-allocated, levelized micro-op
+    /// tape (see [`crate::compile`]). A one-time cost that pays for
+    /// itself after a handful of passes: sweep drivers should compile
+    /// once and evaluate with a [`crate::CompiledEvaluator`].
+    pub fn compile(&self) -> crate::compile::CompiledCircuit {
+        crate::compile::CompiledCircuit::compile(self)
+    }
+
     // ---- evaluation ------------------------------------------------------
 
     /// Evaluates the circuit on one input vector (scalar path).

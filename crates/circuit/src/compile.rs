@@ -1,0 +1,1491 @@
+//! Compiled levelized evaluation: lowering a [`Circuit`] to a
+//! register-allocated micro-op tape.
+//!
+//! The enum-dispatch interpreter in [`crate::eval`] walks the component
+//! list and indexes a wire buffer that is as wide as the netlist — for a
+//! mux-merger at `n = 1024` that is hundreds of kilobytes touched per
+//! pass, far beyond L1. The paper's Model A networks are pure
+//! feed-forward bit-level circuits, which makes them ideal one-time
+//! compilation targets (compare the explicit depth-staged forms used for
+//! sorting-network verification in Bundala & Závodný, arXiv:1310.6271,
+//! and Théry, arXiv:2203.01579). [`CompiledCircuit::compile`] lowers a
+//! netlist once into a flat [`MicroOp`] tape:
+//!
+//! * **fused micro-ops** — every primitive becomes a single opcode with
+//!   `u32` slot operands (`Nand`/`Nor`/`Xnor` are single ops, not
+//!   gate-plus-inverter; the 4×4 switch computes its four select masks
+//!   once and drives all four outputs in one op, and consecutive
+//!   switches sharing a control pair — one swapper column — skip the
+//!   mask computation entirely via [`REUSE_MASKS`]);
+//! * **constant folding into the prologue** — constant wires become
+//!   [`MicroOp::Const`] splats at the head of the tape, and components no
+//!   output can observe are dropped entirely (dead-code elimination);
+//! * **register allocation by last-use liveness** — wire values live in
+//!   *slots* that are freed at their last read and reused, so the working
+//!   buffer shrinks from `n_wires` entries to the peak live-slot count.
+//!   This is the real win at `n = 256+`: the hot buffer drops back into
+//!   L1/L2 and stays there for the whole sweep;
+//! * **levelization** — ops are emitted grouped by bit-level depth stage
+//!   ([`CompiledCircuit::level_ranges`]), the substrate for future
+//!   intra-vector parallelism and for depth-staged batch sharding.
+//!
+//! [`CompiledEvaluator`] then replays the tape with the same `run` /
+//! `run_into` / `try_*` surface as [`crate::Evaluator`], over any
+//! [`Lane`] type, and [`CompiledCircuit::eval_batch_parallel`] shards
+//! packed 64-lane groups across threads exactly like the interpreter's
+//! batch path. Equivalence with the interpreter is enforced by the
+//! differential suites (`crates/circuit/tests/differential.rs` and the
+//! workspace-level `tests/compiled_differential.rs`).
+
+use crate::circuit::Circuit;
+use crate::component::{Component, Perm4};
+use crate::eval::EvalError;
+use crate::lane::Lane;
+use crate::mutate::Fault;
+
+/// Which evaluation engine a driver should use. Sweep drivers (exhaustive
+/// verification, fault campaigns, batch sorting) default to
+/// [`Engine::Compiled`]; the interpreter remains available for
+/// differential testing and for one-shot evaluations where the lowering
+/// pass would not amortize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The enum-dispatch interpreter ([`crate::Evaluator`]).
+    Interp,
+    /// The compiled micro-op tape ([`CompiledEvaluator`]).
+    #[default]
+    Compiled,
+}
+
+impl Engine {
+    /// Both engines, in differential-test order.
+    pub const ALL: [Engine; 2] = [Engine::Interp, Engine::Compiled];
+
+    /// Stable name used by CLIs, reports, and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Interp => "interp",
+            Engine::Compiled => "compiled",
+        }
+    }
+
+    /// Parses a CLI `--engine` value.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "interp" | "interpreter" => Some(Engine::Interp),
+            "compiled" | "compile" => Some(Engine::Compiled),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fused instruction of the compiled tape. All operands are *slot*
+/// indices into the evaluator's working buffer (not wire indices — slots
+/// are reused once their value is dead). Destination fields are named
+/// `d`/`d0`/`d1`; a destination may legally alias a source slot, because
+/// every op reads all of its sources before writing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Prologue splat of a constant into a slot.
+    Const {
+        /// Destination slot.
+        d: u32,
+        /// The constant value.
+        v: bool,
+    },
+    /// `d = !a`.
+    Not {
+        /// Destination slot.
+        d: u32,
+        /// Source slot.
+        a: u32,
+    },
+    /// `d = a & b`.
+    And {
+        /// Destination slot.
+        d: u32,
+        /// First source slot.
+        a: u32,
+        /// Second source slot.
+        b: u32,
+    },
+    /// `d = a | b`.
+    Or {
+        /// Destination slot.
+        d: u32,
+        /// First source slot.
+        a: u32,
+        /// Second source slot.
+        b: u32,
+    },
+    /// `d = a ^ b`.
+    Xor {
+        /// Destination slot.
+        d: u32,
+        /// First source slot.
+        a: u32,
+        /// Second source slot.
+        b: u32,
+    },
+    /// `d = !(a & b)` — fused, no separate inverter op.
+    Nand {
+        /// Destination slot.
+        d: u32,
+        /// First source slot.
+        a: u32,
+        /// Second source slot.
+        b: u32,
+    },
+    /// `d = !(a | b)` — fused.
+    Nor {
+        /// Destination slot.
+        d: u32,
+        /// First source slot.
+        a: u32,
+        /// Second source slot.
+        b: u32,
+    },
+    /// `d = !(a ^ b)` — fused.
+    Xnor {
+        /// Destination slot.
+        d: u32,
+        /// First source slot.
+        a: u32,
+        /// Second source slot.
+        b: u32,
+    },
+    /// `d = s ? a1 : a0` (per lane).
+    Mux {
+        /// Destination slot.
+        d: u32,
+        /// Select slot.
+        s: u32,
+        /// Taken when the select lane is 1.
+        a1: u32,
+        /// Taken when the select lane is 0.
+        a0: u32,
+    },
+    /// `d0 = !s & x`, `d1 = s & x`.
+    Demux {
+        /// Slot for the `sel = 0` branch.
+        d0: u32,
+        /// Slot for the `sel = 1` branch.
+        d1: u32,
+        /// Select slot.
+        s: u32,
+        /// Data slot.
+        x: u32,
+    },
+    /// `d0 = s ? b : a`, `d1 = s ? a : b`.
+    Switch2 {
+        /// Upper output slot.
+        d0: u32,
+        /// Lower output slot.
+        d1: u32,
+        /// Control slot.
+        s: u32,
+        /// Upper input slot.
+        a: u32,
+        /// Lower input slot.
+        b: u32,
+    },
+    /// `d0 = a`, `d1 = b` — a fixed two-way route. Lowering never emits
+    /// this; [`CompiledCircuit::mutant_tape`] uses it to express a 2×2
+    /// switch whose control line is stuck at a constant.
+    Route2 {
+        /// Upper output slot.
+        d0: u32,
+        /// Lower output slot.
+        d1: u32,
+        /// Slot routed to `d0`.
+        a: u32,
+        /// Slot routed to `d1`.
+        b: u32,
+    },
+    /// `d0 = a & b` (min), `d1 = a | b` (max) — both halves in one op.
+    BitCompare {
+        /// Min output slot.
+        d0: u32,
+        /// Max output slot.
+        d1: u32,
+        /// First source slot.
+        a: u32,
+        /// Second source slot.
+        b: u32,
+    },
+    /// Fused 4×4 switch. The four select masks are computed once and
+    /// reused across all four outputs — and, when [`REUSE_MASKS`] is set,
+    /// carried over from the previous op entirely (consecutive switches
+    /// of one swapper column share a control pair; the compiler proves
+    /// statically that the control slots are unchanged in between).
+    Switch4 {
+        /// The four destination slots.
+        d: [u32; 4],
+        /// The four data-input slots.
+        ins: [u32; 4],
+        /// High select-bit slot.
+        s1: u32,
+        /// Low select-bit slot.
+        s0: u32,
+        /// Index into [`CompiledCircuit::perm_sets`] (circuits draw from
+        /// a handful of distinct permutation sets, so the table stays
+        /// cache-resident), with [`REUSE_MASKS`] or-ed into the high bit.
+        pidx: u32,
+    },
+}
+
+/// High bit of [`MicroOp::Switch4::pidx`]: the select masks of the
+/// previous tape op (also a `Switch4`, over the same still-live control
+/// slots) are valid for this op and need not be recomputed.
+pub const REUSE_MASKS: u32 = 1 << 31;
+
+/// A circuit lowered to a register-allocated, levelized micro-op tape.
+/// Produced once by [`CompiledCircuit::compile`] (or
+/// [`Circuit::compile`]) and evaluated any number of times by
+/// [`CompiledEvaluator`].
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    tape: Vec<MicroOp>,
+    /// Deduplicated 4×4-switch permutation sets, indexed by
+    /// [`MicroOp::Switch4::pidx`].
+    perm_sets: Vec<[Perm4; 4]>,
+    n_slots: u32,
+    input_slots: Vec<u32>,
+    output_slots: Vec<u32>,
+    prologue_len: u32,
+    /// `(start, end)` tape index ranges, one per non-empty depth level
+    /// (the prologue is not part of any level).
+    level_ranges: Vec<(u32, u32)>,
+    /// Tape position of each source component (`u32::MAX` when the
+    /// component was eliminated as dead code). Lets
+    /// [`CompiledCircuit::mutant_tape`] patch single-component faults in
+    /// place instead of re-lowering the whole netlist per mutant.
+    comp_pos: Vec<u32>,
+    /// Wire count of the source circuit, kept for slot-savings reporting.
+    source_wires: u32,
+    /// Component count of the source circuit (tape length differs once
+    /// dead components are eliminated).
+    source_components: u32,
+}
+
+/// Sentinel: wire is never read and is not an output.
+const DEAD: u32 = u32::MAX;
+/// Sentinel: wire is a designated output — live to the end of the pass.
+const FOREVER: u32 = u32::MAX - 1;
+
+/// Slot free-list allocator with a high-water mark.
+struct SlotAlloc {
+    free: Vec<u32>,
+    next: u32,
+}
+
+impl SlotAlloc {
+    fn get(&mut self) -> u32 {
+        self.free.pop().unwrap_or_else(|| {
+            let s = self.next;
+            self.next += 1;
+            s
+        })
+    }
+}
+
+/// Index of `set` in the deduplicated permutation table, appending it if
+/// absent. Circuits draw from a handful of distinct sets, so the linear
+/// scan is cheap and keeps the table minimal.
+#[allow(clippy::cast_possible_truncation)]
+fn intern_perms(perm_sets: &mut Vec<[Perm4; 4]>, set: [Perm4; 4]) -> u32 {
+    perm_sets.iter().position(|p| *p == set).unwrap_or_else(|| {
+        perm_sets.push(set);
+        perm_sets.len() - 1
+    }) as u32
+}
+
+/// Outcome of [`CompiledCircuit::mutant_tape`].
+pub enum MutantTape<'a> {
+    /// The tape is patched in place; dropping the guard restores the
+    /// base tape (and permutation table) exactly.
+    Patched(PatchGuard<'a>),
+    /// The faulted component was eliminated as dead code, so the mutant
+    /// is output-equivalent to the base circuit: no evaluation needed.
+    Dead,
+    /// No in-place encoding exists for this `(component, fault)` pair;
+    /// callers fall back to compiling the rewritten netlist.
+    Unsupported,
+}
+
+/// RAII view of a [`CompiledCircuit`] with one mutant patch applied.
+/// Dereferences to the patched circuit for evaluation; restores the
+/// original op (and any cleared mask-reuse flag) on drop.
+pub struct PatchGuard<'a> {
+    cc: &'a mut CompiledCircuit,
+    pos: usize,
+    saved: MicroOp,
+    /// `(tape index, original pidx)` of a following 4×4 switch whose
+    /// mask-reuse flag the patch had to clear.
+    saved_next: Option<(usize, u32)>,
+    /// Permutation-table length before the patch; sets the patch
+    /// interned are dropped on restore.
+    perm_len: usize,
+}
+
+impl std::ops::Deref for PatchGuard<'_> {
+    type Target = CompiledCircuit;
+    fn deref(&self) -> &CompiledCircuit {
+        self.cc
+    }
+}
+
+impl Drop for PatchGuard<'_> {
+    fn drop(&mut self) {
+        self.cc.tape[self.pos] = self.saved;
+        if let Some((i, pidx)) = self.saved_next {
+            if let MicroOp::Switch4 { pidx: slot, .. } = &mut self.cc.tape[i] {
+                *slot = pidx;
+            }
+        }
+        self.cc.perm_sets.truncate(self.perm_len);
+    }
+}
+
+impl CompiledCircuit {
+    /// Lowers a circuit to its compiled form. One-time cost, linear in
+    /// the netlist; the pass levelizes, dead-code-eliminates, computes
+    /// last-use liveness, and register-allocates in a single forward
+    /// emission scan.
+    pub fn compile(c: &Circuit) -> CompiledCircuit {
+        #[cfg(feature = "telemetry")]
+        let _span = absort_telemetry::span("compile/lower");
+
+        let comps = c.components();
+        let n_wires = c.n_wires();
+
+        // ---- levelize: stable-sort components by output depth ----------
+        let mut level = vec![0u32; n_wires];
+        for p in comps {
+            let mut m = 0u32;
+            p.comp.for_each_input(|w| m = m.max(level[w.index()]));
+            for k in 0..p.comp.n_outputs() {
+                level[p.out_base as usize + k] = m + 1;
+            }
+        }
+        let mut order: Vec<u32> = (0..comps.len() as u32).collect();
+        // Inputs of a component sit at strictly smaller levels than its
+        // outputs, so a stable sort by level is still a topological order.
+        order.sort_by_key(|&i| level[comps[i as usize].out_base as usize]);
+
+        // ---- dead-code elimination: keep only the output cone ----------
+        let mut needed = vec![false; n_wires];
+        for w in c.output_wires() {
+            needed[w.index()] = true;
+        }
+        let mut keep = vec![false; comps.len()];
+        for &i in order.iter().rev() {
+            let p = &comps[i as usize];
+            let base = p.out_base as usize;
+            if (0..p.comp.n_outputs()).any(|k| needed[base + k]) {
+                keep[i as usize] = true;
+                p.comp.for_each_input(|w| needed[w.index()] = true);
+            }
+        }
+        let kept: Vec<u32> = order
+            .iter()
+            .copied()
+            .filter(|&i| keep[i as usize])
+            .collect();
+        let kept_consts: Vec<(usize, bool)> = c
+            .const_wires()
+            .iter()
+            .filter(|(w, _)| needed[w.index()])
+            .map(|&(w, v)| (w.index(), v))
+            .collect();
+
+        // ---- last-use liveness over tape positions ---------------------
+        // Position p = prologue consts (0..C), then kept components in
+        // levelized order (C..C+K). Outputs stay live forever.
+        let prologue_len = kept_consts.len() as u32;
+        let mut last_use = vec![DEAD; n_wires];
+        for (j, &ci) in kept.iter().enumerate() {
+            let pos = prologue_len + j as u32;
+            comps[ci as usize]
+                .comp
+                .for_each_input(|w| last_use[w.index()] = pos);
+        }
+        for w in c.output_wires() {
+            last_use[w.index()] = FOREVER;
+        }
+
+        // ---- forward scan: allocate slots and emit the tape ------------
+        let mut alloc = SlotAlloc {
+            free: Vec::new(),
+            next: 0,
+        };
+        let mut slot_of = vec![u32::MAX; n_wires];
+        // Dead destinations (an unused Demux branch, an input nobody
+        // reads) still need somewhere to be written; they all share one
+        // scratch slot that is never read and never freed.
+        let mut scratch: Option<u32> = None;
+
+        let mut input_slots = Vec::with_capacity(c.n_inputs());
+        for w in c.input_wires() {
+            let s = if last_use[w.index()] == DEAD {
+                *scratch.get_or_insert_with(|| alloc.get())
+            } else {
+                let s = alloc.get();
+                slot_of[w.index()] = s;
+                s
+            };
+            input_slots.push(s);
+        }
+
+        let mut tape = Vec::with_capacity(prologue_len as usize + kept.len());
+        for &(wi, v) in &kept_consts {
+            let d = alloc.get();
+            slot_of[wi] = d;
+            tape.push(MicroOp::Const { d, v });
+        }
+
+        let mut perm_sets: Vec<[Perm4; 4]> = Vec::new();
+        let mut level_ranges: Vec<(u32, u32)> = Vec::new();
+        let mut cur_level = u32::MAX;
+        let mut dying: Vec<u32> = Vec::new();
+        let mut comp_pos = vec![u32::MAX; comps.len()];
+
+        for (j, &ci) in kept.iter().enumerate() {
+            let pos = prologue_len + j as u32;
+            let p = &comps[ci as usize];
+
+            // Free the slots of operands that die at this op *before*
+            // allocating destinations, so a destination can reuse a dying
+            // operand's slot (ops read all sources before writing).
+            dying.clear();
+            p.comp.for_each_input(|w| {
+                if last_use[w.index()] == pos {
+                    let s = slot_of[w.index()];
+                    if !dying.contains(&s) {
+                        dying.push(s);
+                    }
+                }
+            });
+            alloc.free.extend_from_slice(&dying);
+
+            let base = p.out_base as usize;
+            let mut ds = [0u32; 4];
+            for (k, d) in ds.iter_mut().enumerate().take(p.comp.n_outputs()) {
+                *d = if last_use[base + k] == DEAD {
+                    *scratch.get_or_insert_with(|| alloc.get())
+                } else {
+                    let s = alloc.get();
+                    slot_of[base + k] = s;
+                    s
+                };
+            }
+
+            let lv = level[base];
+            if lv != cur_level {
+                let at = tape.len() as u32;
+                level_ranges.push((at, at));
+                cur_level = lv;
+            }
+
+            let slot = |w: &crate::wire::Wire| slot_of[w.index()];
+            comp_pos[ci as usize] = tape.len() as u32;
+            tape.push(match &p.comp {
+                Component::Not { a } => MicroOp::Not {
+                    d: ds[0],
+                    a: slot(a),
+                },
+                Component::Gate { op, a, b } => {
+                    use crate::component::GateOp;
+                    let (a, b) = (slot(a), slot(b));
+                    let d = ds[0];
+                    match op {
+                        GateOp::And => MicroOp::And { d, a, b },
+                        GateOp::Or => MicroOp::Or { d, a, b },
+                        GateOp::Xor => MicroOp::Xor { d, a, b },
+                        GateOp::Nand => MicroOp::Nand { d, a, b },
+                        GateOp::Nor => MicroOp::Nor { d, a, b },
+                        GateOp::Xnor => MicroOp::Xnor { d, a, b },
+                    }
+                }
+                Component::Mux2 { sel, a0, a1 } => MicroOp::Mux {
+                    d: ds[0],
+                    s: slot(sel),
+                    a1: slot(a1),
+                    a0: slot(a0),
+                },
+                Component::Demux2 { sel, x } => MicroOp::Demux {
+                    d0: ds[0],
+                    d1: ds[1],
+                    s: slot(sel),
+                    x: slot(x),
+                },
+                Component::Switch2 { ctrl, a, b } => MicroOp::Switch2 {
+                    d0: ds[0],
+                    d1: ds[1],
+                    s: slot(ctrl),
+                    a: slot(a),
+                    b: slot(b),
+                },
+                Component::BitCompare { a, b } => MicroOp::BitCompare {
+                    d0: ds[0],
+                    d1: ds[1],
+                    a: slot(a),
+                    b: slot(b),
+                },
+                Component::Switch4 { s1, s0, ins, perms } => {
+                    let (s1s, s0s) = (slot(s1), slot(s0));
+                    let pid = intern_perms(&mut perm_sets, *perms);
+                    // Select masks carry over when the previous op is a
+                    // 4×4 switch on the same control slots and did not
+                    // write them (its destinations never overlap slots
+                    // still live here, but check anyway).
+                    let reuse = matches!(
+                        tape.last(),
+                        Some(MicroOp::Switch4 { d, s1: p1, s0: p0, .. })
+                            if *p1 == s1s && *p0 == s0s
+                                && !d.contains(&s1s) && !d.contains(&s0s)
+                    );
+                    MicroOp::Switch4 {
+                        d: ds,
+                        ins: [slot(&ins[0]), slot(&ins[1]), slot(&ins[2]), slot(&ins[3])],
+                        s1: s1s,
+                        s0: s0s,
+                        pidx: pid | if reuse { REUSE_MASKS } else { 0 },
+                    }
+                }
+            });
+            if let Some(last) = level_ranges.last_mut() {
+                last.1 = tape.len() as u32;
+            }
+        }
+
+        let output_slots: Vec<u32> = c
+            .output_wires()
+            .iter()
+            .map(|w| slot_of[w.index()])
+            .collect();
+
+        let cc = CompiledCircuit {
+            tape,
+            perm_sets,
+            n_slots: alloc.next,
+            input_slots,
+            output_slots,
+            prologue_len,
+            level_ranges,
+            comp_pos,
+            source_wires: n_wires as u32,
+            source_components: comps.len() as u32,
+        };
+
+        #[cfg(feature = "telemetry")]
+        absort_telemetry::counter_add_many(&[
+            ("compile.circuits", 1),
+            ("compile.tape_ops", cc.tape.len() as u64),
+            ("compile.levels", cc.level_ranges.len() as u64),
+            ("compile.slots", u64::from(cc.n_slots)),
+            ("compile.slots_saved", cc.slots_saved()),
+            (
+                "compile.dead_ops",
+                (comps.len() - (cc.tape.len() - cc.prologue_len as usize)) as u64,
+            ),
+        ]);
+
+        cc
+    }
+
+    /// Expresses the single-component netlist mutant `(component, fault)`
+    /// (the mutants enumerated by [`crate::mutate::mutants`]) as an
+    /// in-place patch of this tape, avoiding a full re-lowering per
+    /// mutant — the dominant cost of compiled fault campaigns at small
+    /// `n`, where a mutant is evaluated for only a handful of passes.
+    ///
+    /// This is sound because the netlist rewrites preserve the component
+    /// list, the wire table, and every data dependency: behaviour
+    /// inversions permute an op's existing operands or flip its opcode,
+    /// and stuck selects *remove* a dependency (the faulted op reads a
+    /// subset of its old sources). Levelization, liveness, and the slot
+    /// assignment of the base tape therefore remain valid; only the one
+    /// op's encoding changes. Mask-reuse flags are the single cross-op
+    /// coupling, and the patch clears them where the controls change.
+    pub fn mutant_tape(&mut self, component: usize, fault: Fault) -> MutantTape<'_> {
+        let pos = match self.comp_pos.get(component) {
+            Some(&p) if p != u32::MAX => p as usize,
+            // Dead code: no output observes the component, so the mutant
+            // is output-equivalent to the base circuit.
+            Some(_) => return MutantTape::Dead,
+            None => return MutantTape::Unsupported,
+        };
+        let perm_len = self.perm_sets.len();
+        let saved = self.tape[pos];
+        let mut saved_next = None;
+        let patched = match (fault, saved) {
+            // A comparator steered by its lower input instead of its
+            // upper one — mirrors `mutate_component` on `BitCompare`.
+            (Fault::InvertBehaviour, MicroOp::BitCompare { d0, d1, a, b }) => {
+                MicroOp::Switch2 { d0, d1, s: b, a, b }
+            }
+            (Fault::InvertBehaviour, MicroOp::And { d, a, b }) => MicroOp::Nand { d, a, b },
+            (Fault::InvertBehaviour, MicroOp::Nand { d, a, b }) => MicroOp::And { d, a, b },
+            (Fault::InvertBehaviour, MicroOp::Or { d, a, b }) => MicroOp::Nor { d, a, b },
+            (Fault::InvertBehaviour, MicroOp::Nor { d, a, b }) => MicroOp::Or { d, a, b },
+            (Fault::InvertBehaviour, MicroOp::Xor { d, a, b }) => MicroOp::Xnor { d, a, b },
+            (Fault::InvertBehaviour, MicroOp::Xnor { d, a, b }) => MicroOp::Xor { d, a, b },
+            (Fault::InvertBehaviour, MicroOp::Mux { d, s, a1, a0 }) => MicroOp::Mux {
+                d,
+                s,
+                a1: a0,
+                a0: a1,
+            },
+            (Fault::InvertBehaviour, MicroOp::Switch2 { d0, d1, s, a, b }) => MicroOp::Switch2 {
+                d0,
+                d1,
+                s,
+                a: b,
+                b: a,
+            },
+            (
+                Fault::InvertBehaviour,
+                MicroOp::Switch4 {
+                    d,
+                    ins,
+                    s1,
+                    s0,
+                    pidx,
+                },
+            ) => {
+                // Select decode scrambled: permutation table reversed.
+                // Controls (and therefore the select masks) are
+                // unchanged, so reuse flags stay valid.
+                let p = self.perm_sets[(pidx & !REUSE_MASKS) as usize];
+                let pid = intern_perms(&mut self.perm_sets, [p[3], p[2], p[1], p[0]]);
+                MicroOp::Switch4 {
+                    d,
+                    ins,
+                    s1,
+                    s0,
+                    pidx: pid | (pidx & REUSE_MASKS),
+                }
+            }
+            (Fault::StuckSelectLow, MicroOp::Mux { d, a0, .. }) => MicroOp::Or { d, a: a0, b: a0 },
+            (Fault::StuckSelectHigh, MicroOp::Mux { d, a1, .. }) => MicroOp::Or { d, a: a1, b: a1 },
+            // `d0 = s ? b : a, d1 = s ? a : b` with `s` tied.
+            (Fault::StuckSelectLow, MicroOp::Switch2 { d0, d1, a, b, .. }) => {
+                MicroOp::Route2 { d0, d1, a, b }
+            }
+            (Fault::StuckSelectHigh, MicroOp::Switch2 { d0, d1, a, b, .. }) => {
+                MicroOp::Route2 { d0, d1, a: b, b: a }
+            }
+            (
+                Fault::StuckSelectLow | Fault::StuckSelectHigh,
+                MicroOp::Switch4 {
+                    d, ins, s1, pidx, ..
+                },
+            ) => {
+                // `s0` tied to a constant: rewire `s0 := s1` so only the
+                // equal-controls decodes (mask indices 0 and 3) remain
+                // reachable, and route them to the perms the tied decode
+                // selects (`s1·2 + tie`).
+                let p = self.perm_sets[(pidx & !REUSE_MASKS) as usize];
+                let q = match fault {
+                    Fault::StuckSelectLow => [p[0], p[0], p[2], p[2]],
+                    _ => [p[1], p[1], p[3], p[3]],
+                };
+                let pid = intern_perms(&mut self.perm_sets, q);
+                // The controls changed: recompute masks here (no reuse
+                // flag on the patched op), and stop the next op from
+                // reusing masks computed from the old controls.
+                if let Some(&MicroOp::Switch4 { pidx: np, .. }) = self.tape.get(pos + 1) {
+                    if np & REUSE_MASKS != 0 {
+                        saved_next = Some((pos + 1, np));
+                        if let MicroOp::Switch4 { pidx: slot, .. } = &mut self.tape[pos + 1] {
+                            *slot = np & !REUSE_MASKS;
+                        }
+                    }
+                }
+                MicroOp::Switch4 {
+                    d,
+                    ins,
+                    s1,
+                    s0: s1,
+                    pidx: pid,
+                }
+            }
+            // Remaining pairs (e.g. a stuck demultiplexer select, which
+            // would need a constant-zero source): fall back to lowering
+            // the rewritten netlist.
+            _ => return MutantTape::Unsupported,
+        };
+        self.tape[pos] = patched;
+        MutantTape::Patched(PatchGuard {
+            cc: self,
+            pos,
+            saved,
+            saved_next,
+            perm_len,
+        })
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn n_inputs(&self) -> usize {
+        self.input_slots.len()
+    }
+
+    /// Number of designated outputs.
+    #[inline]
+    pub fn n_outputs(&self) -> usize {
+        self.output_slots.len()
+    }
+
+    /// Size of the working buffer in slots — the peak live-value count,
+    /// at most the source circuit's wire count and typically far less.
+    #[inline]
+    pub fn n_slots(&self) -> usize {
+        self.n_slots as usize
+    }
+
+    /// Total micro-ops on the tape (constant prologue included).
+    #[inline]
+    pub fn tape_len(&self) -> usize {
+        self.tape.len()
+    }
+
+    /// Length of the constant prologue at the head of the tape.
+    #[inline]
+    pub fn prologue_len(&self) -> usize {
+        self.prologue_len as usize
+    }
+
+    /// Number of non-empty depth levels the component ops are grouped in.
+    #[inline]
+    pub fn n_levels(&self) -> usize {
+        self.level_ranges.len()
+    }
+
+    /// `(start, end)` tape ranges of each depth level, in stage order.
+    /// Every component op belongs to exactly one range; the prologue
+    /// (`0..prologue_len`) precedes the first.
+    #[inline]
+    pub fn level_ranges(&self) -> &[(u32, u32)] {
+        &self.level_ranges
+    }
+
+    /// Working-buffer entries saved by register allocation relative to
+    /// the interpreter's full-width wire buffer.
+    #[inline]
+    pub fn slots_saved(&self) -> u64 {
+        u64::from(self.source_wires) - u64::from(self.n_slots)
+    }
+
+    /// Wire count of the source circuit.
+    #[inline]
+    pub fn source_wires(&self) -> usize {
+        self.source_wires as usize
+    }
+
+    /// Component count of the source circuit (before dead-code
+    /// elimination).
+    #[inline]
+    pub fn source_components(&self) -> usize {
+        self.source_components as usize
+    }
+
+    /// The micro-op tape (read-only; for tests and introspection).
+    #[inline]
+    pub fn tape(&self) -> &[MicroOp] {
+        &self.tape
+    }
+
+    /// The deduplicated 4×4-switch permutation sets (read-only).
+    #[inline]
+    pub fn perm_sets(&self) -> &[[Perm4; 4]] {
+        &self.perm_sets
+    }
+
+    /// Slot each primary input is loaded into.
+    #[inline]
+    pub fn input_slots(&self) -> &[u32] {
+        &self.input_slots
+    }
+
+    /// Slot each designated output is read from.
+    #[inline]
+    pub fn output_slots(&self) -> &[u32] {
+        &self.output_slots
+    }
+
+    /// Evaluates on one input vector (scalar path). For repeated
+    /// evaluation prefer a [`CompiledEvaluator`], which reuses its slot
+    /// buffer.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        CompiledEvaluator::new(self).run(inputs)
+    }
+
+    /// Evaluates 64 packed vectors at once (bit `j` of `inputs[i]` is
+    /// input `i` of test vector `j`).
+    pub fn eval_lanes(&self, inputs: &[u64]) -> Vec<u64> {
+        CompiledEvaluator::new(self).run(inputs)
+    }
+
+    /// Multi-threaded batch evaluation over the compiled tape: packs
+    /// vectors into lane groups and deals groups to `threads` workers in
+    /// interleaved strides (see [`Circuit::eval_batch_parallel`] for the
+    /// interpreter twin). Large batches walk the tape with `[u64; 4]`
+    /// wide lanes — 256 vectors per pass — which the register-allocated
+    /// slot buffer keeps cache-resident; small or highly-threaded
+    /// batches fall back to 64-lane groups so every worker stays fed.
+    pub fn eval_batch_parallel(&self, vectors: &[Vec<bool>], threads: usize) -> Vec<Vec<bool>> {
+        match self.try_eval_batch_parallel(vectors, threads) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked [`CompiledCircuit::eval_batch_parallel`] with the same
+    /// worker-panic isolation contract as
+    /// [`Circuit::try_eval_batch_parallel`].
+    pub fn try_eval_batch_parallel(
+        &self,
+        vectors: &[Vec<bool>],
+        threads: usize,
+    ) -> Result<Vec<Vec<bool>>, EvalError> {
+        #[cfg(feature = "telemetry")]
+        let _span = absort_telemetry::span("eval/batch_compiled");
+        let n_inputs = self.n_inputs();
+        // Wide walks only when every worker still gets at least two
+        // 256-vector groups' worth of work; otherwise 64-lane groups
+        // give finer sharding.
+        if vectors.len() >= 128 * threads.max(1) {
+            crate::eval::try_batch_parallel_with(n_inputs, vectors, 256, threads, &|| {
+                let mut ev: CompiledEvaluator<'_, [u64; 4]> = CompiledEvaluator::new(self);
+                let mut out = vec![[0u64; 4]; self.n_outputs()];
+                move |g: &[Vec<bool>]| {
+                    let packed = crate::eval::pack_lanes_wide::<4>(g, n_inputs);
+                    ev.run_into(&packed, &mut out);
+                    crate::eval::unpack_lanes_wide(&out, g.len())
+                }
+            })
+        } else {
+            crate::eval::try_batch_parallel_with(n_inputs, vectors, 64, threads, &|| {
+                let mut ev: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(self);
+                let mut out = vec![0u64; self.n_outputs()];
+                move |g: &[Vec<bool>]| {
+                    let packed = crate::eval::pack_lanes(g, n_inputs);
+                    ev.run_into(&packed, &mut out);
+                    crate::eval::unpack_lanes(&out, g.len())
+                }
+            })
+        }
+    }
+}
+
+/// A reusable evaluation context for one compiled circuit and one lane
+/// type — the compiled twin of [`crate::Evaluator`].
+///
+/// ```
+/// use absort_circuit::{Builder, CompiledEvaluator};
+///
+/// let mut b = Builder::new();
+/// let x = b.input();
+/// let y = b.input();
+/// let o = b.and(x, y);
+/// b.outputs(&[o]);
+/// let c = b.finish();
+/// let cc = c.compile();
+///
+/// let mut ev: CompiledEvaluator<'_, bool> = CompiledEvaluator::new(&cc);
+/// assert_eq!(ev.run(&[true, true]), vec![true]);
+/// assert_eq!(ev.run(&[true, false]), vec![false]);
+/// ```
+pub struct CompiledEvaluator<'c, V: Lane> {
+    cc: &'c CompiledCircuit,
+    slots: Vec<V>,
+    #[cfg(feature = "telemetry")]
+    tel: absort_telemetry::LocalRecorder,
+    #[cfg(feature = "telemetry")]
+    tel_passes: u64,
+}
+
+#[cfg(feature = "telemetry")]
+impl<V: Lane> Drop for CompiledEvaluator<'_, V> {
+    fn drop(&mut self) {
+        if self.tel_passes != 0 {
+            let ops = self.cc.tape.len() as u64;
+            self.tel.add("eval.compiled_passes", self.tel_passes);
+            self.tel.add("eval.compiled_ops", self.tel_passes * ops);
+            self.tel
+                .add("eval.compiled_lanes", self.tel_passes * u64::from(V::LANES));
+        }
+    }
+}
+
+impl<'c, V: Lane> CompiledEvaluator<'c, V> {
+    /// Creates an evaluator with a zeroed slot buffer.
+    pub fn new(cc: &'c CompiledCircuit) -> Self {
+        CompiledEvaluator {
+            cc,
+            slots: vec![V::ZERO; cc.n_slots()],
+            #[cfg(feature = "telemetry")]
+            tel: absort_telemetry::LocalRecorder::new(),
+            #[cfg(feature = "telemetry")]
+            tel_passes: 0,
+        }
+    }
+
+    /// Evaluates on the given primary-input values and returns the
+    /// outputs.
+    pub fn run(&mut self, inputs: &[V]) -> Vec<V> {
+        let mut out = vec![V::ZERO; self.cc.n_outputs()];
+        self.run_into(inputs, &mut out);
+        out
+    }
+
+    /// Checked [`CompiledEvaluator::run`].
+    pub fn try_run(&mut self, inputs: &[V]) -> Result<Vec<V>, EvalError> {
+        let mut out = vec![V::ZERO; self.cc.n_outputs()];
+        self.try_run_into(inputs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Checked [`CompiledEvaluator::run_into`]: validates both slice
+    /// lengths up front, then takes the same unchecked fast path.
+    pub fn try_run_into(&mut self, inputs: &[V], out: &mut [V]) -> Result<(), EvalError> {
+        if inputs.len() != self.cc.n_inputs() {
+            return Err(EvalError::InputLen {
+                expected: self.cc.n_inputs(),
+                got: inputs.len(),
+            });
+        }
+        if out.len() != self.cc.n_outputs() {
+            return Err(EvalError::OutputLen {
+                expected: self.cc.n_outputs(),
+                got: out.len(),
+            });
+        }
+        self.run_into(inputs, out);
+        Ok(())
+    }
+
+    /// Replays the tape into a caller-provided output slice (no
+    /// allocation).
+    pub fn run_into(&mut self, inputs: &[V], out: &mut [V]) {
+        let cc = self.cc;
+        assert_eq!(
+            inputs.len(),
+            cc.n_inputs(),
+            "expected {} inputs, got {}",
+            cc.n_inputs(),
+            inputs.len()
+        );
+        assert_eq!(out.len(), cc.n_outputs(), "output slice has wrong length");
+
+        let w = &mut self.slots;
+        for (&s, &v) in cc.input_slots.iter().zip(inputs) {
+            w[s as usize] = v;
+        }
+
+        // Select masks of the most recent 4×4 switch; ops flagged with
+        // REUSE_MASKS read them instead of recomputing (the compiler
+        // guarantees the control slots are unchanged in between).
+        let mut m = [V::ZERO; 4];
+        for op in &cc.tape {
+            // Every arm reads all sources into locals before writing a
+            // destination: the allocator exploits this by letting a
+            // destination reuse a dying source's slot.
+            match *op {
+                MicroOp::Const { d, v } => w[d as usize] = V::splat(v),
+                MicroOp::Not { d, a } => {
+                    let x = w[a as usize];
+                    w[d as usize] = x.not();
+                }
+                MicroOp::And { d, a, b } => {
+                    let (x, y) = (w[a as usize], w[b as usize]);
+                    w[d as usize] = x.and(y);
+                }
+                MicroOp::Or { d, a, b } => {
+                    let (x, y) = (w[a as usize], w[b as usize]);
+                    w[d as usize] = x.or(y);
+                }
+                MicroOp::Xor { d, a, b } => {
+                    let (x, y) = (w[a as usize], w[b as usize]);
+                    w[d as usize] = x.xor(y);
+                }
+                MicroOp::Nand { d, a, b } => {
+                    let (x, y) = (w[a as usize], w[b as usize]);
+                    w[d as usize] = x.and(y).not();
+                }
+                MicroOp::Nor { d, a, b } => {
+                    let (x, y) = (w[a as usize], w[b as usize]);
+                    w[d as usize] = x.or(y).not();
+                }
+                MicroOp::Xnor { d, a, b } => {
+                    let (x, y) = (w[a as usize], w[b as usize]);
+                    w[d as usize] = x.xor(y).not();
+                }
+                MicroOp::Mux { d, s, a1, a0 } => {
+                    let (sv, x1, x0) = (w[s as usize], w[a1 as usize], w[a0 as usize]);
+                    w[d as usize] = V::select(sv, x1, x0);
+                }
+                MicroOp::Demux { d0, d1, s, x } => {
+                    let (sv, xv) = (w[s as usize], w[x as usize]);
+                    w[d0 as usize] = sv.not().and(xv);
+                    w[d1 as usize] = sv.and(xv);
+                }
+                MicroOp::Switch2 { d0, d1, s, a, b } => {
+                    let (sv, av, bv) = (w[s as usize], w[a as usize], w[b as usize]);
+                    w[d0 as usize] = V::select(sv, bv, av);
+                    w[d1 as usize] = V::select(sv, av, bv);
+                }
+                MicroOp::Route2 { d0, d1, a, b } => {
+                    let (av, bv) = (w[a as usize], w[b as usize]);
+                    w[d0 as usize] = av;
+                    w[d1 as usize] = bv;
+                }
+                MicroOp::BitCompare { d0, d1, a, b } => {
+                    let (av, bv) = (w[a as usize], w[b as usize]);
+                    w[d0 as usize] = av.and(bv);
+                    w[d1 as usize] = av.or(bv);
+                }
+                MicroOp::Switch4 {
+                    d,
+                    ins,
+                    s1,
+                    s0,
+                    pidx,
+                } => {
+                    if pidx & REUSE_MASKS == 0 {
+                        let (v1, v0) = (w[s1 as usize], w[s0 as usize]);
+                        m = [
+                            v1.not().and(v0.not()),
+                            v1.not().and(v0),
+                            v1.and(v0.not()),
+                            v1.and(v0),
+                        ];
+                    }
+                    let pm = &cc.perm_sets[(pidx & !REUSE_MASKS) as usize];
+                    let iv = [
+                        w[ins[0] as usize],
+                        w[ins[1] as usize],
+                        w[ins[2] as usize],
+                        w[ins[3] as usize],
+                    ];
+                    for j in 0..4 {
+                        w[d[j] as usize] = m[0]
+                            .and(iv[pm[0][j] as usize])
+                            .or(m[1].and(iv[pm[1][j] as usize]))
+                            .or(m[2].and(iv[pm[2][j] as usize]))
+                            .or(m[3].and(iv[pm[3][j] as usize]));
+                    }
+                }
+            }
+        }
+
+        for (o, &s) in out.iter_mut().zip(&cc.output_slots) {
+            *o = w[s as usize];
+        }
+
+        #[cfg(feature = "telemetry")]
+        {
+            self.tel_passes += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::Evaluator;
+
+    /// A circuit exercising every primitive, a shared constant, a dead
+    /// component, and a half-dead multi-output component.
+    fn kitchen_sink() -> Circuit {
+        let mut b = Builder::new();
+        let ins = b.input_bus(4);
+        let t = b.constant(true);
+        let f = b.constant(false);
+        let g1 = b.gate(crate::GateOp::Nand, ins[0], ins[1]);
+        let g2 = b.gate(crate::GateOp::Xnor, ins[2], t);
+        let (lo, hi) = b.bit_compare(g1, g2);
+        let m = b.mux2(ins[3], lo, hi);
+        let (d0, _d1_unused) = b.demux2(ins[0], m);
+        let (s_a, s_b) = b.switch2(ins[1], d0, g2);
+        let dead = b.and(ins[2], ins[3]); // never observed
+        let _ = dead;
+        let outs = b.switch4(
+            s_a,
+            s_b,
+            [ins[0], ins[1], ins[2], f],
+            [[0, 1, 2, 3], [1, 0, 3, 2], [3, 2, 1, 0], [2, 3, 0, 1]],
+        );
+        b.outputs(&[outs[0], outs[3], s_a, m]);
+        b.finish()
+    }
+
+    fn all_inputs(n: usize) -> impl Iterator<Item = Vec<bool>> + Clone {
+        (0..1u64 << n).map(move |v| (0..n).map(|i| v >> i & 1 == 1).collect())
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_exhaustively() {
+        let c = kitchen_sink();
+        let cc = c.compile();
+        for input in all_inputs(c.n_inputs()) {
+            assert_eq!(cc.eval(&input), c.eval(&input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn dead_code_is_eliminated() {
+        let c = kitchen_sink();
+        let cc = c.compile();
+        // The dead AND gate must not be on the tape: component ops =
+        // source components minus at least one.
+        let comp_ops = cc.tape_len() - cc.prologue_len();
+        assert!(
+            comp_ops < cc.source_components(),
+            "tape has {comp_ops} component ops for {} components",
+            cc.source_components()
+        );
+    }
+
+    #[test]
+    fn slot_liveness_invariants() {
+        let c = kitchen_sink();
+        let cc = c.compile();
+        // Peak live slots never exceed the interpreter's buffer.
+        assert!(
+            cc.n_slots() <= c.n_wires(),
+            "allocation must not grow the buffer"
+        );
+        assert_eq!(cc.slots_saved() as usize, c.n_wires() - cc.n_slots());
+
+        // Replay the tape statically: every source slot must have been
+        // written (by an input load, a Const, or an earlier op) before it
+        // is read, and all slots stay in range.
+        let mut written = vec![false; cc.n_slots()];
+        for &s in cc.input_slots() {
+            written[s as usize] = true;
+        }
+        let read = |s: u32, written: &[bool]| {
+            assert!((s as usize) < cc.n_slots(), "slot {s} out of range");
+            assert!(written[s as usize], "slot {s} read before written");
+        };
+        let mut prev: Option<MicroOp> = None;
+        for op in cc.tape() {
+            // A mask-reuse op must directly follow a 4×4 switch over the
+            // same control slots, and that op must not have written them.
+            if let MicroOp::Switch4 { s1, s0, pidx, .. } = *op {
+                if pidx & REUSE_MASKS != 0 {
+                    match prev {
+                        Some(MicroOp::Switch4 {
+                            d, s1: p1, s0: p0, ..
+                        }) => {
+                            assert_eq!((p1, p0), (s1, s0), "reuse across control change");
+                            assert!(
+                                !d.contains(&s1) && !d.contains(&s0),
+                                "reuse after control slot was clobbered"
+                            );
+                        }
+                        other => panic!("reuse flag after non-switch op {other:?}"),
+                    }
+                }
+            }
+            prev = Some(*op);
+            match *op {
+                MicroOp::Const { d, .. } => written[d as usize] = true,
+                MicroOp::Not { d, a } => {
+                    read(a, &written);
+                    written[d as usize] = true;
+                }
+                MicroOp::And { d, a, b }
+                | MicroOp::Or { d, a, b }
+                | MicroOp::Xor { d, a, b }
+                | MicroOp::Nand { d, a, b }
+                | MicroOp::Nor { d, a, b }
+                | MicroOp::Xnor { d, a, b } => {
+                    read(a, &written);
+                    read(b, &written);
+                    written[d as usize] = true;
+                }
+                MicroOp::Mux { d, s, a1, a0 } => {
+                    read(s, &written);
+                    read(a1, &written);
+                    read(a0, &written);
+                    written[d as usize] = true;
+                }
+                MicroOp::Demux { d0, d1, s, x } => {
+                    read(s, &written);
+                    read(x, &written);
+                    written[d0 as usize] = true;
+                    written[d1 as usize] = true;
+                }
+                MicroOp::Switch2 { d0, d1, s, a, b } => {
+                    read(s, &written);
+                    read(a, &written);
+                    read(b, &written);
+                    written[d0 as usize] = true;
+                    written[d1 as usize] = true;
+                }
+                MicroOp::Route2 { d0, d1, a, b } | MicroOp::BitCompare { d0, d1, a, b } => {
+                    read(a, &written);
+                    read(b, &written);
+                    written[d0 as usize] = true;
+                    written[d1 as usize] = true;
+                }
+                MicroOp::Switch4 {
+                    d,
+                    ins,
+                    s1,
+                    s0,
+                    pidx,
+                } => {
+                    read(s1, &written);
+                    read(s0, &written);
+                    assert!(
+                        ((pidx & !REUSE_MASKS) as usize) < cc.perm_sets().len(),
+                        "perm-set index out of range"
+                    );
+                    for &i in &ins {
+                        read(i, &written);
+                    }
+                    for &di in &d {
+                        written[di as usize] = true;
+                    }
+                }
+            }
+        }
+        // Every output reads a written, in-range slot.
+        for &s in cc.output_slots() {
+            read(s, &written);
+        }
+    }
+
+    #[test]
+    fn levels_partition_the_component_tape() {
+        let c = kitchen_sink();
+        let cc = c.compile();
+        let ranges = cc.level_ranges();
+        assert!(!ranges.is_empty());
+        assert_eq!(ranges[0].0 as usize, cc.prologue_len());
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "levels must tile the tape");
+            assert!(pair[0].1 > pair[0].0, "levels are non-empty");
+        }
+        assert_eq!(ranges.last().unwrap().1 as usize, cc.tape_len());
+    }
+
+    #[test]
+    fn lanes_match_scalar_on_compiled_tape() {
+        let c = kitchen_sink();
+        let cc = c.compile();
+        let n = c.n_inputs();
+        let mut packed = vec![0u64; n];
+        for v in 0..1u64 << n {
+            for (i, p) in packed.iter_mut().enumerate() {
+                if v >> i & 1 == 1 {
+                    *p |= 1 << v;
+                }
+            }
+        }
+        let mut ev: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(&cc);
+        let lanes = ev.run(&packed);
+        for (v, input) in all_inputs(n).enumerate() {
+            let scalar = cc.eval(&input);
+            for (o, word) in lanes.iter().enumerate() {
+                assert_eq!(word >> v & 1 == 1, scalar[o], "vector {v} output {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn passthrough_and_const_outputs() {
+        // Outputs that are inputs or constants, with zero components.
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let t = b.constant(true);
+        b.outputs(&[y, x, t, y]);
+        let c = b.finish();
+        let cc = c.compile();
+        assert_eq!(cc.tape_len(), cc.prologue_len());
+        assert_eq!(cc.eval(&[true, false]), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn unused_inputs_share_the_scratch_slot() {
+        let mut b = Builder::new();
+        let ins = b.input_bus(6);
+        let o = b.and(ins[0], ins[5]);
+        b.outputs(&[o]);
+        let c = b.finish();
+        let cc = c.compile();
+        // 2 live inputs + 1 result (may reuse) + 1 shared scratch.
+        assert!(cc.n_slots() <= 4, "slots: {}", cc.n_slots());
+        for input in all_inputs(6) {
+            assert_eq!(cc.eval(&input), c.eval(&input));
+        }
+    }
+
+    #[test]
+    fn try_paths_reject_bad_arity() {
+        let c = kitchen_sink();
+        let cc = c.compile();
+        let mut ev: CompiledEvaluator<'_, bool> = CompiledEvaluator::new(&cc);
+        assert!(matches!(
+            ev.try_run(&[true]),
+            Err(EvalError::InputLen {
+                expected: 4,
+                got: 1
+            })
+        ));
+        let mut short = vec![false; 1];
+        assert!(matches!(
+            ev.try_run_into(&[false; 4], &mut short),
+            Err(EvalError::OutputLen { .. })
+        ));
+    }
+
+    #[test]
+    fn compiled_batch_parallel_matches_interp_batch() {
+        let c = kitchen_sink();
+        let cc = c.compile();
+        let vectors: Vec<Vec<bool>> = all_inputs(4).cycle().take(300).collect();
+        for threads in [1, 2, 4] {
+            let got = cc.eval_batch_parallel(&vectors, threads);
+            let want = c.eval_batch_parallel(&vectors, threads);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn engine_parse_roundtrips() {
+        for e in Engine::ALL {
+            assert_eq!(Engine::parse(e.name()), Some(e));
+            assert_eq!(e.to_string(), e.name());
+        }
+        assert_eq!(Engine::parse("interpreter"), Some(Engine::Interp));
+        assert_eq!(Engine::parse("warp"), None);
+        assert_eq!(Engine::default(), Engine::Compiled);
+    }
+
+    #[test]
+    fn slot_reuse_actually_shrinks_deep_chains() {
+        // A long chain keeps only O(1) values live; the compiled buffer
+        // must stay tiny while the interpreter's grows with the chain.
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let mut acc = b.xor(x, y);
+        for _ in 0..200 {
+            acc = b.gate(crate::GateOp::Nand, acc, x);
+        }
+        b.outputs(&[acc]);
+        let c = b.finish();
+        let cc = c.compile();
+        assert!(c.n_wires() > 200);
+        assert!(
+            cc.n_slots() <= 4,
+            "chain needs O(1) slots, got {}",
+            cc.n_slots()
+        );
+        let mut interp: Evaluator<'_, bool> = Evaluator::new(&c);
+        let mut comp: CompiledEvaluator<'_, bool> = CompiledEvaluator::new(&cc);
+        for input in all_inputs(2) {
+            assert_eq!(comp.run(&input), interp.run(&input));
+        }
+    }
+
+    /// Two back-to-back 4×4 switches sharing a control pair, so the
+    /// second op carries [`REUSE_MASKS`] — the one cross-op coupling a
+    /// tape patch has to repair.
+    fn dual_switch() -> Circuit {
+        let mut b = Builder::new();
+        let s1 = b.input();
+        let s0 = b.input();
+        let ins = b.input_bus(4);
+        let a = b.switch4(
+            s1,
+            s0,
+            [ins[0], ins[1], ins[2], ins[3]],
+            [[0, 1, 2, 3], [1, 0, 3, 2], [2, 3, 0, 1], [3, 2, 1, 0]],
+        );
+        let o = b.switch4(
+            s1,
+            s0,
+            a,
+            [[1, 2, 3, 0], [0, 3, 2, 1], [3, 0, 1, 2], [2, 1, 0, 3]],
+        );
+        b.outputs(&o);
+        b.finish()
+    }
+
+    /// Every mutant expressible as an in-place tape patch must evaluate
+    /// exactly like the fully re-lowered mutant netlist, and the patch
+    /// guard must restore the base tape bit for bit on drop.
+    #[test]
+    fn mutant_tape_matches_recompiled_mutants() {
+        for c in [kitchen_sink(), dual_switch()] {
+            let mut base = c.compile();
+            let baseline_tape = base.tape.clone();
+            let baseline_perms = base.perm_sets.clone();
+            let inputs: Vec<u64> = {
+                // Deterministic pseudo-random lanes (splitmix64).
+                let mut s = 0x9E37_79B9_7F4A_7C15u64;
+                (0..c.n_inputs())
+                    .map(|_| {
+                        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        let mut z = s;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                        z ^ (z >> 31)
+                    })
+                    .collect()
+            };
+            let base_out = {
+                let mut ev: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(&base);
+                ev.run(&inputs)
+            };
+            let mut patched_seen = 0usize;
+            for fault in Fault::ALL {
+                for (ci, mutant) in crate::mutate::mutants(&c, fault) {
+                    let reference = {
+                        let cc = mutant.compile();
+                        let mut ev: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(&cc);
+                        ev.run(&inputs)
+                    };
+                    match base.mutant_tape(ci, fault) {
+                        MutantTape::Patched(patched) => {
+                            let mut ev: CompiledEvaluator<'_, u64> =
+                                CompiledEvaluator::new(&patched);
+                            assert_eq!(ev.run(&inputs), reference, "{fault:?} at component {ci}");
+                            patched_seen += 1;
+                        }
+                        MutantTape::Dead => {
+                            assert_eq!(base_out, reference, "dead {fault:?} at {ci} differs");
+                        }
+                        // The only pair without an in-place encoding is a
+                        // stuck demultiplexer select.
+                        MutantTape::Unsupported => assert!(
+                            !matches!(fault, Fault::InvertBehaviour),
+                            "invert at {ci} must be patchable"
+                        ),
+                    }
+                    assert_eq!(
+                        base.tape, baseline_tape,
+                        "tape not restored after {fault:?}"
+                    );
+                    assert_eq!(base.perm_sets, baseline_perms, "perm table not restored");
+                }
+            }
+            assert!(patched_seen > 0, "no patched mutants exercised");
+        }
+    }
+}

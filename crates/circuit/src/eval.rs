@@ -49,11 +49,13 @@ pub enum EvalError {
         /// Number supplied.
         got: usize,
     },
-    /// A batch-evaluation worker panicked on its chunk, and the one retry
-    /// on a fresh worker panicked again (a malformed netlist, typically —
-    /// run [`Circuit::validate`] to find out what is wrong with it).
+    /// A batch-evaluation worker panicked on its stride of 64-vector
+    /// groups, and the one retry on a fresh worker panicked again (a
+    /// malformed netlist, typically — run [`Circuit::validate`] to find
+    /// out what is wrong with it).
     WorkerPanicked {
-        /// Index of the poisoned 64-vector-group chunk.
+        /// Index of the poisoned worker stride (groups `chunk`,
+        /// `chunk + threads`, `chunk + 2·threads`, …).
         chunk: usize,
     },
 }
@@ -385,19 +387,40 @@ pub fn unpack_lanes(packed: &[u64], count: usize) -> Vec<Vec<bool>> {
         .collect()
 }
 
-/// One worker's share of a batch: evaluate each 64-vector group into its
-/// result slot.
-fn eval_chunk(circuit: &Circuit, gchunk: &[&[Vec<bool>]], rchunk: &mut [Vec<Vec<bool>>]) {
-    let mut ev: Evaluator<'_, u64> = Evaluator::new(circuit);
-    for (g, slot) in gchunk.iter().zip(rchunk.iter_mut()) {
-        let packed = pack_lanes(g, circuit.n_inputs());
-        let out = ev.run(&packed);
-        *slot = unpack_lanes(&out, g.len());
+/// Packs up to `64 * N` boolean input vectors into wide lanes: vector
+/// `v` lands in word `v / 64`, bit `v % 64` of `result[i]`.
+pub fn pack_lanes_wide<const N: usize>(vectors: &[Vec<bool>], n_inputs: usize) -> Vec<[u64; N]> {
+    assert!(
+        vectors.len() <= 64 * N,
+        "at most {} vectors per wide pass",
+        64 * N
+    );
+    let mut packed = vec![[0u64; N]; n_inputs];
+    for (v, vec) in vectors.iter().enumerate() {
+        assert_eq!(vec.len(), n_inputs, "vector {v} has wrong length");
+        let (word, bit) = (v / 64, v % 64);
+        for (i, &b) in vec.iter().enumerate() {
+            if b {
+                packed[i][word] |= 1 << bit;
+            }
+        }
     }
+    packed
+}
+
+/// Unpacks wide-lane output words back into `count` boolean vectors.
+pub fn unpack_lanes_wide<const N: usize>(packed: &[[u64; N]], count: usize) -> Vec<Vec<bool>> {
+    assert!(count <= 64 * N);
+    (0..count)
+        .map(|v| {
+            let (word, bit) = (v / 64, v % 64);
+            packed.iter().map(|w| w[word] >> bit & 1 == 1).collect()
+        })
+        .collect()
 }
 
 /// Multi-threaded batch evaluation: packs vectors into 64-lane groups and
-/// shards groups across `threads` scoped threads. Panics only if a chunk
+/// shards groups across `threads` scoped threads. Panics only if a stride
 /// fails twice (see [`try_eval_batch_parallel`]).
 pub(crate) fn eval_batch_parallel(
     circuit: &Circuit,
@@ -412,9 +435,9 @@ pub(crate) fn eval_batch_parallel(
 
 /// Multi-threaded batch evaluation with worker-panic isolation: a panic
 /// inside one worker (a malformed netlist hitting an index, typically)
-/// poisons only that worker's chunk. The chunk is retried once on a fresh
-/// worker; if it panics again, the *whole call* returns
-/// [`EvalError::WorkerPanicked`] for that chunk instead of propagating
+/// poisons only that worker's stride of groups. The stride is retried
+/// once on a fresh worker; if it panics again, the *whole call* returns
+/// [`EvalError::WorkerPanicked`] for that stride instead of propagating
 /// the panic into the caller's sweep. Vector widths are validated up
 /// front.
 pub(crate) fn try_eval_batch_parallel(
@@ -424,65 +447,126 @@ pub(crate) fn try_eval_batch_parallel(
 ) -> Result<Vec<Vec<bool>>, EvalError> {
     #[cfg(feature = "telemetry")]
     let _span = absort_telemetry::span("eval/batch");
+    let n_inputs = circuit.n_inputs();
+    try_batch_parallel_with(n_inputs, vectors, 64, threads, &|| {
+        let mut ev: Evaluator<'_, u64> = Evaluator::new(circuit);
+        let mut out = vec![0u64; circuit.n_outputs()];
+        move |g: &[Vec<bool>]| {
+            let packed = pack_lanes(g, n_inputs);
+            ev.run_into(&packed, &mut out);
+            unpack_lanes(&out, g.len())
+        }
+    })
+}
+
+/// Writes one worker's stride of group results back into the shared
+/// result table: worker `t` owns groups `t`, `t + step`, `t + 2·step`, …
+fn scatter_stride(
+    results: &mut [Vec<Vec<bool>>],
+    t: usize,
+    step: usize,
+    stride: Vec<Vec<Vec<bool>>>,
+) {
+    for (j, r) in stride.into_iter().enumerate() {
+        results[t + j * step] = r;
+    }
+}
+
+/// Engine-agnostic batch machinery shared by the interpreter and the
+/// compiled tape ([`crate::CompiledCircuit::try_eval_batch_parallel`]).
+///
+/// `make_runner` builds one evaluation pass per worker thread (each
+/// worker owns a private evaluator and buffers — no shared mutable
+/// state); the runner maps one group of up to `group_size` vectors to
+/// their outputs, packing however its engine prefers (the interpreter
+/// packs 64-lane `u64` groups, the compiled tape walks `group_size =
+/// 256` with `[u64; 4]` wide lanes). Groups are dealt to workers in
+/// **interleaved strides** (worker `t` takes groups `t`, `t + threads`,
+/// …) rather than contiguous chunks: with `groups % threads ≠ 0`
+/// contiguous `div_ceil` chunking leaves the last worker a short
+/// (possibly empty) tail while earlier workers carry a full extra chunk;
+/// striding bounds the imbalance at one group regardless of batch size.
+/// Worker panics stay isolated per stride with one retry, exactly as
+/// documented on [`Circuit::try_eval_batch_parallel`].
+pub(crate) fn try_batch_parallel_with<F, G>(
+    n_inputs: usize,
+    vectors: &[Vec<bool>],
+    group_size: usize,
+    threads: usize,
+    make_runner: &F,
+) -> Result<Vec<Vec<bool>>, EvalError>
+where
+    F: Fn() -> G + Sync,
+    G: FnMut(&[Vec<bool>]) -> Vec<Vec<bool>>,
+{
     for (v, vec) in vectors.iter().enumerate() {
-        if vec.len() != circuit.n_inputs() {
+        if vec.len() != n_inputs {
             return Err(EvalError::VectorLen {
                 vector: v,
-                expected: circuit.n_inputs(),
+                expected: n_inputs,
                 got: vec.len(),
             });
         }
     }
     let threads = threads.max(1);
-    let groups: Vec<&[Vec<bool>]> = vectors.chunks(64).collect();
+    let groups: Vec<&[Vec<bool>]> = vectors.chunks(group_size).collect();
     let mut results: Vec<Vec<Vec<bool>>> = vec![Vec::new(); groups.len()];
+
+    // One worker's share: every `threads`-th group starting at `t`,
+    // evaluated in stride order on a private runner and returned (the
+    // main thread scatters — workers never touch shared output).
+    let run_stride = |t: usize| -> Vec<Vec<Vec<bool>>> {
+        let mut run = make_runner();
+        groups
+            .iter()
+            .skip(t)
+            .step_by(threads)
+            .map(|g| run(g))
+            .collect()
+    };
 
     if threads == 1 || groups.len() <= 1 {
         // Single-threaded path: runs on the caller's own thread, nothing
         // to isolate.
-        let (gchunk, rchunk) = (groups.as_slice(), results.as_mut_slice());
-        eval_chunk(circuit, gchunk, rchunk);
+        let stride = run_stride(0);
+        scatter_stride(&mut results, 0, threads, stride);
     } else {
-        // Shard the group list across scoped threads; each thread gets a
-        // disjoint set of (group, result-slot) pairs via chunked split.
         // Every handle is joined explicitly, so a worker panic surfaces
         // as that handle's Err — not as a scope-wide abort.
-        let per = groups.len().div_ceil(threads);
-        let mut poisoned: Vec<usize> = Vec::new();
+        let n_workers = threads.min(groups.len());
+        let mut outcomes: Vec<Option<Vec<Vec<Vec<bool>>>>> = Vec::with_capacity(n_workers);
         crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = groups
-                .chunks(per)
-                .zip(results.chunks_mut(per))
-                .map(|(gchunk, rchunk)| s.spawn(move |_| eval_chunk(circuit, gchunk, rchunk)))
+            let handles: Vec<_> = (0..n_workers)
+                .map(|t| s.spawn(move |_| run_stride(t)))
                 .collect();
-            for (ci, h) in handles.into_iter().enumerate() {
-                if h.join().is_err() {
-                    poisoned.push(ci);
-                }
+            for h in handles {
+                outcomes.push(h.join().ok());
             }
         })
         // All handles are joined above, so the scope itself cannot
         // observe an unjoined panic; this expect is unreachable.
         .expect("all evaluation workers joined");
 
-        // Retry each poisoned chunk once, on a fresh worker of its own so
-        // a second panic is also contained.
+        let mut poisoned: Vec<usize> = Vec::new();
+        for (t, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Some(stride) => scatter_stride(&mut results, t, threads, stride),
+                None => poisoned.push(t),
+            }
+        }
+
+        // Retry each poisoned stride once, on a fresh worker of its own
+        // so a second panic is also contained.
         #[cfg(feature = "telemetry")]
         if !poisoned.is_empty() {
             absort_telemetry::counter_add("eval.chunk_retries", poisoned.len() as u64);
         }
-        for ci in poisoned {
-            let gchunk = groups.chunks(per).nth(ci).expect("chunk index in range");
-            let rchunk = results
-                .chunks_mut(per)
-                .nth(ci)
-                .expect("chunk index in range");
-            let retried = crossbeam::thread::scope(|s| {
-                s.spawn(move |_| eval_chunk(circuit, gchunk, rchunk)).join()
-            })
-            .expect("retry worker joined");
-            if retried.is_err() {
-                return Err(EvalError::WorkerPanicked { chunk: ci });
+        for t in poisoned {
+            let retried = crossbeam::thread::scope(|s| s.spawn(|_| run_stride(t)).join())
+                .expect("retry worker joined");
+            match retried {
+                Ok(stride) => scatter_stride(&mut results, t, threads, stride),
+                Err(_) => return Err(EvalError::WorkerPanicked { chunk: t }),
             }
         }
     }

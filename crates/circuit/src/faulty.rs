@@ -181,6 +181,17 @@ impl<'c, V: Lane> FaultyEvaluator<'c, V> {
     /// returns the outputs. Counts `V::LANES` test vectors per call for
     /// transient-fault bookkeeping.
     pub fn run(&mut self, inputs: &[V]) -> Vec<V> {
+        let mut out = vec![V::ZERO; self.circuit.n_outputs()];
+        self.run_into(inputs, &mut out);
+        out
+    }
+
+    /// Allocation-free [`FaultyEvaluator::run`]: evaluates into a
+    /// caller-provided output slice so sweep drivers can reuse one buffer
+    /// across thousands of fault sites. Advances the transient-fault
+    /// vector counter exactly like `run`, so chunks must still be fed in
+    /// workload order.
+    pub fn run_into(&mut self, inputs: &[V], out: &mut [V]) {
         let c = self.circuit;
         assert_eq!(
             inputs.len(),
@@ -189,6 +200,7 @@ impl<'c, V: Lane> FaultyEvaluator<'c, V> {
             c.n_inputs(),
             inputs.len()
         );
+        assert_eq!(out.len(), c.n_outputs(), "output slice has wrong length");
         for (wire, &v) in c.input_wires().iter().zip(inputs) {
             self.wires[wire.index()] = v;
             self.touch(wire.index());
@@ -209,13 +221,10 @@ impl<'c, V: Lane> FaultyEvaluator<'c, V> {
             self.apply_bridges(Some(ci));
         }
 
-        let out = c
-            .output_wires()
-            .iter()
-            .map(|w| self.wires[w.index()])
-            .collect();
+        for (o, w) in out.iter_mut().zip(c.output_wires()) {
+            *o = self.wires[w.index()];
+        }
         self.vectors_done += u64::from(V::LANES);
-        out
     }
 
     /// Test vectors consumed so far across all passes.

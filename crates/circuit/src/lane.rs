@@ -131,6 +131,61 @@ impl Lane for u128 {
     }
 }
 
+/// Wide lanes: `N` packed 64-lane words evaluated per pass (`[u64; 4]`
+/// carries 256 test vectors). Word `k` holds lanes `64k .. 64k+64`.
+///
+/// Wide walks amortize tape decode, dispatch, and bounds checks over
+/// `64 * N` vectors, but multiply the working buffer by `N` — which is
+/// why they pay off on the compiled engine (whose register-allocated
+/// slot buffer stays cache-resident even at `N = 4`) and not on the
+/// interpreter (whose full-width wire buffer already spills L1 at
+/// `N = 1`).
+impl<const N: usize> Lane for [u64; N] {
+    const ZERO: Self = [0; N];
+    const ONES: Self = [u64::MAX; N];
+    #[allow(clippy::cast_possible_truncation)]
+    const LANES: u32 = 64 * N as u32;
+
+    #[inline]
+    fn not(self) -> Self {
+        let mut r = self;
+        for x in &mut r {
+            *x = !*x;
+        }
+        r
+    }
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        let mut r = self;
+        for (x, y) in r.iter_mut().zip(other) {
+            *x &= y;
+        }
+        r
+    }
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        let mut r = self;
+        for (x, y) in r.iter_mut().zip(other) {
+            *x |= y;
+        }
+        r
+    }
+    #[inline]
+    fn xor(self, other: Self) -> Self {
+        let mut r = self;
+        for (x, y) in r.iter_mut().zip(other) {
+            *x ^= y;
+        }
+        r
+    }
+    #[inline]
+    fn lane_mask(lane: u32) -> Self {
+        let mut r = [0; N];
+        r[(lane / 64) as usize] = 1u64 << (lane % 64);
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +213,17 @@ mod tests {
         assert_eq!(u64::splat(false), 0);
         assert!(bool::splat(true));
         assert_eq!(u128::splat(true), u128::MAX);
+    }
+
+    #[test]
+    fn wide_lanes_are_per_word() {
+        let sel = [0b1010u64, 0];
+        let a1 = [0b1100u64, u64::MAX];
+        let a0 = [0b0011u64, 0];
+        assert_eq!(<[u64; 2]>::select(sel, a1, a0), [0b1001, 0]);
+        assert_eq!(<[u64; 2]>::LANES, 128);
+        assert_eq!(<[u64; 4]>::splat(true), [u64::MAX; 4]);
+        assert_eq!(<[u64; 2]>::lane_mask(70), [0, 1 << 6]);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 pub mod builder;
 pub mod circuit;
 pub mod clocked;
+pub mod compile;
 pub mod component;
 pub mod cost;
 pub mod dot;
@@ -53,6 +54,7 @@ pub mod wire;
 
 pub use builder::Builder;
 pub use circuit::Circuit;
+pub use compile::{CompiledCircuit, CompiledEvaluator, Engine, MutantTape};
 pub use component::{Component, GateOp, Perm4};
 pub use cost::{CostReport, KindCounts};
 pub use eval::{EvalError, Evaluator};

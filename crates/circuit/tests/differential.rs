@@ -1,7 +1,8 @@
 //! Differential testing of the evaluation engines: random circuits
-//! evaluated with the scalar path, the 64-lane packed path, and the
-//! multi-threaded batch path must agree bit-for-bit, and depth/cost
-//! analyses must be invariant across evaluations.
+//! evaluated with the scalar path, the 64-lane packed path, the
+//! multi-threaded batch path, and the compiled micro-op tape must agree
+//! bit-for-bit, and depth/cost analyses must be invariant across
+//! evaluations.
 
 use absort_circuit::{Builder, Circuit, GateOp, Wire};
 use proptest::prelude::*;
@@ -112,6 +113,25 @@ proptest! {
         let threaded = circuit.eval_batch_parallel(&vectors, 4);
         prop_assert_eq!(&scalar, &packed);
         prop_assert_eq!(&scalar, &threaded);
+    }
+
+    /// The compiled micro-op tape agrees with the interpreter on random
+    /// circuits — scalar path, compiled batch path, and the regalloc
+    /// invariant (the slot buffer never exceeds the wire buffer).
+    #[test]
+    fn compiled_tape_agrees(seed in any::<u64>(), n_inputs in 1usize..10, n_comps in 1usize..120) {
+        let circuit = random_circuit(seed, n_inputs, n_comps);
+        let compiled = circuit.compile();
+        prop_assert!(compiled.n_slots() <= circuit.n_wires());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let vectors: Vec<Vec<bool>> = (0..130)
+            .map(|_| (0..n_inputs).map(|_| rng.gen()).collect())
+            .collect();
+        let scalar: Vec<Vec<bool>> = vectors.iter().map(|v| circuit.eval(v)).collect();
+        let comp_scalar: Vec<Vec<bool>> = vectors.iter().map(|v| compiled.eval(v)).collect();
+        prop_assert_eq!(&scalar, &comp_scalar);
+        let comp_batch = compiled.eval_batch_parallel(&vectors, 3);
+        prop_assert_eq!(&scalar, &comp_batch);
     }
 
     /// Analyses are pure: repeated cost/depth calls agree, and depth

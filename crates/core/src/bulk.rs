@@ -9,23 +9,25 @@
 //! `eval_engines` bench).
 
 use crate::muxmerge;
-use absort_circuit::{assert_pow2, Circuit};
+use absort_circuit::{assert_pow2, CompiledCircuit, CompiledEvaluator};
 
-/// A reusable bulk sorter: one built n-input mux-merger circuit plus the
-/// thread count for batch evaluation.
+/// A reusable bulk sorter: one built n-input mux-merger circuit, lowered
+/// once to its compiled micro-op tape, plus the thread count for batch
+/// evaluation.
 pub struct BulkSorter {
-    circuit: Circuit,
+    compiled: CompiledCircuit,
     n: usize,
     threads: usize,
 }
 
 impl BulkSorter {
     /// Builds the bulk sorter for `n = 2^k`-bit sequences, evaluating
-    /// batches on `threads` threads.
+    /// batches on `threads` threads. The netlist is compiled here, so
+    /// every later batch runs on the register-allocated tape.
     pub fn new(n: usize, threads: usize) -> Self {
         assert_pow2(n, "bulk sorter");
         BulkSorter {
-            circuit: muxmerge::build(n),
+            compiled: muxmerge::build(n).compile(),
             n,
             threads: threads.max(1),
         }
@@ -38,27 +40,28 @@ impl BulkSorter {
 
     /// Sorts every sequence in `batch` (each of length `n`).
     pub fn sort_batch(&self, batch: &[Vec<bool>]) -> Vec<Vec<bool>> {
-        self.circuit.eval_batch_parallel(batch, self.threads)
+        self.compiled.eval_batch_parallel(batch, self.threads)
     }
 
     /// Sorts sequences packed as `u64` words (little-endian bit `i` =
     /// line `i`; `n ≤ 64`). The fastest path: 64 sequences per circuit
-    /// pass with no per-bool materialization.
+    /// pass with no per-bool materialization and no per-chunk allocation.
     pub fn sort_words(&self, words: &[u64]) -> Vec<u64> {
         assert!(self.n <= 64, "word-packed sorting needs n <= 64");
         let mut out = Vec::with_capacity(words.len());
-        let mut ev: absort_circuit::Evaluator<'_, u64> =
-            absort_circuit::Evaluator::new(&self.circuit);
+        let mut ev: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(&self.compiled);
+        let mut lanes = vec![0u64; self.n];
+        let mut sorted = vec![0u64; self.n];
         for chunk in words.chunks(64) {
             // transpose chunk into lanes: lane word `i` holds line i of
             // every sequence in the chunk
-            let mut lanes = vec![0u64; self.n];
+            lanes.fill(0);
             for (v, &w) in chunk.iter().enumerate() {
                 for (i, lane) in lanes.iter_mut().enumerate() {
                     *lane |= (w >> i & 1) << v;
                 }
             }
-            let sorted = ev.run(&lanes);
+            ev.run_into(&lanes, &mut sorted);
             for v in 0..chunk.len() {
                 let mut w = 0u64;
                 for (i, lane) in sorted.iter().enumerate() {

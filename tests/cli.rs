@@ -67,6 +67,75 @@ fn verify_commands() {
 }
 
 #[test]
+fn verify_engine_selector() {
+    // Both engines must verify the same network, and the output names
+    // the engine that ran (compiled is the default).
+    for engine in ["interp", "compiled"] {
+        let out = run(&[
+            "verify",
+            "--network",
+            "prefix",
+            "--n",
+            "8",
+            "--engine",
+            engine,
+        ]);
+        assert!(out.status.success(), "{engine}");
+        let s = stdout(&out);
+        assert!(s.contains("verified: all 256 inputs"), "{engine}: {s}");
+        assert!(s.contains(&format!("engine: {engine}")), "{engine}: {s}");
+    }
+    let default = run(&["verify", "--network", "mux-merger", "--n", "8"]);
+    assert!(default.status.success());
+    assert!(stdout(&default).contains("engine: compiled"));
+}
+
+#[test]
+fn engine_rejects_unknown_value() {
+    let out = run(&[
+        "verify",
+        "--network",
+        "prefix",
+        "--n",
+        "8",
+        "--engine",
+        "warp",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--engine"), "{err}");
+}
+
+#[test]
+fn faults_campaign_accepts_engine() {
+    let dir = std::env::temp_dir().join("absort_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for engine in ["interp", "compiled"] {
+        let path = dir.join(format!("faults-{engine}-{}.json", std::process::id()));
+        let out = run(&[
+            "--network",
+            "prefix",
+            "--faults",
+            "--n",
+            "4",
+            "--engine",
+            engine,
+            "--faults-out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{engine}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let s = stdout(&out);
+        assert!(s.contains(&format!("{engine} engine")), "{engine}: {s}");
+        assert!(s.contains("permanent-fault detection rate: 1.000"), "{s}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
 fn inspect_prints_profile() {
     let out = run(&["inspect", "--network", "prefix", "--n", "64"]);
     assert!(out.status.success());

@@ -174,6 +174,7 @@ proptest! {
             seed,
             max_exhaustive: 8, // force the sampled tier at n = 8
             transient_samples: 8,
+            ..CampaignConfig::default()
         };
         let a = run_network(NetworkSel::MuxMerger, &cfg);
         let b = run_network(NetworkSel::MuxMerger, &cfg);
