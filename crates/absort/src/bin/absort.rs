@@ -39,9 +39,11 @@ fn usage() -> ! {
          \n\
          fault campaigns (no subcommand):\n\
            absort --network <prefix|mux-merger|fish|batcher|all> --faults\n\
-                  [--n <size>] [--faults-out <path>]\n\
-                  sweep fault sites x fault kinds, score detection and\n\
-                  degradation, write a JSON report under results/faults/\n\
+                  [--n <size>] [--faults-out <path>] [--multi <k>] [--clocked]\n\
+                  [--checkpoint <path>] [--resume] [--faults-timeout-secs <s>]\n\
+                  sweep fault sites x fault kinds, score offline detection,\n\
+                  concurrent (error-rail) detection, and degradation; write a\n\
+                  JSON report under results/faults/\n\
          \n\
          options:\n\
            --engine <interp|compiled>\n\
@@ -54,7 +56,21 @@ fn usage() -> ! {
                                  manifest under results/metrics/\n\
            --metrics-out <path>  like --metrics, with an explicit manifest path\n\
            --faults              run a fault-injection campaign\n\
-           --faults-out <path>   report path (requires --faults)"
+           --faults-out <path>   report path (requires --faults)\n\
+           --multi <k>           also sweep sampled simultaneous fault sets\n\
+                                 of every size 2..=k (requires --faults)\n\
+           --clocked             also sweep the clocked fish streamer:\n\
+                                 permanent + cycle-precise transient faults\n\
+                                 over full sort schedules (requires --faults)\n\
+           --checkpoint <path>   write the campaign-so-far after every unit\n\
+                                 (default with --resume:\n\
+                                 results/faults/checkpoint.json)\n\
+           --resume              skip units an earlier checkpoint already\n\
+                                 covers (requires --faults)\n\
+           --faults-timeout-secs <s>\n\
+                                 stop between units once the budget expires;\n\
+                                 the report is marked \"truncated\" and a\n\
+                                 checkpointed run can be resumed"
     );
     exit(2);
 }
@@ -90,6 +106,11 @@ struct Args {
     metrics_out: Option<String>,
     faults: bool,
     faults_out: Option<String>,
+    multi: Option<usize>,
+    clocked: bool,
+    checkpoint: Option<String>,
+    resume: bool,
+    faults_timeout_secs: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -103,6 +124,11 @@ fn parse_args(argv: &[String]) -> Args {
         metrics_out: None,
         faults: false,
         faults_out: None,
+        multi: None,
+        clocked: false,
+        checkpoint: None,
+        resume: false,
+        faults_timeout_secs: None,
         positional: Vec::new(),
     };
     let mut it = argv.iter();
@@ -144,6 +170,25 @@ fn parse_args(argv: &[String]) -> Args {
                         .clone(),
                 );
             }
+            "--multi" => {
+                let k = parse_usize("--multi", &mut it);
+                if k == 0 {
+                    flag_error("--multi", Some(&"0".to_string()));
+                }
+                a.multi = Some(k);
+            }
+            "--clocked" => a.clocked = true,
+            "--checkpoint" => {
+                a.checkpoint = Some(
+                    it.next()
+                        .unwrap_or_else(|| flag_error("--checkpoint", None))
+                        .clone(),
+                );
+            }
+            "--resume" => a.resume = true,
+            "--faults-timeout-secs" => {
+                a.faults_timeout_secs = Some(parse_usize("--faults-timeout-secs", &mut it) as u64);
+            }
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other}\n");
                 usage()
@@ -158,6 +203,19 @@ fn parse_args(argv: &[String]) -> Args {
             "error: --faults-out requires --faults (it names the fault-campaign report path)\n"
         );
         usage();
+    }
+    let campaign_only = [
+        (a.multi.is_some(), "--multi"),
+        (a.clocked, "--clocked"),
+        (a.checkpoint.is_some(), "--checkpoint"),
+        (a.resume, "--resume"),
+        (a.faults_timeout_secs.is_some(), "--faults-timeout-secs"),
+    ];
+    for (set, flag) in campaign_only {
+        if set && !a.faults {
+            eprintln!("error: {flag} requires --faults (it tunes the fault campaign)\n");
+            usage();
+        }
     }
     a
 }
@@ -492,29 +550,60 @@ fn cmd_faults(a: &Args) {
         engine: a.engine,
         ..Default::default()
     };
-    let report = fc::run_campaign(&networks, &cfg);
+    // --resume implies a checkpoint; default its path so "interrupt, then
+    // rerun with --resume" works without repeating the flag pair.
+    let checkpoint = a.checkpoint.clone().or_else(|| {
+        a.resume
+            .then(|| "results/faults/checkpoint.json".to_string())
+    });
+    let opts = fc::CampaignOptions {
+        multi: a.multi.unwrap_or(1),
+        clocked: a.clocked,
+        checkpoint: checkpoint.as_deref().map(std::path::PathBuf::from),
+        resume: a.resume,
+        timeout: a.faults_timeout_secs.map(std::time::Duration::from_secs),
+        ..Default::default()
+    };
+    let report = fc::run_campaign_with(&networks, &cfg, &opts);
 
     for net in &report.networks {
+        let sets = if net.fault_set_size > 1 {
+            format!(", {}-fault sets", net.fault_set_size)
+        } else {
+            String::new()
+        };
         println!(
-            "{} n={}  [{} tier: {} vectors/site, {} components, {} engine]",
-            net.network, net.n, net.tier, net.vectors, net.components, a.engine
+            "{} n={}  [{} tier: {} vectors/site, {} components, {} engine{}]",
+            net.network, net.n, net.tier, net.vectors, net.components, a.engine, sets
         );
         for k in &net.kinds {
             println!(
-                "  {:<18} injected {:>4}  detected {:>4}  masked {:>4}  rate {:.3}  \
-                 worst inversions {:>3}  worst displacement {:>3}",
-                k.kind.map_or("?", |k| k.name()),
+                "  {:<18} injected {:>4}  detected {:>4}  masked {:>4}  flagged {:>4}  \
+                 rate {:.3}  concurrent {:.3}  worst inversions {:>3}  worst displacement {:>3}",
+                k.kind.map_or("mixed", |k| k.name()),
                 k.injected,
                 k.detected,
                 k.masked,
+                k.flagged,
                 k.detection_rate(),
+                k.concurrent_detection_rate(),
                 k.degradation.max_inversions,
                 k.degradation.max_displacement,
             );
         }
         println!(
-            "  permanent-fault detection rate: {:.3}",
-            net.permanent_detection_rate()
+            "  permanent-fault detection rate: {:.3}   concurrent (error-rail): {:.3}",
+            net.permanent_detection_rate(),
+            net.concurrent_detection_rate()
+        );
+    }
+    if report.truncated {
+        println!(
+            "campaign truncated by --faults-timeout-secs; rerun with --resume to finish{}",
+            checkpoint
+                .as_deref()
+                .map(|p| format!(" (checkpoint: {p})"))
+                .unwrap_or_default()
         );
     }
 

@@ -14,15 +14,20 @@
 //! * [`ablations`] — design-choice ablations measured on the built
 //!   circuits: adder kind, adaptivity, time-multiplexed dispatch
 //!   (E16–E18);
-//! * [`faults`] — fault-injection campaigns: detection and graceful
-//!   degradation of the four networks under the `absort-faults`
-//!   taxonomy.
+//! * [`faults`] — fault-injection campaigns: detection, concurrent
+//!   (error-rail) detection, and graceful degradation of the four
+//!   networks under the `absort-faults` taxonomy, including sampled
+//!   multi-fault sets and checkpoint/resume campaign driving;
+//! * [`clocked_faults`] — the same questions asked of the clocked
+//!   Model B fish streamer: permanent and cycle-precise transient
+//!   faults scored over full sort schedules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod checklist;
+pub mod clocked_faults;
 pub mod concentrators;
 pub mod crossover;
 pub mod faults;

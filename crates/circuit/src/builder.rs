@@ -252,6 +252,54 @@ impl Builder {
         [Wire(base), Wire(base + 1), Wire(base + 2), Wire(base + 3)]
     }
 
+    // ---- composition ---------------------------------------------------
+
+    /// Splices a finished circuit into this builder, driving its primary
+    /// inputs from `inputs` (one host wire per embedded input, in
+    /// declaration order). The embedded components are re-placed in the
+    /// builder's current scope, preserving their relative order.
+    ///
+    /// Returns `(wire_map, comp_base)`:
+    /// * `wire_map[w]` is the host wire carrying the embedded circuit's
+    ///   wire `w` — so fault sites enumerated on the embedded circuit can
+    ///   be translated into the host netlist;
+    /// * `comp_base` is the host index of the embedded circuit's first
+    ///   component, so component index `ci` of the embedded circuit lands
+    ///   at `comp_base + ci` in the host.
+    ///
+    /// The embedded circuit's designated outputs are *not* auto-forwarded;
+    /// read them off through the wire map:
+    /// `wire_map[c.output_wire(i).index()]`.
+    pub fn append_circuit(&mut self, c: &Circuit, inputs: &[Wire]) -> (Vec<Wire>, usize) {
+        assert_eq!(
+            inputs.len(),
+            c.n_inputs(),
+            "append_circuit: embedded circuit wants {} inputs, got {}",
+            c.n_inputs(),
+            inputs.len()
+        );
+        for &w in inputs {
+            self.check(w);
+        }
+        let comp_base = self.comps.len();
+        let mut map = vec![Wire::from_index(0); c.n_wires()];
+        for (i, &w) in c.input_wires().iter().enumerate() {
+            map[w.index()] = inputs[i];
+        }
+        for &(w, v) in c.const_wires() {
+            map[w.index()] = self.constant(v);
+        }
+        for p in c.components() {
+            let comp = p.comp.map_wires(|w| map[w.index()]);
+            let n_out = comp.n_outputs();
+            let out_base = self.place(comp);
+            for k in 0..n_out {
+                map[p.out_base as usize + k] = Wire(out_base + k as u32);
+            }
+        }
+        (map, comp_base)
+    }
+
     // ---- finish --------------------------------------------------------
 
     /// Number of components placed so far.
@@ -383,6 +431,56 @@ mod tests {
         let s0 = b.input();
         let i = b.input();
         let _ = b.switch4(s1, s0, [i; 4], [[0, 0, 1, 2]; 4]);
+    }
+
+    #[test]
+    fn append_circuit_preserves_behaviour_and_maps_wires() {
+        // inner: half adder
+        let mut ib = Builder::new();
+        let a = ib.input();
+        let c = ib.input();
+        let sum = ib.xor(a, c);
+        let carry = ib.and(a, c);
+        ib.outputs(&[sum, carry]);
+        let inner = ib.finish();
+
+        // host: invert one input before feeding the embedded adder
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let ny = b.not(y);
+        let (map, comp_base) = b.append_circuit(&inner, &[x, ny]);
+        assert_eq!(comp_base, 1, "one host component (the NOT) precedes");
+        let s = map[inner.output_wire(0).index()];
+        let k = map[inner.output_wire(1).index()];
+        b.outputs(&[s, k]);
+        let host = b.finish();
+        for v in 0..4u8 {
+            let (xv, yv) = (v & 1 == 1, v >> 1 & 1 == 1);
+            assert_eq!(host.eval(&[xv, yv]), inner.eval(&[xv, !yv]), "v={v}");
+        }
+        assert_eq!(host.n_components(), 1 + inner.n_components());
+    }
+
+    #[test]
+    fn append_circuit_reinterns_constants() {
+        let mut ib = Builder::new();
+        let a = ib.input();
+        let one = ib.constant(true);
+        let o = ib.and(a, one);
+        ib.outputs(&[o]);
+        let inner = ib.finish();
+
+        let mut b = Builder::new();
+        let host_one = b.constant(true);
+        let x = b.input();
+        let (map, _) = b.append_circuit(&inner, &[x]);
+        let o = map[inner.output_wire(0).index()];
+        let o2 = b.and(o, host_one);
+        b.outputs(&[o2]);
+        let host = b.finish();
+        assert_eq!(host.eval(&[true]), vec![true]);
+        assert_eq!(host.cost().total, 2, "shared constant adds no cost");
     }
 
     #[test]

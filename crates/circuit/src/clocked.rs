@@ -16,7 +16,8 @@
 //! than as simulation scaffolding.
 
 use crate::circuit::Circuit;
-use crate::eval::Evaluator;
+use crate::eval::{EvalError, Evaluator};
+use crate::faulty::{FaultyEvaluator, WireFault};
 
 /// A synchronous sequential circuit: combinational core + state
 /// registers.
@@ -97,11 +98,40 @@ impl ClockedCircuit {
         self.comb.depth()
     }
 
+    /// The combinational core (read-only). Fault campaigns enumerate
+    /// injection sites on this netlist; remember its inputs are
+    /// `[external inputs …, state bits …]` and its outputs
+    /// `[external outputs …, next-state bits …]`.
+    pub fn comb(&self) -> &Circuit {
+        &self.comb
+    }
+
     /// A fresh simulation at the reset state.
     pub fn power_on(&self) -> ClockedSim<'_> {
         ClockedSim {
             machine: self,
             ev: Evaluator::new(&self.comb),
+            state: self.reset_state.clone(),
+            cycle: 0,
+        }
+    }
+
+    /// A fresh simulation at the reset state with `faults` injected into
+    /// the combinational core on every cycle.
+    ///
+    /// Permanent faults ([`WireFault::StuckAt`], [`WireFault::BridgeOr`])
+    /// apply on every clock edge. A [`WireFault::TransientFlip`] is
+    /// *cycle-precise*: its `vector` field names the zero-based clock
+    /// cycle on which the wire flips — the scalar simulation consumes
+    /// exactly one test vector per edge, so vector index and cycle index
+    /// coincide. Because faulted next-state bits are latched, a one-cycle
+    /// upset can corrupt the register file and keep echoing through the
+    /// schedule long after the pulse — exactly the propagation this
+    /// simulator exists to measure.
+    pub fn power_on_faulty(&self, faults: &[WireFault]) -> FaultyClockedSim<'_> {
+        FaultyClockedSim {
+            machine: self,
+            ev: FaultyEvaluator::new(&self.comb, faults),
             state: self.reset_state.clone(),
             cycle: 0,
         }
@@ -143,7 +173,87 @@ impl ClockedSim<'_> {
         ext.to_vec()
     }
 
+    /// Checked [`ClockedSim::step`]: rejects a wrong-arity `ext_in` with
+    /// a typed [`EvalError`] instead of panicking. The machine state is
+    /// untouched on error, so a caller can correct the trace and retry.
+    pub fn try_step(&mut self, ext_in: &[bool]) -> Result<Vec<bool>, EvalError> {
+        let m = self.machine;
+        if ext_in.len() != m.n_ext_in {
+            return Err(EvalError::InputLen {
+                expected: m.n_ext_in,
+                got: ext_in.len(),
+            });
+        }
+        Ok(self.step(ext_in))
+    }
+
     /// Runs a whole input trace, returning the per-cycle outputs.
+    pub fn run(&mut self, trace: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        trace.iter().map(|t| self.step(t)).collect()
+    }
+
+    /// Checked [`ClockedSim::run`]: validates every cycle's input arity
+    /// up front, so the machine never advances on a malformed trace.
+    pub fn try_run(&mut self, trace: &[Vec<bool>]) -> Result<Vec<Vec<bool>>, EvalError> {
+        for t in trace {
+            if t.len() != self.machine.n_ext_in {
+                return Err(EvalError::InputLen {
+                    expected: self.machine.n_ext_in,
+                    got: t.len(),
+                });
+            }
+        }
+        Ok(self.run(trace))
+    }
+}
+
+/// A running simulation of a [`ClockedCircuit`] with [`WireFault`]s
+/// injected into the combinational core each cycle. Created by
+/// [`ClockedCircuit::power_on_faulty`].
+pub struct FaultyClockedSim<'m> {
+    machine: &'m ClockedCircuit,
+    ev: FaultyEvaluator<'m, bool>,
+    state: Vec<bool>,
+    cycle: u64,
+}
+
+impl FaultyClockedSim<'_> {
+    /// The current cycle count (number of clock edges so far).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Reads the current (possibly corrupted) register values.
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Applies one clock cycle under the injected faults.
+    pub fn step(&mut self, ext_in: &[bool]) -> Vec<bool> {
+        let m = self.machine;
+        assert_eq!(ext_in.len(), m.n_ext_in, "external input arity");
+        let mut full_in = Vec::with_capacity(m.n_ext_in + m.n_state);
+        full_in.extend_from_slice(ext_in);
+        full_in.extend_from_slice(&self.state);
+        let full_out = self.ev.run(&full_in);
+        let (ext, next) = full_out.split_at(m.n_ext_out);
+        self.state.copy_from_slice(next);
+        self.cycle += 1;
+        ext.to_vec()
+    }
+
+    /// Checked [`FaultyClockedSim::step`]; state untouched on error.
+    pub fn try_step(&mut self, ext_in: &[bool]) -> Result<Vec<bool>, EvalError> {
+        if ext_in.len() != self.machine.n_ext_in {
+            return Err(EvalError::InputLen {
+                expected: self.machine.n_ext_in,
+                got: ext_in.len(),
+            });
+        }
+        Ok(self.step(ext_in))
+    }
+
+    /// Runs a whole input trace under the injected faults.
     pub fn run(&mut self, trace: &[Vec<bool>]) -> Vec<Vec<bool>> {
         trace.iter().map(|t| self.step(t)).collect()
     }
@@ -244,6 +354,88 @@ mod tests {
             out.push(s);
         }
         out
+    }
+
+    #[test]
+    fn try_step_rejects_bad_arity_without_advancing() {
+        // 1-bit passthrough machine: out = in, state' = in
+        let mut b = Builder::new();
+        let x = b.input();
+        let s = b.input();
+        b.outputs(&[s, x]);
+        let m = ClockedCircuit::new(b.finish(), 1, 1, vec![false]);
+        let mut sim = m.power_on();
+        let err = sim.try_step(&[true, false]).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::eval::EvalError::InputLen {
+                expected: 1,
+                got: 2
+            }
+        ));
+        assert_eq!(sim.cycle(), 0, "failed step must not advance the clock");
+        assert_eq!(sim.state(), &[false], "state untouched on error");
+        assert_eq!(sim.try_step(&[true]).unwrap(), vec![false]);
+        assert_eq!(sim.cycle(), 1);
+
+        // try_run validates the whole trace before stepping at all
+        let mut sim2 = m.power_on();
+        let bad = vec![vec![true], vec![true, false]];
+        assert!(sim2.try_run(&bad).is_err());
+        assert_eq!(sim2.cycle(), 0, "malformed trace must not advance");
+        let good = vec![vec![true], vec![false]];
+        assert_eq!(sim2.try_run(&good).unwrap(), vec![vec![false], vec![true]]);
+    }
+
+    #[test]
+    fn faulty_sim_transient_corrupts_state_persistently() {
+        // The counter's upset: flip the next-state LSB at cycle 2 and the
+        // count stays off by one forever after — latched corruption.
+        let c = counter(3);
+        // next-state outputs are comb outputs 3..6; find the wire of the
+        // LSB next-state bit.
+        let lsb_next = c.comb().output_wire(3);
+        let fault = WireFault::TransientFlip {
+            wire: lsb_next,
+            vector: 2,
+        };
+        let mut healthy = c.power_on();
+        let mut faulty = c.power_on_faulty(&[fault]);
+        let read = |out: Vec<bool>| {
+            out.iter()
+                .enumerate()
+                .fold(0usize, |a, (i, &b)| a | (usize::from(b) << i))
+        };
+        let mut diverged_at = None;
+        for cyc in 0..8 {
+            let h = read(healthy.step(&[]));
+            let f = read(faulty.try_step(&[]).unwrap());
+            if h != f && diverged_at.is_none() {
+                diverged_at = Some(cyc);
+            }
+            if let Some(d) = diverged_at {
+                assert_ne!(h, f, "corrupted register echoes from cycle {d} on");
+            }
+        }
+        // flip lands in next-state at cycle 2, so outputs diverge at 3
+        assert_eq!(diverged_at, Some(3));
+        assert_eq!(faulty.cycle(), 8);
+        assert_eq!(faulty.state().len(), 3);
+    }
+
+    #[test]
+    fn faulty_sim_stuck_state_bit() {
+        let c = counter(2);
+        // stuck-at-0 on the MSB *current-state* input wire: count cycles 0,1
+        let msb_state_in = c.comb().input_wire(1);
+        let fault = WireFault::StuckAt {
+            wire: msb_state_in,
+            value: false,
+        };
+        let mut sim = c.power_on_faulty(&[fault]);
+        let read = |out: Vec<bool>| usize::from(out[0]) | usize::from(out[1]) << 1;
+        let seen: Vec<usize> = (0..6).map(|_| read(sim.step(&[]))).collect();
+        assert_eq!(seen, vec![0, 1, 0, 1, 0, 1]);
     }
 
     #[test]

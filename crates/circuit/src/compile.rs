@@ -319,11 +319,23 @@ pub enum MutantTape<'a> {
     Unsupported,
 }
 
-/// RAII view of a [`CompiledCircuit`] with one mutant patch applied.
-/// Dereferences to the patched circuit for evaluation; restores the
-/// original op (and any cleared mask-reuse flag) on drop.
-pub struct PatchGuard<'a> {
-    cc: &'a mut CompiledCircuit,
+/// Outcome of [`CompiledCircuit::mutant_tape_multi`]: the k-fault
+/// analogue of [`MutantTape`].
+pub enum MultiMutantTape<'a> {
+    /// All live patches applied; dropping the guard restores the base
+    /// tape exactly.
+    Patched(MultiPatchGuard<'a>),
+    /// Every faulted component was eliminated as dead code (or the patch
+    /// set was empty), so the mutant is output-equivalent to the base.
+    Dead,
+    /// At least one `(component, fault)` pair has no in-place encoding;
+    /// any patches already applied were rolled back. Callers fall back to
+    /// compiling the rewritten netlist.
+    Unsupported,
+}
+
+/// Everything needed to undo one in-place tape patch.
+struct PatchRecord {
     pos: usize,
     saved: MicroOp,
     /// `(tape index, original pidx)` of a following 4×4 switch whose
@@ -332,6 +344,31 @@ pub struct PatchGuard<'a> {
     /// Permutation-table length before the patch; sets the patch
     /// interned are dropped on restore.
     perm_len: usize,
+}
+
+fn undo_patch(cc: &mut CompiledCircuit, rec: &PatchRecord) {
+    cc.tape[rec.pos] = rec.saved;
+    if let Some((i, pidx)) = rec.saved_next {
+        if let MicroOp::Switch4 { pidx: slot, .. } = &mut cc.tape[i] {
+            *slot = pidx;
+        }
+    }
+    cc.perm_sets.truncate(rec.perm_len);
+}
+
+/// Outcome of one patch attempt, before it is wrapped in a guard.
+enum PatchStep {
+    Applied(PatchRecord),
+    Dead,
+    Unsupported,
+}
+
+/// RAII view of a [`CompiledCircuit`] with one mutant patch applied.
+/// Dereferences to the patched circuit for evaluation; restores the
+/// original op (and any cleared mask-reuse flag) on drop.
+pub struct PatchGuard<'a> {
+    cc: &'a mut CompiledCircuit,
+    rec: PatchRecord,
 }
 
 impl std::ops::Deref for PatchGuard<'_> {
@@ -343,13 +380,40 @@ impl std::ops::Deref for PatchGuard<'_> {
 
 impl Drop for PatchGuard<'_> {
     fn drop(&mut self) {
-        self.cc.tape[self.pos] = self.saved;
-        if let Some((i, pidx)) = self.saved_next {
-            if let MicroOp::Switch4 { pidx: slot, .. } = &mut self.cc.tape[i] {
-                *slot = pidx;
-            }
+        undo_patch(self.cc, &self.rec);
+    }
+}
+
+/// RAII view of a [`CompiledCircuit`] with a *set* of mutant patches
+/// applied. Restores the original tape on drop by undoing the patches in
+/// reverse application order — required for correctness when two patches
+/// touch adjacent ops (a stuck-select patch may clear the mask-reuse flag
+/// of the very op a later patch then rewrites).
+pub struct MultiPatchGuard<'a> {
+    cc: &'a mut CompiledCircuit,
+    recs: Vec<PatchRecord>,
+}
+
+impl MultiPatchGuard<'_> {
+    /// Number of live patches applied (dead-code components inject
+    /// nothing and are not counted).
+    pub fn n_patches(&self) -> usize {
+        self.recs.len()
+    }
+}
+
+impl std::ops::Deref for MultiPatchGuard<'_> {
+    type Target = CompiledCircuit;
+    fn deref(&self) -> &CompiledCircuit {
+        self.cc
+    }
+}
+
+impl Drop for MultiPatchGuard<'_> {
+    fn drop(&mut self) {
+        for rec in self.recs.iter().rev() {
+            undo_patch(self.cc, rec);
         }
-        self.cc.perm_sets.truncate(self.perm_len);
     }
 }
 
@@ -615,12 +679,47 @@ impl CompiledCircuit {
     /// op's encoding changes. Mask-reuse flags are the single cross-op
     /// coupling, and the patch clears them where the controls change.
     pub fn mutant_tape(&mut self, component: usize, fault: Fault) -> MutantTape<'_> {
+        match self.patch_one(component, fault) {
+            PatchStep::Applied(rec) => MutantTape::Patched(PatchGuard { cc: self, rec }),
+            PatchStep::Dead => MutantTape::Dead,
+            PatchStep::Unsupported => MutantTape::Unsupported,
+        }
+    }
+
+    /// The k-fault generalisation of [`CompiledCircuit::mutant_tape`]:
+    /// applies every `(component, fault)` patch in order and returns one
+    /// guard restoring all of them. Dead-code components are skipped (they
+    /// cannot affect outputs); if *any* pair is unsupported the patches
+    /// already applied are rolled back and the whole set reports
+    /// [`MultiMutantTape::Unsupported`], so callers re-lower the rewritten
+    /// netlist exactly as in the single-fault path.
+    pub fn mutant_tape_multi(&mut self, patches: &[(usize, Fault)]) -> MultiMutantTape<'_> {
+        let mut recs: Vec<PatchRecord> = Vec::with_capacity(patches.len());
+        for &(ci, fault) in patches {
+            match self.patch_one(ci, fault) {
+                PatchStep::Applied(rec) => recs.push(rec),
+                PatchStep::Dead => {}
+                PatchStep::Unsupported => {
+                    for rec in recs.iter().rev() {
+                        undo_patch(self, rec);
+                    }
+                    return MultiMutantTape::Unsupported;
+                }
+            }
+        }
+        if recs.is_empty() {
+            return MultiMutantTape::Dead;
+        }
+        MultiMutantTape::Patched(MultiPatchGuard { cc: self, recs })
+    }
+
+    fn patch_one(&mut self, component: usize, fault: Fault) -> PatchStep {
         let pos = match self.comp_pos.get(component) {
             Some(&p) if p != u32::MAX => p as usize,
             // Dead code: no output observes the component, so the mutant
             // is output-equivalent to the base circuit.
-            Some(_) => return MutantTape::Dead,
-            None => return MutantTape::Unsupported,
+            Some(_) => return PatchStep::Dead,
+            None => return PatchStep::Unsupported,
         };
         let perm_len = self.perm_sets.len();
         let saved = self.tape[pos];
@@ -720,11 +819,10 @@ impl CompiledCircuit {
             // Remaining pairs (e.g. a stuck demultiplexer select, which
             // would need a constant-zero source): fall back to lowering
             // the rewritten netlist.
-            _ => return MutantTape::Unsupported,
+            _ => return PatchStep::Unsupported,
         };
         self.tape[pos] = patched;
-        MutantTape::Patched(PatchGuard {
-            cc: self,
+        PatchStep::Applied(PatchRecord {
             pos,
             saved,
             saved_next,
@@ -1486,6 +1584,71 @@ mod tests {
                 }
             }
             assert!(patched_seen > 0, "no patched mutants exercised");
+        }
+    }
+
+    /// Every 2-fault mutant expressible as in-place patches must evaluate
+    /// exactly like the fully re-lowered `apply_set` netlist, and the
+    /// multi-patch guard must restore the base tape bit for bit on drop —
+    /// including the adjacent-op mask-reuse coupling in `dual_switch`.
+    #[test]
+    fn mutant_tape_multi_matches_recompiled_fault_sets() {
+        for c in [kitchen_sink(), dual_switch()] {
+            let mut base = c.compile();
+            let baseline_tape = base.tape.clone();
+            let baseline_perms = base.perm_sets.clone();
+            let inputs: Vec<u64> = (0..c.n_inputs())
+                .map(|i| 0xA5A5_5A5A_0F0F_F0F0u64.rotate_left(7 * i as u32))
+                .collect();
+            let base_out = {
+                let mut ev: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(&base);
+                ev.run(&inputs)
+            };
+            let mut patched_seen = 0usize;
+            for f1 in Fault::ALL {
+                for f2 in Fault::ALL {
+                    let c1 = crate::mutate::applicable(&c, f1);
+                    let c2 = crate::mutate::applicable(&c, f2);
+                    for &ci in &c1 {
+                        for &cj in &c2 {
+                            if cj <= ci {
+                                continue;
+                            }
+                            let set = [(ci, f1), (cj, f2)];
+                            let reference = {
+                                let m = crate::mutate::apply_set(&c, &set).expect("both apply");
+                                let cc = m.compile();
+                                let mut ev: CompiledEvaluator<'_, u64> =
+                                    CompiledEvaluator::new(&cc);
+                                ev.run(&inputs)
+                            };
+                            match base.mutant_tape_multi(&set) {
+                                MultiMutantTape::Patched(patched) => {
+                                    assert!(patched.n_patches() >= 1);
+                                    let mut ev: CompiledEvaluator<'_, u64> =
+                                        CompiledEvaluator::new(&patched);
+                                    assert_eq!(
+                                        ev.run(&inputs),
+                                        reference,
+                                        "{f1:?}@{ci} + {f2:?}@{cj}"
+                                    );
+                                    patched_seen += 1;
+                                }
+                                MultiMutantTape::Dead => {
+                                    assert_eq!(base_out, reference, "dead set {ci},{cj} differs");
+                                }
+                                MultiMutantTape::Unsupported => {}
+                            }
+                            assert_eq!(
+                                base.tape, baseline_tape,
+                                "tape not restored after {f1:?}@{ci}+{f2:?}@{cj}"
+                            );
+                            assert_eq!(base.perm_sets, baseline_perms, "perm table not restored");
+                        }
+                    }
+                }
+            }
+            assert!(patched_seen > 0, "no multi-patched mutants exercised");
         }
     }
 }

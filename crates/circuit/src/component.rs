@@ -147,6 +147,42 @@ impl Component {
         }
     }
 
+    /// Returns a copy of the component with every input wire rewritten
+    /// through `f`. Used when splicing one netlist into another (the wire
+    /// indices of the embedded circuit must be translated into the host's
+    /// wire table).
+    pub fn map_wires(&self, mut f: impl FnMut(Wire) -> Wire) -> Component {
+        match *self {
+            Component::Not { a } => Component::Not { a: f(a) },
+            Component::Gate { op, a, b } => Component::Gate {
+                op,
+                a: f(a),
+                b: f(b),
+            },
+            Component::Mux2 { sel, a0, a1 } => Component::Mux2 {
+                sel: f(sel),
+                a0: f(a0),
+                a1: f(a1),
+            },
+            Component::Demux2 { sel, x } => Component::Demux2 {
+                sel: f(sel),
+                x: f(x),
+            },
+            Component::Switch2 { ctrl, a, b } => Component::Switch2 {
+                ctrl: f(ctrl),
+                a: f(a),
+                b: f(b),
+            },
+            Component::BitCompare { a, b } => Component::BitCompare { a: f(a), b: f(b) },
+            Component::Switch4 { s1, s0, ins, perms } => Component::Switch4 {
+                s1: f(s1),
+                s0: f(s0),
+                ins: ins.map(&mut f),
+                perms,
+            },
+        }
+    }
+
     /// Visits every input wire of the component.
     pub fn for_each_input(&self, mut f: impl FnMut(Wire)) {
         match *self {

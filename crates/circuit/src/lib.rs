@@ -54,7 +54,7 @@ pub mod wire;
 
 pub use builder::Builder;
 pub use circuit::Circuit;
-pub use compile::{CompiledCircuit, CompiledEvaluator, Engine, MutantTape};
+pub use compile::{CompiledCircuit, CompiledEvaluator, Engine, MultiMutantTape, MutantTape};
 pub use component::{Component, GateOp, Perm4};
 pub use cost::{CostReport, KindCounts};
 pub use eval::{EvalError, Evaluator};

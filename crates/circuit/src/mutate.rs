@@ -41,57 +41,92 @@ impl Fault {
     }
 }
 
-/// Enumerates the mutants of `circuit` under `fault`: one mutant per
-/// applicable component, as `(component index, mutated circuit)`.
+/// Component indices of `circuit` where `fault` applies, in topological
+/// order. Multi-fault campaigns draw their component atoms from this
+/// list.
+pub fn applicable(circuit: &Circuit, fault: Fault) -> Vec<usize> {
+    // Probe with a dummy tie wire: applicability depends only on the
+    // (fault, component-kind) pair, never on the tie's identity.
+    let probe = Some(Wire::from_index(0));
+    circuit
+        .components()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| mutate_component(&p.comp, fault, probe).is_some())
+        .map(|(ci, _)| ci)
+        .collect()
+}
+
+/// Applies `fault` to component `ci` alone, returning the mutated
+/// circuit, or `None` when the fault does not apply to that component.
 ///
 /// Mutants preserve the interface (inputs/outputs/wire table), so they
 /// can be run through any checker built for the original.
-pub fn mutants(circuit: &Circuit, fault: Fault) -> Vec<(usize, Circuit)> {
-    // Stuck-select faults tie a line to a constant; if the circuit has no
-    // constant of the needed polarity, the mutant gets a fresh tied-off
-    // wire appended to the wire table (defined before the component scan,
-    // so topological evaluation is unaffected).
-    let needed = match fault {
-        Fault::StuckSelectLow => Some(false),
-        Fault::StuckSelectHigh => Some(true),
-        Fault::InvertBehaviour => None,
-    };
-    let (tie, extra_wires, extra_consts) = match needed {
-        Some(polarity) => {
-            let existing = circuit
-                .const_wires()
-                .iter()
-                .find(|&&(_, v)| v == polarity)
-                .map(|&(w, _)| w);
-            match existing {
-                Some(w) => (Some(w), 0usize, Vec::new()),
-                None => {
-                    let w = Wire::from_index(circuit.n_wires());
-                    (Some(w), 1, vec![(w, polarity)])
+pub fn apply(circuit: &Circuit, ci: usize, fault: Fault) -> Option<Circuit> {
+    apply_set(circuit, &[(ci, fault)])
+}
+
+/// Applies a *set* of component faults at once — a k-fault mutant. Each
+/// entry names a component index and the fault to inject there. Returns
+/// `None` if any entry does not apply (out-of-range index or inapplicable
+/// fault kind); entries are applied in order, so listing the same
+/// component twice composes the two rewrites.
+///
+/// Stuck-select faults tie a line to a constant; if the circuit has no
+/// constant of the needed polarity, the mutant gets a fresh tied-off wire
+/// appended to the wire table (defined before the component scan, so
+/// topological evaluation is unaffected).
+pub fn apply_set(circuit: &Circuit, set: &[(usize, Fault)]) -> Option<Circuit> {
+    let mut comps = circuit.components().to_vec();
+    let mut consts = circuit.const_wires().to_vec();
+    let mut n_wires = circuit.n_wires();
+    let mut ties: [Option<Wire>; 2] = [None, None];
+    for &(ci, fault) in set {
+        let needed = match fault {
+            Fault::StuckSelectLow => Some(false),
+            Fault::StuckSelectHigh => Some(true),
+            Fault::InvertBehaviour => None,
+        };
+        let tie = match needed {
+            Some(polarity) => {
+                let slot = polarity as usize;
+                if ties[slot].is_none() {
+                    ties[slot] = consts
+                        .iter()
+                        .find(|&&(_, v)| v == polarity)
+                        .map(|&(w, _)| w)
+                        .or_else(|| {
+                            let w = Wire::from_index(n_wires);
+                            n_wires += 1;
+                            consts.push((w, polarity));
+                            Some(w)
+                        });
                 }
+                ties[slot]
             }
-        }
-        None => (None, 0, Vec::new()),
-    };
-    let mut out = Vec::new();
-    for (ci, p) in circuit.components().iter().enumerate() {
-        if let Some(mutated) = mutate_component(&p.comp, fault, tie) {
-            let mut comps = circuit.components().to_vec();
-            comps[ci].comp = mutated;
-            let mut consts = circuit.const_wires().to_vec();
-            consts.extend(extra_consts.iter().copied());
-            let rebuilt = Circuit::from_parts(
-                comps,
-                circuit.n_wires() + extra_wires,
-                circuit.input_wires().to_vec(),
-                circuit.output_wires().to_vec(),
-                consts,
-                circuit.scopes().clone(),
-            );
-            out.push((ci, rebuilt));
-        }
+            None => None,
+        };
+        let p = comps.get(ci)?;
+        let mutated = mutate_component(&p.comp, fault, tie)?;
+        comps[ci].comp = mutated;
     }
-    out
+    Some(Circuit::from_parts(
+        comps,
+        n_wires,
+        circuit.input_wires().to_vec(),
+        circuit.output_wires().to_vec(),
+        consts,
+        circuit.scopes().clone(),
+    ))
+}
+
+/// Enumerates the mutants of `circuit` under `fault`: one mutant per
+/// applicable component, as `(component index, mutated circuit)`.
+pub fn mutants(circuit: &Circuit, fault: Fault) -> Vec<(usize, Circuit)> {
+    applicable(circuit, fault)
+        .into_iter()
+        .filter_map(|ci| apply(circuit, ci, fault).map(|m| (ci, m)))
+        .collect()
 }
 
 fn mutate_component(c: &Component, fault: Fault, tie: Option<Wire>) -> Option<Component> {
@@ -278,6 +313,57 @@ mod tests {
         assert_eq!(m.eval(&[true, false, true]), vec![true]);
         // synthesized tie-off keeps the netlist structurally sound
         assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn applicable_matches_mutants_and_apply_agrees() {
+        let c = two_sorter();
+        for fault in Fault::ALL {
+            let idxs = applicable(&c, fault);
+            let ms = mutants(&c, fault);
+            assert_eq!(
+                idxs,
+                ms.iter().map(|(ci, _)| *ci).collect::<Vec<_>>(),
+                "{}",
+                fault.name()
+            );
+            for (ci, m) in &ms {
+                let direct = apply(&c, *ci, fault).expect("applicable");
+                for v in 0..4u8 {
+                    let input = vec![v & 1 == 1, v >> 1 & 1 == 1];
+                    assert_eq!(direct.eval(&input), m.eval(&input));
+                }
+            }
+        }
+        assert!(apply(&c, 99, Fault::InvertBehaviour).is_none());
+    }
+
+    #[test]
+    fn apply_set_composes_two_faults() {
+        // two independent muxes; stuck both selects at opposite rails
+        let mut b = Builder::new();
+        let s = b.input();
+        let x = b.input();
+        let y = b.input();
+        let m0 = b.mux2(s, x, y);
+        let m1 = b.mux2(s, y, x);
+        b.outputs(&[m0, m1]);
+        let c = b.finish();
+        let m = apply_set(
+            &c,
+            &[(0, Fault::StuckSelectLow), (1, Fault::StuckSelectHigh)],
+        )
+        .expect("both apply");
+        assert_eq!(m.validate(), Ok(()));
+        // m0 always x (sel low), m1 always x (sel high picks arm a1 = x)
+        assert_eq!(m.eval(&[true, true, false]), vec![true, true]);
+        assert_eq!(m.eval(&[false, true, false]), vec![true, true]);
+        // single inapplicable member poisons the whole set
+        assert!(apply_set(
+            &c,
+            &[(0, Fault::StuckSelectLow), (7, Fault::InvertBehaviour)]
+        )
+        .is_none());
     }
 
     #[test]

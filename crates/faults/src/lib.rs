@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use absort_telemetry::json;
+
 use absort_telemetry::json::Value;
 
 /// The fault taxonomy a campaign sweeps, spanning both injection
@@ -74,6 +76,12 @@ impl FaultKind {
     /// vacuous fault site, and the enumerators exclude those up front.
     pub fn is_permanent(self) -> bool {
         !matches!(self, FaultKind::TransientFlip)
+    }
+
+    /// Inverse of [`FaultKind::name`], used when loading reports back
+    /// from JSON (checkpoint resume).
+    pub fn from_name(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.name() == s)
     }
 }
 
@@ -134,6 +142,10 @@ pub struct Degradation {
     /// Number of outputs whose popcount differed from the input's — the
     /// fault destroyed or created tokens rather than mis-routing them.
     pub conservation_violations: u64,
+    /// Number of (fault, vector) evaluations the *concurrent* error rail
+    /// of a self-checking wrapper flagged in hardware (zero when the
+    /// swept circuit carries no rail).
+    pub flagged: u64,
 }
 
 impl Degradation {
@@ -152,6 +164,7 @@ impl Degradation {
         self.max_inversions = self.max_inversions.max(other.max_inversions);
         self.max_displacement = self.max_displacement.max(other.max_displacement);
         self.conservation_violations += other.conservation_violations;
+        self.flagged += other.flagged;
     }
 
     /// Serializes this record as a JSON object.
@@ -163,7 +176,19 @@ impl Degradation {
                 "conservation_violations",
                 Value::Int(self.conservation_violations as i64),
             ),
+            ("flagged", Value::Int(self.flagged as i64)),
         ])
+    }
+
+    /// Parses a record serialized by [`Degradation::to_json`]. The
+    /// `flagged` field is optional so v1 reports still load.
+    pub fn from_json(v: &Value) -> Option<Degradation> {
+        Some(Degradation {
+            max_inversions: v.get("max_inversions")?.as_i64()? as u64,
+            max_displacement: v.get("max_displacement")?.as_i64()? as u64,
+            conservation_violations: v.get("conservation_violations")?.as_i64()? as u64,
+            flagged: v.get("flagged").and_then(Value::as_i64).unwrap_or(0) as u64,
+        })
     }
 }
 
@@ -181,28 +206,46 @@ impl Degradation {
 /// behaviour, and the masked count is itself a resilience statistic.
 #[derive(Debug, Clone, Default)]
 pub struct KindReport {
-    /// The fault kind swept.
+    /// The fault kind swept. `None` marks a mixed-kind cell (a multi-fault
+    /// set drawn across kinds), serialized as `"mixed"`.
     pub kind: Option<FaultKind>,
-    /// Fault sites injected.
+    /// Fault sites (or fault *sets*, for multi-fault cells) injected.
     pub injected: u64,
     /// Sites whose misbehaviour the zero-one checker observed (some valid
     /// input produced an unsorted or non-conserving output).
     pub detected: u64,
     /// Sites whose injection changed no output on any workload vector.
     pub masked: u64,
+    /// Sites the hardware error rail of the self-checking wrapper flagged
+    /// on at least one workload vector (concurrent detection).
+    pub flagged: u64,
     /// Worst-case degradation across every faulty (site, vector) pair.
     pub degradation: Degradation,
 }
 
 impl KindReport {
-    /// `detected / (injected − masked)`, or 1.0 for a cell with no
-    /// behaviour-changing site (nothing escaped).
+    /// `detected / (injected − masked)`, or 0.0 for a cell where every
+    /// site is masked — a denominator of zero must not surface as NaN in
+    /// JSON reports.
     pub fn detection_rate(&self) -> f64 {
         let effective = self.injected - self.masked;
         if effective == 0 {
-            1.0
+            0.0
         } else {
             self.detected as f64 / effective as f64
+        }
+    }
+
+    /// `flagged / (injected − masked)`: the fraction of behaviour-changing
+    /// sites the *concurrent* error rail caught in hardware, 0.0 when the
+    /// denominator is empty (same NaN guard as
+    /// [`KindReport::detection_rate`]).
+    pub fn concurrent_detection_rate(&self) -> f64 {
+        let effective = self.injected - self.masked;
+        if effective == 0 {
+            0.0
+        } else {
+            self.flagged as f64 / effective as f64
         }
     }
 
@@ -211,21 +254,43 @@ impl KindReport {
         Value::obj([
             (
                 "kind",
-                Value::Str(self.kind.map_or("?", FaultKind::name).to_owned()),
+                Value::Str(self.kind.map_or("mixed", FaultKind::name).to_owned()),
             ),
             ("injected", Value::Int(self.injected as i64)),
             ("detected", Value::Int(self.detected as i64)),
             ("masked", Value::Int(self.masked as i64)),
+            ("flagged", Value::Int(self.flagged as i64)),
             ("detection_rate", Value::Float(self.detection_rate())),
+            (
+                "concurrent_detection_rate",
+                Value::Float(self.concurrent_detection_rate()),
+            ),
             ("degradation", self.degradation.to_json()),
         ])
+    }
+
+    /// Parses a record serialized by [`KindReport::to_json`]; derived
+    /// rates are recomputed, not read back.
+    pub fn from_json(v: &Value) -> Option<KindReport> {
+        Some(KindReport {
+            kind: v.get("kind").and_then(Value::as_str).and_then(|s| {
+                // "mixed" (and the legacy "?") deliberately map to None.
+                FaultKind::from_name(s)
+            }),
+            injected: v.get("injected")?.as_i64()? as u64,
+            detected: v.get("detected")?.as_i64()? as u64,
+            masked: v.get("masked")?.as_i64()? as u64,
+            flagged: v.get("flagged").and_then(Value::as_i64).unwrap_or(0) as u64,
+            degradation: Degradation::from_json(v.get("degradation")?)?,
+        })
     }
 }
 
 /// One network's campaign results across all fault kinds.
 #[derive(Debug, Clone)]
 pub struct NetworkReport {
-    /// Network name (`"prefix"`, `"muxmerge"`, `"fish"`, `"batcher"`).
+    /// Network name (`"prefix"`, `"muxmerge"`, `"fish"`, `"batcher"`,
+    /// `"fish-clocked"`).
     pub network: String,
     /// Input width the campaign built the network at.
     pub n: usize,
@@ -236,6 +301,9 @@ pub struct NetworkReport {
     pub tier: String,
     /// Valid input vectors the checker evaluated per fault site.
     pub vectors: u64,
+    /// Simultaneous faults per injection: 1 for the classic single-fault
+    /// sweep, k ≥ 2 for sampled k-fault sets.
+    pub fault_set_size: u64,
     /// Per-fault-kind cells.
     pub kinds: Vec<KindReport>,
 }
@@ -243,7 +311,8 @@ pub struct NetworkReport {
 impl NetworkReport {
     /// Permanent-fault detection rate across all permanent kinds pooled
     /// (masked sites excluded from the denominator, as in
-    /// [`KindReport::detection_rate`]).
+    /// [`KindReport::detection_rate`]; 0.0 when every permanent site is
+    /// masked so JSON never carries NaN).
     pub fn permanent_detection_rate(&self) -> f64 {
         let (mut det, mut eff) = (0u64, 0u64);
         for k in &self.kinds {
@@ -253,9 +322,27 @@ impl NetworkReport {
             }
         }
         if eff == 0 {
-            1.0
+            0.0
         } else {
             det as f64 / eff as f64
+        }
+    }
+
+    /// Concurrent (error-rail) detection rate across all permanent kinds
+    /// pooled, with the same denominator as
+    /// [`NetworkReport::permanent_detection_rate`].
+    pub fn concurrent_detection_rate(&self) -> f64 {
+        let (mut flag, mut eff) = (0u64, 0u64);
+        for k in &self.kinds {
+            if k.kind.is_none_or(FaultKind::is_permanent) {
+                flag += k.flagged;
+                eff += k.injected - k.masked;
+            }
+        }
+        if eff == 0 {
+            0.0
+        } else {
+            flag as f64 / eff as f64
         }
     }
 
@@ -267,15 +354,39 @@ impl NetworkReport {
             ("components", Value::Int(self.components as i64)),
             ("tier", Value::Str(self.tier.clone())),
             ("vectors", Value::Int(self.vectors as i64)),
+            ("fault_set_size", Value::Int(self.fault_set_size as i64)),
             (
                 "permanent_detection_rate",
                 Value::Float(self.permanent_detection_rate()),
+            ),
+            (
+                "concurrent_detection_rate",
+                Value::Float(self.concurrent_detection_rate()),
             ),
             (
                 "kinds",
                 Value::Arr(self.kinds.iter().map(KindReport::to_json).collect()),
             ),
         ])
+    }
+
+    /// Parses a record serialized by [`NetworkReport::to_json`] — the
+    /// checkpoint/resume path. Derived rates are recomputed on demand.
+    pub fn from_json(v: &Value) -> Option<NetworkReport> {
+        Some(NetworkReport {
+            network: v.get("network")?.as_str()?.to_owned(),
+            n: v.get("n")?.as_i64()? as usize,
+            components: v.get("components")?.as_i64()? as u64,
+            tier: v.get("tier")?.as_str()?.to_owned(),
+            vectors: v.get("vectors")?.as_i64()? as u64,
+            fault_set_size: v.get("fault_set_size").and_then(Value::as_i64).unwrap_or(1) as u64,
+            kinds: v
+                .get("kinds")?
+                .as_arr()?
+                .iter()
+                .map(KindReport::from_json)
+                .collect::<Option<Vec<_>>>()?,
+        })
     }
 }
 
@@ -284,6 +395,10 @@ impl NetworkReport {
 pub struct CampaignReport {
     /// RNG seed used for sampled tiers and transient-fault placement.
     pub seed: u64,
+    /// True when a wall-clock budget expired before every planned unit
+    /// ran: the report is a valid prefix of the full campaign, not the
+    /// whole thing.
+    pub truncated: bool,
     /// Per-network results.
     pub networks: Vec<NetworkReport>,
 }
@@ -293,13 +408,28 @@ impl CampaignReport {
     /// manifest section and for a standalone report file.
     pub fn to_json(&self) -> Value {
         Value::obj([
-            ("schema", Value::Str("absort-faults/v1".to_owned())),
+            ("schema", Value::Str("absort-faults/v2".to_owned())),
             ("seed", Value::Int(self.seed as i64)),
+            ("truncated", Value::Bool(self.truncated)),
             (
                 "networks",
                 Value::Arr(self.networks.iter().map(NetworkReport::to_json).collect()),
             ),
         ])
+    }
+
+    /// Parses a report serialized by [`CampaignReport::to_json`].
+    pub fn from_json(v: &Value) -> Option<CampaignReport> {
+        Some(CampaignReport {
+            seed: v.get("seed")?.as_i64()? as u64,
+            truncated: v.get("truncated").and_then(Value::as_bool).unwrap_or(false),
+            networks: v
+                .get("networks")?
+                .as_arr()?
+                .iter()
+                .map(NetworkReport::from_json)
+                .collect::<Option<Vec<_>>>()?,
+        })
     }
 }
 
@@ -356,7 +486,7 @@ mod tests {
     #[test]
     fn detection_rate_edges() {
         let r = KindReport::default();
-        assert_eq!(r.detection_rate(), 1.0);
+        assert_eq!(r.detection_rate(), 0.0, "empty cell must not be NaN");
         let r = KindReport {
             injected: 4,
             detected: 3,
@@ -371,44 +501,78 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(r.detection_rate(), 1.0);
-        // all-masked cell: nothing escaped
+    }
+
+    #[test]
+    fn all_masked_cell_rates_are_zero_not_nan() {
+        // injected == masked: the denominator is empty. The rate must be
+        // a finite 0.0 — a NaN would serialize as `null`/garbage in the
+        // JSON report and poison every downstream aggregation.
         let r = KindReport {
             injected: 5,
             masked: 5,
             ..Default::default()
         };
-        assert_eq!(r.detection_rate(), 1.0);
+        assert_eq!(r.detection_rate(), 0.0);
+        assert!(r.detection_rate().is_finite());
+        assert_eq!(r.concurrent_detection_rate(), 0.0);
+        let net = NetworkReport {
+            network: "prefix".into(),
+            n: 4,
+            components: 1,
+            tier: "exhaustive".into(),
+            vectors: 16,
+            fault_set_size: 1,
+            kinds: vec![r],
+        };
+        assert_eq!(net.permanent_detection_rate(), 0.0);
+        assert!(net.permanent_detection_rate().is_finite());
+        assert_eq!(net.concurrent_detection_rate(), 0.0);
+        let text = net.to_json().to_pretty();
+        assert!(
+            !text.contains("NaN") && !text.contains("nan") && !text.contains("null"),
+            "rates must serialize as finite numbers: {text}"
+        );
     }
 
-    #[test]
-    fn report_roundtrips_through_json() {
-        let report = CampaignReport {
+    fn sample_report() -> CampaignReport {
+        CampaignReport {
             seed: 7,
+            truncated: false,
             networks: vec![NetworkReport {
                 network: "prefix".into(),
                 n: 8,
                 components: 100,
                 tier: "exhaustive".into(),
                 vectors: 256,
+                fault_set_size: 2,
                 kinds: vec![KindReport {
                     kind: Some(FaultKind::StuckAt0),
                     injected: 12,
                     detected: 10,
                     masked: 2,
+                    flagged: 9,
                     degradation: Degradation {
                         max_inversions: 3,
                         max_displacement: 2,
                         conservation_violations: 5,
+                        flagged: 40,
                     },
                 }],
             }],
-        };
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = sample_report();
         let text = report.to_json().to_pretty();
         let back = absort_telemetry::json::parse(&text).expect("parses");
         assert_eq!(
             back.get("schema").and_then(Value::as_str),
-            Some("absort-faults/v1")
+            Some("absort-faults/v2")
         );
+        assert_eq!(back.get("truncated").and_then(Value::as_bool), Some(false));
         let nets = back.get("networks").and_then(Value::as_arr).unwrap();
         assert_eq!(nets.len(), 1);
         assert_eq!(
@@ -417,12 +581,23 @@ mod tests {
                 .and_then(Value::as_f64),
             Some(1.0)
         );
+        assert_eq!(
+            nets[0].get("fault_set_size").and_then(Value::as_i64),
+            Some(2)
+        );
+        assert_eq!(
+            nets[0]
+                .get("concurrent_detection_rate")
+                .and_then(Value::as_f64),
+            Some(0.9)
+        );
         let kinds = nets[0].get("kinds").and_then(Value::as_arr).unwrap();
         assert_eq!(
             kinds[0].get("kind").and_then(Value::as_str),
             Some("stuck_at_0")
         );
         assert_eq!(kinds[0].get("masked").and_then(Value::as_i64), Some(2));
+        assert_eq!(kinds[0].get("flagged").and_then(Value::as_i64), Some(9));
         assert_eq!(
             kinds[0]
                 .get("degradation")
@@ -433,6 +608,29 @@ mod tests {
     }
 
     #[test]
+    fn from_json_is_a_lossless_inverse_of_to_json() {
+        // The checkpoint/resume path rides on this: a report loaded from
+        // a checkpoint must re-serialize byte-for-byte identical to the
+        // original, or resumed campaigns would diverge from uninterrupted
+        // ones.
+        let report = sample_report();
+        let text = report.to_json().to_pretty();
+        let parsed = absort_telemetry::json::parse(&text).expect("parses");
+        let back = CampaignReport::from_json(&parsed).expect("loads");
+        assert_eq!(back.to_json().to_pretty(), text);
+        // Mixed-kind (None) cells survive the roundtrip too.
+        let mut mixed = sample_report();
+        mixed.truncated = true;
+        mixed.networks[0].kinds[0].kind = None;
+        let text = mixed.to_json().to_pretty();
+        let parsed = absort_telemetry::json::parse(&text).expect("parses");
+        let back = CampaignReport::from_json(&parsed).expect("loads");
+        assert!(back.truncated);
+        assert_eq!(back.networks[0].kinds[0].kind, None);
+        assert_eq!(back.to_json().to_pretty(), text);
+    }
+
+    #[test]
     fn kind_names_stable_and_permanence_flagged() {
         assert_eq!(FaultKind::ALL.len(), 7);
         assert!(FaultKind::StuckAt1.is_permanent());
@@ -440,5 +638,81 @@ mod tests {
         let mut names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
         names.dedup();
         assert_eq!(names.len(), 7, "names are distinct");
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::from_name("mixed"), None);
+        assert_eq!(FaultKind::from_name("?"), None);
+    }
+
+    // -- Degradation invariants, property-based ---------------------------
+
+    use proptest::prelude::*;
+
+    /// Builds a `Degradation` by observing each `(out, ones)` pair in an
+    /// arbitrary observation set.
+    fn observe_all(obs: &[(Vec<bool>, usize)]) -> Degradation {
+        let mut d = Degradation::default();
+        for (out, ones) in obs {
+            d.observe(out, *ones);
+        }
+        d
+    }
+
+    fn obs_set() -> impl Strategy<Value = Vec<(Vec<bool>, usize)>> {
+        proptest::collection::vec(
+            (proptest::collection::vec(any::<bool>(), 0..16), 0usize..16),
+            0..8,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Kendall-tau inversions vanish exactly on sorted sequences —
+        /// the zero-one checker and the degradation metric agree on what
+        /// "ordered" means.
+        #[test]
+        fn inversions_zero_iff_sorted(out in proptest::collection::vec(any::<bool>(), 0..24)) {
+            let sorted = out.windows(2).all(|w| w[0] <= w[1]);
+            prop_assert_eq!(inversions(&out) == 0, sorted);
+            prop_assert_eq!(max_displacement(&out) == 0, sorted);
+        }
+
+        /// No element of an n-bit output can be displaced by more than n
+        /// positions.
+        #[test]
+        fn displacement_bounded_by_n(out in proptest::collection::vec(any::<bool>(), 0..24)) {
+            prop_assert!(max_displacement(&out) <= out.len() as u64);
+        }
+
+        /// `merge` is commutative: folding B into A gives the same record
+        /// as folding A into B.
+        #[test]
+        fn merge_commutes(a in obs_set(), b in obs_set()) {
+            let (da, db) = (observe_all(&a), observe_all(&b));
+            let mut ab = da;
+            ab.merge(&db);
+            let mut ba = db;
+            ba.merge(&da);
+            prop_assert_eq!(ab, ba);
+        }
+
+        /// `merge` is associative: (A ∪ B) ∪ C = A ∪ (B ∪ C), and both
+        /// equal observing the concatenated set directly.
+        #[test]
+        fn merge_associates(a in obs_set(), b in obs_set(), c in obs_set()) {
+            let (da, db, dc) = (observe_all(&a), observe_all(&b), observe_all(&c));
+            let mut left = da;
+            left.merge(&db);
+            left.merge(&dc);
+            let mut bc = db;
+            bc.merge(&dc);
+            let mut right = da;
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+            let all: Vec<_> = a.iter().chain(&b).chain(&c).cloned().collect();
+            prop_assert_eq!(left, observe_all(&all));
+        }
     }
 }

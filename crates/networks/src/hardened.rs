@@ -1,0 +1,506 @@
+//! Self-checking sorter hardening (concurrent error detection).
+//!
+//! The zero-one principle that proves every sorter in the paper correct
+//! also yields a near-free *runtime* checker: a binary sorter's output
+//! must be monotone (all zeros, then all ones), and monotonicity of an
+//! `n`-bit vector is checkable with `n − 1` comparator-grade gate pairs.
+//! [`harden`] wraps any binary sorter with that checker plus an
+//! input-conservation (popcount) check — a sorter permutes its input, so
+//! the output's token count must equal the input's — and optionally a
+//! full duplicate-and-compare copy. The checks are OR-ed onto a single
+//! **error rail** appended after the data outputs; the data outputs
+//! themselves are untouched, so a hardened sorter drops into any socket
+//! the original fits.
+//!
+//! What the rail can and cannot see:
+//!
+//! * an internal fault that disorders an output or destroys/creates a
+//!   token fires the rail on the same input that exposes it — this is
+//!   exactly the offline oracle condition, evaluated in hardware;
+//! * a fault on a *primary input pin* is invisible in principle: the
+//!   checker observes the already-faulted input, which is just a
+//!   different (valid) sorting problem. No concurrent checker placed
+//!   after the pins can flag it; campaigns report those separately.
+//!
+//! [`streaming_sorter`] applies the same idea to the paper's Model B
+//! resource sharing: a `lg k`-bit counter steers an `(n, n/k)` group
+//! multiplexer into **one** shared `n/k`-input mux-merge sorter, sorting
+//! one group per cycle — `k` cycles stream out a k-sorted sequence ready
+//! for a combinational k-merger. The optional rail rides along as an
+//! extra external output checked every cycle.
+
+use absort_blocks::mux::group_multiplexer;
+use absort_blocks::popcount::popcount;
+use absort_circuit::clocked::ClockedCircuit;
+use absort_circuit::{assert_pow2, Builder, Circuit, Wire, WireFault};
+use absort_core::muxmerge;
+
+/// Which concurrent checks [`harden`] wires onto the error rail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardenOptions {
+    /// Monotonicity (zero-one) check over the data outputs: `n − 1`
+    /// adjacent-pair stages plus an OR rail.
+    pub monotonicity: bool,
+    /// Input-conservation check: `popcount(outputs) == popcount(inputs)`,
+    /// reusing the prefix popcount block.
+    pub conservation: bool,
+    /// Duplicate-and-compare: a second copy of the whole sorter on the
+    /// same inputs, with any output mismatch raising the rail. Costly
+    /// (doubles the core) but catches faults the cheap checks mask.
+    pub duplicate: bool,
+}
+
+impl Default for HardenOptions {
+    fn default() -> Self {
+        HardenOptions {
+            monotonicity: true,
+            conservation: true,
+            duplicate: false,
+        }
+    }
+}
+
+/// A sorter wrapped with concurrent checkers by [`harden`].
+///
+/// The wrapped circuit's outputs are the base sorter's `n_data` outputs
+/// in order, followed by the error rail at index `n_data`. The maps
+/// translate fault sites enumerated on the *base* netlist into this one,
+/// so a campaign can inject exactly the base circuit's fault universe —
+/// no checker-cone sites — and still read the rail.
+pub struct HardenedSorter {
+    /// The self-checking circuit: `n_data + 1` outputs, rail last.
+    pub circuit: Circuit,
+    /// `wire_map[w]` is the hardened wire carrying base wire `w`.
+    pub wire_map: Vec<Wire>,
+    /// Base component `ci` lives at `comp_base + ci` in the hardened
+    /// netlist.
+    pub comp_base: usize,
+    /// Number of data outputs (the base sorter's output count).
+    pub n_data: usize,
+}
+
+impl HardenedSorter {
+    /// Output index of the error rail.
+    pub fn rail_index(&self) -> usize {
+        self.n_data
+    }
+
+    /// Translates a base-circuit wire into the hardened netlist.
+    pub fn wire(&self, w: Wire) -> Wire {
+        self.wire_map[w.index()]
+    }
+
+    /// Translates a base-circuit component index into the hardened
+    /// netlist.
+    pub fn component(&self, ci: usize) -> usize {
+        self.comp_base + ci
+    }
+
+    /// Translates a base-circuit [`WireFault`] into the hardened netlist.
+    pub fn fault(&self, f: WireFault) -> WireFault {
+        match f {
+            WireFault::StuckAt { wire, value } => WireFault::StuckAt {
+                wire: self.wire(wire),
+                value,
+            },
+            WireFault::BridgeOr { a, b } => WireFault::BridgeOr {
+                a: self.wire(a),
+                b: self.wire(b),
+            },
+            WireFault::TransientFlip { wire, vector } => WireFault::TransientFlip {
+                wire: self.wire(wire),
+                vector,
+            },
+        }
+    }
+}
+
+/// OR-reduces `wires` onto one rail (constant 0 when empty).
+fn or_tree(b: &mut Builder, wires: &[Wire]) -> Wire {
+    match wires {
+        [] => b.constant(false),
+        [w] => *w,
+        _ => {
+            let mid = wires.len() / 2;
+            let lo = or_tree(b, &wires[..mid]);
+            let hi = or_tree(b, &wires[mid..]);
+            b.or(lo, hi)
+        }
+    }
+}
+
+/// Monotonicity violations of `outs` (ascending zero-one order): one
+/// wire per adjacent pair, high when `outs[i] > outs[i+1]`.
+fn mono_violations(b: &mut Builder, outs: &[Wire]) -> Vec<Wire> {
+    outs.windows(2)
+        .map(|w| {
+            let not_next = b.not(w[1]);
+            b.and(w[0], not_next)
+        })
+        .collect()
+}
+
+/// Popcount-equality mismatch: high when the two buses' token counts
+/// differ. Both buses must have the same power-of-two width.
+fn conservation_mismatch(b: &mut Builder, ins: &[Wire], outs: &[Wire]) -> Wire {
+    let cin = popcount(b, ins);
+    let cout = popcount(b, outs);
+    let diffs: Vec<Wire> = cin.iter().zip(&cout).map(|(&x, &y)| b.xor(x, y)).collect();
+    or_tree(b, &diffs)
+}
+
+/// Wraps `base` (a binary sorter: equal input and output counts, power
+/// of two) with the concurrent checks selected in `opts`. At least one
+/// check must be enabled.
+pub fn harden(base: &Circuit, opts: &HardenOptions) -> HardenedSorter {
+    assert!(
+        opts.monotonicity || opts.conservation || opts.duplicate,
+        "harden: at least one check must be enabled"
+    );
+    let n = base.n_inputs();
+    assert_eq!(
+        n,
+        base.n_outputs(),
+        "harden wraps sorters: input and output counts must match"
+    );
+    assert_pow2(n, "harden");
+
+    let mut b = Builder::new();
+    let ins = b.input_bus(n);
+    b.push_scope("core");
+    let (wire_map, comp_base) = b.append_circuit(base, &ins);
+    b.pop_scope();
+    let data: Vec<Wire> = (0..n)
+        .map(|i| wire_map[base.output_wire(i).index()])
+        .collect();
+
+    let mut alarms: Vec<Wire> = Vec::new();
+    b.push_scope("checker");
+    if opts.monotonicity {
+        let mut v = b.scoped("mono", |b| mono_violations(b, &data));
+        alarms.append(&mut v);
+    }
+    if opts.conservation {
+        let m = b.scoped("conservation", |b| conservation_mismatch(b, &ins, &data));
+        alarms.push(m);
+    }
+    if opts.duplicate {
+        let mism = b.scoped("duplicate", |b| {
+            let (dup_map, _) = b.append_circuit(base, &ins);
+            let diffs: Vec<Wire> = (0..n)
+                .map(|i| {
+                    let d = dup_map[base.output_wire(i).index()];
+                    b.xor(data[i], d)
+                })
+                .collect();
+            or_tree(b, &diffs)
+        });
+        alarms.push(mism);
+    }
+    let rail = or_tree(&mut b, &alarms);
+    b.pop_scope();
+
+    let mut outs = data;
+    outs.push(rail);
+    b.outputs(&outs);
+
+    HardenedSorter {
+        circuit: b.finish(),
+        wire_map,
+        comp_base,
+        n_data: n,
+    }
+}
+
+/// A Model B time-multiplexed sorter built by [`streaming_sorter`].
+pub struct StreamingSorter {
+    /// The clocked machine. External inputs: the full `n` lines (held
+    /// stable by the source for `k` cycles). External outputs: the sorted
+    /// group of `n/k` lines for this cycle, then the error rail when
+    /// `has_rail`.
+    pub machine: ClockedCircuit,
+    /// Number of groups (one sorted per cycle).
+    pub k: usize,
+    /// Group width `n/k`.
+    pub group: usize,
+    /// Whether the rail output is present (ext output index `group`).
+    pub has_rail: bool,
+}
+
+/// Builds the paper's Model B shared-sorter streamer: a `lg k`-bit
+/// counter register steers an `(n, n/k)` group multiplexer into one
+/// shared `n/k`-input mux-merge sorter. Cycle `c` presents group
+/// `c mod k` sorted at the external outputs; after `k` cycles the
+/// concatenated stream is a k-sorted sequence (Definition 4), ready for
+/// the combinational k-merger back end.
+///
+/// With `opts` set, the per-cycle checks of [`harden`] guard the shared
+/// sorter (monotonicity of the sorted group; conservation against the
+/// *selected* group, i.e. the multiplexer's output; duplicate-and-compare
+/// of the shared sorter) and the rail is exported as one extra external
+/// output checked every cycle.
+pub fn streaming_sorter(n: usize, k: usize, opts: Option<&HardenOptions>) -> StreamingSorter {
+    assert!(
+        k >= 2 && k.is_power_of_two() && n % k == 0,
+        "streaming_sorter: k must be a power of two ≥ 2 dividing n"
+    );
+    let group = n / k;
+    assert_pow2(group, "streaming_sorter group width");
+    if let Some(o) = opts {
+        assert!(
+            o.monotonicity || o.conservation || o.duplicate,
+            "streaming_sorter: at least one check must be enabled"
+        );
+    }
+    let kbits = k.trailing_zeros() as usize;
+
+    let mut b = Builder::new();
+    let lines = b.input_bus(n);
+    let state = b.input_bus(kbits); // counter register (little-endian)
+    let sel_msb_first: Vec<_> = state.iter().rev().copied().collect();
+    let selected = b.scoped("stream/mux", |b| {
+        group_multiplexer(b, &sel_msb_first, &lines, group)
+    });
+
+    let sorter = muxmerge::build(group);
+    b.push_scope("stream/sorter");
+    let (map, _) = b.append_circuit(&sorter, &selected);
+    b.pop_scope();
+    let sorted: Vec<Wire> = (0..group)
+        .map(|i| map[sorter.output_wire(i).index()])
+        .collect();
+
+    let rail = opts.map(|o| {
+        let mut alarms: Vec<Wire> = Vec::new();
+        b.push_scope("checker");
+        if o.monotonicity {
+            let mut v = b.scoped("mono", |b| mono_violations(b, &sorted));
+            alarms.append(&mut v);
+        }
+        if o.conservation {
+            let m = b.scoped("conservation", |b| {
+                conservation_mismatch(b, &selected, &sorted)
+            });
+            alarms.push(m);
+        }
+        if o.duplicate {
+            let m = b.scoped("duplicate", |b| {
+                let (dup_map, _) = b.append_circuit(&sorter, &selected);
+                let diffs: Vec<Wire> = (0..group)
+                    .map(|i| {
+                        let d = dup_map[sorter.output_wire(i).index()];
+                        b.xor(sorted[i], d)
+                    })
+                    .collect();
+                or_tree(b, &diffs)
+            });
+            alarms.push(m);
+        }
+        let rail = or_tree(&mut b, &alarms);
+        b.pop_scope();
+        rail
+    });
+
+    // counter increment (ripple)
+    let mut carry = b.constant(true);
+    let mut next = Vec::with_capacity(kbits);
+    for &s in &state {
+        let sum = b.xor(s, carry);
+        carry = b.and(s, carry);
+        next.push(sum);
+    }
+
+    let mut outs = sorted;
+    if let Some(r) = rail {
+        outs.push(r);
+    }
+    let n_ext_out = outs.len();
+    outs.extend(next);
+    b.outputs(&outs);
+
+    StreamingSorter {
+        machine: ClockedCircuit::new(b.finish(), n, n_ext_out, vec![false; kbits]),
+        k,
+        group,
+        has_rail: opts.is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absort_circuit::faulty::FaultyEvaluator;
+    use absort_core::lang;
+
+    fn eval_hardened(h: &HardenedSorter, input: &[bool]) -> (Vec<bool>, bool) {
+        let out = h.circuit.eval(input);
+        (out[..h.n_data].to_vec(), out[h.n_data])
+    }
+
+    #[test]
+    fn hardened_preserves_data_and_stays_quiet_fault_free() {
+        let base = muxmerge::build(8);
+        for opts in [
+            HardenOptions::default(),
+            HardenOptions {
+                duplicate: true,
+                ..Default::default()
+            },
+        ] {
+            let h = harden(&base, &opts);
+            assert_eq!(h.circuit.validate(), Ok(()));
+            assert_eq!(h.circuit.n_outputs(), 9);
+            for input in lang::all_sequences(8) {
+                let (data, rail) = eval_hardened(&h, &input);
+                assert_eq!(data, base.eval(&input), "data outputs must be untouched");
+                assert!(!rail, "rail must stay low fault-free on {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mono_check_fires_on_disordered_output() {
+        let base = muxmerge::build(4);
+        let h = harden(
+            &base,
+            &HardenOptions {
+                monotonicity: true,
+                conservation: false,
+                duplicate: false,
+            },
+        );
+        // stuck-at-1 on the base's first (minimum) output: input 0000
+        // comes out 1000 — disordered, the zero-one check must fire.
+        let fault = WireFault::StuckAt {
+            wire: h.wire(base.output_wire(0)),
+            value: true,
+        };
+        let mut ev: FaultyEvaluator<'_, bool> = FaultyEvaluator::new(&h.circuit, &[fault]);
+        let out = ev.run(&[false; 4]);
+        assert!(out[0], "fault landed");
+        assert!(out[h.rail_index()], "rail must flag the disorder");
+    }
+
+    #[test]
+    fn conservation_catches_what_mono_misses() {
+        let base = muxmerge::build(4);
+        // stuck-at-1 on the *last* (maximum) output: 0000 → 0001, which
+        // is perfectly sorted — only token conservation can see it.
+        let site = |h: &HardenedSorter| WireFault::StuckAt {
+            wire: h.wire(base.output_wire(3)),
+            value: true,
+        };
+
+        let mono_only = harden(
+            &base,
+            &HardenOptions {
+                monotonicity: true,
+                conservation: false,
+                duplicate: false,
+            },
+        );
+        let mut ev: FaultyEvaluator<'_, bool> =
+            FaultyEvaluator::new(&mono_only.circuit, &[site(&mono_only)]);
+        let out = ev.run(&[false; 4]);
+        assert!(!out[mono_only.rail_index()], "sorted output: mono is blind");
+
+        let with_cons = harden(&base, &HardenOptions::default());
+        let mut ev: FaultyEvaluator<'_, bool> =
+            FaultyEvaluator::new(&with_cons.circuit, &[site(&with_cons)]);
+        let out = ev.run(&[false; 4]);
+        assert!(out[with_cons.rail_index()], "popcount mismatch must fire");
+    }
+
+    #[test]
+    fn duplicate_compare_flags_core_divergence() {
+        let base = muxmerge::build(4);
+        let h = harden(
+            &base,
+            &HardenOptions {
+                monotonicity: false,
+                conservation: false,
+                duplicate: true,
+            },
+        );
+        // Fault an internal wire of the *primary* copy only: the
+        // duplicate disagrees and the comparator fires on some input.
+        let fault = WireFault::StuckAt {
+            wire: h.wire(base.output_wire(1)),
+            value: true,
+        };
+        let mut fired = false;
+        for input in lang::all_sequences(4) {
+            let mut ev: FaultyEvaluator<'_, bool> = FaultyEvaluator::new(&h.circuit, &[fault]);
+            let out = ev.run(&input);
+            let clean = base.eval(&input);
+            if out[..4] != clean[..] {
+                assert!(out[h.rail_index()], "divergence unflagged on {input:?}");
+                fired = true;
+            }
+        }
+        assert!(fired, "the stuck output must diverge somewhere");
+    }
+
+    #[test]
+    fn input_pin_faults_are_invisible_by_principle() {
+        // A stuck primary input is just a different valid sorting
+        // problem to the checker: data sorted, tokens conserved w.r.t.
+        // what the checker saw. The rail must stay low even though the
+        // output differs from the true input's sort.
+        let base = muxmerge::build(4);
+        let h = harden(&base, &HardenOptions::default());
+        let fault = WireFault::StuckAt {
+            wire: h.circuit.input_wire(0),
+            value: true,
+        };
+        for input in lang::all_sequences(4) {
+            let mut ev: FaultyEvaluator<'_, bool> = FaultyEvaluator::new(&h.circuit, &[fault]);
+            let out = ev.run(&input);
+            assert!(!out[h.rail_index()], "input-pin fault flagged on {input:?}");
+        }
+    }
+
+    #[test]
+    fn checker_cost_is_attributed_and_modest() {
+        let base = muxmerge::build(8);
+        let h = harden(&base, &HardenOptions::default());
+        let total = h.circuit.cost().total;
+        let checker = h.circuit.cost_of_scope("checker").unwrap().total;
+        let core = h.circuit.cost_of_scope("core").unwrap().total;
+        assert_eq!(core, base.cost().total);
+        assert_eq!(total, core + checker);
+        // The checker is Θ(n): a mono rail (~2n) plus two popcounts
+        // (≤ 9n each) plus the comparison — audit the constant so it
+        // stays asymptotically cheaper than any Θ(n lg n) sorter body.
+        for exp in [3u32, 4, 5, 6] {
+            let n = 1usize << exp;
+            let hb = harden(&muxmerge::build(n), &HardenOptions::default());
+            let checker = hb.circuit.cost_of_scope("checker").unwrap().total;
+            assert!(checker <= 22 * n as u64, "n={n}: checker cost {checker}");
+        }
+    }
+
+    #[test]
+    fn streaming_sorter_streams_sorted_groups() {
+        let (n, k) = (16usize, 4usize);
+        let s = streaming_sorter(n, k, Some(&HardenOptions::default()));
+        assert_eq!(s.machine.n_inputs(), n);
+        assert_eq!(s.machine.n_outputs(), n / k + 1);
+        let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let mut sim = s.machine.power_on();
+        let mut streamed = Vec::new();
+        for cycle in 0..k {
+            let out = sim.step(&bits);
+            assert!(!out[s.group], "rail low fault-free at cycle {cycle}");
+            streamed.extend_from_slice(&out[..s.group]);
+        }
+        let expect: Vec<bool> = bits.chunks(n / k).flat_map(muxmerge::sort).collect();
+        assert_eq!(streamed, expect);
+        assert!(lang::is_k_sorted(&streamed, k));
+
+        // bare machine: no rail output
+        let bare = streaming_sorter(n, k, None);
+        assert_eq!(bare.machine.n_outputs(), n / k);
+        assert!(!bare.has_rail);
+    }
+}

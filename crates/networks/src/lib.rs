@@ -14,6 +14,10 @@
 //!   mux-merger sorter (circuit-switched);
 //! * [`benes`] — the Beneš rearrangeable network with the classical
 //!   looping routing algorithm, the Table II baseline;
+//! * [`hardened`] — self-checking wrappers: the zero-one principle turned
+//!   into a runtime monotonicity checker (plus popcount conservation and
+//!   optional duplicate-and-compare), and the Model B shared-sorter
+//!   streamer with the same rail checked every cycle;
 //! * [`word_sorter`] — a stable w-bit word sorter assembled from stable
 //!   binary split passes and the radix permuter (the "sequence of binary
 //!   sorting steps" decomposition of Section I, carried to completion).
@@ -24,6 +28,7 @@
 pub mod batcher_permuter;
 pub mod benes;
 pub mod concentrator;
+pub mod hardened;
 pub mod permuter;
 pub mod permuter_circuit;
 pub mod sparse_router;

@@ -59,6 +59,14 @@ impl Value {
         }
     }
 
+    /// The boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string value.
     pub fn as_str(&self) -> Option<&str> {
         match self {

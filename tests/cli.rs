@@ -218,14 +218,160 @@ fn faults_campaign_writes_report() {
         report
             .get("schema")
             .and_then(absort_telemetry::json::Value::as_str),
-        Some("absort-faults/v1")
+        Some("absort-faults/v2")
+    );
+    assert_eq!(
+        report
+            .get("truncated")
+            .and_then(absort_telemetry::json::Value::as_bool),
+        Some(false)
     );
     let networks = report
         .get("networks")
         .and_then(absort_telemetry::json::Value::as_arr)
         .expect("networks array");
     assert!(!networks.is_empty());
+    for net in networks {
+        assert!(net
+            .get("fault_set_size")
+            .and_then(absort_telemetry::json::Value::as_i64)
+            .is_some());
+        assert!(net
+            .get("concurrent_detection_rate")
+            .and_then(absort_telemetry::json::Value::as_f64)
+            .is_some());
+    }
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn faults_multi_and_clocked_flags_extend_the_campaign() {
+    let dir = std::env::temp_dir().join("absort_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("faults-multi-{}.json", std::process::id()));
+    let out = run(&[
+        "--network",
+        "prefix",
+        "--faults",
+        "--n",
+        "4",
+        "--multi",
+        "2",
+        "--clocked",
+        "--faults-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = stdout(&out);
+    assert!(s.contains("2-fault sets"), "{s}");
+    assert!(s.contains("mixed"), "{s}");
+    assert!(s.contains("fish-clocked"), "{s}");
+    assert!(s.contains("concurrent"), "{s}");
+
+    let text = std::fs::read_to_string(&path).expect("report file written");
+    let doc = absort_telemetry::json::parse(&text).expect("report is valid JSON");
+    let report = doc.get("faults").unwrap_or(&doc);
+    let networks = report
+        .get("networks")
+        .and_then(absort_telemetry::json::Value::as_arr)
+        .expect("networks array");
+    let sizes: Vec<i64> = networks
+        .iter()
+        .filter_map(|n| {
+            n.get("fault_set_size")
+                .and_then(absort_telemetry::json::Value::as_i64)
+        })
+        .collect();
+    assert_eq!(sizes, vec![1, 2, 1], "k=1 unit, k=2 unit, clocked unit");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn faults_timeout_truncates_and_resume_finishes() {
+    let dir = std::env::temp_dir().join(format!("absort_cli_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("checkpoint.json");
+    let first = dir.join("first.json");
+    let full = dir.join("full.json");
+    let base = [
+        "--network",
+        "prefix",
+        "--faults",
+        "--n",
+        "4",
+        "--multi",
+        "2",
+    ];
+
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend([
+        "--faults-timeout-secs",
+        "0",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--faults-out",
+        first.to_str().unwrap(),
+    ]);
+    let out = run(&args);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("truncated"), "{}", stdout(&out));
+    assert!(ckpt.exists(), "checkpoint must be written");
+
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend([
+        "--resume",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--faults-out",
+        full.to_str().unwrap(),
+    ]);
+    let out = run(&args);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!stdout(&out).contains("truncated"), "{}", stdout(&out));
+
+    let text = std::fs::read_to_string(&full).unwrap();
+    let doc = absort_telemetry::json::parse(&text).unwrap();
+    let report = doc.get("faults").unwrap_or(&doc);
+    assert_eq!(
+        report
+            .get("truncated")
+            .and_then(absort_telemetry::json::Value::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        report
+            .get("networks")
+            .and_then(absort_telemetry::json::Value::as_arr)
+            .map(|a| a.len()),
+        Some(2)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_flags_require_faults() {
+    for flags in [
+        vec!["--network", "prefix", "--multi", "2"],
+        vec!["--network", "prefix", "--clocked"],
+        vec!["--network", "prefix", "--resume"],
+    ] {
+        let out = run(&flags);
+        assert_eq!(out.status.code(), Some(2), "{flags:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("requires --faults"), "{flags:?}: {err}");
+    }
 }
 
 #[test]

@@ -10,10 +10,15 @@
 //! drive the rate below 1.0.
 
 use absort::analysis::faults::{
-    build_network, fish_k, run_campaign, run_network, CampaignConfig, NetworkSel,
+    build_network, fish_k, run_campaign, run_campaign_with, run_network, run_network_sets,
+    CampaignConfig, CampaignOptions, NetworkSel,
 };
-use absort::circuit::faulty::{observable_wires, permanent_fault_sites};
+use absort::circuit::eval::pack_lanes;
+use absort::circuit::faulty::{observable_wires, permanent_fault_sites, FaultyEvaluator};
+use absort::circuit::mutate::{self, Fault};
+use absort::circuit::{Circuit, Wire};
 use absort::faults::FaultKind;
+use absort::networks::hardened::{harden, HardenOptions};
 use absort_telemetry::json;
 
 use proptest::prelude::*;
@@ -68,7 +73,13 @@ fn campaign_report_json_carries_rates_and_degradation() {
     let doc = json::parse(&report.to_json().to_pretty()).expect("report serializes to valid JSON");
     assert_eq!(
         doc.get("schema").and_then(json::Value::as_str),
-        Some("absort-faults/v1")
+        Some("absort-faults/v2")
+    );
+    // v2 is a strict superset of v1: the new top-level and per-network
+    // fields ride alongside every v1 field, so v1 consumers keep working.
+    assert_eq!(
+        doc.get("truncated").and_then(json::Value::as_bool),
+        Some(false)
     );
     let networks = doc
         .get("networks")
@@ -81,13 +92,21 @@ fn campaign_report_json_carries_rates_and_degradation() {
                 .and_then(json::Value::as_f64),
             Some(1.0)
         );
+        assert_eq!(
+            net.get("fault_set_size").and_then(json::Value::as_i64),
+            Some(1)
+        );
+        assert!(net
+            .get("concurrent_detection_rate")
+            .and_then(json::Value::as_f64)
+            .is_some());
         let kinds = net
             .get("kinds")
             .and_then(json::Value::as_arr)
             .expect("kinds array");
         assert_eq!(kinds.len(), FaultKind::ALL.len());
         for row in kinds {
-            for field in ["injected", "detected", "masked"] {
+            for field in ["injected", "detected", "masked", "flagged"] {
                 assert!(
                     row.get(field).and_then(json::Value::as_i64).is_some(),
                     "kind row missing {field}"
@@ -100,6 +119,193 @@ fn campaign_report_json_carries_rates_and_degradation() {
                 .is_some());
         }
     }
+}
+
+/// Evaluates the hardened circuit against one translated fault over the
+/// packed workload and returns, per lane: did the data outputs differ
+/// from the oracle, and did the rail fire.
+fn rail_vs_oracle(
+    hardened: &absort::networks::hardened::HardenedSorter,
+    target: &Circuit,
+    fault: Option<absort::circuit::WireFault>,
+    packed: &[u64],
+    packed_oracle: &[u64],
+    mask: u64,
+) -> (u64, u64) {
+    let faults: Vec<_> = fault.into_iter().collect();
+    let mut ev: FaultyEvaluator<'_, u64> = FaultyEvaluator::new(target, &faults);
+    let mut out = vec![0u64; target.n_outputs()];
+    ev.run_into(packed, &mut out);
+    let mut differed = 0u64;
+    for (o, &oracle) in packed_oracle.iter().enumerate() {
+        differed |= (out[o] ^ oracle) & mask;
+    }
+    (differed, out[hardened.rail_index()] & mask)
+}
+
+#[test]
+fn hardened_fish_rail_catches_every_internal_permanent_fault_at_n8() {
+    // The acceptance bar for self-checking hardening: on the n = 8 fish
+    // merger, every permanent single fault *behind the input pins* that
+    // changes any data output is flagged by the concurrent error rail —
+    // and on exactly the vectors the offline oracle flags, because the
+    // rail computes the oracle's two conditions (zero-one monotonicity,
+    // token conservation) in hardware against unfaulted inputs.
+    // Input-pin faults are excluded by principle: the checker sees the
+    // faulted input, which is just a different valid sorting problem.
+    let n = 8;
+    let circuit = build_network(NetworkSel::Fish, n);
+    let hardened = harden(&circuit, &HardenOptions::default());
+    let vectors = absort::core::lang::all_k_sorted(n, fish_k(n));
+    let oracle: Vec<Vec<bool>> = vectors
+        .iter()
+        .map(|v| absort::core::lang::sorted_oracle(v))
+        .collect();
+    assert!(vectors.len() <= 64, "workload must fit one packed chunk");
+    let packed = pack_lanes(&vectors, n);
+    let packed_oracle = pack_lanes(&oracle, n);
+    let mask = (1u64 << vectors.len()) - 1;
+    let input_wires: std::collections::HashSet<Wire> = (0..circuit.n_inputs())
+        .map(|i| circuit.input_wire(i))
+        .collect();
+
+    // Wire-granularity permanent sites, primary input pins excluded.
+    let mut internal_sites = 0usize;
+    for site in permanent_fault_sites(&circuit, &vectors) {
+        let on_input = match site {
+            absort::circuit::WireFault::StuckAt { wire, .. } => input_wires.contains(&wire),
+            absort::circuit::WireFault::BridgeOr { a, b } => {
+                input_wires.contains(&a) || input_wires.contains(&b)
+            }
+            absort::circuit::WireFault::TransientFlip { .. } => unreachable!(),
+        };
+        if on_input {
+            continue;
+        }
+        internal_sites += 1;
+        let (differed, rail) = rail_vs_oracle(
+            &hardened,
+            &hardened.circuit,
+            Some(hardened.fault(site)),
+            &packed,
+            &packed_oracle,
+            mask,
+        );
+        assert_eq!(
+            rail, differed,
+            "site {site}: rail and oracle disagree on some vector"
+        );
+    }
+    assert!(internal_sites > 0, "no internal wire sites swept");
+
+    // Component mutants are internal by construction: same per-vector
+    // equivalence must hold for every rewrite kind.
+    let mut mutants_swept = 0usize;
+    for fault in Fault::ALL {
+        for (ci, _) in mutate::mutants(&circuit, fault) {
+            let hm = mutate::apply(&hardened.circuit, hardened.component(ci), fault)
+                .expect("base-applicable fault applies to the embedded copy");
+            mutants_swept += 1;
+            let (differed, rail) =
+                rail_vs_oracle(&hardened, &hm, None, &packed, &packed_oracle, mask);
+            assert_eq!(
+                rail, differed,
+                "mutant ({ci}, {fault:?}): rail and oracle disagree on some vector"
+            );
+        }
+    }
+    assert!(mutants_swept > 0, "no component mutants swept");
+
+    // And the campaign reports the same totality: for the netlist-rewrite
+    // kinds every offline-detected site is concurrently flagged.
+    let report = run_network(NetworkSel::Fish, &small_cfg(n));
+    for cell in &report.kinds {
+        if matches!(
+            cell.kind,
+            Some(FaultKind::InvertBehaviour)
+                | Some(FaultKind::StuckSelectLow)
+                | Some(FaultKind::StuckSelectHigh)
+        ) {
+            assert_eq!(cell.flagged, cell.detected, "{:?}", cell.kind);
+            assert_eq!(cell.concurrent_detection_rate(), 1.0, "{:?}", cell.kind);
+        }
+    }
+}
+
+#[test]
+fn multi_fault_report_is_a_strict_superset_of_single_fault() {
+    // A --multi campaign starts with the exact single-fault unit (same
+    // seed, same sweep) and appends the k >= 2 units after it.
+    let cfg = small_cfg(4);
+    let single = run_campaign(&[NetworkSel::Prefix], &cfg);
+    let multi = run_campaign_with(
+        &[NetworkSel::Prefix],
+        &cfg,
+        &CampaignOptions {
+            multi: 2,
+            sets_per_k: 16,
+            ..CampaignOptions::default()
+        },
+    );
+    assert_eq!(multi.networks.len(), 2);
+    assert_eq!(
+        multi.networks[0].to_json().to_pretty(),
+        single.networks[0].to_json().to_pretty(),
+        "k=1 unit must be bit-for-bit the single-fault campaign"
+    );
+    assert_eq!(multi.networks[1].fault_set_size, 2);
+    assert_eq!(
+        multi.networks[1].to_json().to_pretty(),
+        run_network_sets(NetworkSel::Prefix, &cfg, 2, 16)
+            .to_json()
+            .to_pretty()
+    );
+}
+
+#[test]
+fn interrupted_campaign_resumes_into_identical_report() {
+    // Acceptance: a timeout-interrupted clocked campaign, resumed from
+    // its checkpoint, produces a report identical to an uninterrupted
+    // run. Duration::ZERO trips the deadline after the first unit (the
+    // driver guarantees at least one fresh unit per invocation).
+    let dir = std::env::temp_dir().join(format!("absort-ckpt-{}", std::process::id()));
+    let ckpt = dir.join("checkpoint.json");
+    let cfg = small_cfg(4);
+    let nets = [NetworkSel::Prefix, NetworkSel::Fish];
+    let base_opts = CampaignOptions {
+        multi: 2,
+        sets_per_k: 8,
+        clocked: true,
+        ..CampaignOptions::default()
+    };
+
+    let uninterrupted = run_campaign_with(&nets, &cfg, &base_opts);
+    assert_eq!(uninterrupted.networks.len(), 5); // 2 nets x k in {1,2} + clocked
+    assert!(!uninterrupted.truncated);
+
+    let mut opts = base_opts.clone();
+    opts.checkpoint = Some(ckpt.clone());
+    opts.timeout = Some(std::time::Duration::ZERO);
+    let first = run_campaign_with(&nets, &cfg, &opts);
+    assert!(first.truncated, "zero budget must truncate");
+    assert_eq!(first.networks.len(), 1, "one unit per run is guaranteed");
+
+    // Resume until done; each pass makes progress on a zero budget.
+    opts.resume = true;
+    let mut last = first;
+    for _ in 0..6 {
+        last = run_campaign_with(&nets, &cfg, &opts);
+        if !last.truncated {
+            break;
+        }
+    }
+    assert!(!last.truncated, "five resumes must finish five units");
+    assert_eq!(
+        last.to_json().to_pretty(),
+        uninterrupted.to_json().to_pretty(),
+        "resumed campaign must reproduce the uninterrupted report bit-for-bit"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
