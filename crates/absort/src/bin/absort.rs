@@ -10,7 +10,9 @@
 //! absort --network prefix --faults --faults-out report.json
 //! ```
 
-use absort::circuit::{dot, CompiledEvaluator, Engine, Evaluator};
+use absort::circuit::{
+    dot, CompileOptions, CompiledEvaluator, Engine, Evaluator, OptLevel, PassSet,
+};
 use absort::core::{lang, muxmerge, nonadaptive, prefix, SorterKind};
 use absort::networks::concentrator::Concentrator;
 use absort::networks::permuter::RadixPermuter;
@@ -51,6 +53,17 @@ fn usage() -> ! {
                                  sweep drivers (default: compiled — the\n\
                                  netlist is lowered once to a register-\n\
                                  allocated micro-op tape)\n\
+           --opt-level <0|1|2>   compiled-engine optimization tier\n\
+                                 (default 2: every pass; 1 matches the\n\
+                                 pre-pipeline compiler; 0 is bare lowering)\n\
+           --passes <list>       explicit comma-separated pass list for the\n\
+                                 compiled engine, overriding --opt-level\n\
+                                 (const-prologue, const-prop, cse, dce,\n\
+                                 mask-reuse; \"none\" disables all)\n\
+           --harden-duplicate    add duplicate-and-compare to the fault\n\
+                                 campaign's self-checking wrapper; the\n\
+                                 summary prices the extra hardware next to\n\
+                                 the coverage it buys (requires --faults)\n\
            --metrics             record spans/counters; print a telemetry\n\
                                  report to stderr and write a JSON run\n\
                                  manifest under results/metrics/\n\
@@ -85,6 +98,19 @@ fn flag_error(flag: &str, got: Option<&String>) -> ! {
     usage();
 }
 
+/// [`flag_error`] for enumerated flags: names every valid value, so a
+/// typo'd enum member is answered with the actual menu.
+fn enum_flag_error(flag: &str, got: Option<&String>, valid: &str) -> ! {
+    match got {
+        Some(v) => eprintln!("error: invalid value {v:?} for {flag} (valid: {valid})\n"),
+        None => eprintln!("error: {flag} requires a value (valid: {valid})\n"),
+    }
+    usage();
+}
+
+/// Valid `--passes` tokens, quoted back at the user on a parse error.
+const VALID_PASSES: &str = "const-prologue, const-prop, cse, dce, mask-reuse, none";
+
 fn parse_kind(s: &str) -> SorterKind {
     match s {
         "prefix" => SorterKind::Prefix,
@@ -102,6 +128,8 @@ struct Args {
     n: Option<usize>,
     m: Option<usize>,
     engine: Engine,
+    opt: CompileOptions,
+    harden_duplicate: bool,
     metrics: bool,
     metrics_out: Option<String>,
     faults: bool,
@@ -120,6 +148,8 @@ fn parse_args(argv: &[String]) -> Args {
         n: None,
         m: None,
         engine: Engine::default(),
+        opt: CompileOptions::default(),
+        harden_duplicate: false,
         metrics: false,
         metrics_out: None,
         faults: false,
@@ -151,8 +181,26 @@ fn parse_args(argv: &[String]) -> Args {
                 let v = it.next();
                 a.engine = v
                     .and_then(|v| Engine::parse(v))
-                    .unwrap_or_else(|| flag_error("--engine", v));
+                    .unwrap_or_else(|| enum_flag_error("--engine", v, Engine::VALID));
             }
+            "--opt-level" => {
+                let v = it.next();
+                let level = v
+                    .and_then(|v| OptLevel::parse(v))
+                    .unwrap_or_else(|| enum_flag_error("--opt-level", v, "0, 1, 2"));
+                a.opt.passes = level.passes();
+            }
+            "--passes" => {
+                let v = it.next();
+                let Some(v) = v else {
+                    enum_flag_error("--passes", None, VALID_PASSES)
+                };
+                match PassSet::parse_list(v) {
+                    Ok(set) => a.opt.passes = set,
+                    Err(tok) => enum_flag_error("--passes", Some(&tok), VALID_PASSES),
+                }
+            }
+            "--harden-duplicate" => a.harden_duplicate = true,
             "--metrics" => a.metrics = true,
             "--metrics-out" => {
                 a.metrics = true;
@@ -205,6 +253,7 @@ fn parse_args(argv: &[String]) -> Args {
         usage();
     }
     let campaign_only = [
+        (a.harden_duplicate, "--harden-duplicate"),
         (a.multi.is_some(), "--multi"),
         (a.clocked, "--clocked"),
         (a.checkpoint.is_some(), "--checkpoint"),
@@ -364,6 +413,24 @@ fn cmd_inspect(a: &Args) {
     );
     println!("hardware profile:");
     print!("{}", c.scope_report(3));
+    let cc = c.compile_with(&a.opt);
+    println!("compiled tape (passes: {}):", a.opt.passes.fingerprint());
+    for s in cc.pass_stats() {
+        println!(
+            "  {:<14} {:>6} -> {:>6} ops  (-{})",
+            s.name,
+            s.ops_before,
+            s.ops_after,
+            s.removed()
+        );
+    }
+    println!(
+        "  tape: {} ops, {} slots (vs {} wires, {:.1}% saved)",
+        cc.tape_len(),
+        cc.n_slots(),
+        c.n_wires(),
+        100.0 * cc.slots_saved() as f64 / c.n_wires() as f64
+    );
 }
 
 /// Sweeps all `2^n` inputs through `pass` in packed 64-lane groups
@@ -430,7 +497,7 @@ fn cmd_verify(a: &Args) {
         let c = build_circuit(&a.network, n);
         match a.engine {
             Engine::Compiled => {
-                let cc = c.compile();
+                let cc = c.compile_with(&a.opt);
                 let mut ev: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(&cc);
                 verify_sweep(n, |p, o| ev.run_into(p, o))
             }
@@ -548,6 +615,11 @@ fn cmd_faults(a: &Args) {
     let cfg = fc::CampaignConfig {
         n,
         engine: a.engine,
+        opt: a.opt,
+        harden: absort::networks::hardened::HardenOptions {
+            duplicate: a.harden_duplicate,
+            ..Default::default()
+        },
         ..Default::default()
     };
     // --resume implies a checkpoint; default its path so "interrupt, then
@@ -595,6 +667,22 @@ fn cmd_faults(a: &Args) {
             "  permanent-fault detection rate: {:.3}   concurrent (error-rail): {:.3}",
             net.permanent_detection_rate(),
             net.concurrent_detection_rate()
+        );
+        // The hardening trade in one row: what the checker hardware
+        // costs against the concurrent coverage it buys.
+        let overhead = net.hardened_cost.saturating_sub(net.base_cost);
+        println!(
+            "  hardening: base cost {}  hardened {}  overhead {} units ({:.1}%)  \
+             concurrent coverage {:.3}",
+            net.base_cost,
+            net.hardened_cost,
+            overhead,
+            if net.base_cost == 0 {
+                0.0
+            } else {
+                100.0 * overhead as f64 / net.base_cost as f64
+            },
+            net.concurrent_detection_rate(),
         );
     }
     if report.truncated {

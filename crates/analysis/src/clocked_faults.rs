@@ -39,7 +39,7 @@ use absort_circuit::mutate::{self, Fault};
 use absort_circuit::{Circuit, EvalError, WireFault};
 use absort_core::{fish, lang};
 use absort_faults::{Degradation, FaultKind, KindReport, NetworkReport};
-use absort_networks::hardened::{streaming_sorter, HardenOptions, StreamingSorter};
+use absort_networks::hardened::{streaming_sorter, StreamingSorter};
 use rand::prelude::*;
 
 use crate::faults::{fish_k, fnv1a, CampaignConfig};
@@ -85,7 +85,7 @@ impl AnySim<'_> {
 fn harness(cfg: &CampaignConfig) -> Harness {
     let n = cfg.n;
     let k = fish_k(n);
-    let streamer = streaming_sorter(n, k, Some(&HardenOptions::default()));
+    let streamer = streaming_sorter(n, k, Some(&cfg.harden));
     assert!(streamer.has_rail, "clocked campaign needs the error rail");
     let merger = fish::circuits::build_combinational_kmerger(n, k);
 
@@ -320,10 +320,16 @@ pub fn run_clocked_fish(cfg: &CampaignConfig) -> NetworkReport {
     #[cfg(not(feature = "telemetry"))]
     let _ = total_cycles;
 
+    // The cost columns price the checker: the bare (unhardened)
+    // streamer core against the self-checking one actually swept.
+    let bare_cost = streaming_sorter(cfg.n, k, None).machine.comb().cost().total;
+
     NetworkReport {
         network: CLOCKED_NETWORK.to_owned(),
         n: cfg.n,
         components: comb.n_components() as u64,
+        base_cost: bare_cost,
+        hardened_cost: comb.cost().total,
         tier: h.tier.to_owned(),
         vectors: h.schedules.len() as u64,
         fault_set_size: 1,

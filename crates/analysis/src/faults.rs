@@ -49,8 +49,8 @@ use absort_circuit::eval::{pack_lanes, pack_lanes_wide};
 use absort_circuit::faulty::{observable_wires, permanent_fault_sites, FaultyEvaluator};
 use absort_circuit::mutate::{self, Fault};
 use absort_circuit::{
-    Circuit, CompiledCircuit, CompiledEvaluator, Engine, Evaluator, MultiMutantTape, MutantTape,
-    WireFault,
+    Circuit, CompileOptions, CompiledCircuit, CompiledEvaluator, Engine, Evaluator,
+    MultiMutantTape, MutantTape, WireFault,
 };
 use absort_core::{fish, lang, muxmerge, nonadaptive, prefix};
 use absort_faults::json;
@@ -122,6 +122,16 @@ pub struct CampaignConfig {
     /// always run on the interpreting [`FaultyEvaluator`] — the compiled
     /// tape reuses slots and has no per-wire identity to inject into.
     pub engine: Engine,
+    /// Compilation options for every tape the compiled engine builds
+    /// (base, patched fallbacks, per-mutant recompiles). The pass
+    /// pipeline's provenance contract guarantees report cells are
+    /// bit-identical across opt levels; only the sweep speed changes.
+    pub opt: CompileOptions,
+    /// Which concurrent checks the self-checking wrapper carries. The
+    /// default (monotonicity + conservation) matches the paper's cheap
+    /// checker; enabling `duplicate` doubles the core for higher
+    /// coverage, and the report's cost columns price the trade.
+    pub harden: HardenOptions,
 }
 
 impl Default for CampaignConfig {
@@ -132,6 +142,8 @@ impl Default for CampaignConfig {
             max_exhaustive: 1 << 12,
             transient_samples: 64,
             engine: Engine::Compiled,
+            opt: CompileOptions::default(),
+            harden: HardenOptions::default(),
         }
     }
 }
@@ -445,7 +457,7 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
     circuit
         .validate()
         .unwrap_or_else(|e| panic!("{} netlist failed validation: {e}", sel.name()));
-    let hardened = harden(&circuit, &HardenOptions::default());
+    let hardened = harden(&circuit, &cfg.harden);
     let n_eval = hardened.circuit.n_outputs();
     let rail = hardened.rail_index();
     let w = workload(sel, cfg);
@@ -456,7 +468,7 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
     // in-place tape patch instead of a full per-mutant lowering (the
     // dominant cost of compiled campaigns at small `n`).
     let mut base_cc = match cfg.engine {
-        Engine::Compiled => Some(hardened.circuit.compile()),
+        Engine::Compiled => Some(hardened.circuit.compile_with(&cfg.opt)),
         Engine::Interp => None,
     };
 
@@ -500,7 +512,7 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
                     MutantTape::Dead => CLEAN,
                     MutantTape::Unsupported => {
                         let hm = hardened_mutant(&hardened, hci, fault);
-                        let cc = hm.compile();
+                        let cc = hm.compile_with(&cfg.opt);
                         let mut ev: CompiledEvaluator<'_, [u64; 4]> = CompiledEvaluator::new(&cc);
                         score_variant_wide(
                             &w,
@@ -604,6 +616,8 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
         network: sel.name().to_owned(),
         n: cfg.n,
         components: circuit.n_components() as u64,
+        base_cost: circuit.cost().total,
+        hardened_cost: hardened.circuit.cost().total,
         tier: w.tier.to_owned(),
         vectors: w.vectors.len() as u64,
         fault_set_size: 1,
@@ -697,7 +711,7 @@ pub fn run_network_sets(
     circuit
         .validate()
         .unwrap_or_else(|e| panic!("{} netlist failed validation: {e}", sel.name()));
-    let hardened = harden(&circuit, &HardenOptions::default());
+    let hardened = harden(&circuit, &cfg.harden);
     let n_eval = hardened.circuit.n_outputs();
     let rail = hardened.rail_index();
     let w = workload(sel, cfg);
@@ -716,7 +730,7 @@ pub fn run_network_sets(
     }
 
     let mut base_cc = match cfg.engine {
-        Engine::Compiled => Some(hardened.circuit.compile()),
+        Engine::Compiled => Some(hardened.circuit.compile_with(&cfg.opt)),
         Engine::Interp => None,
     };
 
@@ -748,6 +762,7 @@ pub fn run_network_sets(
             rail,
             &hardened,
             &mut base_cc,
+            &cfg.opt,
             &patches,
             &wires,
             &mut cell.degradation,
@@ -762,6 +777,8 @@ pub fn run_network_sets(
         network: sel.name().to_owned(),
         n: cfg.n,
         components: circuit.n_components() as u64,
+        base_cost: circuit.cost().total,
+        hardened_cost: hardened.circuit.cost().total,
         tier: w.tier.to_owned(),
         vectors: w.vectors.len() as u64,
         fault_set_size: k as u64,
@@ -781,6 +798,7 @@ fn score_set(
     rail: usize,
     hardened: &HardenedSorter,
     base_cc: &mut Option<CompiledCircuit>,
+    opt: &CompileOptions,
     patches: &[(usize, Fault)],
     wires: &[WireFault],
     degradation: &mut Degradation,
@@ -796,7 +814,7 @@ fn score_set(
                 MultiMutantTape::Unsupported => {
                     let m = mutate::apply_set(&hardened.circuit, patches)
                         .expect("sampled distinct-site set must stay applicable");
-                    let cc = m.compile();
+                    let cc = m.compile_with(opt);
                     let mut ev: CompiledEvaluator<'_, [u64; 4]> = CompiledEvaluator::new(&cc);
                     score_variant_wide(w, n_eval, rail, |p, o| ev.run_into(p, o), degradation)
                 }
@@ -838,13 +856,29 @@ fn unit_key(u: Unit) -> (&'static str, u64) {
 /// across a parameter change would silently mix incompatible results.
 fn fingerprint(networks: &[NetworkSel], cfg: &CampaignConfig, opts: &CampaignOptions) -> String {
     let nets: Vec<&str> = networks.iter().map(|s| s.name()).collect();
+    // Hardening changes what circuit is swept (and the cost columns);
+    // the pass set provably does not change any report cell, but it is
+    // fingerprinted anyway so a resumed campaign replays the exact
+    // configuration of the run that wrote the checkpoint.
+    let harden = [
+        ("mono", cfg.harden.monotonicity),
+        ("cons", cfg.harden.conservation),
+        ("dup", cfg.harden.duplicate),
+    ]
+    .iter()
+    .filter(|(_, on)| *on)
+    .map(|(name, _)| *name)
+    .collect::<Vec<_>>()
+    .join("+");
     format!(
-        "absort-faults/v2|n={}|seed={:#x}|max_exhaustive={}|transients={}|engine={}|multi={}|sets={}|clocked={}|nets={}",
+        "absort-faults/v2|n={}|seed={:#x}|max_exhaustive={}|transients={}|engine={}|opt={}|harden={}|multi={}|sets={}|clocked={}|nets={}",
         cfg.n,
         cfg.seed,
         cfg.max_exhaustive,
         cfg.transient_samples,
         cfg.engine.name(),
+        cfg.opt.passes.fingerprint(),
+        harden,
         opts.multi,
         opts.sets_per_k,
         opts.clocked,

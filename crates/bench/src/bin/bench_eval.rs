@@ -19,7 +19,7 @@ use std::time::Instant;
 use absort_analysis::faults::{run_campaign, CampaignConfig, NetworkSel};
 use absort_bench::bench_bits;
 use absort_circuit::eval::{pack_lanes, pack_lanes_wide};
-use absort_circuit::{CompiledEvaluator, Engine, Evaluator};
+use absort_circuit::{CompileOptions, CompiledEvaluator, Engine, Evaluator, OptLevel};
 use absort_core::muxmerge;
 
 const REPS: usize = 3;
@@ -113,6 +113,49 @@ fn size_row(n: usize) -> String {
     let interp_par4_s = min_of(1, || circuit.eval_batch_parallel(&vectors, 4));
     let compiled_par4_s = min_of(1, || compiled.eval_batch_parallel(&vectors, 4));
 
+    // Per-opt-level rows: how much tape each pass tier actually buys,
+    // and what it costs at compile time and in the wide walk.
+    let opt_rows: Vec<String> = OptLevel::ALL
+        .into_iter()
+        .map(|level| {
+            let opts = CompileOptions::for_level(level);
+            let level_compile_s = min_of(20, || circuit.compile_with(&opts));
+            let cc = circuit.compile_with(&opts);
+            let mut ev: CompiledEvaluator<'_, [u64; 4]> = CompiledEvaluator::new(&cc);
+            let mut lout = vec![[0u64; 4]; n];
+            let level_wide_s = min_of(100, || {
+                ev.run_into(&wide, &mut lout);
+                lout[0][0]
+            });
+            eprintln!(
+                "  O{level}: {} ops / {} slots, compile {} ms, wide {} ms (passes: {})",
+                cc.tape_len(),
+                cc.n_slots(),
+                ms(level_compile_s),
+                ms(level_wide_s),
+                opts.passes.fingerprint(),
+            );
+            format!(
+                concat!(
+                    "        {{\n",
+                    "          \"level\": {level},\n",
+                    "          \"passes\": \"{passes}\",\n",
+                    "          \"compile_ms\": {compile},\n",
+                    "          \"tape_len\": {tape_len},\n",
+                    "          \"n_slots\": {n_slots},\n",
+                    "          \"compiled_wide_ms\": {cw}\n",
+                    "        }}"
+                ),
+                level = level,
+                passes = opts.passes.fingerprint(),
+                compile = ms(level_compile_s),
+                tape_len = cc.tape_len(),
+                n_slots = cc.n_slots(),
+                cw = ms(level_wide_s),
+            )
+        })
+        .collect();
+
     eprintln!(
         "n={n}: lanes64 interp {} ms -> compiled wide {} ms ({}x; u64-for-u64 {}x); \
          scalar {}x; compile {} ms, {} slots for {} wires",
@@ -144,7 +187,8 @@ fn size_row(n: usize) -> String {
             "      \"compiled_wide_ms\": {cw},\n",
             "      \"lanes_speedup\": {ls},\n",
             "      \"interp_par4_ms\": {ip},\n",
-            "      \"compiled_par4_ms\": {cp}\n",
+            "      \"compiled_par4_ms\": {cp},\n",
+            "      \"opt_levels\": [\n{opt_rows}\n      ]\n",
             "    }}"
         ),
         n = n,
@@ -163,6 +207,7 @@ fn size_row(n: usize) -> String {
         ls = ratio(interp_lanes_s, compiled_wide_s),
         ip = ms(interp_par4_s),
         cp = ms(compiled_par4_s),
+        opt_rows = opt_rows.join(",\n"),
     )
 }
 

@@ -206,11 +206,22 @@ impl Circuit {
     // ---- compilation -----------------------------------------------------
 
     /// Lowers the netlist to a register-allocated, levelized micro-op
-    /// tape (see [`crate::compile`]). A one-time cost that pays for
-    /// itself after a handful of passes: sweep drivers should compile
-    /// once and evaluate with a [`crate::CompiledEvaluator`].
+    /// tape (see [`crate::compile`]) at the default optimization level.
+    /// A one-time cost that pays for itself after a handful of passes:
+    /// sweep drivers should compile once and evaluate with a
+    /// [`crate::CompiledEvaluator`].
     pub fn compile(&self) -> crate::compile::CompiledCircuit {
         crate::compile::CompiledCircuit::compile(self)
+    }
+
+    /// [`Circuit::compile`] with an explicit pass set (see
+    /// [`crate::passes`] for the pipeline and
+    /// `CompileOptions::for_level` for the `--opt-level` tiers).
+    pub fn compile_with(
+        &self,
+        opts: &crate::passes::CompileOptions,
+    ) -> crate::compile::CompiledCircuit {
+        crate::compile::CompiledCircuit::compile_with(self, opts)
     }
 
     // ---- evaluation ------------------------------------------------------

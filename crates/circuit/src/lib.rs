@@ -43,9 +43,12 @@ pub mod dot;
 pub mod equiv;
 pub mod eval;
 pub mod faulty;
+pub mod ir;
 pub mod lane;
 pub mod mutate;
+pub mod passes;
 pub mod pipeline;
+pub mod regalloc;
 pub mod scope;
 pub mod serdes;
 pub mod stats;
@@ -60,6 +63,7 @@ pub use cost::{CostReport, KindCounts};
 pub use eval::{EvalError, Evaluator};
 pub use faulty::{FaultyEvaluator, WireFault};
 pub use lane::Lane;
+pub use passes::{CompileOptions, OptLevel, PassManager, PassName, PassSet, PassStats};
 pub use scope::{ScopeId, ScopeTree};
 pub use stats::Stats;
 pub use validate::ValidateError;

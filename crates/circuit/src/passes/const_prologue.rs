@@ -1,0 +1,42 @@
+//! Constant-prologue folding: deduplicate every constant op onto the
+//! two canonical `false`/`true` values created by lowering.
+//!
+//! This is the pass-pipeline form of the old monolithic compiler's
+//! "constants fold into the prologue" step. Constant wires carry no
+//! component provenance (they are not components), so this pass never
+//! touches the fate table.
+
+use crate::ir::{CompileIr, IrKind, ValId};
+use crate::passes::Pass;
+
+/// See the module docs.
+pub struct ConstPrologue;
+
+impl Pass for ConstPrologue {
+    fn name(&self) -> &'static str {
+        "const-prologue"
+    }
+
+    fn run(&self, ir: &mut CompileIr) {
+        let mut subst: Vec<ValId> = (0..ir.n_vals).collect();
+        let mut keep = vec![true; ir.ops.len()];
+        let mut canon: [Option<ValId>; 2] = [None, None];
+        for (i, op) in ir.ops.iter_mut().enumerate() {
+            op.kind.map_uses(|v| subst[v as usize]);
+            if let IrKind::Const { v } = op.kind {
+                let slot = &mut canon[usize::from(v)];
+                match *slot {
+                    None => *slot = Some(op.defs[0]),
+                    Some(c) => {
+                        subst[op.defs[0] as usize] = c;
+                        keep[i] = false;
+                    }
+                }
+            }
+        }
+        for o in &mut ir.outputs {
+            *o = subst[*o as usize];
+        }
+        ir.retain_ops(&keep);
+    }
+}

@@ -1,0 +1,113 @@
+//! Structural hashing / common-subexpression elimination.
+//!
+//! Sorting networks assembled from repeated merger blocks (and the
+//! self-checking wrappers around them) recompute identical functions of
+//! identical values — e.g. two control decoders fed the same select
+//! pair. One forward scan hashes every op by `(kind, operands)` —
+//! sorting the operand pair *in the key only* for commutative ops, so
+//! the surviving op's operand order (which fault patches rely on, e.g.
+//! the comparator's `InvertBehaviour` encoding) is never disturbed —
+//! and replaces later duplicates with the first occurrence.
+//!
+//! Provenance: merging two ops with distinct source components leaves
+//! the tape with one op standing for both. Patching it would fault both
+//! components at once, which no single-site netlist mutant does, so the
+//! survivor is flagged [`crate::ir::IrOp::shared`] and **both**
+//! components are marked [`crate::ir::CompFate::Folded`] — fault
+//! campaigns fall back to per-mutant recompiles for exactly those
+//! sites.
+
+use std::collections::HashMap;
+
+use crate::component::{GateOp, Perm4};
+use crate::ir::{CompileIr, IrKind, ValId};
+use crate::passes::Pass;
+
+/// Hash key of one op: the function it computes of its (substituted)
+/// operand values. Commutative operand pairs are stored sorted.
+#[derive(Hash, PartialEq, Eq)]
+enum Key {
+    Const(bool),
+    Not(ValId),
+    Gate(GateOp, ValId, ValId),
+    Mux(ValId, ValId, ValId),
+    Demux(ValId, ValId),
+    Switch2(ValId, ValId, ValId),
+    BitCompare(ValId, ValId),
+    Switch4(ValId, ValId, [ValId; 4], [Perm4; 4]),
+}
+
+fn sorted(a: ValId, b: ValId) -> (ValId, ValId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn key_of(kind: &IrKind) -> Key {
+    match *kind {
+        IrKind::Const { v } => Key::Const(v),
+        IrKind::Not { a } => Key::Not(a),
+        // Every two-input gate op is commutative.
+        IrKind::Gate { op, a, b } => {
+            let (a, b) = sorted(a, b);
+            Key::Gate(op, a, b)
+        }
+        IrKind::Mux { s, a1, a0 } => Key::Mux(s, a1, a0),
+        IrKind::Demux { s, x } => Key::Demux(s, x),
+        IrKind::Switch2 { s, a, b } => Key::Switch2(s, a, b),
+        IrKind::BitCompare { a, b } => {
+            let (a, b) = sorted(a, b);
+            Key::BitCompare(a, b)
+        }
+        IrKind::Switch4 { s1, s0, ins, perms } => Key::Switch4(s1, s0, ins, perms),
+    }
+}
+
+/// See the module docs.
+pub struct Cse;
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, ir: &mut CompileIr) {
+        let mut subst: Vec<ValId> = (0..ir.n_vals).collect();
+        let mut keep = vec![true; ir.ops.len()];
+        // Key → (op index, defs) of the first occurrence.
+        let mut seen: HashMap<Key, (usize, [ValId; 4])> = HashMap::new();
+        let mut folded: Vec<u32> = Vec::new();
+        let mut share: Vec<usize> = Vec::new();
+        for (i, op) in ir.ops.iter_mut().enumerate() {
+            op.kind.map_uses(|v| subst[v as usize]);
+            match seen.entry(key_of(&op.kind)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((i, op.defs));
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let (survivor, sdefs) = *e.get();
+                    for (k, &def) in op.defs().iter().enumerate() {
+                        subst[def as usize] = sdefs[k];
+                    }
+                    keep[i] = false;
+                    folded.push(op.comp);
+                    share.push(survivor);
+                }
+            }
+        }
+        for &si in &share {
+            let comp = ir.ops[si].comp;
+            ir.ops[si].shared = true;
+            ir.fold_comp(comp);
+        }
+        for comp in folded {
+            ir.fold_comp(comp);
+        }
+        for o in &mut ir.outputs {
+            *o = subst[*o as usize];
+        }
+        ir.retain_ops(&keep);
+    }
+}

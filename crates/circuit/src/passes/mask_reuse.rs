@@ -1,0 +1,38 @@
+//! Select-mask reuse between adjacent 4×4 switches (post-schedule).
+//!
+//! Consecutive switches of one swapper column share a control pair; the
+//! second can reuse the four select masks the first computed instead of
+//! recomputing them (`REUSE_MASKS` on the tape). In SSA form the
+//! criterion is simply *value identity* of the control pair: defs are
+//! always fresh values, so the preceding op can never clobber a control
+//! it shares with its successor, and regalloc keeps a value in one slot
+//! for its whole live range — which covers the old slot-level check
+//! exactly.
+//!
+//! Must run after [`crate::passes::schedule`]: adjacency is a property
+//! of the final tape order.
+
+use crate::ir::{CompileIr, IrKind};
+use crate::passes::Pass;
+
+/// See the module docs.
+pub struct MaskReuse;
+
+impl Pass for MaskReuse {
+    fn name(&self) -> &'static str {
+        "mask-reuse"
+    }
+
+    fn run(&self, ir: &mut CompileIr) {
+        for i in 1..ir.ops.len() {
+            let prev = match ir.ops[i - 1].kind {
+                IrKind::Switch4 { s1, s0, .. } => Some((s1, s0)),
+                _ => None,
+            };
+            let op = &mut ir.ops[i];
+            if let IrKind::Switch4 { s1, s0, .. } = op.kind {
+                op.reuse_masks = prev == Some((s1, s0));
+            }
+        }
+    }
+}

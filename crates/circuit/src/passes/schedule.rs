@@ -1,0 +1,30 @@
+//! The schedule stage (always on): levelize the IR and stable-sort ops
+//! so constants form the prologue and component ops are grouped by
+//! depth level — the layout regalloc turns into
+//! `CompiledCircuit::level_ranges`.
+//!
+//! Levels follow the paper's unit-depth convention: inputs and
+//! constants sit at level 0, and every op lands one past its deepest
+//! operand. A stable sort by level keeps the original topological
+//! order *within* each level, so defs still strictly precede uses.
+
+use crate::ir::{CompileIr, IrKind};
+
+/// Assigns [`crate::ir::IrOp::level`] and reorders `ir.ops` by level
+/// (stable). Constants get level 0 and sort to the front.
+pub fn schedule(ir: &mut CompileIr) {
+    let mut val_level = vec![0u32; ir.n_vals as usize];
+    for op in &mut ir.ops {
+        let mut m = 0u32;
+        op.kind.for_each_use(|v| m = m.max(val_level[v as usize]));
+        op.level = if matches!(op.kind, IrKind::Const { .. }) {
+            0
+        } else {
+            m + 1
+        };
+        for &d in op.defs() {
+            val_level[d as usize] = op.level;
+        }
+    }
+    ir.ops.sort_by_key(|op| op.level);
+}

@@ -296,6 +296,13 @@ pub struct NetworkReport {
     pub n: usize,
     /// Component count of the fault-free circuit.
     pub components: u64,
+    /// Cost (paper units) of the bare, unhardened circuit.
+    pub base_cost: u64,
+    /// Cost (paper units) of the self-checking wrapper actually swept —
+    /// the base core plus the enabled checker cones. The difference
+    /// `hardened_cost − base_cost` is the hardware price of concurrent
+    /// detection, reported next to the coverage it buys.
+    pub hardened_cost: u64,
     /// `"exhaustive"` or `"sampled"` — whether the checker enumerated
     /// every valid input or a random subset.
     pub tier: String,
@@ -352,6 +359,8 @@ impl NetworkReport {
             ("network", Value::Str(self.network.clone())),
             ("n", Value::Int(self.n as i64)),
             ("components", Value::Int(self.components as i64)),
+            ("base_cost", Value::Int(self.base_cost as i64)),
+            ("hardened_cost", Value::Int(self.hardened_cost as i64)),
             ("tier", Value::Str(self.tier.clone())),
             ("vectors", Value::Int(self.vectors as i64)),
             ("fault_set_size", Value::Int(self.fault_set_size as i64)),
@@ -377,6 +386,10 @@ impl NetworkReport {
             network: v.get("network")?.as_str()?.to_owned(),
             n: v.get("n")?.as_i64()? as usize,
             components: v.get("components")?.as_i64()? as u64,
+            // Cost columns arrived with the pass-pipeline refactor; v2
+            // reports written before it load as zero-cost.
+            base_cost: v.get("base_cost").and_then(Value::as_i64).unwrap_or(0) as u64,
+            hardened_cost: v.get("hardened_cost").and_then(Value::as_i64).unwrap_or(0) as u64,
             tier: v.get("tier")?.as_str()?.to_owned(),
             vectors: v.get("vectors")?.as_i64()? as u64,
             fault_set_size: v.get("fault_set_size").and_then(Value::as_i64).unwrap_or(1) as u64,
@@ -520,6 +533,8 @@ mod tests {
             network: "prefix".into(),
             n: 4,
             components: 1,
+            base_cost: 1,
+            hardened_cost: 2,
             tier: "exhaustive".into(),
             vectors: 16,
             fault_set_size: 1,
@@ -543,6 +558,8 @@ mod tests {
                 network: "prefix".into(),
                 n: 8,
                 components: 100,
+                base_cost: 120,
+                hardened_cost: 180,
                 tier: "exhaustive".into(),
                 vectors: 256,
                 fault_set_size: 2,

@@ -104,6 +104,174 @@ fn engine_rejects_unknown_value() {
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--engine"), "{err}");
+    // The error names the menu, not just the rejection.
+    assert!(err.contains("interp") && err.contains("compiled"), "{err}");
+}
+
+#[test]
+fn engine_parse_is_case_insensitive() {
+    for engine in ["INTERP", "Compiled", "interpreter", "COMPILE"] {
+        let out = run(&[
+            "verify",
+            "--network",
+            "mux-merger",
+            "--n",
+            "4",
+            "--engine",
+            engine,
+        ]);
+        assert!(out.status.success(), "{engine}");
+    }
+}
+
+#[test]
+fn opt_level_and_passes_steer_verify() {
+    for level in ["0", "1", "2", "O2", "o1"] {
+        let out = run(&[
+            "verify",
+            "--network",
+            "prefix",
+            "--n",
+            "8",
+            "--opt-level",
+            level,
+        ]);
+        assert!(out.status.success(), "--opt-level {level}");
+        assert!(stdout(&out).contains("verified: all 256 inputs"));
+    }
+    for passes in ["none", "cse,dce", "CSE, Const-Prop", "mask-reuse"] {
+        let out = run(&[
+            "verify",
+            "--network",
+            "prefix",
+            "--n",
+            "8",
+            "--passes",
+            passes,
+        ]);
+        assert!(out.status.success(), "--passes {passes}");
+        assert!(stdout(&out).contains("verified: all 256 inputs"));
+    }
+}
+
+#[test]
+fn opt_level_and_passes_reject_unknown_values_with_menus() {
+    let out = run(&[
+        "verify",
+        "--network",
+        "prefix",
+        "--n",
+        "8",
+        "--opt-level",
+        "9",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--opt-level") && err.contains("0, 1, 2"),
+        "{err}"
+    );
+
+    let out = run(&[
+        "verify",
+        "--network",
+        "prefix",
+        "--n",
+        "8",
+        "--passes",
+        "cse,warp",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--passes") && err.contains("\"warp\""),
+        "{err}"
+    );
+    assert!(
+        err.contains("const-prop") && err.contains("mask-reuse"),
+        "{err}"
+    );
+}
+
+#[test]
+fn inspect_reports_pass_stats() {
+    let out = run(&["inspect", "--network", "prefix", "--n", "16"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("compiled tape"), "{s}");
+    for pass in ["const-prologue", "const-prop", "cse", "dce", "mask-reuse"] {
+        assert!(s.contains(pass), "missing {pass} row: {s}");
+    }
+    assert!(s.contains("slots"), "{s}");
+
+    // O0 compiles without any optional pass rows.
+    let o0 = run(&[
+        "inspect",
+        "--network",
+        "prefix",
+        "--n",
+        "16",
+        "--opt-level",
+        "0",
+    ]);
+    assert!(o0.status.success());
+    let s = stdout(&o0);
+    assert!(s.contains("passes: -"), "{s}");
+    assert!(!s.contains("cse"), "{s}");
+}
+
+#[test]
+fn harden_duplicate_prices_the_trade_in_the_summary() {
+    let dir = std::env::temp_dir().join("absort_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("faults-dup-{}.json", std::process::id()));
+    let out = run(&[
+        "--network",
+        "mux-merger",
+        "--faults",
+        "--n",
+        "4",
+        "--harden-duplicate",
+        "--faults-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = stdout(&out);
+    assert!(s.contains("hardening: base cost"), "{s}");
+    assert!(s.contains("overhead"), "{s}");
+    assert!(s.contains("concurrent coverage"), "{s}");
+
+    // The report's cost columns reflect the doubled core.
+    let text = std::fs::read_to_string(&path).expect("report file written");
+    let doc = absort_telemetry::json::parse(&text).expect("valid JSON");
+    let report = doc.get("faults").unwrap_or(&doc);
+    let net = &report
+        .get("networks")
+        .and_then(absort_telemetry::json::Value::as_arr)
+        .expect("networks")[0];
+    let base = net
+        .get("base_cost")
+        .and_then(absort_telemetry::json::Value::as_i64)
+        .unwrap();
+    let hardened = net
+        .get("hardened_cost")
+        .and_then(absort_telemetry::json::Value::as_i64)
+        .unwrap();
+    assert!(
+        base > 0 && hardened >= 2 * base,
+        "base={base} hardened={hardened}"
+    );
+    std::fs::remove_file(&path).ok();
+
+    // And like every campaign tuner, it requires --faults.
+    let out = run(&["--network", "prefix", "--harden-duplicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("requires --faults"), "{err}");
 }
 
 #[test]

@@ -1,0 +1,203 @@
+//! Pass-pipeline acceptance tests.
+//!
+//! The compiled engine's optimization passes must be *invisible* in
+//! results: every network in the catalog, at every opt level and under
+//! every single-pass-disabled configuration, must evaluate exhaustively
+//! identically to the interpreter — and a whole fault campaign must
+//! produce a bit-identical report no matter which opt level compiled
+//! its tapes (the provenance contract: dead sites are genuinely
+//! unobservable, folded sites fall back to per-mutant recompiles).
+
+use absort::analysis::faults::{self as fc, fish_k, NetworkSel};
+use absort::circuit::{
+    Circuit, CompileOptions, CompiledEvaluator, Engine, Evaluator, OptLevel, PassName, PassSet,
+};
+use absort::core::{fish, muxmerge, nonadaptive, prefix};
+use absort::networks::hardened::{harden, HardenOptions};
+
+/// The network catalog at width `n` (fish needs `k ≤ n/k`, so it joins
+/// from `n = 4` up), plus the hardened wrappers campaigns actually
+/// sweep — the circuits where CSE and const-prop genuinely fire.
+fn catalog(n: usize) -> Vec<(String, Circuit)> {
+    let mut v = vec![
+        ("prefix".to_owned(), prefix::build(n)),
+        ("mux-merger".to_owned(), muxmerge::build(n)),
+        ("batcher".to_owned(), nonadaptive::build(n)),
+    ];
+    if n >= 4 {
+        v.push((
+            "fish".to_owned(),
+            fish::circuits::build_combinational_kmerger(n, fish_k(n)),
+        ));
+    }
+    let hardened: Vec<(String, Circuit)> = v
+        .iter()
+        .map(|(name, c)| {
+            let h = harden(
+                c,
+                &HardenOptions {
+                    duplicate: true,
+                    ..Default::default()
+                },
+            );
+            (format!("{name}+hardened"), h.circuit)
+        })
+        .collect();
+    v.extend(hardened);
+    v
+}
+
+/// Every pass configuration the sweep covers: the three tiers plus each
+/// "all passes except one" set (catches pass-order dependencies a tier
+/// sweep would miss).
+fn configurations() -> Vec<(String, PassSet)> {
+    let mut v: Vec<(String, PassSet)> = OptLevel::ALL
+        .into_iter()
+        .map(|l| (format!("O{l}"), l.passes()))
+        .collect();
+    for p in PassName::ALL {
+        v.push((format!("all-minus-{p}"), PassSet::ALL.without(p)));
+    }
+    v
+}
+
+/// Packs the 64 consecutive integers starting at `base` into lane words.
+fn pack_range(n: usize, base: u64, count: usize) -> Vec<u64> {
+    let mut packed = vec![0u64; n];
+    for lane in 0..count {
+        let x = base + lane as u64;
+        for (i, p) in packed.iter_mut().enumerate() {
+            *p |= (x >> i & 1) << lane;
+        }
+    }
+    packed
+}
+
+/// Exhaustive interpreter-vs-compiled equivalence for every catalog
+/// network under every pass configuration at n ≤ 8. Debug builds also
+/// run the per-pass IR differential check inside each compile.
+#[test]
+fn every_configuration_matches_interpreter_exhaustively() {
+    for n in [2usize, 4, 8] {
+        for (name, circuit) in catalog(n) {
+            let mut interp: Evaluator<'_, u64> = Evaluator::new(&circuit);
+            for (cfg_name, passes) in configurations() {
+                let opts = CompileOptions {
+                    passes,
+                    verify: true,
+                };
+                let compiled = circuit.compile_with(&opts);
+                let mut comp: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(&compiled);
+                let total = 1u64 << circuit.n_inputs();
+                let mut v = 0u64;
+                while v < total {
+                    let lanes = (total - v).min(64) as usize;
+                    let packed = pack_range(circuit.n_inputs(), v, lanes);
+                    let want = interp.run(&packed);
+                    let got = comp.run(&packed);
+                    assert_eq!(got, want, "{name} n={n} cfg={cfg_name} vectors at {v}");
+                    v += lanes as u64;
+                }
+            }
+        }
+    }
+}
+
+/// Optimization must shrink, never grow, the tape — and the default
+/// (O2) pipeline must show a measured reduction over O0 on the hardened
+/// catalog (CSE merges checker structure, const-prop folds the fish
+/// merger's constant padding).
+#[test]
+fn higher_opt_levels_never_grow_the_tape() {
+    let mut o2_won_somewhere = false;
+    for (name, circuit) in catalog(8) {
+        let lens: Vec<usize> = OptLevel::ALL
+            .into_iter()
+            .map(|l| {
+                circuit
+                    .compile_with(&CompileOptions::for_level(l))
+                    .tape_len()
+            })
+            .collect();
+        assert!(
+            lens[1] <= lens[0] && lens[2] <= lens[1],
+            "{name}: tape lengths not monotone across O0/O1/O2: {lens:?}"
+        );
+        if lens[2] < lens[1] {
+            o2_won_somewhere = true;
+        }
+    }
+    assert!(
+        o2_won_somewhere,
+        "CSE + const-prop must shrink some catalog tape beyond O1"
+    );
+}
+
+/// A fault campaign's report must be bit-identical across opt levels:
+/// the pass pipeline may only change how fast mutants are swept, never
+/// a single report cell.
+#[test]
+fn campaign_reports_identical_across_opt_levels() {
+    let nets = [NetworkSel::Prefix, NetworkSel::Fish];
+    let report_at = |level: OptLevel| {
+        let cfg = fc::CampaignConfig {
+            n: 4,
+            engine: Engine::Compiled,
+            opt: CompileOptions::for_level(level),
+            ..Default::default()
+        };
+        fc::run_campaign(&nets, &cfg).to_json().to_pretty()
+    };
+    let o0 = report_at(OptLevel::O0);
+    let o2 = report_at(OptLevel::O2);
+    assert_eq!(o0, o2, "O2 campaign report diverged from O0");
+    // And the duplicate-hardened wrapper — where CSE folds the whole
+    // duplicate core — must hold the same contract.
+    let dup_report = |level: OptLevel| {
+        let cfg = fc::CampaignConfig {
+            n: 4,
+            engine: Engine::Compiled,
+            opt: CompileOptions::for_level(level),
+            harden: HardenOptions {
+                duplicate: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        fc::run_network(NetworkSel::MuxMerger, &cfg)
+            .to_json()
+            .to_pretty()
+    };
+    assert_eq!(
+        dup_report(OptLevel::O0),
+        dup_report(OptLevel::O2),
+        "duplicate-hardened campaign diverged across opt levels"
+    );
+}
+
+/// The report's cost columns price the hardening trade: the wrapper
+/// always costs more than the base, and duplicate-and-compare more
+/// still.
+#[test]
+fn report_cost_columns_price_the_hardening() {
+    let cfg = fc::CampaignConfig {
+        n: 4,
+        ..Default::default()
+    };
+    let cheap = fc::run_network(NetworkSel::Prefix, &cfg);
+    assert!(cheap.base_cost > 0);
+    assert!(cheap.hardened_cost > cheap.base_cost);
+    let dup_cfg = fc::CampaignConfig {
+        harden: HardenOptions {
+            duplicate: true,
+            ..Default::default()
+        },
+        ..cfg
+    };
+    let dup = fc::run_network(NetworkSel::Prefix, &dup_cfg);
+    assert_eq!(dup.base_cost, cheap.base_cost);
+    assert!(
+        dup.hardened_cost >= cheap.hardened_cost + dup.base_cost,
+        "duplicate-and-compare must at least double the core"
+    );
+}
