@@ -28,8 +28,10 @@ fn usage() -> ! {
            route       --network <...> <dest0,dest1,...>\n\
                        route a permutation through the radix permuter\n\
            concentrate --m <m> <pattern>   ('.' = idle, any other char = packet)\n\
-           inspect     --network <...> --n <size>\n\
-                       print cost/depth and the hardware profile\n\
+           inspect     --network <...> --n <size> [--profile]\n\
+                       print cost/depth and the hardware profile;\n\
+                       --profile adds a sampled per-op-kind hot table\n\
+                       for the compiled tape\n\
            verify      --network <...> --n <size>\n\
                        exhaustively verify sorting over all 2^n inputs (n <= 20)\n\
            dot         --network <...> --n <size>\n\
@@ -46,6 +48,13 @@ fn usage() -> ! {
                   sweep fault sites x fault kinds, score offline detection,\n\
                   concurrent (error-rail) detection, and degradation; write a\n\
                   JSON report under results/faults/\n\
+         \n\
+         metrics runs (no subcommand):\n\
+           absort --network <prefix|mux-merger|fish|batcher> --metrics\n\
+                  [--n <size>] [--metrics-out <path>] [--trace-out <path>]\n\
+                  build + compile the network and sweep both evaluation\n\
+                  engines instrumented, producing latency histograms in the\n\
+                  run manifest (and optionally a Chrome trace)\n\
          \n\
          options:\n\
            --engine <interp|compiled>\n\
@@ -64,10 +73,13 @@ fn usage() -> ! {
                                  campaign's self-checking wrapper; the\n\
                                  summary prices the extra hardware next to\n\
                                  the coverage it buys (requires --faults)\n\
-           --metrics             record spans/counters; print a telemetry\n\
-                                 report to stderr and write a JSON run\n\
-                                 manifest under results/metrics/\n\
-           --metrics-out <path>  like --metrics, with an explicit manifest path\n\
+           --metrics             record spans/counters/histograms; print a\n\
+                                 telemetry report to stderr and write a JSON\n\
+                                 run manifest under results/metrics/\n\
+           --metrics-out <path>  explicit manifest path (requires --metrics)\n\
+           --trace-out <path>    also record begin/end span events and counter\n\
+                                 samples, written as Chrome trace_event JSON\n\
+                                 viewable in Perfetto (requires --metrics)\n\
            --faults              run a fault-injection campaign\n\
            --faults-out <path>   report path (requires --faults)\n\
            --multi <k>           also sweep sampled simultaneous fault sets\n\
@@ -132,6 +144,8 @@ struct Args {
     harden_duplicate: bool,
     metrics: bool,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
+    profile: bool,
     faults: bool,
     faults_out: Option<String>,
     multi: Option<usize>,
@@ -152,6 +166,8 @@ fn parse_args(argv: &[String]) -> Args {
         harden_duplicate: false,
         metrics: false,
         metrics_out: None,
+        trace_out: None,
+        profile: false,
         faults: false,
         faults_out: None,
         multi: None,
@@ -203,13 +219,20 @@ fn parse_args(argv: &[String]) -> Args {
             "--harden-duplicate" => a.harden_duplicate = true,
             "--metrics" => a.metrics = true,
             "--metrics-out" => {
-                a.metrics = true;
                 a.metrics_out = Some(
                     it.next()
                         .unwrap_or_else(|| flag_error("--metrics-out", None))
                         .clone(),
                 );
             }
+            "--trace-out" => {
+                a.trace_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| flag_error("--trace-out", None))
+                        .clone(),
+                );
+            }
+            "--profile" => a.profile = true,
             "--faults" => a.faults = true,
             "--faults-out" => {
                 a.faults_out = Some(
@@ -251,6 +274,18 @@ fn parse_args(argv: &[String]) -> Args {
             "error: --faults-out requires --faults (it names the fault-campaign report path)\n"
         );
         usage();
+    }
+    // Same for the telemetry output paths: without --metrics nothing is
+    // recorded, so a bare output path would silently produce nothing.
+    let metrics_only = [
+        (a.metrics_out.is_some(), "--metrics-out"),
+        (a.trace_out.is_some(), "--trace-out"),
+    ];
+    for (set, flag) in metrics_only {
+        if set && !a.metrics {
+            eprintln!("error: {flag} requires --metrics (it names a telemetry output path)\n");
+            usage();
+        }
     }
     let campaign_only = [
         (a.harden_duplicate, "--harden-duplicate"),
@@ -389,6 +424,12 @@ fn cmd_concentrate(a: &Args) {
 fn cmd_inspect(a: &Args) {
     let n = a.n.unwrap_or_else(|| usage());
     if a.network == "fish" {
+        if a.profile {
+            eprintln!(
+                "error: --profile profiles a compiled combinational tape; the fish sorter is time-multiplexed (Model B)"
+            );
+            exit(2);
+        }
         let f = absort::core::FishSorter::with_default_k(n);
         let r = f.report();
         println!("fish sorter n={n} k={}", f.k);
@@ -431,6 +472,107 @@ fn cmd_inspect(a: &Args) {
         c.n_wires(),
         100.0 * cc.slots_saved() as f64 / c.n_wires() as f64
     );
+    if a.profile {
+        #[cfg(feature = "profile")]
+        print_tape_profile(&cc);
+        #[cfg(not(feature = "profile"))]
+        {
+            eprintln!(
+                "error: this binary was built without the `profile` feature; rebuild with `--features profile` to use --profile"
+            );
+            exit(2);
+        }
+    }
+}
+
+/// Human `ns` rendering for the profile table (the telemetry crate's
+/// formatter is private, and `--profile` works without telemetry).
+#[cfg(feature = "profile")]
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Replays deterministic 64-lane workloads through the profiled dispatch
+/// loop — sampling one pass in four, the other passes run the production
+/// loop — and prints the hot-op table plus the hottest depth levels.
+#[cfg(feature = "profile")]
+fn print_tape_profile(cc: &absort::circuit::CompiledCircuit) {
+    use absort::circuit::TapeProfile;
+    const TOTAL_PASSES: usize = 128;
+    const SAMPLE_EVERY: usize = 4;
+    let mut prof = TapeProfile::new();
+    let mut ev: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(cc);
+    let mut out = vec![0u64; cc.n_outputs()];
+    let mut inputs = vec![0u64; cc.n_inputs()];
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut splitmix = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for pass in 0..TOTAL_PASSES {
+        for v in inputs.iter_mut() {
+            *v = splitmix();
+        }
+        if pass % SAMPLE_EVERY == 0 {
+            ev.run_into_profiled(&inputs, &mut out, &mut prof);
+        } else {
+            ev.run_into(&inputs, &mut out);
+        }
+    }
+    let total_ns = prof.total_ns().max(1);
+    println!(
+        "tape profile ({} of {TOTAL_PASSES} passes sampled, 64-lane):",
+        prof.passes
+    );
+    println!(
+        "  {:<14} {:>10} {:>12} {:>7} {:>8}",
+        "kind", "execs", "time", "%time", "ns/op"
+    );
+    for (name, k) in prof.hot_kinds() {
+        println!(
+            "  {:<14} {:>10} {:>12} {:>6.1}% {:>8.1}",
+            name,
+            k.executions,
+            fmt_ns(k.total_ns),
+            100.0 * k.total_ns as f64 / total_ns as f64,
+            k.total_ns as f64 / k.executions as f64,
+        );
+    }
+    let mut levels: Vec<(usize, absort::circuit::profile::LevelStat)> = prof
+        .levels
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(_, l)| l.executions > 0)
+        .collect();
+    levels.sort_by_key(|l| std::cmp::Reverse(l.1.total_ns));
+    println!("  hottest levels (of {} + prologue):", cc.n_levels());
+    for (i, l) in levels.iter().take(8) {
+        let label = if *i == 0 {
+            "prologue".to_owned()
+        } else {
+            format!("level {}", i - 1)
+        };
+        println!(
+            "    {:<10} {:>8} ops {:>12} ({:>4.1}%)",
+            label,
+            l.executions,
+            fmt_ns(l.total_ns),
+            100.0 * l.total_ns as f64 / total_ns as f64,
+        );
+    }
+    println!("  (per-op times include the clock-read overhead of profiling; use them to rank, not as absolute dispatch cost)");
 }
 
 /// Sweeps all `2^n` inputs through `pass` in packed 64-lane groups
@@ -727,6 +869,86 @@ fn cmd_faults(a: &Args) {
     }
 }
 
+/// Runs the flag-only metrics mode (`absort --network <x> --metrics`):
+/// builds and compiles the selected network, then sweeps both evaluation
+/// engines over a deterministic 64-lane workload with instrumentation
+/// on, so the manifest carries populated eval-latency histograms (and
+/// `--trace-out` a non-trivial span trace) without needing a campaign.
+#[cfg(feature = "telemetry")]
+fn cmd_metrics_run(a: &Args) {
+    use absort::analysis::faults::{build_network, NetworkSel};
+    let n = a.n.unwrap_or(8);
+    require_pow2(n);
+    let Some(sel) = NetworkSel::parse(&a.network) else {
+        eprintln!(
+            "unknown network {:?} (try prefix | mux-merger | fish | batcher)",
+            a.network
+        );
+        exit(2);
+    };
+    const PASSES: usize = 256;
+    let _span = absort_telemetry::span("metrics_run");
+    let circuit = {
+        let _s = absort_telemetry::span("build");
+        build_network(sel, n)
+    };
+    record_circuit_section(&a.network, n, &circuit.stats());
+    let cc = {
+        let _s = absort_telemetry::span("compile");
+        circuit.compile_with(&a.opt)
+    };
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut splitmix = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut inputs = vec![0u64; circuit.n_inputs()];
+    let mut out = vec![0u64; circuit.n_outputs()];
+    {
+        let _s = absort_telemetry::span("eval/interp");
+        let mut ev: Evaluator<'_, u64> = Evaluator::new(&circuit);
+        for _ in 0..PASSES {
+            for v in inputs.iter_mut() {
+                *v = splitmix();
+            }
+            ev.run_into(&inputs, &mut out);
+        }
+    }
+    {
+        let _s = absort_telemetry::span("eval/compiled");
+        let mut ev: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(&cc);
+        for _ in 0..PASSES {
+            for v in inputs.iter_mut() {
+                *v = splitmix();
+            }
+            ev.run_into(&inputs, &mut out);
+        }
+    }
+    println!(
+        "metrics run: {} n={n}, {PASSES} passes x 64 lanes per engine (tape: {} ops, {} slots)",
+        sel.name(),
+        cc.tape_len(),
+        cc.n_slots(),
+    );
+}
+
+/// Writes the Chrome trace if `--trace-out` was given (event recording
+/// must have been switched on before the instrumented work ran).
+#[cfg(feature = "telemetry")]
+fn write_trace_out(a: &Args) {
+    let Some(path) = &a.trace_out else { return };
+    match absort_telemetry::write_trace(std::path::Path::new(path)) {
+        Ok(()) => eprintln!("trace: {path}"),
+        Err(e) => {
+            eprintln!("error: cannot write trace {path}: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn run_command(cmd: &str, rest: &Args) {
     // The campaign flags belong to the standalone flag-only mode; accepting
     // them here and doing nothing would silently drop the user's ask.
@@ -734,6 +956,12 @@ fn run_command(cmd: &str, rest: &Args) {
         eprintln!(
             "error: --faults/--faults-out run standalone: absort --network <x> --faults [--faults-out <path>]\n"
         );
+        usage();
+    }
+    // --profile drives the inspect tape profiler; accepting it elsewhere
+    // and doing nothing would silently drop the user's ask.
+    if rest.profile && cmd != "inspect" {
+        eprintln!("error: --profile applies to the inspect command only\n");
         usage();
     }
     match cmd {
@@ -754,20 +982,44 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { usage() };
     if cmd.starts_with("--") {
-        // Flag-only invocation: the fault-campaign mode.
+        // Flag-only invocation: a fault campaign, or a metrics run.
         let a = parse_args(&argv);
-        if !a.faults {
+        if !a.faults && !a.metrics {
             usage();
         }
         absort_telemetry::init_from_env();
         absort_telemetry::set_enabled(true);
-        cmd_faults(&a);
+        if a.trace_out.is_some() {
+            absort_telemetry::set_trace_enabled(true);
+        }
+        if a.faults {
+            cmd_faults(&a);
+        } else {
+            cmd_metrics_run(&a);
+            eprint!("{}", absort_telemetry::render_report());
+            let path = a
+                .metrics_out
+                .as_ref()
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| absort_telemetry::default_manifest_path("metrics-run"));
+            match absort_telemetry::write_manifest(&path) {
+                Ok(()) => eprintln!("telemetry manifest: {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: cannot write manifest {}: {e}", path.display());
+                    exit(1);
+                }
+            }
+        }
+        write_trace_out(&a);
         return;
     }
     let rest = parse_args(&argv[1..]);
     absort_telemetry::init_from_env();
     if rest.metrics {
         absort_telemetry::set_enabled(true);
+    }
+    if rest.trace_out.is_some() {
+        absort_telemetry::set_trace_enabled(true);
     }
     {
         let _span = absort_telemetry::span(cmd);
@@ -787,6 +1039,7 @@ fn main() {
                 exit(1);
             }
         }
+        write_trace_out(&rest);
     }
 }
 
@@ -795,9 +1048,17 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { usage() };
     if cmd.starts_with("--") {
-        // Flag-only invocation: the fault-campaign mode.
+        // Flag-only invocation: the fault-campaign mode. The metrics-run
+        // mode exists to exercise instrumentation, so without the
+        // telemetry feature it has nothing to do.
         let a = parse_args(&argv);
         if !a.faults {
+            if a.metrics {
+                eprintln!(
+                    "error: this binary was built without the `telemetry` feature; a --metrics run records nothing"
+                );
+                exit(2);
+            }
             usage();
         }
         cmd_faults(&a);

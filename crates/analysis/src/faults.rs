@@ -464,6 +464,14 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
 
     let mut kinds: Vec<KindReport> = Vec::new();
 
+    // Per-variant scoring latency (patch + sweep), pooled across fault
+    // kinds locally and merged into the `faults.mutant_score_ns`
+    // histogram once at the end of the run.
+    #[cfg(feature = "telemetry")]
+    let mut score_hist = absort_telemetry::Histogram::new();
+    #[cfg(feature = "telemetry")]
+    let tel_on = absort_telemetry::enabled();
+
     // Compiled once per network; each mutant below is expressed as an
     // in-place tape patch instead of a full per-mutant lowering (the
     // dominant cost of compiled campaigns at small `n`).
@@ -490,6 +498,8 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
                 .validate()
                 .unwrap_or_else(|e| panic!("mutant failed validation: {e}"));
             let hci = hardened.component(ci);
+            #[cfg(feature = "telemetry")]
+            let t0 = tel_on.then(std::time::Instant::now);
             let v = match &mut base_cc {
                 Some(cc) => match cc.mutant_tape(hci, fault) {
                     // Wide walks amortize per-mutant setup further: one
@@ -535,6 +545,10 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
                     )
                 }
             };
+            #[cfg(feature = "telemetry")]
+            if let Some(t0) = t0 {
+                score_hist.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
             tally(&mut cell, v);
         }
         kinds.push(cell);
@@ -556,6 +570,8 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
             FaultKind::StuckAt1 => matches!(s, WireFault::StuckAt { value: true, .. }),
             _ => matches!(s, WireFault::BridgeOr { .. }),
         }) {
+            #[cfg(feature = "telemetry")]
+            let t0 = tel_on.then(std::time::Instant::now);
             let hf = hardened.fault(site);
             let mut ev: FaultyEvaluator<'_, [u64; 4]> =
                 FaultyEvaluator::new(&hardened.circuit, &[hf]);
@@ -566,6 +582,10 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
                 |p, o| ev.run_into(p, o),
                 &mut cell.degradation,
             );
+            #[cfg(feature = "telemetry")]
+            if let Some(t0) = t0 {
+                score_hist.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
             tally(&mut cell, v);
         }
         kinds.push(cell);
@@ -581,6 +601,8 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
     for _ in 0..cfg.transient_samples {
         let wire = cone[rng.gen_range(0..cone.len())];
         let vector = rng.gen_range(0..w.vectors.len()) as u64;
+        #[cfg(feature = "telemetry")]
+        let t0 = tel_on.then(std::time::Instant::now);
         let fault = hardened.fault(WireFault::TransientFlip { wire, vector });
         // The faulty evaluator counts `V::LANES` vectors per pass, so the
         // wide walk keeps transient lane targeting exact as long as the
@@ -594,6 +616,10 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
             |p, o| ev.run_into(p, o),
             &mut cell.degradation,
         );
+        #[cfg(feature = "telemetry")]
+        if let Some(t0) = t0 {
+            score_hist.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
         tally(&mut cell, v);
     }
     kinds.push(cell);
@@ -610,6 +636,7 @@ pub fn run_network(sel: NetworkSel, cfg: &CampaignConfig) -> NetworkReport {
                 injected * w.vectors.len() as u64,
             ),
         ]);
+        absort_telemetry::hist_merge("faults.mutant_score_ns", &score_hist);
     }
 
     NetworkReport {
@@ -735,6 +762,10 @@ pub fn run_network_sets(
     };
 
     let mut cell = KindReport::default(); // kind: None → "mixed"
+    #[cfg(feature = "telemetry")]
+    let mut score_hist = absort_telemetry::Histogram::new();
+    #[cfg(feature = "telemetry")]
+    let tel_on = absort_telemetry::enabled();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ fnv1a(sel.name()) ^ ((k as u64) << 32) ^ 0x5e75);
     for _ in 0..samples {
         let mut chosen: Vec<usize> = Vec::with_capacity(k);
@@ -756,6 +787,8 @@ pub fn run_network_sets(
                 Atom::Wire(site) => wires.push(hardened.fault(site)),
             }
         }
+        #[cfg(feature = "telemetry")]
+        let t0 = tel_on.then(std::time::Instant::now);
         let v = score_set(
             &w,
             n_eval,
@@ -767,11 +800,18 @@ pub fn run_network_sets(
             &wires,
             &mut cell.degradation,
         );
+        #[cfg(feature = "telemetry")]
+        if let Some(t0) = t0 {
+            score_hist.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
         tally(&mut cell, v);
     }
 
     #[cfg(feature = "telemetry")]
-    absort_telemetry::counter_add("faults.multi.sets", samples as u64);
+    {
+        absort_telemetry::counter_add("faults.multi.sets", samples as u64);
+        absort_telemetry::hist_merge("faults.mutant_score_ns", &score_hist);
+    }
 
     NetworkReport {
         network: sel.name().to_owned(),

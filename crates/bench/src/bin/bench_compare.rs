@@ -1,0 +1,361 @@
+//! `bench_compare` — the perf regression gate over `bench_eval` output.
+//!
+//! Diffs a freshly generated `BENCH_eval.json` against a committed
+//! baseline (`BENCH_baseline.json`) and classifies every difference as
+//! either a hard failure or a warning:
+//!
+//! - **FAIL** (exit 1): unreadable/unparseable input, schema loss (the
+//!   fresh document's schema is missing, foreign, or *older* than the
+//!   baseline's), coverage loss (a baseline size row, headline metric,
+//!   or the fault-campaign section missing from the fresh document).
+//!   Missing size rows alone can be waived with `--allow-missing-sizes`
+//!   (for `--quick` CI runs diffed against a full baseline).
+//! - **WARN** (exit 0, or exit 3 with `--strict`): `lanes_speedup`
+//!   dropping more than 10% below the baseline on any common size, or
+//!   the fault-campaign `speedup` doing the same.
+//!
+//! Usage:
+//!   bench_compare <fresh.json> <baseline.json> [--strict] [--allow-missing-sizes]
+//!
+//! Exit codes: 0 ok, 1 fail, 2 usage, 3 warnings under `--strict`.
+
+use absort_telemetry::json::{parse, Value};
+
+/// Fractional speedup drop below baseline that triggers a warning.
+const SPEEDUP_DROP_THRESHOLD: f64 = 0.10;
+
+/// Headline metrics every common size row must carry (coverage check).
+const REQUIRED_SIZE_METRICS: &[&str] = &[
+    "compile_ms",
+    "interp_lanes_ms",
+    "compiled_wide_ms",
+    "lanes_speedup",
+    "scalar_speedup",
+];
+
+const SCHEMA_PREFIX: &str = "absort-bench-eval/";
+
+#[derive(Default)]
+struct Options {
+    strict: bool,
+    allow_missing_sizes: bool,
+}
+
+#[derive(Default)]
+struct Outcome {
+    failures: Vec<String>,
+    warnings: Vec<String>,
+    notes: Vec<String>,
+}
+
+fn schema_of<'a>(doc: &'a Value, which: &str, out: &mut Outcome) -> Option<&'a str> {
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(s) if s.starts_with(SCHEMA_PREFIX) => Some(s),
+        Some(s) => {
+            out.failures.push(format!(
+                "{which}: foreign schema `{s}` (want {SCHEMA_PREFIX}*)"
+            ));
+            None
+        }
+        None => {
+            out.failures
+                .push(format!("{which}: missing `schema` field"));
+            None
+        }
+    }
+}
+
+/// `(n, row)` pairs from the document's `sizes` array.
+fn size_rows(doc: &Value) -> Vec<(i64, Value)> {
+    doc.get("sizes")
+        .and_then(Value::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| r.get("n").and_then(Value::as_i64).map(|n| (n, r.clone())))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Warns when `fresh` fell more than [`SPEEDUP_DROP_THRESHOLD`] below
+/// `base`; otherwise records the delta as a note.
+fn check_speedup(label: &str, fresh: f64, base: f64, out: &mut Outcome) {
+    if base <= 0.0 {
+        return;
+    }
+    let drop = (base - fresh) / base;
+    if drop > SPEEDUP_DROP_THRESHOLD {
+        out.warnings.push(format!(
+            "{label}: speedup {fresh:.2}x is {:.0}% below baseline {base:.2}x",
+            drop * 100.0
+        ));
+    } else {
+        out.notes.push(format!(
+            "{label}: speedup {fresh:.2}x vs baseline {base:.2}x (ok)"
+        ));
+    }
+}
+
+fn compare_docs(fresh: &Value, baseline: &Value, opts: &Options) -> Outcome {
+    let mut out = Outcome::default();
+
+    let fresh_schema = schema_of(fresh, "fresh", &mut out);
+    let base_schema = schema_of(baseline, "baseline", &mut out);
+    if let (Some(f), Some(b)) = (fresh_schema, base_schema) {
+        // Versions are `v1`, `v2`, ...: lexicographic order is version
+        // order, so a fresh document must never be older than the
+        // baseline it is diffed against.
+        if f < b {
+            out.failures.push(format!(
+                "schema regression: fresh `{f}` is older than baseline `{b}`"
+            ));
+        } else if f > b {
+            out.notes
+                .push(format!("schema upgraded: baseline `{b}` -> fresh `{f}`"));
+        }
+    }
+
+    let fresh_sizes = size_rows(fresh);
+    let base_sizes = size_rows(baseline);
+    if base_sizes.is_empty() {
+        out.failures
+            .push("baseline: no size rows (empty or missing `sizes` array)".into());
+    }
+    if fresh_sizes.is_empty() {
+        out.failures
+            .push("fresh: no size rows (empty or missing `sizes` array)".into());
+    }
+
+    for (n, base_row) in &base_sizes {
+        let Some((_, fresh_row)) = fresh_sizes.iter().find(|(fresh_n, _)| fresh_n == n) else {
+            if opts.allow_missing_sizes {
+                out.notes
+                    .push(format!("n={n}: missing from fresh run (waived)"));
+            } else {
+                out.failures.push(format!(
+                    "coverage loss: baseline size n={n} missing from fresh run"
+                ));
+            }
+            continue;
+        };
+        for &metric in REQUIRED_SIZE_METRICS {
+            if fresh_row.get(metric).and_then(Value::as_f64).is_none() {
+                out.failures
+                    .push(format!("coverage loss: n={n} lacks metric `{metric}`"));
+            }
+        }
+        if let (Some(f), Some(b)) = (
+            fresh_row.get("lanes_speedup").and_then(Value::as_f64),
+            base_row.get("lanes_speedup").and_then(Value::as_f64),
+        ) {
+            check_speedup(&format!("n={n} lanes_speedup"), f, b, &mut out);
+        }
+    }
+
+    match (fresh.get("fault_campaign"), baseline.get("fault_campaign")) {
+        (None, Some(_)) => out
+            .failures
+            .push("coverage loss: `fault_campaign` section missing from fresh run".into()),
+        (Some(fc), Some(bc)) => {
+            // A `--quick` campaign (n=4) is not comparable to a full
+            // baseline's n=8 campaign; only diff speedups at equal n.
+            let same_n = fc.get("n").and_then(Value::as_i64) == bc.get("n").and_then(Value::as_i64);
+            if !same_n {
+                out.notes.push(
+                    "fault_campaign: size differs from baseline, speedup not compared".into(),
+                );
+            } else if let (Some(f), Some(b)) = (
+                fc.get("speedup").and_then(Value::as_f64),
+                bc.get("speedup").and_then(Value::as_f64),
+            ) {
+                check_speedup("fault_campaign", f, b, &mut out);
+            }
+        }
+        _ => {}
+    }
+
+    out
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare <fresh.json> <baseline.json> [--strict] [--allow-missing-sizes]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = Options::default();
+    let mut paths: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--strict" => opts.strict = true,
+            "--allow-missing-sizes" => opts.allow_missing_sizes = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag `{flag}`");
+                usage();
+            }
+            _ => paths.push(a),
+        }
+    }
+    let [fresh_path, base_path] = paths.as_slice() else {
+        usage();
+    };
+
+    let (fresh, baseline) = match (load(fresh_path), load(base_path)) {
+        (Ok(f), Ok(b)) => (f, b),
+        (f, b) => {
+            for e in [f.err(), b.err()].into_iter().flatten() {
+                eprintln!("FAIL: {e}");
+            }
+            std::process::exit(1);
+        }
+    };
+
+    let out = compare_docs(&fresh, &baseline, &opts);
+    for n in &out.notes {
+        println!("  ok: {n}");
+    }
+    for w in &out.warnings {
+        println!("WARN: {w}");
+    }
+    for f in &out.failures {
+        println!("FAIL: {f}");
+    }
+    if !out.failures.is_empty() {
+        println!("bench_compare: FAIL ({} failure(s))", out.failures.len());
+        std::process::exit(1);
+    }
+    if !out.warnings.is_empty() {
+        println!(
+            "bench_compare: {} warning(s){}",
+            out.warnings.len(),
+            if opts.strict {
+                " (strict: failing)"
+            } else {
+                ""
+            }
+        );
+        if opts.strict {
+            std::process::exit(3);
+        }
+    } else {
+        println!("bench_compare: OK ({fresh_path} vs {base_path})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(schema: &str, rows: &[(i64, f64)], campaign_speedup: Option<f64>) -> Value {
+        let sizes: Vec<String> = rows
+            .iter()
+            .map(|(n, ls)| {
+                format!(
+                    "{{\"n\": {n}, \"compile_ms\": 1.0, \"interp_lanes_ms\": 2.0, \
+                     \"compiled_wide_ms\": 1.0, \"lanes_speedup\": {ls}, \
+                     \"scalar_speedup\": 1.1}}"
+                )
+            })
+            .collect();
+        let campaign = campaign_speedup
+            .map(|s| format!(", \"fault_campaign\": {{\"n\": 8, \"speedup\": {s}}}"))
+            .unwrap_or_default();
+        parse(&format!(
+            "{{\"schema\": \"{schema}\", \"sizes\": [{}]{campaign}}}",
+            sizes.join(", ")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_docs_pass_clean() {
+        let d = doc("absort-bench-eval/v2", &[(64, 2.6), (256, 2.5)], Some(5.0));
+        let out = compare_docs(&d, &d, &Options::default());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+    }
+
+    #[test]
+    fn small_speedup_drop_is_tolerated() {
+        let base = doc("absort-bench-eval/v2", &[(64, 2.60)], None);
+        let fresh = doc("absort-bench-eval/v2", &[(64, 2.40)], None);
+        let out = compare_docs(&fresh, &base, &Options::default());
+        assert!(out.failures.is_empty());
+        assert!(out.warnings.is_empty(), "7.7% drop must not warn");
+    }
+
+    #[test]
+    fn large_speedup_drop_warns_but_does_not_fail() {
+        let base = doc(
+            "absort-bench-eval/v2",
+            &[(64, 2.60), (256, 2.50)],
+            Some(5.0),
+        );
+        let fresh = doc(
+            "absort-bench-eval/v2",
+            &[(64, 1.30), (256, 2.50)],
+            Some(2.0),
+        );
+        let out = compare_docs(&fresh, &base, &Options::default());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert_eq!(out.warnings.len(), 2, "{:?}", out.warnings);
+        assert!(out.warnings[0].contains("n=64"));
+        assert!(out.warnings[1].contains("fault_campaign"));
+    }
+
+    #[test]
+    fn missing_size_fails_unless_waived() {
+        let base = doc("absort-bench-eval/v2", &[(64, 2.6), (1024, 2.7)], None);
+        let fresh = doc("absort-bench-eval/v2", &[(64, 2.6)], None);
+        let out = compare_docs(&fresh, &base, &Options::default());
+        assert_eq!(out.failures.len(), 1);
+        assert!(out.failures[0].contains("n=1024"));
+
+        let waived = Options {
+            allow_missing_sizes: true,
+            ..Options::default()
+        };
+        let out = compare_docs(&fresh, &base, &waived);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn missing_metric_and_campaign_fail() {
+        let base = doc("absort-bench-eval/v2", &[(64, 2.6)], Some(5.0));
+        let fresh = parse(
+            "{\"schema\": \"absort-bench-eval/v2\", \"sizes\": [{\"n\": 64, \
+             \"compile_ms\": 1.0}]}",
+        )
+        .unwrap();
+        let out = compare_docs(&fresh, &base, &Options::default());
+        let text = out.failures.join("\n");
+        assert!(text.contains("lanes_speedup"), "{text}");
+        assert!(text.contains("fault_campaign"), "{text}");
+    }
+
+    #[test]
+    fn schema_ordering_old_fresh_fails_new_fresh_notes() {
+        let v1 = doc("absort-bench-eval/v1", &[(64, 2.6)], None);
+        let v2 = doc("absort-bench-eval/v2", &[(64, 2.6)], None);
+        let out = compare_docs(&v1, &v2, &Options::default());
+        assert!(out.failures.iter().any(|f| f.contains("schema regression")));
+        let out = compare_docs(&v2, &v1, &Options::default());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.notes.iter().any(|n| n.contains("schema upgraded")));
+    }
+
+    #[test]
+    fn foreign_schema_fails() {
+        let good = doc("absort-bench-eval/v2", &[(64, 2.6)], None);
+        let bad = doc("someone-elses-bench/v9", &[(64, 2.6)], None);
+        let out = compare_docs(&bad, &good, &Options::default());
+        assert!(out.failures.iter().any(|f| f.contains("foreign schema")));
+    }
+}

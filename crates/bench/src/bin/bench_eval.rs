@@ -4,11 +4,17 @@
 //! tape on the mux-based merge sorter (scalar, 64-lane, and 4-thread
 //! batch paths over a fixed 256-vector workload), the one-time lowering
 //! pass, and the full `--network all` fault campaign, and writes the
-//! results as JSON (min-of-3 wall clock per measurement).
+//! results as JSON. Each headline `*_ms` figure is the minimum over
+//! `--reps` wall-clock samples; a per-size `spread` object carries the
+//! min/median/max of the key measurements so downstream comparisons
+//! (`bench_compare`) can tell a regression from run-to-run noise. A
+//! separate untimed telemetry pass records per-vector latency
+//! histograms and emits their p50/p99 alongside the wall-clock columns
+//! (zero when the `telemetry` feature is compiled out).
 //!
 //! Usage:
 //!   cargo run --release -p absort-bench --bin bench_eval -- \
-//!       [--quick] [--out BENCH_eval.json]
+//!       [--quick] [--reps N] [--out BENCH_eval.json]
 //!
 //! `--quick` restricts to n = 64 and a n = 4 fault campaign (CI smoke);
 //! the default sweep is n ∈ {64, 256, 1024} with a n = 8 campaign.
@@ -19,25 +25,56 @@ use std::time::Instant;
 use absort_analysis::faults::{run_campaign, CampaignConfig, NetworkSel};
 use absort_bench::bench_bits;
 use absort_circuit::eval::{pack_lanes, pack_lanes_wide};
+#[cfg(feature = "telemetry")]
+use absort_circuit::{Circuit, CompiledCircuit};
 use absort_circuit::{CompileOptions, CompiledEvaluator, Engine, Evaluator, OptLevel};
 use absort_core::muxmerge;
 
-const REPS: usize = 3;
 const WORKLOAD: usize = 256;
 
-/// Minimum wall-clock seconds per call over [`REPS`] samples, each
-/// timing `iters` back-to-back calls of `f` (batched so that
-/// microsecond-scale routines still get a clean reading).
-fn min_of<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..REPS {
-        let t = Instant::now();
-        for _ in 0..iters {
-            black_box(f());
-        }
-        best = best.min(t.elapsed().as_secs_f64() / f64::from(iters));
+/// Min/median/max wall-clock seconds per call over `--reps` samples.
+#[derive(Clone, Copy)]
+struct Sample {
+    min: f64,
+    median: f64,
+    max: f64,
+}
+
+impl Sample {
+    fn spread_json(&self) -> String {
+        format!(
+            "{{ \"min\": {}, \"median\": {}, \"max\": {} }}",
+            ms(self.min),
+            ms(self.median),
+            ms(self.max)
+        )
     }
-    best
+}
+
+/// Times `reps` samples of `iters` back-to-back calls of `f` (batched
+/// so that microsecond-scale routines still get a clean reading) and
+/// returns the per-call min/median/max.
+fn sample<R>(reps: usize, iters: u32, mut f: impl FnMut() -> R) -> Sample {
+    let mut secs: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed().as_secs_f64() / f64::from(iters)
+        })
+        .collect();
+    secs.sort_by(f64::total_cmp);
+    Sample {
+        min: secs[0],
+        median: secs[secs.len() / 2],
+        max: secs[secs.len() - 1],
+    }
+}
+
+/// Minimum wall-clock seconds per call — the headline number.
+fn min_of<R>(reps: usize, iters: u32, f: impl FnMut() -> R) -> f64 {
+    sample(reps, iters, f).min
 }
 
 fn ms(secs: f64) -> String {
@@ -48,17 +85,61 @@ fn ratio(slow: f64, fast: f64) -> String {
     format!("{:.2}", slow / fast)
 }
 
-fn size_row(n: usize) -> String {
+/// Per-vector latency quantiles from an untimed telemetry-enabled pass:
+/// `[interp_p50, interp_p99, compiled_p50, compiled_p99]` in ns. The
+/// registry is reset before and after so the histogram pass never
+/// contaminates the wall-clock numbers (telemetry stays off while
+/// timing).
+#[cfg(feature = "telemetry")]
+fn vector_latency_quantiles(
+    circuit: &Circuit,
+    compiled: &CompiledCircuit,
+    groups: &[Vec<u64>],
+    n: usize,
+) -> [u64; 4] {
+    absort_telemetry::reset();
+    absort_telemetry::set_enabled(true);
+    {
+        let mut interp: Evaluator<'_, u64> = Evaluator::new(circuit);
+        let mut comp: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(compiled);
+        let mut out = vec![0u64; n];
+        for gp in groups {
+            interp.run_into(gp, &mut out);
+            black_box(out[0]);
+            comp.run_into(gp, &mut out);
+            black_box(out[0]);
+        }
+        // Evaluators drop here, flushing their local recorders.
+    }
+    absort_telemetry::set_enabled(false);
+    let snap = absort_telemetry::global().snapshot();
+    let q = |name: &str, q: f64| -> u64 {
+        snap.hists
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, h)| h.quantile(q))
+    };
+    let out = [
+        q("eval.interp.vector_ns", 0.50),
+        q("eval.interp.vector_ns", 0.99),
+        q("eval.compiled.vector_ns", 0.50),
+        q("eval.compiled.vector_ns", 0.99),
+    ];
+    absort_telemetry::reset();
+    out
+}
+
+fn size_row(n: usize, reps: usize) -> String {
     let circuit = muxmerge::build(n);
     let vectors: Vec<Vec<bool>> = (0..WORKLOAD).map(|s| bench_bits(n, s as u64)).collect();
     // Pre-packed 64-lane groups: the raw engine measurement, without the
     // bool<->lane conversion the batch API performs.
     let groups: Vec<Vec<u64>> = vectors.chunks(64).map(|ch| pack_lanes(ch, n)).collect();
 
-    let compile_s = min_of(20, || circuit.compile());
+    let compile_s = min_of(reps, 20, || circuit.compile());
     let compiled = circuit.compile();
 
-    let interp_scalar_s = min_of(1, || {
+    let interp_scalar = sample(reps, 1, || {
         let mut ev: Evaluator<'_, bool> = Evaluator::new(&circuit);
         let mut out = vec![false; n];
         let mut acc = 0usize;
@@ -68,7 +149,7 @@ fn size_row(n: usize) -> String {
         }
         acc
     });
-    let compiled_scalar_s = min_of(1, || {
+    let compiled_scalar = sample(reps, 1, || {
         let mut ev: CompiledEvaluator<'_, bool> = CompiledEvaluator::new(&compiled);
         let mut out = vec![false; n];
         let mut acc = 0usize;
@@ -82,7 +163,7 @@ fn size_row(n: usize) -> String {
     let mut interp_u64: Evaluator<'_, u64> = Evaluator::new(&circuit);
     let mut compiled_u64: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(&compiled);
     let mut out = vec![0u64; n];
-    let interp_lanes_s = min_of(100, || {
+    let interp_lanes = sample(reps, 100, || {
         let mut acc = 0u64;
         for gp in &groups {
             interp_u64.run_into(gp, &mut out);
@@ -90,7 +171,7 @@ fn size_row(n: usize) -> String {
         }
         acc
     });
-    let compiled_lanes_s = min_of(100, || {
+    let compiled_lanes_s = min_of(reps, 100, || {
         let mut acc = 0u64;
         for gp in &groups {
             compiled_u64.run_into(gp, &mut out);
@@ -105,13 +186,19 @@ fn size_row(n: usize) -> String {
     let wide = pack_lanes_wide::<4>(&vectors, n);
     let mut compiled_w4: CompiledEvaluator<'_, [u64; 4]> = CompiledEvaluator::new(&compiled);
     let mut wout = vec![[0u64; 4]; n];
-    let compiled_wide_s = min_of(100, || {
+    let compiled_wide = sample(reps, 100, || {
         compiled_w4.run_into(&wide, &mut wout);
         wout[0][0]
     });
 
-    let interp_par4_s = min_of(1, || circuit.eval_batch_parallel(&vectors, 4));
-    let compiled_par4_s = min_of(1, || compiled.eval_batch_parallel(&vectors, 4));
+    let interp_par4_s = min_of(reps, 1, || circuit.eval_batch_parallel(&vectors, 4));
+    let compiled_par4_s = min_of(reps, 1, || compiled.eval_batch_parallel(&vectors, 4));
+
+    // Histogram-backed per-vector latency percentiles (untimed pass).
+    #[cfg(feature = "telemetry")]
+    let [ivp50, ivp99, cvp50, cvp99] = vector_latency_quantiles(&circuit, &compiled, &groups, n);
+    #[cfg(not(feature = "telemetry"))]
+    let [ivp50, ivp99, cvp50, cvp99] = [0u64; 4];
 
     // Per-opt-level rows: how much tape each pass tier actually buys,
     // and what it costs at compile time and in the wide walk.
@@ -119,11 +206,11 @@ fn size_row(n: usize) -> String {
         .into_iter()
         .map(|level| {
             let opts = CompileOptions::for_level(level);
-            let level_compile_s = min_of(20, || circuit.compile_with(&opts));
+            let level_compile_s = min_of(reps, 20, || circuit.compile_with(&opts));
             let cc = circuit.compile_with(&opts);
             let mut ev: CompiledEvaluator<'_, [u64; 4]> = CompiledEvaluator::new(&cc);
             let mut lout = vec![[0u64; 4]; n];
-            let level_wide_s = min_of(100, || {
+            let level_wide_s = min_of(reps, 100, || {
                 ev.run_into(&wide, &mut lout);
                 lout[0][0]
             });
@@ -158,12 +245,13 @@ fn size_row(n: usize) -> String {
 
     eprintln!(
         "n={n}: lanes64 interp {} ms -> compiled wide {} ms ({}x; u64-for-u64 {}x); \
-         scalar {}x; compile {} ms, {} slots for {} wires",
-        ms(interp_lanes_s),
-        ms(compiled_wide_s),
-        ratio(interp_lanes_s, compiled_wide_s),
-        ratio(interp_lanes_s, compiled_lanes_s),
-        ratio(interp_scalar_s, compiled_scalar_s),
+         scalar {}x; compile {} ms, {} slots for {} wires; \
+         vector p50 interp {ivp50} ns -> compiled {cvp50} ns",
+        ms(interp_lanes.min),
+        ms(compiled_wide.min),
+        ratio(interp_lanes.min, compiled_wide.min),
+        ratio(interp_lanes.min, compiled_lanes_s),
+        ratio(interp_scalar.min, compiled_scalar.min),
         ms(compile_s),
         compiled.n_slots(),
         circuit.n_wires(),
@@ -188,6 +276,16 @@ fn size_row(n: usize) -> String {
             "      \"lanes_speedup\": {ls},\n",
             "      \"interp_par4_ms\": {ip},\n",
             "      \"compiled_par4_ms\": {cp},\n",
+            "      \"interp_vector_p50_ns\": {ivp50},\n",
+            "      \"interp_vector_p99_ns\": {ivp99},\n",
+            "      \"compiled_vector_p50_ns\": {cvp50},\n",
+            "      \"compiled_vector_p99_ns\": {cvp99},\n",
+            "      \"spread\": {{\n",
+            "        \"interp_scalar_ms\": {sp_is},\n",
+            "        \"compiled_scalar_ms\": {sp_cs},\n",
+            "        \"interp_lanes_ms\": {sp_il},\n",
+            "        \"compiled_wide_ms\": {sp_cw}\n",
+            "      }},\n",
             "      \"opt_levels\": [\n{opt_rows}\n      ]\n",
             "    }}"
         ),
@@ -198,35 +296,43 @@ fn size_row(n: usize) -> String {
         n_slots = compiled.n_slots(),
         n_wires = circuit.n_wires(),
         slots_saved = compiled.slots_saved(),
-        is = ms(interp_scalar_s),
-        cs = ms(compiled_scalar_s),
-        ss = ratio(interp_scalar_s, compiled_scalar_s),
-        il = ms(interp_lanes_s),
+        is = ms(interp_scalar.min),
+        cs = ms(compiled_scalar.min),
+        ss = ratio(interp_scalar.min, compiled_scalar.min),
+        il = ms(interp_lanes.min),
         cl = ms(compiled_lanes_s),
-        cw = ms(compiled_wide_s),
-        ls = ratio(interp_lanes_s, compiled_wide_s),
+        cw = ms(compiled_wide.min),
+        ls = ratio(interp_lanes.min, compiled_wide.min),
         ip = ms(interp_par4_s),
         cp = ms(compiled_par4_s),
+        ivp50 = ivp50,
+        ivp99 = ivp99,
+        cvp50 = cvp50,
+        cvp99 = cvp99,
+        sp_is = interp_scalar.spread_json(),
+        sp_cs = compiled_scalar.spread_json(),
+        sp_il = interp_lanes.spread_json(),
+        sp_cw = compiled_wide.spread_json(),
         opt_rows = opt_rows.join(",\n"),
     )
 }
 
-fn campaign_section(n: usize) -> String {
+fn campaign_section(n: usize, reps: usize) -> String {
     let time_engine = |engine: Engine| {
         let cfg = CampaignConfig {
             n,
             engine,
             ..CampaignConfig::default()
         };
-        min_of(1, || run_campaign(&NetworkSel::ALL, &cfg))
+        sample(reps, 1, || run_campaign(&NetworkSel::ALL, &cfg))
     };
-    let interp_s = time_engine(Engine::Interp);
-    let compiled_s = time_engine(Engine::Compiled);
+    let interp = time_engine(Engine::Interp);
+    let compiled = time_engine(Engine::Compiled);
     eprintln!(
         "fault campaign n={n} --network all: interp {} ms -> compiled {} ms ({}x)",
-        ms(interp_s),
-        ms(compiled_s),
-        ratio(interp_s, compiled_s),
+        ms(interp.min),
+        ms(compiled.min),
+        ratio(interp.min, compiled.min),
     );
     format!(
         concat!(
@@ -235,19 +341,26 @@ fn campaign_section(n: usize) -> String {
             "    \"networks\": \"all\",\n",
             "    \"interp_ms\": {i},\n",
             "    \"compiled_ms\": {c},\n",
-            "    \"speedup\": {s}\n",
+            "    \"speedup\": {s},\n",
+            "    \"spread\": {{\n",
+            "      \"interp_ms\": {sp_i},\n",
+            "      \"compiled_ms\": {sp_c}\n",
+            "    }}\n",
             "  }}"
         ),
         n = n,
-        i = ms(interp_s),
-        c = ms(compiled_s),
-        s = ratio(interp_s, compiled_s),
+        i = ms(interp.min),
+        c = ms(compiled.min),
+        s = ratio(interp.min, compiled.min),
+        sp_i = interp.spread_json(),
+        sp_c = compiled.spread_json(),
     )
 }
 
 fn main() {
     let mut out_path = String::from("BENCH_eval.json");
     let mut quick = false;
+    let mut reps = 3usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -259,9 +372,16 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--reps" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(r) if r >= 1 => reps = r,
+                _ => {
+                    eprintln!("error: --reps requires an integer >= 1");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: bench_eval [--quick] [--out <path>]");
+                eprintln!("usage: bench_eval [--quick] [--reps N] [--out <path>]");
                 std::process::exit(2);
             }
         }
@@ -273,13 +393,13 @@ fn main() {
         (&[64, 256, 1024], 8)
     };
 
-    let rows: Vec<String> = sizes.iter().map(|&n| size_row(n)).collect();
-    let campaign = campaign_section(campaign_n);
+    let rows: Vec<String> = sizes.iter().map(|&n| size_row(n, reps)).collect();
+    let campaign = campaign_section(campaign_n, reps);
 
     let doc = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"absort-bench-eval/v1\",\n",
+            "  \"schema\": \"absort-bench-eval/v2\",\n",
             "  \"network\": \"mux-merger\",\n",
             "  \"reps\": {reps},\n",
             "  \"workload_vectors\": {workload},\n",
@@ -287,7 +407,7 @@ fn main() {
             "{campaign}\n",
             "}}\n"
         ),
-        reps = REPS,
+        reps = reps,
         workload = WORKLOAD,
         rows = rows.join(",\n"),
         campaign = campaign,

@@ -257,6 +257,61 @@ pub enum MicroOp {
 /// slots) are valid for this op and need not be recomputed.
 pub const REUSE_MASKS: u32 = 1 << 31;
 
+impl MicroOp {
+    /// Number of distinct profiling kinds: the 14 variants, with
+    /// mask-reusing `Switch4` split from mask-computing `Switch4`
+    /// (their dispatch cost differs by the whole mask computation).
+    pub const NUM_KINDS: usize = 15;
+
+    /// Dense stable index of this op's kind, `0..NUM_KINDS`.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            MicroOp::Const { .. } => 0,
+            MicroOp::Not { .. } => 1,
+            MicroOp::And { .. } => 2,
+            MicroOp::Or { .. } => 3,
+            MicroOp::Xor { .. } => 4,
+            MicroOp::Nand { .. } => 5,
+            MicroOp::Nor { .. } => 6,
+            MicroOp::Xnor { .. } => 7,
+            MicroOp::Mux { .. } => 8,
+            MicroOp::Demux { .. } => 9,
+            MicroOp::Switch2 { .. } => 10,
+            MicroOp::Route2 { .. } => 11,
+            MicroOp::BitCompare { .. } => 12,
+            MicroOp::Switch4 { pidx, .. } => {
+                if pidx & REUSE_MASKS != 0 {
+                    14
+                } else {
+                    13
+                }
+            }
+        }
+    }
+
+    /// Display name of kind `idx` (inverse of [`MicroOp::kind_index`]).
+    pub fn kind_name(idx: usize) -> &'static str {
+        match idx {
+            0 => "const",
+            1 => "not",
+            2 => "and",
+            3 => "or",
+            4 => "xor",
+            5 => "nand",
+            6 => "nor",
+            7 => "xnor",
+            8 => "mux",
+            9 => "demux",
+            10 => "switch2",
+            11 => "route2",
+            12 => "bitcompare",
+            13 => "switch4",
+            14 => "switch4+reuse",
+            _ => "?",
+        }
+    }
+}
+
 /// A circuit lowered to a register-allocated, levelized micro-op tape.
 /// Produced once by [`CompiledCircuit::compile`] (or
 /// [`Circuit::compile`]) and evaluated any number of times by
@@ -881,6 +936,11 @@ impl<'c, V: Lane> CompiledEvaluator<'c, V> {
         );
         assert_eq!(out.len(), cc.n_outputs(), "output slice has wrong length");
 
+        // One bool test when telemetry is off; when on, the pass is
+        // timed and folded into the per-vector latency histogram below.
+        #[cfg(feature = "telemetry")]
+        let t0 = self.tel.is_active().then(std::time::Instant::now);
+
         let w = &mut self.slots;
         for (&s, &v) in cc.input_slots.iter().zip(inputs) {
             w[s as usize] = v;
@@ -986,10 +1046,164 @@ impl<'c, V: Lane> CompiledEvaluator<'c, V> {
             *o = w[s as usize];
         }
 
+        // The histogram sample is the pass wall-clock divided by lane
+        // width: per-*vector* latency, comparable across lane types.
         #[cfg(feature = "telemetry")]
         {
             self.tel_passes += 1;
+            if let Some(t0) = t0 {
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.tel
+                    .record_ns("eval.compiled.vector_ns", ns / u64::from(V::LANES));
+            }
         }
+    }
+}
+
+#[cfg(feature = "profile")]
+impl<V: Lane> CompiledEvaluator<'_, V> {
+    /// Replays the tape like [`CompiledEvaluator::run_into`] while
+    /// attributing executions and wall-clock per micro-op kind and per
+    /// depth level into `prof` (level 0 = constant prologue).
+    ///
+    /// This is a deliberately *separate* dispatch loop: the production
+    /// `run_into` carries no profiling branches, and callers sample
+    /// (profile a subset of passes) rather than pay the per-op clock
+    /// reads everywhere. Output values are identical to `run_into`.
+    pub fn run_into_profiled(
+        &mut self,
+        inputs: &[V],
+        out: &mut [V],
+        prof: &mut crate::profile::TapeProfile,
+    ) {
+        use std::time::Instant;
+        let cc = self.cc;
+        assert_eq!(
+            inputs.len(),
+            cc.n_inputs(),
+            "expected {} inputs, got {}",
+            cc.n_inputs(),
+            inputs.len()
+        );
+        assert_eq!(out.len(), cc.n_outputs(), "output slice has wrong length");
+        prof.ensure_levels(cc.level_ranges.len() + 1);
+
+        let w = &mut self.slots;
+        for (&s, &v) in cc.input_slots.iter().zip(inputs) {
+            w[s as usize] = v;
+        }
+
+        let mut m = [V::ZERO; 4];
+        // Level segment tracking: ops `0..prologue_len` are segment 0;
+        // each level range is the following segment.
+        let mut seg = 0usize;
+        let mut seg_end = cc.prologue_len as usize;
+        let mut last = Instant::now();
+        for (i, op) in cc.tape.iter().enumerate() {
+            while i >= seg_end && seg < cc.level_ranges.len() {
+                seg_end = cc.level_ranges[seg].1 as usize;
+                seg += 1;
+            }
+            match *op {
+                MicroOp::Const { d, v } => w[d as usize] = V::splat(v),
+                MicroOp::Not { d, a } => {
+                    let x = w[a as usize];
+                    w[d as usize] = x.not();
+                }
+                MicroOp::And { d, a, b } => {
+                    let (x, y) = (w[a as usize], w[b as usize]);
+                    w[d as usize] = x.and(y);
+                }
+                MicroOp::Or { d, a, b } => {
+                    let (x, y) = (w[a as usize], w[b as usize]);
+                    w[d as usize] = x.or(y);
+                }
+                MicroOp::Xor { d, a, b } => {
+                    let (x, y) = (w[a as usize], w[b as usize]);
+                    w[d as usize] = x.xor(y);
+                }
+                MicroOp::Nand { d, a, b } => {
+                    let (x, y) = (w[a as usize], w[b as usize]);
+                    w[d as usize] = x.and(y).not();
+                }
+                MicroOp::Nor { d, a, b } => {
+                    let (x, y) = (w[a as usize], w[b as usize]);
+                    w[d as usize] = x.or(y).not();
+                }
+                MicroOp::Xnor { d, a, b } => {
+                    let (x, y) = (w[a as usize], w[b as usize]);
+                    w[d as usize] = x.xor(y).not();
+                }
+                MicroOp::Mux { d, s, a1, a0 } => {
+                    let (sv, x1, x0) = (w[s as usize], w[a1 as usize], w[a0 as usize]);
+                    w[d as usize] = V::select(sv, x1, x0);
+                }
+                MicroOp::Demux { d0, d1, s, x } => {
+                    let (sv, xv) = (w[s as usize], w[x as usize]);
+                    w[d0 as usize] = sv.not().and(xv);
+                    w[d1 as usize] = sv.and(xv);
+                }
+                MicroOp::Switch2 { d0, d1, s, a, b } => {
+                    let (sv, av, bv) = (w[s as usize], w[a as usize], w[b as usize]);
+                    w[d0 as usize] = V::select(sv, bv, av);
+                    w[d1 as usize] = V::select(sv, av, bv);
+                }
+                MicroOp::Route2 { d0, d1, a, b } => {
+                    let (av, bv) = (w[a as usize], w[b as usize]);
+                    w[d0 as usize] = av;
+                    w[d1 as usize] = bv;
+                }
+                MicroOp::BitCompare { d0, d1, a, b } => {
+                    let (av, bv) = (w[a as usize], w[b as usize]);
+                    w[d0 as usize] = av.and(bv);
+                    w[d1 as usize] = av.or(bv);
+                }
+                MicroOp::Switch4 {
+                    d,
+                    ins,
+                    s1,
+                    s0,
+                    pidx,
+                } => {
+                    if pidx & REUSE_MASKS == 0 {
+                        let (v1, v0) = (w[s1 as usize], w[s0 as usize]);
+                        m = [
+                            v1.not().and(v0.not()),
+                            v1.not().and(v0),
+                            v1.and(v0.not()),
+                            v1.and(v0),
+                        ];
+                    }
+                    let pm = &cc.perm_sets[(pidx & !REUSE_MASKS) as usize];
+                    let iv = [
+                        w[ins[0] as usize],
+                        w[ins[1] as usize],
+                        w[ins[2] as usize],
+                        w[ins[3] as usize],
+                    ];
+                    for j in 0..4 {
+                        w[d[j] as usize] = m[0]
+                            .and(iv[pm[0][j] as usize])
+                            .or(m[1].and(iv[pm[1][j] as usize]))
+                            .or(m[2].and(iv[pm[2][j] as usize]))
+                            .or(m[3].and(iv[pm[3][j] as usize]));
+                    }
+                }
+            }
+            let now = Instant::now();
+            let ns = u64::try_from((now - last).as_nanos()).unwrap_or(u64::MAX);
+            last = now;
+            let k = op.kind_index();
+            prof.kinds[k].executions += 1;
+            prof.kinds[k].total_ns = prof.kinds[k].total_ns.saturating_add(ns);
+            prof.levels[seg].executions += 1;
+            prof.levels[seg].total_ns = prof.levels[seg].total_ns.saturating_add(ns);
+        }
+
+        for (o, &s) in out.iter_mut().zip(&cc.output_slots) {
+            *o = w[s as usize];
+        }
+        prof.passes += 1;
     }
 }
 
@@ -1035,6 +1249,36 @@ mod tests {
         for input in all_inputs(c.n_inputs()) {
             assert_eq!(cc.eval(&input), c.eval(&input), "input {input:?}");
         }
+    }
+
+    #[cfg(feature = "profile")]
+    #[test]
+    fn profiled_run_matches_and_attributes_every_op() {
+        let c = kitchen_sink();
+        let cc = c.compile();
+        let mut prof = crate::profile::TapeProfile::new();
+        let mut ev: CompiledEvaluator<'_, bool> = CompiledEvaluator::new(&cc);
+        let mut prof_ev: CompiledEvaluator<'_, bool> = CompiledEvaluator::new(&cc);
+        let mut passes = 0u64;
+        for input in all_inputs(c.n_inputs()) {
+            let want = ev.run(&input);
+            let mut got = vec![false; cc.n_outputs()];
+            prof_ev.run_into_profiled(&input, &mut got, &mut prof);
+            assert_eq!(got, want, "input {input:?}");
+            passes += 1;
+        }
+        assert_eq!(prof.passes, passes);
+        assert_eq!(prof.total_executions(), passes * cc.tape_len() as u64);
+        // Every op lands in exactly one level segment, prologue included.
+        let level_execs: u64 = prof.levels.iter().map(|l| l.executions).sum();
+        assert_eq!(level_execs, prof.total_executions());
+        assert_eq!(prof.levels.len(), cc.n_levels() + 1);
+        assert_eq!(
+            prof.levels[0].executions,
+            passes * cc.prologue_len() as u64,
+            "prologue segment holds exactly the prologue ops"
+        );
+        assert!(!prof.hot_kinds().is_empty());
     }
 
     #[test]

@@ -197,6 +197,11 @@ impl<'c, V: Lane> Evaluator<'c, V> {
         );
         assert_eq!(out.len(), c.n_outputs(), "output slice has wrong length");
 
+        // One bool test when telemetry is off; when on, the pass is
+        // timed and folded into the per-vector latency histogram below.
+        #[cfg(feature = "telemetry")]
+        let t0 = self.tel.is_active().then(std::time::Instant::now);
+
         let w = &mut self.wires;
         for (wire, &v) in c.input_wires().iter().zip(inputs) {
             w[wire.index()] = v;
@@ -271,10 +276,17 @@ impl<'c, V: Lane> Evaluator<'c, V> {
         }
 
         // One register add per pass; totals are folded into the recorder
-        // when the evaluator drops.
+        // when the evaluator drops. The histogram sample is the pass
+        // wall-clock divided by lane width: per-*vector* latency, so
+        // scalar and packed runs land on one comparable scale.
         #[cfg(feature = "telemetry")]
         {
             self.tel_passes += 1;
+            if let Some(t0) = t0 {
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.tel
+                    .record_ns("eval.interp.vector_ns", ns / u64::from(V::LANES));
+            }
         }
     }
 }

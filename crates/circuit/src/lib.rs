@@ -48,6 +48,8 @@ pub mod lane;
 pub mod mutate;
 pub mod passes;
 pub mod pipeline;
+#[cfg(feature = "profile")]
+pub mod profile;
 pub mod regalloc;
 pub mod scope;
 pub mod serdes;
@@ -64,6 +66,8 @@ pub use eval::{EvalError, Evaluator};
 pub use faulty::{FaultyEvaluator, WireFault};
 pub use lane::Lane;
 pub use passes::{CompileOptions, OptLevel, PassManager, PassName, PassSet, PassStats};
+#[cfg(feature = "profile")]
+pub use profile::TapeProfile;
 pub use scope::{ScopeId, ScopeTree};
 pub use stats::Stats;
 pub use validate::ValidateError;

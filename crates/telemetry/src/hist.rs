@@ -1,0 +1,242 @@
+//! Log-bucketed latency histograms.
+//!
+//! Values (nanoseconds by convention) land in buckets that are exact for
+//! 0–3 and thereafter split each power-of-two octave into four
+//! sub-buckets, giving a worst-case relative quantisation error of 25%
+//! across the full `u64` range with ~252 buckets. Recording is a couple
+//! of bit operations plus one slot increment — cheap enough for
+//! per-vector evaluation latencies — and two histograms merge by adding
+//! their buckets, which is what lets [`crate::LocalRecorder`] batch
+//! per-thread and flush once.
+
+/// Sub-buckets per power-of-two octave (4 → ≤25% quantisation error).
+const SUB_BITS: u32 = 2;
+const SUBS: u64 = 1 << SUB_BITS;
+/// Values below `SUBS` get their own exact bucket.
+const LINEAR: usize = SUBS as usize;
+/// One bucket per (octave, sub-bucket) pair above the linear range.
+pub(crate) const NUM_BUCKETS: usize = LINEAR + ((64 - SUB_BITS as usize) * LINEAR);
+
+/// Index of the bucket `v` falls in. Monotonic in `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS here
+    let sub = (v >> (exp - SUB_BITS)) & (SUBS - 1);
+    ((exp - SUB_BITS) as usize) * LINEAR + LINEAR + sub as usize
+}
+
+/// Lowest value mapping to bucket `idx` (inverse of [`bucket_index`]).
+fn bucket_lo(idx: usize) -> u64 {
+    if idx < LINEAR {
+        return idx as u64;
+    }
+    let exp = SUB_BITS + ((idx - LINEAR) / LINEAR) as u32;
+    let sub = ((idx - LINEAR) % LINEAR) as u64;
+    (1u64 << exp) | (sub << (exp - SUB_BITS))
+}
+
+/// Highest value mapping to bucket `idx`.
+fn bucket_hi(idx: usize) -> u64 {
+    if idx + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lo(idx + 1) - 1
+    }
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples (nanoseconds by
+/// convention). `Default` is empty; the bucket array is allocated lazily
+/// on first record so unused histograms cost three words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; NUM_BUCKETS];
+            self.min = u64::MAX;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Folds `other` into `self`; the result is identical to having
+    /// recorded both sample streams into one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; NUM_BUCKETS];
+            self.min = u64::MAX;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (s, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *s += *o;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the `ceil(q·count)`-th sample, clamped to the
+    /// observed `[min, max]` range so quantiles are monotone in `q` and
+    /// never exceed the true extremes. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_hi(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_invertible_at_boundaries() {
+        let mut prev = 0usize;
+        for idx in 0..NUM_BUCKETS {
+            let lo = bucket_lo(idx);
+            assert_eq!(bucket_index(lo), idx, "lo of bucket {idx} maps back");
+            let hi = bucket_hi(idx);
+            assert_eq!(bucket_index(hi), idx, "hi of bucket {idx} maps back");
+            if idx > 0 {
+                assert!(bucket_lo(idx) > bucket_lo(idx - 1));
+                assert_eq!(bucket_index(lo - 1), prev, "no gap below bucket {idx}");
+            }
+            prev = idx;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_small_values_and_quantisation_error_bound() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_lo(bucket_index(v)), v);
+            assert_eq!(bucket_hi(bucket_index(v)), v);
+        }
+        // Above the linear range the bucket upper bound overestimates by
+        // at most 25%.
+        for &v in &[5u64, 100, 1_000, 123_456, 1 << 40] {
+            let hi = bucket_hi(bucket_index(v));
+            assert!(hi >= v);
+            assert!((hi - v) as f64 <= 0.25 * v as f64 + 1.0, "v={v} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for v in [3u64, 17, 17, 90, 1_000, 12_345, 5] {
+            h.record(v);
+        }
+        let (p50, p90, p99, p999) = (
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+            h.quantile(0.999),
+        );
+        assert!(h.min() <= p50, "{} <= {p50}", h.min());
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
+        assert!(p999 <= h.max());
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 3 + 17 + 17 + 90 + 1_000 + 12_345 + 5);
+    }
+
+    #[test]
+    fn single_sample_quantiles_equal_the_sample() {
+        let mut h = Histogram::new();
+        h.record(123_456);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 123_456);
+        }
+        assert_eq!(h.min(), 123_456);
+        assert_eq!(h.max(), 123_456);
+    }
+
+    #[test]
+    fn merge_equals_record_all() {
+        let samples = [1u64, 2, 4, 8, 100, 10_000, 999, 7, 7, 1 << 33];
+        let mut all = Histogram::new();
+        for &v in &samples {
+            all.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new());
+        assert_eq!(a, all);
+        let mut empty = Histogram::new();
+        empty.merge(&all);
+        assert_eq!(empty, all);
+    }
+}

@@ -50,15 +50,20 @@
 
 #![forbid(unsafe_code)]
 
+pub mod hist;
 pub mod json;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+pub use hist::Histogram;
+pub use trace::{set_trace_enabled, trace_enabled, trace_event_count, trace_json, write_trace};
 
 use json::Value;
 
@@ -68,6 +73,10 @@ use json::Value;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SPAN_DEPTH_CAP: AtomicUsize = AtomicUsize::new(8);
+/// Spans dropped by the depth cap since the last [`reset`]. Surfaced as
+/// the `telemetry.spans.depth_capped` counter so truncated profiles are
+/// detectable from the manifest alone.
+static DEPTH_CAPPED: AtomicU64 = AtomicU64::new(0);
 
 /// Whether recording is active. One relaxed load — safe to call anywhere.
 #[inline]
@@ -138,6 +147,7 @@ impl TimingStat {
 struct Inner {
     counters: BTreeMap<String, u64>,
     timings: BTreeMap<String, TimingStat>,
+    hists: BTreeMap<String, Histogram>,
     sections: Vec<(String, Value)>,
 }
 
@@ -154,6 +164,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Span timing aggregates, keyed by `/`-separated path.
     pub timings: Vec<(String, TimingStat)>,
+    /// Named latency histograms.
+    pub hists: Vec<(String, Histogram)>,
     /// Extra manifest sections registered by callers.
     pub sections: Vec<(String, Value)>,
 }
@@ -165,12 +177,35 @@ impl Registry {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn add_counter(&self, name: &str, delta: u64) {
+    /// Returns the counter's new total (for trace counter samples).
+    fn add_counter(&self, name: &str, delta: u64) -> u64 {
         let mut g = self.lock();
         if let Some(v) = g.counters.get_mut(name) {
             *v += delta;
+            *v
         } else {
             g.counters.insert(name.to_owned(), delta);
+            delta
+        }
+    }
+
+    fn merge_hist(&self, name: &str, h: &Histogram) {
+        let mut g = self.lock();
+        if let Some(slot) = g.hists.get_mut(name) {
+            slot.merge(h);
+        } else {
+            g.hists.insert(name.to_owned(), h.clone());
+        }
+    }
+
+    fn record_hist(&self, name: &str, value: u64) {
+        let mut g = self.lock();
+        if let Some(slot) = g.hists.get_mut(name) {
+            slot.record(value);
+        } else {
+            let mut h = Histogram::new();
+            h.record(value);
+            g.hists.insert(name.to_owned(), h);
         }
     }
 
@@ -190,22 +225,47 @@ impl Registry {
         }
     }
 
-    /// Takes an ordered snapshot of everything recorded so far.
+    /// Takes an ordered snapshot of everything recorded so far. Derived
+    /// counters are injected here: `telemetry.spans.depth_capped` (when
+    /// the span depth cap dropped anything) and `telemetry.hist.count` /
+    /// `telemetry.hist.samples` (when any histogram has data).
     pub fn snapshot(&self) -> Snapshot {
         let g = self.lock();
+        let mut counters = g.counters.clone();
+        let capped = DEPTH_CAPPED.load(Ordering::Relaxed);
+        if capped > 0 {
+            counters.insert("telemetry.spans.depth_capped".to_owned(), capped);
+        }
+        if !g.hists.is_empty() {
+            counters.insert("telemetry.hist.count".to_owned(), g.hists.len() as u64);
+            counters.insert(
+                "telemetry.hist.samples".to_owned(),
+                g.hists.values().map(Histogram::count).sum(),
+            );
+        }
         Snapshot {
-            counters: g.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            counters: counters.into_iter().collect(),
             timings: g.timings.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            hists: g
+                .hists
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
             sections: g.sections.clone(),
         }
     }
 
-    /// Clears all recorded data (counters, timings, sections).
+    /// Clears all recorded data (counters, timings, histograms,
+    /// sections), the depth-cap drop count, and any buffered trace
+    /// events.
     pub fn clear(&self) {
         let mut g = self.lock();
         g.counters.clear();
         g.timings.clear();
+        g.hists.clear();
         g.sections.clear();
+        DEPTH_CAPPED.store(0, Ordering::Relaxed);
+        trace::clear_events();
     }
 }
 
@@ -217,11 +277,20 @@ pub fn global() -> &'static Registry {
     })
 }
 
-/// Adds `delta` to the named counter (no-op when disabled).
+/// Adds `delta` to the named counter (no-op when disabled). In event
+/// mode the new total is also pushed as a trace counter sample.
 #[inline]
 pub fn counter_add(name: &str, delta: u64) {
     if enabled() {
-        global().add_counter(name, delta);
+        let total = global().add_counter(name, delta);
+        if trace::trace_enabled() {
+            trace::push_event(trace::TraceEvent::Counter {
+                name: name.to_owned(),
+                ts_ns: trace::now_ns(),
+                tid: trace::thread_id(),
+                total,
+            });
+        }
     }
 }
 
@@ -231,13 +300,51 @@ pub fn counter_add_many(pairs: &[(&str, u64)]) {
         return;
     }
     let reg = global();
-    let mut g = reg.lock();
-    for &(name, delta) in pairs {
-        if let Some(v) = g.counters.get_mut(name) {
-            *v += delta;
-        } else {
-            g.counters.insert(name.to_owned(), delta);
+    let mut totals: Vec<(&str, u64)> = Vec::new();
+    {
+        let mut g = reg.lock();
+        for &(name, delta) in pairs {
+            let total = if let Some(v) = g.counters.get_mut(name) {
+                *v += delta;
+                *v
+            } else {
+                g.counters.insert(name.to_owned(), delta);
+                delta
+            };
+            if trace::trace_enabled() {
+                totals.push((name, total));
+            }
         }
+    }
+    if !totals.is_empty() {
+        let ts_ns = trace::now_ns();
+        let tid = trace::thread_id();
+        for (name, total) in totals {
+            trace::push_event(trace::TraceEvent::Counter {
+                name: name.to_owned(),
+                ts_ns,
+                tid,
+                total,
+            });
+        }
+    }
+}
+
+/// Records one sample into the named global histogram (no-op when
+/// disabled). Takes the registry lock — prefer
+/// [`LocalRecorder::record_ns`] in hot loops.
+#[inline]
+pub fn hist_record(name: &str, value: u64) {
+    if enabled() {
+        global().record_hist(name, value);
+    }
+}
+
+/// Folds a locally built histogram into the named global histogram
+/// (no-op when disabled or when `h` is empty).
+pub fn hist_merge(name: &str, h: &Histogram) {
+    if enabled() && h.count() > 0 {
+        global().merge_hist(name, h);
     }
 }
 
@@ -274,12 +381,17 @@ thread_local! {
 pub struct Span {
     /// `Some((start, previous path length))` when actively recording.
     active: Option<(Instant, usize)>,
+    /// Whether a trace begin event was emitted (end must pair with it).
+    traced: bool,
 }
 
 impl Span {
     /// A guard that records nothing.
     pub fn disabled() -> Span {
-        Span { active: None }
+        Span {
+            active: None,
+            traced: false,
+        }
     }
 }
 
@@ -306,7 +418,10 @@ pub fn span(name: &str) -> Span {
         *depth += 1;
         if *depth > SPAN_DEPTH_CAP.load(Ordering::Relaxed) {
             // Too deep: count the nesting level but record nothing.
+            // The drop is itself counted so truncated profiles are
+            // detectable (`telemetry.spans.depth_capped`).
             *depth -= 1;
+            DEPTH_CAPPED.fetch_add(1, Ordering::Relaxed);
             return Span::disabled();
         }
         let prev_len = path.len();
@@ -314,8 +429,17 @@ pub fn span(name: &str) -> Span {
             path.push('/');
         }
         path.push_str(name);
+        let traced = trace::trace_enabled();
+        if traced {
+            trace::push_event(trace::TraceEvent::Begin {
+                name: name.rsplit('/').next().unwrap_or(name).to_owned(),
+                ts_ns: trace::now_ns(),
+                tid: trace::thread_id(),
+            });
+        }
         Span {
             active: Some((Instant::now(), prev_len)),
+            traced,
         }
     })
 }
@@ -332,6 +456,12 @@ impl Drop for Span {
             path.truncate(prev_len);
             *depth = depth.saturating_sub(1);
         });
+        if self.traced {
+            trace::push_event(trace::TraceEvent::End {
+                ts_ns: trace::now_ns(),
+                tid: trace::thread_id(),
+            });
+        }
     }
 }
 
@@ -354,6 +484,7 @@ pub fn span_depth() -> usize {
 pub struct LocalRecorder {
     active: bool,
     counts: Vec<(&'static str, u64)>,
+    hists: Vec<(&'static str, Histogram)>,
 }
 
 impl LocalRecorder {
@@ -362,6 +493,7 @@ impl LocalRecorder {
         LocalRecorder {
             active: enabled(),
             counts: Vec::new(),
+            hists: Vec::new(),
         }
     }
 
@@ -386,17 +518,44 @@ impl LocalRecorder {
         self.counts.push((name, delta));
     }
 
+    /// Records one sample (nanoseconds by convention) into the named
+    /// local histogram. Like [`LocalRecorder::add`], this touches only
+    /// thread-local state; the histogram merges into the registry at
+    /// flush/drop.
+    #[inline]
+    pub fn record_ns(&mut self, name: &'static str, ns: u64) {
+        if !self.active {
+            return;
+        }
+        for slot in &mut self.hists {
+            if slot.0 == name {
+                slot.1.record(ns);
+                return;
+            }
+        }
+        let mut h = Histogram::new();
+        h.record(ns);
+        self.hists.push((name, h));
+    }
+
     /// Merges into the global registry now (otherwise happens on drop).
     pub fn flush(mut self) {
         self.flush_inner();
     }
 
     fn flush_inner(&mut self) {
-        if !self.active || self.counts.is_empty() {
+        if !self.active {
             return;
         }
-        let pairs: Vec<(&str, u64)> = self.counts.drain(..).collect();
-        counter_add_many(&pairs);
+        if !self.counts.is_empty() {
+            let pairs: Vec<(&str, u64)> = self.counts.drain(..).collect();
+            counter_add_many(&pairs);
+        }
+        if !self.hists.is_empty() {
+            for (name, h) in self.hists.drain(..) {
+                hist_merge(name, &h);
+            }
+        }
     }
 }
 
@@ -460,6 +619,20 @@ pub fn render_report() -> String {
     for (name, v) in &snap.counters {
         let _ = writeln!(out, "{name}: {v}");
     }
+    if !snap.hists.is_empty() {
+        let _ = writeln!(out, "-- telemetry: histograms --");
+        for (name, h) in &snap.hists {
+            let _ = writeln!(
+                out,
+                "{name}: n={} mean {} p50 {} p99 {} max {}",
+                h.count(),
+                fmt_ns(h.mean()),
+                fmt_ns(h.quantile(0.50)),
+                fmt_ns(h.quantile(0.99)),
+                fmt_ns(h.max()),
+            );
+        }
+    }
     out
 }
 
@@ -486,9 +659,16 @@ fn unix_ms() -> i64 {
 ///   "meta": { "crate_version": "...", "os": "...", "arch": "...", "argv": [".."] },
 ///   "spans": { "<path>": { "count": 1, "total_ns": 1, "min_ns": 1, "max_ns": 1, "mean_ns": 1 } },
 ///   "counters": { "<name>": 1 },
+///   "histograms": { "<name>": { "count": 1, "sum_ns": 1, "min_ns": 1, "max_ns": 1,
+///                               "mean_ns": 1, "p50_ns": 1, "p90_ns": 1, "p99_ns": 1,
+///                               "p999_ns": 1 } },
 ///   "<extra sections from add_section>": { }
 /// }
 /// ```
+///
+/// Derived counters `telemetry.hist.count` / `telemetry.hist.samples`
+/// (and `telemetry.spans.depth_capped` when the span cap dropped
+/// anything) appear in `counters` alongside the recorded totals.
 pub fn manifest() -> Value {
     let snap = global().snapshot();
     let argv: Vec<Value> = std::env::args().map(Value::Str).collect();
@@ -524,6 +704,27 @@ pub fn manifest() -> Value {
             .map(|(name, v)| (name.clone(), Value::Int(*v as i64)))
             .collect(),
     );
+    let histograms = Value::Obj(
+        snap.hists
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    Value::obj([
+                        ("count", Value::Int(h.count() as i64)),
+                        ("sum_ns", Value::Int(h.sum() as i64)),
+                        ("min_ns", Value::Int(h.min() as i64)),
+                        ("max_ns", Value::Int(h.max() as i64)),
+                        ("mean_ns", Value::Int(h.mean() as i64)),
+                        ("p50_ns", Value::Int(h.quantile(0.50) as i64)),
+                        ("p90_ns", Value::Int(h.quantile(0.90) as i64)),
+                        ("p99_ns", Value::Int(h.quantile(0.99) as i64)),
+                        ("p999_ns", Value::Int(h.quantile(0.999) as i64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
     let mut fields = vec![
         (
             "schema".to_owned(),
@@ -533,6 +734,7 @@ pub fn manifest() -> Value {
         ("meta".to_owned(), meta),
         ("spans".to_owned(), spans),
         ("counters".to_owned(), counters),
+        ("histograms".to_owned(), histograms),
     ];
     fields.extend(snap.sections);
     Value::Obj(fields)
@@ -575,10 +777,12 @@ mod tests {
     fn with_clean_telemetry(f: impl FnOnce()) {
         static TEST_LOCK: Mutex<()> = Mutex::new(());
         let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_trace_enabled(false);
         reset();
         set_enabled(true);
         f();
         set_enabled(false);
+        set_trace_enabled(false);
         reset();
     }
 
@@ -710,6 +914,149 @@ mod tests {
             assert!(r.contains("build:"), "{r}");
             assert!(r.contains("  adder:"), "{r}");
             assert!(r.contains("build.components: 9"), "{r}");
+        });
+    }
+
+    #[test]
+    fn depth_cap_drops_are_counted_and_surfaced() {
+        with_clean_telemetry(|| {
+            set_span_depth_cap(1);
+            {
+                let _a = span("l1");
+                let _b = span("l2");
+                let _c = span("l3");
+            }
+            set_span_depth_cap(8);
+            let snap = global().snapshot();
+            assert_eq!(
+                snap.counters,
+                vec![("telemetry.spans.depth_capped".to_owned(), 2)]
+            );
+            let m = manifest();
+            assert_eq!(
+                m.get("counters")
+                    .unwrap()
+                    .get("telemetry.spans.depth_capped")
+                    .unwrap()
+                    .as_i64(),
+                Some(2)
+            );
+            reset();
+            let snap = global().snapshot();
+            assert!(snap.counters.is_empty(), "reset clears the drop count");
+        });
+    }
+
+    #[test]
+    fn histograms_flow_through_recorder_and_manifest() {
+        with_clean_telemetry(|| {
+            hist_record("eval.vector_ns", 100);
+            {
+                let mut r = LocalRecorder::new();
+                r.record_ns("eval.vector_ns", 200);
+                r.record_ns("eval.vector_ns", 400);
+                r.record_ns("compile.pass_ns", 50);
+            }
+            let snap = global().snapshot();
+            let names: Vec<&str> = snap.hists.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(names, ["compile.pass_ns", "eval.vector_ns"]);
+            assert_eq!(snap.hists[1].1.count(), 3);
+            assert_eq!(snap.hists[1].1.sum(), 700);
+            let counters: std::collections::BTreeMap<_, _> =
+                snap.counters.iter().cloned().collect();
+            assert_eq!(counters.get("telemetry.hist.count"), Some(&2));
+            assert_eq!(counters.get("telemetry.hist.samples"), Some(&4));
+            let m = manifest();
+            let h = m
+                .get("histograms")
+                .unwrap()
+                .get("eval.vector_ns")
+                .expect("histogram exported");
+            assert_eq!(h.get("count").unwrap().as_i64(), Some(3));
+            let p50 = h.get("p50_ns").unwrap().as_i64().unwrap();
+            let p99 = h.get("p99_ns").unwrap().as_i64().unwrap();
+            let max = h.get("max_ns").unwrap().as_i64().unwrap();
+            assert!(p50 <= p99 && p99 <= max, "p50={p50} p99={p99} max={max}");
+            let report = render_report();
+            assert!(report.contains("eval.vector_ns: n=3"), "{report}");
+        });
+    }
+
+    #[test]
+    fn disabled_recorder_skips_histograms() {
+        with_clean_telemetry(|| {
+            set_enabled(false);
+            hist_record("ghost.ns", 5);
+            let mut r = LocalRecorder::new();
+            r.record_ns("ghost.ns", 7);
+            drop(r);
+            set_enabled(true);
+            assert!(global().snapshot().hists.is_empty());
+        });
+    }
+
+    #[test]
+    fn trace_events_pair_and_nest() {
+        with_clean_telemetry(|| {
+            set_trace_enabled(true);
+            {
+                let _a = span("build");
+                let _b = span("prefix");
+                counter_add("build.circuits", 1);
+            }
+            set_trace_enabled(false);
+            let doc = trace_json();
+            let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+            let phases: Vec<&str> = evs
+                .iter()
+                .map(|e| e.get("ph").unwrap().as_str().unwrap())
+                .collect();
+            assert_eq!(phases, ["B", "B", "C", "E", "E"]);
+            assert_eq!(
+                evs[0].get("name").unwrap().as_str(),
+                Some("build"),
+                "outer begin first"
+            );
+            assert_eq!(evs[1].get("name").unwrap().as_str(), Some("prefix"));
+            assert_eq!(
+                evs[2]
+                    .get("args")
+                    .unwrap()
+                    .get("build.circuits")
+                    .unwrap()
+                    .as_i64(),
+                Some(1)
+            );
+            // Timestamps are monotone non-decreasing within the thread.
+            let mut prev = -1.0f64;
+            for e in evs {
+                let ts = e.get("ts").unwrap().as_f64().unwrap();
+                assert!(ts >= prev);
+                prev = ts;
+            }
+            reset();
+            assert_eq!(trace_event_count(), 0, "reset clears the trace buffer");
+        });
+    }
+
+    #[test]
+    fn capped_spans_emit_no_trace_events() {
+        with_clean_telemetry(|| {
+            set_trace_enabled(true);
+            set_span_depth_cap(1);
+            {
+                let _a = span("l1");
+                let _b = span("l2");
+            }
+            set_span_depth_cap(8);
+            set_trace_enabled(false);
+            let doc = trace_json();
+            let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+            let phases: Vec<&str> = evs
+                .iter()
+                .map(|e| e.get("ph").unwrap().as_str().unwrap())
+                .collect();
+            assert_eq!(phases, ["B", "E"], "capped span must stay unpaired-free");
         });
     }
 

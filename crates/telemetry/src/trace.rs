@@ -1,0 +1,156 @@
+//! Opt-in event-mode recorder: Chrome `trace_event` JSON export.
+//!
+//! The default telemetry mode is *aggregate*: spans fold into per-path
+//! [`crate::TimingStat`]s and allocate nothing per event. Turning tracing
+//! on (`set_trace_enabled(true)`, or `--trace-out` in the CLI) makes the
+//! same [`crate::span`] calls additionally push begin/end events — and
+//! counter updates push counter samples — into a global buffer, which
+//! [`trace_json`] serialises in the Chrome/Perfetto `trace_event`
+//! format (open the file at <https://ui.perfetto.dev>).
+//!
+//! Event mode is strictly additive: spans that the aggregate path drops
+//! (telemetry disabled, depth cap exceeded) emit no events either, so
+//! begin/end pairs always balance per thread.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Value;
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether event-mode tracing is on. One relaxed load.
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns event-mode tracing on or off. Tracing only records while
+/// telemetry itself is enabled ([`crate::set_enabled`]).
+pub fn set_trace_enabled(on: bool) {
+    TRACE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Monotonic time origin for trace timestamps (first use wins).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the trace epoch.
+pub(crate) fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Small stable per-thread id (std's `ThreadId` has no stable integer
+/// accessor): threads are numbered in first-use order.
+pub(crate) fn thread_id() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum TraceEvent {
+    /// Span begin: name is the final path segment.
+    Begin { name: String, ts_ns: u64, tid: u64 },
+    /// Span end (Chrome pairs B/E per tid by nesting order).
+    End { ts_ns: u64, tid: u64 },
+    /// Counter sample: the counter's running total after an update.
+    Counter {
+        name: String,
+        ts_ns: u64,
+        tid: u64,
+        total: u64,
+    },
+}
+
+fn events() -> &'static Mutex<Vec<TraceEvent>> {
+    static EVENTS: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn events_lock() -> std::sync::MutexGuard<'static, Vec<TraceEvent>> {
+    events().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn push_event(ev: TraceEvent) {
+    events_lock().push(ev);
+}
+
+/// Drops all buffered trace events (called by [`crate::reset`]).
+pub(crate) fn clear_events() {
+    events_lock().clear();
+}
+
+/// Number of buffered trace events.
+pub fn trace_event_count() -> usize {
+    events_lock().len()
+}
+
+fn ts_us(ts_ns: u64) -> Value {
+    Value::Float(ts_ns as f64 / 1_000.0)
+}
+
+/// Builds the Chrome `trace_event` JSON document from the buffered
+/// events: `{"traceEvents": [...], "displayTimeUnit": "ms"}` with one
+/// `B`/`E` pair per recorded span and `C` events for counter samples.
+pub fn trace_json() -> Value {
+    let evs = events_lock();
+    let mut arr = Vec::with_capacity(evs.len());
+    for ev in evs.iter() {
+        let fields = match ev {
+            TraceEvent::Begin { name, ts_ns, tid } => vec![
+                ("name".to_owned(), Value::Str(name.clone())),
+                ("cat".to_owned(), Value::Str("absort".into())),
+                ("ph".to_owned(), Value::Str("B".into())),
+                ("ts".to_owned(), ts_us(*ts_ns)),
+                ("pid".to_owned(), Value::Int(1)),
+                ("tid".to_owned(), Value::Int(*tid as i64)),
+            ],
+            TraceEvent::End { ts_ns, tid } => vec![
+                ("ph".to_owned(), Value::Str("E".into())),
+                ("ts".to_owned(), ts_us(*ts_ns)),
+                ("pid".to_owned(), Value::Int(1)),
+                ("tid".to_owned(), Value::Int(*tid as i64)),
+            ],
+            TraceEvent::Counter {
+                name,
+                ts_ns,
+                tid,
+                total,
+            } => vec![
+                ("name".to_owned(), Value::Str(name.clone())),
+                ("cat".to_owned(), Value::Str("absort".into())),
+                ("ph".to_owned(), Value::Str("C".into())),
+                ("ts".to_owned(), ts_us(*ts_ns)),
+                ("pid".to_owned(), Value::Int(1)),
+                ("tid".to_owned(), Value::Int(*tid as i64)),
+                (
+                    "args".to_owned(),
+                    Value::Obj(vec![(name.clone(), Value::Int(*total as i64))]),
+                ),
+            ],
+        };
+        arr.push(Value::Obj(fields));
+    }
+    Value::obj([
+        ("traceEvents", Value::Arr(arr)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ])
+}
+
+/// Writes the buffered trace to `path` as Chrome `trace_event` JSON
+/// (creating parent directories). The buffer is left intact.
+pub fn write_trace(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, trace_json().to_pretty())
+}

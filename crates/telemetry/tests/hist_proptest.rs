@@ -1,0 +1,86 @@
+//! Property tests for the log-bucketed [`Histogram`]: quantile
+//! monotonicity, bounds against true order statistics, and the
+//! merge-equals-record-all law that `LocalRecorder` batching relies on.
+
+use absort_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Upper bound on relative quantisation error: bucket upper bounds
+/// overshoot a sample by at most 25% (4 sub-buckets per octave).
+fn within_bucket_error(reported: u64, actual: u64) -> bool {
+    reported >= actual && (reported - actual) as f64 <= 0.25 * actual as f64 + 1.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// p50 ≤ p90 ≤ p99 ≤ p999 ≤ max and min ≤ p50 for any sample set,
+    /// and every reported quantile stays within bucket error of a true
+    /// order statistic.
+    #[test]
+    fn quantiles_are_monotone(samples in proptest::collection::vec(0u64..1_000_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let qs = [0.50, 0.90, 0.99, 0.999];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        prop_assert!(h.min() <= vals[0], "min {} > p50 {}", h.min(), vals[0]);
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {vals:?}");
+        }
+        prop_assert!(vals[3] <= h.max(), "p999 {} > max {}", vals[3], h.max());
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        for (&q, &reported) in qs.iter().zip(&vals) {
+            let rank = ((q * samples.len() as f64).ceil() as usize)
+                .clamp(1, samples.len());
+            let actual = sorted[rank - 1];
+            prop_assert!(
+                within_bucket_error(reported, actual),
+                "q={q}: reported {reported} vs true {actual}"
+            );
+        }
+    }
+
+    /// Splitting a sample stream across two histograms and merging gives
+    /// exactly the histogram of the whole stream, regardless of split.
+    #[test]
+    fn merge_equals_record_all(
+        samples in proptest::collection::vec(any::<u64>(), 0..150),
+        split_seed in any::<u64>(),
+    ) {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            all.record(v);
+            if (split_seed >> (i % 64)) & 1 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        prop_assert_eq!(&a, &all);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    /// Recording is total: any u64 lands in a bucket, and extremes are
+    /// reported exactly.
+    #[test]
+    fn extremes_round_trip(v in any::<u64>()) {
+        let mut h = Histogram::new();
+        h.record(v);
+        prop_assert_eq!(h.min(), v);
+        prop_assert_eq!(h.max(), v);
+        prop_assert_eq!(h.quantile(0.5), v);
+        prop_assert_eq!(h.count(), 1);
+    }
+}

@@ -319,6 +319,38 @@ fn inspect_prints_profile() {
     assert!(stdout(&fish).contains("pipelined"));
 }
 
+/// `inspect --profile` runs the sampled tape profiler and prints the
+/// hot-op table; without the `profile` feature it refuses loudly
+/// instead of silently skipping what was asked for.
+#[test]
+fn inspect_profile_prints_hot_op_table() {
+    let out = run(&["inspect", "--network", "prefix", "--n", "64", "--profile"]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    if err.contains("--features profile") {
+        assert_eq!(out.status.code(), Some(2), "{err}");
+        return;
+    }
+    assert!(out.status.success(), "{err}");
+    let s = stdout(&out);
+    assert!(s.contains("tape profile ("), "{s}");
+    assert!(s.contains("hottest levels"), "{s}");
+    // The mux-based networks are switch/compare dominated; both kinds
+    // must show up with execution counts in the table.
+    assert!(s.contains("switch2"), "{s}");
+    assert!(s.contains("bitcompare"), "{s}");
+}
+
+#[test]
+fn profile_flag_rejected_outside_inspect() {
+    let out = run(&["verify", "--network", "prefix", "--n", "8", "--profile"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--profile applies to the inspect command only"),
+        "{err}"
+    );
+}
+
 #[test]
 fn save_and_eval_roundtrip() {
     let saved = run(&["save", "--network", "mux-merger", "--n", "8"]);

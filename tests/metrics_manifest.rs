@@ -39,6 +39,7 @@ fn inspect_writes_valid_manifest() {
             "prefix",
             "--n",
             "64",
+            "--metrics",
             "--metrics-out",
             manifest_path.to_str().unwrap(),
         ],
@@ -172,6 +173,153 @@ fn no_metrics_means_no_manifest_and_clean_stderr() {
         !dir.join("results").exists(),
         "no manifest directory when off"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--metrics-out`/`--trace-out` name telemetry output paths; accepting
+/// them without `--metrics` would silently record nothing, so the CLI
+/// rejects the combination naming the offending flag (this guard lives
+/// in argument parsing, so it applies in both feature builds).
+#[test]
+fn output_paths_require_metrics() {
+    let dir = temp_dir("outguard");
+    for flag in ["--metrics-out", "--trace-out"] {
+        let out = run(
+            &[
+                "inspect",
+                "--network",
+                "prefix",
+                "--n",
+                "32",
+                flag,
+                "x.json",
+            ],
+            &dir,
+        );
+        assert_eq!(out.status.code(), Some(2), "{flag} without --metrics");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(flag) && err.contains("requires --metrics"),
+            "{flag}: {err}"
+        );
+        assert!(!dir.join("x.json").exists(), "{flag} must not write");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The flag-only metrics run with `--trace-out` must produce a valid
+/// Chrome `trace_event` document (balanced, properly nested B/E pairs
+/// per thread, monotone timestamps) and a manifest whose histogram
+/// section carries the per-vector eval latency percentiles.
+#[test]
+fn metrics_run_emits_trace_and_histograms() {
+    let dir = temp_dir("trace");
+    let trace_path = dir.join("run.trace.json");
+    let manifest_path = dir.join("run.json");
+    let out = run(
+        &[
+            "--network",
+            "fish",
+            "--metrics",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--metrics-out",
+            manifest_path.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    if telemetry_compiled_out(&out) {
+        // Without the feature the metrics-run mode records nothing and
+        // says so rather than silently writing an empty trace.
+        assert_eq!(out.status.code(), Some(2));
+        assert!(!trace_path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // -- Chrome trace document ------------------------------------------
+    let text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let t = json::parse(&text).expect("trace is valid JSON");
+    assert_eq!(
+        t.get("displayTimeUnit").and_then(json::Value::as_str),
+        Some("ms")
+    );
+    let events = t
+        .get("traceEvents")
+        .and_then(json::Value::as_arr)
+        .expect("traceEvents array");
+    assert!(
+        events.len() >= 6,
+        "expected several events, got {}",
+        events.len()
+    );
+
+    // Per-tid stack check: every E closes the most recent open B, every
+    // stack drains by the end, and timestamps never go backwards.
+    let mut stacks: std::collections::BTreeMap<i64, Vec<String>> = Default::default();
+    let mut last_ts = f64::NEG_INFINITY;
+    let (mut begins, mut ends) = (0usize, 0usize);
+    for ev in events {
+        let ph = ev.get("ph").and_then(json::Value::as_str).expect("ph");
+        let tid = ev.get("tid").and_then(json::Value::as_i64).expect("tid");
+        let ts = ev.get("ts").and_then(json::Value::as_f64).expect("ts");
+        assert_eq!(ev.get("pid").and_then(json::Value::as_i64), Some(1));
+        assert!(ts >= last_ts, "timestamps must be monotone");
+        last_ts = ts;
+        match ph {
+            "B" => {
+                let name = ev.get("name").and_then(json::Value::as_str).expect("name");
+                stacks.entry(tid).or_default().push(name.to_owned());
+                begins += 1;
+            }
+            "E" => {
+                assert!(
+                    stacks.entry(tid).or_default().pop().is_some(),
+                    "E event with no open B on tid {tid}"
+                );
+                ends += 1;
+            }
+            "C" => {
+                assert!(ev.get("name").is_some() && ev.get("args").is_some());
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(begins, ends, "B/E events must balance");
+    assert!(begins > 0, "at least one span must be traced");
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+    }
+
+    // -- Histogram section of the manifest ------------------------------
+    let m = json::parse(&std::fs::read_to_string(&manifest_path).unwrap()).expect("manifest");
+    let hists = m
+        .get("histograms")
+        .and_then(json::Value::as_obj)
+        .expect("histograms section");
+    for name in ["eval.interp.vector_ns", "eval.compiled.vector_ns"] {
+        let h = hists
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("histogram {name} missing"));
+        let field = |f: &str| h.get(f).and_then(json::Value::as_i64).expect("hist field");
+        assert!(field("count") > 0, "{name} must have samples");
+        assert!(field("p50_ns") <= field("p99_ns"), "{name} percentiles");
+        assert!(field("p99_ns") <= field("max_ns"), "{name} p99 <= max");
+    }
+    let samples = m
+        .get("counters")
+        .and_then(|c| c.get("telemetry.hist.samples"))
+        .and_then(json::Value::as_i64)
+        .expect("derived telemetry.hist.samples counter");
+    assert!(samples > 0);
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
