@@ -44,6 +44,7 @@ fn usage() -> ! {
          fault campaigns (no subcommand):\n\
            absort --network <prefix|mux-merger|fish|batcher|all> --faults\n\
                   [--n <size>] [--faults-out <path>] [--multi <k>] [--clocked]\n\
+                  [--tenants <t>]\n\
                   [--checkpoint <path>] [--resume] [--faults-timeout-secs <s>]\n\
                   sweep fault sites x fault kinds, score offline detection,\n\
                   concurrent (error-rail) detection, and degradation; write a\n\
@@ -86,7 +87,14 @@ fn usage() -> ! {
                                  of every size 2..=k (requires --faults)\n\
            --clocked             also sweep the clocked fish streamer:\n\
                                  permanent + cycle-precise transient faults\n\
-                                 over full sort schedules (requires --faults)\n\
+                                 over full sort schedules, with rail-triggered\n\
+                                 replay scoring recovered vs fail-stop; with\n\
+                                 --multi, simultaneous fault sets ride along\n\
+                                 (requires --faults)\n\
+           --tenants <t>         round-robin t in-flight schedules through\n\
+                                 each clocked faulty machine instead of one\n\
+                                 fresh machine per schedule (default 1;\n\
+                                 requires --faults --clocked)\n\
            --checkpoint <path>   write the campaign-so-far after every unit\n\
                                  (default with --resume:\n\
                                  results/faults/checkpoint.json)\n\
@@ -150,6 +158,7 @@ struct Args {
     faults_out: Option<String>,
     multi: Option<usize>,
     clocked: bool,
+    tenants: Option<usize>,
     checkpoint: Option<String>,
     resume: bool,
     faults_timeout_secs: Option<u64>,
@@ -172,6 +181,7 @@ fn parse_args(argv: &[String]) -> Args {
         faults_out: None,
         multi: None,
         clocked: false,
+        tenants: None,
         checkpoint: None,
         resume: false,
         faults_timeout_secs: None,
@@ -249,6 +259,13 @@ fn parse_args(argv: &[String]) -> Args {
                 a.multi = Some(k);
             }
             "--clocked" => a.clocked = true,
+            "--tenants" => {
+                let t = parse_usize("--tenants", &mut it);
+                if t == 0 {
+                    flag_error("--tenants", Some(&"0".to_string()));
+                }
+                a.tenants = Some(t);
+            }
             "--checkpoint" => {
                 a.checkpoint = Some(
                     it.next()
@@ -291,6 +308,7 @@ fn parse_args(argv: &[String]) -> Args {
         (a.harden_duplicate, "--harden-duplicate"),
         (a.multi.is_some(), "--multi"),
         (a.clocked, "--clocked"),
+        (a.tenants.is_some(), "--tenants"),
         (a.checkpoint.is_some(), "--checkpoint"),
         (a.resume, "--resume"),
         (a.faults_timeout_secs.is_some(), "--faults-timeout-secs"),
@@ -300,6 +318,11 @@ fn parse_args(argv: &[String]) -> Args {
             eprintln!("error: {flag} requires --faults (it tunes the fault campaign)\n");
             usage();
         }
+    }
+    // Tenancy only means something for the clocked streamer sweep.
+    if a.tenants.is_some() && !a.clocked {
+        eprintln!("error: --tenants requires --clocked (it schedules the clocked streamer)\n");
+        usage();
     }
     a
 }
@@ -773,6 +796,7 @@ fn cmd_faults(a: &Args) {
     let opts = fc::CampaignOptions {
         multi: a.multi.unwrap_or(1),
         clocked: a.clocked,
+        tenants: a.tenants.unwrap_or(1),
         checkpoint: checkpoint.as_deref().map(std::path::PathBuf::from),
         resume: a.resume,
         timeout: a.faults_timeout_secs.map(std::time::Duration::from_secs),
@@ -810,6 +834,12 @@ fn cmd_faults(a: &Args) {
             net.permanent_detection_rate(),
             net.concurrent_detection_rate()
         );
+        // Recovery columns only exist for units with replay semantics
+        // (the clocked streamer); keep combinational summaries unchanged.
+        let (rec, fstop) = (net.recovered(), net.fail_stop());
+        if rec + fstop > 0 {
+            println!("  recovery (rail-triggered replay): recovered {rec}  fail-stop {fstop}");
+        }
         // The hardening trade in one row: what the checker hardware
         // costs against the concurrent coverage it buys.
         let overhead = net.hardened_cost.saturating_sub(net.base_cost);

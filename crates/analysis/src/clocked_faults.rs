@@ -28,10 +28,34 @@
 //!   (concurrent detection), next to the offline `detected` verdict.
 //!
 //! Unlike the combinational sweeps, the fault universe here is the whole
-//! machine core — shared sorter, group multiplexer, counter, *and* the
+//! machine core — shared sorter, group multiplexer, counter (plus its
+//! shadow/parity/heartbeat checker under control hardening), *and* the
 //! checker itself — so the report also exposes false alarms: checker
 //! faults that raise the rail while the data stream stays correct show
 //! up as `flagged` without `detected`.
+//!
+//! ## Recovery semantics (schema v3)
+//!
+//! Every schedule whose rail fired is **replayed**: the machine's reset
+//! line is pulsed (registers restored, the cycle counter keeps running,
+//! so a latched transient does not re-fire) and the same schedule re-run.
+//! A fault all of whose replays come back clean — quiet rail *and* a
+//! completed stream matching the sorted oracle — is scored `recovered`;
+//! a fault whose flag persists through some replay is `fail_stop` (the
+//! machine must be pulled, but it failed *loudly*). Replays never touch
+//! the v2 columns: `detected`/`masked`/`flagged` and the degradation
+//! extremes come from the primary run alone.
+//!
+//! ## Multi-tenant streaming
+//!
+//! With `tenants = t > 1`, schedules are round-robined through **one**
+//! powered-on machine `t` at a time instead of each getting a fresh
+//! power-on: tenant `j` of a batch owns cycles `[j·k, (j+1)·k)`, so
+//! state corrupted under one tenant's schedule is still latched when the
+//! next tenant's begins — the cross-tenant interference a shared Model B
+//! machine actually risks. `tenants = 1` reduces to the classic
+//! one-machine-per-schedule sweep bit-for-bit. Batch occupancy feeds the
+//! `pipeline.in_flight_vector_cycles` telemetry counter.
 
 use absort_circuit::clocked::ClockedCircuit;
 use absort_circuit::faulty::{observable_wires, permanent_fault_sites};
@@ -78,6 +102,14 @@ impl AnySim<'_> {
         match self {
             AnySim::Clean(s) => s.try_step(ext_in),
             AnySim::Faulty(s) => s.try_step(ext_in),
+        }
+    }
+
+    /// Pulses the reset line: registers restored, cycle counter kept.
+    fn reset(&mut self) {
+        match self {
+            AnySim::Clean(s) => s.reset(),
+            AnySim::Faulty(s) => s.reset(),
         }
     }
 }
@@ -137,26 +169,66 @@ fn harness(cfg: &CampaignConfig) -> Harness {
     }
 }
 
+/// The machine core's visited input space: every schedule's external
+/// lines crossed with the register values each cycle holds fault-free —
+/// the counter, and under control hardening its shadow copy, parity bit,
+/// and end-of-schedule heartbeat. Wire-fault site enumeration prunes
+/// sites provably vacuous over these vectors.
+fn core_vectors(h: &Harness) -> Vec<Vec<bool>> {
+    let k = h.streamer.k;
+    let kbits = k.trailing_zeros() as usize;
+    let mut vectors = Vec::with_capacity(h.schedules.len() * k);
+    for sched in &h.schedules {
+        for c in 0..k {
+            let mut v = sched.clone();
+            for b in 0..kbits {
+                v.push(c >> b & 1 == 1);
+            }
+            if h.streamer.hardened_control {
+                // Shadow counter tracks the primary bit-for-bit.
+                for b in 0..kbits {
+                    v.push(c >> b & 1 == 1);
+                }
+                // Parity register shadows the count's LSB; the heartbeat
+                // is armed by the shadow's wrap carry, so it is high
+                // exactly on schedule-start cycles.
+                v.push(c & 1 == 1);
+                v.push(c == 0);
+            }
+            vectors.push(v);
+        }
+    }
+    vectors
+}
+
 /// Per-fault outcome over the swept schedules.
 #[derive(Default)]
 struct Outcome {
     detected: bool,
     differed: bool,
     flagged: bool,
+    /// Some flagged schedule's replay stayed dirty (rail high again or a
+    /// corrupted completion): the fault is persistent, not a transient.
+    replay_failed: bool,
     cycles: u64,
+    /// Queue-depth integral of the tenant batches (vector·cycles spent
+    /// in flight), fed to `pipeline.in_flight_vector_cycles`.
+    in_flight: u64,
 }
 
-/// Runs one faulty machine over one schedule and folds the verdicts.
+/// Runs one schedule on `sim` and folds the verdicts; returns whether
+/// the rail fired during *this* schedule (the replay trigger).
 fn run_schedule(
     h: &Harness,
     si: usize,
-    mut sim: AnySim<'_>,
+    sim: &mut AnySim<'_>,
     o: &mut Outcome,
     degradation: &mut Degradation,
-) {
+) -> bool {
     let k = h.streamer.k;
     let group = h.streamer.group;
     let sched = &h.schedules[si];
+    let mut flagged = false;
     let mut data: Vec<Vec<bool>> = Vec::with_capacity(k);
     for _ in 0..k {
         let out = sim
@@ -164,6 +236,7 @@ fn run_schedule(
             .expect("schedule arity matches the machine");
         o.cycles += 1;
         if out[group] {
+            flagged = true;
             o.flagged = true;
             degradation.flagged += 1;
         }
@@ -179,10 +252,77 @@ fn run_schedule(
         o.detected = true;
         degradation.observe(&completed, true_ones);
     }
+    flagged
+}
+
+/// Replays one flagged schedule after a reset pulse and reports whether
+/// the replay came back clean: quiet rail on every cycle and a completed
+/// stream matching the sorted oracle. The cycle counter is *not* rewound
+/// by reset, so a transient upset latched during the primary run cannot
+/// re-fire here. Replays deliberately leave the v2 columns (detection,
+/// masking, flag counts, degradation) untouched.
+fn replay_schedule(h: &Harness, si: usize, sim: &mut AnySim<'_>) -> bool {
+    sim.reset();
+    let k = h.streamer.k;
+    let group = h.streamer.group;
+    let sched = &h.schedules[si];
+    let mut data: Vec<Vec<bool>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let out = sim
+            .try_step(sched)
+            .expect("schedule arity matches the machine");
+        if out[group] {
+            return false;
+        }
+        data.push(out[..group].to_vec());
+    }
+    let completed = h.merger.eval(&data.concat());
+    let true_ones = sched.iter().filter(|&&b| b).count();
+    lang::is_sorted(&completed) && completed.iter().filter(|&&b| b).count() == true_ones
+}
+
+/// Runs one faulty machine over `schedules`, `tenants` at a time. Each
+/// batch shares one power-on simulator round-robin — tenant `j` owns
+/// cycles `[j·k, (j+1)·k)` — so corruption latched under one tenant's
+/// schedule is live when the next tenant's begins. `tenants = 1` is the
+/// classic fresh-machine-per-schedule sweep, bit-for-bit.
+///
+/// After each batch, every schedule whose rail fired is replayed on the
+/// same (reset) machine; `o.replay_failed` records whether any replay
+/// stayed dirty.
+fn score_schedules<'m>(
+    h: &Harness,
+    tenants: usize,
+    schedules: &[usize],
+    mut fresh: impl FnMut() -> AnySim<'m>,
+    o: &mut Outcome,
+    degradation: &mut Degradation,
+) {
+    let k = h.streamer.k as u64;
+    for batch in schedules.chunks(tenants.max(1)) {
+        let mut sim = fresh();
+        let mut flagged: Vec<usize> = Vec::new();
+        for &si in batch {
+            if run_schedule(h, si, &mut sim, o, degradation) {
+                flagged.push(si);
+            }
+        }
+        // Queue-depth integral: while tenant j computes for k cycles,
+        // the batch's j later arrivals wait in flight.
+        let b = batch.len() as u64;
+        o.in_flight += k * (b * (b + 1) / 2);
+        for &si in &flagged {
+            if !replay_schedule(h, si, &mut sim) {
+                o.replay_failed = true;
+            }
+        }
+    }
 }
 
 /// Folds one fault's outcome into a report cell, mirroring the
-/// combinational campaign's masked-set accounting.
+/// combinational campaign's masked-set accounting and adding the v3
+/// recovery split: every flagged fault is exactly one of `recovered`
+/// (all replays clean) or `fail_stop` (some replay stayed dirty).
 fn tally(cell: &mut KindReport, o: &Outcome) -> u64 {
     cell.injected += 1;
     if o.detected {
@@ -192,21 +332,35 @@ fn tally(cell: &mut KindReport, o: &Outcome) -> u64 {
     }
     if o.flagged {
         cell.flagged += 1;
+        if o.replay_failed {
+            cell.fail_stop += 1;
+        } else {
+            cell.recovered += 1;
+        }
     }
     o.cycles
 }
 
-/// Runs the clocked fish-streamer campaign at `cfg.n` and returns its
-/// report (network name [`CLOCKED_NETWORK`], `fault_set_size = 1`).
+/// Runs the clocked fish-streamer campaign at `cfg.n` with the classic
+/// one-schedule-per-machine workload (network name [`CLOCKED_NETWORK`],
+/// `fault_set_size = 1`).
 pub fn run_clocked_fish(cfg: &CampaignConfig) -> NetworkReport {
+    run_clocked_fish_with(cfg, 1)
+}
+
+/// Runs the clocked fish-streamer campaign with `tenants` in-flight
+/// schedules round-robined through each faulty machine (see the module
+/// docs); `tenants = 1` matches [`run_clocked_fish`] bit-for-bit.
+pub fn run_clocked_fish_with(cfg: &CampaignConfig, tenants: usize) -> NetworkReport {
     #[cfg(feature = "telemetry")]
     let _span = absort_telemetry::span("faults/clocked");
     let h = harness(cfg);
     let comb = h.streamer.machine.comb();
     let k = h.streamer.k;
-    let kbits = h.streamer.machine.n_state();
     let n_ext_out = h.streamer.machine.n_outputs();
+    let all: Vec<usize> = (0..h.schedules.len()).collect();
     let mut total_cycles = 0u64;
+    let mut total_in_flight = 0u64;
 
     let mut kinds: Vec<KindReport> = Vec::new();
 
@@ -225,17 +379,25 @@ pub fn run_clocked_fish(cfg: &CampaignConfig) -> NetworkReport {
             mutant
                 .validate()
                 .unwrap_or_else(|e| panic!("clocked mutant failed validation: {e}"));
-            let machine = ClockedCircuit::new(mutant, cfg.n, n_ext_out, vec![false; kbits]);
+            // The mutant machine must power on in the streamer's own
+            // reset state (under control hardening the heartbeat register
+            // resets high), or every mutant would false-alarm on cycle 0.
+            let machine = ClockedCircuit::new(
+                mutant,
+                cfg.n,
+                n_ext_out,
+                h.streamer.machine.reset_state().to_vec(),
+            );
             let mut o = Outcome::default();
-            for si in 0..h.schedules.len() {
-                run_schedule(
-                    &h,
-                    si,
-                    AnySim::Clean(machine.power_on()),
-                    &mut o,
-                    &mut cell.degradation,
-                );
-            }
+            score_schedules(
+                &h,
+                tenants,
+                &all,
+                || AnySim::Clean(machine.power_on()),
+                &mut o,
+                &mut cell.degradation,
+            );
+            total_in_flight += o.in_flight;
             total_cycles += tally(&mut cell, &o);
         }
         kinds.push(cell);
@@ -243,18 +405,8 @@ pub fn run_clocked_fish(cfg: &CampaignConfig) -> NetworkReport {
 
     // --- wire-granularity permanent faults ------------------------------
     // Site enumeration needs the core's full input space: external lines
-    // crossed with every counter state the schedule visits.
-    let mut comb_vectors: Vec<Vec<bool>> = Vec::new();
-    for sched in &h.schedules {
-        for c in 0..k {
-            let mut v = sched.clone();
-            for b in 0..kbits {
-                v.push(c >> b & 1 == 1);
-            }
-            comb_vectors.push(v);
-        }
-    }
-    let sites = permanent_fault_sites(comb, &comb_vectors);
+    // crossed with every register state the schedule visits.
+    let sites = permanent_fault_sites(comb, &core_vectors(&h));
     for kind in [
         FaultKind::StuckAt0,
         FaultKind::StuckAt1,
@@ -270,15 +422,15 @@ pub fn run_clocked_fish(cfg: &CampaignConfig) -> NetworkReport {
             _ => matches!(s, WireFault::BridgeOr { .. }),
         }) {
             let mut o = Outcome::default();
-            for si in 0..h.schedules.len() {
-                run_schedule(
-                    &h,
-                    si,
-                    AnySim::Faulty(h.streamer.machine.power_on_faulty(&[site])),
-                    &mut o,
-                    &mut cell.degradation,
-                );
-            }
+            score_schedules(
+                &h,
+                tenants,
+                &all,
+                || AnySim::Faulty(h.streamer.machine.power_on_faulty(&[site])),
+                &mut o,
+                &mut cell.degradation,
+            );
+            total_in_flight += o.in_flight;
             total_cycles += tally(&mut cell, &o);
         }
         kinds.push(cell);
@@ -288,7 +440,9 @@ pub fn run_clocked_fish(cfg: &CampaignConfig) -> NetworkReport {
     // The faulty simulator counts one vector per clock step, so vector
     // index `c` is exactly cycle `c` of the run. Each sample targets one
     // (wire, cycle, schedule) triple; corruption latched into the
-    // counter register persists past the upset cycle.
+    // counter register persists past the upset cycle. Samples stay
+    // single-schedule runs regardless of `tenants` — the replay protocol
+    // is what demonstrates transient recovery.
     let mut cell = KindReport {
         kind: Some(FaultKind::TransientFlip),
         ..Default::default()
@@ -304,21 +458,26 @@ pub fn run_clocked_fish(cfg: &CampaignConfig) -> NetworkReport {
             vector: cycle,
         };
         let mut o = Outcome::default();
-        run_schedule(
+        score_schedules(
             &h,
-            si,
-            AnySim::Faulty(h.streamer.machine.power_on_faulty(&[fault])),
+            1,
+            &[si],
+            || AnySim::Faulty(h.streamer.machine.power_on_faulty(&[fault])),
             &mut o,
             &mut cell.degradation,
         );
+        total_in_flight += o.in_flight;
         total_cycles += tally(&mut cell, &o);
     }
     kinds.push(cell);
 
     #[cfg(feature = "telemetry")]
-    absort_telemetry::counter_add("faults.clocked.cycles", total_cycles);
+    absort_telemetry::counter_add_many(&[
+        ("faults.clocked.cycles", total_cycles),
+        ("pipeline.in_flight_vector_cycles", total_in_flight),
+    ]);
     #[cfg(not(feature = "telemetry"))]
-    let _ = total_cycles;
+    let _ = (total_cycles, total_in_flight);
 
     // The cost columns price the checker: the bare (unhardened)
     // streamer core against the self-checking one actually swept.
@@ -334,6 +493,110 @@ pub fn run_clocked_fish(cfg: &CampaignConfig) -> NetworkReport {
         vectors: h.schedules.len() as u64,
         fault_set_size: 1,
         kinds,
+    }
+}
+
+/// The physical site a wire fault occupies; sampled sets keep sites
+/// distinct so `k` faults model `k` separate defects.
+fn wire_site(f: &WireFault) -> (u8, usize, usize) {
+    match *f {
+        WireFault::StuckAt { wire, .. } => (1, wire.index(), 0),
+        WireFault::BridgeOr { a, b } => (2, a.index(), b.index()),
+        WireFault::TransientFlip { .. } => {
+            unreachable!("transients are not pooled into multi-fault sets")
+        }
+    }
+}
+
+/// Sweeps sampled simultaneous `set_size`-fault sets over the clocked
+/// streamer — the Model B analogue of
+/// [`crate::faults::run_network_sets`]. Each sample draws `set_size`
+/// wire-granularity permanent faults on distinct sites of the machine
+/// core, applies them together on every cycle, and scores the set over
+/// all schedules with the same tenant batching and replay protocol as
+/// the single-fault sweep; the report is one mixed-kind cell with
+/// `fault_set_size = set_size`.
+///
+/// The sampling stream depends only on `(cfg.seed, set_size)` — not on
+/// which other units ran — so checkpoint-resumed campaigns reproduce
+/// uninterrupted ones bit-for-bit.
+pub fn run_clocked_fish_sets(
+    cfg: &CampaignConfig,
+    set_size: usize,
+    samples: usize,
+    tenants: usize,
+) -> NetworkReport {
+    assert!(
+        set_size >= 2,
+        "run_clocked_fish_sets needs set_size ≥ 2; use run_clocked_fish for singles"
+    );
+    #[cfg(feature = "telemetry")]
+    let _span = absort_telemetry::span(&format!("faults/clocked/k{set_size}"));
+    let h = harness(cfg);
+    let comb = h.streamer.machine.comb();
+    let k = h.streamer.k;
+    let all: Vec<usize> = (0..h.schedules.len()).collect();
+    let sites = permanent_fault_sites(comb, &core_vectors(&h));
+    {
+        let mut ids: Vec<_> = sites.iter().map(wire_site).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert!(
+            ids.len() >= set_size,
+            "clocked core at n={} has only {} distinct wire-fault sites, cannot draw {set_size}-sets",
+            cfg.n,
+            ids.len()
+        );
+    }
+
+    let mut cell = KindReport::default(); // kind: None → "mixed"
+    let mut total_cycles = 0u64;
+    let mut total_in_flight = 0u64;
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ fnv1a(CLOCKED_NETWORK) ^ ((set_size as u64) << 32));
+    for _ in 0..samples {
+        let mut chosen: Vec<WireFault> = Vec::with_capacity(set_size);
+        while chosen.len() < set_size {
+            let f = sites[rng.gen_range(0..sites.len())];
+            if chosen.iter().any(|c| wire_site(c) == wire_site(&f)) {
+                continue;
+            }
+            chosen.push(f);
+        }
+        let mut o = Outcome::default();
+        score_schedules(
+            &h,
+            tenants,
+            &all,
+            || AnySim::Faulty(h.streamer.machine.power_on_faulty(&chosen)),
+            &mut o,
+            &mut cell.degradation,
+        );
+        total_in_flight += o.in_flight;
+        total_cycles += tally(&mut cell, &o);
+    }
+
+    #[cfg(feature = "telemetry")]
+    absort_telemetry::counter_add_many(&[
+        ("faults.clocked.cycles", total_cycles),
+        ("faults.multi.sets", samples as u64),
+        ("pipeline.in_flight_vector_cycles", total_in_flight),
+    ]);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (total_cycles, total_in_flight);
+
+    let bare_cost = streaming_sorter(cfg.n, k, None).machine.comb().cost().total;
+
+    NetworkReport {
+        network: CLOCKED_NETWORK.to_owned(),
+        n: cfg.n,
+        components: comb.n_components() as u64,
+        base_cost: bare_cost,
+        hardened_cost: comb.cost().total,
+        tier: h.tier.to_owned(),
+        vectors: h.schedules.len() as u64,
+        fault_set_size: set_size as u64,
+        kinds: vec![cell],
     }
 }
 
@@ -401,5 +664,85 @@ mod tests {
             cell.injected > cell.masked,
             "some transient must perturb the stream"
         );
+    }
+
+    #[test]
+    fn recovery_split_partitions_the_flagged_faults() {
+        // v3 accounting: every flagged fault is exactly one of
+        // recovered/fail_stop; permanents re-manifest on replay (the
+        // primary run and the replay start from the same reset state at
+        // tenants = 1, so a flag always repeats → fail_stop), while
+        // flagged transients cannot re-fire after reset → recovered.
+        let cfg = CampaignConfig {
+            n: 4,
+            transient_samples: 64,
+            ..Default::default()
+        };
+        let report = run_clocked_fish(&cfg);
+        for cell in &report.kinds {
+            assert_eq!(
+                cell.recovered + cell.fail_stop,
+                cell.flagged,
+                "{:?}: recovery split must partition the flagged count",
+                cell.kind
+            );
+            if cell.kind != Some(FaultKind::TransientFlip) {
+                assert_eq!(
+                    cell.recovered, 0,
+                    "{:?}: a permanent fault cannot recover via replay",
+                    cell.kind
+                );
+            }
+        }
+        let transients = report
+            .kinds
+            .iter()
+            .find(|c| c.kind == Some(FaultKind::TransientFlip))
+            .unwrap();
+        assert!(
+            transients.recovered > 0,
+            "some flagged transient must clear on replay"
+        );
+        assert_eq!(
+            transients.fail_stop, 0,
+            "a reset pulse clears every latched transient"
+        );
+    }
+
+    #[test]
+    fn multi_tenant_sweep_is_deterministic_and_keeps_the_universe() {
+        // Tenant batching changes which state each schedule starts from
+        // (interference is the point), never which faults are swept.
+        let cfg = small_cfg();
+        let solo = run_clocked_fish_with(&cfg, 1);
+        let multi = run_clocked_fish_with(&cfg, 4);
+        assert_eq!(solo.kinds.len(), multi.kinds.len());
+        for (a, b) in solo.kinds.iter().zip(&multi.kinds) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.injected, b.injected, "{:?}", a.kind);
+        }
+        // tenants = 1 is the definition of the classic sweep.
+        assert_eq!(
+            solo.to_json().to_pretty(),
+            run_clocked_fish(&cfg).to_json().to_pretty()
+        );
+        let again = run_clocked_fish_with(&cfg, 4);
+        assert_eq!(multi.to_json().to_pretty(), again.to_json().to_pretty());
+    }
+
+    #[test]
+    fn clocked_fault_sets_sample_and_score() {
+        let cfg = small_cfg();
+        let report = run_clocked_fish_sets(&cfg, 2, 16, 2);
+        assert_eq!(report.network, CLOCKED_NETWORK);
+        assert_eq!(report.fault_set_size, 2);
+        assert_eq!(report.kinds.len(), 1);
+        let cell = &report.kinds[0];
+        assert_eq!(cell.kind, None);
+        assert_eq!(cell.injected, 16);
+        assert!(cell.detected + cell.masked <= cell.injected);
+        assert_eq!(cell.recovered + cell.fail_stop, cell.flagged);
+        let again = run_clocked_fish_sets(&cfg, 2, 16, 2);
+        assert_eq!(again.to_json().to_pretty(), report.to_json().to_pretty());
     }
 }

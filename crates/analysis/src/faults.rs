@@ -159,8 +159,16 @@ pub struct CampaignOptions {
     /// Sampled fault sets per `(network, k)` unit for `k ≥ 2`.
     pub sets_per_k: usize,
     /// Also run the clocked fish-streamer unit
-    /// ([`crate::clocked_faults::run_clocked_fish`]).
+    /// ([`crate::clocked_faults::run_clocked_fish`]); with `multi ≥ 2`,
+    /// clocked multi-fault-set units
+    /// ([`crate::clocked_faults::run_clocked_fish_sets`]) ride along for
+    /// each `k in 2..=multi`.
     pub clocked: bool,
+    /// In-flight schedules round-robined through each clocked faulty
+    /// machine (`1` = the classic fresh-machine-per-schedule sweep; see
+    /// [`crate::clocked_faults`] for the interference model). Ignored by
+    /// the combinational units.
+    pub tenants: usize,
     /// Checkpoint path: the report-so-far is written after every
     /// completed unit, so a truncated or killed campaign can resume.
     pub checkpoint: Option<PathBuf>,
@@ -181,6 +189,7 @@ impl Default for CampaignOptions {
             multi: 1,
             sets_per_k: 64,
             clocked: false,
+            tenants: 1,
             checkpoint: None,
             resume: false,
             timeout: None,
@@ -880,6 +889,8 @@ enum Unit {
     Comb(NetworkSel, usize),
     /// The clocked fish-streamer unit.
     Clocked,
+    /// A clocked multi-fault-set unit at the given set size (`≥ 2`).
+    ClockedSets(usize),
 }
 
 /// The `(network, fault_set_size)` key a unit's report carries — the
@@ -888,6 +899,7 @@ fn unit_key(u: Unit) -> (&'static str, u64) {
     match u {
         Unit::Comb(sel, k) => (sel.name(), k as u64),
         Unit::Clocked => (crate::clocked_faults::CLOCKED_NETWORK, 1),
+        Unit::ClockedSets(k) => (crate::clocked_faults::CLOCKED_NETWORK, k as u64),
     }
 }
 
@@ -904,6 +916,7 @@ fn fingerprint(networks: &[NetworkSel], cfg: &CampaignConfig, opts: &CampaignOpt
         ("mono", cfg.harden.monotonicity),
         ("cons", cfg.harden.conservation),
         ("dup", cfg.harden.duplicate),
+        ("ctl", cfg.harden.control),
     ]
     .iter()
     .filter(|(_, on)| *on)
@@ -911,7 +924,7 @@ fn fingerprint(networks: &[NetworkSel], cfg: &CampaignConfig, opts: &CampaignOpt
     .collect::<Vec<_>>()
     .join("+");
     format!(
-        "absort-faults/v2|n={}|seed={:#x}|max_exhaustive={}|transients={}|engine={}|opt={}|harden={}|multi={}|sets={}|clocked={}|nets={}",
+        "absort-faults/v3|n={}|seed={:#x}|max_exhaustive={}|transients={}|engine={}|opt={}|harden={}|multi={}|sets={}|clocked={}|tenants={}|nets={}",
         cfg.n,
         cfg.seed,
         cfg.max_exhaustive,
@@ -922,6 +935,7 @@ fn fingerprint(networks: &[NetworkSel], cfg: &CampaignConfig, opts: &CampaignOpt
         opts.multi,
         opts.sets_per_k,
         opts.clocked,
+        opts.tenants.max(1),
         nets.join("+"),
     )
 }
@@ -1007,6 +1021,9 @@ pub fn run_campaign_with(
     }
     if opts.clocked {
         units.push(Unit::Clocked);
+        for k in 2..=opts.multi {
+            units.push(Unit::ClockedSets(k));
+        }
     }
 
     let mut done: Vec<NetworkReport> = Vec::new();
@@ -1042,7 +1059,13 @@ pub fn run_campaign_with(
         let rep = match u {
             Unit::Comb(sel, 1) => run_network(sel, cfg),
             Unit::Comb(sel, k) => run_network_sets(sel, cfg, k, opts.sets_per_k),
-            Unit::Clocked => crate::clocked_faults::run_clocked_fish(cfg),
+            Unit::Clocked => crate::clocked_faults::run_clocked_fish_with(cfg, opts.tenants.max(1)),
+            Unit::ClockedSets(k) => crate::clocked_faults::run_clocked_fish_sets(
+                cfg,
+                k,
+                opts.sets_per_k,
+                opts.tenants.max(1),
+            ),
         };
         done.push(rep);
         fresh += 1;

@@ -1,0 +1,205 @@
+//! `bench_clocked` — sustained-throughput numbers for the clocked Model B
+//! streamer under multi-tenant load.
+//!
+//! The time-multiplexed fish sorter shares one `n/k`-input merger across
+//! `k` cycles; [`absort_networks::hardened::StreamingSorter::stream_tenants`]
+//! round-robins many independent in-flight sorts through that one
+//! machine. This benchmark streams a fixed workload of schedules through
+//! the hardened streamer at several tenancy levels and reports sustained
+//! throughput (schedules/s and machine cycles/s), next to the bare
+//! (checker-free) machine at tenancy 1 so the hardening tax on the
+//! clocked path is priced in the same file. Results are written as JSON
+//! (default `BENCH_clocked.json`); each headline number is the minimum
+//! over `--reps` samples with a min/median/max spread alongside.
+//!
+//! Usage:
+//!   cargo run --release -p absort-bench --bin bench_clocked -- \
+//!       [--quick] [--reps N] [--out BENCH_clocked.json]
+//!
+//! `--quick` restricts to n = 16 (CI smoke); the default sweep is
+//! n ∈ {16, 64, 256}.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use absort_analysis::faults::fish_k;
+use absort_bench::bench_bits;
+use absort_networks::hardened::{streaming_sorter, HardenOptions, StreamingSorter};
+
+/// Schedules streamed per measurement pass.
+const WORKLOAD: usize = 64;
+
+/// Min/median/max wall-clock seconds per pass over `--reps` samples.
+#[derive(Clone, Copy)]
+struct Sample {
+    min: f64,
+    median: f64,
+    max: f64,
+}
+
+fn sample<R>(reps: usize, mut f: impl FnMut() -> R) -> Sample {
+    let mut secs: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(f64::total_cmp);
+    Sample {
+        min: secs[0],
+        median: secs[secs.len() / 2],
+        max: secs[secs.len() - 1],
+    }
+}
+
+fn ms(secs: f64) -> String {
+    format!("{:.3}", secs * 1e3)
+}
+
+/// Streams the whole workload through `s`, `tenants` schedules per
+/// machine occupancy, and returns how many rail events fired (zero on a
+/// fault-free machine — the return value only keeps the work observable).
+fn stream_workload(s: &StreamingSorter, vectors: &[Vec<bool>], tenants: usize) -> usize {
+    let mut rails = 0usize;
+    for batch in vectors.chunks(tenants) {
+        for (_, rail) in s.stream_tenants(batch) {
+            rails += usize::from(rail);
+        }
+    }
+    rails
+}
+
+fn tenancy_row(s: &StreamingSorter, vectors: &[Vec<bool>], tenants: usize, reps: usize) -> String {
+    let sp = sample(reps, || stream_workload(s, vectors, tenants));
+    let cycles = (vectors.len() * s.k) as f64;
+    let schedules_per_s = vectors.len() as f64 / sp.min;
+    let cycles_per_s = cycles / sp.min;
+    eprintln!(
+        "  tenants={tenants}: {} ms / {} schedules  ({:.0} schedules/s, {:.0} cycles/s)",
+        ms(sp.min),
+        vectors.len(),
+        schedules_per_s,
+        cycles_per_s,
+    );
+    format!(
+        concat!(
+            "        {{\n",
+            "          \"tenants\": {tenants},\n",
+            "          \"sustained_ms\": {min},\n",
+            "          \"schedules_per_sec\": {sps:.1},\n",
+            "          \"cycles_per_sec\": {cps:.1},\n",
+            "          \"spread\": {{ \"min\": {min}, \"median\": {med}, \"max\": {max} }}\n",
+            "        }}"
+        ),
+        tenants = tenants,
+        min = ms(sp.min),
+        med = ms(sp.median),
+        max = ms(sp.max),
+        sps = schedules_per_s,
+        cps = cycles_per_s,
+    )
+}
+
+fn size_row(n: usize, reps: usize) -> String {
+    let k = fish_k(n);
+    let hardened = streaming_sorter(n, k, Some(&HardenOptions::default()));
+    let bare = streaming_sorter(n, k, None);
+    let vectors: Vec<Vec<bool>> = (0..WORKLOAD).map(|s| bench_bits(n, s as u64)).collect();
+
+    // Fault-free sanity before timing: the hardened rail must stay quiet
+    // over the whole workload at the deepest tenancy swept.
+    assert_eq!(
+        stream_workload(&hardened, &vectors, 8),
+        0,
+        "hardened streamer raised its rail on a fault-free workload"
+    );
+
+    eprintln!(
+        "n={n} k={k}: hardened core {} units (bare {}), {} state bits",
+        hardened.machine.comb().cost().total,
+        bare.machine.comb().cost().total,
+        hardened.machine.n_state(),
+    );
+    let rows: Vec<String> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| tenancy_row(&hardened, &vectors, t, reps))
+        .collect();
+    let bare_solo = sample(reps, || stream_workload(&bare, &vectors, 1));
+
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"n\": {n},\n",
+            "      \"k\": {k},\n",
+            "      \"hardened_cost\": {hc},\n",
+            "      \"bare_cost\": {bc},\n",
+            "      \"state_bits\": {sb},\n",
+            "      \"bare_solo_ms\": {bs},\n",
+            "      \"tenancies\": [\n{rows}\n      ]\n",
+            "    }}"
+        ),
+        n = n,
+        k = k,
+        hc = hardened.machine.comb().cost().total,
+        bc = bare.machine.comb().cost().total,
+        sb = hardened.machine.n_state(),
+        bs = ms(bare_solo.min),
+        rows = rows.join(",\n"),
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_clocked.json");
+    let mut quick = false;
+    let mut reps = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--reps" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(r) if r >= 1 => reps = r,
+                _ => {
+                    eprintln!("error: --reps requires an integer >= 1");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: bench_clocked [--quick] [--reps N] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sizes: &[usize] = if quick { &[16] } else { &[16, 64, 256] };
+    let rows: Vec<String> = sizes.iter().map(|&n| size_row(n, reps)).collect();
+
+    let doc = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"absort-bench-clocked/v1\",\n",
+            "  \"network\": \"fish-clocked\",\n",
+            "  \"reps\": {reps},\n",
+            "  \"workload_schedules\": {workload},\n",
+            "  \"sizes\": [\n{rows}\n  ]\n",
+            "}}\n"
+        ),
+        reps = reps,
+        workload = WORKLOAD,
+        rows = rows.join(",\n"),
+    );
+
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

@@ -165,6 +165,42 @@ impl Circuit {
         seen.into_iter().collect()
     }
 
+    /// The scope path of component `index` — the block that placed it
+    /// during construction. Fault campaigns use this to classify
+    /// injection sites by subsystem (for example, every component whose
+    /// path starts with `ctl/` belongs to the hardened control logic).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn component_scope_path(&self, index: usize) -> String {
+        self.scopes.path(self.comps[index].scope)
+    }
+
+    /// Indices of every component placed within the scope named by
+    /// `path` (that scope itself or any descendant), in netlist order.
+    /// Returns `None` for unknown paths.
+    pub fn components_in_scope(&self, path: &str) -> Option<Vec<usize>> {
+        let root = self.scopes.lookup(path)?;
+        Some(
+            (0..self.comps.len())
+                .filter(|&i| self.scopes.is_within(self.comps[i].scope, root))
+                .collect(),
+        )
+    }
+
+    /// The wires driven by component `index`, in output order. Together
+    /// with [`Circuit::components_in_scope`] this lets a campaign map a
+    /// wire-level fault site back to the subsystem that owns the driver.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn component_output_wires(&self, index: usize) -> Vec<Wire> {
+        let p = &self.comps[index];
+        (0..p.comp.n_outputs() as u32)
+            .map(|i| Wire(p.out_base + i))
+            .collect()
+    }
+
     // ---- depth ---------------------------------------------------------
 
     /// Bit-level depth: the maximum number of unit-depth primitives on any

@@ -18,6 +18,58 @@
 use crate::circuit::Circuit;
 use crate::eval::{EvalError, Evaluator};
 use crate::faulty::{FaultyEvaluator, WireFault};
+use std::fmt;
+
+/// A structural reason a [`ClockedCircuit`] (or a machine built on top of
+/// one, like the streaming sorter) cannot be assembled from the given
+/// parts. Returned by the `try_*` constructors so a long-running service
+/// can reject a bad configuration without panicking; the infallible
+/// constructors remain as thin unwrapping wrappers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClockedBuildError {
+    /// The combinational core's input count is not
+    /// `n_ext_in + n_state`.
+    InputArity {
+        /// Inputs the core actually has.
+        got: usize,
+        /// `n_ext_in + n_state` the wrapper requires.
+        expected: usize,
+    },
+    /// The combinational core's output count is not
+    /// `n_ext_out + n_state`.
+    OutputArity {
+        /// Outputs the core actually has.
+        got: usize,
+        /// `n_ext_out + n_state` the wrapper requires.
+        expected: usize,
+    },
+    /// A machine-level configuration parameter is out of range (for
+    /// example the streaming sorter's `n`/`k` divisibility and
+    /// power-of-two requirements). Carries a static description of the
+    /// violated constraint.
+    BadConfig {
+        /// Which constraint failed, in words.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ClockedBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockedBuildError::InputArity { got, expected } => write!(
+                f,
+                "combinational core must take ext inputs + state: has {got} inputs, needs {expected}"
+            ),
+            ClockedBuildError::OutputArity { got, expected } => write!(
+                f,
+                "combinational core must yield ext outputs + next state: has {got} outputs, needs {expected}"
+            ),
+            ClockedBuildError::BadConfig { what } => write!(f, "bad machine config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClockedBuildError {}
 
 /// A synchronous sequential circuit: combinational core + state
 /// registers.
@@ -51,24 +103,40 @@ impl ClockedCircuit {
     /// `n_ext_out + n_state` outputs (externals first, next-state last).
     /// `reset_state` is the registers' power-on value.
     pub fn new(comb: Circuit, n_ext_in: usize, n_ext_out: usize, reset_state: Vec<bool>) -> Self {
+        match Self::try_new(comb, n_ext_in, n_ext_out, reset_state) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked [`ClockedCircuit::new`]: rejects arity mismatches with a
+    /// typed [`ClockedBuildError`] instead of panicking.
+    pub fn try_new(
+        comb: Circuit,
+        n_ext_in: usize,
+        n_ext_out: usize,
+        reset_state: Vec<bool>,
+    ) -> Result<Self, ClockedBuildError> {
         let n_state = reset_state.len();
-        assert_eq!(
-            comb.n_inputs(),
-            n_ext_in + n_state,
-            "combinational core must take ext inputs + state"
-        );
-        assert_eq!(
-            comb.n_outputs(),
-            n_ext_out + n_state,
-            "combinational core must yield ext outputs + next state"
-        );
-        ClockedCircuit {
+        if comb.n_inputs() != n_ext_in + n_state {
+            return Err(ClockedBuildError::InputArity {
+                got: comb.n_inputs(),
+                expected: n_ext_in + n_state,
+            });
+        }
+        if comb.n_outputs() != n_ext_out + n_state {
+            return Err(ClockedBuildError::OutputArity {
+                got: comb.n_outputs(),
+                expected: n_ext_out + n_state,
+            });
+        }
+        Ok(ClockedCircuit {
             comb,
             n_ext_in,
             n_ext_out,
             n_state,
             reset_state,
-        }
+        })
     }
 
     /// Number of external inputs per cycle.
@@ -84,6 +152,11 @@ impl ClockedCircuit {
     /// Number of state registers.
     pub fn n_state(&self) -> usize {
         self.n_state
+    }
+
+    /// The registers' power-on (and reset-pulse) value.
+    pub fn reset_state(&self) -> &[bool] {
+        &self.reset_state
     }
 
     /// Combinational cost (the paper's unit accounting; registers are the
@@ -157,6 +230,13 @@ impl ClockedSim<'_> {
         &self.state
     }
 
+    /// Pulses the reset line: restores the registers to the power-on
+    /// state *without* rewinding the cycle counter — cycles since
+    /// power-on keep counting, as they would in hardware.
+    pub fn reset(&mut self) {
+        self.state.copy_from_slice(&self.machine.reset_state);
+    }
+
     /// Applies one clock cycle: evaluates the combinational core on
     /// `ext_in` plus the current state, latches the next state, and
     /// returns the external outputs.
@@ -226,6 +306,17 @@ impl FaultyClockedSim<'_> {
     /// Reads the current (possibly corrupted) register values.
     pub fn state(&self) -> &[bool] {
         &self.state
+    }
+
+    /// Pulses the reset line: restores the registers to the power-on
+    /// state while the cycle counter keeps counting. This is the
+    /// recovery protocol's replay hook — a past
+    /// [`WireFault::TransientFlip`] (whose `vector` indexes cycles since
+    /// power-on) does *not* re-fire during a replay on the same
+    /// simulation, exactly as a one-shot physical upset would not,
+    /// while permanent faults keep applying every edge.
+    pub fn reset(&mut self) {
+        self.state.copy_from_slice(&self.machine.reset_state);
     }
 
     /// Applies one clock cycle under the injected faults.
@@ -445,6 +536,78 @@ mod tests {
         let x = b.input();
         b.outputs(&[x]);
         let _ = ClockedCircuit::new(b.finish(), 1, 1, vec![false; 2]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_arity_errors() {
+        let build = || {
+            let mut b = Builder::new();
+            let x = b.input();
+            b.outputs(&[x]);
+            b.finish()
+        };
+        let expect_err = |r: Result<ClockedCircuit, ClockedBuildError>| match r {
+            Err(e) => e,
+            Ok(_) => panic!("expected a build error"),
+        };
+        // 1 input, wrapper wants 1 ext + 2 state = 3.
+        let err = expect_err(ClockedCircuit::try_new(build(), 1, 1, vec![false; 2]));
+        assert_eq!(
+            err,
+            ClockedBuildError::InputArity {
+                got: 1,
+                expected: 3
+            }
+        );
+        // inputs fit (0 ext + 1 state), but 1 output vs 1 ext + 1 state.
+        let err = expect_err(ClockedCircuit::try_new(build(), 0, 1, vec![false]));
+        assert_eq!(
+            err,
+            ClockedBuildError::OutputArity {
+                got: 1,
+                expected: 2
+            }
+        );
+        assert!(err.to_string().contains("ext outputs + next state"));
+        // the happy path still builds.
+        assert!(ClockedCircuit::try_new(build(), 0, 0, vec![false]).is_ok());
+    }
+
+    #[test]
+    fn reset_restores_state_but_not_the_cycle_counter() {
+        let c = counter(3);
+        let mut sim = c.power_on();
+        for _ in 0..5 {
+            sim.step(&[]);
+        }
+        assert_eq!(sim.state(), &[true, false, true]); // count = 5
+        sim.reset();
+        assert_eq!(sim.state(), &[false; 3], "registers back to power-on");
+        assert_eq!(sim.cycle(), 5, "cycles since power-on keep counting");
+        let out = sim.step(&[]);
+        assert_eq!(out, vec![false, false, false], "counts from 0 again");
+
+        // Faulty replay semantics: a transient that fired at cycle 1 does
+        // NOT re-fire after reset — the vector index is cycles since
+        // power-on, so the replayed schedule runs clean.
+        let lsb_next = c.comb().output_wire(3);
+        let mut faulty = c.power_on_faulty(&[WireFault::TransientFlip {
+            wire: lsb_next,
+            vector: 1,
+        }]);
+        for _ in 0..3 {
+            faulty.step(&[]);
+        }
+        assert_ne!(
+            faulty.state(),
+            &[true, true, false],
+            "upset corrupted the count"
+        );
+        faulty.reset();
+        let replay: Vec<Vec<bool>> = (0..3).map(|_| faulty.step(&[])).collect();
+        let mut clean = c.power_on();
+        let expect: Vec<Vec<bool>> = (0..3).map(|_| clean.step(&[])).collect();
+        assert_eq!(replay, expect, "replay after reset is upset-free");
     }
 
     #[test]

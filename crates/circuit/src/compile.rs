@@ -47,6 +47,7 @@
 use crate::circuit::Circuit;
 use crate::component::Perm4;
 use crate::eval::EvalError;
+use crate::ir::FoldHint;
 use crate::lane::Lane;
 use crate::mutate::Fault;
 use crate::passes::{CompileOptions, PassManager, PassStats};
@@ -337,6 +338,10 @@ pub struct CompiledCircuit {
     /// [`CompiledCircuit::mutant_tape`] patch single-component faults in
     /// place instead of re-lowering the whole netlist per mutant.
     pub(crate) comp_pos: Vec<u32>,
+    /// Per-component fold reason (meaningful at [`COMP_FOLDED`] sites):
+    /// lets `mutant_tape` report fault kinds a fold provably masks as
+    /// dead instead of falling back to a recompile.
+    pub(crate) fold_hint: Vec<FoldHint>,
     /// Wire count of the source circuit, kept for slot-savings reporting.
     pub(crate) source_wires: u32,
     /// Component count of the source circuit (tape length differs once
@@ -558,9 +563,23 @@ impl CompiledCircuit {
             Some(COMP_DEAD) => return PatchStep::Dead,
             // Folded or CSE-merged: the tape holds no faithful image of
             // the component, so patching would apply the wrong fault
-            // semantics (or fault several components at once). Callers
-            // recompile the rewritten netlist for these sites.
-            Some(COMP_FOLDED) => return PatchStep::Unsupported,
+            // semantics (or fault several components at once). The fold
+            // hint can still prove specific kinds output-equivalent to
+            // the base (a stuck select tied to the polarity the select
+            // already had, or a fold whose outputs no mutant can move);
+            // everything else falls back to recompiling the rewritten
+            // netlist.
+            Some(COMP_FOLDED) => {
+                return match self.fold_hint.get(component).copied() {
+                    Some(FoldHint::Equivalent) => PatchStep::Dead,
+                    Some(FoldHint::SelectKnown(v)) => match fault {
+                        Fault::StuckSelectLow if !v => PatchStep::Dead,
+                        Fault::StuckSelectHigh if v => PatchStep::Dead,
+                        _ => PatchStep::Unsupported,
+                    },
+                    _ => PatchStep::Unsupported,
+                }
+            }
             Some(p) => p as usize,
             None => return PatchStep::Unsupported,
         };
@@ -1779,5 +1798,89 @@ mod tests {
             }
             assert!(patched_seen > 0, "no multi-patched mutants exercised");
         }
+    }
+
+    /// Fold hints split the recompile fallback per fault *kind*: a
+    /// folded site scores `Dead` in place exactly when its fold provably
+    /// masks the kind (stuck select at the polarity the select already
+    /// had; identical-operand folds; rewrites deleted outright by DCE),
+    /// every such verdict is exhaustively output-equivalent to the
+    /// base, and the unmasked kinds still report `Unsupported`.
+    #[test]
+    fn fold_hints_mask_exactly_the_provably_dead_kinds() {
+        use crate::mutate::Fault::{InvertBehaviour, StuckSelectHigh, StuckSelectLow};
+        // One component per hint source. Component indices follow
+        // builder order (constants are wires, not components).
+        let mut b = Builder::new();
+        let s = b.input();
+        let x = b.input();
+        let y = b.input();
+        let t = b.constant(true);
+        let f = b.constant(false);
+        let m_hi = b.mux2(t, x, y); // 0: SelectKnown(true)
+        let m_lo = b.mux2(f, x, y); // 1: SelectKnown(false)
+        let m_eq = b.mux2(s, x, x); // 2: Equivalent (identical arms)
+        let (sw_a, sw_b) = b.switch2(t, x, y); // 3: SelectKnown(true)
+        let (c_lo, c_hi) = b.bit_compare(x, x); // 4: Equivalent (a == b)
+        let (d0, d1) = b.demux2(f, x); // 5: SelectKnown(false)
+        let dead_gate = b.gate(crate::GateOp::Nand, y, y); // 6: ToNot, then
+        let _ = dead_gate; // deleted by DCE → upgraded to Equivalent
+        let live = b.and(s, x); // 7: stays live (patched path)
+        b.outputs(&[m_hi, m_lo, m_eq, sw_a, sw_b, c_lo, c_hi, d0, d1, live]);
+        let c = b.finish();
+
+        let mut base = c.compile();
+        for ci in 0..=6usize {
+            assert_eq!(base.comp_pos[ci], COMP_FOLDED, "component {ci} must fold");
+        }
+
+        // In sweep order: fault kinds outermost (`Fault::ALL`), then
+        // component index.
+        let expected_dead: &[(usize, Fault)] = &[
+            (2, InvertBehaviour),
+            (4, InvertBehaviour),
+            (6, InvertBehaviour),
+            (1, StuckSelectLow),
+            (2, StuckSelectLow),
+            (5, StuckSelectLow),
+            (0, StuckSelectHigh),
+            (2, StuckSelectHigh),
+            (3, StuckSelectHigh),
+        ];
+        let mut dead: Vec<(usize, Fault)> = Vec::new();
+        let mut unsupported: Vec<(usize, Fault)> = Vec::new();
+        for fault in Fault::ALL {
+            for (ci, mutant) in crate::mutate::mutants(&c, fault) {
+                match base.mutant_tape(ci, fault) {
+                    MutantTape::Dead => {
+                        for input in all_inputs(c.n_inputs()) {
+                            assert_eq!(
+                                mutant.eval(&input),
+                                c.eval(&input),
+                                "dead {fault:?} at {ci} differs on {input:?}"
+                            );
+                        }
+                        dead.push((ci, fault));
+                    }
+                    MutantTape::Patched(patched) => {
+                        let reference = mutant.compile();
+                        for input in all_inputs(c.n_inputs()) {
+                            assert_eq!(
+                                patched.eval(&input),
+                                reference.eval(&input),
+                                "patched {fault:?} at {ci} differs on {input:?}"
+                            );
+                        }
+                    }
+                    MutantTape::Unsupported => unsupported.push((ci, fault)),
+                }
+            }
+        }
+        assert_eq!(dead, expected_dead, "hint-masked kinds");
+        // The unmasked polarity of a known select still recompiles.
+        assert!(unsupported.contains(&(0, StuckSelectLow)));
+        assert!(unsupported.contains(&(1, StuckSelectHigh)));
+        assert!(unsupported.contains(&(5, StuckSelectHigh)));
+        assert!(unsupported.contains(&(0, InvertBehaviour)));
     }
 }

@@ -214,6 +214,7 @@ pub fn allocate(ir: &CompileIr) -> CompiledCircuit {
         prologue_len,
         level_ranges,
         comp_pos,
+        fold_hint: ir.fold_hint.clone(),
         source_wires: ir.source_wires,
         source_components: ir.source_components() as u32,
         pass_stats: Vec::new(),

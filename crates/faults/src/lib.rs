@@ -219,6 +219,16 @@ pub struct KindReport {
     /// Sites the hardware error rail of the self-checking wrapper flagged
     /// on at least one workload vector (concurrent detection).
     pub flagged: u64,
+    /// Flagged sites whose rail-triggered replay (reset the machine and
+    /// re-run the affected schedule) completed correctly with a quiet
+    /// rail — transients the retry policy absorbed. Only clocked
+    /// campaigns exercise the replay protocol; combinational cells
+    /// report zero.
+    pub recovered: u64,
+    /// Flagged sites whose replay still raised the rail (or still
+    /// produced a wrong stream): the machine stops with an error
+    /// indication rather than emitting silent garbage.
+    pub fail_stop: u64,
     /// Worst-case degradation across every faulty (site, vector) pair.
     pub degradation: Degradation,
 }
@@ -260,6 +270,8 @@ impl KindReport {
             ("detected", Value::Int(self.detected as i64)),
             ("masked", Value::Int(self.masked as i64)),
             ("flagged", Value::Int(self.flagged as i64)),
+            ("recovered", Value::Int(self.recovered as i64)),
+            ("fail_stop", Value::Int(self.fail_stop as i64)),
             ("detection_rate", Value::Float(self.detection_rate())),
             (
                 "concurrent_detection_rate",
@@ -281,6 +293,10 @@ impl KindReport {
             detected: v.get("detected")?.as_i64()? as u64,
             masked: v.get("masked")?.as_i64()? as u64,
             flagged: v.get("flagged").and_then(Value::as_i64).unwrap_or(0) as u64,
+            // Recovery columns arrived with schema v3; v2 reports load
+            // with both zero.
+            recovered: v.get("recovered").and_then(Value::as_i64).unwrap_or(0) as u64,
+            fail_stop: v.get("fail_stop").and_then(Value::as_i64).unwrap_or(0) as u64,
             degradation: Degradation::from_json(v.get("degradation")?)?,
         })
     }
@@ -353,6 +369,18 @@ impl NetworkReport {
         }
     }
 
+    /// Flagged sites whose rail-triggered replay cleared, pooled across
+    /// every kind (clocked campaigns only; zero elsewhere).
+    pub fn recovered(&self) -> u64 {
+        self.kinds.iter().map(|k| k.recovered).sum()
+    }
+
+    /// Flagged sites that stayed flagged (or wrong) through replay,
+    /// pooled across every kind — the fail-stop population.
+    pub fn fail_stop(&self) -> u64 {
+        self.kinds.iter().map(|k| k.fail_stop).sum()
+    }
+
     /// Serializes this record as a JSON object.
     pub fn to_json(&self) -> Value {
         Value::obj([
@@ -372,6 +400,8 @@ impl NetworkReport {
                 "concurrent_detection_rate",
                 Value::Float(self.concurrent_detection_rate()),
             ),
+            ("recovered", Value::Int(self.recovered() as i64)),
+            ("fail_stop", Value::Int(self.fail_stop() as i64)),
             (
                 "kinds",
                 Value::Arr(self.kinds.iter().map(KindReport::to_json).collect()),
@@ -421,7 +451,7 @@ impl CampaignReport {
     /// manifest section and for a standalone report file.
     pub fn to_json(&self) -> Value {
         Value::obj([
-            ("schema", Value::Str("absort-faults/v2".to_owned())),
+            ("schema", Value::Str("absort-faults/v3".to_owned())),
             ("seed", Value::Int(self.seed as i64)),
             ("truncated", Value::Bool(self.truncated)),
             (
@@ -569,6 +599,8 @@ mod tests {
                     detected: 10,
                     masked: 2,
                     flagged: 9,
+                    recovered: 3,
+                    fail_stop: 6,
                     degradation: Degradation {
                         max_inversions: 3,
                         max_displacement: 2,
@@ -587,7 +619,7 @@ mod tests {
         let back = absort_telemetry::json::parse(&text).expect("parses");
         assert_eq!(
             back.get("schema").and_then(Value::as_str),
-            Some("absort-faults/v2")
+            Some("absort-faults/v3")
         );
         assert_eq!(back.get("truncated").and_then(Value::as_bool), Some(false));
         let nets = back.get("networks").and_then(Value::as_arr).unwrap();
@@ -615,6 +647,10 @@ mod tests {
         );
         assert_eq!(kinds[0].get("masked").and_then(Value::as_i64), Some(2));
         assert_eq!(kinds[0].get("flagged").and_then(Value::as_i64), Some(9));
+        assert_eq!(kinds[0].get("recovered").and_then(Value::as_i64), Some(3));
+        assert_eq!(kinds[0].get("fail_stop").and_then(Value::as_i64), Some(6));
+        assert_eq!(nets[0].get("recovered").and_then(Value::as_i64), Some(3));
+        assert_eq!(nets[0].get("fail_stop").and_then(Value::as_i64), Some(6));
         assert_eq!(
             kinds[0]
                 .get("degradation")
@@ -645,6 +681,63 @@ mod tests {
         assert!(back.truncated);
         assert_eq!(back.networks[0].kinds[0].kind, None);
         assert_eq!(back.to_json().to_pretty(), text);
+    }
+
+    /// Golden back-compat pin: a report written by the v2 schema (no
+    /// `recovered`/`fail_stop` keys anywhere) parses under the v3 reader
+    /// with both recovery columns defaulting to 0, and every shared
+    /// field survives unchanged.
+    #[test]
+    fn v2_reports_parse_under_the_v3_reader() {
+        let golden_v2 = r#"{
+  "schema": "absort-faults/v2",
+  "seed": 7,
+  "truncated": false,
+  "networks": [
+    {
+      "network": "prefix",
+      "n": 8,
+      "components": 100,
+      "base_cost": 120,
+      "hardened_cost": 180,
+      "tier": "exhaustive",
+      "vectors": 256,
+      "fault_set_size": 2,
+      "permanent_detection_rate": 1.0,
+      "concurrent_detection_rate": 0.9,
+      "kinds": [
+        {
+          "kind": "stuck_at_0",
+          "injected": 12,
+          "detected": 10,
+          "masked": 2,
+          "flagged": 9,
+          "detection_rate": 1.0,
+          "concurrent_detection_rate": 0.9,
+          "degradation": {
+            "max_inversions": 3,
+            "max_displacement": 2,
+            "conservation_violations": 5,
+            "flagged": 40
+          }
+        }
+      ]
+    }
+  ]
+}"#;
+        let parsed = absort_telemetry::json::parse(golden_v2).expect("parses");
+        let back = CampaignReport::from_json(&parsed).expect("v2 loads under v3 reader");
+        let kind = &back.networks[0].kinds[0];
+        assert_eq!(kind.recovered, 0, "missing v3 column defaults to 0");
+        assert_eq!(kind.fail_stop, 0, "missing v3 column defaults to 0");
+        assert_eq!(back.networks[0].recovered(), 0);
+        assert_eq!(back.networks[0].fail_stop(), 0);
+        // Every shared field is bit-identical to the v3 sample that the
+        // golden text was derived from.
+        let mut expect = sample_report();
+        expect.networks[0].kinds[0].recovered = 0;
+        expect.networks[0].kinds[0].fail_stop = 0;
+        assert_eq!(back.to_json().to_pretty(), expect.to_json().to_pretty());
     }
 
     #[test]

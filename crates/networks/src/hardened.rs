@@ -31,7 +31,7 @@
 
 use absort_blocks::mux::group_multiplexer;
 use absort_blocks::popcount::popcount;
-use absort_circuit::clocked::ClockedCircuit;
+use absort_circuit::clocked::{ClockedBuildError, ClockedCircuit};
 use absort_circuit::{assert_pow2, Builder, Circuit, Wire, WireFault};
 use absort_core::muxmerge;
 
@@ -48,6 +48,18 @@ pub struct HardenOptions {
     /// same inputs, with any output mismatch raising the rail. Costly
     /// (doubles the core) but catches faults the cheap checks mask.
     pub duplicate: bool,
+    /// Control-path hardening for the clocked streamer
+    /// ([`streaming_sorter`]): duplicate-and-compare the steering
+    /// counter FSM (an independent shadow counter compared bit-for-bit
+    /// against the primary, on both the current registers and the
+    /// freshly computed next state, so increment-logic faults flag in
+    /// the *same* cycle), a parity register shadowing the count LSB,
+    /// and an end-of-schedule heartbeat register armed by the shadow
+    /// counter's wrap carry and required to pulse exactly on
+    /// schedule-start cycles. All violations OR onto the same error
+    /// rail. Ignored by [`harden`] — a combinational sorter has no
+    /// control state to protect.
+    pub control: bool,
 }
 
 impl Default for HardenOptions {
@@ -56,6 +68,7 @@ impl Default for HardenOptions {
             monotonicity: true,
             conservation: true,
             duplicate: false,
+            control: true,
         }
     }
 }
@@ -225,6 +238,41 @@ pub struct StreamingSorter {
     pub group: usize,
     /// Whether the rail output is present (ext output index `group`).
     pub has_rail: bool,
+    /// Whether the control path is hardened (shadow counter + parity +
+    /// heartbeat registers behind the `lg k` primary counter bits; the
+    /// state layout is then `[counter, shadow, parity, heartbeat]`).
+    pub hardened_control: bool,
+}
+
+impl StreamingSorter {
+    /// Streams many independent in-flight sorts through **one** power-on
+    /// simulation in round-robin schedule slots: tenant `j` holds its
+    /// `n` lines stable for cycles `j·k .. (j+1)·k` and collects its
+    /// k-sorted stream from the shared machine, then the next tenant
+    /// takes over with no drain cycles — the counter wraps straight into
+    /// the next schedule, exactly the multi-tenant occupancy pattern a
+    /// sorting service sees under sustained load.
+    ///
+    /// Returns, per tenant, the k-sorted `n`-bit stream and whether the
+    /// error rail went high during that tenant's slot (always `false`
+    /// without a rail).
+    pub fn stream_tenants(&self, tenants: &[Vec<bool>]) -> Vec<(Vec<bool>, bool)> {
+        let mut sim = self.machine.power_on();
+        let mut results = Vec::with_capacity(tenants.len());
+        for lines in tenants {
+            let mut streamed = Vec::with_capacity(self.group * self.k);
+            let mut rail = false;
+            for _ in 0..self.k {
+                let out = sim.step(lines);
+                streamed.extend_from_slice(&out[..self.group]);
+                if self.has_rail {
+                    rail |= out[self.group];
+                }
+            }
+            results.push((streamed, rail));
+        }
+        results
+    }
 }
 
 /// Builds the paper's Model B shared-sorter streamer: a `lg k`-bit
@@ -240,23 +288,69 @@ pub struct StreamingSorter {
 /// of the shared sorter) and the rail is exported as one extra external
 /// output checked every cycle.
 pub fn streaming_sorter(n: usize, k: usize, opts: Option<&HardenOptions>) -> StreamingSorter {
-    assert!(
-        k >= 2 && k.is_power_of_two() && n % k == 0,
-        "streaming_sorter: k must be a power of two ≥ 2 dividing n"
-    );
+    match try_streaming_sorter(n, k, opts) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Ripple up-counter increment: `(state + 1, wrap carry)`. The wrap
+/// carry is high exactly when `state` is all-ones — the last cycle of a
+/// schedule — which arms the heartbeat register.
+fn ripple_increment(b: &mut Builder, state: &[Wire]) -> (Vec<Wire>, Wire) {
+    let mut carry = b.constant(true);
+    let mut next = Vec::with_capacity(state.len());
+    for &s in state {
+        let sum = b.xor(s, carry);
+        carry = b.and(s, carry);
+        next.push(sum);
+    }
+    (next, carry)
+}
+
+/// Checked [`streaming_sorter`]: rejects bad `(n, k)` configurations and
+/// empty check sets with a typed [`ClockedBuildError`] instead of
+/// panicking, so a long-running service can refuse a request without
+/// dying.
+pub fn try_streaming_sorter(
+    n: usize,
+    k: usize,
+    opts: Option<&HardenOptions>,
+) -> Result<StreamingSorter, ClockedBuildError> {
+    if k < 2 || !k.is_power_of_two() || n % k != 0 {
+        return Err(ClockedBuildError::BadConfig {
+            what: "streaming_sorter: k must be a power of two ≥ 2 dividing n",
+        });
+    }
     let group = n / k;
-    assert_pow2(group, "streaming_sorter group width");
+    if !group.is_power_of_two() {
+        return Err(ClockedBuildError::BadConfig {
+            what: "streaming_sorter: group width n/k must be a power of two",
+        });
+    }
     if let Some(o) = opts {
-        assert!(
-            o.monotonicity || o.conservation || o.duplicate,
-            "streaming_sorter: at least one check must be enabled"
-        );
+        if !(o.monotonicity || o.conservation || o.duplicate || o.control) {
+            return Err(ClockedBuildError::BadConfig {
+                what: "streaming_sorter: at least one check must be enabled",
+            });
+        }
     }
     let kbits = k.trailing_zeros() as usize;
+    let control = opts.is_some_and(|o| o.control);
 
     let mut b = Builder::new();
     let lines = b.input_bus(n);
-    let state = b.input_bus(kbits); // counter register (little-endian)
+    let state = b.input_bus(kbits); // primary counter register (little-endian)
+
+    // Control-hardening registers ride behind the primary counter in the
+    // state vector: a shadow copy of the counter, a parity bit shadowing
+    // the count LSB, and the end-of-schedule heartbeat.
+    let (shadow, parity, heartbeat) = if control {
+        (b.input_bus(kbits), Some(b.input()), Some(b.input()))
+    } else {
+        (Vec::new(), None, None)
+    };
+
     let sel_msb_first: Vec<_> = state.iter().rev().copied().collect();
     let selected = b.scoped("stream/mux", |b| {
         group_multiplexer(b, &sel_msb_first, &lines, group)
@@ -269,6 +363,23 @@ pub fn streaming_sorter(n: usize, k: usize, opts: Option<&HardenOptions>) -> Str
     let sorted: Vec<Wire> = (0..group)
         .map(|i| map[sorter.output_wire(i).index()])
         .collect();
+
+    // Steering-counter increment (only the primary drives the mux). The
+    // shadow counter is an independent second copy whose agreement the
+    // checker enforces; its wrap carry arms the heartbeat.
+    b.push_scope("ctl");
+    let (next, _wrap) = b.scoped("counter", |b| ripple_increment(b, &state));
+    let ctl_next = if control {
+        let (shadow_next, shadow_wrap) = b.scoped("shadow", |b| ripple_increment(b, &shadow));
+        let parity_next = b.scoped("parity", |b| {
+            let p = parity.expect("control implies parity register");
+            b.not(p)
+        });
+        Some((shadow_next, parity_next, shadow_wrap))
+    } else {
+        None
+    };
+    b.pop_scope();
 
     let rail = opts.map(|o| {
         let mut alarms: Vec<Wire> = Vec::new();
@@ -296,19 +407,40 @@ pub fn streaming_sorter(n: usize, k: usize, opts: Option<&HardenOptions>) -> Str
             });
             alarms.push(m);
         }
+        if let Some((shadow_next, _, _)) = &ctl_next {
+            let mut v = b.scoped("control", |b| {
+                let mut viols: Vec<Wire> = Vec::new();
+                // Duplicate-and-compare on the *current* registers:
+                // catches latched corruption (upset state bits, stuck
+                // state pins) the cycle it becomes visible.
+                for (&a, &sh) in state.iter().zip(&shadow) {
+                    viols.push(b.xor(a, sh));
+                }
+                // …and on the freshly computed *next* state: catches
+                // increment-logic faults in the same cycle they occur,
+                // before the corrupt count ever steers a group.
+                for (&a, &sh) in next.iter().zip(shadow_next) {
+                    viols.push(b.xor(a, sh));
+                }
+                // Parity: the parity register toggles every cycle from
+                // zero, so it must always equal the count LSB.
+                let p = parity.expect("control implies parity register");
+                viols.push(b.xor(p, state[0]));
+                // Heartbeat: must pulse exactly on schedule-start cycles
+                // (count == 0); a skipped or spurious schedule boundary
+                // raises the rail.
+                let nz = or_tree(b, &state);
+                let is_zero = b.not(nz);
+                let hb = heartbeat.expect("control implies heartbeat register");
+                viols.push(b.xor(is_zero, hb));
+                viols
+            });
+            alarms.append(&mut v);
+        }
         let rail = or_tree(&mut b, &alarms);
         b.pop_scope();
         rail
     });
-
-    // counter increment (ripple)
-    let mut carry = b.constant(true);
-    let mut next = Vec::with_capacity(kbits);
-    for &s in &state {
-        let sum = b.xor(s, carry);
-        carry = b.and(s, carry);
-        next.push(sum);
-    }
 
     let mut outs = sorted;
     if let Some(r) = rail {
@@ -316,14 +448,24 @@ pub fn streaming_sorter(n: usize, k: usize, opts: Option<&HardenOptions>) -> Str
     }
     let n_ext_out = outs.len();
     outs.extend(next);
+    let mut reset = vec![false; kbits];
+    if let Some((shadow_next, parity_next, hb_next)) = ctl_next {
+        outs.extend(shadow_next);
+        outs.push(parity_next);
+        outs.push(hb_next);
+        reset.extend(vec![false; kbits]); // shadow counter resets with the primary
+        reset.push(false); // parity of count 0
+        reset.push(true); // cycle 0 is a schedule start
+    }
     b.outputs(&outs);
 
-    StreamingSorter {
-        machine: ClockedCircuit::new(b.finish(), n, n_ext_out, vec![false; kbits]),
+    Ok(StreamingSorter {
+        machine: ClockedCircuit::try_new(b.finish(), n, n_ext_out, reset)?,
         k,
         group,
         has_rail: opts.is_some(),
-    }
+        hardened_control: control,
+    })
 }
 
 #[cfg(test)]
@@ -367,6 +509,7 @@ mod tests {
                 monotonicity: true,
                 conservation: false,
                 duplicate: false,
+                control: false,
             },
         );
         // stuck-at-1 on the base's first (minimum) output: input 0000
@@ -397,6 +540,7 @@ mod tests {
                 monotonicity: true,
                 conservation: false,
                 duplicate: false,
+                control: false,
             },
         );
         let mut ev: FaultyEvaluator<'_, bool> =
@@ -420,6 +564,7 @@ mod tests {
                 monotonicity: false,
                 conservation: false,
                 duplicate: true,
+                control: false,
             },
         );
         // Fault an internal wire of the *primary* copy only: the
@@ -502,5 +647,161 @@ mod tests {
         let bare = streaming_sorter(n, k, None);
         assert_eq!(bare.machine.n_outputs(), n / k);
         assert!(!bare.has_rail);
+        assert!(!bare.hardened_control);
+    }
+
+    #[test]
+    fn control_hardening_adds_shadow_parity_heartbeat_state() {
+        let (n, k) = (16usize, 4usize);
+        let s = streaming_sorter(n, k, Some(&HardenOptions::default()));
+        assert!(s.hardened_control);
+        // state = [counter kbits][shadow kbits][parity][heartbeat]
+        assert_eq!(s.machine.n_state(), 2 * 2 + 2);
+        // external interface unchanged: sorted group + rail
+        assert_eq!(s.machine.n_outputs(), n / k + 1);
+        // the control logic is attributed to its own scopes
+        let comb = s.machine.comb();
+        for scope in ["ctl/counter", "ctl/shadow", "ctl/parity", "checker/control"] {
+            let c = comb
+                .cost_of_scope(scope)
+                .unwrap_or_else(|| panic!("{scope} missing"));
+            assert!(c.total > 0, "{scope} must place gates");
+        }
+        // fault-free: rail low across several back-to-back schedules
+        let bits: Vec<bool> = (0..n).map(|i| i % 5 == 0).collect();
+        let mut sim = s.machine.power_on();
+        for cycle in 0..3 * k {
+            let out = sim.step(&bits);
+            assert!(
+                !out[s.group],
+                "rail must stay low fault-free at cycle {cycle}"
+            );
+        }
+    }
+
+    #[test]
+    fn control_faults_raise_the_rail_within_one_schedule() {
+        let (n, k) = (8usize, 4usize);
+        let s = streaming_sorter(n, k, Some(&HardenOptions::default()));
+        let comb = s.machine.comb();
+        let bits: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        // Runs two back-to-back schedules and reports whether the fault
+        // perturbed anything observable (data outputs or final machine
+        // state) and whether the rail fired. Faults latched on the last
+        // cycle of a schedule surface one cycle later, at the start of
+        // the next — hence the two-schedule window.
+        let observe = |fault: WireFault| -> (bool, bool) {
+            let mut clean = s.machine.power_on();
+            let mut faulty = s.machine.power_on_faulty(&[fault]);
+            let (mut perturbed, mut rail) = (false, false);
+            for _ in 0..2 * k {
+                let c = clean.step(&bits);
+                let f = faulty.step(&bits);
+                perturbed |= c[..s.group] != f[..s.group];
+                rail |= f[s.group];
+            }
+            perturbed |= clean.state() != faulty.state();
+            (perturbed, rail)
+        };
+        let fires_in_first_schedule = |fault: WireFault| -> bool {
+            let mut sim = s.machine.power_on_faulty(&[fault]);
+            (0..k).any(|_| sim.step(&bits)[s.group])
+        };
+
+        // Every output wire of every primary-counter and shadow-counter
+        // gate, stuck both ways: any fault that perturbs the machine
+        // must raise the rail within the window.
+        let (mut swept, mut flagged) = (0usize, 0usize);
+        for scope in ["ctl/counter", "ctl/shadow"] {
+            for ci in comb.components_in_scope(scope).unwrap() {
+                for w in comb.component_output_wires(ci) {
+                    for value in [false, true] {
+                        let fault = WireFault::StuckAt { wire: w, value };
+                        let (perturbed, rail) = observe(fault);
+                        swept += 1;
+                        if perturbed {
+                            assert!(
+                                rail,
+                                "unflagged control fault: {scope} comp {ci} wire {w:?} stuck-{value}"
+                            );
+                            flagged += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            flagged >= swept / 2,
+            "control sweep must be non-vacuous: {flagged}/{swept} flagged"
+        );
+
+        // Stuck state *pins* — invisible for the data inputs by
+        // principle, but the control registers are compared against
+        // their shadows, so a stuck counter pin must flag.
+        let kbits = 2;
+        for i in 0..kbits {
+            let pin = comb.input_wire(n + i);
+            assert!(
+                fires_in_first_schedule(WireFault::StuckAt {
+                    wire: pin,
+                    value: true
+                }),
+                "stuck-1 counter pin {i} must flag"
+            );
+        }
+        // parity and heartbeat pins likewise self-check
+        let parity_pin = comb.input_wire(n + 2 * kbits);
+        let hb_pin = comb.input_wire(n + 2 * kbits + 1);
+        assert!(fires_in_first_schedule(WireFault::StuckAt {
+            wire: parity_pin,
+            value: true
+        }));
+        assert!(fires_in_first_schedule(WireFault::StuckAt {
+            wire: hb_pin,
+            value: false
+        }));
+    }
+
+    #[test]
+    fn stream_tenants_round_robin_matches_solo_runs() {
+        let (n, k) = (16usize, 4usize);
+        let s = streaming_sorter(n, k, Some(&HardenOptions::default()));
+        let tenants: Vec<Vec<bool>> = (0..5)
+            .map(|t| (0..n).map(|i| (i * 7 + t * 3) % 4 == 0).collect())
+            .collect();
+        let results = s.stream_tenants(&tenants);
+        assert_eq!(results.len(), tenants.len());
+        for (tenant, (stream, rail)) in tenants.iter().zip(&results) {
+            assert!(!rail, "fault-free tenants never trip the rail");
+            let expect: Vec<bool> = tenant.chunks(n / k).flat_map(muxmerge::sort).collect();
+            assert_eq!(stream, &expect, "shared machine must sort each tenant");
+            assert!(lang::is_k_sorted(stream, k));
+        }
+    }
+
+    #[test]
+    fn try_streaming_sorter_rejects_bad_configs() {
+        use absort_circuit::clocked::ClockedBuildError;
+        let bad = |what: &str, r: Result<StreamingSorter, ClockedBuildError>| match r {
+            Err(ClockedBuildError::BadConfig { what: w }) => assert!(w.contains(what), "{w}"),
+            other => panic!("expected BadConfig, got {:?}", other.err()),
+        };
+        bad("power of two", try_streaming_sorter(12, 3, None));
+        bad("power of two", try_streaming_sorter(8, 1, None));
+        bad("dividing n", try_streaming_sorter(10, 4, None));
+        bad(
+            "at least one check",
+            try_streaming_sorter(
+                16,
+                4,
+                Some(&HardenOptions {
+                    monotonicity: false,
+                    conservation: false,
+                    duplicate: false,
+                    control: false,
+                }),
+            ),
+        );
+        assert!(try_streaming_sorter(16, 4, None).is_ok());
     }
 }

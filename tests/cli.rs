@@ -418,7 +418,7 @@ fn faults_campaign_writes_report() {
         report
             .get("schema")
             .and_then(absort_telemetry::json::Value::as_str),
-        Some("absort-faults/v2")
+        Some("absort-faults/v3")
     );
     assert_eq!(
         report
@@ -458,6 +458,8 @@ fn faults_multi_and_clocked_flags_extend_the_campaign() {
         "--multi",
         "2",
         "--clocked",
+        "--tenants",
+        "3",
         "--faults-out",
         path.to_str().unwrap(),
     ]);
@@ -486,8 +488,37 @@ fn faults_multi_and_clocked_flags_extend_the_campaign() {
                 .and_then(absort_telemetry::json::Value::as_i64)
         })
         .collect();
-    assert_eq!(sizes, vec![1, 2, 1], "k=1 unit, k=2 unit, clocked unit");
+    assert_eq!(
+        sizes,
+        vec![1, 2, 1, 2],
+        "k=1 unit, k=2 unit, clocked unit, clocked 2-fault sets"
+    );
+    // The v3 recovery split rides on every clocked unit.
+    for net in networks {
+        let name = net
+            .get("network")
+            .and_then(absort_telemetry::json::Value::as_str)
+            .unwrap_or("");
+        if name == "fish-clocked" {
+            for field in ["recovered", "fail_stop"] {
+                assert!(
+                    net.get(field)
+                        .and_then(absort_telemetry::json::Value::as_i64)
+                        .is_some(),
+                    "clocked unit missing {field}"
+                );
+            }
+        }
+    }
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tenants_flag_requires_clocked() {
+    let out = run(&["--network", "prefix", "--faults", "--tenants", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--tenants requires --clocked"), "{err}");
 }
 
 #[test]
@@ -565,6 +596,7 @@ fn campaign_flags_require_faults() {
     for flags in [
         vec!["--network", "prefix", "--multi", "2"],
         vec!["--network", "prefix", "--clocked"],
+        vec!["--network", "prefix", "--tenants", "2"],
         vec!["--network", "prefix", "--resume"],
     ] {
         let out = run(&flags);
