@@ -7,6 +7,7 @@
 //! absort inspect --network prefix --n 256
 //! absort verify --network fish --n 16
 //! absort dot --network mux-merger --n 16
+//! absort emit --rust --network prefix --n 64 --standalone
 //! absort --network prefix --faults --faults-out report.json
 //! ```
 
@@ -36,6 +37,11 @@ fn usage() -> ! {
                        exhaustively verify sorting over all 2^n inputs (n <= 20)\n\
            dot         --network <...> --n <size>\n\
                        emit the built circuit as Graphviz DOT\n\
+           emit        --rust --network <...> --n <size> [--standalone]\n\
+                       [--fn-name <name>]\n\
+                       print the compiled tape as straight-line, branch-\n\
+                       free Rust source (--standalone: a #![no_std] crate\n\
+                       root compilable with plain rustc)\n\
            save        --network <...> --n <size>\n\
                        emit the built circuit as a text netlist\n\
            eval        <netlist-file> <bits>\n\
@@ -70,6 +76,11 @@ fn usage() -> ! {
                                  compiled engine, overriding --opt-level\n\
                                  (const-prologue, const-prop, cse, dce,\n\
                                  mask-reuse; \"none\" disables all)\n\
+           --fuse                run the post-regalloc superinstruction\n\
+                                 pass: adjacent hot op pairs and 4x4-switch\n\
+                                 mask-reuse chains collapse into single\n\
+                                 dispatches (fault campaigns recompile at\n\
+                                 fused sites, results unchanged)\n\
            --harden-duplicate    add duplicate-and-compare to the fault\n\
                                  campaign's self-checking wrapper; the\n\
                                  summary prices the extra hardware next to\n\
@@ -154,6 +165,9 @@ struct Args {
     metrics_out: Option<String>,
     trace_out: Option<String>,
     profile: bool,
+    rust: bool,
+    standalone: bool,
+    fn_name: Option<String>,
     faults: bool,
     faults_out: Option<String>,
     multi: Option<usize>,
@@ -177,6 +191,9 @@ fn parse_args(argv: &[String]) -> Args {
         metrics_out: None,
         trace_out: None,
         profile: false,
+        rust: false,
+        standalone: false,
+        fn_name: None,
         faults: false,
         faults_out: None,
         multi: None,
@@ -243,6 +260,16 @@ fn parse_args(argv: &[String]) -> Args {
                 );
             }
             "--profile" => a.profile = true,
+            "--fuse" => a.opt.fuse = true,
+            "--rust" => a.rust = true,
+            "--standalone" => a.standalone = true,
+            "--fn-name" => {
+                a.fn_name = Some(
+                    it.next()
+                        .unwrap_or_else(|| flag_error("--fn-name", None))
+                        .clone(),
+                );
+            }
             "--faults" => a.faults = true,
             "--faults-out" => {
                 a.faults_out = Some(
@@ -572,6 +599,21 @@ fn print_tape_profile(cc: &absort::circuit::CompiledCircuit) {
             k.total_ns as f64 / k.executions as f64,
         );
     }
+    // Same-level adjacent pairs — the statistic the `fuse` pass's
+    // superinstruction menu is derived from.
+    let pairs = prof.hot_pairs();
+    if !pairs.is_empty() {
+        let total_pairs: u64 = pairs.iter().map(|&(_, c)| c).sum();
+        println!("  hottest same-level op pairs (fusion candidates):");
+        for ((a, b), count) in pairs.iter().take(8) {
+            println!(
+                "    {:<28} {:>10}  ({:>4.1}%)",
+                format!("{a} + {b}"),
+                count,
+                100.0 * *count as f64 / total_pairs as f64,
+            );
+        }
+    }
     let mut levels: Vec<(usize, absort::circuit::profile::LevelStat)> = prof
         .levels
         .iter()
@@ -681,6 +723,41 @@ fn cmd_verify(a: &Args) {
         println!("FAILED on {failures} inputs");
         exit(1);
     }
+}
+
+/// `absort emit --rust --network <x> --n <k>`: compiles the network with
+/// the selected options and prints the tape as straight-line Rust.
+fn cmd_emit(a: &Args) {
+    if !a.rust {
+        eprintln!("error: emit requires a target language flag (only --rust exists)\n");
+        usage();
+    }
+    let n = a.n.unwrap_or_else(|| usage());
+    // The fish *sorter* is time-multiplexed, but its combinational
+    // k-merger core is a circuit like any other — that is what `emit
+    // --network fish` prints (matching the fault campaigns).
+    let c = if a.network == "fish" {
+        require_pow2(n);
+        absort::core::fish::circuits::build_combinational_kmerger(
+            n,
+            absort::analysis::faults::fish_k(n),
+        )
+    } else {
+        build_circuit(&a.network, n)
+    };
+    let cc = c.compile_with(&a.opt);
+    let fn_name = a.fn_name.clone().unwrap_or_else(|| {
+        format!(
+            "sort_{}_{n}",
+            a.network
+                .replace('-', "_")
+                .replace("muxmerge", "mux_merger")
+        )
+    });
+    print!(
+        "{}",
+        absort::circuit::emit::emit_rust(&cc, &fn_name, a.standalone)
+    );
 }
 
 fn cmd_dot(a: &Args) {
@@ -994,12 +1071,25 @@ fn run_command(cmd: &str, rest: &Args) {
         eprintln!("error: --profile applies to the inspect command only\n");
         usage();
     }
+    // Same for the emitter flags: they select emit's output shape.
+    let emit_only = [
+        (rest.rust, "--rust"),
+        (rest.standalone, "--standalone"),
+        (rest.fn_name.is_some(), "--fn-name"),
+    ];
+    for (set, flag) in emit_only {
+        if set && cmd != "emit" {
+            eprintln!("error: {flag} applies to the emit command only\n");
+            usage();
+        }
+    }
     match cmd {
         "sort" => cmd_sort(rest),
         "route" => cmd_route(rest),
         "concentrate" => cmd_concentrate(rest),
         "inspect" => cmd_inspect(rest),
         "verify" => cmd_verify(rest),
+        "emit" => cmd_emit(rest),
         "dot" => cmd_dot(rest),
         "save" => cmd_save(rest),
         "eval" => cmd_eval(rest),

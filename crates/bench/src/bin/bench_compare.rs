@@ -33,7 +33,19 @@ const REQUIRED_SIZE_METRICS: &[&str] = &[
     "scalar_speedup",
 ];
 
+/// Metrics the v3 schema added; required on every fresh size row once
+/// the fresh document declares v3 or newer (the fuse pass must actually
+/// report through the tape it benchmarked).
+const V3_REQUIRED_SIZE_METRICS: &[&str] = &["compile.pass.fuse.fused"];
+
+/// Metrics that are only present on some rows (e.g. `emitted_scalar_ms`
+/// exists only where a committed golden exists): required on a fresh row
+/// exactly when the baseline row carries them — dropping one is a
+/// coverage loss, never having had it is fine.
+const CARRY_FORWARD_SIZE_METRICS: &[&str] = &["emitted_scalar_ms"];
+
 const SCHEMA_PREFIX: &str = "absort-bench-eval/";
+const SCHEMA_V3: &str = "absort-bench-eval/v3";
 
 #[derive(Default)]
 struct Options {
@@ -144,11 +156,30 @@ fn compare_docs(fresh: &Value, baseline: &Value, opts: &Options) -> Outcome {
                     .push(format!("coverage loss: n={n} lacks metric `{metric}`"));
             }
         }
-        if let (Some(f), Some(b)) = (
-            fresh_row.get("lanes_speedup").and_then(Value::as_f64),
-            base_row.get("lanes_speedup").and_then(Value::as_f64),
-        ) {
-            check_speedup(&format!("n={n} lanes_speedup"), f, b, &mut out);
+        if fresh_schema.is_some_and(|s| s >= SCHEMA_V3) {
+            for &metric in V3_REQUIRED_SIZE_METRICS {
+                if fresh_row.get(metric).and_then(Value::as_f64).is_none() {
+                    out.failures
+                        .push(format!("coverage loss: n={n} lacks v3 metric `{metric}`"));
+                }
+            }
+        }
+        for &metric in CARRY_FORWARD_SIZE_METRICS {
+            if base_row.get(metric).and_then(Value::as_f64).is_some()
+                && fresh_row.get(metric).and_then(Value::as_f64).is_none()
+            {
+                out.failures.push(format!(
+                    "coverage loss: n={n} dropped metric `{metric}` the baseline carries"
+                ));
+            }
+        }
+        for speedup in ["lanes_speedup", "scalar_speedup"] {
+            if let (Some(f), Some(b)) = (
+                fresh_row.get(speedup).and_then(Value::as_f64),
+                base_row.get(speedup).and_then(Value::as_f64),
+            ) {
+                check_speedup(&format!("n={n} {speedup}"), f, b, &mut out);
+            }
         }
     }
 
@@ -349,6 +380,78 @@ mod tests {
         let out = compare_docs(&v2, &v1, &Options::default());
         assert!(out.failures.is_empty(), "{:?}", out.failures);
         assert!(out.notes.iter().any(|n| n.contains("schema upgraded")));
+    }
+
+    /// A v3 row with opt-in extras: fuse pass stats and (optionally) the
+    /// emitted-golden scalar column.
+    fn doc_v3(rows: &[(i64, f64, bool, bool)]) -> Value {
+        let sizes: Vec<String> = rows
+            .iter()
+            .map(|(n, ss, fused, emitted)| {
+                let fused = if *fused {
+                    ", \"compile.pass.fuse.fused\": 175"
+                } else {
+                    ""
+                };
+                let emitted = if *emitted {
+                    ", \"emitted_scalar_ms\": 0.116"
+                } else {
+                    ""
+                };
+                format!(
+                    "{{\"n\": {n}, \"compile_ms\": 1.0, \"interp_lanes_ms\": 2.0, \
+                     \"compiled_wide_ms\": 1.0, \"lanes_speedup\": 2.6, \
+                     \"scalar_speedup\": {ss}{fused}{emitted}}}"
+                )
+            })
+            .collect();
+        parse(&format!(
+            "{{\"schema\": \"absort-bench-eval/v3\", \"sizes\": [{}]}}",
+            sizes.join(", ")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn v3_fresh_must_carry_fuse_stats() {
+        let base = doc("absort-bench-eval/v2", &[(64, 2.6)], None);
+        let missing = doc_v3(&[(64, 1.1, false, false)]);
+        let out = compare_docs(&missing, &base, &Options::default());
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("compile.pass.fuse.fused")),
+            "{:?}",
+            out.failures
+        );
+        let present = doc_v3(&[(64, 1.1, true, false)]);
+        let out = compare_docs(&present, &base, &Options::default());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn dropping_the_emitted_column_fails() {
+        let base = doc_v3(&[(64, 1.1, true, true), (256, 1.1, true, false)]);
+        let fresh = doc_v3(&[(64, 1.1, true, false), (256, 1.1, true, false)]);
+        let out = compare_docs(&fresh, &base, &Options::default());
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert!(out.failures[0].contains("emitted_scalar_ms"));
+        assert!(out.failures[0].contains("n=64"));
+        let out = compare_docs(&base, &base, &Options::default());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn scalar_speedup_regression_warns() {
+        let base = doc_v3(&[(64, 2.2, true, false)]);
+        let fresh = doc_v3(&[(64, 1.5, true, false)]);
+        let out = compare_docs(&fresh, &base, &Options::default());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(
+            out.warnings.iter().any(|w| w.contains("scalar_speedup")),
+            "{:?}",
+            out.warnings
+        );
     }
 
     #[test]

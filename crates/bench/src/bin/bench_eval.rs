@@ -29,8 +29,26 @@ use absort_circuit::eval::{pack_lanes, pack_lanes_wide};
 use absort_circuit::{Circuit, CompiledCircuit};
 use absort_circuit::{CompileOptions, CompiledEvaluator, Engine, Evaluator, OptLevel};
 use absort_core::muxmerge;
+use absort_parwalk::ParEvaluator;
 
 const WORKLOAD: usize = 256;
+/// Pool-width cap for the level-parallel walker rows; the actual width
+/// is clamped to the cores the box exposes (a spinning pool wider than
+/// the machine only measures scheduler convoy).
+const PARWALK_THREADS: usize = 4;
+
+fn parwalk_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(PARWALK_THREADS)
+}
+
+/// The committed ahead-of-time emitted source for the benchmark network
+/// at n = 64 (see `tests/emitted_golden.rs` for the pin) — the
+/// `emitted_scalar_ms` column times rustc's own code for the same tape.
+mod emitted {
+    include!("../../emitted/sort_mux_merger_64.rs");
+}
 
 /// Min/median/max wall-clock seconds per call over `--reps` samples.
 #[derive(Clone, Copy)]
@@ -138,6 +156,18 @@ fn size_row(n: usize, reps: usize) -> String {
 
     let compile_s = min_of(reps, 20, || circuit.compile());
     let compiled = circuit.compile();
+    // The fused tapes: superinstruction dispatch for the headline
+    // scalar/wide columns, plus the parallel-safe variant the
+    // level-parallel walker requires.
+    let fuse_opts = CompileOptions::default().with_fuse();
+    let fused = circuit.compile_with(&fuse_opts);
+    let fused_par = circuit.compile_with(&fuse_opts.with_par_safe());
+    let fuse_stats = fused
+        .pass_stats()
+        .iter()
+        .find(|s| s.name == "fuse")
+        .expect("fuse pass ran");
+    let (fuse_before, fuse_after) = (fuse_stats.ops_before, fuse_stats.ops_after);
 
     let interp_scalar = sample(reps, 1, || {
         let mut ev: Evaluator<'_, bool> = Evaluator::new(&circuit);
@@ -149,15 +179,43 @@ fn size_row(n: usize, reps: usize) -> String {
         }
         acc
     });
-    let compiled_scalar = sample(reps, 1, || {
-        let mut ev: CompiledEvaluator<'_, bool> = CompiledEvaluator::new(&compiled);
+    fn scalar_workload<'a>(
+        cc: &'a absort_circuit::CompiledCircuit,
+        n: usize,
+    ) -> impl FnMut(&[Vec<bool>]) -> usize + 'a {
+        let mut ev: CompiledEvaluator<'_, bool> = CompiledEvaluator::new(cc);
         let mut out = vec![false; n];
-        let mut acc = 0usize;
-        for v in &vectors {
-            ev.run_into(v, &mut out);
-            acc += out[0] as usize;
+        move |vectors: &[Vec<bool>]| {
+            let mut acc = 0usize;
+            for v in vectors {
+                ev.run_into(v, &mut out);
+                acc += out[0] as usize;
+            }
+            acc
         }
-        acc
+    }
+    // Headline scalar column: the fused tape (fewer dispatches, same
+    // results); the unfused figure rides along for the record.
+    let compiled_scalar = {
+        let mut f = scalar_workload(&fused, n);
+        sample(reps, 1, || f(&vectors))
+    };
+    let compiled_scalar_unfused = {
+        let mut f = scalar_workload(&compiled, n);
+        sample(reps, 1, || f(&vectors))
+    };
+    // Ahead-of-time emitted function (committed golden, n = 64 only):
+    // what rustc -O makes of the very same tape as straight-line code.
+    let emitted_scalar_s = (n == 64).then(|| {
+        min_of(reps, 1, || {
+            let mut acc = 0usize;
+            let mut input = [false; 64];
+            for v in &vectors {
+                input.copy_from_slice(v);
+                acc += emitted::sort_mux_merger_64(&input)[0] as usize;
+            }
+            acc
+        })
     });
 
     let mut interp_u64: Evaluator<'_, u64> = Evaluator::new(&circuit);
@@ -180,16 +238,61 @@ fn size_row(n: usize, reps: usize) -> String {
         acc
     });
 
-    // The compiled engine's preferred batch configuration: one [u64; 4]
-    // wide walk covers the whole 256-vector workload, which the
-    // register-allocated slot buffer keeps cache-resident.
+    // Wide-walk candidates: one [u64; 4] (256-lane) or [u64; 8]
+    // (512-lane) call covers the whole workload, which the register-
+    // allocated slot buffer keeps cache-resident. The headline
+    // `compiled_wide_ms` takes the best configuration per size —
+    // unfused/fused, both widths, and the level-parallel walker.
     let wide = pack_lanes_wide::<4>(&vectors, n);
+    let wide8 = pack_lanes_wide::<8>(&vectors, n);
     let mut compiled_w4: CompiledEvaluator<'_, [u64; 4]> = CompiledEvaluator::new(&compiled);
     let mut wout = vec![[0u64; 4]; n];
     let compiled_wide = sample(reps, 100, || {
         compiled_w4.run_into(&wide, &mut wout);
         wout[0][0]
     });
+    let compiled_wide4_fused_s = {
+        let mut ev: CompiledEvaluator<'_, [u64; 4]> = CompiledEvaluator::new(&fused);
+        min_of(reps, 100, || {
+            ev.run_into(&wide, &mut wout);
+            wout[0][0]
+        })
+    };
+    let mut wout8 = vec![[0u64; 8]; n];
+    let compiled_wide8_fused_s = {
+        let mut ev: CompiledEvaluator<'_, [u64; 8]> = CompiledEvaluator::new(&fused);
+        min_of(reps, 100, || {
+            ev.run_into(&wide8, &mut wout8);
+            wout8[0][0]
+        })
+    };
+    let parwalk_pool = parwalk_threads();
+    let parwalk_wide4_s = {
+        let mut ev: ParEvaluator<[u64; 4]> = ParEvaluator::new(&fused_par, parwalk_pool);
+        min_of(reps, 100, || {
+            ev.run_into(&wide, &mut wout);
+            wout[0][0]
+        })
+    };
+    let parwalk_wide8_s = {
+        let mut ev: ParEvaluator<[u64; 8]> = ParEvaluator::new(&fused_par, parwalk_pool);
+        min_of(reps, 100, || {
+            ev.run_into(&wide8, &mut wout8);
+            wout8[0][0]
+        })
+    };
+    let parwalk_wide_s = parwalk_wide4_s.min(parwalk_wide8_s);
+    let wide_candidates = [
+        ("w4", compiled_wide.min),
+        ("w4-fused", compiled_wide4_fused_s),
+        ("w8-fused", compiled_wide8_fused_s),
+        ("parwalk-w4-fused", parwalk_wide4_s),
+        ("parwalk-w8-fused", parwalk_wide8_s),
+    ];
+    let (wide_config, best_wide_s) = wide_candidates
+        .into_iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("nonempty");
 
     let interp_par4_s = min_of(reps, 1, || circuit.eval_batch_parallel(&vectors, 4));
     let compiled_par4_s = min_of(reps, 1, || compiled.eval_batch_parallel(&vectors, 4));
@@ -244,18 +347,28 @@ fn size_row(n: usize, reps: usize) -> String {
         .collect();
 
     eprintln!(
-        "n={n}: lanes64 interp {} ms -> compiled wide {} ms ({}x; u64-for-u64 {}x); \
-         scalar {}x; compile {} ms, {} slots for {} wires; \
+        "n={n}: lanes64 interp {} ms -> compiled wide {} ms [{}] ({}x; u64-for-u64 {}x); \
+         scalar {}x (fused tape {} -> {} ops); compile {} ms, {} slots for {} wires; \
          vector p50 interp {ivp50} ns -> compiled {cvp50} ns",
         ms(interp_lanes.min),
-        ms(compiled_wide.min),
-        ratio(interp_lanes.min, compiled_wide.min),
+        ms(best_wide_s),
+        wide_config,
+        ratio(interp_lanes.min, best_wide_s),
         ratio(interp_lanes.min, compiled_lanes_s),
         ratio(interp_scalar.min, compiled_scalar.min),
+        fuse_before,
+        fuse_after,
         ms(compile_s),
         compiled.n_slots(),
         circuit.n_wires(),
     );
+    if let Some(es) = emitted_scalar_s {
+        eprintln!(
+            "  emitted scalar (rustc -O straight-line): {} ms vs fused tape {} ms",
+            ms(es),
+            ms(compiled_scalar.min)
+        );
+    }
 
     format!(
         concat!(
@@ -267,12 +380,23 @@ fn size_row(n: usize, reps: usize) -> String {
             "      \"n_slots\": {n_slots},\n",
             "      \"n_wires\": {n_wires},\n",
             "      \"slots_saved\": {slots_saved},\n",
+            "      \"fuse_ops_before\": {fuse_before},\n",
+            "      \"fuse_ops_after\": {fuse_after},\n",
+            "      \"compile.pass.fuse.fused\": {fuse_delta},\n",
             "      \"interp_scalar_ms\": {is},\n",
             "      \"compiled_scalar_ms\": {cs},\n",
+            "      \"compiled_scalar_unfused_ms\": {csu},\n",
+            "{emitted_row}",
             "      \"scalar_speedup\": {ss},\n",
             "      \"interp_lanes_ms\": {il},\n",
             "      \"compiled_lanes_ms\": {cl},\n",
             "      \"compiled_wide_ms\": {cw},\n",
+            "      \"wide_config\": \"{wide_config}\",\n",
+            "      \"compiled_wide4_ms\": {cw4},\n",
+            "      \"compiled_wide4_fused_ms\": {cw4f},\n",
+            "      \"compiled_wide8_fused_ms\": {cw8f},\n",
+            "      \"parwalk_wide_ms\": {pw},\n",
+            "      \"parwalk_threads\": {pwt},\n",
             "      \"lanes_speedup\": {ls},\n",
             "      \"interp_par4_ms\": {ip},\n",
             "      \"compiled_par4_ms\": {cp},\n",
@@ -296,13 +420,26 @@ fn size_row(n: usize, reps: usize) -> String {
         n_slots = compiled.n_slots(),
         n_wires = circuit.n_wires(),
         slots_saved = compiled.slots_saved(),
+        fuse_before = fuse_before,
+        fuse_after = fuse_after,
+        fuse_delta = fuse_before - fuse_after,
         is = ms(interp_scalar.min),
         cs = ms(compiled_scalar.min),
+        csu = ms(compiled_scalar_unfused.min),
+        emitted_row = emitted_scalar_s
+            .map(|es| format!("      \"emitted_scalar_ms\": {},\n", ms(es)))
+            .unwrap_or_default(),
         ss = ratio(interp_scalar.min, compiled_scalar.min),
         il = ms(interp_lanes.min),
         cl = ms(compiled_lanes_s),
-        cw = ms(compiled_wide.min),
-        ls = ratio(interp_lanes.min, compiled_wide.min),
+        cw = ms(best_wide_s),
+        wide_config = wide_config,
+        cw4 = ms(compiled_wide.min),
+        cw4f = ms(compiled_wide4_fused_s),
+        cw8f = ms(compiled_wide8_fused_s),
+        pw = ms(parwalk_wide_s),
+        pwt = parwalk_pool,
+        ls = ratio(interp_lanes.min, best_wide_s),
         ip = ms(interp_par4_s),
         cp = ms(compiled_par4_s),
         ivp50 = ivp50,
@@ -399,7 +536,7 @@ fn main() {
     let doc = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"absort-bench-eval/v2\",\n",
+            "  \"schema\": \"absort-bench-eval/v3\",\n",
             "  \"network\": \"mux-merger\",\n",
             "  \"reps\": {reps},\n",
             "  \"workload_vectors\": {workload},\n",

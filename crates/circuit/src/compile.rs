@@ -251,6 +251,53 @@ pub enum MicroOp {
         /// cache-resident), with [`REUSE_MASKS`] or-ed into the high bit.
         pidx: u32,
     },
+    /// Superinstruction: two simple ops executed by a single dispatch.
+    /// `idx` indexes [`CompiledCircuit::fused_pairs`], which holds the
+    /// original encodings. Created only by the post-regalloc `fuse`
+    /// pass ([`crate::fuse`]); fused source components are marked
+    /// [`COMP_FOLDED`] with [`FoldHint::Rewritten`], so fault campaigns
+    /// recompile instead of patching through the fused encoding.
+    Pair2 {
+        /// Index into [`CompiledCircuit::fused_pairs`].
+        idx: u32,
+    },
+    /// Superinstruction: a run of 4×4 switches steered by one shared
+    /// control pair (the runs the mask-reuse pass flags) executed by a
+    /// single dispatch — the select masks are computed once and kept in
+    /// registers across the whole run. `idx` indexes
+    /// [`CompiledCircuit::s4_chains`]. Same provenance contract as
+    /// [`MicroOp::Pair2`].
+    S4Chain {
+        /// Index into [`CompiledCircuit::s4_chains`].
+        idx: u32,
+    },
+}
+
+/// Side-table entry of one fused 4×4-switch chain: the shared control
+/// slots plus a range of [`S4Item`]s in [`CompiledCircuit::s4_items`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct S4ChainData {
+    /// High select-bit slot (shared by every switch in the chain).
+    pub s1: u32,
+    /// Low select-bit slot.
+    pub s0: u32,
+    /// First item index in [`CompiledCircuit::s4_items`].
+    pub start: u32,
+    /// Number of switches in the chain (≥ 2).
+    pub len: u32,
+}
+
+/// One 4×4 switch of a fused chain (controls live in the owning
+/// [`S4ChainData`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct S4Item {
+    /// The four destination slots.
+    pub d: [u32; 4],
+    /// The four data-input slots.
+    pub ins: [u32; 4],
+    /// Index into [`CompiledCircuit::perm_sets`] (no [`REUSE_MASKS`]
+    /// bit — reuse is implied by chain membership).
+    pub pidx: u32,
 }
 
 /// High bit of [`MicroOp::Switch4::pidx`]: the select masks of the
@@ -259,10 +306,10 @@ pub enum MicroOp {
 pub const REUSE_MASKS: u32 = 1 << 31;
 
 impl MicroOp {
-    /// Number of distinct profiling kinds: the 14 variants, with
+    /// Number of distinct profiling kinds: the 16 variants, with
     /// mask-reusing `Switch4` split from mask-computing `Switch4`
     /// (their dispatch cost differs by the whole mask computation).
-    pub const NUM_KINDS: usize = 15;
+    pub const NUM_KINDS: usize = 17;
 
     /// Dense stable index of this op's kind, `0..NUM_KINDS`.
     pub fn kind_index(&self) -> usize {
@@ -287,6 +334,8 @@ impl MicroOp {
                     13
                 }
             }
+            MicroOp::Pair2 { .. } => 15,
+            MicroOp::S4Chain { .. } => 16,
         }
     }
 
@@ -308,6 +357,8 @@ impl MicroOp {
             12 => "bitcompare",
             13 => "switch4",
             14 => "switch4+reuse",
+            15 => "pair2",
+            16 => "s4chain",
             _ => "?",
         }
     }
@@ -349,6 +400,13 @@ pub struct CompiledCircuit {
     pub(crate) source_components: u32,
     /// Per-pass before/after op counts recorded by the pass manager.
     pub(crate) pass_stats: Vec<PassStats>,
+    /// Original encodings of [`MicroOp::Pair2`] superinstructions
+    /// (empty unless the `fuse` pass ran).
+    pub(crate) fused_pairs: Vec<[MicroOp; 2]>,
+    /// Chain descriptors of [`MicroOp::S4Chain`] superinstructions.
+    pub(crate) s4_chains: Vec<S4ChainData>,
+    /// Flat item storage for every [`S4ChainData`] range.
+    pub(crate) s4_items: Vec<S4Item>,
 }
 
 /// [`CompiledCircuit::comp_pos`] sentinel: component eliminated as dead
@@ -488,8 +546,11 @@ impl CompiledCircuit {
 
         let mut ir = crate::ir::lower(c);
         let stats = PassManager::new(*opts).run(c, &mut ir);
-        let mut cc = crate::regalloc::allocate(&ir);
+        let mut cc = crate::regalloc::allocate_with(&ir, opts.par_safe);
         cc.pass_stats = stats;
+        if opts.fuse {
+            crate::fuse::fuse(&mut cc);
+        }
 
         #[cfg(feature = "telemetry")]
         absort_telemetry::counter_add_many(&[
@@ -778,6 +839,25 @@ impl CompiledCircuit {
         &self.perm_sets
     }
 
+    /// Original encodings of [`MicroOp::Pair2`] superinstructions, by
+    /// index (empty unless the `fuse` pass ran).
+    #[inline]
+    pub fn fused_pairs(&self) -> &[[MicroOp; 2]] {
+        &self.fused_pairs
+    }
+
+    /// Chain descriptors of [`MicroOp::S4Chain`] superinstructions.
+    #[inline]
+    pub fn s4_chains(&self) -> &[S4ChainData] {
+        &self.s4_chains
+    }
+
+    /// Flat item storage backing [`CompiledCircuit::s4_chains`] ranges.
+    #[inline]
+    pub fn s4_items(&self) -> &[S4Item] {
+        &self.s4_items
+    }
+
     /// Slot each primary input is loaded into.
     #[inline]
     pub fn input_slots(&self) -> &[u32] {
@@ -875,6 +955,8 @@ impl CompiledCircuit {
 /// ```
 pub struct CompiledEvaluator<'c, V: Lane> {
     cc: &'c CompiledCircuit,
+    /// The tape decoded to threaded form (see [`crate::dispatch`]).
+    prog: crate::dispatch::Program<V>,
     slots: Vec<V>,
     #[cfg(feature = "telemetry")]
     tel: absort_telemetry::LocalRecorder,
@@ -896,10 +978,13 @@ impl<V: Lane> Drop for CompiledEvaluator<'_, V> {
 }
 
 impl<'c, V: Lane> CompiledEvaluator<'c, V> {
-    /// Creates an evaluator with a zeroed slot buffer.
+    /// Creates an evaluator with a zeroed slot buffer. Decodes the tape
+    /// into its threaded-dispatch form (see [`crate::dispatch`]) — a
+    /// one-time linear cost over the tape.
     pub fn new(cc: &'c CompiledCircuit) -> Self {
         CompiledEvaluator {
             cc,
+            prog: crate::dispatch::Program::decode(cc),
             slots: vec![V::ZERO; cc.n_slots()],
             #[cfg(feature = "telemetry")]
             tel: absort_telemetry::LocalRecorder::new(),
@@ -965,101 +1050,11 @@ impl<'c, V: Lane> CompiledEvaluator<'c, V> {
             w[s as usize] = v;
         }
 
-        // Select masks of the most recent 4×4 switch; ops flagged with
-        // REUSE_MASKS read them instead of recomputing (the compiler
-        // guarantees the control slots are unchanged in between).
-        let mut m = [V::ZERO; 4];
-        for op in &cc.tape {
-            // Every arm reads all sources into locals before writing a
-            // destination: the allocator exploits this by letting a
-            // destination reuse a dying source's slot.
-            match *op {
-                MicroOp::Const { d, v } => w[d as usize] = V::splat(v),
-                MicroOp::Not { d, a } => {
-                    let x = w[a as usize];
-                    w[d as usize] = x.not();
-                }
-                MicroOp::And { d, a, b } => {
-                    let (x, y) = (w[a as usize], w[b as usize]);
-                    w[d as usize] = x.and(y);
-                }
-                MicroOp::Or { d, a, b } => {
-                    let (x, y) = (w[a as usize], w[b as usize]);
-                    w[d as usize] = x.or(y);
-                }
-                MicroOp::Xor { d, a, b } => {
-                    let (x, y) = (w[a as usize], w[b as usize]);
-                    w[d as usize] = x.xor(y);
-                }
-                MicroOp::Nand { d, a, b } => {
-                    let (x, y) = (w[a as usize], w[b as usize]);
-                    w[d as usize] = x.and(y).not();
-                }
-                MicroOp::Nor { d, a, b } => {
-                    let (x, y) = (w[a as usize], w[b as usize]);
-                    w[d as usize] = x.or(y).not();
-                }
-                MicroOp::Xnor { d, a, b } => {
-                    let (x, y) = (w[a as usize], w[b as usize]);
-                    w[d as usize] = x.xor(y).not();
-                }
-                MicroOp::Mux { d, s, a1, a0 } => {
-                    let (sv, x1, x0) = (w[s as usize], w[a1 as usize], w[a0 as usize]);
-                    w[d as usize] = V::select(sv, x1, x0);
-                }
-                MicroOp::Demux { d0, d1, s, x } => {
-                    let (sv, xv) = (w[s as usize], w[x as usize]);
-                    w[d0 as usize] = sv.not().and(xv);
-                    w[d1 as usize] = sv.and(xv);
-                }
-                MicroOp::Switch2 { d0, d1, s, a, b } => {
-                    let (sv, av, bv) = (w[s as usize], w[a as usize], w[b as usize]);
-                    w[d0 as usize] = V::select(sv, bv, av);
-                    w[d1 as usize] = V::select(sv, av, bv);
-                }
-                MicroOp::Route2 { d0, d1, a, b } => {
-                    let (av, bv) = (w[a as usize], w[b as usize]);
-                    w[d0 as usize] = av;
-                    w[d1 as usize] = bv;
-                }
-                MicroOp::BitCompare { d0, d1, a, b } => {
-                    let (av, bv) = (w[a as usize], w[b as usize]);
-                    w[d0 as usize] = av.and(bv);
-                    w[d1 as usize] = av.or(bv);
-                }
-                MicroOp::Switch4 {
-                    d,
-                    ins,
-                    s1,
-                    s0,
-                    pidx,
-                } => {
-                    if pidx & REUSE_MASKS == 0 {
-                        let (v1, v0) = (w[s1 as usize], w[s0 as usize]);
-                        m = [
-                            v1.not().and(v0.not()),
-                            v1.not().and(v0),
-                            v1.and(v0.not()),
-                            v1.and(v0),
-                        ];
-                    }
-                    let pm = &cc.perm_sets[(pidx & !REUSE_MASKS) as usize];
-                    let iv = [
-                        w[ins[0] as usize],
-                        w[ins[1] as usize],
-                        w[ins[2] as usize],
-                        w[ins[3] as usize],
-                    ];
-                    for j in 0..4 {
-                        w[d[j] as usize] = m[0]
-                            .and(iv[pm[0][j] as usize])
-                            .or(m[1].and(iv[pm[1][j] as usize]))
-                            .or(m[2].and(iv[pm[2][j] as usize]))
-                            .or(m[3].and(iv[pm[3][j] as usize]));
-                    }
-                }
-            }
-        }
+        // Threaded-code dispatch: the tape was decoded once at evaluator
+        // construction (operands resolved, reuse flags folded into the
+        // function choice, superinstructions expanded); each instruction
+        // is now a single indirect call. See `crate::dispatch`.
+        self.prog.exec(w);
 
         for (o, &s) in out.iter_mut().zip(&cc.output_slots) {
             *o = w[s as usize];
@@ -1117,11 +1112,13 @@ impl<V: Lane> CompiledEvaluator<'_, V> {
         // each level range is the following segment.
         let mut seg = 0usize;
         let mut seg_end = cc.prologue_len as usize;
+        let mut prev_kind: Option<usize> = None;
         let mut last = Instant::now();
         for (i, op) in cc.tape.iter().enumerate() {
             while i >= seg_end && seg < cc.level_ranges.len() {
                 seg_end = cc.level_ranges[seg].1 as usize;
                 seg += 1;
+                prev_kind = None;
             }
             match *op {
                 MicroOp::Const { d, v } => w[d as usize] = V::splat(v),
@@ -1208,6 +1205,38 @@ impl<V: Lane> CompiledEvaluator<'_, V> {
                             .or(m[3].and(iv[pm[3][j] as usize]));
                     }
                 }
+                MicroOp::Pair2 { idx } => {
+                    for sub in &cc.fused_pairs[idx as usize] {
+                        exec_pairable(w, sub);
+                    }
+                }
+                MicroOp::S4Chain { idx } => {
+                    let ch = cc.s4_chains[idx as usize];
+                    let (v1, v0) = (w[ch.s1 as usize], w[ch.s0 as usize]);
+                    m = [
+                        v1.not().and(v0.not()),
+                        v1.not().and(v0),
+                        v1.and(v0.not()),
+                        v1.and(v0),
+                    ];
+                    let items = &cc.s4_items[ch.start as usize..(ch.start + ch.len) as usize];
+                    for it in items {
+                        let pm = &cc.perm_sets[it.pidx as usize];
+                        let iv = [
+                            w[it.ins[0] as usize],
+                            w[it.ins[1] as usize],
+                            w[it.ins[2] as usize],
+                            w[it.ins[3] as usize],
+                        ];
+                        for j in 0..4 {
+                            w[it.d[j] as usize] = m[0]
+                                .and(iv[pm[0][j] as usize])
+                                .or(m[1].and(iv[pm[1][j] as usize]))
+                                .or(m[2].and(iv[pm[2][j] as usize]))
+                                .or(m[3].and(iv[pm[3][j] as usize]));
+                        }
+                    }
+                }
             }
             let now = Instant::now();
             let ns = u64::try_from((now - last).as_nanos()).unwrap_or(u64::MAX);
@@ -1217,12 +1246,45 @@ impl<V: Lane> CompiledEvaluator<'_, V> {
             prof.kinds[k].total_ns = prof.kinds[k].total_ns.saturating_add(ns);
             prof.levels[seg].executions += 1;
             prof.levels[seg].total_ns = prof.levels[seg].total_ns.saturating_add(ns);
+            if let Some(p) = prev_kind {
+                prof.record_pair(p, k);
+            }
+            prev_kind = Some(k);
         }
 
         for (o, &s) in out.iter_mut().zip(&cc.output_slots) {
             *o = w[s as usize];
         }
         prof.passes += 1;
+    }
+}
+
+/// Executes one half of a [`MicroOp::Pair2`] superinstruction. Only the
+/// pair-fusible kinds (see `crate::dispatch::pair_code`) can appear here;
+/// the fuse pass never emits anything else into `fused_pairs`.
+#[cfg(feature = "profile")]
+fn exec_pairable<V: Lane>(w: &mut [V], op: &MicroOp) {
+    match *op {
+        MicroOp::And { d, a, b } => w[d as usize] = w[a as usize].and(w[b as usize]),
+        MicroOp::Or { d, a, b } => w[d as usize] = w[a as usize].or(w[b as usize]),
+        MicroOp::Xor { d, a, b } => w[d as usize] = w[a as usize].xor(w[b as usize]),
+        MicroOp::Nand { d, a, b } => w[d as usize] = w[a as usize].and(w[b as usize]).not(),
+        MicroOp::Nor { d, a, b } => w[d as usize] = w[a as usize].or(w[b as usize]).not(),
+        MicroOp::Xnor { d, a, b } => w[d as usize] = w[a as usize].xor(w[b as usize]).not(),
+        MicroOp::Mux { d, s, a1, a0 } => {
+            w[d as usize] = V::select(w[s as usize], w[a1 as usize], w[a0 as usize]);
+        }
+        MicroOp::BitCompare { d0, d1, a, b } => {
+            let (av, bv) = (w[a as usize], w[b as usize]);
+            w[d0 as usize] = av.and(bv);
+            w[d1 as usize] = av.or(bv);
+        }
+        MicroOp::Switch2 { d0, d1, s, a, b } => {
+            let (sv, av, bv) = (w[s as usize], w[a as usize], w[b as usize]);
+            w[d0 as usize] = V::select(sv, bv, av);
+            w[d1 as usize] = V::select(sv, av, bv);
+        }
+        ref other => unreachable!("non-fusible op {other:?} inside a fused pair"),
     }
 }
 
@@ -1417,6 +1479,9 @@ mod tests {
                     for &di in &d {
                         written[di as usize] = true;
                     }
+                }
+                MicroOp::Pair2 { .. } | MicroOp::S4Chain { .. } => {
+                    unreachable!("default compile never emits superinstructions")
                 }
             }
         }

@@ -47,6 +47,12 @@ pub trait Lane: Copy + Send + Sync + 'static {
     /// Used by the fault-injecting evaluator to flip a single test
     /// vector's bit inside a packed pass. `lane` must be `< LANES`.
     fn lane_mask(lane: u32) -> Self;
+
+    /// The boolean carried by lane 0. For `LANES == 1` types this is
+    /// the whole value, which lets single-vector dispatch replace mask
+    /// arithmetic with direct indexing (see the compiled evaluator's
+    /// scalar 4×4-switch fast path).
+    fn first_lane(self) -> bool;
 }
 
 impl Lane for bool {
@@ -75,6 +81,10 @@ impl Lane for bool {
         debug_assert!(lane == 0, "bool carries a single lane");
         true
     }
+    #[inline]
+    fn first_lane(self) -> bool {
+        self
+    }
 }
 
 impl Lane for u64 {
@@ -102,6 +112,10 @@ impl Lane for u64 {
     fn lane_mask(lane: u32) -> Self {
         1u64 << lane
     }
+    #[inline]
+    fn first_lane(self) -> bool {
+        self & 1 == 1
+    }
 }
 
 impl Lane for u128 {
@@ -128,6 +142,10 @@ impl Lane for u128 {
     #[inline]
     fn lane_mask(lane: u32) -> Self {
         1u128 << lane
+    }
+    #[inline]
+    fn first_lane(self) -> bool {
+        self & 1 == 1
     }
 }
 
@@ -184,6 +202,10 @@ impl<const N: usize> Lane for [u64; N] {
         r[(lane / 64) as usize] = 1u64 << (lane % 64);
         r
     }
+    #[inline]
+    fn first_lane(self) -> bool {
+        self[0] & 1 == 1
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +246,66 @@ mod tests {
         assert_eq!(<[u64; 2]>::LANES, 128);
         assert_eq!(<[u64; 4]>::splat(true), [u64::MAX; 4]);
         assert_eq!(<[u64; 2]>::lane_mask(70), [0, 1 << 6]);
+    }
+
+    mod wide8_props {
+        use super::super::*;
+        use proptest::prelude::*;
+        use rand::prelude::*;
+
+        fn w8(rng: &mut StdRng) -> [u64; 8] {
+            std::array::from_fn(|_| rng.gen())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Every `[u64; 8]` op is exactly eight independent `u64`
+            /// ops — no word leaks into its neighbours.
+            #[test]
+            fn ops_match_per_word_u64(seed in any::<u64>()) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let (a, b, s) = (w8(&mut rng), w8(&mut rng), w8(&mut rng));
+                for i in 0..8 {
+                    prop_assert_eq!(a.not()[i], !a[i]);
+                    prop_assert_eq!(a.and(b)[i], a[i] & b[i]);
+                    prop_assert_eq!(a.or(b)[i], a[i] | b[i]);
+                    prop_assert_eq!(a.xor(b)[i], a[i] ^ b[i]);
+                    prop_assert_eq!(
+                        <[u64; 8]>::select(s, a, b)[i],
+                        u64::select(s[i], a[i], b[i])
+                    );
+                }
+            }
+
+            /// `lane_mask` sets exactly one bit, in the right word, and
+            /// `first_lane` extracts lane 0 across all 512 lanes.
+            #[test]
+            fn lane_mask_splat_and_extract(lane in 0u32..512) {
+                let m = <[u64; 8]>::lane_mask(lane);
+                for (w, &word) in m.iter().enumerate() {
+                    let want = if w as u32 == lane / 64 { 1u64 << (lane % 64) } else { 0 };
+                    prop_assert_eq!(word, want, "word {} of lane_mask({})", w, lane);
+                }
+                prop_assert_eq!(m.first_lane(), lane == 0);
+                prop_assert_eq!(<[u64; 8]>::splat(true).and(m), m);
+                prop_assert_eq!(<[u64; 8]>::splat(false).or(m), m);
+                prop_assert_eq!(<[u64; 8]>::LANES, 512);
+            }
+
+            /// Select against splatted constants degenerates to the
+            /// operands — the identity the compiled mux fast path relies
+            /// on, checked at full width.
+            #[test]
+            fn select_against_splats(seed in any::<u64>()) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let (a, b) = (w8(&mut rng), w8(&mut rng));
+                prop_assert_eq!(<[u64; 8]>::select(<[u64; 8]>::splat(true), a, b), a);
+                prop_assert_eq!(<[u64; 8]>::select(<[u64; 8]>::splat(false), a, b), b);
+                prop_assert_eq!(a.xor(a), <[u64; 8]>::ZERO);
+                prop_assert_eq!(a.xor(a.not()), <[u64; 8]>::ONES);
+            }
+        }
     }
 
     #[test]

@@ -39,10 +39,13 @@ pub mod clocked;
 pub mod compile;
 pub mod component;
 pub mod cost;
+pub(crate) mod dispatch;
 pub mod dot;
+pub mod emit;
 pub mod equiv;
 pub mod eval;
 pub mod faulty;
+pub mod fuse;
 pub mod ir;
 pub mod lane;
 pub mod mutate;

@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use crate::component::{GateOp, Perm4};
-use crate::ir::{CompileIr, IrKind, ValId};
+use crate::ir::{CompileIr, FoldHint, IrKind, ValId};
 use crate::passes::Pass;
 
 /// Hash key of one op: the function it computes of its (substituted)
@@ -74,11 +74,26 @@ impl Pass for Cse {
     }
 
     fn run(&self, ir: &mut CompileIr) {
+        // Pre-substitution observation census: how many ops (or outputs)
+        // reference each value *on entry*. A merged op none of whose defs
+        // is observed here is unobservable in the source netlist too
+        // (earlier passes only drop uses that are pointwise-insensitive
+        // to the value), so any mutant of its component is
+        // output-equivalent to the base: those sites get
+        // [`FoldHint::Equivalent`] and skip the per-mutant recompile.
+        let mut observed = vec![false; ir.n_vals as usize];
+        for op in &ir.ops {
+            op.kind.for_each_use(|v| observed[v as usize] = true);
+        }
+        for &o in &ir.outputs {
+            observed[o as usize] = true;
+        }
+
         let mut subst: Vec<ValId> = (0..ir.n_vals).collect();
         let mut keep = vec![true; ir.ops.len()];
         // Key → (op index, defs) of the first occurrence.
         let mut seen: HashMap<Key, (usize, [ValId; 4])> = HashMap::new();
-        let mut folded: Vec<u32> = Vec::new();
+        let mut folded: Vec<(u32, bool)> = Vec::new();
         let mut share: Vec<usize> = Vec::new();
         for (i, op) in ir.ops.iter_mut().enumerate() {
             op.kind.map_uses(|v| subst[v as usize]);
@@ -88,11 +103,12 @@ impl Pass for Cse {
                 }
                 std::collections::hash_map::Entry::Occupied(e) => {
                     let (survivor, sdefs) = *e.get();
+                    let unobserved = op.defs().iter().all(|&d| !observed[d as usize]);
                     for (k, &def) in op.defs().iter().enumerate() {
                         subst[def as usize] = sdefs[k];
                     }
                     keep[i] = false;
-                    folded.push(op.comp);
+                    folded.push((op.comp, unobserved));
                     share.push(survivor);
                 }
             }
@@ -102,8 +118,20 @@ impl Pass for Cse {
             ir.ops[si].shared = true;
             ir.fold_comp(comp);
         }
-        for comp in folded {
-            ir.fold_comp(comp);
+        for (comp, unobserved) in folded {
+            // The upgrade is only sound for comps the pipeline had not
+            // touched yet: an op surviving an earlier fold (a `ToNot`
+            // rewrite) can under-represent its component's fanout via
+            // aliases baked into downstream uses, so "defs unobserved"
+            // would not imply "component unobservable" there.
+            if unobserved
+                && comp != crate::ir::NO_COMP
+                && ir.comp_fate[comp as usize] == crate::ir::CompFate::Live
+            {
+                ir.fold_comp_hinted(comp, FoldHint::Equivalent);
+            } else {
+                ir.fold_comp(comp);
+            }
         }
         for o in &mut ir.outputs {
             *o = subst[*o as usize];

@@ -250,6 +250,18 @@ pub struct CompileOptions {
     /// Force the per-pass IR-vs-interpreter differential check even in
     /// release builds (it is always on under `debug_assertions`).
     pub verify: bool,
+    /// Run the post-regalloc superinstruction pass (`crate::fuse`):
+    /// fuse 4×4-switch mask-reuse runs into single-dispatch chains and
+    /// frequent adjacent simple-op pairs into `Pair2` ops. Off by
+    /// default — fused sites lose in-place mutant patching (they fall
+    /// back to recompile), so sweep drivers opt in explicitly.
+    pub fuse: bool,
+    /// Allocate slots so that ops within one depth level never reuse a
+    /// slot freed earlier in the *same* level (frees are parked until
+    /// the level boundary). Costs a few extra slots; makes every op in
+    /// a level independent, the precondition for level-parallel
+    /// execution (`absort-parwalk`).
+    pub par_safe: bool,
 }
 
 impl Default for CompileOptions {
@@ -257,6 +269,8 @@ impl Default for CompileOptions {
         CompileOptions {
             passes: OptLevel::default().passes(),
             verify: false,
+            fuse: false,
+            par_safe: false,
         }
     }
 }
@@ -266,8 +280,22 @@ impl CompileOptions {
     pub fn for_level(level: OptLevel) -> CompileOptions {
         CompileOptions {
             passes: level.passes(),
-            verify: false,
+            ..CompileOptions::default()
         }
+    }
+
+    /// This option set with the superinstruction fuse pass enabled.
+    #[must_use]
+    pub fn with_fuse(mut self) -> CompileOptions {
+        self.fuse = true;
+        self
+    }
+
+    /// This option set with parallel-safe slot allocation enabled.
+    #[must_use]
+    pub fn with_par_safe(mut self) -> CompileOptions {
+        self.par_safe = true;
+        self
     }
 }
 

@@ -38,6 +38,12 @@ pub struct TapeProfile {
     /// Per-level totals, index 0 = constant prologue, index `l + 1` =
     /// depth level `l` of [`crate::CompiledCircuit::level_ranges`].
     pub levels: Vec<LevelStat>,
+    /// Adjacent-pair census: `pairs[prev * NUM_KINDS + cur]` counts how
+    /// often an op of kind `cur` directly followed one of kind `prev`
+    /// *within the same depth level* (pairs never straddle a level
+    /// boundary, matching the fuse pass's legality rule). Empty until
+    /// the first profiled pass.
+    pub pairs: Vec<u64>,
     /// Profiled passes folded in.
     pub passes: u64,
 }
@@ -53,6 +59,14 @@ impl TapeProfile {
         if self.levels.len() < n {
             self.levels.resize(n, LevelStat::default());
         }
+    }
+
+    /// Records one same-level adjacency of kinds `(prev, cur)`.
+    pub(crate) fn record_pair(&mut self, prev: usize, cur: usize) {
+        if self.pairs.is_empty() {
+            self.pairs = vec![0; MicroOp::NUM_KINDS * MicroOp::NUM_KINDS];
+        }
+        self.pairs[prev * MicroOp::NUM_KINDS + cur] += 1;
     }
 
     /// Total micro-ops executed across all profiled passes.
@@ -76,6 +90,14 @@ impl TapeProfile {
             s.executions += o.executions;
             s.total_ns += o.total_ns;
         }
+        if !other.pairs.is_empty() {
+            if self.pairs.is_empty() {
+                self.pairs = vec![0; MicroOp::NUM_KINDS * MicroOp::NUM_KINDS];
+            }
+            for (s, o) in self.pairs.iter_mut().zip(&other.pairs) {
+                *s += o;
+            }
+        }
         self.passes += other.passes;
     }
 
@@ -90,6 +112,23 @@ impl TapeProfile {
             .map(|(i, k)| (MicroOp::kind_name(i), *k))
             .collect();
         rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        rows
+    }
+
+    /// `((prev_kind, cur_kind), count)` rows with at least one observed
+    /// same-level adjacency, most frequent first. This is the table the
+    /// `fuse` pass's superinstruction menu is justified against (see
+    /// `absort inspect --profile`).
+    pub fn hot_pairs(&self) -> Vec<((&'static str, &'static str), u64)> {
+        let k = MicroOp::NUM_KINDS;
+        let mut rows: Vec<((&'static str, &'static str), u64)> = self
+            .pairs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| ((MicroOp::kind_name(i / k), MicroOp::kind_name(i % k)), c))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         rows
     }
 }

@@ -1,0 +1,479 @@
+//! # absort-parwalk — level-parallel tape evaluation
+//!
+//! The compiled micro-op tape is sorted by circuit depth level, and
+//! every op inside one level is combinationally independent of its
+//! level-mates. With the **parallel-safe** slot allocation
+//! (`CompileOptions::with_par_safe()`), that independence also holds at
+//! the storage layer: within a level no op writes a slot another level-
+//! mate reads or writes (freed slots are parked until the level
+//! boundary, dead defs get private slots). A level can therefore be
+//! chunked across threads with nothing but a barrier at each level
+//! boundary.
+//!
+//! This crate provides [`ParEvaluator`], a persistent-pool evaluator
+//! that does exactly that. It exists outside `absort-circuit` because
+//! the shared slot buffer needs `UnsafeCell` aliasing that the circuit
+//! crate's `#![forbid(unsafe_code)]` rules out; everything it reads
+//! comes through `CompiledCircuit`'s public accessors.
+//!
+//! ## Preconditions (checked at construction)
+//!
+//! * the tape must be compiled with `with_par_safe()` — slot WAR/WAW
+//!   freedom inside levels is what makes chunking sound; this is not
+//!   detectable from the tape, so the caller promises it by calling
+//!   [`ParEvaluator::new`] (debug assertions verify the observable
+//!   half: no two ops in a level share a destination slot);
+//! * the tape must be compiled with `with_fuse()` **or** carry no
+//!   mask-reuse 4×4 switches: a standalone reuse op reads select masks
+//!   computed by the *previous* tape op, state that does not survive a
+//!   chunk boundary. The fuse pass guarantees reuse runs are either
+//!   collapsed into self-contained `S4Chain` superinstructions or have
+//!   the flag cleared; [`ParEvaluator::new`] rejects offending tapes.
+//!
+//! ## When it wins
+//!
+//! Barrier costs are paid per level (~a microsecond each), so the win
+//! condition is `ops per level × lane width` large: wide-lane walks
+//! (`[u64; 4]`, `[u64; 8]`) over n ≥ 256 networks. Scalar or small-n
+//! walks are faster on one core — `bench_eval` picks per size.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use absort_circuit::compile::{CompiledCircuit, MicroOp, S4ChainData, S4Item, REUSE_MASKS};
+use absort_circuit::{Lane, Perm4};
+
+/// Spin barrier with generation counter: cheap enough to sit at every
+/// level boundary (a `std::sync::Barrier` parks threads, costing tens of
+/// microseconds per level).
+struct SpinBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        Self {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.store(gen + 1, Ordering::Release);
+        } else {
+            // Bounded spin, then yield: on an oversubscribed box (more
+            // participants than cores) pure spinning burns whole
+            // scheduler quanta per level and a run degrades by ~1000×.
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if spins < 128 {
+                    std::hint::spin_loop();
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// The shared slot buffer. Soundness: during a run, every participant
+/// writes only the destination slots of its own chunk of the current
+/// level, and par-safe allocation guarantees those chunks touch disjoint
+/// slots (and no level-mate reads a slot written this level). Between
+/// levels a [`SpinBarrier`] sequences the accesses. All access goes
+/// through the raw [`SlotBuf::ptr`] — no `&mut` is ever formed, so
+/// concurrent participants never alias a unique reference.
+struct SlotBuf<V>(Box<[UnsafeCell<V>]>);
+
+// SAFETY: see the struct docs — disjoint-slot writes inside a level,
+// barrier-separated levels. The raw pointer never outlives a run.
+unsafe impl<V: Send> Sync for SlotBuf<V> {}
+
+impl<V> SlotBuf<V> {
+    fn ptr(&self) -> *mut V {
+        // UnsafeCell<V> is repr-transparent over V.
+        self.0.as_ptr() as *mut V
+    }
+}
+
+/// Everything a worker needs: the decoded tape (cloned out of the
+/// `CompiledCircuit` so workers are `'static`), the shared slot buffer,
+/// and the rendezvous state.
+struct Shared<V> {
+    tape: Box<[MicroOp]>,
+    perm_sets: Box<[[Perm4; 4]]>,
+    fused_pairs: Box<[[MicroOp; 2]]>,
+    s4_chains: Box<[S4ChainData]>,
+    s4_items: Box<[S4Item]>,
+    level_ranges: Box<[(u32, u32)]>,
+    slots: SlotBuf<V>,
+    /// Run rendezvous: bumped once per `run_into`, workers sleep on it.
+    epoch: Mutex<u64>,
+    wake: Condvar,
+    barrier: SpinBarrier,
+    shutdown: AtomicBool,
+}
+
+impl<V: Lane> Shared<V> {
+    /// Executes tape positions `[start, end)`. `# Safety`: the caller
+    /// must hold the level-chunking contract described on [`SlotBuf`].
+    unsafe fn exec_range(&self, w: *mut V, start: usize, end: usize) {
+        macro_rules! rd {
+            ($s:expr) => {
+                *w.add($s as usize)
+            };
+        }
+        macro_rules! wr {
+            ($d:expr, $v:expr) => {
+                *w.add($d as usize) = $v
+            };
+        }
+        let switch4 = |w: *mut V, m: &[V; 4], d: &[u32; 4], ins: &[u32; 4], pm: &[Perm4; 4]| unsafe {
+            let iv = [
+                *w.add(ins[0] as usize),
+                *w.add(ins[1] as usize),
+                *w.add(ins[2] as usize),
+                *w.add(ins[3] as usize),
+            ];
+            for j in 0..4 {
+                *w.add(d[j] as usize) = m[0]
+                    .and(iv[pm[0][j] as usize])
+                    .or(m[1].and(iv[pm[1][j] as usize]))
+                    .or(m[2].and(iv[pm[2][j] as usize]))
+                    .or(m[3].and(iv[pm[3][j] as usize]));
+            }
+        };
+        let masks = |v1: V, v0: V| {
+            [
+                v1.not().and(v0.not()),
+                v1.not().and(v0),
+                v1.and(v0.not()),
+                v1.and(v0),
+            ]
+        };
+        for op in &self.tape[start..end] {
+            match *op {
+                MicroOp::Const { d, v } => wr!(d, V::splat(v)),
+                MicroOp::Not { d, a } => wr!(d, rd!(a).not()),
+                MicroOp::And { d, a, b } => wr!(d, rd!(a).and(rd!(b))),
+                MicroOp::Or { d, a, b } => wr!(d, rd!(a).or(rd!(b))),
+                MicroOp::Xor { d, a, b } => wr!(d, rd!(a).xor(rd!(b))),
+                MicroOp::Nand { d, a, b } => wr!(d, rd!(a).and(rd!(b)).not()),
+                MicroOp::Nor { d, a, b } => wr!(d, rd!(a).or(rd!(b)).not()),
+                MicroOp::Xnor { d, a, b } => wr!(d, rd!(a).xor(rd!(b)).not()),
+                MicroOp::Mux { d, s, a1, a0 } => {
+                    wr!(d, V::select(rd!(s), rd!(a1), rd!(a0)))
+                }
+                MicroOp::Demux { d0, d1, s, x } => {
+                    let (sv, xv) = (rd!(s), rd!(x));
+                    wr!(d0, sv.not().and(xv));
+                    wr!(d1, sv.and(xv));
+                }
+                MicroOp::Switch2 { d0, d1, s, a, b } => {
+                    let (sv, av, bv) = (rd!(s), rd!(a), rd!(b));
+                    wr!(d0, V::select(sv, bv, av));
+                    wr!(d1, V::select(sv, av, bv));
+                }
+                MicroOp::Route2 { d0, d1, a, b } => {
+                    let (av, bv) = (rd!(a), rd!(b));
+                    wr!(d0, av);
+                    wr!(d1, bv);
+                }
+                MicroOp::BitCompare { d0, d1, a, b } => {
+                    let (av, bv) = (rd!(a), rd!(b));
+                    wr!(d0, av.and(bv));
+                    wr!(d1, av.or(bv));
+                }
+                MicroOp::Switch4 {
+                    d,
+                    ins,
+                    s1,
+                    s0,
+                    pidx,
+                } => {
+                    // `new` rejected standalone reuse ops, so the masks
+                    // are always ours to compute.
+                    let m = masks(rd!(s1), rd!(s0));
+                    let pm = &self.perm_sets[(pidx & !REUSE_MASKS) as usize];
+                    switch4(w, &m, &d, &ins, pm);
+                }
+                MicroOp::Pair2 { idx } => {
+                    for sub in &self.fused_pairs[idx as usize] {
+                        match *sub {
+                            MicroOp::And { d, a, b } => wr!(d, rd!(a).and(rd!(b))),
+                            MicroOp::Or { d, a, b } => wr!(d, rd!(a).or(rd!(b))),
+                            MicroOp::Xor { d, a, b } => wr!(d, rd!(a).xor(rd!(b))),
+                            MicroOp::Nand { d, a, b } => wr!(d, rd!(a).and(rd!(b)).not()),
+                            MicroOp::Nor { d, a, b } => wr!(d, rd!(a).or(rd!(b)).not()),
+                            MicroOp::Xnor { d, a, b } => wr!(d, rd!(a).xor(rd!(b)).not()),
+                            MicroOp::Mux { d, s, a1, a0 } => {
+                                wr!(d, V::select(rd!(s), rd!(a1), rd!(a0)))
+                            }
+                            MicroOp::BitCompare { d0, d1, a, b } => {
+                                let (av, bv) = (rd!(a), rd!(b));
+                                wr!(d0, av.and(bv));
+                                wr!(d1, av.or(bv));
+                            }
+                            MicroOp::Switch2 { d0, d1, s, a, b } => {
+                                let (sv, av, bv) = (rd!(s), rd!(a), rd!(b));
+                                wr!(d0, V::select(sv, bv, av));
+                                wr!(d1, V::select(sv, av, bv));
+                            }
+                            ref other => {
+                                unreachable!("non-fusible op {other:?} inside a fused pair")
+                            }
+                        }
+                    }
+                }
+                MicroOp::S4Chain { idx } => {
+                    let ch = self.s4_chains[idx as usize];
+                    let m = masks(rd!(ch.s1), rd!(ch.s0));
+                    let items = &self.s4_items[ch.start as usize..(ch.start + ch.len) as usize];
+                    for it in items {
+                        let pm = &self.perm_sets[it.pidx as usize];
+                        switch4(w, &m, &it.d, &it.ins, pm);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One participant's share of a full level walk (`tid` in
+    /// `0..total`). Chunks every level into `total` contiguous pieces
+    /// and barriers at each level boundary.
+    ///
+    /// `# Safety`: caller guarantees exactly `barrier.total` participants
+    /// run this concurrently with distinct `tid`s over a par-safe tape.
+    unsafe fn walk_levels(&self, tid: usize, total: usize) {
+        let w = self.slots.ptr();
+        for &(start, end) in self.level_ranges.iter() {
+            let (start, end) = (start as usize, end as usize);
+            let len = end - start;
+            let chunk = len.div_ceil(total);
+            let lo = (start + tid * chunk).min(end);
+            let hi = (lo + chunk).min(end);
+            if lo < hi {
+                self.exec_range(w, lo, hi);
+            }
+            self.barrier.wait();
+        }
+    }
+}
+
+/// Persistent-pool, level-parallel evaluator over a compiled tape.
+///
+/// Construction spawns `threads - 1` workers that sleep between runs;
+/// [`ParEvaluator::run_into`] wakes them, walks the levels with the main
+/// thread as participant `0`, and returns once the final level's barrier
+/// resolves. Dropping the evaluator shuts the pool down.
+pub struct ParEvaluator<V: Lane> {
+    shared: Arc<Shared<V>>,
+    prologue_len: usize,
+    input_slots: Box<[u32]>,
+    output_slots: Box<[u32]>,
+    threads: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<V: Lane> ParEvaluator<V> {
+    /// Builds the evaluator and spawns its worker pool.
+    ///
+    /// `threads` is clamped to at least 1 (1 = no workers, plain
+    /// sequential walk — useful as a baseline). The tape must come from
+    /// `compile_with(&opts.with_fuse().with_par_safe())`; see the module
+    /// docs for why. Panics if the tape still carries standalone
+    /// mask-reuse ops.
+    pub fn new(cc: &CompiledCircuit, threads: usize) -> Self {
+        for (i, op) in cc.tape().iter().enumerate() {
+            if let MicroOp::Switch4 { pidx, .. } = op {
+                assert_eq!(
+                    pidx & REUSE_MASKS,
+                    0,
+                    "tape position {i}: standalone mask-reuse op — compile with \
+                     CompileOptions::with_fuse().with_par_safe() before ParEvaluator::new"
+                );
+            }
+        }
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            tape: cc.tape().into(),
+            perm_sets: cc.perm_sets().into(),
+            fused_pairs: cc.fused_pairs().into(),
+            s4_chains: cc.s4_chains().into(),
+            s4_items: cc.s4_items().into(),
+            level_ranges: cc.level_ranges().into(),
+            slots: SlotBuf(
+                (0..cc.n_slots())
+                    .map(|_| UnsafeCell::new(V::ZERO))
+                    .collect(),
+            ),
+            epoch: Mutex::new(0),
+            wake: Condvar::new(),
+            barrier: SpinBarrier::new(threads),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..threads)
+            .map(|tid| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    loop {
+                        {
+                            let mut epoch = sh.epoch.lock().unwrap();
+                            while *epoch == seen && !sh.shutdown.load(Ordering::Acquire) {
+                                epoch = sh.wake.wait(epoch).unwrap();
+                            }
+                            if sh.shutdown.load(Ordering::Acquire) {
+                                return;
+                            }
+                            seen = *epoch;
+                        }
+                        // SAFETY: run_into wakes exactly this pool, every
+                        // participant has a distinct tid, and `new`
+                        // validated the tape shape.
+                        unsafe { sh.walk_levels(tid, threads) };
+                    }
+                })
+            })
+            .collect();
+        Self {
+            shared,
+            prologue_len: cc.prologue_len(),
+            input_slots: cc.input_slots().into(),
+            output_slots: cc.output_slots().into(),
+            threads,
+            workers,
+        }
+    }
+
+    /// Number of pool participants (workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates one wide vector set: `inputs[i]` feeds primary input
+    /// `i`, `out[j]` receives primary output `j`.
+    pub fn run_into(&mut self, inputs: &[V], out: &mut [V]) {
+        assert_eq!(inputs.len(), self.input_slots.len(), "wrong input arity");
+        assert_eq!(out.len(), self.output_slots.len(), "wrong output arity");
+        let sh = &self.shared;
+        // Exclusive phase: workers are asleep, `&mut self` keeps runs
+        // from overlapping — the main thread owns the buffer.
+        let wp = sh.slots.ptr();
+        for (&s, &v) in self.input_slots.iter().zip(inputs) {
+            unsafe { *wp.add(s as usize) = v };
+        }
+        // The prologue (constant splats) precedes the first level and is
+        // cheap: run it inline before waking anyone.
+        unsafe { sh.exec_range(wp, 0, self.prologue_len) };
+        if self.threads > 1 {
+            let mut epoch = sh.epoch.lock().unwrap();
+            *epoch += 1;
+            drop(epoch);
+            sh.wake.notify_all();
+        }
+        // SAFETY: participant 0 of exactly `threads` concurrent walkers.
+        unsafe { sh.walk_levels(0, self.threads) };
+        // All barriers resolved: workers are back to sleep (or spinning
+        // toward the lock), the buffer is ours again.
+        for (o, &s) in out.iter_mut().zip(self.output_slots.iter()) {
+            *o = unsafe { *wp.add(s as usize) };
+        }
+    }
+
+    /// Convenience wrapper allocating the output vector.
+    pub fn run(&mut self, inputs: &[V]) -> Vec<V> {
+        let mut out = vec![V::ZERO; self.output_slots.len()];
+        self.run_into(inputs, &mut out);
+        out
+    }
+}
+
+impl<V: Lane> Drop for ParEvaluator<V> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Grab the lock so no worker misses the flag between its epoch
+        // check and its wait.
+        drop(self.shared.epoch.lock().unwrap());
+        self.shared.wake.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absort_circuit::{CompileOptions, Evaluator};
+    use absort_core::{muxmerge, prefix};
+
+    fn par_opts() -> CompileOptions {
+        CompileOptions::default().with_fuse().with_par_safe()
+    }
+
+    #[test]
+    fn matches_interpreter_exhaustively_n8() {
+        for circuit in [prefix::build(8), muxmerge::build(8)] {
+            let cc = circuit.compile_with(&par_opts());
+            let mut interp: Evaluator<'_, u64> = Evaluator::new(&circuit);
+            for threads in [1usize, 2, 4] {
+                let mut par: ParEvaluator<u64> = ParEvaluator::new(&cc, threads);
+                let mut packed = vec![0u64; 8];
+                let mut v = 0u64;
+                while v < 256 {
+                    packed.fill(0);
+                    for lane in 0..64 {
+                        let x = v + lane as u64;
+                        for (i, p) in packed.iter_mut().enumerate() {
+                            *p |= (x >> i & 1) << lane;
+                        }
+                    }
+                    assert_eq!(
+                        par.run(&packed),
+                        interp.run(&packed),
+                        "threads={threads} base={v}"
+                    );
+                    v += 64;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_lanes_and_repeat_runs() {
+        let circuit = muxmerge::build(16);
+        let cc = circuit.compile_with(&par_opts());
+        let mut interp: Evaluator<'_, [u64; 8]> = Evaluator::new(&circuit);
+        let mut par: ParEvaluator<[u64; 8]> = ParEvaluator::new(&cc, 3);
+        let mut state = 1u64;
+        for _ in 0..16 {
+            let inputs: Vec<[u64; 8]> = (0..16)
+                .map(|_| {
+                    std::array::from_fn(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        state
+                    })
+                })
+                .collect();
+            assert_eq!(par.run(&inputs), interp.run(&inputs));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "standalone mask-reuse")]
+    fn rejects_unfused_reuse_tapes() {
+        let cc = muxmerge::build(8).compile_with(&CompileOptions::default().with_par_safe());
+        let _: ParEvaluator<u64> = ParEvaluator::new(&cc, 2);
+    }
+}

@@ -11,6 +11,7 @@
 //!   sizes, through scalar, packed, and batch-parallel compiled paths.
 
 use absort::analysis::faults::fish_k;
+use absort::circuit::eval::{pack_lanes_wide, unpack_lanes_wide};
 use absort::circuit::{Circuit, CompiledEvaluator, Evaluator};
 use absort::core::{fish, muxmerge, nonadaptive, prefix};
 use proptest::prelude::*;
@@ -115,6 +116,42 @@ proptest! {
             let want = circuit.eval_batch_parallel(&vectors, 2);
             let got = compiled.eval_batch_parallel(&vectors, 2);
             prop_assert_eq!(got, want, "{} n={} batch", name, n);
+        }
+    }
+
+    /// The `[u64; 8]` wide walk (512 lanes per pass) agrees with the
+    /// `[u64; 4]` walk and the scalar path on random batches, and the
+    /// wide pack/unpack pair round-trips exactly.
+    #[test]
+    fn wide8_walks_agree_with_narrow_and_scalar(seed in any::<u64>(), size_idx in 0usize..3) {
+        let n = [4usize, 8, 16][size_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (name, circuit) in catalog(n) {
+            let compiled = circuit.compile();
+            let vectors: Vec<Vec<bool>> = (0..512)
+                .map(|_| (0..n).map(|_| rng.gen()).collect())
+                .collect();
+            let w8 = pack_lanes_wide::<8>(&vectors, n);
+            prop_assert_eq!(
+                unpack_lanes_wide(&w8, vectors.len()),
+                vectors.clone(),
+                "{} n={}: wide pack/unpack must round-trip", name, n
+            );
+            let mut ev8: CompiledEvaluator<'_, [u64; 8]> = CompiledEvaluator::new(&compiled);
+            let mut ev4: CompiledEvaluator<'_, [u64; 4]> = CompiledEvaluator::new(&compiled);
+            let out8 = unpack_lanes_wide(&ev8.run(&w8), vectors.len());
+            let w4 = pack_lanes_wide::<4>(&vectors[..256], n);
+            let out4 = unpack_lanes_wide(&ev4.run(&w4), 256);
+            prop_assert_eq!(&out8[..256], &out4[..], "{} n={}: [u64;8] vs [u64;4]", name, n);
+            // Scalar spot checks across both halves, including the
+            // word-boundary lanes.
+            for idx in [0usize, 63, 64, 255, 256, 511] {
+                prop_assert_eq!(
+                    &out8[idx],
+                    &compiled.eval(&vectors[idx]),
+                    "{} n={} lane {}: [u64;8] vs scalar", name, n, idx
+                );
+            }
         }
     }
 }

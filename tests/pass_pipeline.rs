@@ -85,6 +85,7 @@ fn every_configuration_matches_interpreter_exhaustively() {
                 let opts = CompileOptions {
                     passes,
                     verify: true,
+                    ..CompileOptions::default()
                 };
                 let compiled = circuit.compile_with(&opts);
                 let mut comp: CompiledEvaluator<'_, u64> = CompiledEvaluator::new(&compiled);
