@@ -8,6 +8,7 @@
 //! absort verify --network fish --n 16
 //! absort dot --network mux-merger --n 16
 //! absort emit --rust --network prefix --n 64 --standalone
+//! absort serve --addr 127.0.0.1:7600 --workers 4
 //! absort --network prefix --faults --faults-out report.json
 //! ```
 
@@ -46,6 +47,14 @@ fn usage() -> ! {
                        emit the built circuit as a text netlist\n\
            eval        <netlist-file> <bits>\n\
                        load a saved netlist and evaluate it\n\
+           serve       [--addr <host:port>] [--workers <w>] [--queue <q>]\n\
+                       [--batch-max <b>] [--max-n <n>] [--chaos]\n\
+                       run the fault-tolerant sorting daemon: length-\n\
+                       prefixed TCP protocol, wide-lane request batching,\n\
+                       bounded queues with typed Overloaded shedding,\n\
+                       per-request deadlines, SIGTERM graceful drain;\n\
+                       --chaos honors forced-worker-panic requests (test\n\
+                       harnesses only)\n\
          \n\
          fault campaigns (no subcommand):\n\
            absort --network <prefix|mux-merger|fish|batcher|all> --faults\n\
@@ -176,6 +185,13 @@ struct Args {
     checkpoint: Option<String>,
     resume: bool,
     faults_timeout_secs: Option<u64>,
+    opt_level: OptLevel,
+    addr: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    batch_max: Option<usize>,
+    max_n: Option<usize>,
+    chaos: bool,
     positional: Vec<String>,
 }
 
@@ -202,6 +218,13 @@ fn parse_args(argv: &[String]) -> Args {
         checkpoint: None,
         resume: false,
         faults_timeout_secs: None,
+        opt_level: OptLevel::default(),
+        addr: None,
+        workers: None,
+        queue: None,
+        batch_max: None,
+        max_n: None,
+        chaos: false,
         positional: Vec::new(),
     };
     let mut it = argv.iter();
@@ -232,6 +255,7 @@ fn parse_args(argv: &[String]) -> Args {
                     .and_then(|v| OptLevel::parse(v))
                     .unwrap_or_else(|| enum_flag_error("--opt-level", v, "0, 1, 2"));
                 a.opt.passes = level.passes();
+                a.opt_level = level;
             }
             "--passes" => {
                 let v = it.next();
@@ -304,6 +328,36 @@ fn parse_args(argv: &[String]) -> Args {
             "--faults-timeout-secs" => {
                 a.faults_timeout_secs = Some(parse_usize("--faults-timeout-secs", &mut it) as u64);
             }
+            "--addr" => {
+                a.addr = Some(
+                    it.next()
+                        .unwrap_or_else(|| flag_error("--addr", None))
+                        .clone(),
+                );
+            }
+            "--workers" => a.workers = Some(parse_usize("--workers", &mut it)),
+            "--queue" => {
+                let q = parse_usize("--queue", &mut it);
+                if q == 0 {
+                    flag_error("--queue", Some(&"0".to_string()));
+                }
+                a.queue = Some(q);
+            }
+            "--batch-max" => {
+                let b = parse_usize("--batch-max", &mut it);
+                if b == 0 {
+                    flag_error("--batch-max", Some(&"0".to_string()));
+                }
+                a.batch_max = Some(b);
+            }
+            "--max-n" => {
+                let n = parse_usize("--max-n", &mut it);
+                if n == 0 {
+                    flag_error("--max-n", Some(&"0".to_string()));
+                }
+                a.max_n = Some(n);
+            }
+            "--chaos" => a.chaos = true,
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other}\n");
                 usage()
@@ -796,6 +850,59 @@ fn cmd_eval(a: &Args) {
     println!("{}", lang::show(&circuit.eval(&bits), 0));
 }
 
+/// Runs the fault-tolerant sorting daemon (`absort serve`): binds,
+/// serves until SIGTERM/SIGINT, then drains gracefully — stops
+/// accepting, flushes in-flight requests, prints the final stats, and
+/// exits 0.
+fn cmd_serve(a: &Args) {
+    use absort::serve::{signal, ServeConfig, Server};
+    let cfg = ServeConfig {
+        addr: a
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:7600".to_string()),
+        workers: a.workers.unwrap_or(0),
+        queue_capacity: a.queue.unwrap_or(1024),
+        batch_max: a.batch_max.unwrap_or(absort::serve::server::WIDE_LANES),
+        max_n: a
+            .max_n
+            .map_or(absort::serve::proto::DEFAULT_MAX_N, |n| n as u32),
+        chaos: a.chaos,
+        opt: a.opt_level,
+        ..ServeConfig::default()
+    };
+    signal::install_handlers();
+    let server = Server::start(cfg.clone()).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {}: {e}", cfg.addr);
+        exit(1);
+    });
+    println!("absort serve listening on {}", server.local_addr());
+    if cfg.chaos {
+        println!("chaos hooks ENABLED: forced-worker-panic requests will be honored");
+    }
+    while !signal::drain_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("drain requested: no longer accepting; flushing in-flight requests");
+    let stats = server.join();
+    println!(
+        "drained cleanly: {} conns, {} requests, {} ok, {} shed, {} deadline-missed, \
+         {} malformed, {} slow-loris closed, {} panics isolated, {} solo retries, \
+         {} internal, {} batches",
+        stats.conns_accepted,
+        stats.requests,
+        stats.replies_ok,
+        stats.shed,
+        stats.deadline_missed,
+        stats.malformed,
+        stats.slow_loris_closed,
+        stats.panics_isolated,
+        stats.solo_retries,
+        stats.internal_errors,
+        stats.batches,
+    );
+}
+
 /// Stashes the inspected circuit's structural numbers as a manifest
 /// section, so a `--metrics` run records *what* was measured alongside
 /// where the time went.
@@ -1083,6 +1190,21 @@ fn run_command(cmd: &str, rest: &Args) {
             usage();
         }
     }
+    // And the daemon flags: they configure the serve command.
+    let serve_only = [
+        (rest.addr.is_some(), "--addr"),
+        (rest.workers.is_some(), "--workers"),
+        (rest.queue.is_some(), "--queue"),
+        (rest.batch_max.is_some(), "--batch-max"),
+        (rest.max_n.is_some(), "--max-n"),
+        (rest.chaos, "--chaos"),
+    ];
+    for (set, flag) in serve_only {
+        if set && cmd != "serve" {
+            eprintln!("error: {flag} applies to the serve command only\n");
+            usage();
+        }
+    }
     match cmd {
         "sort" => cmd_sort(rest),
         "route" => cmd_route(rest),
@@ -1093,6 +1215,7 @@ fn run_command(cmd: &str, rest: &Args) {
         "dot" => cmd_dot(rest),
         "save" => cmd_save(rest),
         "eval" => cmd_eval(rest),
+        "serve" => cmd_serve(rest),
         _ => usage(),
     }
 }

@@ -21,7 +21,11 @@
 //! * [`analysis`] — experiment drivers regenerating every table and
 //!   figure (see EXPERIMENTS.md);
 //! * [`faults`] — the fault taxonomy, degradation metrics, and campaign
-//!   report types behind `absort --faults` (resilience analysis).
+//!   report types behind `absort --faults` (resilience analysis);
+//! * [`serve`] — the fault-tolerant TCP sorting service behind
+//!   `absort serve`: length-prefixed protocol, wide-lane request
+//!   batching, backpressure with typed load shedding, deadlines, and
+//!   chaos-tested graceful degradation.
 //!
 //! ## Quickstart
 //!
@@ -49,3 +53,4 @@ pub use absort_cmpnet as cmpnet;
 pub use absort_core as core;
 pub use absort_faults as faults;
 pub use absort_networks as networks;
+pub use absort_serve as serve;

@@ -1,18 +1,23 @@
-//! `bench_compare` — the perf regression gate over `bench_eval` output.
+//! `bench_compare` — the perf regression gate over committed bench JSON.
 //!
-//! Diffs a freshly generated `BENCH_eval.json` against a committed
-//! baseline (`BENCH_baseline.json`) and classifies every difference as
-//! either a hard failure or a warning:
+//! Diffs a freshly generated document against a committed baseline and
+//! classifies every difference as either a hard failure or a warning.
+//! Two schema families are understood, dispatched on the `schema`
+//! field: `absort-bench-eval/*` (the `bench_eval` engine comparison)
+//! and `absort-bench-serve/*` (the `bench_serve` load-test report).
 //!
 //! - **FAIL** (exit 1): unreadable/unparseable input, schema loss (the
-//!   fresh document's schema is missing, foreign, or *older* than the
-//!   baseline's), coverage loss (a baseline size row, headline metric,
-//!   or the fault-campaign section missing from the fresh document).
+//!   fresh document's schema is missing, foreign, from a different
+//!   family than the baseline, or *older* than the baseline's),
+//!   coverage loss (a baseline size row, headline metric, or the
+//!   fault-campaign section missing from the fresh document; a serve
+//!   report missing a required column or completing zero requests).
 //!   Missing size rows alone can be waived with `--allow-missing-sizes`
 //!   (for `--quick` CI runs diffed against a full baseline).
 //! - **WARN** (exit 0, or exit 3 with `--strict`): `lanes_speedup`
-//!   dropping more than 10% below the baseline on any common size, or
-//!   the fault-campaign `speedup` doing the same.
+//!   dropping more than 10% below the baseline on any common size, the
+//!   fault-campaign `speedup` doing the same, or a serve report's
+//!   `throughput_rps` doing the same on a comparable workload.
 //!
 //! Usage:
 //!   bench_compare <fresh.json> <baseline.json> [--strict] [--allow-missing-sizes]
@@ -46,6 +51,21 @@ const CARRY_FORWARD_SIZE_METRICS: &[&str] = &["emitted_scalar_ms"];
 
 const SCHEMA_PREFIX: &str = "absort-bench-eval/";
 const SCHEMA_V3: &str = "absort-bench-eval/v3";
+const SERVE_SCHEMA_PREFIX: &str = "absort-bench-serve/";
+
+/// Columns every serve report must carry; dropping one is coverage loss.
+const SERVE_REQUIRED_METRICS: &[&str] = &[
+    "throughput_rps",
+    "p50_us",
+    "p99_us",
+    "p999_us",
+    "requests",
+    "completed",
+    "shed",
+    "retried",
+    "deadline_missed",
+    "errors",
+];
 
 #[derive(Default)]
 struct Options {
@@ -60,13 +80,12 @@ struct Outcome {
     notes: Vec<String>,
 }
 
-fn schema_of<'a>(doc: &'a Value, which: &str, out: &mut Outcome) -> Option<&'a str> {
+fn schema_of<'a>(doc: &'a Value, which: &str, prefix: &str, out: &mut Outcome) -> Option<&'a str> {
     match doc.get("schema").and_then(Value::as_str) {
-        Some(s) if s.starts_with(SCHEMA_PREFIX) => Some(s),
+        Some(s) if s.starts_with(prefix) => Some(s),
         Some(s) => {
-            out.failures.push(format!(
-                "{which}: foreign schema `{s}` (want {SCHEMA_PREFIX}*)"
-            ));
+            out.failures
+                .push(format!("{which}: foreign schema `{s}` (want {prefix}*)"));
             None
         }
         None => {
@@ -74,6 +93,20 @@ fn schema_of<'a>(doc: &'a Value, which: &str, out: &mut Outcome) -> Option<&'a s
                 .push(format!("{which}: missing `schema` field"));
             None
         }
+    }
+}
+
+/// Versions are `v1`, `v2`, ...: lexicographic order is version order,
+/// so a fresh document must never be older than its baseline.
+fn check_schema_order(fresh: &str, base: &str, out: &mut Outcome) {
+    if fresh < base {
+        out.failures.push(format!(
+            "schema regression: fresh `{fresh}` is older than baseline `{base}`"
+        ));
+    } else if fresh > base {
+        out.notes.push(format!(
+            "schema upgraded: baseline `{base}` -> fresh `{fresh}`"
+        ));
     }
 }
 
@@ -111,20 +144,10 @@ fn check_speedup(label: &str, fresh: f64, base: f64, out: &mut Outcome) {
 fn compare_docs(fresh: &Value, baseline: &Value, opts: &Options) -> Outcome {
     let mut out = Outcome::default();
 
-    let fresh_schema = schema_of(fresh, "fresh", &mut out);
-    let base_schema = schema_of(baseline, "baseline", &mut out);
+    let fresh_schema = schema_of(fresh, "fresh", SCHEMA_PREFIX, &mut out);
+    let base_schema = schema_of(baseline, "baseline", SCHEMA_PREFIX, &mut out);
     if let (Some(f), Some(b)) = (fresh_schema, base_schema) {
-        // Versions are `v1`, `v2`, ...: lexicographic order is version
-        // order, so a fresh document must never be older than the
-        // baseline it is diffed against.
-        if f < b {
-            out.failures.push(format!(
-                "schema regression: fresh `{f}` is older than baseline `{b}`"
-            ));
-        } else if f > b {
-            out.notes
-                .push(format!("schema upgraded: baseline `{b}` -> fresh `{f}`"));
-        }
+        check_schema_order(f, b, &mut out);
     }
 
     let fresh_sizes = size_rows(fresh);
@@ -208,6 +231,99 @@ fn compare_docs(fresh: &Value, baseline: &Value, opts: &Options) -> Outcome {
     out
 }
 
+/// Gate over `absort-bench-serve/*` load-test reports. Coverage loss
+/// (a missing required column, or a run that completed nothing) fails;
+/// a >10% `throughput_rps` drop on a comparable workload warns.
+fn compare_serve_docs(fresh: &Value, baseline: &Value, _opts: &Options) -> Outcome {
+    let mut out = Outcome::default();
+
+    let fresh_schema = schema_of(fresh, "fresh", SERVE_SCHEMA_PREFIX, &mut out);
+    let base_schema = schema_of(baseline, "baseline", SERVE_SCHEMA_PREFIX, &mut out);
+    if let (Some(f), Some(b)) = (fresh_schema, base_schema) {
+        check_schema_order(f, b, &mut out);
+    }
+
+    for &metric in SERVE_REQUIRED_METRICS {
+        if fresh.get(metric).and_then(Value::as_f64).is_none() {
+            out.failures.push(format!(
+                "coverage loss: fresh serve report lacks `{metric}`"
+            ));
+        }
+        if baseline.get(metric).and_then(Value::as_f64).is_none() {
+            out.failures
+                .push(format!("baseline serve report lacks `{metric}`"));
+        }
+    }
+    if !out.failures.is_empty() {
+        return out;
+    }
+
+    let completed = fresh
+        .get("completed")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    if completed <= 0.0 {
+        out.failures
+            .push("fresh serve run completed zero requests".into());
+        return out;
+    }
+
+    // Throughput is only comparable on the same workload shape: mode,
+    // network, and input width must all match the baseline's.
+    let same_workload = ["mode", "network"]
+        .iter()
+        .all(|k| fresh.get(k).and_then(Value::as_str) == baseline.get(k).and_then(Value::as_str))
+        && fresh.get("n").and_then(Value::as_i64) == baseline.get("n").and_then(Value::as_i64);
+    if !same_workload {
+        out.notes.push(
+            "serve workload differs from baseline (mode/network/n), throughput not compared".into(),
+        );
+        return out;
+    }
+
+    let (f_rps, b_rps) = (
+        fresh
+            .get("throughput_rps")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0),
+        baseline
+            .get("throughput_rps")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0),
+    );
+    if b_rps > 0.0 {
+        let drop = (b_rps - f_rps) / b_rps;
+        if drop > SPEEDUP_DROP_THRESHOLD {
+            out.warnings.push(format!(
+                "serve throughput {f_rps:.0} rps is {:.0}% below baseline {b_rps:.0} rps",
+                drop * 100.0
+            ));
+        } else {
+            out.notes.push(format!(
+                "serve throughput {f_rps:.0} rps vs baseline {b_rps:.0} rps (ok)"
+            ));
+        }
+    }
+    for pct in ["p50_us", "p99_us", "p999_us"] {
+        if let (Some(f), Some(b)) = (
+            fresh.get(pct).and_then(Value::as_f64),
+            baseline.get(pct).and_then(Value::as_f64),
+        ) {
+            out.notes
+                .push(format!("serve {pct}: {f:.0} vs baseline {b:.0}"));
+        }
+    }
+    out
+}
+
+/// Which gate a document belongs to, by schema prefix.
+fn family(doc: &Value) -> &'static str {
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(s) if s.starts_with(SERVE_SCHEMA_PREFIX) => "serve",
+        _ => "eval",
+    }
+}
+
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
@@ -248,7 +364,11 @@ fn main() {
         }
     };
 
-    let out = compare_docs(&fresh, &baseline, &opts);
+    let out = if family(&fresh) == "serve" || family(&baseline) == "serve" {
+        compare_serve_docs(&fresh, &baseline, &opts)
+    } else {
+        compare_docs(&fresh, &baseline, &opts)
+    };
     for n in &out.notes {
         println!("  ok: {n}");
     }
@@ -452,6 +572,111 @@ mod tests {
             "{:?}",
             out.warnings
         );
+    }
+
+    fn serve_doc(schema: &str, mode: &str, n: i64, rps: f64, completed: i64) -> Value {
+        parse(&format!(
+            "{{\"schema\": \"{schema}\", \"mode\": \"{mode}\", \"connections\": 4, \
+             \"network\": \"mux-merger\", \"n\": {n}, \"requests\": 8000, \
+             \"completed\": {completed}, \"duration_s\": 2.0, \
+             \"throughput_rps\": {rps}, \"p50_us\": 110, \"p99_us\": 900, \
+             \"p999_us\": 2100, \"mean_us\": 150, \"max_us\": 4000, \
+             \"shed\": 12, \"retried\": 12, \"deadline_missed\": 0, \"errors\": 0}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn serve_identical_docs_pass_clean() {
+        let d = serve_doc("absort-bench-serve/v1", "closed-loop", 64, 4000.0, 8000);
+        let out = compare_serve_docs(&d, &d, &Options::default());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+    }
+
+    #[test]
+    fn serve_throughput_drop_warns_but_does_not_fail() {
+        let base = serve_doc("absort-bench-serve/v1", "closed-loop", 64, 4000.0, 8000);
+        let slow = serve_doc("absort-bench-serve/v1", "closed-loop", 64, 3000.0, 8000);
+        let out = compare_serve_docs(&slow, &base, &Options::default());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(
+            out.warnings.iter().any(|w| w.contains("throughput")),
+            "{:?}",
+            out.warnings
+        );
+
+        let close = serve_doc("absort-bench-serve/v1", "closed-loop", 64, 3700.0, 8000);
+        let out = compare_serve_docs(&close, &base, &Options::default());
+        assert!(out.warnings.is_empty(), "7.5% drop must not warn");
+    }
+
+    #[test]
+    fn serve_missing_column_is_coverage_loss() {
+        let base = serve_doc("absort-bench-serve/v1", "closed-loop", 64, 4000.0, 8000);
+        let fresh = parse(
+            "{\"schema\": \"absort-bench-serve/v1\", \"mode\": \"closed-loop\", \
+             \"network\": \"mux-merger\", \"n\": 64, \"throughput_rps\": 4000.0}",
+        )
+        .unwrap();
+        let out = compare_serve_docs(&fresh, &base, &Options::default());
+        let text = out.failures.join("\n");
+        assert!(text.contains("p99_us"), "{text}");
+        assert!(text.contains("shed"), "{text}");
+        assert!(text.contains("deadline_missed"), "{text}");
+    }
+
+    #[test]
+    fn serve_zero_completed_fails() {
+        let base = serve_doc("absort-bench-serve/v1", "closed-loop", 64, 4000.0, 8000);
+        let dead = serve_doc("absort-bench-serve/v1", "closed-loop", 64, 0.0, 0);
+        let out = compare_serve_docs(&dead, &base, &Options::default());
+        assert!(
+            out.failures.iter().any(|f| f.contains("zero requests")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn serve_workload_shape_change_skips_throughput_compare() {
+        let base = serve_doc("absort-bench-serve/v1", "closed-loop", 64, 4000.0, 8000);
+        let fixed = serve_doc("absort-bench-serve/v1", "fixed-rate", 64, 900.0, 8000);
+        let wider = serve_doc("absort-bench-serve/v1", "closed-loop", 256, 900.0, 8000);
+        for fresh in [fixed, wider] {
+            let out = compare_serve_docs(&fresh, &base, &Options::default());
+            assert!(out.failures.is_empty(), "{:?}", out.failures);
+            assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+            assert!(
+                out.notes.iter().any(|n| n.contains("not compared")),
+                "{:?}",
+                out.notes
+            );
+        }
+    }
+
+    #[test]
+    fn serve_family_dispatch_and_cross_family_fails() {
+        let serve = serve_doc("absort-bench-serve/v1", "closed-loop", 64, 4000.0, 8000);
+        let eval = doc("absort-bench-eval/v2", &[(64, 2.6)], None);
+        assert_eq!(family(&serve), "serve");
+        assert_eq!(family(&eval), "eval");
+        // A serve report diffed against an eval baseline is a schema
+        // failure, not a silent pass.
+        let out = compare_serve_docs(&serve, &eval, &Options::default());
+        assert!(
+            out.failures.iter().any(|f| f.contains("foreign schema")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn serve_schema_regression_fails() {
+        let v1 = serve_doc("absort-bench-serve/v1", "closed-loop", 64, 4000.0, 8000);
+        let v2 = serve_doc("absort-bench-serve/v2", "closed-loop", 64, 4000.0, 8000);
+        let out = compare_serve_docs(&v1, &v2, &Options::default());
+        assert!(out.failures.iter().any(|f| f.contains("schema regression")));
     }
 
     #[test]

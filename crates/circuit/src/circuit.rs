@@ -155,6 +155,22 @@ impl Circuit {
         Some(self.tally(|p| self.scopes.is_within(p.scope, root)))
     }
 
+    /// Like [`Circuit::cost_of_scope`], but a miss is a typed
+    /// [`MissingScope`] that names the path and the scopes that do
+    /// exist — callers get a diagnosable error instead of unwrapping
+    /// an anonymous `None`.
+    pub fn try_cost_of_scope(&self, path: &str) -> Result<CostReport, MissingScope> {
+        self.cost_of_scope(path)
+            .ok_or_else(|| self.missing_scope(path))
+    }
+
+    fn missing_scope(&self, path: &str) -> MissingScope {
+        MissingScope {
+            path: path.to_string(),
+            known: self.scope_paths(),
+        }
+    }
+
     /// All scope paths that exist in this circuit (sorted), useful for
     /// exploring a construction's block structure.
     pub fn scope_paths(&self) -> Vec<String> {
@@ -186,6 +202,14 @@ impl Circuit {
                 .filter(|&i| self.scopes.is_within(self.comps[i].scope, root))
                 .collect(),
         )
+    }
+
+    /// Like [`Circuit::components_in_scope`], but a miss is a typed
+    /// [`MissingScope`] naming the path (see
+    /// [`Circuit::try_cost_of_scope`]).
+    pub fn try_components_in_scope(&self, path: &str) -> Result<Vec<usize>, MissingScope> {
+        self.components_in_scope(path)
+            .ok_or_else(|| self.missing_scope(path))
     }
 
     /// The wires driven by component `index`, in output order. Together
@@ -311,6 +335,36 @@ impl Circuit {
     }
 }
 
+/// A scope-path query named a scope the circuit does not have. The
+/// error carries the requested path and the paths that do exist, so
+/// `unwrap`/`expect` failures and propagated errors alike say exactly
+/// what was missing and what was available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingScope {
+    /// The path that was requested.
+    pub path: String,
+    /// Every scope path the circuit actually has (sorted).
+    pub known: Vec<String>,
+}
+
+impl std::fmt::Display for MissingScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no scope `{}` in circuit", self.path)?;
+        match self.known.len() {
+            0 => write!(f, " (circuit has no scoped components)"),
+            1..=8 => write!(f, " (known scopes: {})", self.known.join(", ")),
+            more => write!(
+                f,
+                " (known scopes: {}, ... {} total)",
+                self.known[..8].join(", "),
+                more
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MissingScope {}
+
 #[cfg(test)]
 mod tests {
     use crate::builder::Builder;
@@ -328,6 +382,30 @@ mod tests {
         let c = b.finish();
         assert_eq!(c.depth(), 3);
         assert_eq!(c.output_depths(), vec![3, 1]);
+    }
+
+    #[test]
+    fn missing_scope_error_names_the_path_and_the_alternatives() {
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let a = b.scoped("left", |b| b.and(x, y));
+        b.outputs(&[a]);
+        let c = b.finish();
+
+        assert!(c.try_cost_of_scope("left").is_ok());
+        assert_eq!(
+            c.try_components_in_scope("left").unwrap(),
+            c.components_in_scope("left").unwrap()
+        );
+
+        let err = c.try_cost_of_scope("rigth").unwrap_err();
+        assert_eq!(err.path, "rigth");
+        let msg = err.to_string();
+        assert!(msg.contains("no scope `rigth`"), "{msg}");
+        assert!(msg.contains("left"), "{msg}");
+        let err2 = c.try_components_in_scope("rigth").unwrap_err();
+        assert_eq!(err, err2);
     }
 
     #[test]

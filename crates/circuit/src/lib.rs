@@ -61,7 +61,7 @@ pub mod validate;
 pub mod wire;
 
 pub use builder::Builder;
-pub use circuit::Circuit;
+pub use circuit::{Circuit, MissingScope};
 pub use compile::{CompiledCircuit, CompiledEvaluator, Engine, MultiMutantTape, MutantTape};
 pub use component::{Component, GateOp, Perm4};
 pub use cost::{CostReport, KindCounts};

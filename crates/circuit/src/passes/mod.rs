@@ -187,7 +187,7 @@ impl std::fmt::Display for PassSet {
 }
 
 /// CLI-level optimization tier mapping onto a [`PassSet`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum OptLevel {
     /// No optional passes: straight lowering plus schedule + regalloc.
     O0,

@@ -25,6 +25,11 @@ use crate::network::{Network, Stage};
 pub fn draw(net: &Network) -> String {
     let n = net.n();
     assert!(n <= 32, "ASCII drawing limited to 32 lines, got {n}");
+    if n == 0 {
+        // An empty network draws as an empty picture; without this the
+        // `2 * n - 1` row count below underflows.
+        return String::new();
+    }
     // Each line of the picture is 2 rows: the wire row and the gap row.
     // Build columns: each comparator stage may need several columns if
     // comparators overlap vertically.
@@ -109,6 +114,12 @@ mod tests {
     use super::*;
     use crate::catalog::fig1;
 
+    /// Widest line of a picture; 0 for an empty picture (so width
+    /// assertions never panic on degenerate networks).
+    fn max_line_width(pic: &str) -> usize {
+        pic.lines().map(|l| l.chars().count()).max().unwrap_or(0)
+    }
+
     #[test]
     fn fig1_drawing_shape() {
         let pic = draw(&fig1());
@@ -126,8 +137,7 @@ mod tests {
         net.push_compare(vec![(0, 1), (2, 3)]);
         let pic = draw(&net);
         // both comparators fit one column: the picture is narrow
-        let max_width = pic.lines().map(|l| l.chars().count()).max().unwrap();
-        assert!(max_width <= 10, "{pic}");
+        assert!(max_line_width(&pic) <= 10, "{pic}");
     }
 
     #[test]
@@ -135,10 +145,23 @@ mod tests {
         let mut net = Network::new(4);
         net.push_compare(vec![(0, 2), (1, 3)]);
         let pic = draw(&net);
-        let max_width = pic.lines().map(|l| l.chars().count()).max().unwrap();
-        assert!(max_width > 8, "overlap needs two columns\n{pic}");
+        assert!(max_line_width(&pic) > 8, "overlap needs two columns\n{pic}");
         // the crossing wire is marked
         assert!(pic.contains('┼'), "{pic}");
+    }
+
+    #[test]
+    fn empty_network_draws_without_panicking() {
+        // Regression: n=0 used to underflow the row count, and the
+        // width checks above used to unwrap an empty iterator.
+        let pic = draw(&Network::new(0));
+        assert!(pic.is_empty(), "{pic:?}");
+        assert_eq!(max_line_width(&pic), 0);
+
+        // A network with wires but no stages is also a valid picture.
+        let pic = draw(&Network::new(2));
+        assert_eq!(pic.lines().count(), 3, "{pic:?}");
+        assert!(pic.contains("x0"));
     }
 
     #[test]

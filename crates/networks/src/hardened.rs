@@ -610,8 +610,8 @@ mod tests {
         let base = muxmerge::build(8);
         let h = harden(&base, &HardenOptions::default());
         let total = h.circuit.cost().total;
-        let checker = h.circuit.cost_of_scope("checker").unwrap().total;
-        let core = h.circuit.cost_of_scope("core").unwrap().total;
+        let checker = h.circuit.try_cost_of_scope("checker").unwrap().total;
+        let core = h.circuit.try_cost_of_scope("core").unwrap().total;
         assert_eq!(core, base.cost().total);
         assert_eq!(total, core + checker);
         // The checker is Θ(n): a mono rail (~2n) plus two popcounts
@@ -620,7 +620,7 @@ mod tests {
         for exp in [3u32, 4, 5, 6] {
             let n = 1usize << exp;
             let hb = harden(&muxmerge::build(n), &HardenOptions::default());
-            let checker = hb.circuit.cost_of_scope("checker").unwrap().total;
+            let checker = hb.circuit.try_cost_of_scope("checker").unwrap().total;
             assert!(checker <= 22 * n as u64, "n={n}: checker cost {checker}");
         }
     }
@@ -663,8 +663,8 @@ mod tests {
         let comb = s.machine.comb();
         for scope in ["ctl/counter", "ctl/shadow", "ctl/parity", "checker/control"] {
             let c = comb
-                .cost_of_scope(scope)
-                .unwrap_or_else(|| panic!("{scope} missing"));
+                .try_cost_of_scope(scope)
+                .unwrap_or_else(|e| panic!("{e}"));
             assert!(c.total > 0, "{scope} must place gates");
         }
         // fault-free: rail low across several back-to-back schedules
@@ -713,7 +713,7 @@ mod tests {
         // must raise the rail within the window.
         let (mut swept, mut flagged) = (0usize, 0usize);
         for scope in ["ctl/counter", "ctl/shadow"] {
-            for ci in comb.components_in_scope(scope).unwrap() {
+            for ci in comb.try_components_in_scope(scope).unwrap() {
                 for w in comb.component_output_wires(ci) {
                     for value in [false, true] {
                         let fault = WireFault::StuckAt { wire: w, value };

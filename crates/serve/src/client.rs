@@ -1,0 +1,96 @@
+//! Minimal blocking client for the serve protocol — used by the
+//! `bench_serve` load generator, the chaos harness, and tests.
+
+use std::io::{self, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::proto::{self, FrameError, Reply, Request};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's reply failed to parse.
+    Frame(FrameError),
+    /// The server closed the connection at a frame boundary.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Frame(e) => write!(f, "bad reply frame: {e}"),
+            ClientError::Closed => write!(f, "connection closed by server"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to an `absort serve` daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects immediately.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Connects with retry until `timeout` elapses — for CI and tests
+    /// that race the daemon's bind.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        timeout: Duration,
+    ) -> io::Result<Client> {
+        let start = Instant::now();
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// The underlying stream (tests use this to inject raw bytes).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Sends a request without waiting for the reply (pipelining).
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.stream.write_all(&proto::encode_request(req))
+    }
+
+    /// Sends raw bytes verbatim (chaos tests inject corruption here).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Receives the next reply frame.
+    pub fn recv(&mut self) -> Result<Reply, ClientError> {
+        match proto::read_frame(&mut self.stream)? {
+            None => Err(ClientError::Closed),
+            Some(body) => proto::decode_reply(&body).map_err(ClientError::Frame),
+        }
+    }
+
+    /// Round-trips one request.
+    pub fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        self.send(req)?;
+        self.recv()
+    }
+}

@@ -1,0 +1,86 @@
+//! SIGTERM/SIGINT latch for graceful drain.
+//!
+//! The daemon polls [`drain_requested`] from its accept loop; when a
+//! termination signal arrives it stops accepting, flushes in-flight
+//! requests, and exits 0. The handler itself only stores into an
+//! `AtomicBool` — the single async-signal-safe operation we need.
+//!
+//! There is no `libc` crate in this build environment, so the `signal(2)`
+//! binding is declared directly. This is the one unsafe island in the
+//! crate (the crate root is `#![deny(unsafe_code)]`; this module opts
+//! out explicitly).
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// True once a termination signal (or [`request_drain`]) has been seen.
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}
+
+/// Programmatic equivalent of receiving SIGTERM (used by tests and by
+/// the CLI's own shutdown paths).
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the latch (test isolation only).
+pub fn reset_for_test() {
+    DRAIN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::DRAIN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX `signal(2)`. Good enough here: we install one handler,
+        // once, before any threads that care, and the handler body is a
+        // single atomic store.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        DRAIN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT → drain-latch handlers. Idempotent.
+pub fn install_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_sets_and_resets() {
+        reset_for_test();
+        assert!(!drain_requested());
+        request_drain();
+        assert!(drain_requested());
+        reset_for_test();
+        assert!(!drain_requested());
+    }
+}

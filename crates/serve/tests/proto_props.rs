@@ -1,0 +1,220 @@
+//! Wire-protocol properties: encode → decode identity for arbitrary
+//! valid requests and replies, plus the malformed-frame corpus asserting
+//! typed rejection (the live-connection half of the corpus lives in
+//! `tests/serve_e2e.rs`, where a real daemon is up).
+
+use absort_serve::proto::{
+    self, decode_reply, decode_request, encode_reply, encode_request, FrameError, NetKind, Reply,
+    ReplyPayload, Request, Status, DEFAULT_MAX_N, MAX_FRAME,
+};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+fn random_network(rng: &mut StdRng) -> NetKind {
+    NetKind::ALL[rng.gen_range(0..NetKind::ALL.len())]
+}
+
+fn random_request(rng: &mut StdRng) -> Request {
+    let n = 1usize << rng.gen_range(1..=8); // 2..=256
+    let req_id = rng.gen::<u64>();
+    let network = random_network(rng);
+    let mut req = match rng.gen_range(0..3) {
+        0 => {
+            let bits: Vec<bool> = (0..n).map(|_| rng.gen::<bool>()).collect();
+            Request::sort(network, req_id, &bits)
+        }
+        1 => {
+            let mut perm: Vec<u16> = (0..n as u16).collect();
+            for i in (1..n).rev() {
+                perm.swap(i, rng.gen_range(0..=i));
+            }
+            Request::permute(network, req_id, &perm)
+        }
+        _ => Request::ping(req_id),
+    };
+    if rng.gen_bool(0.5) {
+        req = req.with_deadline_ms(rng.gen_range(1..10_000));
+    }
+    req
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity on arbitrary valid requests.
+    #[test]
+    fn request_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = random_request(&mut rng);
+        let framed = encode_request(&req);
+        // The length prefix describes the body exactly.
+        let len = u32::from_le_bytes([framed[0], framed[1], framed[2], framed[3]]) as usize;
+        prop_assert_eq!(len, framed.len() - 4);
+        let decoded = decode_request(&framed[4..], DEFAULT_MAX_N);
+        prop_assert_eq!(decoded.as_ref(), Ok(&req));
+    }
+
+    /// encode → decode is the identity on arbitrary replies.
+    #[test]
+    fn reply_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 1usize << rng.gen_range(1..=8);
+        let status = [
+            Status::Ok,
+            Status::Overloaded,
+            Status::Malformed,
+            Status::DeadlineExceeded,
+            Status::Unsupported,
+            Status::Internal,
+        ][rng.gen_range(0..6)];
+        let payload = match rng.gen_range(0..4) {
+            0 => ReplyPayload::Empty,
+            1 => ReplyPayload::Bits((0..n).map(|_| rng.gen::<bool>()).collect()),
+            2 => ReplyPayload::Perm((0..n as u16).collect()),
+            _ => ReplyPayload::Message(format!("diag {}", rng.gen::<u32>())),
+        };
+        let n_field = match &payload {
+            ReplyPayload::Bits(_) | ReplyPayload::Perm(_) => n as u32,
+            _ => 0,
+        };
+        let rep = Reply { status, req_id: rng.gen(), n: n_field, payload };
+        let framed = encode_reply(&rep);
+        prop_assert_eq!(decode_reply(&framed[4..]).as_ref(), Ok(&rep));
+    }
+
+    /// Truncating a valid request body anywhere yields a typed error,
+    /// never a panic or a bogus success.
+    #[test]
+    fn truncation_never_panics(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = random_request(&mut rng);
+        let framed = encode_request(&req);
+        let body = &framed[4..];
+        let cut = rng.gen_range(0..body.len());
+        let decoded = decode_request(&body[..cut], DEFAULT_MAX_N);
+        prop_assert!(decoded.is_err(), "truncated body at {} decoded", cut);
+    }
+
+    /// Flipping one byte of a valid request body either still decodes
+    /// (the flip hit payload bits / req_id / deadline) or fails with a
+    /// typed error — it never panics.
+    #[test]
+    fn single_byte_corruption_is_typed(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = random_request(&mut rng);
+        let framed = encode_request(&req);
+        let mut body = framed[4..].to_vec();
+        let at = rng.gen_range(0..body.len());
+        body[at] ^= 1 << rng.gen_range(0..8);
+        let _ = decode_request(&body, DEFAULT_MAX_N); // must not panic
+    }
+}
+
+/// The explicit malformed-frame corpus from the issue: every entry must
+/// produce the *named* typed error.
+#[test]
+fn malformed_corpus_is_typed() {
+    let good = encode_request(&Request::sort(NetKind::MuxMerger, 77, &[true; 16]));
+    let body = good[4..].to_vec();
+
+    // Truncated header.
+    assert!(matches!(
+        decode_request(&body[..7], DEFAULT_MAX_N),
+        Err(FrameError::Truncated { needed: 20, got: 7 })
+    ));
+
+    // n = 0.
+    let mut zero_n = body.clone();
+    zero_n[16..20].copy_from_slice(&0u32.to_le_bytes());
+    zero_n.truncate(20);
+    assert_eq!(
+        decode_request(&zero_n, DEFAULT_MAX_N),
+        Err(FrameError::ZeroN)
+    );
+
+    // n > max.
+    let mut big_n = body.clone();
+    big_n[16..20].copy_from_slice(&(DEFAULT_MAX_N + 1).to_le_bytes());
+    assert!(matches!(
+        decode_request(&big_n, DEFAULT_MAX_N),
+        Err(FrameError::NTooLarge { n, max }) if n == DEFAULT_MAX_N + 1 && max == DEFAULT_MAX_N
+    ));
+
+    // Bad version.
+    let mut bad_version = body.clone();
+    bad_version[1] = 0xFF;
+    assert_eq!(
+        decode_request(&bad_version, DEFAULT_MAX_N),
+        Err(FrameError::BadVersion { got: 0xFF })
+    );
+
+    // Non-power-of-two n.
+    let mut odd_n = body.clone();
+    odd_n[16..20].copy_from_slice(&12u32.to_le_bytes());
+    assert_eq!(
+        decode_request(&odd_n, DEFAULT_MAX_N),
+        Err(FrameError::NNotPow2 { n: 12 })
+    );
+
+    // Payload length mismatch.
+    let mut short_payload = body.clone();
+    short_payload.pop();
+    assert!(matches!(
+        decode_request(&short_payload, DEFAULT_MAX_N),
+        Err(FrameError::PayloadLen {
+            expected: 2,
+            got: 1
+        })
+    ));
+
+    // Permute destination out of range.
+    let mut perm_req =
+        encode_request(&Request::permute(NetKind::Prefix, 5, &[3, 2, 1, 0]))[4..].to_vec();
+    let payload_at = perm_req.len() - 8;
+    perm_req[payload_at..payload_at + 2].copy_from_slice(&9u16.to_le_bytes());
+    assert!(matches!(
+        decode_request(&perm_req, DEFAULT_MAX_N),
+        Err(FrameError::BadDestination {
+            index: 0,
+            dest: 9,
+            n: 4
+        })
+    ));
+
+    // Length-prefix overflow is caught at the framing layer.
+    let mut oversized = Vec::new();
+    oversized.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+    let err = proto::read_frame(&mut &oversized[..]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+/// Every FrameError display names its offending field/value so the
+/// Malformed reply is actionable.
+#[test]
+fn frame_errors_render_their_evidence() {
+    let cases: Vec<(FrameError, &str)> = vec![
+        (FrameError::Truncated { needed: 20, got: 3 }, "20"),
+        (
+            FrameError::Oversized {
+                len: 1 << 30,
+                max: MAX_FRAME,
+            },
+            "1073741824",
+        ),
+        (FrameError::BadVersion { got: 9 }, "9"),
+        (FrameError::NTooLarge { n: 8192, max: 4096 }, "8192"),
+        (FrameError::NNotPow2 { n: 12 }, "12"),
+        (
+            FrameError::BadDestination {
+                index: 3,
+                dest: 99,
+                n: 16,
+            },
+            "99",
+        ),
+    ];
+    for (err, needle) in cases {
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "{msg:?} should mention {needle}");
+    }
+}
