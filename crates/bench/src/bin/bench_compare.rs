@@ -13,7 +13,9 @@
 //!   fault-campaign section missing from the fresh document; a serve
 //!   report missing a required column or completing zero requests).
 //!   Missing size rows alone can be waived with `--allow-missing-sizes`
-//!   (for `--quick` CI runs diffed against a full baseline).
+//!   (for `--quick` CI runs diffed against a full baseline). A v4 row
+//!   whose `rules_on_tape_len` exceeds its `rules_off_tape_len` also
+//!   fails hard: the declarative rewrite pass must never grow the tape.
 //! - **WARN** (exit 0, or exit 3 with `--strict`): `lanes_speedup`
 //!   dropping more than 10% below the baseline on any common size, the
 //!   fault-campaign `speedup` doing the same, or a serve report's
@@ -43,6 +45,17 @@ const REQUIRED_SIZE_METRICS: &[&str] = &[
 /// report through the tape it benchmarked).
 const V3_REQUIRED_SIZE_METRICS: &[&str] = &["compile.pass.fuse.fused"];
 
+/// Metrics the v4 schema added: the rules-on/off column pair isolating
+/// the declarative rewrite pass. Required on every fresh size row once
+/// the fresh document declares v4 or newer; additionally, rules-on
+/// must never carry a longer tape than rules-off (hard failure).
+const V4_REQUIRED_SIZE_METRICS: &[&str] = &[
+    "rules_on_tape_len",
+    "rules_off_tape_len",
+    "rules_on_wide_ms",
+    "rules_off_wide_ms",
+];
+
 /// Metrics that are only present on some rows (e.g. `emitted_scalar_ms`
 /// exists only where a committed golden exists): required on a fresh row
 /// exactly when the baseline row carries them — dropping one is a
@@ -51,6 +64,7 @@ const CARRY_FORWARD_SIZE_METRICS: &[&str] = &["emitted_scalar_ms"];
 
 const SCHEMA_PREFIX: &str = "absort-bench-eval/";
 const SCHEMA_V3: &str = "absort-bench-eval/v3";
+const SCHEMA_V4: &str = "absort-bench-eval/v4";
 const SERVE_SCHEMA_PREFIX: &str = "absort-bench-serve/";
 
 /// Columns every serve report must carry; dropping one is coverage loss.
@@ -184,6 +198,43 @@ fn compare_docs(fresh: &Value, baseline: &Value, opts: &Options) -> Outcome {
                 if fresh_row.get(metric).and_then(Value::as_f64).is_none() {
                     out.failures
                         .push(format!("coverage loss: n={n} lacks v3 metric `{metric}`"));
+                }
+            }
+        }
+        if fresh_schema.is_some_and(|s| s >= SCHEMA_V4) {
+            for &metric in V4_REQUIRED_SIZE_METRICS {
+                if fresh_row.get(metric).and_then(Value::as_f64).is_none() {
+                    out.failures
+                        .push(format!("coverage loss: n={n} lacks v4 metric `{metric}`"));
+                }
+            }
+            // The rewrite pass is gated on monotonicity, not noise: a
+            // rules-on tape longer than rules-off is a hard failure.
+            if let (Some(on), Some(off)) = (
+                fresh_row.get("rules_on_tape_len").and_then(Value::as_f64),
+                fresh_row.get("rules_off_tape_len").and_then(Value::as_f64),
+            ) {
+                if on > off {
+                    out.failures.push(format!(
+                        "rewrite regression: n={n} rules-on tape ({on} ops) is larger \
+                         than rules-off ({off} ops)"
+                    ));
+                } else {
+                    out.notes
+                        .push(format!("n={n} rewrite rules: {off} -> {on} ops (ok)"));
+                }
+            }
+            // Wall-clock is noisy, so the latency side only warns.
+            if let (Some(on_ms), Some(off_ms)) = (
+                fresh_row.get("rules_on_wide_ms").and_then(Value::as_f64),
+                fresh_row.get("rules_off_wide_ms").and_then(Value::as_f64),
+            ) {
+                if off_ms > 0.0 && (on_ms - off_ms) / off_ms > SPEEDUP_DROP_THRESHOLD {
+                    out.warnings.push(format!(
+                        "n={n}: rules-on wide walk {on_ms:.3} ms is more than {:.0}% \
+                         above rules-off {off_ms:.3} ms",
+                        SPEEDUP_DROP_THRESHOLD * 100.0
+                    ));
                 }
             }
         }
@@ -572,6 +623,90 @@ mod tests {
             "{:?}",
             out.warnings
         );
+    }
+
+    /// A v4 row: the v3 extras plus the rules-on/off column pair.
+    /// `(n, rules_on_ops, rules_off_ops, rules_on_ms)`; rules-off wall
+    /// clock is pinned at 1.0 ms so `rules_on_ms` sets the ratio.
+    fn doc_v4(rows: &[(i64, i64, i64, f64)]) -> Value {
+        let sizes: Vec<String> = rows
+            .iter()
+            .map(|(n, on, off, on_ms)| {
+                format!(
+                    "{{\"n\": {n}, \"compile_ms\": 1.0, \"interp_lanes_ms\": 2.0, \
+                     \"compiled_wide_ms\": 1.0, \"lanes_speedup\": 2.6, \
+                     \"scalar_speedup\": 1.1, \"compile.pass.fuse.fused\": 175, \
+                     \"rules_on_tape_len\": {on}, \"rules_off_tape_len\": {off}, \
+                     \"rules_on_wide_ms\": {on_ms}, \"rules_off_wide_ms\": 1.0}}"
+                )
+            })
+            .collect();
+        parse(&format!(
+            "{{\"schema\": \"absort-bench-eval/v4\", \"sizes\": [{}]}}",
+            sizes.join(", ")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn v4_fresh_must_carry_rules_columns() {
+        let base = doc_v3(&[(64, 1.1, true, false)]);
+        // A document that claims v4 but lacks the rules columns.
+        let missing = parse(
+            "{\"schema\": \"absort-bench-eval/v4\", \"sizes\": [{\"n\": 64, \
+             \"compile_ms\": 1.0, \"interp_lanes_ms\": 2.0, \"compiled_wide_ms\": 1.0, \
+             \"lanes_speedup\": 2.6, \"scalar_speedup\": 1.1, \
+             \"compile.pass.fuse.fused\": 175}]}",
+        )
+        .unwrap();
+        let out = compare_docs(&missing, &base, &Options::default());
+        let text = out.failures.join("\n");
+        assert!(text.contains("rules_on_tape_len"), "{text}");
+        assert!(text.contains("rules_off_wide_ms"), "{text}");
+
+        let present = doc_v4(&[(64, 700, 800, 1.0)]);
+        let out = compare_docs(&present, &base, &Options::default());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.notes.iter().any(|n| n.contains("schema upgraded")));
+    }
+
+    #[test]
+    fn v4_rules_on_tape_growth_fails() {
+        // The injected-regression bite: rules-on growing past rules-off
+        // must fail hard even when every column is present.
+        let base = doc_v4(&[(64, 700, 800, 1.0)]);
+        let grown = doc_v4(&[(64, 810, 800, 1.0)]);
+        let out = compare_docs(&grown, &base, &Options::default());
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("rewrite regression")),
+            "{:?}",
+            out.failures
+        );
+        // Equality is fine: a network the ruleset cannot improve.
+        let equal = doc_v4(&[(64, 800, 800, 1.0)]);
+        let out = compare_docs(&equal, &base, &Options::default());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn v4_rules_latency_blowup_warns_but_does_not_fail() {
+        let base = doc_v4(&[(64, 700, 800, 1.0)]);
+        let slow = doc_v4(&[(64, 700, 800, 1.5)]);
+        let out = compare_docs(&slow, &base, &Options::default());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(
+            out.warnings
+                .iter()
+                .any(|w| w.contains("rules-on wide walk")),
+            "{:?}",
+            out.warnings
+        );
+
+        let close = doc_v4(&[(64, 700, 800, 1.05)]);
+        let out = compare_docs(&close, &base, &Options::default());
+        assert!(out.warnings.is_empty(), "5% above rules-off must not warn");
     }
 
     fn serve_doc(schema: &str, mode: &str, n: i64, rps: f64, completed: i64) -> Value {

@@ -400,6 +400,10 @@ pub struct CompiledCircuit {
     pub(crate) source_components: u32,
     /// Per-pass before/after op counts recorded by the pass manager.
     pub(crate) pass_stats: Vec<PassStats>,
+    /// Per-rule application counts recorded by the `rewrite` pass
+    /// (rule name → hits), empty when the pass did not run or matched
+    /// nothing. Surfaced by `absort inspect` and telemetry.
+    pub(crate) rewrite_hits: Vec<(String, u32)>,
     /// Original encodings of [`MicroOp::Pair2`] superinstructions
     /// (empty unless the `fuse` pass ran).
     pub(crate) fused_pairs: Vec<[MicroOp; 2]>,
@@ -812,6 +816,14 @@ impl CompiledCircuit {
     #[inline]
     pub fn pass_stats(&self) -> &[PassStats] {
         &self.pass_stats
+    }
+
+    /// Per-rule hit counts from the `rewrite` pass (rule name → number
+    /// of applications), in first-fired order. Empty when the pass was
+    /// disabled or matched nothing.
+    #[inline]
+    pub fn rewrite_hits(&self) -> &[(String, u32)] {
+        &self.rewrite_hits
     }
 
     /// Wire count of the source circuit.
@@ -1780,7 +1792,14 @@ mod tests {
         let names: Vec<&str> = cc.pass_stats().iter().map(|s| s.name).collect();
         assert_eq!(
             names,
-            vec!["const-prologue", "const-prop", "cse", "dce", "mask-reuse"]
+            vec![
+                "const-prologue",
+                "const-prop",
+                "cse",
+                "rewrite",
+                "dce",
+                "mask-reuse"
+            ]
         );
         let removed_by = |n: &str| {
             cc.pass_stats()
@@ -1947,5 +1966,52 @@ mod tests {
         assert!(unsupported.contains(&(1, StuckSelectHigh)));
         assert!(unsupported.contains(&(5, StuckSelectHigh)));
         assert!(unsupported.contains(&(0, InvertBehaviour)));
+    }
+
+    /// A CSE survivor whose merged duplicates were all unobserved keeps
+    /// `Live` provenance and a real tape position, so fault campaigns
+    /// patch it in place (the duplicate scores `Equivalent` / `Dead`).
+    /// A survivor with an *observed* duplicate still takes the shared /
+    /// recompile fallback.
+    #[test]
+    fn cse_survivor_stays_patchable_when_duplicates_unobserved() {
+        use crate::mutate::Fault::InvertBehaviour;
+        let mut b = Builder::new();
+        let x = b.input();
+        let y = b.input();
+        let z = b.input();
+        let g1 = b.gate(crate::GateOp::And, x, y); // 0: survivor, dup unread
+        let _g2 = b.gate(crate::GateOp::And, x, y); // 1: duplicate, never read
+        let g3 = b.gate(crate::GateOp::Or, x, z); // 2: survivor, dup observed
+        let g4 = b.gate(crate::GateOp::Or, x, z); // 3: duplicate, an output
+        b.outputs(&[g1, g3, g4]);
+        let c = b.finish();
+
+        let mut base = c.compile();
+        assert!(
+            base.comp_pos[0] < COMP_FOLDED,
+            "survivor of an unobserved duplicate must keep a tape position"
+        );
+        assert_eq!(base.comp_pos[2], COMP_FOLDED, "observed dup folds survivor");
+        assert_eq!(base.comp_pos[3], COMP_FOLDED, "observed dup folds itself");
+        // The unobserved duplicate is output-equivalent under any fault.
+        assert!(matches!(
+            base.mutant_tape(1, InvertBehaviour),
+            MutantTape::Dead
+        ));
+        // The kept-live survivor patches in place, matching a recompile.
+        let (_, mutant) = crate::mutate::mutants(&c, InvertBehaviour)
+            .into_iter()
+            .find(|&(ci, _)| ci == 0)
+            .expect("component 0 has an invert mutant");
+        let reference = mutant.compile();
+        match base.mutant_tape(0, InvertBehaviour) {
+            MutantTape::Patched(patched) => {
+                for input in all_inputs(c.n_inputs()) {
+                    assert_eq!(patched.eval(&input), reference.eval(&input));
+                }
+            }
+            _ => panic!("kept-live CSE survivor must patch in place"),
+        };
     }
 }

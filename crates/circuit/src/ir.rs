@@ -286,6 +286,10 @@ pub struct CompileIr {
     pub fold_hint: Vec<FoldHint>,
     /// Wire count of the source circuit (for slot-savings reporting).
     pub source_wires: u32,
+    /// Per-rule application counts recorded by the `rewrite` pass
+    /// (rule name → number of sites rewritten), surfaced by
+    /// `CompiledCircuit::rewrite_hits` and `absort inspect`.
+    pub rewrite_hits: Vec<(String, u32)>,
 }
 
 /// Lowers a netlist into the IR: two canonical constant ops first (so
@@ -392,6 +396,7 @@ pub fn lower(c: &Circuit) -> CompileIr {
         comp_fate: vec![CompFate::Live; comps.len()],
         fold_hint: vec![FoldHint::None; comps.len()],
         source_wires: c.n_wires() as u32,
+        rewrite_hits: Vec::new(),
     }
 }
 

@@ -50,6 +50,7 @@ pub mod ir;
 pub mod lane;
 pub mod mutate;
 pub mod passes;
+pub mod pattern;
 pub mod pipeline;
 #[cfg(feature = "profile")]
 pub mod profile;

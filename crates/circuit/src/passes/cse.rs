@@ -94,7 +94,9 @@ impl Pass for Cse {
         // Key → (op index, defs) of the first occurrence.
         let mut seen: HashMap<Key, (usize, [ValId; 4])> = HashMap::new();
         let mut folded: Vec<(u32, bool)> = Vec::new();
-        let mut share: Vec<usize> = Vec::new();
+        // Survivor op index → were ALL duplicates merged into it
+        // unobserved on entry?
+        let mut survivors: HashMap<usize, bool> = HashMap::new();
         for (i, op) in ir.ops.iter_mut().enumerate() {
             op.kind.map_uses(|v| subst[v as usize]);
             match seen.entry(key_of(&op.kind)) {
@@ -109,12 +111,30 @@ impl Pass for Cse {
                     }
                     keep[i] = false;
                     folded.push((op.comp, unobserved));
-                    share.push(survivor);
+                    survivors
+                        .entry(survivor)
+                        .and_modify(|all| *all &= unobserved)
+                        .or_insert(unobserved);
                 }
             }
         }
-        for &si in &share {
+        // Survivor sites. When every duplicate merged into a survivor
+        // was unobserved, the merge did not change the survivor's
+        // observable fanout: its tape image still represents exactly its
+        // own component, so it stays `Live` and unshared — fault
+        // campaigns patch it in place instead of recompiling. Any
+        // observed duplicate makes the survivor stand for two components
+        // at once, which keeps the recompile fallback.
+        let mut kept_live: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for (&si, &all_unobserved) in &survivors {
             let comp = ir.ops[si].comp;
+            if all_unobserved
+                && comp != crate::ir::NO_COMP
+                && ir.comp_fate[comp as usize] == crate::ir::CompFate::Live
+            {
+                kept_live.insert(comp);
+                continue;
+            }
             ir.ops[si].shared = true;
             ir.fold_comp(comp);
         }
@@ -123,9 +143,12 @@ impl Pass for Cse {
             // touched yet: an op surviving an earlier fold (a `ToNot`
             // rewrite) can under-represent its component's fanout via
             // aliases baked into downstream uses, so "defs unobserved"
-            // would not imply "component unobservable" there.
+            // would not imply "component unobservable" there. A comp
+            // with a kept-live survivor op is still observable through
+            // that op, so it must not be declared `Equivalent` either.
             if unobserved
                 && comp != crate::ir::NO_COMP
+                && !kept_live.contains(&comp)
                 && ir.comp_fate[comp as usize] == crate::ir::CompFate::Live
             {
                 ir.fold_comp_hinted(comp, FoldHint::Equivalent);

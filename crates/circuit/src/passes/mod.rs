@@ -8,7 +8,10 @@
 //!    [`PassName::ConstProp`] (constant propagation through gates and
 //!    switches — a switch with a known select lowers to wires),
 //!    [`PassName::Cse`] (structural hashing / common-subexpression
-//!    elimination), [`PassName::Dce`] (dead-code elimination);
+//!    elimination), [`PassName::Rewrite`] (declarative fixpoint term
+//!    rewriting driven by the committed ruleset — see
+//!    [`crate::pattern`] and `rewrite`), [`PassName::Dce`] (dead-code
+//!    elimination);
 //! 2. the **schedule** stage (always on): levelize and stable-sort ops
 //!    so constants form the prologue and component ops are grouped by
 //!    depth level;
@@ -28,6 +31,7 @@ pub mod const_prop;
 pub mod cse;
 pub mod dce;
 pub mod mask_reuse;
+pub mod rewrite;
 pub mod schedule;
 
 use crate::circuit::Circuit;
@@ -55,6 +59,10 @@ pub enum PassName {
     /// Structural hashing: merge ops computing the same function of
     /// the same values.
     Cse,
+    /// Declarative fixpoint term rewriting over the committed ruleset
+    /// (profit-gated: a rule only fires when it strictly shrinks the
+    /// op list).
+    Rewrite,
     /// Drop ops no output observes.
     Dce,
     /// Flag select-mask reuse between adjacent 4×4 switches
@@ -64,10 +72,11 @@ pub enum PassName {
 
 impl PassName {
     /// Every pass, in canonical run order.
-    pub const ALL: [PassName; 5] = [
+    pub const ALL: [PassName; 6] = [
         PassName::ConstPrologue,
         PassName::ConstProp,
         PassName::Cse,
+        PassName::Rewrite,
         PassName::Dce,
         PassName::MaskReuse,
     ];
@@ -78,6 +87,7 @@ impl PassName {
             PassName::ConstPrologue => "const-prologue",
             PassName::ConstProp => "const-prop",
             PassName::Cse => "cse",
+            PassName::Rewrite => "rewrite",
             PassName::Dce => "dce",
             PassName::MaskReuse => "mask-reuse",
         }
@@ -94,6 +104,7 @@ impl PassName {
             PassName::ConstPrologue => 1,
             PassName::ConstProp => 1 << 1,
             PassName::Cse => 1 << 2,
+            PassName::Rewrite => 1 << 5,
             PassName::Dce => 1 << 3,
             PassName::MaskReuse => 1 << 4,
         }
@@ -117,7 +128,7 @@ impl PassSet {
     pub const EMPTY: PassSet = PassSet(0);
 
     /// Every pass (opt-level 2).
-    pub const ALL: PassSet = PassSet(0b1_1111);
+    pub const ALL: PassSet = PassSet(0b11_1111);
 
     /// Whether `p` is enabled.
     #[inline]
@@ -322,6 +333,7 @@ fn pass_impl(p: PassName) -> &'static dyn Pass {
         PassName::ConstPrologue => &const_prologue::ConstPrologue,
         PassName::ConstProp => &const_prop::ConstProp,
         PassName::Cse => &cse::Cse,
+        PassName::Rewrite => &rewrite::Rewrite,
         PassName::Dce => &dce::Dce,
         PassName::MaskReuse => &mask_reuse::MaskReuse,
     }

@@ -17,6 +17,7 @@ use absort::circuit::compile::{MicroOp, MutantTape, REUSE_MASKS};
 use absort::circuit::mutate::{self, Fault};
 use absort::circuit::{
     Builder, Circuit, CompileOptions, CompiledEvaluator, Engine, Evaluator, GateOp, OptLevel,
+    PassName,
 };
 use absort::core::{fish, muxmerge, nonadaptive, prefix};
 
@@ -190,7 +191,13 @@ fn cse_merge_sites_pin_the_dead_patched_recompiled_split() {
     b.outputs(&[x, y]);
     let c = b.finish();
 
-    let mut cc = c.compile(); // O2: CSE on
+    // O2 minus the rewrite pass: after CSE merges g1/g2 into one value
+    // v, the ruleset would fold comp 3 (v ^ v -> false) and obscure the
+    // CSE split this test pins; the rewrite interaction is asserted
+    // separately below.
+    let mut opts = CompileOptions::default();
+    opts.passes = opts.passes.without(PassName::Rewrite);
+    let mut cc = c.compile_with(&opts);
     for comp in [0usize, 1] {
         assert!(
             matches!(
@@ -213,6 +220,19 @@ fn cse_merge_sites_pin_the_dead_patched_recompiled_split() {
             "comp {comp}: live gate must stay patchable in place"
         );
     }
+
+    // With the rewrite pass back on (full default O2), the ruleset
+    // folds comp 3's v ^ v to a constant; its provenance marks the
+    // site Rewritten, so mutants fall back to the recompile path
+    // rather than patching a tape that no longer holds the gate.
+    let mut cc_o2 = c.compile();
+    assert!(
+        matches!(
+            cc_o2.mutant_tape(3, Fault::InvertBehaviour),
+            MutantTape::Unsupported | MutantTape::Dead
+        ),
+        "comp 3: rewritten x^x site must not claim an in-place patch"
+    );
 
     // Semantic backstop for the Dead verdict: the actual netlist mutant
     // of comp 2 is output-equivalent to the base on every input.
